@@ -1,0 +1,86 @@
+//! Shared feature extraction for the ML baselines: a SPIRE [`SampleSet`]
+//! becomes a rate matrix (rows = aligned intervals, columns = metrics)
+//! plus a throughput target vector.
+
+use spire_core::{MetricId, SampleSet};
+
+/// Extracted features: metric order, rate rows, and targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    /// Metrics, in column order.
+    pub metrics: Vec<MetricId>,
+    /// One row per aligned interval; each entry is the metric's rate
+    /// `M_x / T` during that interval.
+    pub rows: Vec<Vec<f64>>,
+    /// Per-row throughput target (`P = W / T`, averaged across metrics).
+    pub targets: Vec<f64>,
+}
+
+/// Builds the rate matrix from a sample set.
+///
+/// Samples are grouped per metric in collection order; row `i` pairs the
+/// `i`-th sample of every metric (the alignment a multiplexed sampling
+/// session produces). The row count is the smallest per-metric sample
+/// count. Returns `None` when no complete rows exist.
+pub fn feature_matrix(samples: &SampleSet) -> Option<FeatureMatrix> {
+    let groups = samples.by_metric();
+    if groups.is_empty() {
+        return None;
+    }
+    let metrics: Vec<MetricId> = groups.keys().map(|m| (*m).clone()).collect();
+    let n_rows = groups.values().map(Vec::len).min().unwrap_or(0);
+    if n_rows == 0 {
+        return None;
+    }
+    let cols = metrics.len();
+    let mut rows = vec![vec![0.0; cols]; n_rows];
+    let mut targets = vec![0.0; n_rows];
+    for (c, metric) in metrics.iter().enumerate() {
+        let group = &groups[metric];
+        for r in 0..n_rows {
+            let s = group[r];
+            rows[r][c] = s.metric_delta() / s.time();
+            targets[r] += s.throughput() / cols as f64;
+        }
+    }
+    Some(FeatureMatrix {
+        metrics,
+        rows,
+        targets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_core::Sample;
+
+    #[test]
+    fn builds_aligned_rows() {
+        let mut set = SampleSet::new();
+        for i in 0..3 {
+            set.push(Sample::new("a", 10.0, 20.0 + i as f64, 5.0).unwrap());
+            set.push(Sample::new("b", 10.0, 20.0 + i as f64, 2.0).unwrap());
+        }
+        let fm = feature_matrix(&set).unwrap();
+        assert_eq!(fm.metrics.len(), 2);
+        assert_eq!(fm.rows.len(), 3);
+        assert_eq!(fm.rows[0], vec![0.5, 0.2]);
+        assert!((fm.targets[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_count_is_min_across_metrics() {
+        let mut set = SampleSet::new();
+        set.push(Sample::new("a", 1.0, 1.0, 1.0).unwrap());
+        set.push(Sample::new("a", 1.0, 1.0, 1.0).unwrap());
+        set.push(Sample::new("b", 1.0, 1.0, 1.0).unwrap());
+        let fm = feature_matrix(&set).unwrap();
+        assert_eq!(fm.rows.len(), 1);
+    }
+
+    #[test]
+    fn empty_set_yields_none() {
+        assert!(feature_matrix(&SampleSet::new()).is_none());
+    }
+}

@@ -1,0 +1,478 @@
+//! Stochastic gradient-boosted regression trees (SGBRT) — the algorithm
+//! CounterMiner (MICRO 2018) uses to rank counter importance, cited by
+//! the paper's related work as the standard-ML alternative to SPIRE.
+//!
+//! The implementation is deliberately small but real: depth-limited
+//! regression trees fit to residuals with squared loss, subsampling per
+//! round, shrinkage, and split-gain feature importance.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`Gbrt::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbrtConfig {
+    /// Number of boosting rounds (trees).
+    pub rounds: usize,
+    /// Maximum tree depth (1 = stumps).
+    pub max_depth: usize,
+    /// Learning rate (shrinkage) applied to each tree's predictions.
+    pub learning_rate: f64,
+    /// Fraction of rows sampled per round (the "stochastic" part).
+    pub subsample: f64,
+    /// Minimum rows in a leaf.
+    pub min_leaf: usize,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbrtConfig {
+    fn default() -> Self {
+        GbrtConfig {
+            rounds: 100,
+            max_depth: 3,
+            learning_rate: 0.1,
+            subsample: 0.8,
+            min_leaf: 4,
+            seed: 7,
+        }
+    }
+}
+
+impl GbrtConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rounds == 0 {
+            return Err("rounds must be at least 1".into());
+        }
+        if self.max_depth == 0 || self.max_depth > 8 {
+            return Err(format!("max_depth must be 1..=8, got {}", self.max_depth));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
+            return Err(format!(
+                "learning_rate must be in (0, 1], got {}",
+                self.learning_rate
+            ));
+        }
+        if !(0.0 < self.subsample && self.subsample <= 1.0) {
+            return Err(format!("subsample must be in (0, 1], got {}", self.subsample));
+        }
+        if self.min_leaf == 0 {
+            return Err("min_leaf must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Internal split: `feature`, `threshold`, and child indices.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf value.
+    Leaf(f64),
+}
+
+/// One fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// A fitted gradient-boosted regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbrt {
+    base: f64,
+    trees: Vec<Tree>,
+    learning_rate: f64,
+    importance: Vec<f64>,
+    features: usize,
+}
+
+impl Gbrt {
+    /// Fits a boosted ensemble to rows `x` (each of equal length) and
+    /// targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the config is invalid, the data is empty, or
+    /// row lengths disagree.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: &GbrtConfig) -> Result<Self, String> {
+        config.validate()?;
+        if x.is_empty() || x.len() != y.len() {
+            return Err(format!(
+                "need equal non-zero rows: {} features rows vs {} targets",
+                x.len(),
+                y.len()
+            ));
+        }
+        let features = x[0].len();
+        if features == 0 || x.iter().any(|r| r.len() != features) {
+            return Err("all rows must have the same non-zero length".into());
+        }
+
+        let n = x.len();
+        let base = y.iter().sum::<f64>() / n as f64;
+        let mut predictions = vec![base; n];
+        let mut trees = Vec::with_capacity(config.rounds);
+        let mut importance = vec![0.0; features];
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let sample_n = ((n as f64 * config.subsample).ceil() as usize).clamp(1, n);
+        let mut indices: Vec<usize> = (0..n).collect();
+
+        for _ in 0..config.rounds {
+            indices.shuffle(&mut rng);
+            let sample = &indices[..sample_n];
+            let residuals: Vec<f64> = sample.iter().map(|&i| y[i] - predictions[i]).collect();
+            let mut tree = Tree { nodes: Vec::new() };
+            build_node(
+                x,
+                sample,
+                &residuals,
+                config,
+                1,
+                &mut tree.nodes,
+                &mut importance,
+            );
+            for i in 0..n {
+                predictions[i] += config.learning_rate * tree.predict(&x[i]);
+            }
+            trees.push(tree);
+        }
+        Ok(Gbrt {
+            base,
+            trees,
+            learning_rate: config.learning_rate,
+            importance,
+            features,
+        })
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong length.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.features, "feature-count mismatch");
+        self.base
+            + self
+                .trees
+                .iter()
+                .map(|t| self.learning_rate * t.predict(row))
+                .sum::<f64>()
+    }
+
+    /// Split-gain importance per feature (summed squared-error reduction
+    /// across all splits that used the feature).
+    pub fn importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Feature indices ranked by importance, descending.
+    pub fn importance_ranking(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self.importance.iter().copied().enumerate().collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Recursively builds a tree node over `sample` (indices into `x`) with
+/// `targets` parallel to `sample`. Returns the node index.
+fn build_node(
+    x: &[Vec<f64>],
+    sample: &[usize],
+    targets: &[f64],
+    config: &GbrtConfig,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    importance: &mut [f64],
+) -> usize {
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    if depth > config.max_depth || sample.len() < 2 * config.min_leaf {
+        nodes.push(Node::Leaf(mean));
+        return nodes.len() - 1;
+    }
+
+    // Best split by squared-error reduction.
+    let sse = |vals: &[f64]| {
+        let m = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+        vals.iter().map(|v| (v - m).powi(2)).sum::<f64>()
+    };
+    let parent_sse = sse(targets);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let features = x[0].len();
+    #[allow(clippy::needless_range_loop)] // `f` indexes columns across many rows
+    for f in 0..features {
+        // Candidate thresholds: midpoints of sorted distinct values.
+        let mut vals: Vec<f64> = sample.iter().map(|&i| x[i][f]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for w in vals.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            for (k, &i) in sample.iter().enumerate() {
+                if x[i][f] <= threshold {
+                    l.push(targets[k]);
+                } else {
+                    r.push(targets[k]);
+                }
+            }
+            if l.len() < config.min_leaf || r.len() < config.min_leaf {
+                continue;
+            }
+            let gain = parent_sse - sse(&l) - sse(&r);
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, gain)) = best.filter(|&(_, _, g)| g > 1e-12) else {
+        nodes.push(Node::Leaf(mean));
+        return nodes.len() - 1;
+    };
+    importance[feature] += gain;
+
+    let (mut ls, mut lt, mut rs, mut rt) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for (k, &i) in sample.iter().enumerate() {
+        if x[i][feature] <= threshold {
+            ls.push(i);
+            lt.push(targets[k]);
+        } else {
+            rs.push(i);
+            rt.push(targets[k]);
+        }
+    }
+    let me = nodes.len();
+    nodes.push(Node::Leaf(0.0)); // placeholder, patched below
+    let left = build_node(x, &ls, &lt, config, depth + 1, nodes, importance);
+    let right = build_node(x, &rs, &rt, config, depth + 1, nodes, importance);
+    nodes[me] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    me
+}
+
+/// CounterMiner-style counter analysis: SGBRT from per-metric rates to
+/// throughput, with split-gain importance ranking over metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterMinerBaseline {
+    metrics: Vec<spire_core::MetricId>,
+    model: Gbrt,
+}
+
+impl CounterMinerBaseline {
+    /// Trains on a sample set (same feature construction as
+    /// [`crate::RegressionBaseline`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the set yields no usable rows or the GBRT
+    /// config is invalid.
+    pub fn train(
+        samples: &spire_core::SampleSet,
+        config: &GbrtConfig,
+    ) -> Result<Self, String> {
+        let fm = crate::features::feature_matrix(samples)
+            .ok_or("no complete sample rows available")?;
+        let model = Gbrt::fit(&fm.rows, &fm.targets, config)?;
+        Ok(CounterMinerBaseline {
+            metrics: fm.metrics,
+            model,
+        })
+    }
+
+    /// Metrics ranked by split-gain importance, descending.
+    pub fn importance_ranking(&self) -> Vec<(spire_core::MetricId, f64)> {
+        self.model
+            .importance_ranking()
+            .into_iter()
+            .map(|(i, gain)| (self.metrics[i].clone(), gain))
+            .collect()
+    }
+
+    /// The underlying boosted model.
+    pub fn model(&self) -> &Gbrt {
+        &self.model
+    }
+
+    /// The metrics, in feature order.
+    pub fn metrics(&self) -> &[spire_core::MetricId] {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// y = 3*x0 + noise; x1 is irrelevant.
+    fn make_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..10.0);
+            let b: f64 = rng.gen_range(0.0..10.0);
+            x.push(vec![a, b]);
+            y.push(3.0 * a + rng.gen_range(-0.1..0.1));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_a_linear_relationship() {
+        let (x, y) = make_data(200);
+        let model = Gbrt::fit(&x, &y, &GbrtConfig::default()).unwrap();
+        let p = model.predict(&[5.0, 1.0]);
+        assert!((p - 15.0).abs() < 1.5, "predicted {p}");
+    }
+
+    #[test]
+    fn importance_finds_the_driving_feature() {
+        let (x, y) = make_data(200);
+        let model = Gbrt::fit(&x, &y, &GbrtConfig::default()).unwrap();
+        let ranking = model.importance_ranking();
+        assert_eq!(ranking[0].0, 0);
+        assert!(ranking[0].1 > ranking[1].1 * 10.0);
+    }
+
+    #[test]
+    fn nonlinear_step_is_learnable_where_linear_fails() {
+        // y = 1 if x0 > 5 else 0: a tree model nails this.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let v = i as f64 / 20.0;
+            x.push(vec![v]);
+            y.push(if v > 5.0 { 1.0 } else { 0.0 });
+        }
+        let model = Gbrt::fit(&x, &y, &GbrtConfig::default()).unwrap();
+        assert!(model.predict(&[2.0]) < 0.2);
+        assert!(model.predict(&[8.0]) > 0.8);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (x, y) = make_data(10);
+        for bad in [
+            GbrtConfig { rounds: 0, ..GbrtConfig::default() },
+            GbrtConfig { max_depth: 0, ..GbrtConfig::default() },
+            GbrtConfig { learning_rate: 0.0, ..GbrtConfig::default() },
+            GbrtConfig { subsample: 1.5, ..GbrtConfig::default() },
+            GbrtConfig { min_leaf: 0, ..GbrtConfig::default() },
+        ] {
+            assert!(Gbrt::fit(&x, &y, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_or_ragged_data_is_rejected() {
+        assert!(Gbrt::fit(&[], &[], &GbrtConfig::default()).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(Gbrt::fit(&ragged, &[1.0, 2.0], &GbrtConfig::default()).is_err());
+        assert!(Gbrt::fit(&[vec![1.0]], &[1.0, 2.0], &GbrtConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = make_data(100);
+        let a = Gbrt::fit(&x, &y, &GbrtConfig::default()).unwrap();
+        let b = Gbrt::fit(&x, &y, &GbrtConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (x, y) = make_data(50);
+        let cfg = GbrtConfig { rounds: 10, ..GbrtConfig::default() };
+        let model = Gbrt::fit(&x, &y, &cfg).unwrap();
+        let back: Gbrt = serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+        assert_eq!(model.predict(&[3.0, 3.0]), back.predict(&[3.0, 3.0]));
+    }
+
+    #[test]
+    fn counter_miner_finds_the_driving_metric() {
+        use spire_core::{Sample, SampleSet};
+        let mut set = SampleSet::new();
+        for i in 0..60 {
+            let t = 100.0;
+            let harmful = i as f64;
+            let w = 1200.0 - 10.0 * harmful;
+            set.push(Sample::new("harmful", t, w, harmful * t).unwrap());
+            set.push(Sample::new("noise", t, w, ((i * 31) % 7) as f64).unwrap());
+        }
+        let cfg = GbrtConfig {
+            rounds: 40,
+            ..GbrtConfig::default()
+        };
+        let cm = CounterMinerBaseline::train(&set, &cfg).unwrap();
+        let ranking = cm.importance_ranking();
+        assert_eq!(ranking[0].0.as_str(), "harmful");
+    }
+
+    #[test]
+    fn counter_miner_rejects_empty_sets() {
+        use spire_core::SampleSet;
+        assert!(CounterMinerBaseline::train(&SampleSet::new(), &GbrtConfig::default()).is_err());
+    }
+
+    #[test]
+    fn stumps_work() {
+        let (x, y) = make_data(100);
+        let cfg = GbrtConfig {
+            max_depth: 1,
+            rounds: 200,
+            ..GbrtConfig::default()
+        };
+        let model = Gbrt::fit(&x, &y, &cfg).unwrap();
+        assert!((model.predict(&[5.0, 0.0]) - 15.0).abs() < 2.0);
+    }
+}

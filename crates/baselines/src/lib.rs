@@ -1,0 +1,37 @@
+//! # spire-baselines
+//!
+//! The two baselines SPIRE is compared against and built upon:
+//!
+//! * [`ClassicRoofline`] — the conventional roofline model
+//!   `P(I) = min(π, β·I)` with optional extra ceilings (paper Fig. 2).
+//!   SPIRE generalizes this one-dimensional model into a per-metric
+//!   ensemble.
+//! * [`RegressionBaseline`] — a standard-ML counter analysis (ridge
+//!   regression + coefficient importance), representing the
+//!   CounterMiner-style related work whose loss of causal information the
+//!   paper criticizes.
+//!
+//! ```
+//! use spire_baselines::{CeilingKind, ClassicRoofline};
+//!
+//! # fn main() -> Result<(), String> {
+//! let roofline = ClassicRoofline::new(128.0, 16.0)?
+//!     .with_ceiling("scalar", CeilingKind::Compute(16.0))
+//!     .with_ceiling("DRAM", CeilingKind::Bandwidth(4.0));
+//! assert_eq!(roofline.attainable(4.0), 64.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod features;
+mod gbrt;
+pub mod linalg;
+mod regression;
+mod roofline;
+
+pub use gbrt::{CounterMinerBaseline, Gbrt, GbrtConfig};
+pub use regression::{RegressionBaseline, RegressionError};
+pub use roofline::{Ceiling, CeilingKind, ClassicRoofline, RooflineBound};

@@ -1,0 +1,213 @@
+//! Minimal dense linear algebra for the regression baseline: just enough
+//! to solve ridge normal equations with a Cholesky factorization.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `Aᵀ·A` (a `cols × cols` Gram matrix).
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut acc = 0.0;
+                for r in 0..self.rows {
+                    acc += self.get(r, i) * self.get(r, j);
+                }
+                g.set(i, j, acc);
+                g.set(j, i, acc);
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ·y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    pub fn transpose_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "vector length must match row count");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yv) in y.iter().enumerate() {
+            for (c, slot) in out.iter_mut().enumerate() {
+                *slot += self.get(r, c) * yv;
+            }
+        }
+        out
+    }
+}
+
+/// Solves the ridge normal equations `(AᵀA + λI)·w = Aᵀy` via Cholesky.
+///
+/// Returns `None` if the regularized Gram matrix is not positive
+/// definite (possible only for `lambda == 0` with degenerate features).
+///
+/// # Panics
+///
+/// Panics if `y.len()` does not match `a`'s row count or if `lambda` is
+/// negative.
+pub fn ridge_solve(a: &Matrix, y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert!(lambda >= 0.0, "ridge lambda must be non-negative");
+    let n = a.cols();
+    let mut g = a.gram();
+    for i in 0..n {
+        g.set(i, i, g.get(i, i) + lambda);
+    }
+    let rhs = a.transpose_mul_vec(y);
+    cholesky_solve(&g, &rhs)
+}
+
+/// Solves `G·x = b` for symmetric positive-definite `G` via Cholesky.
+fn cholesky_solve(g: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = g.rows();
+    debug_assert_eq!(g.cols(), n);
+    debug_assert_eq!(b.len(), n);
+    // Factor G = L·Lᵀ.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = g.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    // Forward substitution: L·z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for (k, zk) in z.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * zk;
+        }
+        z[i] = sum / l.get(i, i);
+    }
+    // Back substitution: Lᵀ·x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for (k, xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_of_identity_like() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 2.0]);
+        let g = a.gram();
+        assert_eq!(g.get(0, 0), 1.0);
+        assert_eq!(g.get(1, 1), 4.0);
+        assert_eq!(g.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn ridge_recovers_exact_coefficients_without_noise() {
+        // y = 2*x0 - 3*x1 over a well-conditioned design.
+        let rows = 8;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..rows {
+            let x0 = i as f64;
+            let x1 = (i * i) as f64 * 0.1 + 1.0;
+            data.extend([x0, x1]);
+            y.push(2.0 * x0 - 3.0 * x1);
+        }
+        let a = Matrix::from_rows(rows, 2, data);
+        let w = ridge_solve(&a, &y, 0.0).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-8, "{w:?}");
+        assert!((w[1] + 3.0).abs() < 1e-8, "{w:?}");
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let rows = 6;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..rows {
+            let x = i as f64 + 1.0;
+            data.push(x);
+            y.push(5.0 * x);
+        }
+        let a = Matrix::from_rows(rows, 1, data);
+        let w0 = ridge_solve(&a, &y, 0.0).unwrap()[0];
+        let w1 = ridge_solve(&a, &y, 100.0).unwrap()[0];
+        assert!(w1 < w0);
+        assert!(w1 > 0.0);
+    }
+
+    #[test]
+    fn degenerate_design_fails_without_regularization() {
+        // Two identical columns: singular Gram matrix.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(ridge_solve(&a, &y, 0.0).is_none());
+        // A tiny ridge restores solvability.
+        assert!(ridge_solve(&a, &y, 1e-6).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn bad_dimensions_panic() {
+        Matrix::from_rows(2, 2, vec![1.0]);
+    }
+}

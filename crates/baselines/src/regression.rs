@@ -1,0 +1,263 @@
+//! A standard-ML counter-analysis baseline: ridge regression from
+//! per-metric event rates to throughput, with coefficient-magnitude
+//! feature importance.
+//!
+//! The paper's related work (Section VI-B) describes approaches like
+//! CounterMiner and Karami et al. that train standard models to predict
+//! performance from counters and read bottlenecks off feature
+//! importances — and argues they "can lose useful causal information"
+//! (e.g. leaning on a broad stall count while ignoring its causes). This
+//! module implements that baseline faithfully so the claim can be tested
+//! (see the workspace's ablation benches).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use spire_core::{MetricId, SampleSet};
+
+use crate::features::feature_matrix;
+use crate::linalg::{ridge_solve, Matrix};
+
+/// Errors from regression training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RegressionError {
+    /// The training set was empty or had no complete intervals.
+    NoUsableRows,
+    /// The (regularized) normal equations were singular.
+    SingularSystem,
+    /// `lambda` was negative or non-finite.
+    InvalidLambda(f64),
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::NoUsableRows => {
+                f.write_str("no complete sample rows available for regression")
+            }
+            RegressionError::SingularSystem => {
+                f.write_str("normal equations are singular; increase lambda")
+            }
+            RegressionError::InvalidLambda(l) => {
+                write!(f, "lambda must be finite and >= 0, got {l}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// A trained throughput-prediction model over per-metric event rates.
+///
+/// Features are the rates `M_x / T` per metric, standardized to zero
+/// mean and unit variance; the target is throughput `P = W / T`. Feature
+/// importance is the absolute standardized coefficient, the convention
+/// the related-work baselines use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionBaseline {
+    metrics: Vec<MetricId>,
+    coefficients: Vec<f64>,
+    intercept: f64,
+    feature_means: Vec<f64>,
+    feature_stds: Vec<f64>,
+    lambda: f64,
+    rows_used: usize,
+}
+
+impl RegressionBaseline {
+    /// Trains on a sample set.
+    ///
+    /// Samples are grouped per metric in collection order; row `i` pairs
+    /// the `i`-th sample of every metric (the alignment produced by a
+    /// multiplexed sampling session). The row count is the smallest
+    /// per-metric sample count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError`] when no rows are available, lambda is
+    /// invalid, or the system is singular.
+    pub fn train(samples: &SampleSet, lambda: f64) -> Result<Self, RegressionError> {
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(RegressionError::InvalidLambda(lambda));
+        }
+        let fm = feature_matrix(samples).ok_or(RegressionError::NoUsableRows)?;
+        let metrics = fm.metrics;
+        let rows = fm.rows.len();
+        let cols = metrics.len();
+        let y = fm.targets;
+
+        // Raw feature matrix of rates.
+        let mut raw = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                raw.set(r, c, fm.rows[r][c]);
+            }
+        }
+
+        // Standardize features.
+        let mut means = vec![0.0; cols];
+        let mut stds = vec![0.0; cols];
+        for c in 0..cols {
+            let mean: f64 = (0..rows).map(|r| raw.get(r, c)).sum::<f64>() / rows as f64;
+            let var: f64 = (0..rows)
+                .map(|r| (raw.get(r, c) - mean).powi(2))
+                .sum::<f64>()
+                / rows as f64;
+            means[c] = mean;
+            stds[c] = var.sqrt().max(1e-12);
+        }
+        let mut x = Matrix::zeros(rows, cols + 1);
+        for r in 0..rows {
+            for c in 0..cols {
+                x.set(r, c, (raw.get(r, c) - means[c]) / stds[c]);
+            }
+            x.set(r, cols, 1.0); // intercept column
+        }
+
+        let w = ridge_solve(&x, &y, lambda).ok_or(RegressionError::SingularSystem)?;
+        let (coefficients, intercept) = (w[..cols].to_vec(), w[cols]);
+        Ok(RegressionBaseline {
+            metrics,
+            coefficients,
+            intercept,
+            feature_means: means,
+            feature_stds: stds,
+            lambda,
+            rows_used: rows,
+        })
+    }
+
+    /// The metrics, in feature order.
+    pub fn metrics(&self) -> &[MetricId] {
+        &self.metrics
+    }
+
+    /// Standardized coefficients, in feature order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The intercept term.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Number of training rows used.
+    pub fn rows_used(&self) -> usize {
+        self.rows_used
+    }
+
+    /// Predicts throughput from a map of per-metric rates (`M_x / T`).
+    /// Missing metrics are treated as having their training-mean rate.
+    pub fn predict(&self, rates: &BTreeMap<MetricId, f64>) -> f64 {
+        let mut acc = self.intercept;
+        for (i, m) in self.metrics.iter().enumerate() {
+            let rate = rates.get(m).copied().unwrap_or(self.feature_means[i]);
+            acc += self.coefficients[i] * (rate - self.feature_means[i]) / self.feature_stds[i];
+        }
+        acc
+    }
+
+    /// Metrics ranked by importance (absolute standardized coefficient),
+    /// descending — the baseline's "bottleneck" ranking.
+    pub fn importance_ranking(&self) -> Vec<(MetricId, f64)> {
+        let mut v: Vec<(MetricId, f64)> = self
+            .metrics
+            .iter()
+            .cloned()
+            .zip(self.coefficients.iter().map(|c| c.abs()))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_core::Sample;
+
+    /// Builds a set where metric "harmful" strongly (negatively) drives
+    /// throughput and "noise" is irrelevant.
+    fn driven_set(n: usize) -> SampleSet {
+        let mut set = SampleSet::new();
+        for i in 0..n {
+            let t = 100.0;
+            let harmful = i as f64; // rate grows
+            let w = 1000.0 - 8.0 * harmful; // throughput drops with it
+            set.push(Sample::new("harmful", t, w, harmful * t).unwrap());
+            set.push(Sample::new("noise", t, w, ((i * 7919) % 13) as f64).unwrap());
+        }
+        set
+    }
+
+    #[test]
+    fn importance_identifies_the_driving_metric() {
+        let model = RegressionBaseline::train(&driven_set(40), 1e-6).unwrap();
+        let ranking = model.importance_ranking();
+        assert_eq!(ranking[0].0.as_str(), "harmful");
+        assert!(ranking[0].1 > ranking[1].1 * 5.0);
+    }
+
+    #[test]
+    fn coefficient_sign_matches_the_relationship() {
+        let model = RegressionBaseline::train(&driven_set(40), 1e-6).unwrap();
+        let idx = model
+            .metrics()
+            .iter()
+            .position(|m| m.as_str() == "harmful")
+            .unwrap();
+        assert!(model.coefficients()[idx] < 0.0);
+    }
+
+    #[test]
+    fn prediction_tracks_training_relationship() {
+        let model = RegressionBaseline::train(&driven_set(40), 1e-6).unwrap();
+        let mut rates = BTreeMap::new();
+        rates.insert(MetricId::new("harmful"), 10.0);
+        rates.insert(MetricId::new("noise"), 5.0);
+        let p = model.predict(&rates);
+        // True value: (1000 - 80)/100 = 9.2 IPC-ish units.
+        assert!((p - 9.2).abs() < 0.5, "predicted {p}");
+    }
+
+    #[test]
+    fn empty_set_is_an_error() {
+        assert!(matches!(
+            RegressionBaseline::train(&SampleSet::new(), 1.0),
+            Err(RegressionError::NoUsableRows)
+        ));
+    }
+
+    #[test]
+    fn invalid_lambda_is_an_error() {
+        assert!(matches!(
+            RegressionBaseline::train(&driven_set(10), -1.0),
+            Err(RegressionError::InvalidLambda(_))
+        ));
+        assert!(matches!(
+            RegressionBaseline::train(&driven_set(10), f64::NAN),
+            Err(RegressionError::InvalidLambda(_))
+        ));
+    }
+
+    #[test]
+    fn missing_rate_falls_back_to_training_mean() {
+        let model = RegressionBaseline::train(&driven_set(40), 1e-6).unwrap();
+        let empty = BTreeMap::new();
+        let p = model.predict(&empty);
+        // With all features at their mean, prediction equals the mean
+        // target (by least-squares geometry).
+        assert!(p.is_finite());
+        assert!(p > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = RegressionBaseline::train(&driven_set(10), 0.1).unwrap();
+        let back: RegressionBaseline =
+            serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+        assert_eq!(model, back);
+    }
+}

@@ -1,0 +1,236 @@
+//! The conventional roofline model (Williams et al., CACM 2009) with
+//! optional extra ceilings — the baseline SPIRE generalizes (paper
+//! Section II-A and Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a workload is limited by compute or by memory bandwidth under
+/// a classic roofline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RooflineBound {
+    /// Limited by peak throughput (`π`).
+    Compute,
+    /// Limited by memory bandwidth (`β · I`).
+    Memory,
+}
+
+impl std::fmt::Display for RooflineBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RooflineBound::Compute => f.write_str("compute-bound"),
+            RooflineBound::Memory => f.write_str("memory-bound"),
+        }
+    }
+}
+
+/// An additional ceiling below the main roof: either a lower compute
+/// throughput (e.g. scalar-only execution) or a lower bandwidth (e.g.
+/// DRAM instead of cache).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ceiling {
+    /// Human-readable label (e.g. `"scalar"` or `"DRAM"`).
+    pub label: String,
+    /// The ceiling's kind and magnitude.
+    pub kind: CeilingKind,
+}
+
+/// The kind of a [`Ceiling`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CeilingKind {
+    /// A horizontal compute ceiling at the given throughput.
+    Compute(f64),
+    /// A diagonal bandwidth ceiling with the given bytes-per-time slope.
+    Bandwidth(f64),
+}
+
+/// A classic roofline model: `P(I) = min(π, β·I)`, plus optional
+/// ceilings.
+///
+/// ```
+/// use spire_baselines::{ClassicRoofline, RooflineBound};
+///
+/// // 100 GFLOP/s peak, 10 GB/s bandwidth.
+/// let model = ClassicRoofline::new(100.0, 10.0).expect("valid parameters");
+/// assert_eq!(model.attainable(2.0), 20.0); // memory-bound region
+/// assert_eq!(model.attainable(50.0), 100.0); // compute-bound region
+/// assert_eq!(model.classify(2.0), RooflineBound::Memory);
+/// assert_eq!(model.ridge_point(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassicRoofline {
+    peak_throughput: f64,
+    peak_bandwidth: f64,
+    ceilings: Vec<Ceiling>,
+}
+
+impl ClassicRoofline {
+    /// Creates a roofline with peak throughput `π` and bandwidth `β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message if either parameter is not finite
+    /// and strictly positive.
+    pub fn new(peak_throughput: f64, peak_bandwidth: f64) -> Result<Self, String> {
+        if !peak_throughput.is_finite() || peak_throughput <= 0.0 {
+            return Err(format!(
+                "peak throughput must be finite and > 0, got {peak_throughput}"
+            ));
+        }
+        if !peak_bandwidth.is_finite() || peak_bandwidth <= 0.0 {
+            return Err(format!(
+                "peak bandwidth must be finite and > 0, got {peak_bandwidth}"
+            ));
+        }
+        Ok(ClassicRoofline {
+            peak_throughput,
+            peak_bandwidth,
+            ceilings: Vec::new(),
+        })
+    }
+
+    /// Adds an extra ceiling (builder style). Ceilings must lie at or
+    /// below the corresponding roof; violating ones are clamped.
+    pub fn with_ceiling(mut self, label: impl Into<String>, kind: CeilingKind) -> Self {
+        let kind = match kind {
+            CeilingKind::Compute(v) => CeilingKind::Compute(v.min(self.peak_throughput)),
+            CeilingKind::Bandwidth(v) => CeilingKind::Bandwidth(v.min(self.peak_bandwidth)),
+        };
+        self.ceilings.push(Ceiling {
+            label: label.into(),
+            kind,
+        });
+        self
+    }
+
+    /// Peak throughput `π`.
+    pub fn peak_throughput(&self) -> f64 {
+        self.peak_throughput
+    }
+
+    /// Peak bandwidth `β`.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.peak_bandwidth
+    }
+
+    /// The extra ceilings.
+    pub fn ceilings(&self) -> &[Ceiling] {
+        &self.ceilings
+    }
+
+    /// Maximum attainable performance at operational intensity `i`:
+    /// `min(π, β·i)`. Negative intensities attain nothing.
+    pub fn attainable(&self, i: f64) -> f64 {
+        if i <= 0.0 {
+            return 0.0;
+        }
+        self.peak_throughput.min(self.peak_bandwidth * i)
+    }
+
+    /// Attainable performance under a specific ceiling.
+    pub fn attainable_under(&self, ceiling: &Ceiling, i: f64) -> f64 {
+        if i <= 0.0 {
+            return 0.0;
+        }
+        match ceiling.kind {
+            CeilingKind::Compute(p) => p.min(self.peak_bandwidth * i),
+            CeilingKind::Bandwidth(b) => self.peak_throughput.min(b * i),
+        }
+    }
+
+    /// Classifies a workload at intensity `i` as compute- or
+    /// memory-bound. The ridge point itself counts as compute-bound.
+    pub fn classify(&self, i: f64) -> RooflineBound {
+        if self.peak_bandwidth * i < self.peak_throughput {
+            RooflineBound::Memory
+        } else {
+            RooflineBound::Compute
+        }
+    }
+
+    /// The ridge point `π / β`: the intensity where the memory and
+    /// compute roofs meet.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_throughput / self.peak_bandwidth
+    }
+
+    /// Efficiency of a measured point: achieved performance over
+    /// attainable performance at the same intensity, in `[0, 1]` for
+    /// feasible measurements.
+    pub fn efficiency(&self, i: f64, achieved: f64) -> f64 {
+        let roof = self.attainable(i);
+        if roof <= 0.0 {
+            0.0
+        } else {
+            achieved / roof
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ClassicRoofline {
+        ClassicRoofline::new(100.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let m = model();
+        assert_eq!(m.attainable(1.0), 10.0);
+        assert_eq!(m.attainable(10.0), 100.0);
+        assert_eq!(m.attainable(1000.0), 100.0);
+        assert_eq!(m.attainable(0.0), 0.0);
+        assert_eq!(m.attainable(-1.0), 0.0);
+    }
+
+    #[test]
+    fn classification_splits_at_ridge() {
+        let m = model();
+        assert_eq!(m.classify(9.99), RooflineBound::Memory);
+        assert_eq!(m.classify(10.0), RooflineBound::Compute);
+        assert_eq!(m.classify(50.0), RooflineBound::Compute);
+        assert_eq!(m.ridge_point(), 10.0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ClassicRoofline::new(0.0, 10.0).is_err());
+        assert!(ClassicRoofline::new(10.0, -1.0).is_err());
+        assert!(ClassicRoofline::new(f64::NAN, 1.0).is_err());
+        assert!(ClassicRoofline::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn ceilings_are_clamped_to_the_roof() {
+        let m = model()
+            .with_ceiling("scalar", CeilingKind::Compute(25.0))
+            .with_ceiling("too-high", CeilingKind::Compute(500.0))
+            .with_ceiling("DRAM", CeilingKind::Bandwidth(4.0));
+        assert_eq!(m.ceilings().len(), 3);
+        assert_eq!(m.ceilings()[1].kind, CeilingKind::Compute(100.0));
+        assert_eq!(m.attainable_under(&m.ceilings()[0], 100.0), 25.0);
+        assert_eq!(m.attainable_under(&m.ceilings()[2], 1.0), 4.0);
+    }
+
+    #[test]
+    fn efficiency_is_fractional() {
+        let m = model();
+        assert!((m.efficiency(1.0, 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.efficiency(-1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RooflineBound::Compute.to_string(), "compute-bound");
+        assert_eq!(RooflineBound::Memory.to_string(), "memory-bound");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = model().with_ceiling("scalar", CeilingKind::Compute(25.0));
+        let back: ClassicRoofline =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

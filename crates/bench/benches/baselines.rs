@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the baselines and the predictor substrate:
+//! ridge regression, SGBRT training, and branch-predictor throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spire_baselines::{Gbrt, GbrtConfig, RegressionBaseline};
+use spire_core::{Sample, SampleSet};
+use spire_sim::predictor::{BimodalPredictor, BranchPredictor, GsharePredictor};
+
+fn sample_corpus(metrics: usize, rows: usize) -> SampleSet {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut set = SampleSet::new();
+    for m in 0..metrics {
+        let name = format!("metric_{m}");
+        for _ in 0..rows {
+            let rate: f64 = rng.gen_range(0.001..10.0);
+            let t = 1000.0;
+            let w = rng.gen_range(500.0..4000.0);
+            set.push(Sample::new(name.as_str(), t, w, rate * t).unwrap());
+        }
+    }
+    set
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regression_baseline");
+    group.sample_size(10);
+    for metrics in [16usize, 64] {
+        let set = sample_corpus(metrics, 200);
+        group.bench_with_input(BenchmarkId::from_parameter(metrics), &set, |b, set| {
+            b.iter(|| RegressionBaseline::train(std::hint::black_box(set), 1.0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gbrt(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let x: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..16).map(|_| rng.gen_range(0.0..10.0)).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - r[3] + r[7]).collect();
+    let mut group = c.benchmark_group("gbrt_fit");
+    group.sample_size(10);
+    for rounds in [20usize, 100] {
+        let cfg = GbrtConfig {
+            rounds,
+            ..GbrtConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &cfg, |b, cfg| {
+            b.iter(|| Gbrt::fit(std::hint::black_box(&x), &y, cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(29);
+    let trace: Vec<(u64, bool)> = (0..10_000)
+        .map(|_| (0x1000 + rng.gen_range(0..256u64) * 4, rng.gen_bool(0.7)))
+        .collect();
+    let mut group = c.benchmark_group("branch_predictors");
+    group.bench_function("bimodal_12", |b| {
+        b.iter(|| {
+            let mut p = BimodalPredictor::new(12);
+            trace.iter().filter(|&&(pc, t)| p.mispredicts(pc, t)).count()
+        });
+    });
+    group.bench_function("gshare_12_8", |b| {
+        b.iter(|| {
+            let mut p = GsharePredictor::new(12, 8);
+            trace.iter().filter(|&&(pc, t)| p.mispredicts(pc, t)).count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_regression, bench_gbrt, bench_predictors);
+criterion_main!(benches);

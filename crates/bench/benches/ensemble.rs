@@ -1,0 +1,50 @@
+//! Criterion benchmarks for ensemble-level training and estimation:
+//! scaling with the number of metrics and samples per metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spire_core::{Sample, SampleSet, SpireModel, TrainConfig};
+
+fn corpus(metrics: usize, samples_per_metric: usize, seed: u64) -> SampleSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut set = SampleSet::new();
+    for m in 0..metrics {
+        let name = format!("metric_{m}");
+        for _ in 0..samples_per_metric {
+            let intensity: f64 = rng.gen_range(0.01..50.0);
+            let p = (intensity * 0.5).min(3.0) * rng.gen_range(0.3..1.0);
+            let t = rng.gen_range(0.5..2.0);
+            set.push(Sample::new(name.as_str(), t, p * t, p * t / intensity).unwrap());
+        }
+    }
+    set
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_train");
+    group.sample_size(10);
+    for (metrics, per) in [(16usize, 200usize), (64, 200), (64, 1_000)] {
+        let set = corpus(metrics, per, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{metrics}m_x_{per}s")),
+            &set,
+            |b, set| {
+                b.iter(|| SpireModel::train(std::hint::black_box(set), TrainConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let train = corpus(64, 500, 5);
+    let model = SpireModel::train(&train, TrainConfig::default()).unwrap();
+    let workload = corpus(64, 20, 9);
+    c.bench_function("ensemble_estimate_64m_20s", |b| {
+        b.iter(|| model.estimate(std::hint::black_box(&workload)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_train, bench_estimate);
+criterion_main!(benches);

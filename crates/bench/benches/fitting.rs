@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the roofline fitting algorithms: the
+//! Jarvis-march left fit, the Pareto front, and the shortest-path right
+//! fit, as a function of training-sample count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spire_core::geometry::{pareto_front, upper_hull_from_origin, Point};
+use spire_core::{FitOptions, PiecewiseRoofline, RightFitMode, Sample};
+
+/// Synthetic roofline-shaped samples: throughput rises then falls with
+/// intensity, plus noise — the shape a real metric produces.
+fn synthetic_samples(n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let intensity: f64 = rng.gen_range(0.01..100.0);
+            let roof = if intensity < 10.0 {
+                intensity * 0.4
+            } else {
+                4.0 * (10.0 / intensity).powf(0.3)
+            };
+            let p = roof * rng.gen_range(0.3..1.0);
+            let t = rng.gen_range(0.5..2.0);
+            Sample::new("bench", t, p * t, p * t / intensity).unwrap()
+        })
+        .collect()
+}
+
+fn points_of(samples: &[Sample]) -> Vec<Point> {
+    samples
+        .iter()
+        .map(|s| Point::new(s.intensity(), s.throughput()))
+        .collect()
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let pts = points_of(&synthetic_samples(n, 7));
+        group.bench_with_input(BenchmarkId::new("upper_hull", n), &pts, |b, pts| {
+            b.iter(|| upper_hull_from_origin(std::hint::black_box(pts)));
+        });
+        group.bench_with_input(BenchmarkId::new("pareto_front", n), &pts, |b, pts| {
+            b.iter(|| pareto_front(std::hint::black_box(pts)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_roofline_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roofline_fit");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let samples = synthetic_samples(n, 11);
+        group.bench_with_input(BenchmarkId::new("graph", n), &samples, |b, s| {
+            b.iter(|| {
+                PiecewiseRoofline::fit("bench".into(), s.iter(), &FitOptions::default())
+                    .unwrap()
+            });
+        });
+        let plateau = FitOptions {
+            right_fit: RightFitMode::Plateau,
+            ..FitOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("plateau", n), &samples, |b, s| {
+            b.iter(|| PiecewiseRoofline::fit("bench".into(), s.iter(), &plateau).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let samples = synthetic_samples(5_000, 13);
+    let roofline =
+        PiecewiseRoofline::fit("bench".into(), samples.iter(), &FitOptions::default()).unwrap();
+    c.bench_function("roofline_estimate", |b| {
+        let mut x = 0.01;
+        b.iter(|| {
+            x = if x > 90.0 { 0.01 } else { x * 1.07 };
+            std::hint::black_box(roofline.estimate(x))
+        });
+    });
+}
+
+criterion_group!(benches, bench_geometry, bench_roofline_fit, bench_estimate);
+criterion_main!(benches);

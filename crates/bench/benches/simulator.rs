@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the CPU-simulator substrate: core throughput
+//! (simulated cycles per wall second) on contrasting workloads, and the
+//! multiplexed sampling session.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spire_counters::{collect, SessionConfig};
+use spire_sim::{Core, CoreConfig, Event};
+use spire_workloads::suite;
+
+fn bench_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let cases = [
+        ("tnn", "SqueezeNet v1.1"),
+        ("onnx", "T5 Encoder, Std."),
+        ("parboil", "CUTCP"),
+    ];
+    for (name, config) in cases {
+        let profile = suite::by_name(name, config).expect("suite workload");
+        group.bench_with_input(
+            BenchmarkId::new("run_100k_cycles", name),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    let mut core = Core::new(CoreConfig::skylake_server());
+                    let mut stream = p.stream(1);
+                    core.run(&mut stream, 100_000)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let profile = suite::by_name("onnx", "T5 Encoder, Std.").expect("suite workload");
+    let mut group = c.benchmark_group("sampling_session");
+    group.sample_size(10);
+    group.bench_function("full_catalog_200k_cycles", |b| {
+        b.iter(|| {
+            let mut core = Core::new(CoreConfig::skylake_server());
+            let mut stream = profile.stream(1);
+            let cfg = SessionConfig {
+                interval_cycles: 50_000,
+                slice_cycles: 3_000,
+                pmu_slots: 4,
+                switch_overhead_cycles: 60,
+                max_cycles: 200_000,
+            };
+            collect(&mut core, &mut stream, Event::ALL, &cfg)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core, bench_sampling);
+criterion_main!(benches);

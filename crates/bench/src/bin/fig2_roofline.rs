@@ -1,0 +1,79 @@
+//! Reproduces **Fig. 2**: a conventional roofline model plot with two
+//! measured applications and extra ceilings for scalar execution and
+//! DRAM bandwidth. App A sits in the memory-bound region; App B is
+//! compute-bound.
+//!
+//! Emits an SVG to the output directory and prints the plotted series as
+//! CSV rows.
+
+use spire_baselines::{CeilingKind, ClassicRoofline};
+use spire_bench::config_from_args;
+use spire_plot::{Chart, Scale, SeriesKind};
+
+fn main() {
+    let (_cfg, outdir) = config_from_args();
+
+    // Peak: 128 ops/time at 16 bytes/time bandwidth; scalar and DRAM
+    // ceilings below, mirroring the paper's example structure.
+    let model = ClassicRoofline::new(128.0, 16.0)
+        .expect("valid parameters")
+        .with_ceiling("scalar execution", CeilingKind::Compute(16.0))
+        .with_ceiling("DRAM bandwidth", CeilingKind::Bandwidth(4.0));
+
+    // Two measured applications, as in the figure: A memory-bound, B
+    // compute-bound, both below their roofs.
+    let app_a = (1.0, 10.0);
+    let app_b = (32.0, 90.0);
+
+    let xs: Vec<f64> = (0..200)
+        .map(|i| 0.125 * (1024.0f64 / 0.125).powf(i as f64 / 199.0))
+        .collect();
+    let roof: Vec<(f64, f64)> = xs.iter().map(|&x| (x, model.attainable(x))).collect();
+    let scalar: Vec<(f64, f64)> = xs
+        .iter()
+        .map(|&x| (x, model.attainable_under(&model.ceilings()[0], x)))
+        .collect();
+    let dram: Vec<(f64, f64)> = xs
+        .iter()
+        .map(|&x| (x, model.attainable_under(&model.ceilings()[1], x)))
+        .collect();
+
+    let chart = Chart::new(
+        "Fig. 2 — roofline model with additional ceilings",
+        "operational intensity I (work/byte)",
+        "performance P (work/time)",
+    )
+    .with_x_scale(Scale::Log10)
+    .with_y_scale(Scale::Log10)
+    .with_series("roofline min(π, βI)", SeriesKind::Lines, roof.clone())
+    .with_series("scalar ceiling", SeriesKind::Lines, scalar.clone())
+    .with_series("DRAM ceiling", SeriesKind::Lines, dram.clone())
+    .with_series("App A (memory-bound)", SeriesKind::Points, vec![app_a])
+    .with_series("App B (compute-bound)", SeriesKind::Points, vec![app_b]);
+
+    let svg_path = outdir.join("fig2_roofline.svg");
+    std::fs::write(&svg_path, chart.to_svg(720, 480)).expect("write svg");
+
+    println!("Fig. 2 — classic roofline (series as CSV)\n");
+    println!("intensity,roof,scalar_ceiling,dram_ceiling");
+    for i in (0..xs.len()).step_by(20) {
+        println!(
+            "{:.4},{:.4},{:.4},{:.4}",
+            xs[i], roof[i].1, scalar[i].1, dram[i].1
+        );
+    }
+    println!("\nridge point: {:.3}", model.ridge_point());
+    println!(
+        "App A at I={}: attainable {:.1}, classified {}",
+        app_a.0,
+        model.attainable(app_a.0),
+        model.classify(app_a.0)
+    );
+    println!(
+        "App B at I={}: attainable {:.1}, classified {}",
+        app_b.0,
+        model.attainable(app_b.0),
+        model.classify(app_b.0)
+    );
+    println!("\nwrote {}", svg_path.display());
+}

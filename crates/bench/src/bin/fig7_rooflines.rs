@@ -1,0 +1,81 @@
+//! Reproduces **Fig. 7**: two learned rooflines from the trained SPIRE
+//! ensemble, plotted with their training samples —
+//!
+//! * `BP.1` (`br_misp_retired.all_branches`): the left-fit showcase,
+//!   where max IPC rises with instructions-per-misprediction (and the
+//!   right fit may kick in inaccurately at high intensities, the defect
+//!   the paper discusses);
+//! * `DB.2` (`idq.dsb_uops`): the right-fit showcase, where the IPC
+//!   upper bound falls as fewer µops come from the DSB.
+//!
+//! Emits three SVGs (log/log for both, plus the linear zoom of DB.2) and
+//! prints the fitted knots.
+
+use spire_bench::{config_from_args, dataset_of, run_suite, train_model};
+use spire_core::{MetricId, TrainConfig};
+use spire_plot::roofline_chart;
+use spire_workloads::suite;
+
+fn main() {
+    let (cfg, outdir) = config_from_args();
+
+    eprintln!("collecting training corpus (23 workloads)...");
+    let runs = run_suite(&suite::training(), &cfg);
+    let dataset = dataset_of(&runs);
+    let model = train_model(&dataset, TrainConfig::default());
+    let merged = dataset.merged();
+
+    println!("Fig. 7 — learned roofline functions\n");
+    for (panel, metric_name, log_axes, file) in [
+        ("left", "br_misp_retired.all_branches", true, "fig7_bp1.svg"),
+        ("middle", "idq.dsb_uops", true, "fig7_db2.svg"),
+        ("right (linear zoom)", "idq.dsb_uops", false, "fig7_db2_linear.svg"),
+    ] {
+        let metric = MetricId::new(metric_name);
+        let roofline = model.roofline(&metric).expect("metric is in the catalog");
+        let samples = merged.samples_for(&metric);
+        let chart = roofline_chart(roofline, samples.iter().copied(), log_axes);
+        let path = outdir.join(file);
+        std::fs::write(&path, chart.to_svg(720, 480)).expect("write svg");
+
+        println!("[{panel}] {metric_name} ({} training samples)", samples.len());
+        println!("  left knots (origin -> apex):");
+        for k in roofline.left_knots() {
+            println!("    ({:.4}, {:.4})", k.x, k.y);
+        }
+        if let Some(region) = roofline.right_region() {
+            println!("  right knots (apex plateau {:.4}):", region.plateau());
+            for k in region.knots() {
+                println!("    ({:.4}, {:.4})", k.x, k.y);
+            }
+            println!("  tail (I -> inf): {:.4}", region.tail());
+        }
+        println!("  wrote {}\n", path.display());
+    }
+
+    // The qualitative claims of the figure, checked numerically.
+    let bp1 = model
+        .roofline(&MetricId::new("br_misp_retired.all_branches"))
+        .unwrap();
+    if let Some(apex) = bp1.apex() {
+        let low = bp1.estimate(apex.x * 0.01);
+        let high = bp1.estimate(apex.x * 0.8);
+        println!(
+            "BP.1 estimation rises with instructions-per-misprediction: {:.3} -> {:.3} ({})",
+            low,
+            high,
+            if high >= low { "yes" } else { "NO" }
+        );
+    }
+    let db2 = model.roofline(&MetricId::new("idq.dsb_uops")).unwrap();
+    if let Some(apex) = db2.apex() {
+        let at_apex = db2.estimate(apex.x);
+        let beyond = db2.estimate(apex.x * 8.0);
+        println!(
+            "DB.2 upper bound falls as DSB coverage thins (I beyond apex): {:.3} -> {:.3} ({})",
+            at_apex,
+            beyond,
+            if beyond <= at_apex { "yes" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Extension experiment: sampling representation (paper Section III-A).
+//!
+//! "While analyzing a workload with a trained model, the goal is to
+//! collect samples that accurately characterize it. If parts of the
+//! workload's execution are over- or under-represented, for example, its
+//! analysis may be inaccurate."
+//!
+//! We build a two-phase workload (a long memory-bound kernel behind a
+//! short branchy prologue) and analyze three sample views of it: the
+//! full execution, only the prologue (under-representing the kernel),
+//! and only the kernel. The full-run analysis must agree with the
+//! kernel (which dominates execution time), while the prologue-only
+//! view flips the verdict — exactly the failure mode the paper warns
+//! about.
+
+use spire_bench::{config_from_args, dataset_of, run_suite, train_model};
+use spire_core::catalog::{MetricCatalog, UarchArea};
+use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_counters::collect;
+use spire_sim::{Core, Event};
+use spire_workloads::{suite, Phase, PhasedWorkload, WorkloadProfile};
+
+fn prologue() -> WorkloadProfile {
+    suite::by_name("scikit-learn", "Sparsify").expect("suite workload")
+}
+
+fn kernel() -> WorkloadProfile {
+    suite::by_name("onnx", "T5 Encoder, Std.").expect("suite workload")
+}
+
+fn analyze_samples(
+    model: &SpireModel,
+    samples: &spire_core::SampleSet,
+    label: &str,
+) -> BottleneckReport {
+    let estimate = model.estimate(samples).expect("shared events");
+    let report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
+    let dominant = report
+        .dominant_area(10)
+        .map_or("-".to_owned(), |a| a.to_string());
+    println!(
+        "{label:<28} est {:>6.3} | dominant area: {dominant:<16} | top: {}",
+        report.throughput(),
+        report
+            .top(3)
+            .iter()
+            .map(|r| r.abbr.clone().unwrap_or_else(|| r.metric.to_string()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    report
+}
+
+fn main() {
+    let (cfg, _outdir) = config_from_args();
+
+    eprintln!("training SPIRE on the standard corpus...");
+    let train_runs = run_suite(&suite::training(), &cfg);
+    let model = train_model(&dataset_of(&train_runs), TrainConfig::default());
+
+    // Prologue ~8% of instructions, kernel the rest.
+    let total = 600_000u64;
+    let phased = PhasedWorkload::new(vec![
+        Phase {
+            profile: prologue(),
+            instructions: total / 12,
+        },
+        Phase {
+            profile: kernel(),
+            instructions: total - total / 12,
+        },
+    ])
+    .expect("valid phases");
+
+    println!("Phase-representation experiment (paper Sec. III-A caveat)\n");
+
+    // Full execution, sampled end to end.
+    let mut core = Core::new(cfg.core);
+    let mut stream = phased.stream(cfg.seed);
+    let full = collect(&mut core, &mut stream, Event::ALL, &cfg.session);
+    let full_report = analyze_samples(&model, &full.samples, "full execution");
+
+    // Prologue only (analyst stopped sampling too early).
+    let mut core = Core::new(cfg.core);
+    let mut stream = prologue().stream(cfg.seed).take((total / 12) as usize);
+    let early = collect(&mut core, &mut stream, Event::ALL, &cfg.session);
+    let early_report = analyze_samples(&model, &early.samples, "prologue only (biased)");
+
+    // Kernel only (the behaviour that dominates wall time).
+    let mut core = Core::new(cfg.core);
+    let mut stream = kernel().stream(cfg.seed + 1);
+    let kernel_samples = collect(&mut core, &mut stream, Event::ALL, &cfg.session);
+    let kernel_report = analyze_samples(&model, &kernel_samples.samples, "kernel only");
+
+    println!();
+    // The memory-bound kernel dominates execution: the full-run and
+    // kernel-only analyses must both surface Memory; the biased
+    // prologue-only view must not have it as its primary suspicion.
+    let full_sees_memory =
+        full_report.area_in_top(UarchArea::Memory, 10) && kernel_report.area_in_top(UarchArea::Memory, 10);
+    println!("full-run analysis surfaces the kernel's memory bottleneck: {full_sees_memory}");
+    println!(
+        "prologue-only analysis misleads (primary area differs): {}",
+        early_report.dominant_area(10) != full_report.dominant_area(10)
+    );
+    let (overlap, tau) = full_report.compare(&early_report, 10);
+    println!("full vs prologue-only ranking: overlap@10 {overlap:.2}, kendall tau {tau:.2}");
+}

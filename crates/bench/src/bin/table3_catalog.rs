@@ -1,0 +1,17 @@
+//! Reproduces **Table III**: performance-metric abbreviations and names,
+//! organized by microarchitecture area.
+
+use spire_core::catalog::{MetricCatalog, UarchArea};
+
+fn main() {
+    let catalog = MetricCatalog::table_iii();
+    println!("Table III — performance metric abbreviations and names\n");
+    for area in UarchArea::ALL {
+        println!("[{area}]");
+        for info in catalog.in_area(area) {
+            println!("  {:<6} {}", info.abbr, info.event);
+        }
+        println!();
+    }
+    println!("{} metrics total", catalog.len());
+}

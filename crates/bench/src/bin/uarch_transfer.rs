@@ -1,0 +1,83 @@
+//! Extension experiment: cross-microarchitecture transfer.
+//!
+//! The paper's generality claim is that SPIRE ports to any processor by
+//! *retraining on its counters* — not that a trained model transfers
+//! between machines. This experiment quantifies both directions on two
+//! simulated cores (the Skylake-class default and a narrow "little"
+//! core): a model trained on the right core locates the bottlenecks,
+//! while the transferred model mis-estimates throughput, since its
+//! rooflines encode the other machine's limits.
+
+use spire_bench::{config_from_args, dataset_of, run_suite, train_model, ExperimentConfig};
+use spire_core::catalog::MetricCatalog;
+use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_sim::CoreConfig;
+use spire_workloads::suite;
+
+fn little_core() -> CoreConfig {
+    let mut c = CoreConfig::skylake_server();
+    c.backend.issue_width = 2;
+    c.backend.retire_width = 2;
+    c.backend.rob_size = 64;
+    c.backend.rs_size = 32;
+    c.frontend.dsb_width = 3;
+    c.frontend.mite_width = 1;
+    c.memory.dram_latency = 320;
+    c.memory.mshrs = 4;
+    c
+}
+
+fn evaluate(model: &SpireModel, runs: &[spire_bench::WorkloadRun], label: &str) {
+    let catalog = MetricCatalog::table_iii();
+    let mut hits = 0usize;
+    let mut err = 0.0;
+    for run in runs {
+        let estimate = model.estimate(&run.session.samples).expect("shared events");
+        let report = BottleneckReport::new(&estimate, &catalog);
+        if report.area_in_top(run.profile.expected_bottleneck, 10) {
+            hits += 1;
+        }
+        err += ((report.throughput() - run.ipc) / run.ipc).abs();
+    }
+    println!(
+        "{label:<42} {hits}/4 hits, mean |rel err| {:.3}",
+        err / runs.len() as f64
+    );
+}
+
+fn main() {
+    let (big_cfg, _outdir) = config_from_args();
+    let little_cfg = ExperimentConfig {
+        core: little_core(),
+        ..big_cfg.clone()
+    };
+
+    eprintln!("collecting corpora on both cores...");
+    let big_train = run_suite(&suite::training(), &big_cfg);
+    let little_train = run_suite(&suite::training(), &little_cfg);
+    let big_tests = run_suite(&suite::testing(), &big_cfg);
+    let little_tests = run_suite(&suite::testing(), &little_cfg);
+
+    let big_model = train_model(&dataset_of(&big_train), TrainConfig::default());
+    let little_model = train_model(&dataset_of(&little_train), TrainConfig::default());
+
+    println!("Cross-microarchitecture transfer (4 test workloads each)\n");
+    evaluate(&big_model, &big_tests, "big model -> big core (native)");
+    evaluate(&little_model, &little_tests, "little model -> little core (native)");
+    evaluate(&big_model, &little_tests, "big model -> little core (transferred)");
+    evaluate(&little_model, &big_tests, "little model -> big core (transferred)");
+
+    // The machine limit is visible in the models themselves: the little
+    // core's rooflines top out near its 2-wide pipeline.
+    let ceiling = |m: &SpireModel| {
+        m.rooflines()
+            .values()
+            .filter_map(|r| r.apex().map(|a| a.y))
+            .fold(0.0f64, f64::max)
+    };
+    println!(
+        "\nmax learned IPC ceiling: big {:.2} vs little {:.2} (pipeline widths 4 vs 2)",
+        ceiling(&big_model),
+        ceiling(&little_model)
+    );
+}

@@ -1,0 +1,241 @@
+//! # spire-bench
+//!
+//! The experiment harness for the SPIRE reproduction: shared machinery
+//! for collecting the evaluation corpus, training models, and scoring
+//! agreement between SPIRE and TMA. The `src/bin/` binaries regenerate
+//! every table and figure of the paper (see DESIGN.md for the index), and
+//! the `benches/` directory holds Criterion micro-benchmarks of the
+//! algorithms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use spire_core::catalog::{MetricCatalog, UarchArea};
+use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_counters::{collect, Dataset, SessionConfig, SessionReport};
+use spire_sim::{Core, CoreConfig, Event};
+use spire_tma::{analyze, TmaBreakdown};
+use spire_workloads::WorkloadProfile;
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Core configuration for all runs.
+    pub core: CoreConfig,
+    /// Workload stream seed.
+    pub seed: u64,
+    /// Sampling-session configuration.
+    pub session: SessionConfig,
+    /// Events to sample (defaults to the full catalog).
+    pub events: Vec<Event>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            core: CoreConfig::skylake_server(),
+            seed: 20250331,
+            session: SessionConfig {
+                interval_cycles: 150_000,
+                slice_cycles: 9_000,
+                pmu_slots: 4,
+                // 150 cycles of PMU reprogramming per 9k-cycle slice
+                // reproduces the paper's ~1.6% average sampling overhead.
+                switch_overhead_cycles: 150,
+                max_cycles: 3_000_000,
+            },
+            events: Event::ALL.to_vec(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A much smaller configuration for tests and quick runs.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            session: SessionConfig {
+                interval_cycles: 40_000,
+                slice_cycles: 2_500,
+                pmu_slots: 4,
+                switch_overhead_cycles: 40,
+                max_cycles: 400_000,
+            },
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// The outcome of running one workload: its samples, sampling report,
+/// and the TMA ground truth measured on an *unsampled* run of the same
+/// stream (so the TMA numbers are not perturbed by multiplexing).
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// The workload that ran.
+    pub profile: WorkloadProfile,
+    /// Dataset label (`"name (config)"`).
+    pub label: String,
+    /// The sampling-session report (samples + overhead stats).
+    pub session: SessionReport,
+    /// TMA breakdown of the dedicated measurement run.
+    pub tma: TmaBreakdown,
+    /// IPC of the dedicated measurement run.
+    pub ipc: f64,
+}
+
+/// Label used for a profile in datasets and reports.
+pub fn workload_label(p: &WorkloadProfile) -> String {
+    format!("{} ({})", p.name, p.config)
+}
+
+/// Runs one workload: a full sampling session plus a dedicated TMA run.
+pub fn run_workload(profile: &WorkloadProfile, cfg: &ExperimentConfig) -> WorkloadRun {
+    // Sampling session.
+    let mut core = Core::new(cfg.core);
+    let mut stream = profile.stream(cfg.seed);
+    let session = collect(&mut core, &mut stream, &cfg.events, &cfg.session);
+
+    // Dedicated TMA measurement (same stream parameters, fresh core).
+    let mut core = Core::new(cfg.core);
+    let mut stream = profile.stream(cfg.seed);
+    let summary = core.run(&mut stream, cfg.session.max_cycles);
+    let tma = analyze(core.counters(), &cfg.core);
+
+    WorkloadRun {
+        label: workload_label(profile),
+        profile: profile.clone(),
+        session,
+        tma,
+        ipc: summary.ipc(),
+    }
+}
+
+/// Runs many workloads in parallel (one OS thread per workload, batched
+/// to the available parallelism) and returns the runs in input order.
+pub fn run_suite(profiles: &[WorkloadProfile], cfg: &ExperimentConfig) -> Vec<WorkloadRun> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut results: Vec<Option<WorkloadRun>> = (0..profiles.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (chunk_profiles, chunk_results) in profiles
+            .chunks(threads.max(1))
+            .zip(results.chunks_mut(threads.max(1)))
+        {
+            let handles: Vec<_> = chunk_profiles
+                .iter()
+                .map(|p| scope.spawn(move |_| run_workload(p, cfg)))
+                .collect();
+            for (slot, handle) in chunk_results.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("workload thread panicked"));
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Collects the runs' samples into a labeled dataset.
+pub fn dataset_of(runs: &[WorkloadRun]) -> Dataset {
+    runs.iter()
+        .map(|r| (r.label.clone(), r.session.samples.clone()))
+        .collect()
+}
+
+/// Trains a SPIRE model from a dataset with the given config.
+///
+/// # Panics
+///
+/// Panics if training fails (experiment corpora are never empty).
+pub fn train_model(dataset: &Dataset, config: TrainConfig) -> SpireModel {
+    SpireModel::train(&dataset.merged(), config).expect("experiment corpus trains")
+}
+
+/// Builds the annotated bottleneck report for one workload run under a
+/// trained model.
+///
+/// # Panics
+///
+/// Panics if the workload shares no metrics with the model (impossible
+/// when both came from the same event catalog).
+pub fn report_for(model: &SpireModel, run: &WorkloadRun) -> BottleneckReport {
+    let estimate = model
+        .estimate(&run.session.samples)
+        .expect("shared event catalog");
+    BottleneckReport::new(&estimate, &MetricCatalog::table_iii())
+}
+
+/// Agreement check used in EXPERIMENTS.md: does the TMA dominant
+/// bottleneck area appear among the top `k` SPIRE metrics' areas?
+pub fn spire_agrees_with_tma(report: &BottleneckReport, tma: &TmaBreakdown, k: usize) -> bool {
+    report.area_in_top(tma.dominant_bottleneck(), k)
+}
+
+/// Agreement against the workload's *intended* bottleneck.
+pub fn spire_finds_expected(report: &BottleneckReport, expected: UarchArea, k: usize) -> bool {
+    report.area_in_top(expected, k)
+}
+
+/// Parses the shared experiment flags used by every `src/bin/` binary:
+/// `--quick` selects [`ExperimentConfig::quick`], `--seed N` overrides the
+/// stream seed. Returns the config plus the output directory from
+/// `--outdir DIR` (default `target/experiments`).
+pub fn config_from_args() -> (ExperimentConfig, std::path::PathBuf) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        if let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            cfg.seed = seed;
+        }
+    }
+    let outdir = args
+        .iter()
+        .position(|a| a == "--outdir")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| std::path::PathBuf::from("target/experiments"), Into::into);
+    std::fs::create_dir_all(&outdir).ok();
+    (cfg, outdir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_workloads::suite;
+
+    #[test]
+    fn run_workload_produces_samples_and_tma() {
+        let cfg = ExperimentConfig::quick();
+        let p = suite::by_name("onnx", "T5 Encoder, Std.").unwrap();
+        let run = run_workload(&p, &cfg);
+        assert!(!run.session.samples.is_empty());
+        assert!(run.ipc > 0.0);
+        assert_eq!(run.tma.dominant_bottleneck(), UarchArea::Memory);
+        assert_eq!(run.label, "onnx (T5 Encoder, Std.)");
+    }
+
+    #[test]
+    fn run_suite_preserves_order_and_parallel_matches_serial() {
+        let cfg = ExperimentConfig::quick();
+        let profiles = suite::testing();
+        let runs = run_suite(&profiles, &cfg);
+        assert_eq!(runs.len(), 4);
+        for (r, p) in runs.iter().zip(&profiles) {
+            assert_eq!(r.label, workload_label(p));
+        }
+        // Determinism: the same workload run twice yields identical samples.
+        let again = run_workload(&profiles[0], &cfg);
+        assert_eq!(again.session.samples, runs[0].session.samples);
+    }
+
+    #[test]
+    fn train_and_report_end_to_end() {
+        let cfg = ExperimentConfig::quick();
+        let runs = run_suite(&suite::testing(), &cfg);
+        let dataset = dataset_of(&runs);
+        let model = train_model(&dataset, TrainConfig::default());
+        assert!(model.metric_count() > 30);
+        let report = report_for(&model, &runs[0]);
+        assert!(!report.rows().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Tiny hand-rolled argument parsing: `--key value` flags plus
+//! positional arguments, no external dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments: positionals plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--flag` appeared with no following value.
+    MissingValue(String),
+    /// A required option was absent.
+    MissingOption(&'static str),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: String,
+        /// The unparsable value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "option --{flag} requires a value"),
+            ArgsError::MissingOption(name) => write!(f, "required option --{name} is missing"),
+            ArgsError::BadValue { option, value } => {
+                write!(f, "option --{option} has unparsable value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingValue`] if a `--flag` has no value.
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError::MissingValue(key.to_owned()))?;
+                out.options.insert(key.to_owned(), value);
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingOption`] when absent.
+    pub fn require(&self, key: &'static str) -> Result<&str, ArgsError> {
+        self.get(key).ok_or(ArgsError::MissingOption(key))
+    }
+
+    /// An optional parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                option: key.to_owned(),
+                value: v.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_and_options() {
+        let a = Args::parse(["cmd", "--x", "1", "pos2", "--y", "two"]).unwrap();
+        assert_eq!(a.positionals(), ["cmd", "pos2"]);
+        assert_eq!(a.get("x"), Some("1"));
+        assert_eq!(a.get("y"), Some("two"));
+        assert_eq!(a.get("z"), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(matches!(
+            Args::parse(["--flag"]),
+            Err(ArgsError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn require_and_get_or() {
+        let a = Args::parse(["--n", "5"]).unwrap();
+        assert_eq!(a.require("n").unwrap(), "5");
+        assert!(matches!(a.require("m"), Err(ArgsError::MissingOption("m"))));
+        assert_eq!(a.get_or("n", 1u64).unwrap(), 5);
+        assert_eq!(a.get_or("m", 7u64).unwrap(), 7);
+        let bad = Args::parse(["--n", "xyz"]).unwrap();
+        assert!(matches!(bad.get_or::<u64>("n", 0), Err(ArgsError::BadValue { .. })));
+    }
+}

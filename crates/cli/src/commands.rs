@@ -1,0 +1,522 @@
+//! Implementation of the `spire` subcommands. Each command returns its
+//! output as a `String` so the logic is testable without capturing
+//! stdout.
+
+use std::error::Error;
+use std::fmt::Write as _;
+
+use spire_core::catalog::MetricCatalog;
+use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_counters::{collect, Dataset, SessionConfig};
+use spire_sim::{Core, CoreConfig, Event};
+use spire_tma::analyze;
+use spire_workloads::{suite, WorkloadProfile};
+
+use crate::args::Args;
+
+/// Convenience alias for command results.
+pub type CmdResult = Result<String, Box<dyn Error + Send + Sync>>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+spire — SPIRE performance-model toolkit (DATE 2025 reproduction)
+
+USAGE: spire <command> [options]
+
+COMMANDS:
+  list-workloads                      list the 27-workload evaluation suite
+  simulate  --workload N --config C   run one workload, print a TMA summary
+            [--cycles X] [--seed S]
+  collect   --out FILE [--cycles X]   sample the full suite into a dataset
+            [--set train|test|all] [--seed S] [--interval X] [--slice X]
+  train     --data FILE --out FILE    train a SPIRE model from a dataset
+            [--min-samples N]
+  analyze   --model FILE --data FILE  rank bottleneck metrics for a workload
+            --workload LABEL [--top K]
+  tma       --workload N --config C   full TMA breakdown for one workload
+            [--cycles X] [--seed S]
+  import-perf --csv FILE --out FILE   convert `perf stat -I -x,` output
+                                      into a SPIRE dataset (label: --label)
+  plot      --model FILE --data FILE  render a metric's learned roofline
+            --metric EVENT --out SVG  with its samples (add --linear for
+            [--workload LABEL]        a linear-scale zoom)
+  coverage  --data FILE               sampling-coverage diagnostics for a
+            --workload LABEL [--n K]  collected workload
+";
+
+/// Dispatches a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns any command error; unknown commands produce the usage text as
+/// an error message.
+pub fn run(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned())?;
+    let Some(command) = args.positionals().first().map(String::as_str) else {
+        return Ok(USAGE.to_owned());
+    };
+    match command {
+        "list-workloads" => list_workloads(),
+        "simulate" => simulate(&args),
+        "collect" => collect_cmd(&args),
+        "train" => train(&args),
+        "analyze" => analyze_cmd(&args),
+        "tma" => tma_cmd(&args),
+        "import-perf" => import_perf(&args),
+        "plot" => plot_cmd(&args),
+        "coverage" => coverage_cmd(&args),
+        "help" | "--help" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+    }
+}
+
+fn find_workload(args: &Args) -> Result<WorkloadProfile, Box<dyn Error + Send + Sync>> {
+    let name = args.require("workload")?;
+    let config = args.get("config").unwrap_or("");
+    suite::by_name(name, config)
+        .ok_or_else(|| format!("no workload named `{name}` with config `{config}`").into())
+}
+
+fn list_workloads() -> CmdResult {
+    let mut out = String::new();
+    writeln!(out, "{:<18} {:<22} {:<16} set", "name", "config", "bottleneck")?;
+    for p in suite::training() {
+        writeln!(
+            out,
+            "{:<18} {:<22} {:<16} train",
+            p.name, p.config, p.expected_bottleneck
+        )?;
+    }
+    for p in suite::testing() {
+        writeln!(
+            out,
+            "{:<18} {:<22} {:<16} test",
+            p.name, p.config, p.expected_bottleneck
+        )?;
+    }
+    Ok(out)
+}
+
+fn simulate(args: &Args) -> CmdResult {
+    let profile = find_workload(args)?;
+    let cycles: u64 = args.get_or("cycles", 400_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let cfg = CoreConfig::skylake_server();
+    let mut core = Core::new(cfg);
+    let mut stream = profile.stream(seed);
+    let summary = core.run(&mut stream, cycles);
+    let tma = analyze(core.counters(), &cfg);
+    Ok(format!(
+        "{} ({})\n  instructions: {}\n  cycles: {}\n  ipc: {:.3}\n  tma: {}\n  main: {}\n",
+        profile.name,
+        profile.config,
+        summary.instructions,
+        summary.cycles,
+        summary.ipc(),
+        tma.summary(),
+        tma.main_category()
+    ))
+}
+
+fn collect_cmd(args: &Args) -> CmdResult {
+    let out_path = args.require("out")?;
+    let which = args.get("set").unwrap_or("train");
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut session_cfg = SessionConfig::default();
+    session_cfg.max_cycles = args.get_or("cycles", 2_000_000)?;
+    session_cfg.interval_cycles = args.get_or("interval", session_cfg.interval_cycles)?;
+    session_cfg.slice_cycles = args.get_or("slice", session_cfg.slice_cycles)?;
+
+    let profiles = match which {
+        "train" => suite::training(),
+        "test" => suite::testing(),
+        "all" => suite::all(),
+        other => return Err(format!("--set must be train|test|all, got `{other}`").into()),
+    };
+
+    let mut dataset = Dataset::new();
+    let mut log = String::new();
+    for p in &profiles {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = p.stream(seed);
+        let report = collect(&mut core, &mut stream, Event::ALL, &session_cfg);
+        writeln!(
+            log,
+            "{} ({}): {} samples over {} intervals, overhead {:.2}%",
+            p.name,
+            p.config,
+            report.samples.len(),
+            report.intervals,
+            report.overhead_fraction() * 100.0
+        )?;
+        dataset.insert(format!("{} ({})", p.name, p.config), report.samples);
+    }
+    dataset.save(out_path)?;
+    writeln!(
+        log,
+        "wrote {} samples across {} workloads to {out_path}",
+        dataset.total_samples(),
+        dataset.len()
+    )?;
+    Ok(log)
+}
+
+fn train(args: &Args) -> CmdResult {
+    let data_path = args.require("data")?;
+    let out_path = args.require("out")?;
+    let dataset = Dataset::load(data_path)?;
+    let config = TrainConfig {
+        min_samples_per_metric: args.get_or("min-samples", 1)?,
+        ..TrainConfig::default()
+    };
+    let model = SpireModel::train(&dataset.merged(), config)?;
+    let json = serde_json::to_string(&model)?;
+    std::fs::write(out_path, &json)?;
+    Ok(format!(
+        "trained {} metric rooflines from {} samples; wrote {out_path}\n",
+        model.metric_count(),
+        dataset.total_samples()
+    ))
+}
+
+fn analyze_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let data_path = args.require("data")?;
+    let label = args.require("workload")?;
+    let top: usize = args.get_or("top", 10)?;
+    let model: SpireModel = serde_json::from_str(&std::fs::read_to_string(model_path)?)?;
+    let dataset = Dataset::load(data_path)?;
+    let samples = dataset
+        .get(label)
+        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
+    let estimate = model.estimate(samples)?;
+    let report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
+    let mut out = format!(
+        "workload: {label}\nensemble throughput estimate: {:.4}\n\n",
+        report.throughput()
+    );
+    out.push_str(&report.to_table(top));
+    Ok(out)
+}
+
+fn tma_cmd(args: &Args) -> CmdResult {
+    let profile = find_workload(args)?;
+    let cycles: u64 = args.get_or("cycles", 400_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let cfg = CoreConfig::skylake_server();
+    let mut core = Core::new(cfg);
+    let mut stream = profile.stream(seed);
+    core.run(&mut stream, cycles);
+    let t = analyze(core.counters(), &cfg);
+    let mut out = String::new();
+    writeln!(out, "{} ({})", profile.name, profile.config)?;
+    out.push_str(&t.to_tree());
+    writeln!(out, "main bottleneck: {}", t.dominant_bottleneck())?;
+    Ok(out)
+}
+
+fn coverage_cmd(args: &Args) -> CmdResult {
+    let data_path = args.require("data")?;
+    let label = args.require("workload")?;
+    let n: usize = args.get_or("n", 15)?;
+    let dataset = Dataset::load(data_path)?;
+    let samples = dataset
+        .get(label)
+        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
+    // Without a session record, measure fractions against the longest
+    // per-metric observation window.
+    let session_time = samples
+        .by_metric()
+        .values()
+        .map(|g| g.iter().map(|s| s.time()).sum::<f64>())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let report = spire_counters::CoverageReport::new(samples, session_time);
+    let (lo, hi) = report.fraction_range();
+    let mut out = format!(
+        "workload: {label}
+metrics: {} | coverage fraction range: {:.2}%..{:.2}%
+
+",
+        report.per_metric().len(),
+        lo * 100.0,
+        hi * 100.0
+    );
+    out.push_str(&report.to_table(n));
+    let suspects = report.phase_suspects(0.3);
+    if !suspects.is_empty() {
+        out.push_str(&format!(
+            "
+{} metrics show strong throughput variation (cv > 0.3): possible phase behaviour
+",
+            suspects.len()
+        ));
+    }
+    Ok(out)
+}
+
+fn plot_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let data_path = args.require("data")?;
+    let metric_name = args.require("metric")?;
+    let out_path = args.require("out")?;
+    let log_axes = args.get("linear").is_none();
+
+    let model: SpireModel = serde_json::from_str(&std::fs::read_to_string(model_path)?)?;
+    let dataset = Dataset::load(data_path)?;
+    let metric = spire_core::MetricId::new(metric_name);
+    let roofline = model
+        .roofline(&metric)
+        .ok_or_else(|| format!("model has no roofline for `{metric_name}`"))?;
+
+    // Plot against one workload's samples, or the whole dataset.
+    let samples: Vec<&spire_core::Sample> = match args.get("workload") {
+        Some(label) => dataset
+            .get(label)
+            .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?
+            .samples_for(&metric),
+        None => {
+            let mut v = Vec::new();
+            for (_, set) in dataset.iter() {
+                v.extend(set.samples_for(&metric));
+            }
+            v
+        }
+    };
+    let chart = spire_plot::roofline_chart(roofline, samples.iter().copied(), log_axes);
+    std::fs::write(out_path, chart.to_svg(720, 480))?;
+    Ok(format!(
+        "plotted `{metric_name}` ({} samples) to {out_path}
+",
+        samples.len()
+    ))
+}
+
+fn import_perf(args: &Args) -> CmdResult {
+    let csv_path = args.require("csv")?;
+    let out_path = args.require("out")?;
+    let label = args.get("label").unwrap_or("imported");
+    let text = std::fs::read_to_string(csv_path)?;
+    let samples = spire_counters::perf::import_perf_stat(&text)?;
+    let n = samples.len();
+    let mut dataset = Dataset::new();
+    dataset.insert(label, samples);
+    dataset.save(out_path)?;
+    Ok(format!("imported {n} samples as `{label}` into {out_path}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(argv: &[&str]) -> CmdResult {
+        let v: Vec<String> = argv.iter().map(|s| (*s).to_owned()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let out = run_str(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run_str(&["bogus"]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn list_workloads_has_27_rows() {
+        let out = run_str(&["list-workloads"]).unwrap();
+        // header + 27 entries
+        assert_eq!(out.lines().count(), 28);
+        assert!(out.contains("tnn"));
+        assert!(out.contains("CUTCP"));
+    }
+
+    #[test]
+    fn simulate_reports_ipc_and_tma() {
+        let out = run_str(&[
+            "simulate",
+            "--workload",
+            "tnn",
+            "--config",
+            "SqueezeNet v1.1",
+            "--cycles",
+            "50000",
+        ])
+        .unwrap();
+        assert!(out.contains("ipc:"));
+        assert!(out.contains("retiring"));
+    }
+
+    #[test]
+    fn simulate_unknown_workload_errors() {
+        let err = run_str(&["simulate", "--workload", "nope"]).unwrap_err();
+        assert!(err.to_string().contains("no workload"));
+    }
+
+    #[test]
+    fn tma_command_prints_the_tree() {
+        let out = run_str(&[
+            "tma",
+            "--workload",
+            "onnx",
+            "--config",
+            "T5 Encoder, Std.",
+            "--cycles",
+            "50000",
+        ])
+        .unwrap();
+        assert!(out.contains("Memory Bound"));
+        assert!(out.contains("Core Bound"));
+        assert!(out.contains("main bottleneck: Memory"));
+    }
+
+    #[test]
+    fn end_to_end_collect_train_analyze() {
+        let dir = std::env::temp_dir().join("spire-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json");
+        let model = dir.join("model.json");
+
+        // Tiny collection run over the test set to stay fast.
+        let out = run_str(&[
+            "collect",
+            "--out",
+            data.to_str().unwrap(),
+            "--set",
+            "test",
+            "--cycles",
+            "60000",
+            "--interval",
+            "20000",
+            "--slice",
+            "1000",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let out = run_str(&["train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap()])
+            .unwrap();
+        assert!(out.contains("trained"));
+
+        let out = run_str(&[
+            "analyze",
+            "--model",
+            model.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--workload",
+            "tnn (SqueezeNet v1.1)",
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("ensemble throughput estimate"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plot_writes_an_svg() {
+        let dir = std::env::temp_dir().join("spire-cli-plot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json");
+        let model = dir.join("model.json");
+        let svg = dir.join("roofline.svg");
+        run_str(&[
+            "collect",
+            "--out",
+            data.to_str().unwrap(),
+            "--set",
+            "test",
+            "--cycles",
+            "60000",
+            "--interval",
+            "20000",
+            "--slice",
+            "1000",
+        ])
+        .unwrap();
+        run_str(&["train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap()])
+            .unwrap();
+        let out = run_str(&[
+            "plot",
+            "--model",
+            model.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--metric",
+            "idq.dsb_uops",
+            "--out",
+            svg.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("plotted"));
+        let content = std::fs::read_to_string(&svg).unwrap();
+        assert!(content.contains("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coverage_command_reports_fractions() {
+        let dir = std::env::temp_dir().join("spire-cli-coverage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json");
+        run_str(&[
+            "collect",
+            "--out",
+            data.to_str().unwrap(),
+            "--set",
+            "test",
+            "--cycles",
+            "60000",
+            "--interval",
+            "20000",
+            "--slice",
+            "1000",
+        ])
+        .unwrap();
+        let out = run_str(&[
+            "coverage",
+            "--data",
+            data.to_str().unwrap(),
+            "--workload",
+            "tnn (SqueezeNet v1.1)",
+        ])
+        .unwrap();
+        assert!(out.contains("coverage fraction range"));
+        assert!(out.contains("time frac"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_perf_round_trips() {
+        let dir = std::env::temp_dir().join("spire-cli-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("perf.csv");
+        let out_file = dir.join("imported.json");
+        std::fs::write(
+            &csv,
+            "1.0,100,,inst_retired.any,1,100,,\n\
+             1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
+             1.0,7,,longest_lat_cache.miss,1,100,,\n",
+        )
+        .unwrap();
+        let out = run_str(&[
+            "import-perf",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+            "--label",
+            "real-cpu",
+        ])
+        .unwrap();
+        assert!(out.contains("imported 1 samples"));
+        let ds = Dataset::load(&out_file).unwrap();
+        assert_eq!(ds.get("real-cpu").unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

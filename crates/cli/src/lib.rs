@@ -1,0 +1,16 @@
+//! # spire-cli
+//!
+//! The `spire` command-line interface: collect counter samples from the
+//! simulated CPU (or import real `perf stat` output), train SPIRE
+//! models, and rank bottleneck metrics — the full workflow of the paper
+//! from a shell.
+//!
+//! See [`commands::USAGE`] for the command reference. The command logic
+//! lives in this library so it is unit-testable; the binary is a thin
+//! wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

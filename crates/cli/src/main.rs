@@ -1,0 +1,12 @@
+//! Thin binary wrapper around the `spire-cli` command library.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match spire_cli::commands::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

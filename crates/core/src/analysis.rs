@@ -1,0 +1,320 @@
+//! Bottleneck analysis on top of a SPIRE estimate (paper Section III-C,
+//! "Performance analysis").
+//!
+//! A [`BottleneckReport`] ranks metrics ascending by their merged
+//! throughput estimates, annotates each with its catalog entry, and rolls
+//! the ranking up to top-level microarchitecture areas so SPIRE results can
+//! be compared against TMA-style classifications.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{MetricCatalog, UarchArea};
+use crate::ensemble::Estimate;
+use crate::sample::MetricId;
+
+/// One ranked row of a [`BottleneckReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedMetric {
+    /// The metric.
+    pub metric: MetricId,
+    /// Its merged throughput estimate `P̄_x` (lower = more suspicious).
+    pub estimate: f64,
+    /// Paper-style abbreviation, when the metric is cataloged.
+    pub abbr: Option<String>,
+    /// Closest TMA area, when the metric is cataloged.
+    pub area: Option<UarchArea>,
+}
+
+/// A ranked bottleneck analysis of one workload.
+///
+/// ```
+/// use spire_core::{BottleneckReport, Sample, SampleSet, SpireModel, TrainConfig};
+/// use spire_core::catalog::MetricCatalog;
+///
+/// # fn main() -> Result<(), spire_core::SpireError> {
+/// let mut training = SampleSet::new();
+/// for (w, m) in [(10.0, 10.0), (20.0, 5.0), (30.0, 2.0)] {
+///     training.push(Sample::new("br_misp_retired.all_branches", 10.0, w, m)?);
+/// }
+/// let model = SpireModel::train(&training, TrainConfig::default())?;
+/// let mut workload = SampleSet::new();
+/// workload.push(Sample::new("br_misp_retired.all_branches", 10.0, 10.0, 10.0)?);
+/// let estimate = model.estimate(&workload)?;
+/// let report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
+/// assert_eq!(report.rows()[0].abbr.as_deref(), Some("BP.1"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    rows: Vec<RankedMetric>,
+    throughput: f64,
+}
+
+impl BottleneckReport {
+    /// Builds a report from an estimate, annotating rows with `catalog`.
+    pub fn new(estimate: &Estimate, catalog: &MetricCatalog) -> Self {
+        let rows = estimate
+            .ranked()
+            .into_iter()
+            .map(|(metric, me)| {
+                let info = catalog.lookup(metric);
+                RankedMetric {
+                    metric: metric.clone(),
+                    estimate: me.merged,
+                    abbr: info.map(|i| i.abbr.clone()),
+                    area: info.map(|i| i.area),
+                }
+            })
+            .collect();
+        BottleneckReport {
+            rows,
+            throughput: estimate.throughput(),
+        }
+    }
+
+    /// All rows, ranked ascending by estimate.
+    pub fn rows(&self) -> &[RankedMetric] {
+        &self.rows
+    }
+
+    /// The first `k` rows (the paper's "top k performance metrics").
+    pub fn top(&self, k: usize) -> &[RankedMetric] {
+        &self.rows[..k.min(self.rows.len())]
+    }
+
+    /// The ensemble-wide throughput estimate for the workload.
+    pub fn throughput(&self) -> f64 {
+        self.throughput
+    }
+
+    /// The lowest estimate seen for each area among the top `k` rows.
+    ///
+    /// Uncataloged metrics are skipped. This is the rollup used to compare
+    /// a SPIRE ranking against a TMA classification: the area holding the
+    /// most low-estimate metrics is SPIRE's primary suspicion.
+    pub fn area_minima(&self, k: usize) -> BTreeMap<UarchArea, f64> {
+        let mut map = BTreeMap::new();
+        for row in self.top(k) {
+            if let Some(area) = row.area {
+                map.entry(area)
+                    .and_modify(|v: &mut f64| *v = v.min(row.estimate))
+                    .or_insert(row.estimate);
+            }
+        }
+        map
+    }
+
+    /// How many of the top `k` rows fall in each area.
+    pub fn area_counts(&self, k: usize) -> BTreeMap<UarchArea, usize> {
+        let mut map = BTreeMap::new();
+        for row in self.top(k) {
+            if let Some(area) = row.area {
+                *map.entry(area).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// The area SPIRE most suspects: the area of the single
+    /// lowest-estimate cataloged metric among the top `k`.
+    ///
+    /// Returns `None` when no top-`k` metric is cataloged.
+    pub fn dominant_area(&self, k: usize) -> Option<UarchArea> {
+        self.top(k).iter().find_map(|r| r.area)
+    }
+
+    /// Returns `true` if `area` appears anywhere in the top `k` rows —
+    /// the paper's suggested "pool of low-valued metrics" check.
+    pub fn area_in_top(&self, area: UarchArea, k: usize) -> bool {
+        self.top(k).iter().any(|r| r.area == Some(area))
+    }
+
+    /// The paper's "pool of low-valued metrics": all rows whose estimate
+    /// lies within `tolerance` (relative) of the minimum estimate.
+    ///
+    /// The paper suggests treating this whole pool as potential
+    /// bottlenecks to absorb measurement noise and confounded metrics,
+    /// rather than trusting the single minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative or not finite.
+    pub fn uncertainty_pool(&self, tolerance: f64) -> &[RankedMetric] {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "tolerance must be finite and non-negative"
+        );
+        let Some(min) = self.rows.first().map(|r| r.estimate) else {
+            return &[];
+        };
+        let cutoff = min * (1.0 + tolerance) + f64::EPSILON;
+        let end = self
+            .rows
+            .iter()
+            .position(|r| r.estimate > cutoff)
+            .unwrap_or(self.rows.len());
+        &self.rows[..end]
+    }
+
+    /// Compares this report's ranking against another over their shared
+    /// metrics: `(overlap@k, Kendall tau over shared estimates)`.
+    ///
+    /// Overlap@k asks whether the two analyses point at the same
+    /// suspects; the rank correlation asks whether they order the full
+    /// shared metric set consistently.
+    pub fn compare(&self, other: &BottleneckReport, k: usize) -> (f64, f64) {
+        let mine: Vec<&MetricId> = self.rows.iter().map(|r| &r.metric).collect();
+        let theirs: Vec<&MetricId> = other.rows.iter().map(|r| &r.metric).collect();
+        let overlap = crate::stats::overlap_at_k(&mine, &theirs, k);
+
+        // Kendall tau over estimates of shared metrics.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for row in &self.rows {
+            if let Some(other_row) = other.rows.iter().find(|r| r.metric == row.metric) {
+                a.push(row.estimate);
+                b.push(other_row.estimate);
+            }
+        }
+        (overlap, crate::stats::kendall_tau(&a, &b))
+    }
+
+    /// Formats the top `k` rows as an aligned text table.
+    pub fn to_table(&self, k: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>12}  {:<12} {}\n",
+            "abbr", "estimate", "area", "metric"
+        ));
+        for row in self.top(k) {
+            out.push_str(&format!(
+                "{:<10} {:>12.4}  {:<12} {}\n",
+                row.abbr.as_deref().unwrap_or("-"),
+                row.estimate,
+                row.area.map_or("-".to_owned(), |a| a.to_string()),
+                row.metric
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{SpireModel, TrainConfig};
+    use crate::sample::{Sample, SampleSet};
+
+    fn s(metric: &str, t: f64, w: f64, m: f64) -> Sample {
+        Sample::new(metric, t, w, m).unwrap()
+    }
+
+    fn report() -> BottleneckReport {
+        let mut training = SampleSet::new();
+        for (w, m) in [(10.0, 10.0), (20.0, 5.0), (30.0, 2.0)] {
+            training.push(s("br_misp_retired.all_branches", 10.0, w, m));
+            training.push(s("longest_lat_cache.miss", 10.0, w, m));
+            training.push(s("my_custom_event", 10.0, w, m));
+        }
+        let model = SpireModel::train(&training, TrainConfig::default()).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("br_misp_retired.all_branches", 10.0, 10.0, 10.0)); // low
+        wl.push(s("longest_lat_cache.miss", 10.0, 30.0, 2.0)); // high
+        wl.push(s("my_custom_event", 10.0, 20.0, 5.0)); // middle
+        let est = model.estimate(&wl).unwrap();
+        BottleneckReport::new(&est, &MetricCatalog::table_iii())
+    }
+
+    #[test]
+    fn rows_are_ranked_ascending() {
+        let r = report();
+        for w in r.rows().windows(2) {
+            assert!(w[0].estimate <= w[1].estimate);
+        }
+        assert_eq!(r.rows()[0].abbr.as_deref(), Some("BP.1"));
+    }
+
+    #[test]
+    fn uncataloged_metrics_have_no_annotation() {
+        let r = report();
+        let custom = r
+            .rows()
+            .iter()
+            .find(|row| row.metric.as_str() == "my_custom_event")
+            .unwrap();
+        assert!(custom.abbr.is_none());
+        assert!(custom.area.is_none());
+    }
+
+    #[test]
+    fn dominant_area_is_lowest_cataloged() {
+        let r = report();
+        assert_eq!(r.dominant_area(10), Some(UarchArea::BadSpeculation));
+    }
+
+    #[test]
+    fn area_minima_and_counts_cover_top_k() {
+        let r = report();
+        let minima = r.area_minima(10);
+        assert!(minima.contains_key(&UarchArea::BadSpeculation));
+        assert!(minima.contains_key(&UarchArea::Memory));
+        let counts = r.area_counts(10);
+        assert_eq!(counts[&UarchArea::BadSpeculation], 1);
+        assert_eq!(counts[&UarchArea::Memory], 1);
+    }
+
+    #[test]
+    fn area_in_top_respects_k() {
+        let r = report();
+        assert!(r.area_in_top(UarchArea::BadSpeculation, 1));
+        assert!(!r.area_in_top(UarchArea::Memory, 1));
+        assert!(r.area_in_top(UarchArea::Memory, 10));
+    }
+
+    #[test]
+    fn top_clamps_to_row_count() {
+        let r = report();
+        assert_eq!(r.top(100).len(), r.rows().len());
+        assert_eq!(r.top(1).len(), 1);
+    }
+
+    #[test]
+    fn uncertainty_pool_collects_near_minimum_rows() {
+        let r = report();
+        // Zero tolerance: only the minimum row (no exact ties here).
+        assert_eq!(r.uncertainty_pool(0.0).len(), 1);
+        // Huge tolerance: everything.
+        assert_eq!(r.uncertainty_pool(100.0).len(), r.rows().len());
+        // Pool membership is a prefix of the ranking.
+        let pool = r.uncertainty_pool(0.5);
+        for (a, b) in pool.iter().zip(r.rows()) {
+            assert_eq!(a.metric, b.metric);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn uncertainty_pool_rejects_negative_tolerance() {
+        report().uncertainty_pool(-0.1);
+    }
+
+    #[test]
+    fn compare_of_identical_reports_is_perfect() {
+        let r = report();
+        let (overlap, tau) = r.compare(&r, 3);
+        assert_eq!(overlap, 1.0);
+        assert!((tau - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rendering_contains_headers_and_abbrs() {
+        let r = report();
+        let t = r.to_table(3);
+        assert!(t.contains("abbr"));
+        assert!(t.contains("BP.1"));
+        assert!(t.contains("Bad Speculation"));
+    }
+}

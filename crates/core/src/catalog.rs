@@ -1,0 +1,247 @@
+//! Metric naming and microarchitecture-area classification (paper
+//! Table III).
+//!
+//! The paper abbreviates each performance metric (e.g. `BP.1` for
+//! `br_misp_retired.all_branches`) and associates it with the closest
+//! top-level TMA bottleneck category. [`MetricCatalog::table_iii`] encodes
+//! that table verbatim; [`MetricCatalog::register`] extends it with
+//! additional events.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sample::MetricId;
+
+/// Top-level microarchitecture areas, matching TMA's level-1 bottleneck
+/// categories (minus Retiring, which is not a bottleneck).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UarchArea {
+    /// Performance lost to front-end (fetch/decode) stalls.
+    FrontEnd,
+    /// Performance lost to incorrect speculation.
+    BadSpeculation,
+    /// Performance lost to memory-related back-end stalls.
+    Memory,
+    /// Performance lost to non-memory back-end stalls.
+    Core,
+}
+
+impl UarchArea {
+    /// All areas, in TMA presentation order.
+    pub const ALL: [UarchArea; 4] = [
+        UarchArea::FrontEnd,
+        UarchArea::BadSpeculation,
+        UarchArea::Memory,
+        UarchArea::Core,
+    ];
+}
+
+impl fmt::Display for UarchArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UarchArea::FrontEnd => "Front-End",
+            UarchArea::BadSpeculation => "Bad Speculation",
+            UarchArea::Memory => "Memory",
+            UarchArea::Core => "Core",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Catalog entry for one metric: abbreviation, expanded event name, and
+/// closest TMA area.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricInfo {
+    /// Paper-style abbreviation, e.g. `"BP.1"`.
+    pub abbr: String,
+    /// Expanded hardware event name, e.g.
+    /// `"br_misp_retired.all_branches"`.
+    pub event: String,
+    /// Closest top-level TMA bottleneck area.
+    pub area: UarchArea,
+}
+
+/// A metric catalog: event name → abbreviation and area.
+///
+/// ```
+/// use spire_core::catalog::{MetricCatalog, UarchArea};
+///
+/// let catalog = MetricCatalog::table_iii();
+/// let info = catalog.lookup_event("br_misp_retired.all_branches").unwrap();
+/// assert_eq!(info.abbr, "BP.1");
+/// assert_eq!(info.area, UarchArea::BadSpeculation);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricCatalog {
+    by_event: BTreeMap<String, MetricInfo>,
+}
+
+impl MetricCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        MetricCatalog::default()
+    }
+
+    /// The paper's Table III: 33 metrics with abbreviations and areas.
+    ///
+    /// `DQ.K` (`idq_uops_not_delivered.cycles_fe_was_ok`) is classified as
+    /// `Core`: although its abbreviation groups it with the front-end
+    /// delivery metrics, the paper's analysis reads it as "the back-end is
+    /// stalling the front-end".
+    pub fn table_iii() -> Self {
+        use UarchArea::*;
+        let entries: &[(&str, &str, UarchArea)] = &[
+            ("FE.1", "frontend_retired.latency_ge_2_bubbles_ge_1", FrontEnd),
+            ("FE.2", "frontend_retired.latency_ge_2_bubbles_ge_2", FrontEnd),
+            ("FE.3", "frontend_retired.latency_ge_2_bubbles_ge_3", FrontEnd),
+            ("DB.1", "idq.dsb_cycles", FrontEnd),
+            ("DB.2", "idq.dsb_uops", FrontEnd),
+            ("DB.3", "frontend_retired.dsb_miss", FrontEnd),
+            ("DB.4", "idq.all_dsb_cycles_any_uops", FrontEnd),
+            ("MS.1", "idq.ms_switches", FrontEnd),
+            ("MS.2", "idq.ms_dsb_cycles", FrontEnd),
+            ("DQ.1", "idq_uops_not_delivered.cycles_le_1_uop_deliv.core", FrontEnd),
+            ("DQ.2", "idq_uops_not_delivered.cycles_le_2_uop_deliv.core", FrontEnd),
+            ("DQ.3", "idq_uops_not_delivered.cycles_le_3_uop_deliv.core", FrontEnd),
+            ("DQ.C", "idq_uops_not_delivered.core", FrontEnd),
+            ("DQ.K", "idq_uops_not_delivered.cycles_fe_was_ok", Core),
+            ("BP.1", "br_misp_retired.all_branches", BadSpeculation),
+            ("BP.2", "int_misc.recovery_cycles", BadSpeculation),
+            ("BP.3", "int_misc.recovery_cycles_any", BadSpeculation),
+            ("M", "cycle_activity.cycles_mem_any", Memory),
+            ("L1.1", "cycle_activity.cycles_l1d_miss", Memory),
+            ("L1.2", "cycle_activity.stalls_l1d_miss", Memory),
+            ("L1.3", "l1d_pend_miss.pending_cycles", Memory),
+            ("L3", "longest_lat_cache.miss", Memory),
+            ("LK", "mem_inst_retired.lock_loads", Memory),
+            ("CS.1", "cycle_activity.stalls_total", Core),
+            ("CS.2", "uops_retired.stall_cycles", Core),
+            ("CS.3", "uops_issued.stall_cycles", Core),
+            ("CS.4", "uops_executed.stall_cycles", Core),
+            ("CS.5", "resource_stalls.any", Core),
+            ("CS.6", "exe_activity.exe_bound_0_ports", Core),
+            ("C1.1", "uops_executed.core_cycles_ge_1", Core),
+            ("C1.2", "uops_executed.cycles_ge_1_uop_exec", Core),
+            ("C1.3", "exe_activity.1_ports_util", Core),
+            ("VW", "uops_issued.vector_width_mismatch", Core),
+        ];
+        let mut catalog = MetricCatalog::new();
+        for (abbr, event, area) in entries {
+            catalog.register(*abbr, *event, *area);
+        }
+        catalog
+    }
+
+    /// Registers (or replaces) a metric.
+    pub fn register(&mut self, abbr: impl Into<String>, event: impl Into<String>, area: UarchArea) {
+        let event = event.into();
+        self.by_event.insert(
+            event.clone(),
+            MetricInfo {
+                abbr: abbr.into(),
+                event,
+                area,
+            },
+        );
+    }
+
+    /// Looks up a metric by expanded event name.
+    pub fn lookup_event(&self, event: &str) -> Option<&MetricInfo> {
+        self.by_event.get(event)
+    }
+
+    /// Looks up a metric by [`MetricId`].
+    pub fn lookup(&self, metric: &MetricId) -> Option<&MetricInfo> {
+        self.by_event.get(metric.as_str())
+    }
+
+    /// Looks up a metric by abbreviation (linear scan; the catalog is
+    /// small).
+    pub fn lookup_abbr(&self, abbr: &str) -> Option<&MetricInfo> {
+        self.by_event.values().find(|i| i.abbr == abbr)
+    }
+
+    /// The area a metric belongs to, if cataloged.
+    pub fn area_of(&self, metric: &MetricId) -> Option<UarchArea> {
+        self.lookup(metric).map(|i| i.area)
+    }
+
+    /// Iterates over all entries, ordered by event name.
+    pub fn iter(&self) -> impl Iterator<Item = &MetricInfo> {
+        self.by_event.values()
+    }
+
+    /// All entries for one area, ordered by abbreviation.
+    pub fn in_area(&self, area: UarchArea) -> Vec<&MetricInfo> {
+        let mut v: Vec<_> = self.by_event.values().filter(|i| i.area == area).collect();
+        v.sort_by(|a, b| a.abbr.cmp(&b.abbr));
+        v
+    }
+
+    /// Number of cataloged metrics.
+    pub fn len(&self) -> usize {
+        self.by_event.len()
+    }
+
+    /// Returns `true` if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_event.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_has_all_33_entries() {
+        // 33 rows in the paper's Table III (counting every abbreviation).
+        assert_eq!(MetricCatalog::table_iii().len(), 33);
+    }
+
+    #[test]
+    fn lookup_by_event_abbr_and_metric_id_agree() {
+        let c = MetricCatalog::table_iii();
+        let by_event = c.lookup_event("idq.ms_switches").unwrap();
+        let by_abbr = c.lookup_abbr("MS.1").unwrap();
+        assert_eq!(by_event, by_abbr);
+        let id = MetricId::new("idq.ms_switches");
+        assert_eq!(c.lookup(&id).unwrap(), by_event);
+    }
+
+    #[test]
+    fn areas_match_the_paper() {
+        let c = MetricCatalog::table_iii();
+        assert_eq!(c.lookup_abbr("FE.1").unwrap().area, UarchArea::FrontEnd);
+        assert_eq!(c.lookup_abbr("BP.2").unwrap().area, UarchArea::BadSpeculation);
+        assert_eq!(c.lookup_abbr("L3").unwrap().area, UarchArea::Memory);
+        assert_eq!(c.lookup_abbr("VW").unwrap().area, UarchArea::Core);
+        // DQ.K is the back-end-stalling-the-front-end signal.
+        assert_eq!(c.lookup_abbr("DQ.K").unwrap().area, UarchArea::Core);
+    }
+
+    #[test]
+    fn in_area_is_sorted_by_abbreviation() {
+        let c = MetricCatalog::table_iii();
+        let mem = c.in_area(UarchArea::Memory);
+        let abbrs: Vec<&str> = mem.iter().map(|i| i.abbr.as_str()).collect();
+        assert_eq!(abbrs, ["L1.1", "L1.2", "L1.3", "L3", "LK", "M"]);
+    }
+
+    #[test]
+    fn register_replaces_existing_event() {
+        let mut c = MetricCatalog::new();
+        c.register("A", "evt", UarchArea::Core);
+        c.register("B", "evt", UarchArea::Memory);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup_event("evt").unwrap().abbr, "B");
+    }
+
+    #[test]
+    fn area_display_names() {
+        assert_eq!(UarchArea::FrontEnd.to_string(), "Front-End");
+        assert_eq!(UarchArea::BadSpeculation.to_string(), "Bad Speculation");
+    }
+}

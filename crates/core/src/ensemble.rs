@@ -1,0 +1,490 @@
+//! The SPIRE ensemble (paper Section III-C): one roofline per metric,
+//! merged per-sample estimates, and the ensemble-wide minimum.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SpireError};
+use crate::roofline::{FitOptions, PiecewiseRoofline};
+use crate::sample::{MetricId, SampleSet};
+#[cfg(test)]
+use crate::sample::Sample;
+
+/// How per-sample estimates are merged into one value per metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MergeStrategy {
+    /// The paper's Eq. (1): a time-weighted average over the samples'
+    /// period lengths.
+    #[default]
+    TimeWeighted,
+    /// An unweighted arithmetic mean (ablation baseline).
+    Unweighted,
+}
+
+/// How per-metric averages are reduced to the ensemble-wide estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EnsembleAggregation {
+    /// The paper's choice: the minimum over metrics, mirroring the
+    /// `min(π, βI)` of a conventional roofline.
+    #[default]
+    Min,
+    /// The mean over metrics (ablation baseline; loses the bounding
+    /// interpretation but shows why `min` matters).
+    Mean,
+}
+
+/// Configuration for [`SpireModel::train`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Options passed to every per-metric roofline fit.
+    pub fit: FitOptions,
+    /// Metrics with fewer training samples than this are skipped (with no
+    /// error) rather than fitted from unrepresentative data. Must be at
+    /// least 1.
+    pub min_samples_per_metric: usize,
+    /// How per-sample estimates merge into a per-metric value.
+    pub merge: MergeStrategy,
+    /// How per-metric values reduce to the ensemble estimate.
+    pub aggregation: EnsembleAggregation,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            fit: FitOptions::default(),
+            min_samples_per_metric: 1,
+            merge: MergeStrategy::TimeWeighted,
+            aggregation: EnsembleAggregation::Min,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::InvalidConfig`] if `min_samples_per_metric` is
+    /// zero or the fit options are invalid.
+    pub fn validate(&self) -> Result<()> {
+        self.fit.validate()?;
+        if self.min_samples_per_metric == 0 {
+            return Err(SpireError::InvalidConfig {
+                field: "min_samples_per_metric",
+                reason: "must be at least 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The merged estimate one metric produced for a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricEstimate {
+    /// The merged (time-weighted by default) throughput estimate `P̄_x`.
+    pub merged: f64,
+    /// Number of workload samples that contributed.
+    pub sample_count: usize,
+    /// Total measurement time of the contributing samples.
+    pub total_time: f64,
+    /// Smallest single-sample estimate (diagnostic).
+    pub min_sample_estimate: f64,
+    /// Largest single-sample estimate (diagnostic).
+    pub max_sample_estimate: f64,
+}
+
+/// A workload's throughput estimate from a trained [`SpireModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    per_metric: BTreeMap<MetricId, MetricEstimate>,
+    throughput: f64,
+    aggregation: EnsembleAggregation,
+}
+
+impl Estimate {
+    /// The ensemble-wide throughput estimate (the minimum of the per-metric
+    /// merged estimates under the default aggregation).
+    pub fn throughput(&self) -> f64 {
+        self.throughput
+    }
+
+    /// Per-metric merged estimates, keyed by metric.
+    pub fn per_metric(&self) -> &BTreeMap<MetricId, MetricEstimate> {
+        &self.per_metric
+    }
+
+    /// Metrics ranked ascending by merged estimate: the head of this list
+    /// holds the most likely bottlenecks.
+    ///
+    /// Ties are broken by metric name for determinism.
+    pub fn ranked(&self) -> Vec<(&MetricId, &MetricEstimate)> {
+        let mut v: Vec<_> = self.per_metric.iter().collect();
+        v.sort_by(|a, b| {
+            a.1.merged
+                .total_cmp(&b.1.merged)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        v
+    }
+
+    /// The `k` lowest-estimate metrics (the paper's "top metrics").
+    pub fn top_metrics(&self, k: usize) -> Vec<(&MetricId, f64)> {
+        self.ranked()
+            .into_iter()
+            .take(k)
+            .map(|(m, e)| (m, e.merged))
+            .collect()
+    }
+
+    /// The metric with the lowest merged estimate, if any.
+    pub fn primary_bottleneck(&self) -> Option<(&MetricId, f64)> {
+        self.top_metrics(1).into_iter().next()
+    }
+
+    /// Which aggregation produced [`Estimate::throughput`].
+    pub fn aggregation(&self) -> EnsembleAggregation {
+        self.aggregation
+    }
+}
+
+/// A trained SPIRE model: an ensemble of per-metric rooflines.
+///
+/// ```
+/// use spire_core::{Sample, SampleSet, SpireModel, TrainConfig};
+///
+/// # fn main() -> Result<(), spire_core::SpireError> {
+/// let mut training = SampleSet::new();
+/// for (w, m) in [(10.0, 10.0), (20.0, 5.0), (30.0, 2.0)] {
+///     training.push(Sample::new("stalls", 10.0, w, m)?);
+///     training.push(Sample::new("misses", 10.0, w, m * 0.5)?);
+/// }
+/// let model = SpireModel::train(&training, TrainConfig::default())?;
+///
+/// let mut workload = SampleSet::new();
+/// workload.push(Sample::new("stalls", 10.0, 12.0, 8.0)?);
+/// workload.push(Sample::new("misses", 10.0, 12.0, 1.0)?);
+/// let estimate = model.estimate(&workload)?;
+/// assert!(estimate.throughput() <= 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpireModel {
+    rooflines: BTreeMap<MetricId, PiecewiseRoofline>,
+    config: TrainConfig,
+    skipped_metrics: Vec<MetricId>,
+}
+
+impl SpireModel {
+    /// Trains an ensemble from `samples`: groups them by metric and fits
+    /// one roofline per metric (paper Fig. 3).
+    ///
+    /// Metrics with fewer than
+    /// [`min_samples_per_metric`](TrainConfig::min_samples_per_metric)
+    /// samples are recorded in [`SpireModel::skipped_metrics`] and excluded
+    /// from the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::EmptyTrainingSet`] if `samples` is empty or no
+    /// metric reaches the minimum sample count, and
+    /// [`SpireError::InvalidConfig`] for invalid configuration.
+    pub fn train(samples: &SampleSet, config: TrainConfig) -> Result<Self> {
+        config.validate()?;
+        if samples.is_empty() {
+            return Err(SpireError::EmptyTrainingSet { metric: None });
+        }
+        let mut rooflines = BTreeMap::new();
+        let mut skipped = Vec::new();
+        for (metric, group) in samples.by_metric() {
+            if group.len() < config.min_samples_per_metric {
+                skipped.push(metric.clone());
+                continue;
+            }
+            let roofline =
+                PiecewiseRoofline::fit(metric.clone(), group, &config.fit)?;
+            rooflines.insert(metric.clone(), roofline);
+        }
+        if rooflines.is_empty() {
+            return Err(SpireError::EmptyTrainingSet { metric: None });
+        }
+        Ok(SpireModel {
+            rooflines,
+            config,
+            skipped_metrics: skipped,
+        })
+    }
+
+    /// Estimates a workload's maximum attainable throughput (paper Fig. 4):
+    /// per-sample roofline estimates, merged per metric (Eq. 1), reduced
+    /// over metrics.
+    ///
+    /// Workload metrics the model was not trained on are ignored; metrics
+    /// in the model but absent from the workload contribute nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::EmptyWorkload`] if `workload` has no samples
+    /// and [`SpireError::NoCommonMetrics`] if no workload sample belongs to
+    /// a trained metric.
+    pub fn estimate(&self, workload: &SampleSet) -> Result<Estimate> {
+        if workload.is_empty() {
+            return Err(SpireError::EmptyWorkload);
+        }
+        let mut per_metric = BTreeMap::new();
+        for (metric, group) in workload.by_metric() {
+            let Some(roofline) = self.rooflines.get(metric) else {
+                continue;
+            };
+            let mut weighted_sum = 0.0;
+            let mut weight_total = 0.0;
+            let mut min_e = f64::INFINITY;
+            let mut max_e = f64::NEG_INFINITY;
+            let mut total_time = 0.0;
+            for s in &group {
+                let e = roofline.estimate_sample(s);
+                let w = match self.config.merge {
+                    MergeStrategy::TimeWeighted => s.time(),
+                    MergeStrategy::Unweighted => 1.0,
+                };
+                weighted_sum += w * e;
+                weight_total += w;
+                min_e = min_e.min(e);
+                max_e = max_e.max(e);
+                total_time += s.time();
+            }
+            debug_assert!(weight_total > 0.0, "samples have positive time");
+            per_metric.insert(
+                metric.clone(),
+                MetricEstimate {
+                    merged: weighted_sum / weight_total,
+                    sample_count: group.len(),
+                    total_time,
+                    min_sample_estimate: min_e,
+                    max_sample_estimate: max_e,
+                },
+            );
+        }
+        if per_metric.is_empty() {
+            return Err(SpireError::NoCommonMetrics);
+        }
+        let throughput = match self.config.aggregation {
+            EnsembleAggregation::Min => per_metric
+                .values()
+                .map(|e| e.merged)
+                .fold(f64::INFINITY, f64::min),
+            EnsembleAggregation::Mean => {
+                per_metric.values().map(|e| e.merged).sum::<f64>() / per_metric.len() as f64
+            }
+        };
+        Ok(Estimate {
+            per_metric,
+            throughput,
+            aggregation: self.config.aggregation,
+        })
+    }
+
+    /// The trained per-metric rooflines.
+    pub fn rooflines(&self) -> &BTreeMap<MetricId, PiecewiseRoofline> {
+        &self.rooflines
+    }
+
+    /// The roofline for one metric, if trained.
+    pub fn roofline(&self, metric: &MetricId) -> Option<&PiecewiseRoofline> {
+        self.rooflines.get(metric)
+    }
+
+    /// Metrics that were skipped during training for having too few
+    /// samples.
+    pub fn skipped_metrics(&self) -> &[MetricId] {
+        &self.skipped_metrics
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Number of metrics in the ensemble.
+    pub fn metric_count(&self) -> usize {
+        self.rooflines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(metric: &str, t: f64, w: f64, m: f64) -> Sample {
+        Sample::new(metric, t, w, m).unwrap()
+    }
+
+    fn training() -> SampleSet {
+        let mut set = SampleSet::new();
+        // "stalls": throughput rises with instructions-per-stall.
+        set.push(s("stalls", 10.0, 10.0, 10.0)); // I 1, P 1
+        set.push(s("stalls", 10.0, 20.0, 5.0)); // I 4, P 2
+        set.push(s("stalls", 10.0, 30.0, 3.0)); // I 10, P 3
+        // "hits": positively associated; throughput falls as hits thin out.
+        set.push(s("hits", 10.0, 30.0, 30.0)); // I 1, P 3
+        set.push(s("hits", 10.0, 20.0, 4.0)); // I 5, P 2
+        set.push(s("hits", 10.0, 10.0, 1.0)); // I 10, P 1
+        set
+    }
+
+    #[test]
+    fn train_groups_by_metric() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        assert_eq!(model.metric_count(), 2);
+        assert!(model.roofline(&MetricId::new("stalls")).is_some());
+        assert!(model.roofline(&MetricId::new("hits")).is_some());
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let err = SpireModel::train(&SampleSet::new(), TrainConfig::default()).unwrap_err();
+        assert!(matches!(err, SpireError::EmptyTrainingSet { metric: None }));
+    }
+
+    #[test]
+    fn min_samples_filter_skips_sparse_metrics() {
+        let mut set = training();
+        set.push(s("rare", 10.0, 10.0, 1.0));
+        let config = TrainConfig {
+            min_samples_per_metric: 2,
+            ..TrainConfig::default()
+        };
+        let model = SpireModel::train(&set, config).unwrap();
+        assert_eq!(model.metric_count(), 2);
+        assert_eq!(model.skipped_metrics(), [MetricId::new("rare")]);
+    }
+
+    #[test]
+    fn estimate_is_min_of_per_metric_averages() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 10.0, 20.0, 5.0)); // I 4 -> ~2
+        wl.push(s("hits", 10.0, 20.0, 20.0)); // I 1 -> ~3
+        let est = model.estimate(&wl).unwrap();
+        let per: Vec<f64> = est.per_metric().values().map(|e| e.merged).collect();
+        let min = per.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(est.throughput(), min);
+    }
+
+    #[test]
+    fn time_weighted_average_matches_eq_1() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        // Two stalls samples with different periods: one at I=1 (est 1) for
+        // 30 time units, one at I=10 (est 3) for 10 time units.
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 30.0, 30.0, 30.0)); // I 1
+        wl.push(s("stalls", 10.0, 100.0, 10.0)); // I 10
+        let est = model.estimate(&wl).unwrap();
+        let m = &est.per_metric()[&MetricId::new("stalls")];
+        // (30*1 + 10*3) / 40 = 1.5
+        assert!((m.merged - 1.5).abs() < 1e-9, "got {}", m.merged);
+        assert_eq!(m.sample_count, 2);
+        assert_eq!(m.total_time, 40.0);
+    }
+
+    #[test]
+    fn unweighted_merge_ignores_period_lengths() {
+        let config = TrainConfig {
+            merge: MergeStrategy::Unweighted,
+            ..TrainConfig::default()
+        };
+        let model = SpireModel::train(&training(), config).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 30.0, 30.0, 30.0)); // I 1 -> 1
+        wl.push(s("stalls", 10.0, 100.0, 10.0)); // I 10 -> 3
+        let est = model.estimate(&wl).unwrap();
+        let m = &est.per_metric()[&MetricId::new("stalls")];
+        assert!((m.merged - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_aggregation_averages_metrics() {
+        let config = TrainConfig {
+            aggregation: EnsembleAggregation::Mean,
+            ..TrainConfig::default()
+        };
+        let model = SpireModel::train(&training(), config).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 10.0, 20.0, 5.0));
+        wl.push(s("hits", 10.0, 20.0, 20.0));
+        let est = model.estimate(&wl).unwrap();
+        let per: Vec<f64> = est.per_metric().values().map(|e| e.merged).collect();
+        let mean = per.iter().sum::<f64>() / per.len() as f64;
+        assert!((est.throughput() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_workload_metrics_are_ignored() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 10.0, 20.0, 5.0));
+        wl.push(s("untrained", 10.0, 20.0, 5.0));
+        let est = model.estimate(&wl).unwrap();
+        assert_eq!(est.per_metric().len(), 1);
+    }
+
+    #[test]
+    fn no_common_metrics_errors() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("untrained", 10.0, 20.0, 5.0));
+        assert!(matches!(
+            model.estimate(&wl).unwrap_err(),
+            SpireError::NoCommonMetrics
+        ));
+    }
+
+    #[test]
+    fn empty_workload_errors() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        assert!(matches!(
+            model.estimate(&SampleSet::new()).unwrap_err(),
+            SpireError::EmptyWorkload
+        ));
+    }
+
+    #[test]
+    fn ranking_is_ascending_and_deterministic() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 10.0, 10.0, 10.0)); // I 1 -> 1
+        wl.push(s("hits", 10.0, 30.0, 30.0)); // I 1 -> 3
+        let est = model.estimate(&wl).unwrap();
+        let ranked = est.ranked();
+        assert_eq!(ranked[0].0.as_str(), "stalls");
+        assert!(ranked[0].1.merged <= ranked[1].1.merged);
+        assert_eq!(
+            est.primary_bottleneck().unwrap().0.as_str(),
+            "stalls"
+        );
+    }
+
+    #[test]
+    fn zero_min_samples_config_is_rejected() {
+        let config = TrainConfig {
+            min_samples_per_metric: 0,
+            ..TrainConfig::default()
+        };
+        assert!(SpireModel::train(&training(), config).is_err());
+    }
+
+    #[test]
+    fn model_serde_round_trip_preserves_estimates() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: SpireModel = serde_json::from_str(&json).unwrap();
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 10.0, 20.0, 5.0));
+        let a = model.estimate(&wl).unwrap();
+        let b = back.estimate(&wl).unwrap();
+        assert_eq!(a.throughput(), b.throughput());
+    }
+}

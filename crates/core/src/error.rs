@@ -1,0 +1,143 @@
+//! Error types returned by the SPIRE model.
+
+use std::fmt;
+
+/// The error type returned by fallible operations in this crate.
+///
+/// All variants carry enough context to diagnose the failing input. The type
+/// implements [`std::error::Error`] and is `Send + Sync + 'static`, so it can
+/// be boxed into `Box<dyn Error + Send + Sync>` or wrapped by downstream
+/// error types.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpireError {
+    /// A sample field violated its domain constraint (e.g. `T <= 0`).
+    InvalidSample {
+        /// Name of the offending field (`"time"`, `"work"`, or `"metric_delta"`).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Constraint that was violated, e.g. `"must be finite and > 0"`.
+        constraint: &'static str,
+    },
+    /// A roofline was asked to train with no usable samples.
+    EmptyTrainingSet {
+        /// Metric whose sample group was empty, if the failure is per-metric.
+        metric: Option<String>,
+    },
+    /// Training was requested for a metric with fewer samples than the
+    /// configured minimum.
+    TooFewSamples {
+        /// Metric whose sample group was too small.
+        metric: String,
+        /// Number of samples that were available.
+        have: usize,
+        /// Configured minimum number of samples.
+        need: usize,
+    },
+    /// An estimate was requested for a workload that shares no metrics with
+    /// the trained model.
+    NoCommonMetrics,
+    /// An estimate was requested from an empty workload sample set.
+    EmptyWorkload,
+    /// The right-region fitting graph had no `Start -> End` path.
+    ///
+    /// This indicates an internal invariant violation; it should not occur
+    /// for valid sample sets and is surfaced rather than panicking.
+    NoFitPath {
+        /// Metric whose right-region fit failed.
+        metric: String,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// Name of the offending configuration field.
+        field: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpireError::InvalidSample {
+                field,
+                value,
+                constraint,
+            } => write!(f, "invalid sample: {field} = {value} ({constraint})"),
+            SpireError::EmptyTrainingSet { metric: Some(m) } => {
+                write!(f, "no training samples for metric `{m}`")
+            }
+            SpireError::EmptyTrainingSet { metric: None } => {
+                write!(f, "training set contains no samples")
+            }
+            SpireError::TooFewSamples { metric, have, need } => write!(
+                f,
+                "metric `{metric}` has {have} samples but at least {need} are required"
+            ),
+            SpireError::NoCommonMetrics => {
+                write!(f, "workload samples share no metrics with the trained model")
+            }
+            SpireError::EmptyWorkload => write!(f, "workload sample set is empty"),
+            SpireError::NoFitPath { metric } => write!(
+                f,
+                "right-region fit for metric `{metric}` found no start-to-end path"
+            ),
+            SpireError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpireError {}
+
+/// Convenient alias for `Result<T, SpireError>`.
+pub type Result<T> = std::result::Result<T, SpireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SpireError::InvalidSample {
+            field: "time",
+            value: -1.0,
+            constraint: "must be finite and > 0",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("time"));
+        assert!(msg.contains("-1"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SpireError>();
+    }
+
+    #[test]
+    fn too_few_samples_reports_counts() {
+        let e = SpireError::TooFewSamples {
+            metric: "stalls".to_owned(),
+            have: 1,
+            need: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('1') && msg.contains('3') && msg.contains("stalls"));
+    }
+
+    #[test]
+    fn empty_training_set_variants_render() {
+        assert!(SpireError::EmptyTrainingSet { metric: None }
+            .to_string()
+            .contains("no samples"));
+        assert!(SpireError::EmptyTrainingSet {
+            metric: Some("x".into())
+        }
+        .to_string()
+        .contains("`x`"));
+    }
+}

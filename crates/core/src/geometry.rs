@@ -1,0 +1,335 @@
+//! Plane geometry used by the roofline fitting algorithms: the Jarvis-march
+//! upper-hull walk (paper Fig. 5) and the Pareto front (paper Fig. 6).
+//!
+//! Points live in the `(intensity, throughput)` plane. All coordinates are
+//! finite here; infinite-intensity samples are handled at the fitting layer
+//! before geometry is invoked.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the `(intensity, throughput)` plane.
+///
+/// `x` is a metric-specific operational intensity `I_x`; `y` is a throughput
+/// `P`. Both must be finite and non-negative for the algorithms in this
+/// module.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Operational intensity coordinate.
+    pub x: f64,
+    /// Throughput coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Slope of the line from `self` to `other`.
+    ///
+    /// Returns `f64::INFINITY` / `f64::NEG_INFINITY` for vertical pairs and
+    /// `NAN` for coincident points; callers filter those cases.
+    pub fn slope_to(&self, other: &Point) -> f64 {
+        (other.y - self.y) / (other.x - self.x)
+    }
+}
+
+/// Comparison tolerance used throughout the fitting algorithms.
+///
+/// Measurement data is noisy and fits only need to hold up to floating-point
+/// round-off; a relative epsilon of this magnitude keeps the "on or above"
+/// constraints from being violated by the last bit of a subtraction.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` if `a >= b` up to a relative tolerance of [`EPS`].
+pub(crate) fn ge_approx(a: f64, b: f64) -> bool {
+    a >= b - EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Computes the increasing, concave-down upper hull from the origin to the
+/// highest-throughput point (the paper's left-region fit, Fig. 5).
+///
+/// Starting at the origin, the walk repeatedly moves to the point with the
+/// greatest slope from the current position among points strictly to the
+/// right, until the maximum-throughput point is reached. The returned knot
+/// sequence starts at [`Point::ORIGIN`] and ends at the apex; consecutive
+/// knots have strictly increasing `x` and non-decreasing `y`, and the
+/// piecewise-linear function through them lies on or above every input
+/// point with `x` at most the apex's `x`.
+///
+/// Points with non-finite coordinates are ignored. If `points` is empty (or
+/// contains no finite points), only the origin is returned.
+///
+/// Ties in slope are broken toward the farther point, which minimizes the
+/// number of knots for collinear runs.
+pub fn upper_hull_from_origin(points: &[Point]) -> Vec<Point> {
+    let pts: Vec<Point> = points
+        .iter()
+        .copied()
+        .filter(|p| p.x.is_finite() && p.y.is_finite())
+        .collect();
+    let mut hull = vec![Point::ORIGIN];
+    if pts.is_empty() {
+        return hull;
+    }
+    // The walk terminates at the apex: the maximum-throughput point
+    // (ties broken toward larger x so the hull spans the data).
+    let apex = pts
+        .iter()
+        .copied()
+        .reduce(|a, b| {
+            if (b.y, b.x) > (a.y, a.x) {
+                b
+            } else {
+                a
+            }
+        })
+        .expect("non-empty");
+    if apex.y <= 0.0 {
+        // All throughputs are zero: the hull degenerates to the origin plus
+        // the farthest zero-height point so the span is still covered.
+        if apex.x > 0.0 {
+            hull.push(apex);
+        }
+        return hull;
+    }
+
+    let mut current = Point::ORIGIN;
+    loop {
+        if current == apex {
+            break;
+        }
+        // Candidates strictly to the right of the current knot, limited to
+        // the left region (x <= apex.x): points beyond the apex belong to
+        // the right-region fit.
+        let mut best: Option<(f64, Point)> = None;
+        for &p in &pts {
+            if p.x <= current.x + EPS * (1.0 + current.x.abs()) || p.x > apex.x {
+                continue;
+            }
+            let slope = current.slope_to(&p);
+            match best {
+                None => best = Some((slope, p)),
+                Some((bs, bp)) => {
+                    let tol = EPS * (1.0 + bs.abs());
+                    if slope > bs + tol || ((slope - bs).abs() <= tol && p.x > bp.x) {
+                        best = Some((slope, p));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, p)) => {
+                hull.push(p);
+                current = p;
+                if (current.x - apex.x).abs() <= EPS * (1.0 + apex.x.abs()) {
+                    // Reached the apex column; the max-slope choice at the
+                    // apex's x is the apex itself (it has the max y).
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    hull
+}
+
+/// Computes the Pareto front of `points` under joint maximization of `x`
+/// and `y` (paper Fig. 6, step 1).
+///
+/// A point is on the front if no other point has both `x >=` and `y >=` it
+/// (with at least one strict). The result is sorted by **decreasing `x`**
+/// (and therefore strictly increasing `y`), matching the right-region
+/// fitting order `q1 (rightmost) .. qk (leftmost, highest)`. Duplicate
+/// points are collapsed to one representative.
+pub fn pareto_front(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points
+        .iter()
+        .copied()
+        .filter(|p| p.x.is_finite() && p.y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    // Sort by decreasing x; for equal x keep the highest y first.
+    pts.sort_by(|a, b| {
+        b.x.partial_cmp(&a.x)
+            .unwrap()
+            .then(b.y.partial_cmp(&a.y).unwrap())
+    });
+    let mut front: Vec<Point> = Vec::new();
+    let mut best_y = f64::NEG_INFINITY;
+    for p in pts {
+        if p.y > best_y {
+            front.push(p);
+            best_y = p.y;
+        }
+    }
+    front
+}
+
+/// Evaluates the piecewise-linear function through `knots` (ascending `x`)
+/// at `x`, clamping to the end values outside the knot range.
+///
+/// # Panics
+///
+/// Panics if `knots` is empty.
+pub fn piecewise_eval(knots: &[Point], x: f64) -> f64 {
+    assert!(!knots.is_empty(), "piecewise_eval requires at least one knot");
+    if x <= knots[0].x {
+        return knots[0].y;
+    }
+    if x >= knots[knots.len() - 1].x {
+        return knots[knots.len() - 1].y;
+    }
+    // Binary search for the segment containing x.
+    let mut lo = 0;
+    let mut hi = knots.len() - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if knots[mid].x <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (a, b) = (knots[lo], knots[hi]);
+    if b.x == a.x {
+        return a.y.max(b.y);
+    }
+    a.y + (x - a.x) * (b.y - a.y) / (b.x - a.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_single_point_is_origin_to_point() {
+        let hull = upper_hull_from_origin(&[p(2.0, 3.0)]);
+        assert_eq!(hull, vec![Point::ORIGIN, p(2.0, 3.0)]);
+    }
+
+    #[test]
+    fn hull_walks_by_max_slope() {
+        // Mirrors the paper's Fig. 5 shape: several points, the hull picks
+        // the steepest first, then flattens toward the apex.
+        let pts = [p(1.0, 2.0), p(2.0, 3.0), p(3.0, 3.5), p(1.5, 1.0), p(2.5, 2.0)];
+        let hull = upper_hull_from_origin(&pts);
+        assert_eq!(hull, vec![Point::ORIGIN, p(1.0, 2.0), p(2.0, 3.0), p(3.0, 3.5)]);
+    }
+
+    #[test]
+    fn hull_lies_on_or_above_all_left_points() {
+        let pts = [
+            p(0.5, 0.4),
+            p(1.0, 2.0),
+            p(1.2, 0.3),
+            p(2.0, 2.5),
+            p(2.7, 2.9),
+            p(3.0, 3.0),
+        ];
+        let hull = upper_hull_from_origin(&pts);
+        for q in &pts {
+            let v = piecewise_eval(&hull, q.x);
+            assert!(
+                ge_approx(v, q.y),
+                "hull({}) = {} below sample {}",
+                q.x,
+                v,
+                q.y
+            );
+        }
+    }
+
+    #[test]
+    fn hull_slopes_are_nonincreasing() {
+        let pts = [p(1.0, 3.0), p(2.0, 4.0), p(4.0, 5.0), p(3.0, 4.2)];
+        let hull = upper_hull_from_origin(&pts);
+        let slopes: Vec<f64> = hull.windows(2).map(|w| w[0].slope_to(&w[1])).collect();
+        for w in slopes.windows(2) {
+            assert!(w[1] <= w[0] + EPS, "slopes must be non-increasing: {slopes:?}");
+        }
+    }
+
+    #[test]
+    fn hull_ignores_points_right_of_apex() {
+        // The point at x=10 has lower y than the apex at x=3; it belongs to
+        // the right region and must not drag the hull past the apex.
+        let pts = [p(3.0, 5.0), p(10.0, 2.0), p(1.0, 2.0)];
+        let hull = upper_hull_from_origin(&pts);
+        assert_eq!(*hull.last().unwrap(), p(3.0, 5.0));
+    }
+
+    #[test]
+    fn hull_with_collinear_points_skips_interior() {
+        let pts = [p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)];
+        let hull = upper_hull_from_origin(&pts);
+        assert_eq!(hull, vec![Point::ORIGIN, p(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn hull_of_empty_input_is_origin_only() {
+        assert_eq!(upper_hull_from_origin(&[]), vec![Point::ORIGIN]);
+    }
+
+    #[test]
+    fn hull_all_zero_throughput() {
+        let hull = upper_hull_from_origin(&[p(1.0, 0.0), p(2.0, 0.0)]);
+        assert_eq!(hull, vec![Point::ORIGIN, p(2.0, 0.0)]);
+    }
+
+    #[test]
+    fn pareto_front_orders_by_decreasing_x() {
+        // The paper's Fig. 6 setting: A..E with A rightmost/lowest and E
+        // leftmost/highest.
+        let a = p(10.0, 1.0);
+        let b = p(8.0, 2.0);
+        let c = p(6.0, 3.0);
+        let d = p(4.0, 4.0);
+        let e = p(2.0, 5.0);
+        let dominated = p(5.0, 2.5);
+        let front = pareto_front(&[c, dominated, e, a, d, b]);
+        assert_eq!(front, vec![a, b, c, d, e]);
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        let front = pareto_front(&[p(1.0, 1.0), p(2.0, 2.0), p(0.5, 0.5)]);
+        assert_eq!(front, vec![p(2.0, 2.0)]);
+    }
+
+    #[test]
+    fn pareto_front_handles_equal_x() {
+        let front = pareto_front(&[p(2.0, 1.0), p(2.0, 3.0), p(1.0, 4.0)]);
+        assert_eq!(front, vec![p(2.0, 3.0), p(1.0, 4.0)]);
+    }
+
+    #[test]
+    fn pareto_front_of_empty_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn piecewise_eval_interpolates_and_clamps() {
+        let knots = [p(0.0, 0.0), p(2.0, 4.0), p(4.0, 5.0)];
+        assert_eq!(piecewise_eval(&knots, -1.0), 0.0);
+        assert_eq!(piecewise_eval(&knots, 1.0), 2.0);
+        assert_eq!(piecewise_eval(&knots, 3.0), 4.5);
+        assert_eq!(piecewise_eval(&knots, 9.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one knot")]
+    fn piecewise_eval_empty_panics() {
+        piecewise_eval(&[], 1.0);
+    }
+}

@@ -1,0 +1,550 @@
+//! Per-metric piecewise-linear roofline models (paper Section III-B/III-D).
+//!
+//! Each SPIRE roofline maps one metric's operational intensity `I_x` to an
+//! upper bound on throughput. The fitted function is split at the
+//! highest-throughput training sample (the *apex*):
+//!
+//! * **left** of the apex the metric is assumed negatively associated with
+//!   performance, and the fit is an increasing, concave-down chain of
+//!   segments from the origin (a Jarvis-march upper hull, Fig. 5);
+//! * **right** of the apex the metric is assumed positively associated, and
+//!   the fit is a decreasing, concave-up chain selected by a shortest-path
+//!   search over the Pareto front (Fig. 6), ending in a horizontal *tail*
+//!   at the height observed for `I_x = ∞` samples.
+
+mod right;
+
+pub use right::RightRegion;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SpireError};
+use crate::geometry::{self, Point};
+use crate::sample::{MetricId, Sample};
+
+/// Strategy for the region right of the apex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RightFitMode {
+    /// The paper's algorithm: graph search over the Pareto front.
+    #[default]
+    Graph,
+    /// Treat the metric as purely negatively associated with performance:
+    /// hold the apex height for all intensities at or beyond the apex.
+    ///
+    /// This sidesteps the failure mode the paper observes on its `BP.1`
+    /// roofline (Fig. 7 left), where sparse high-intensity samples make the
+    /// right fit drop inaccurately.
+    Plateau,
+    /// Choose between [`Graph`](RightFitMode::Graph) and
+    /// [`Plateau`](RightFitMode::Plateau) per metric by testing whether the
+    /// right-region samples actually trend downward (a robust-trend
+    /// extension of the paper's split heuristic; see
+    /// [`FitOptions::auto_trend_threshold`]).
+    Auto,
+}
+
+/// Options controlling how a roofline is fitted.
+///
+/// The defaults reproduce the paper's algorithm exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitOptions {
+    /// How to fit the region right of the apex.
+    pub right_fit: RightFitMode,
+    /// For [`RightFitMode::Auto`]: the Pearson correlation between
+    /// intensity and throughput over right-region samples below which the
+    /// region is considered genuinely decreasing and the graph fit is used.
+    /// Must lie in `[-1, 0]`. Default `-0.1`.
+    pub auto_trend_threshold: f64,
+    /// Upper limit on the Pareto-front size fed to the right-region graph
+    /// search. Larger fronts are thinned (keeping both extremes) to bound
+    /// the `O(front³)` graph construction. Default `256`.
+    pub max_front_size: usize,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            right_fit: RightFitMode::Graph,
+            auto_trend_threshold: -0.1,
+            max_front_size: 256,
+        }
+    }
+}
+
+impl FitOptions {
+    /// Validates the option values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::InvalidConfig`] if `auto_trend_threshold` is
+    /// outside `[-1, 0]` or `max_front_size` is less than 2.
+    pub fn validate(&self) -> Result<()> {
+        if !(-1.0..=0.0).contains(&self.auto_trend_threshold) {
+            return Err(SpireError::InvalidConfig {
+                field: "auto_trend_threshold",
+                reason: format!(
+                    "must be within [-1, 0], got {}",
+                    self.auto_trend_threshold
+                ),
+            });
+        }
+        if self.max_front_size < 2 {
+            return Err(SpireError::InvalidConfig {
+                field: "max_front_size",
+                reason: format!("must be at least 2, got {}", self.max_front_size),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The internal shape of a fitted roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    /// Every training sample had infinite intensity (`M_x = 0` throughout):
+    /// the roofline is a constant at the maximum observed throughput.
+    Constant(f64),
+    /// The general case: a left hull up to the apex and a right region
+    /// beyond it.
+    Full {
+        /// Knots of the left region, from the origin to the apex
+        /// (ascending intensity).
+        left: Vec<Point>,
+        /// The right region (plateau, knots, tail).
+        right: RightRegion,
+    },
+}
+
+/// A fitted per-metric roofline: an upper bound on throughput as a function
+/// of one metric's operational intensity.
+///
+/// ```
+/// use spire_core::{FitOptions, PiecewiseRoofline, Sample};
+///
+/// # fn main() -> Result<(), spire_core::SpireError> {
+/// let samples = vec![
+///     Sample::new("stalls", 10.0, 10.0, 10.0)?, // I = 1, P = 1
+///     Sample::new("stalls", 10.0, 20.0, 5.0)?,  // I = 4, P = 2
+///     Sample::new("stalls", 10.0, 30.0, 3.0)?,  // I = 10, P = 3
+/// ];
+/// let roofline = PiecewiseRoofline::fit(
+///     "stalls".into(),
+///     samples.iter(),
+///     &FitOptions::default(),
+/// )?;
+/// // More work per stall can only help up to the observed maximum.
+/// assert!(roofline.estimate(2.0) <= 3.0);
+/// assert_eq!(roofline.estimate(10.0), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseRoofline {
+    metric: MetricId,
+    shape: Shape,
+    training_samples: usize,
+}
+
+impl PiecewiseRoofline {
+    /// Fits a roofline to `samples`, all of which must belong to `metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::EmptyTrainingSet`] if `samples` is empty and
+    /// [`SpireError::InvalidConfig`] if `options` fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that every sample's metric equals `metric`.
+    pub fn fit<'a, I>(metric: MetricId, samples: I, options: &FitOptions) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a Sample>,
+    {
+        options.validate()?;
+        let mut finite: Vec<Point> = Vec::new();
+        let mut inf_height: Option<f64> = None;
+        let mut right_points: Vec<Point> = Vec::new();
+        let mut count = 0usize;
+        for s in samples {
+            debug_assert_eq!(s.metric(), &metric, "sample metric mismatch");
+            count += 1;
+            let i = s.intensity();
+            let p = s.throughput();
+            if i.is_finite() {
+                finite.push(Point::new(i, p));
+            } else {
+                inf_height = Some(inf_height.map_or(p, |h: f64| h.max(p)));
+            }
+        }
+        if count == 0 {
+            return Err(SpireError::EmptyTrainingSet {
+                metric: Some(metric.to_string()),
+            });
+        }
+        if finite.is_empty() {
+            return Ok(PiecewiseRoofline {
+                metric,
+                shape: Shape::Constant(inf_height.unwrap_or(0.0)),
+                training_samples: count,
+            });
+        }
+
+        // Left region: hull from origin to the apex.
+        let left = geometry::upper_hull_from_origin(&finite);
+        let apex = *left.last().expect("hull always contains the origin");
+
+        // Right region: Pareto front over samples at or beyond the apex.
+        right_points.extend(finite.iter().copied().filter(|p| p.x >= apex.x));
+        if right_points.is_empty() {
+            // Possible only when every finite sample has zero throughput
+            // and sits left of the apex; fall back to the apex alone.
+            right_points.push(apex);
+        }
+        let mut front = geometry::pareto_front(&right_points);
+        if front.is_empty() {
+            front.push(apex);
+        }
+        thin_front(&mut front, options.max_front_size);
+
+        let use_graph = match options.right_fit {
+            RightFitMode::Graph => true,
+            RightFitMode::Plateau => false,
+            RightFitMode::Auto => {
+                // Judge the trend on points strictly beyond the apex: the
+                // apex itself is the maximum by construction and would bias
+                // the correlation negative.
+                let beyond: Vec<Point> = right_points
+                    .iter()
+                    .copied()
+                    .filter(|p| p.x > apex.x)
+                    .collect();
+                beyond.len() >= 3 && right_trend(&beyond) <= options.auto_trend_threshold
+            }
+        };
+
+        let right = if use_graph {
+            right::fit_right(&front, inf_height)
+        } else {
+            // Plateau mode must still bound infinite-intensity samples.
+            let height = inf_height.map_or(apex.y, |h| h.max(apex.y));
+            RightRegion::constant(height.max(apex.y))
+        };
+
+        Ok(PiecewiseRoofline {
+            metric,
+            shape: Shape::Full { left, right },
+            training_samples: count,
+        })
+    }
+
+    /// The metric this roofline models.
+    pub fn metric(&self) -> &MetricId {
+        &self.metric
+    }
+
+    /// Number of training samples the fit consumed.
+    pub fn training_samples(&self) -> usize {
+        self.training_samples
+    }
+
+    /// Estimates the maximum attainable throughput at operational intensity
+    /// `intensity` (which may be `f64::INFINITY` for `M_x = 0` samples).
+    ///
+    /// Non-positive intensities estimate zero throughput: zero work per
+    /// metric event can only mean zero work.
+    pub fn estimate(&self, intensity: f64) -> f64 {
+        match &self.shape {
+            Shape::Constant(h) => *h,
+            Shape::Full { left, right } => {
+                if intensity <= 0.0 {
+                    return 0.0;
+                }
+                let apex = *left.last().expect("hull is non-empty");
+                if intensity < apex.x {
+                    geometry::piecewise_eval(left, intensity)
+                } else {
+                    right.eval(intensity)
+                }
+            }
+        }
+    }
+
+    /// Estimates the maximum attainable throughput for one sample, using
+    /// its intensity.
+    pub fn estimate_sample(&self, sample: &Sample) -> f64 {
+        self.estimate(sample.intensity())
+    }
+
+    /// The apex: the highest-throughput training sample the fit split at,
+    /// or `None` for constant (all-infinite-intensity) rooflines.
+    pub fn apex(&self) -> Option<Point> {
+        match &self.shape {
+            Shape::Constant(_) => None,
+            Shape::Full { left, .. } => left.last().copied(),
+        }
+    }
+
+    /// Knots of the left region (origin to apex, ascending intensity);
+    /// empty for constant rooflines.
+    pub fn left_knots(&self) -> &[Point] {
+        match &self.shape {
+            Shape::Constant(_) => &[],
+            Shape::Full { left, .. } => left,
+        }
+    }
+
+    /// The fitted right region, or `None` for constant rooflines.
+    pub fn right_region(&self) -> Option<&RightRegion> {
+        match &self.shape {
+            Shape::Constant(_) => None,
+            Shape::Full { right, .. } => Some(right),
+        }
+    }
+
+    /// Returns `true` if the roofline degenerated to a constant because all
+    /// training samples had infinite intensity.
+    pub fn is_constant(&self) -> bool {
+        matches!(self.shape, Shape::Constant(_))
+    }
+}
+
+/// Thins an oversized Pareto front to at most `max` points, always keeping
+/// the first (rightmost) and last (apex) entries.
+fn thin_front(front: &mut Vec<Point>, max: usize) {
+    let n = front.len();
+    if n <= max {
+        return;
+    }
+    let mut kept = Vec::with_capacity(max);
+    kept.push(front[0]);
+    // Evenly spaced interior picks.
+    for i in 1..max - 1 {
+        let idx = i * (n - 1) / (max - 1);
+        kept.push(front[idx]);
+    }
+    kept.push(front[n - 1]);
+    kept.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    *front = kept;
+}
+
+/// Pearson correlation between intensity and throughput over right-region
+/// points; `0.0` when degenerate (fewer than 3 points or zero variance).
+fn right_trend(points: &[Point]) -> f64 {
+    if points.len() < 3 {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.x).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.y).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for p in points {
+        let dx = p.x - mx;
+        let dy = p.y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64, w: f64, m: f64) -> Sample {
+        Sample::new("m", t, w, m).unwrap()
+    }
+
+    fn fit(samples: &[Sample]) -> PiecewiseRoofline {
+        PiecewiseRoofline::fit("m".into(), samples.iter(), &FitOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let err =
+            PiecewiseRoofline::fit("m".into(), std::iter::empty(), &FitOptions::default())
+                .unwrap_err();
+        assert!(matches!(err, SpireError::EmptyTrainingSet { .. }));
+    }
+
+    #[test]
+    fn all_infinite_intensity_gives_constant() {
+        // metric never fires: M = 0 in every sample.
+        let samples = vec![s(10.0, 20.0, 0.0), s(10.0, 30.0, 0.0)];
+        let r = fit(&samples);
+        assert!(r.is_constant());
+        assert_eq!(r.estimate(1.0), 3.0);
+        assert_eq!(r.estimate(f64::INFINITY), 3.0);
+    }
+
+    #[test]
+    fn single_sample_produces_triangle_roofline() {
+        // One sample at (I=2, P=1): left segment from origin, plateau after.
+        let samples = vec![s(10.0, 10.0, 5.0)];
+        let r = fit(&samples);
+        assert_eq!(r.estimate(1.0), 0.5);
+        assert_eq!(r.estimate(2.0), 1.0);
+        assert_eq!(r.estimate(100.0), 1.0);
+        assert_eq!(r.estimate(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn estimate_at_nonpositive_intensity_is_zero() {
+        let samples = vec![s(10.0, 10.0, 5.0)];
+        let r = fit(&samples);
+        assert_eq!(r.estimate(0.0), 0.0);
+        assert_eq!(r.estimate(-3.0), 0.0);
+    }
+
+    #[test]
+    fn fit_is_upper_bound_on_training_samples() {
+        let samples = vec![
+            s(10.0, 5.0, 10.0),   // I 0.5, P 0.5
+            s(10.0, 12.0, 8.0),   // I 1.5, P 1.2
+            s(10.0, 20.0, 5.0),   // I 4, P 2
+            s(10.0, 25.0, 2.5),   // I 10, P 2.5
+            s(10.0, 18.0, 1.0),   // I 18, P 1.8
+            s(10.0, 12.0, 0.5),   // I 24, P 1.2
+            s(10.0, 8.0, 0.0),    // I inf, P 0.8
+        ];
+        let r = fit(&samples);
+        for smp in &samples {
+            let est = r.estimate_sample(smp);
+            assert!(
+                est >= smp.throughput() - 1e-9,
+                "estimate {est} below sample throughput {}",
+                smp.throughput()
+            );
+        }
+    }
+
+    #[test]
+    fn left_region_is_nondecreasing() {
+        let samples = vec![
+            s(10.0, 5.0, 10.0),
+            s(10.0, 12.0, 8.0),
+            s(10.0, 20.0, 5.0),
+            s(10.0, 25.0, 2.5),
+        ];
+        let r = fit(&samples);
+        let apex = r.apex().unwrap();
+        let mut prev = 0.0;
+        let mut x = 0.0;
+        while x <= apex.x {
+            let v = r.estimate(x.max(1e-12));
+            assert!(v >= prev - 1e-9, "left region must be non-decreasing");
+            prev = v;
+            x += apex.x / 64.0;
+        }
+    }
+
+    #[test]
+    fn plateau_mode_never_decreases_right_of_apex() {
+        let samples = [
+            s(10.0, 20.0, 5.0),  // I 4, P 2 (apex)
+            s(10.0, 10.0, 1.0),  // I 10, P 1
+            s(10.0, 5.0, 0.25),  // I 20, P 0.5
+        ];
+        let opts = FitOptions {
+            right_fit: RightFitMode::Plateau,
+            ..FitOptions::default()
+        };
+        let r = PiecewiseRoofline::fit("m".into(), samples.iter(), &opts).unwrap();
+        assert_eq!(r.estimate(10.0), 2.0);
+        assert_eq!(r.estimate(1e6), 2.0);
+    }
+
+    #[test]
+    fn graph_mode_decreases_right_of_apex() {
+        let samples = vec![
+            s(10.0, 20.0, 5.0),  // I 4, P 2 (apex)
+            s(10.0, 10.0, 1.0),  // I 10, P 1
+            s(10.0, 5.0, 0.25),  // I 20, P 0.5
+        ];
+        let r = fit(&samples);
+        assert!(r.estimate(20.0) < 2.0);
+        assert!(r.estimate(20.0) >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn auto_mode_prefers_plateau_for_flat_right_region() {
+        // Right-region throughput does not trend downward.
+        let samples = [
+            s(10.0, 20.0, 5.0),   // I 4, P 2 (apex)
+            s(10.0, 19.0, 2.0),   // I 9.5, P 1.9
+            s(10.0, 19.5, 1.0),   // I 19.5, P 1.95
+            s(10.0, 19.2, 0.5),   // I 38.4, P 1.92
+        ];
+        let opts = FitOptions {
+            right_fit: RightFitMode::Auto,
+            ..FitOptions::default()
+        };
+        let r = PiecewiseRoofline::fit("m".into(), samples.iter(), &opts).unwrap();
+        // Plateau chosen: no drop at high intensity.
+        assert_eq!(r.estimate(1e9), 2.0);
+    }
+
+    #[test]
+    fn auto_mode_uses_graph_for_decreasing_right_region() {
+        let samples = [
+            s(10.0, 20.0, 5.0),  // I 4, P 2 (apex)
+            s(10.0, 15.0, 1.5),  // I 10, P 1.5
+            s(10.0, 10.0, 0.5),  // I 20, P 1.0
+            s(10.0, 5.0, 0.125), // I 40, P 0.5
+        ];
+        let opts = FitOptions {
+            right_fit: RightFitMode::Auto,
+            ..FitOptions::default()
+        };
+        let r = PiecewiseRoofline::fit("m".into(), samples.iter(), &opts).unwrap();
+        assert!(r.estimate(40.0) < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fit_options_validate_bounds() {
+        let bad = FitOptions {
+            auto_trend_threshold: 0.5,
+            ..FitOptions::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = FitOptions {
+            max_front_size: 1,
+            ..FitOptions::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(FitOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn thin_front_keeps_extremes() {
+        let mut front: Vec<Point> =
+            (0..100).map(|i| Point::new(100.0 - i as f64, i as f64)).collect();
+        thin_front(&mut front, 10);
+        assert!(front.len() <= 10);
+        assert_eq!(front[0], Point::new(100.0, 0.0));
+        assert_eq!(*front.last().unwrap(), Point::new(1.0, 99.0));
+    }
+
+    #[test]
+    fn roofline_serde_round_trip() {
+        let samples = vec![s(10.0, 10.0, 5.0), s(10.0, 20.0, 2.0)];
+        let r = fit(&samples);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PiecewiseRoofline = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(r.estimate(3.0), back.estimate(3.0));
+    }
+
+    #[test]
+    fn zero_work_samples_fit_without_panic() {
+        let samples = vec![s(10.0, 0.0, 5.0), s(10.0, 0.0, 2.0)];
+        let r = fit(&samples);
+        assert_eq!(r.estimate(1.0), 0.0);
+    }
+}

@@ -1,0 +1,453 @@
+//! SPIRE's input data model: performance-counter [`Sample`]s and the
+//! [`SampleSet`] collection.
+//!
+//! A sample (paper Section III-A) describes one measurement period of a
+//! workload executing on the processor under analysis:
+//!
+//! * `T` — length of the period ([`Sample::time`]),
+//! * `W` — quantity of work completed ([`Sample::work`]),
+//! * `M_x` — increase of performance metric `x` ([`Sample::metric_delta`]),
+//! * `P = W / T` — average throughput ([`Sample::throughput`]),
+//! * `I_x = W / M_x` — metric-specific operational intensity
+//!   ([`Sample::intensity`]).
+//!
+//! The units of `T` and `W` must be consistent across all samples (for IPC
+//! analysis: `W` in retired instructions, `T` in unhalted core cycles).
+//! `M_x` is in whatever unit the associated metric counts.
+
+use std::borrow::Borrow;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::de::Deserializer;
+use serde::ser::Serializer;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SpireError};
+
+/// Identifier of a performance metric (one hardware counter event).
+///
+/// Metric ids are interned strings: cloning is cheap (an atomic reference
+/// count), and equality/ordering follow the underlying string. Construct one
+/// from any string-like value:
+///
+/// ```
+/// use spire_core::MetricId;
+///
+/// let a = MetricId::new("br_misp_retired.all_branches");
+/// let b: MetricId = "br_misp_retired.all_branches".into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "br_misp_retired.all_branches");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(Arc<str>);
+
+impl MetricId {
+    /// Creates a metric id from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        MetricId(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the metric name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for MetricId {
+    fn from(s: &str) -> Self {
+        MetricId::new(s)
+    }
+}
+
+impl From<String> for MetricId {
+    fn from(s: String) -> Self {
+        MetricId(Arc::from(s.as_str()))
+    }
+}
+
+impl AsRef<str> for MetricId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for MetricId {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for MetricId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for MetricId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(MetricId::from(s))
+    }
+}
+
+/// One measurement period for a single performance metric.
+///
+/// Invariants (enforced by [`Sample::new`]):
+/// * `time` is finite and strictly positive,
+/// * `work` is finite and non-negative,
+/// * `metric_delta` is finite and non-negative.
+///
+/// A `metric_delta` of zero yields an **infinite** operational intensity
+/// (`I_x = W / 0`); such samples anchor the right-region fit's `Start`
+/// vertex (paper Section III-D).
+///
+/// ```
+/// use spire_core::Sample;
+///
+/// # fn main() -> Result<(), spire_core::SpireError> {
+/// // 2e9 cycles, 3e9 retired instructions, 1.5e7 branch mispredictions.
+/// let s = Sample::new("br_misp_retired.all_branches", 2e9, 3e9, 1.5e7)?;
+/// assert_eq!(s.throughput(), 1.5); // IPC
+/// assert_eq!(s.intensity(), 200.0); // instructions per misprediction
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    metric: MetricId,
+    time: f64,
+    work: f64,
+    metric_delta: f64,
+}
+
+impl Sample {
+    /// Creates a validated sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::InvalidSample`] if `time` is not finite and
+    /// strictly positive, or if `work` or `metric_delta` is not finite and
+    /// non-negative.
+    pub fn new(
+        metric: impl Into<MetricId>,
+        time: f64,
+        work: f64,
+        metric_delta: f64,
+    ) -> Result<Self> {
+        if !time.is_finite() || time <= 0.0 {
+            return Err(SpireError::InvalidSample {
+                field: "time",
+                value: time,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !work.is_finite() || work < 0.0 {
+            return Err(SpireError::InvalidSample {
+                field: "work",
+                value: work,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !metric_delta.is_finite() || metric_delta < 0.0 {
+            return Err(SpireError::InvalidSample {
+                field: "metric_delta",
+                value: metric_delta,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        Ok(Sample {
+            metric: metric.into(),
+            time,
+            work,
+            metric_delta,
+        })
+    }
+
+    /// The metric this sample is associated with.
+    pub fn metric(&self) -> &MetricId {
+        &self.metric
+    }
+
+    /// `T`: length of the measurement period.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// `W`: quantity of work completed during the period.
+    pub fn work(&self) -> f64 {
+        self.work
+    }
+
+    /// `M_x`: increase of the associated metric during the period.
+    pub fn metric_delta(&self) -> f64 {
+        self.metric_delta
+    }
+
+    /// `P = W / T`: average throughput over the period.
+    pub fn throughput(&self) -> f64 {
+        self.work / self.time
+    }
+
+    /// `I_x = W / M_x`: metric-specific operational intensity.
+    ///
+    /// Returns `f64::INFINITY` when `M_x` is zero (the metric never fired
+    /// during the period), matching the paper's `I_x = ∞` samples. Returns
+    /// `0.0` when both `W` and `M_x` are zero: a period that did no work is
+    /// treated as zero intensity rather than an indeterminate `0/0`.
+    pub fn intensity(&self) -> f64 {
+        if self.metric_delta == 0.0 {
+            if self.work == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.work / self.metric_delta
+        }
+    }
+}
+
+/// A collection of [`Sample`]s, groupable by metric.
+///
+/// `SampleSet` is the unit of data exchanged with the model: training
+/// consumes one, and each analyzed workload is described by one.
+///
+/// ```
+/// use spire_core::{Sample, SampleSet};
+///
+/// # fn main() -> Result<(), spire_core::SpireError> {
+/// let mut set = SampleSet::new();
+/// set.push(Sample::new("stalls", 100.0, 150.0, 10.0)?);
+/// set.push(Sample::new("stalls", 100.0, 180.0, 5.0)?);
+/// set.push(Sample::new("l3_miss", 100.0, 150.0, 2.0)?);
+/// assert_eq!(set.len(), 3);
+/// assert_eq!(set.metrics().count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleSet {
+    samples: Vec<Sample>,
+}
+
+impl SampleSet {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        SampleSet::default()
+    }
+
+    /// Creates an empty sample set with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        SampleSet {
+            samples: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples in the set.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the set contains no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over the samples in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Returns the samples as a slice.
+    pub fn as_slice(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Groups the samples by metric, preserving insertion order within each
+    /// group. The map is ordered by metric name for deterministic iteration.
+    pub fn by_metric(&self) -> BTreeMap<&MetricId, Vec<&Sample>> {
+        let mut map: BTreeMap<&MetricId, Vec<&Sample>> = BTreeMap::new();
+        for s in &self.samples {
+            map.entry(s.metric()).or_default().push(s);
+        }
+        map
+    }
+
+    /// Iterates over the distinct metrics present in the set, in name order.
+    pub fn metrics(&self) -> impl Iterator<Item = &MetricId> {
+        let mut names: Vec<&MetricId> = self.samples.iter().map(Sample::metric).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.into_iter()
+    }
+
+    /// Returns all samples for one metric, in insertion order.
+    pub fn samples_for(&self, metric: &MetricId) -> Vec<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| s.metric() == metric)
+            .collect()
+    }
+
+    /// Total measurement time across all samples (sum of `T`).
+    pub fn total_time(&self) -> f64 {
+        self.samples.iter().map(Sample::time).sum()
+    }
+
+    /// Merges another sample set into this one.
+    pub fn merge(&mut self, other: SampleSet) {
+        self.samples.extend(other.samples);
+    }
+}
+
+impl FromIterator<Sample> for SampleSet {
+    fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
+        SampleSet {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Sample> for SampleSet {
+    fn extend<I: IntoIterator<Item = Sample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+impl IntoIterator for SampleSet {
+    type Item = Sample;
+    type IntoIter = std::vec::IntoIter<Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SampleSet {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(metric: &str, t: f64, w: f64, m: f64) -> Sample {
+        Sample::new(metric, t, w, m).unwrap()
+    }
+
+    #[test]
+    fn throughput_and_intensity_derive_from_fields() {
+        let x = s("stalls", 4.0, 8.0, 2.0);
+        assert_eq!(x.throughput(), 2.0);
+        assert_eq!(x.intensity(), 4.0);
+    }
+
+    #[test]
+    fn zero_metric_delta_gives_infinite_intensity() {
+        let x = s("stalls", 4.0, 8.0, 0.0);
+        assert!(x.intensity().is_infinite());
+    }
+
+    #[test]
+    fn zero_work_zero_delta_gives_zero_intensity() {
+        let x = s("stalls", 4.0, 0.0, 0.0);
+        assert_eq!(x.intensity(), 0.0);
+        assert_eq!(x.throughput(), 0.0);
+    }
+
+    #[test]
+    fn rejects_nonpositive_time() {
+        assert!(Sample::new("m", 0.0, 1.0, 1.0).is_err());
+        assert!(Sample::new("m", -3.0, 1.0, 1.0).is_err());
+        assert!(Sample::new("m", f64::NAN, 1.0, 1.0).is_err());
+        assert!(Sample::new("m", f64::INFINITY, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_or_nonfinite_work_and_delta() {
+        assert!(Sample::new("m", 1.0, -1.0, 1.0).is_err());
+        assert!(Sample::new("m", 1.0, f64::NAN, 1.0).is_err());
+        assert!(Sample::new("m", 1.0, 1.0, -0.5).is_err());
+        assert!(Sample::new("m", 1.0, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn grouping_by_metric_preserves_order_and_counts() {
+        let set: SampleSet = vec![
+            s("b", 1.0, 1.0, 1.0),
+            s("a", 1.0, 2.0, 1.0),
+            s("b", 1.0, 3.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let groups = set.by_metric();
+        assert_eq!(groups.len(), 2);
+        let b = &groups[&MetricId::new("b")];
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].work(), 1.0);
+        assert_eq!(b[1].work(), 3.0);
+    }
+
+    #[test]
+    fn metrics_are_deduped_and_sorted() {
+        let set: SampleSet = vec![
+            s("z", 1.0, 1.0, 1.0),
+            s("a", 1.0, 1.0, 1.0),
+            s("z", 1.0, 1.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<&str> = set.metrics().map(MetricId::as_str).collect();
+        assert_eq!(names, ["a", "z"]);
+    }
+
+    #[test]
+    fn total_time_sums_periods() {
+        let set: SampleSet = vec![s("a", 1.5, 1.0, 1.0), s("b", 2.5, 1.0, 1.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.total_time(), 4.0);
+    }
+
+    #[test]
+    fn merge_appends_all_samples() {
+        let mut a: SampleSet = vec![s("a", 1.0, 1.0, 1.0)].into_iter().collect();
+        let b: SampleSet = vec![s("b", 1.0, 1.0, 1.0)].into_iter().collect();
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn metric_id_borrow_allows_str_lookup() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<MetricId, u32> = BTreeMap::new();
+        m.insert(MetricId::new("x"), 1);
+        assert_eq!(m.get("x"), Some(&1));
+    }
+
+    #[test]
+    fn sample_set_serde_round_trip() {
+        let set: SampleSet = vec![s("a", 1.0, 2.0, 3.0)].into_iter().collect();
+        let json = serde_json::to_string(&set).unwrap();
+        let back: SampleSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(set, back);
+    }
+}

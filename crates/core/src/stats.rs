@@ -1,0 +1,224 @@
+//! Small statistics utilities used by the analysis layer: rank
+//! correlations and ranking-overlap measures for comparing bottleneck
+//! rankings (SPIRE vs TMA vs regression baselines).
+
+/// Kendall's tau-b rank correlation between two equal-length slices.
+///
+/// Returns a value in `[-1, 1]`; `0.0` for degenerate inputs (fewer than
+/// two elements, or all-tied sequences). Tau-b adjusts for ties on
+/// either side.
+///
+/// ```
+/// use spire_core::stats::kendall_tau;
+///
+/// let perfect = kendall_tau(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+/// assert!((perfect - 1.0).abs() < 1e-12);
+/// let reversed = kendall_tau(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
+/// assert!((reversed + 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank correlation needs paired samples");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // tied on both: contributes to neither
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Spearman's rank correlation (Pearson over ranks, average-rank ties).
+///
+/// Returns `0.0` for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank correlation needs paired samples");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Pearson correlation coefficient; `0.0` for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation needs paired samples");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut sab = 0.0;
+    let mut saa = 0.0;
+    let mut sbb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if saa <= 0.0 || sbb <= 0.0 {
+        return 0.0;
+    }
+    sab / (saa * sbb).sqrt()
+}
+
+/// Average ranks (1-based) with ties receiving the mean of their span.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Overlap@k between two ranked lists: the fraction of the first `k`
+/// elements of `a` that also appear in the first `k` of `b`.
+///
+/// Returns `1.0` when `k == 0` (empty prefixes trivially agree). Items
+/// are compared by equality.
+pub fn overlap_at_k<T: PartialEq>(a: &[T], b: &[T], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let ka = &a[..k.min(a.len())];
+    let kb = &b[..k.min(b.len())];
+    if ka.is_empty() {
+        return 1.0;
+    }
+    let hits = ka.iter().filter(|x| kb.contains(x)).count();
+    hits as f64 / ka.len() as f64
+}
+
+/// Mean and sample standard deviation of a slice; `(0, 0)` when empty.
+pub fn mean_std(v: &[f64]) -> (f64, f64) {
+    if v.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    if v.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (v.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kendall_extremes() {
+        assert!((kendall_tau(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&[1.0, 2.0, 3.0, 4.0], &[4.0, 3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_handles_ties() {
+        let t = kendall_tau(&[1.0, 1.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(t > 0.0 && t < 1.0);
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_degenerate_inputs() {
+        assert_eq!(kendall_tau(&[], &[]), 0.0);
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), 0.0);
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn kendall_length_mismatch_panics() {
+        kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_matches_monotone_transforms() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 8.0, 27.0, 64.0, 125.0]; // monotone in a
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_average_ranks_for_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn pearson_basic() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn overlap_at_k_counts_shared_prefix_items() {
+        let a = ["x", "y", "z", "w"];
+        let b = ["y", "x", "q", "r"];
+        assert!((overlap_at_k(&a, &b, 2) - 1.0).abs() < 1e-12);
+        assert!((overlap_at_k(&a, &b, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(overlap_at_k(&a, &b, 0), 1.0);
+        let empty: [&str; 0] = [];
+        assert_eq!(overlap_at_k(&empty, &b, 3), 1.0);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+}

@@ -1,0 +1,278 @@
+//! Property-based tests for the SPIRE core invariants.
+//!
+//! These exercise the fitting algorithms and ensemble arithmetic on random
+//! inputs: the invariants here are the paper's correctness conditions
+//! (upper-bound fits, monotone regions, min-ensemble semantics).
+
+use proptest::prelude::*;
+use spire_core::geometry::{pareto_front, piecewise_eval, upper_hull_from_origin, Point};
+use spire_core::graph::DiGraph;
+use spire_core::{
+    EnsembleAggregation, FitOptions, MergeStrategy, PiecewiseRoofline, RightFitMode, Sample,
+    SampleSet, SpireModel, TrainConfig,
+};
+
+/// Strategy: one raw sample triple `(T, W, M)`. `M` is zero ~10% of the
+/// time to exercise infinite-intensity handling.
+fn raw_sample() -> impl Strategy<Value = (f64, f64, f64)> {
+    (
+        0.1f64..100.0,
+        0.0f64..1000.0,
+        prop_oneof![
+            1 => Just(0.0f64),
+            9 => 0.01f64..100.0,
+        ],
+    )
+}
+
+fn samples(metric: &'static str, n: usize) -> impl Strategy<Value = Vec<Sample>> {
+    prop::collection::vec(raw_sample(), 1..n).prop_map(move |v| {
+        v.into_iter()
+            .map(|(t, w, m)| Sample::new(metric, t, w, m).expect("valid by construction"))
+            .collect()
+    })
+}
+
+/// Tolerance used when checking the upper-bound property; fits only need
+/// to hold up to floating-point round-off.
+fn tol(v: f64) -> f64 {
+    1e-6 * (1.0 + v.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Paper Sec. III-B: the fitted function lies on or above all of its
+    /// training samples — for every fitting mode.
+    #[test]
+    fn roofline_is_upper_bound(samples in samples("m", 64)) {
+        for mode in [RightFitMode::Graph, RightFitMode::Plateau, RightFitMode::Auto] {
+            let opts = FitOptions { right_fit: mode, ..FitOptions::default() };
+            let r = PiecewiseRoofline::fit("m".into(), samples.iter(), &opts).unwrap();
+            for s in &samples {
+                let est = r.estimate_sample(s);
+                prop_assert!(
+                    est >= s.throughput() - tol(s.throughput()),
+                    "mode {mode:?}: estimate {est} below throughput {} at I={}",
+                    s.throughput(),
+                    s.intensity()
+                );
+            }
+        }
+    }
+
+    /// Left of the apex the fit is non-decreasing (increasing, concave-down
+    /// segments from the origin).
+    #[test]
+    fn left_region_is_monotone_nondecreasing(samples in samples("m", 64)) {
+        let r = PiecewiseRoofline::fit("m".into(), samples.iter(), &FitOptions::default())
+            .unwrap();
+        if let Some(apex) = r.apex() {
+            if apex.x > 0.0 {
+                let mut prev = f64::NEG_INFINITY;
+                for i in 0..=50 {
+                    // Clamp: rounding in the multiply must not push the
+                    // probe past the apex into the right region.
+                    let x = (apex.x * i as f64 / 50.0).min(apex.x);
+                    let v = r.estimate(x.max(f64::MIN_POSITIVE));
+                    prop_assert!(v >= prev - tol(prev));
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    /// Left knots are concave-down: slopes are non-increasing along the
+    /// hull.
+    #[test]
+    fn left_knots_are_concave_down(samples in samples("m", 64)) {
+        let r = PiecewiseRoofline::fit("m".into(), samples.iter(), &FitOptions::default())
+            .unwrap();
+        let knots = r.left_knots();
+        let slopes: Vec<f64> = knots
+            .windows(2)
+            .filter(|w| w[1].x > w[0].x)
+            .map(|w| w[0].slope_to(&w[1]))
+            .collect();
+        for w in slopes.windows(2) {
+            prop_assert!(w[1] <= w[0] + tol(w[0]), "slopes increased: {slopes:?}");
+        }
+    }
+
+    /// Right-region knots descend: throughput is non-increasing across the
+    /// chosen Pareto knots, and their slopes are non-decreasing
+    /// (concave-up).
+    #[test]
+    fn right_knots_descend_concave_up(samples in samples("m", 64)) {
+        let r = PiecewiseRoofline::fit("m".into(), samples.iter(), &FitOptions::default())
+            .unwrap();
+        if let Some(region) = r.right_region() {
+            let knots = region.knots();
+            for w in knots.windows(2) {
+                prop_assert!(w[1].y <= w[0].y + tol(w[0].y));
+            }
+            let slopes: Vec<f64> = knots
+                .windows(2)
+                .filter(|w| w[1].x > w[0].x)
+                .map(|w| w[0].slope_to(&w[1]))
+                .collect();
+            for w in slopes.windows(2) {
+                prop_assert!(w[1] >= w[0] - tol(w[0]), "not concave-up: {slopes:?}");
+            }
+        }
+    }
+
+    /// The ensemble estimate equals the minimum per-metric merged estimate
+    /// under the paper's aggregation, and the mean under the ablation.
+    #[test]
+    fn ensemble_aggregation_matches_definition(
+        a in samples("metric_a", 32),
+        b in samples("metric_b", 32),
+    ) {
+        let mut train = SampleSet::new();
+        train.extend(a.iter().cloned());
+        train.extend(b.iter().cloned());
+        let mut wl = SampleSet::new();
+        wl.extend(a.iter().take(4).cloned());
+        wl.extend(b.iter().take(4).cloned());
+
+        for agg in [EnsembleAggregation::Min, EnsembleAggregation::Mean] {
+            let cfg = TrainConfig { aggregation: agg, ..TrainConfig::default() };
+            let model = SpireModel::train(&train, cfg).unwrap();
+            let est = model.estimate(&wl).unwrap();
+            let vals: Vec<f64> = est.per_metric().values().map(|m| m.merged).collect();
+            let expect = match agg {
+                EnsembleAggregation::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                EnsembleAggregation::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+                _ => unreachable!(),
+            };
+            prop_assert!((est.throughput() - expect).abs() <= tol(expect));
+        }
+    }
+
+    /// Eq. (1): the merged per-metric estimate is bounded by the extreme
+    /// single-sample estimates, for both merge strategies.
+    #[test]
+    fn merged_estimate_is_bounded_by_extremes(train in samples("m", 48), wl in samples("m", 16)) {
+        for merge in [MergeStrategy::TimeWeighted, MergeStrategy::Unweighted] {
+            let cfg = TrainConfig { merge, ..TrainConfig::default() };
+            let train_set: SampleSet = train.iter().cloned().collect();
+            let model = SpireModel::train(&train_set, cfg).unwrap();
+            let wl_set: SampleSet = wl.iter().cloned().collect();
+            let est = model.estimate(&wl_set).unwrap();
+            for me in est.per_metric().values() {
+                prop_assert!(me.merged >= me.min_sample_estimate - tol(me.merged));
+                prop_assert!(me.merged <= me.max_sample_estimate + tol(me.merged));
+            }
+        }
+    }
+
+    /// Every input point is dominated by (or on) the Pareto front, and no
+    /// front point dominates another.
+    #[test]
+    fn pareto_front_dominates_all_points(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..64)
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let front = pareto_front(&points);
+        prop_assert!(!front.is_empty());
+        for p in &points {
+            prop_assert!(
+                front.iter().any(|f| f.x >= p.x && f.y >= p.y),
+                "point ({}, {}) not covered by front",
+                p.x,
+                p.y
+            );
+        }
+        for (i, f) in front.iter().enumerate() {
+            for (j, g) in front.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!(g.x >= f.x && g.y >= f.y && (g.x > f.x || g.y > f.y)));
+                }
+            }
+        }
+    }
+
+    /// The upper hull from the origin covers every point left of the apex.
+    #[test]
+    fn hull_covers_left_points(
+        pts in prop::collection::vec((0.001f64..100.0, 0.0f64..100.0), 1..64)
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let hull = upper_hull_from_origin(&points);
+        let apex = *hull.last().unwrap();
+        for p in &points {
+            if p.x <= apex.x {
+                let v = piecewise_eval(&hull, p.x);
+                prop_assert!(v >= p.y - tol(p.y), "hull({}) = {v} < {}", p.x, p.y);
+            }
+        }
+    }
+
+    /// Dijkstra agrees with Floyd-Warshall on random small graphs.
+    #[test]
+    fn dijkstra_matches_floyd_warshall(
+        n in 2usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10, 0.0f64..10.0), 0..40)
+    ) {
+        let mut g = DiGraph::new();
+        for _ in 0..n {
+            g.add_node();
+        }
+        let mut dist = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for &(a, b, w) in &edges {
+            let (a, b) = (a % n, b % n);
+            g.add_edge(a, b, w);
+            if w < dist[a][b] {
+                dist[a][b] = w;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = dist[i][k] + dist[k][j];
+                    if via < dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // `target` indexes the dist matrix
+        for target in 0..n {
+            match g.shortest_path(0, target) {
+                Some(path) => {
+                    prop_assert!((path.cost - dist[0][target]).abs() <= 1e-9);
+                    // The reported path must be real: verify its cost.
+                    let mut acc = 0.0;
+                    for w in path.nodes.windows(2) {
+                        let best = g
+                            .edges(w[0])
+                            .iter()
+                            .filter(|(t, _)| *t == w[1])
+                            .map(|(_, c)| *c)
+                            .fold(f64::INFINITY, f64::min);
+                        acc += best;
+                    }
+                    prop_assert!(acc <= dist[0][target] + 1e-9);
+                }
+                None => prop_assert!(dist[0][target].is_infinite()),
+            }
+        }
+    }
+
+    /// Model serialization round-trips estimates exactly.
+    #[test]
+    fn serde_round_trip_is_exact(train in samples("m", 32), probe in 0.0f64..200.0) {
+        let set: SampleSet = train.iter().cloned().collect();
+        let model = SpireModel::train(&set, TrainConfig::default()).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: SpireModel = serde_json::from_str(&json).unwrap();
+        let m = spire_core::MetricId::new("m");
+        let a = model.roofline(&m).unwrap().estimate(probe);
+        let b = back.roofline(&m).unwrap().estimate(probe);
+        prop_assert_eq!(a, b);
+    }
+}

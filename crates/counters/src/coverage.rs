@@ -1,0 +1,189 @@
+//! Sampling-coverage diagnostics: how well a multiplexed sample set
+//! represents the execution it was collected from.
+//!
+//! Multiplexing means each metric only observes a fraction of the run.
+//! The paper relies on that fraction being balanced ("collected a sample
+//! for each metric every two seconds"); these diagnostics make the
+//! property checkable — and surface the representation problems the
+//! paper warns about (Section III-A) before they mislead an analysis.
+
+use serde::{Deserialize, Serialize};
+use spire_core::SampleSet;
+
+/// Coverage summary for one metric within a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricCoverage {
+    /// The metric name.
+    pub metric: String,
+    /// Number of samples collected for it.
+    pub samples: usize,
+    /// Total measured time (sum of the samples' `T`).
+    pub measured_time: f64,
+    /// Fraction of the session's duration this metric observed.
+    pub time_fraction: f64,
+    /// Coefficient of variation of the samples' throughput — high values
+    /// indicate phase behaviour that a single average may misrepresent.
+    pub throughput_cv: f64,
+}
+
+/// A coverage report over a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    per_metric: Vec<MetricCoverage>,
+    total_time: f64,
+}
+
+impl CoverageReport {
+    /// Builds the report. `session_cycles` is the wall duration the
+    /// samples were collected over (e.g.
+    /// [`crate::SessionReport::total_cycles`]); per-metric time fractions
+    /// are measured against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_cycles` is not positive.
+    pub fn new(samples: &SampleSet, session_cycles: f64) -> Self {
+        assert!(session_cycles > 0.0, "session duration must be positive");
+        let mut per_metric = Vec::new();
+        for (metric, group) in samples.by_metric() {
+            let measured_time: f64 = group.iter().map(|s| s.time()).sum();
+            let throughputs: Vec<f64> = group.iter().map(|s| s.throughput()).collect();
+            let (mean, std) = spire_core::stats::mean_std(&throughputs);
+            per_metric.push(MetricCoverage {
+                metric: metric.to_string(),
+                samples: group.len(),
+                measured_time,
+                time_fraction: measured_time / session_cycles,
+                throughput_cv: if mean > 0.0 { std / mean } else { 0.0 },
+            });
+        }
+        CoverageReport {
+            per_metric,
+            total_time: session_cycles,
+        }
+    }
+
+    /// Per-metric coverage rows, ordered by metric name.
+    pub fn per_metric(&self) -> &[MetricCoverage] {
+        &self.per_metric
+    }
+
+    /// The session duration the fractions are measured against.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// The smallest and largest per-metric time fractions — a balance
+    /// check for the multiplexing schedule. Returns `(0, 0)` when empty.
+    pub fn fraction_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for m in &self.per_metric {
+            lo = lo.min(m.time_fraction);
+            hi = hi.max(m.time_fraction);
+        }
+        if self.per_metric.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Metrics whose throughput varies strongly across samples
+    /// (coefficient of variation above `threshold`) — candidates for the
+    /// paper's representation warning.
+    pub fn phase_suspects(&self, threshold: f64) -> Vec<&MetricCoverage> {
+        self.per_metric
+            .iter()
+            .filter(|m| m.throughput_cv > threshold)
+            .collect()
+    }
+
+    /// Renders an aligned text table of the `n` least-covered metrics.
+    pub fn to_table(&self, n: usize) -> String {
+        let mut rows: Vec<&MetricCoverage> = self.per_metric.iter().collect();
+        rows.sort_by(|a, b| a.time_fraction.total_cmp(&b.time_fraction));
+        let mut out = format!(
+            "{:<50} {:>8} {:>10} {:>8}\n",
+            "metric", "samples", "time frac", "P cv"
+        );
+        for m in rows.into_iter().take(n) {
+            out.push_str(&format!(
+                "{:<50} {:>8} {:>9.2}% {:>8.3}\n",
+                m.metric,
+                m.samples,
+                m.time_fraction * 100.0,
+                m.throughput_cv
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collect, SessionConfig};
+    use spire_sim::{Core, CoreConfig, Event, Instr};
+
+    fn collected() -> (SampleSet, f64) {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = std::iter::repeat_n(Instr::simple_alu(), 400_000);
+        let report = collect(
+            &mut core,
+            &mut stream,
+            &[
+                Event::IdqDsbUops,
+                Event::IcacheMisses,
+                Event::LongestLatCacheMiss,
+                Event::BrMispRetiredAllBranches,
+            ],
+            &SessionConfig::quick(),
+        );
+        (report.samples, report.total_cycles as f64)
+    }
+
+    #[test]
+    fn fractions_are_balanced_and_bounded() {
+        let (samples, cycles) = collected();
+        let report = CoverageReport::new(&samples, cycles);
+        assert_eq!(report.per_metric().len(), 4);
+        let (lo, hi) = report.fraction_range();
+        assert!(lo > 0.0 && hi < 1.0);
+        // One group of 4 events on a 4-slot PMU: every metric shares the
+        // same slices, so the fractions are identical.
+        assert!((hi - lo) < 1e-9, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn steady_workload_has_low_throughput_cv() {
+        let (samples, cycles) = collected();
+        let report = CoverageReport::new(&samples, cycles);
+        for m in report.per_metric() {
+            assert!(m.throughput_cv < 0.2, "{}: cv {}", m.metric, m.throughput_cv);
+        }
+        assert!(report.phase_suspects(0.5).is_empty());
+    }
+
+    #[test]
+    fn table_lists_least_covered_first() {
+        let (samples, cycles) = collected();
+        let report = CoverageReport::new(&samples, cycles);
+        let t = report.to_table(2);
+        assert!(t.contains("time frac"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_set_yields_empty_report() {
+        let report = CoverageReport::new(&SampleSet::new(), 100.0);
+        assert!(report.per_metric().is_empty());
+        assert_eq!(report.fraction_range(), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_panics() {
+        CoverageReport::new(&SampleSet::new(), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Labeled sample datasets: persistence for training/testing corpora.
+//!
+//! A [`Dataset`] maps workload labels to their [`SampleSet`]s and
+//! round-trips through JSON, so collected corpora (simulated or imported
+//! from perf) can be reused across runs and shipped with experiments.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use spire_core::SampleSet;
+
+/// A labeled collection of sample sets.
+///
+/// ```
+/// use spire_core::{Sample, SampleSet};
+/// use spire_counters::Dataset;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dataset = Dataset::new();
+/// let mut set = SampleSet::new();
+/// set.push(Sample::new("stalls", 100.0, 150.0, 10.0)?);
+/// dataset.insert("workload-a", set);
+///
+/// let json = dataset.to_json()?;
+/// let back = Dataset::from_json(&json)?;
+/// assert_eq!(back.get("workload-a").unwrap().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    entries: BTreeMap<String, SampleSet>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Inserts (or replaces) a labeled sample set.
+    pub fn insert(&mut self, label: impl Into<String>, samples: SampleSet) {
+        self.entries.insert(label.into(), samples);
+    }
+
+    /// Looks up a sample set by label.
+    pub fn get(&self, label: &str) -> Option<&SampleSet> {
+        self.entries.get(label)
+    }
+
+    /// Iterates `(label, samples)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SampleSet)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Labels in order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of labeled entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the dataset has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of samples across all entries.
+    pub fn total_samples(&self) -> usize {
+        self.entries.values().map(SampleSet::len).sum()
+    }
+
+    /// Merges every entry into one combined sample set (the shape
+    /// [`spire_core::SpireModel::train`] consumes).
+    pub fn merged(&self) -> SampleSet {
+        let mut all = SampleSet::new();
+        for set in self.entries.values() {
+            all.extend(set.iter().cloned());
+        }
+        all
+    }
+
+    /// Serializes to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails (it cannot
+    /// for this type, but the signature is honest).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the dataset to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = self.to_json().map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Reads a dataset from a JSON file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] on filesystem failure or malformed JSON.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Dataset::from_json(&text).map_err(io::Error::other)
+    }
+}
+
+impl FromIterator<(String, SampleSet)> for Dataset {
+    fn from_iter<I: IntoIterator<Item = (String, SampleSet)>>(iter: I) -> Self {
+        Dataset {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_core::Sample;
+
+    fn set(n: usize) -> SampleSet {
+        (0..n)
+            .map(|i| Sample::new("m", 1.0, i as f64, 1.0).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut d = Dataset::new();
+        assert!(d.is_empty());
+        d.insert("a", set(3));
+        d.insert("b", set(2));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.total_samples(), 5);
+        assert_eq!(d.get("a").unwrap().len(), 3);
+        assert!(d.get("c").is_none());
+    }
+
+    #[test]
+    fn merged_concatenates_everything() {
+        let mut d = Dataset::new();
+        d.insert("a", set(3));
+        d.insert("b", set(4));
+        assert_eq!(d.merged().len(), 7);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut d = Dataset::new();
+        d.insert("a", set(2));
+        let back = Dataset::from_json(&d.to_json().unwrap()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let mut d = Dataset::new();
+        d.insert("x", set(1));
+        let dir = std::env::temp_dir().join("spire-dataset-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        d.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(Dataset::load("/nonexistent/path/ds.json").is_err());
+    }
+
+    #[test]
+    fn labels_are_sorted() {
+        let mut d = Dataset::new();
+        d.insert("zeta", set(1));
+        d.insert("alpha", set(1));
+        let labels: Vec<&str> = d.labels().collect();
+        assert_eq!(labels, ["alpha", "zeta"]);
+    }
+}

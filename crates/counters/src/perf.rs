@@ -1,0 +1,400 @@
+//! Import of real `perf stat` interval data.
+//!
+//! The paper collects its samples with Linux perf's `stat` mode. This
+//! module parses the machine-readable output of
+//!
+//! ```text
+//! perf stat -I <ms> -x, -e <events> -- <workload>
+//! ```
+//!
+//! and converts it into SPIRE [`Sample`]s, so a model can be trained on a
+//! real CPU's counters with the same code path used for the simulator.
+//!
+//! Each CSV row is `time,count,unit,event,run_time,pct_running[,...]`;
+//! rows whose count is `<not counted>` or `<not supported>` are skipped.
+//! Within each interval, the designated *work* and *time* events supply
+//! `W` and `T`, and every other event becomes one sample.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use spire_core::{MetricId, Sample, SampleSet};
+
+/// One parsed `perf stat -I -x,` row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRow {
+    /// Interval end time in seconds.
+    pub time_s: f64,
+    /// Counter value for the interval (already scaled by perf).
+    pub count: f64,
+    /// Event name.
+    pub event: String,
+    /// Fraction of the interval the event was actually counted
+    /// (`pct_running / 100`), when present.
+    pub running_frac: Option<f64>,
+}
+
+/// Errors produced while parsing perf output.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PerfParseError {
+    /// A row had too few comma-separated fields.
+    MalformedRow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending row text.
+        row: String,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The field's content.
+        value: String,
+    },
+    /// No interval contained both the work and time events.
+    MissingFixedEvents {
+        /// The work event looked for.
+        work_event: String,
+        /// The time event looked for.
+        time_event: String,
+    },
+}
+
+impl fmt::Display for PerfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfParseError::MalformedRow { line, row } => {
+                write!(f, "malformed perf row at line {line}: {row:?}")
+            }
+            PerfParseError::BadNumber { line, value } => {
+                write!(f, "unparsable number at line {line}: {value:?}")
+            }
+            PerfParseError::MissingFixedEvents {
+                work_event,
+                time_event,
+            } => write!(
+                f,
+                "no interval contains both `{work_event}` and `{time_event}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PerfParseError {}
+
+/// Parses `perf stat -I <ms> -x,` output into rows.
+///
+/// Comment lines (starting with `#`), empty lines, and rows whose count
+/// is `<not counted>` / `<not supported>` are skipped silently.
+///
+/// # Errors
+///
+/// Returns [`PerfParseError`] for structurally malformed rows.
+///
+/// ```
+/// use spire_counters::perf::parse_perf_csv;
+///
+/// let text = "\
+/// 1.000241,1200000000,,inst_retired.any,1000000000,100.00,,
+/// 1.000241,1000000000,,cpu_clk_unhalted.thread,1000000000,100.00,,
+/// 1.000241,5000000,,br_misp_retired.all_branches,250000000,25.00,,
+/// 1.000241,<not counted>,,idq.dsb_uops,0,0.00,,
+/// ";
+/// let rows = parse_perf_csv(text)?;
+/// assert_eq!(rows.len(), 3); // the not-counted row is dropped
+/// assert_eq!(rows[2].event, "br_misp_retired.all_branches");
+/// # Ok::<(), spire_counters::perf::PerfParseError>(())
+/// ```
+pub fn parse_perf_csv(text: &str) -> Result<Vec<PerfRow>, PerfParseError> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 4 {
+            return Err(PerfParseError::MalformedRow {
+                line: line_no,
+                row: trimmed.to_owned(),
+            });
+        }
+        let count_field = fields[1].trim();
+        if count_field.starts_with('<') {
+            // "<not counted>" / "<not supported>"
+            continue;
+        }
+        let time_s: f64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| PerfParseError::BadNumber {
+                line: line_no,
+                value: fields[0].to_owned(),
+            })?;
+        let count: f64 = count_field
+            .parse()
+            .map_err(|_| PerfParseError::BadNumber {
+                line: line_no,
+                value: count_field.to_owned(),
+            })?;
+        let event = fields[3].trim().to_owned();
+        if event.is_empty() {
+            return Err(PerfParseError::MalformedRow {
+                line: line_no,
+                row: trimmed.to_owned(),
+            });
+        }
+        let running_frac = fields
+            .get(5)
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .map(|pct| pct / 100.0);
+        rows.push(PerfRow {
+            time_s,
+            count,
+            event,
+            running_frac,
+        });
+    }
+    Ok(rows)
+}
+
+/// Converts parsed perf rows into a SPIRE [`SampleSet`].
+///
+/// Rows are grouped by interval timestamp; within each interval, the
+/// `work_event` row supplies `W`, the `time_event` row supplies `T`, and
+/// every other row becomes one sample for its event. Intervals missing
+/// either fixed event are skipped.
+///
+/// # Errors
+///
+/// Returns [`PerfParseError::MissingFixedEvents`] if no interval carries
+/// both fixed events (which would produce an empty set).
+pub fn samples_from_rows(
+    rows: &[PerfRow],
+    work_event: &str,
+    time_event: &str,
+) -> Result<SampleSet, PerfParseError> {
+    // Group rows by interval; timestamps are bit-identical within one
+    // perf interval, so an ordered map on the raw bits is exact.
+    let mut intervals: BTreeMap<u64, Vec<&PerfRow>> = BTreeMap::new();
+    for row in rows {
+        intervals.entry(row.time_s.to_bits()).or_default().push(row);
+    }
+
+    let mut samples = SampleSet::new();
+    let mut found_fixed = false;
+    for group in intervals.values() {
+        let work = group.iter().find(|r| r.event == work_event);
+        let time = group.iter().find(|r| r.event == time_event);
+        let (Some(work), Some(time)) = (work, time) else {
+            continue;
+        };
+        if time.count <= 0.0 || !time.count.is_finite() || work.count < 0.0 {
+            continue;
+        }
+        found_fixed = true;
+        for row in group {
+            if row.event == work_event || row.event == time_event {
+                continue;
+            }
+            if row.count < 0.0 || !row.count.is_finite() {
+                continue;
+            }
+            let sample = Sample::new(
+                MetricId::new(row.event.as_str()),
+                time.count,
+                work.count,
+                row.count,
+            )
+            .expect("fields validated above");
+            samples.push(sample);
+        }
+    }
+    if !found_fixed {
+        return Err(PerfParseError::MissingFixedEvents {
+            work_event: work_event.to_owned(),
+            time_event: time_event.to_owned(),
+        });
+    }
+    Ok(samples)
+}
+
+/// One-step convenience: parse perf CSV text and build samples using the
+/// paper's fixed events (`inst_retired.any` and
+/// `cpu_clk_unhalted.thread`).
+///
+/// # Errors
+///
+/// Propagates [`PerfParseError`] from parsing and conversion.
+pub fn import_perf_stat(text: &str) -> Result<SampleSet, PerfParseError> {
+    let rows = parse_perf_csv(text)?;
+    samples_from_rows(&rows, "inst_retired.any", "cpu_clk_unhalted.thread")
+}
+
+/// Runs `stream` on `core` and emits `perf stat -I -x,`-style CSV: one
+/// row per `(interval, event)` with the fixed counters included, exactly
+/// what [`import_perf_stat`] consumes. `cycles_per_second` calibrates
+/// the timestamp column (perf reports wall-clock seconds).
+///
+/// Unlike [`crate::collect`], this reads every event each interval (as
+/// if the PMU had unlimited counters); combined with the importer it
+/// gives a multiplexing-free reference corpus, and it exercises the same
+/// parser real perf output goes through.
+pub fn export_perf_csv<I>(
+    core: &mut spire_sim::Core,
+    stream: &mut I,
+    events: &[spire_sim::Event],
+    interval_cycles: u64,
+    max_cycles: u64,
+    cycles_per_second: f64,
+) -> String
+where
+    I: Iterator<Item = spire_sim::Instr>,
+{
+    assert!(interval_cycles > 0, "interval_cycles must be non-zero");
+    assert!(
+        cycles_per_second > 0.0,
+        "cycles_per_second must be positive"
+    );
+    let mut out = String::from("# exported by spire-counters (simulated perf stat -I -x,)\n");
+    let start = core.cycle();
+    loop {
+        let snapshot = core.counters().clone();
+        core.run(stream, interval_cycles);
+        let delta = core.counters().delta(&snapshot);
+        let t = core.cycle() as f64 / cycles_per_second;
+        for &e in events {
+            out.push_str(&format!(
+                "{t:.6},{},,{},{},100.00,,\n",
+                delta.get(e),
+                e.name(),
+                interval_cycles
+            ));
+        }
+        if core.is_drained() || core.cycle() - start >= max_cycles {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# started on Fri Jul  4 10:00:00 2026
+1.000241,1200000000,,inst_retired.any,1000000000,100.00,,
+1.000241,1000000000,,cpu_clk_unhalted.thread,1000000000,100.00,,
+1.000241,5000000,,br_misp_retired.all_branches,250000000,25.00,,
+1.000241,300000,,longest_lat_cache.miss,250000000,25.00,,
+2.000300,1100000000,,inst_retired.any,1000000000,100.00,,
+2.000300,1000000000,,cpu_clk_unhalted.thread,1000000000,100.00,,
+2.000300,<not counted>,,br_misp_retired.all_branches,0,0.00,,
+2.000300,250000,,longest_lat_cache.miss,500000000,50.00,,
+";
+
+    #[test]
+    fn parses_rows_and_skips_comments_and_not_counted() {
+        let rows = parse_perf_csv(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 7);
+        assert!((rows[0].time_s - 1.000241).abs() < 1e-9);
+        assert_eq!(rows[2].running_frac, Some(0.25));
+    }
+
+    #[test]
+    fn builds_samples_grouped_by_interval() {
+        let set = import_perf_stat(SAMPLE).unwrap();
+        // Interval 1: 2 metric rows; interval 2: 1 (misp not counted).
+        assert_eq!(set.len(), 3);
+        let misp = set.samples_for(&MetricId::new("br_misp_retired.all_branches"));
+        assert_eq!(misp.len(), 1);
+        assert_eq!(misp[0].work(), 1.2e9);
+        assert_eq!(misp[0].time(), 1e9);
+        assert_eq!(misp[0].metric_delta(), 5e6);
+        assert!((misp[0].throughput() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_row_is_an_error() {
+        let err = parse_perf_csv("1.0,42\n").unwrap_err();
+        assert!(matches!(err, PerfParseError::MalformedRow { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let err = parse_perf_csv("abc,42,,evt,1,100,,\n").unwrap_err();
+        assert!(matches!(err, PerfParseError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn missing_fixed_events_is_an_error() {
+        let text = "1.0,100,,some.event,1,100,,\n";
+        let rows = parse_perf_csv(text).unwrap();
+        let err = samples_from_rows(&rows, "inst_retired.any", "cpu_clk_unhalted.thread")
+            .unwrap_err();
+        assert!(matches!(err, PerfParseError::MissingFixedEvents { .. }));
+    }
+
+    #[test]
+    fn intervals_without_fixed_events_are_skipped_not_fatal() {
+        let text = "\
+1.0,100,,inst_retired.any,1,100,,
+1.0,50,,cpu_clk_unhalted.thread,1,100,,
+1.0,7,,some.event,1,100,,
+2.0,9,,some.event,1,100,,
+";
+        let set = import_perf_stat(text).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn export_import_round_trip_from_the_simulator() {
+        use spire_sim::{Core, CoreConfig, Event, Instr, MemLevel};
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = (0..50_000).map(|i| {
+            if i % 5 == 0 {
+                Instr::load(MemLevel::L2)
+            } else {
+                Instr::simple_alu()
+            }
+        });
+        let events = [
+            Event::InstRetiredAny,
+            Event::CpuClkUnhaltedThread,
+            Event::MemLoadRetiredL2Hit,
+            Event::BrMispRetiredAllBranches,
+        ];
+        let csv = export_perf_csv(&mut core, &mut stream, &events, 5_000, 100_000, 1e9);
+        let set = import_perf_stat(&csv).unwrap();
+        assert!(!set.is_empty());
+        // Two non-fixed events per interval.
+        assert_eq!(set.metrics().count(), 2);
+        // Work adds up to the retired instructions across intervals for
+        // each metric.
+        for (_, group) in set.by_metric() {
+            let w: f64 = group.iter().map(|s| s.work()).sum();
+            assert_eq!(w as u64, core.retired_instructions());
+        }
+        // The never-firing misprediction counter yields I = ∞ samples.
+        let misp = set.samples_for(&spire_core::MetricId::new(
+            "br_misp_retired.all_branches",
+        ));
+        assert!(misp.iter().all(|s| s.intensity().is_infinite()));
+    }
+
+    #[test]
+    fn zero_metric_count_gives_infinite_intensity_sample() {
+        let text = "\
+1.0,100,,inst_retired.any,1,100,,
+1.0,50,,cpu_clk_unhalted.thread,1,100,,
+1.0,0,,some.event,1,100,,
+";
+        let set = import_perf_stat(text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.iter().next().unwrap().intensity().is_infinite());
+    }
+}

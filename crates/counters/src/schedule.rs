@@ -1,0 +1,138 @@
+//! Event-group scheduling for counter multiplexing.
+//!
+//! A PMU can only count a few events at once; to cover a large event list
+//! the sampling layer rotates through *groups* of events, giving each
+//! group a time slice (exactly what Linux perf's counter multiplexing
+//! does). [`MultiplexSchedule`] partitions an event list into groups that
+//! fit the PMU's programmable slots.
+
+use serde::{Deserialize, Serialize};
+use spire_sim::{Event, Pmu};
+
+/// A round-robin multiplexing schedule: the event list partitioned into
+/// PMU-sized groups.
+///
+/// ```
+/// use spire_counters::MultiplexSchedule;
+/// use spire_sim::Event;
+///
+/// let schedule = MultiplexSchedule::new(
+///     &[Event::IdqDsbUops, Event::IcacheMisses, Event::LongestLatCacheMiss],
+///     2, // PMU slots
+/// );
+/// assert_eq!(schedule.group_count(), 2);
+/// assert_eq!(schedule.groups()[0].len(), 2);
+/// assert_eq!(schedule.groups()[1].len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplexSchedule {
+    groups: Vec<Vec<Event>>,
+}
+
+impl MultiplexSchedule {
+    /// Partitions `events` into groups of at most `pmu_slots` events.
+    ///
+    /// Fixed counters ([`Pmu::FIXED`]) are removed first — they are always
+    /// readable and never need a slot. Duplicates are collapsed. An empty
+    /// effective event list yields a schedule with zero groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pmu_slots` is zero.
+    pub fn new(events: &[Event], pmu_slots: usize) -> Self {
+        assert!(pmu_slots > 0, "a schedule needs at least one PMU slot");
+        let mut seen = Vec::new();
+        for &e in events {
+            if Pmu::FIXED.contains(&e) || seen.contains(&e) {
+                continue;
+            }
+            seen.push(e);
+        }
+        let groups = seen.chunks(pmu_slots).map(<[Event]>::to_vec).collect();
+        MultiplexSchedule { groups }
+    }
+
+    /// A schedule covering the PMU's entire event catalog.
+    pub fn full_catalog(pmu_slots: usize) -> Self {
+        MultiplexSchedule::new(Event::ALL, pmu_slots)
+    }
+
+    /// The event groups, in rotation order.
+    pub fn groups(&self) -> &[Vec<Event>] {
+        &self.groups
+    }
+
+    /// Number of groups in one rotation.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of distinct (non-fixed) events covered.
+    pub fn event_count(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over every covered event.
+    pub fn events(&self) -> impl Iterator<Item = Event> + '_ {
+        self.groups.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_into_slot_sized_groups() {
+        let events = [
+            Event::IdqDsbUops,
+            Event::IdqMsSwitches,
+            Event::IcacheMisses,
+            Event::LongestLatCacheMiss,
+            Event::BrMispRetiredAllBranches,
+        ];
+        let s = MultiplexSchedule::new(&events, 2);
+        assert_eq!(s.group_count(), 3);
+        assert_eq!(s.event_count(), 5);
+        for g in s.groups() {
+            assert!(g.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn fixed_events_are_excluded() {
+        let s = MultiplexSchedule::new(
+            &[Event::InstRetiredAny, Event::CpuClkUnhaltedThread, Event::IdqDsbUops],
+            4,
+        );
+        assert_eq!(s.event_count(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let s = MultiplexSchedule::new(&[Event::IdqDsbUops, Event::IdqDsbUops], 4);
+        assert_eq!(s.event_count(), 1);
+    }
+
+    #[test]
+    fn full_catalog_covers_all_non_fixed_events() {
+        let s = MultiplexSchedule::full_catalog(4);
+        assert_eq!(s.event_count(), Event::ALL.len() - Pmu::FIXED.len());
+        // Every group must fit a Skylake PMU.
+        for g in s.groups() {
+            assert!(g.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn empty_event_list_gives_empty_schedule() {
+        let s = MultiplexSchedule::new(&[], 4);
+        assert_eq!(s.group_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_slots_panics() {
+        MultiplexSchedule::new(&[Event::IdqDsbUops], 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the sampling session: multiplexed collection must
+//! produce balanced, well-formed samples regardless of the schedule
+//! geometry.
+
+use proptest::prelude::*;
+use spire_counters::{collect, MultiplexSchedule, SessionConfig};
+use spire_sim::{Core, CoreConfig, Event, Instr, MemLevel};
+
+fn session_strategy() -> impl Strategy<Value = SessionConfig> {
+    (
+        5_000u64..40_000, // interval
+        500u64..4_000,    // slice
+        1usize..6,        // pmu slots
+        0u64..100,        // switch overhead
+    )
+        .prop_map(|(interval, slice, slots, overhead)| SessionConfig {
+            interval_cycles: interval.max(slice),
+            slice_cycles: slice,
+            pmu_slots: slots,
+            switch_overhead_cycles: overhead,
+            max_cycles: 150_000,
+        })
+}
+
+fn events() -> Vec<Event> {
+    vec![
+        Event::IdqDsbUops,
+        Event::BrMispRetiredAllBranches,
+        Event::LongestLatCacheMiss,
+        Event::CycleActivityStallsTotal,
+        Event::IcacheMisses,
+        Event::UopsIssuedAny,
+        Event::ResourceStallsAny,
+    ]
+}
+
+fn mixed_stream(n: usize) -> impl Iterator<Item = Instr> {
+    (0..n).map(|i| match i % 7 {
+        0 => Instr::load(MemLevel::L2),
+        1 => Instr::branch(i % 21 == 1),
+        2 => Instr::load(MemLevel::Dram),
+        _ => Instr::simple_alu(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every covered event gets one sample per interval — exactly, for
+    /// all intervals except the final one, which drain or the cycle
+    /// budget may truncate mid-rotation.
+    #[test]
+    fn one_sample_per_event_per_interval(cfg in session_strategy()) {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = mixed_stream(1_000_000);
+        let report = collect(&mut core, &mut stream, &events(), &cfg);
+        let n_events = events().len();
+        prop_assert!(report.intervals > 0);
+        prop_assert!(report.samples.len() <= report.intervals * n_events);
+        prop_assert!(report.samples.len() > (report.intervals - 1) * n_events);
+        for (_, group) in report.samples.by_metric() {
+            // Balanced coverage: at most one missing (truncated) sample.
+            prop_assert!(group.len() >= report.intervals - 1);
+            prop_assert!(group.len() <= report.intervals);
+            for s in group {
+                prop_assert!(s.time() > 0.0);
+                prop_assert!(s.work() >= 0.0);
+                prop_assert!(s.metric_delta() >= 0.0);
+            }
+        }
+    }
+
+    /// Per-metric measured time never exceeds the session total, and the
+    /// overhead fraction stays within [0, 1).
+    #[test]
+    fn time_accounting_is_consistent(cfg in session_strategy()) {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = mixed_stream(1_000_000);
+        let report = collect(&mut core, &mut stream, &events(), &cfg);
+        for (_, group) in report.samples.by_metric() {
+            let t: f64 = group.iter().map(|s| s.time()).sum();
+            prop_assert!(t <= report.total_cycles as f64 + 1.0);
+        }
+        let f = report.overhead_fraction();
+        prop_assert!((0.0..1.0).contains(&f), "overhead fraction {f}");
+        if cfg.switch_overhead_cycles == 0 {
+            prop_assert_eq!(report.overhead_cycles, 0);
+        }
+    }
+
+    /// Multiplexing schedules always respect the PMU slot budget.
+    #[test]
+    fn schedules_fit_the_pmu(slots in 1usize..8) {
+        let schedule = MultiplexSchedule::full_catalog(slots);
+        for group in schedule.groups() {
+            prop_assert!(group.len() <= slots);
+            prop_assert!(!group.is_empty());
+        }
+        let covered: std::collections::BTreeSet<_> = schedule.events().collect();
+        prop_assert_eq!(covered.len(), schedule.event_count());
+    }
+
+    /// Collection is deterministic in all of its parameters.
+    #[test]
+    fn collection_is_deterministic(cfg in session_strategy()) {
+        let run = || {
+            let mut core = Core::new(CoreConfig::skylake_server());
+            let mut stream = mixed_stream(500_000);
+            collect(&mut core, &mut stream, &events(), &cfg)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.samples, b.samples);
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        prop_assert_eq!(a.overhead_cycles, b.overhead_cycles);
+    }
+}

@@ -1,0 +1,434 @@
+//! Chart model: series of points with axis configuration, independent of
+//! the output backend.
+
+use serde::{Deserialize, Serialize};
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeriesKind {
+    /// Connected line segments (for fitted rooflines).
+    Lines,
+    /// Individual markers (for samples).
+    Points,
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Linear mapping.
+    Linear,
+    /// Base-10 logarithmic mapping (positive values only; non-positive
+    /// points are dropped at render time).
+    Log10,
+}
+
+impl Scale {
+    /// Maps a data value into scale space.
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            Scale::Linear => v,
+            Scale::Log10 => v.log10(),
+        }
+    }
+
+    /// Returns `true` if `v` is representable on this scale.
+    pub fn admits(self, v: f64) -> bool {
+        match self {
+            Scale::Linear => v.is_finite(),
+            Scale::Log10 => v.is_finite() && v > 0.0,
+        }
+    }
+}
+
+/// One named series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Drawing style.
+    pub kind: SeriesKind,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A 2-D chart: axes plus series.
+///
+/// ```
+/// use spire_plot::{Chart, Scale, SeriesKind};
+///
+/// let chart = Chart::new("demo", "x", "y")
+///     .with_x_scale(Scale::Log10)
+///     .with_series("data", SeriesKind::Points, vec![(1.0, 2.0), (10.0, 4.0)]);
+/// let svg = chart.to_svg(400, 300);
+/// assert!(svg.contains("<svg"));
+/// assert!(svg.contains("demo"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series, drawn in order.
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates an empty linear-scale chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the x-axis scale (builder style).
+    pub fn with_x_scale(mut self, scale: Scale) -> Self {
+        self.x_scale = scale;
+        self
+    }
+
+    /// Sets the y-axis scale (builder style).
+    pub fn with_y_scale(mut self, scale: Scale) -> Self {
+        self.y_scale = scale;
+        self
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(
+        mut self,
+        label: impl Into<String>,
+        kind: SeriesKind,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        self.series.push(Series {
+            label: label.into(),
+            kind,
+            points,
+        });
+        self
+    }
+
+    /// All points admissible under the current scales, in scale space.
+    fn scaled_points(&self) -> Vec<Vec<(f64, f64)>> {
+        self.series
+            .iter()
+            .map(|s| {
+                s.points
+                    .iter()
+                    .filter(|(x, y)| self.x_scale.admits(*x) && self.y_scale.admits(*y))
+                    .map(|&(x, y)| (self.x_scale.apply(x), self.y_scale.apply(y)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Data bounds in scale space: `(x_min, x_max, y_min, y_max)`.
+    fn bounds(scaled: &[Vec<(f64, f64)>]) -> Option<(f64, f64, f64, f64)> {
+        let mut b: Option<(f64, f64, f64, f64)> = None;
+        for series in scaled {
+            for &(x, y) in series {
+                b = Some(match b {
+                    None => (x, x, y, y),
+                    Some((x0, x1, y0, y1)) => (x0.min(x), x1.max(x), y0.min(y), y1.max(y)),
+                });
+            }
+        }
+        b.map(|(x0, x1, y0, y1)| {
+            // Avoid zero-size ranges.
+            let (x0, x1) = if x0 == x1 { (x0 - 0.5, x1 + 0.5) } else { (x0, x1) };
+            let (y0, y1) = if y0 == y1 { (y0 - 0.5, y1 + 0.5) } else { (y0, y1) };
+            (x0, x1, y0, y1)
+        })
+    }
+
+    /// Renders the chart to an SVG string.
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        const MARGIN: f64 = 48.0;
+        const PALETTE: [&str; 6] = [
+            "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+        ];
+        let w = f64::from(width);
+        let h = f64::from(height);
+        let scaled = self.scaled_points();
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+             viewBox=\"0 0 {width} {height}\">\n"
+        ));
+        svg.push_str(&format!(
+            "<rect width=\"{width}\" height=\"{height}\" fill=\"white\"/>\n"
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\" \
+             font-family=\"sans-serif\">{}</text>\n",
+            w / 2.0,
+            xml_escape(&self.title)
+        ));
+
+        if let Some((x0, x1, y0, y1)) = Self::bounds(&scaled) {
+            let px = |x: f64| MARGIN + (x - x0) / (x1 - x0) * (w - 2.0 * MARGIN);
+            let py = |y: f64| h - MARGIN - (y - y0) / (y1 - y0) * (h - 2.0 * MARGIN);
+
+            // Axes.
+            svg.push_str(&format!(
+                "<line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n\
+                 <line x1=\"{m}\" y1=\"{t}\" x2=\"{m}\" y2=\"{b}\" stroke=\"black\"/>\n",
+                m = MARGIN,
+                r = w - MARGIN,
+                t = MARGIN,
+                b = h - MARGIN
+            ));
+            // Axis labels (annotated with the scale).
+            let scale_tag = |s: Scale| match s {
+                Scale::Linear => "",
+                Scale::Log10 => " (log10)",
+            };
+            svg.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\" \
+                 font-family=\"sans-serif\">{}{}</text>\n",
+                w / 2.0,
+                h - 10.0,
+                xml_escape(&self.x_label),
+                scale_tag(self.x_scale)
+            ));
+            svg.push_str(&format!(
+                "<text x=\"14\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\" \
+                 font-family=\"sans-serif\" transform=\"rotate(-90 14 {})\">{}{}</text>\n",
+                h / 2.0,
+                h / 2.0,
+                xml_escape(&self.y_label),
+                scale_tag(self.y_scale)
+            ));
+            // End-point tick labels.
+            svg.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" font-size=\"10\" font-family=\"sans-serif\">{}</text>\n",
+                MARGIN,
+                h - MARGIN + 14.0,
+                fmt_tick(unscale(self.x_scale, x0))
+            ));
+            svg.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"10\" \
+                 font-family=\"sans-serif\">{}</text>\n",
+                w - MARGIN,
+                h - MARGIN + 14.0,
+                fmt_tick(unscale(self.x_scale, x1))
+            ));
+            svg.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"10\" \
+                 font-family=\"sans-serif\">{}</text>\n",
+                MARGIN - 4.0,
+                h - MARGIN,
+                fmt_tick(unscale(self.y_scale, y0))
+            ));
+            svg.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"10\" \
+                 font-family=\"sans-serif\">{}</text>\n",
+                MARGIN - 4.0,
+                MARGIN + 4.0,
+                fmt_tick(unscale(self.y_scale, y1))
+            ));
+
+            // Series.
+            for (si, pts) in scaled.iter().enumerate() {
+                let color = PALETTE[si % PALETTE.len()];
+                match self.series[si].kind {
+                    SeriesKind::Lines => {
+                        if pts.len() >= 2 {
+                            let path: Vec<String> = pts
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &(x, y))| {
+                                    format!(
+                                        "{}{:.2},{:.2}",
+                                        if i == 0 { "M" } else { "L" },
+                                        px(x),
+                                        py(y)
+                                    )
+                                })
+                                .collect();
+                            svg.push_str(&format!(
+                                "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" \
+                                 stroke-width=\"2\"/>\n",
+                                path.join(" ")
+                            ));
+                        }
+                    }
+                    SeriesKind::Points => {
+                        for &(x, y) in pts {
+                            svg.push_str(&format!(
+                                "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"2.5\" fill=\"{color}\" \
+                                 fill-opacity=\"0.6\"/>\n",
+                                px(x),
+                                py(y)
+                            ));
+                        }
+                    }
+                }
+                // Legend entry.
+                let ly = MARGIN + 16.0 * si as f64;
+                svg.push_str(&format!(
+                    "<rect x=\"{}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{color}\"/>\n\
+                     <text x=\"{}\" y=\"{}\" font-size=\"11\" font-family=\"sans-serif\">{}</text>\n",
+                    w - MARGIN + 4.0,
+                    ly - 9.0,
+                    w - MARGIN + 18.0,
+                    ly,
+                    xml_escape(&self.series[si].label)
+                ));
+            }
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Renders a coarse ASCII view (for terminal inspection).
+    pub fn to_ascii(&self, cols: usize, rows: usize) -> String {
+        let scaled = self.scaled_points();
+        let Some((x0, x1, y0, y1)) = Self::bounds(&scaled) else {
+            return format!("{} (no data)\n", self.title);
+        };
+        let mut grid = vec![vec![' '; cols]; rows];
+        let marks = ['*', 'o', '+', 'x', '#', '@'];
+        for (si, pts) in scaled.iter().enumerate() {
+            let mark = marks[si % marks.len()];
+            for &(x, y) in pts {
+                let cx = ((x - x0) / (x1 - x0) * (cols - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (rows - 1) as f64).round() as usize;
+                let row = rows - 1 - cy.min(rows - 1);
+                grid[row][cx.min(cols - 1)] = mark;
+            }
+        }
+        let mut out = format!("{}\n", self.title);
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', cols));
+        out.push('\n');
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", marks[si % marks.len()], s.label));
+        }
+        out
+    }
+}
+
+/// Formats a tick value compactly: plain decimals for moderate
+/// magnitudes, scientific notation otherwise.
+fn fmt_tick(v: f64) -> String {
+    let a = v.abs();
+    if a == 0.0 {
+        "0".to_owned()
+    } else if (0.01..10_000.0).contains(&a) {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+fn unscale(scale: Scale, v: f64) -> f64 {
+    match scale {
+        Scale::Linear => v,
+        Scale::Log10 => 10f64.powf(v),
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart::new("t", "x", "y")
+            .with_series("line", SeriesKind::Lines, vec![(0.0, 0.0), (1.0, 2.0)])
+            .with_series("dots", SeriesKind::Points, vec![(0.5, 1.0)])
+    }
+
+    #[test]
+    fn svg_contains_structure() {
+        let svg = chart().to_svg(400, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("line")); // legend
+        assert!(svg.contains("dots"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let c = Chart::new("t", "x", "y")
+            .with_x_scale(Scale::Log10)
+            .with_series(
+                "s",
+                SeriesKind::Points,
+                vec![(0.0, 1.0), (-1.0, 1.0), (10.0, 1.0)],
+            );
+        let scaled = c.scaled_points();
+        assert_eq!(scaled[0].len(), 1);
+        assert!((scaled[0][0].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_chart_renders_without_panic() {
+        let c = Chart::new("empty", "x", "y");
+        let svg = c.to_svg(200, 100);
+        assert!(svg.contains("empty"));
+        let ascii = c.to_ascii(10, 4);
+        assert!(ascii.contains("no data"));
+    }
+
+    #[test]
+    fn ascii_plots_all_series_markers() {
+        let a = chart().to_ascii(20, 8);
+        assert!(a.contains('*'));
+        assert!(a.contains('o'));
+        assert!(a.contains("line"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let c = Chart::new("a<b&c", "x", "y")
+            .with_series("s", SeriesKind::Points, vec![(1.0, 1.0)]);
+        let svg = c.to_svg(100, 100);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn single_point_bounds_do_not_degenerate() {
+        let c = Chart::new("t", "x", "y").with_series("s", SeriesKind::Points, vec![(2.0, 3.0)]);
+        // Must not divide by zero.
+        let svg = c.to_svg(100, 100);
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn scale_admits_and_applies() {
+        assert!(Scale::Log10.admits(1.0));
+        assert!(!Scale::Log10.admits(0.0));
+        assert!(Scale::Linear.admits(-5.0));
+        assert_eq!(Scale::Log10.apply(100.0), 2.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # spire-plot
+//!
+//! Dependency-free SVG and ASCII rendering for the SPIRE reproduction's
+//! figures: roofline plots (paper Fig. 2 and Fig. 7), sample scatters,
+//! and generic line charts.
+//!
+//! ```
+//! use spire_plot::{Chart, SeriesKind};
+//!
+//! let svg = Chart::new("ipc over time", "interval", "ipc")
+//!     .with_series("workload", SeriesKind::Lines, vec![(0.0, 1.2), (1.0, 1.4)])
+//!     .to_svg(640, 480);
+//! assert!(svg.contains("</svg>"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chart;
+mod roofline_plot;
+
+pub use chart::{Chart, Scale, Series, SeriesKind};
+pub use roofline_plot::roofline_chart;

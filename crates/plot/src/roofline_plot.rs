@@ -1,0 +1,110 @@
+//! Convenience constructors turning SPIRE rooflines into [`Chart`]s —
+//! the recipe behind the paper's Fig. 7 plots.
+
+use spire_core::{PiecewiseRoofline, Sample};
+
+use crate::chart::{Chart, Scale, SeriesKind};
+
+/// Number of evaluation points used when tracing a fitted roofline curve.
+const TRACE_POINTS: usize = 256;
+
+/// Builds a chart of a fitted roofline with its training samples, like
+/// the paper's Fig. 7 panels. `log_axes` reproduces the paper's
+/// log-scaled left/middle panels; pass `false` for the "non-distorting
+/// linear scale" zoom of the right panel.
+pub fn roofline_chart<'a>(
+    roofline: &PiecewiseRoofline,
+    samples: impl IntoIterator<Item = &'a Sample>,
+    log_axes: bool,
+) -> Chart {
+    let sample_points: Vec<(f64, f64)> = samples
+        .into_iter()
+        .map(|s| (s.intensity(), s.throughput()))
+        .filter(|(x, _)| x.is_finite())
+        .collect();
+
+    // Trace the model over the sample span (plus headroom on the right).
+    let x_min = sample_points
+        .iter()
+        .map(|p| p.0)
+        .fold(f64::INFINITY, f64::min);
+    let x_max = sample_points
+        .iter()
+        .map(|p| p.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut curve = Vec::with_capacity(TRACE_POINTS);
+    if x_min.is_finite() && x_max > 0.0 {
+        let lo = if log_axes {
+            x_min.max(x_max * 1e-6).max(f64::MIN_POSITIVE)
+        } else {
+            0.0
+        };
+        let hi = x_max * 1.2;
+        for i in 0..TRACE_POINTS {
+            let f = i as f64 / (TRACE_POINTS - 1) as f64;
+            let x = if log_axes {
+                lo * (hi / lo).powf(f)
+            } else {
+                lo + (hi - lo) * f
+            };
+            curve.push((x, roofline.estimate(x)));
+        }
+    }
+
+    let scale = if log_axes { Scale::Log10 } else { Scale::Linear };
+    Chart::new(
+        format!("SPIRE roofline: {}", roofline.metric()),
+        "operational intensity I_x (work per event)",
+        "max throughput P",
+    )
+    .with_x_scale(scale)
+    .with_y_scale(scale)
+    .with_series("fitted roofline", SeriesKind::Lines, curve)
+    .with_series("training samples", SeriesKind::Points, sample_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_core::FitOptions;
+
+    fn samples() -> Vec<Sample> {
+        vec![
+            Sample::new("m", 10.0, 10.0, 10.0).unwrap(),
+            Sample::new("m", 10.0, 20.0, 5.0).unwrap(),
+            Sample::new("m", 10.0, 30.0, 3.0).unwrap(),
+            Sample::new("m", 10.0, 15.0, 0.5).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn chart_has_curve_and_samples() {
+        let s = samples();
+        let r = PiecewiseRoofline::fit("m".into(), s.iter(), &FitOptions::default()).unwrap();
+        let c = roofline_chart(&r, s.iter(), true);
+        assert_eq!(c.series.len(), 2);
+        assert_eq!(c.series[0].points.len(), 256);
+        assert_eq!(c.series[1].points.len(), 4);
+        assert_eq!(c.x_scale, Scale::Log10);
+    }
+
+    #[test]
+    fn linear_chart_starts_at_zero() {
+        let s = samples();
+        let r = PiecewiseRoofline::fit("m".into(), s.iter(), &FitOptions::default()).unwrap();
+        let c = roofline_chart(&r, s.iter(), false);
+        assert_eq!(c.x_scale, Scale::Linear);
+        assert_eq!(c.series[0].points[0].0, 0.0);
+    }
+
+    #[test]
+    fn curve_upper_bounds_samples() {
+        let s = samples();
+        let r = PiecewiseRoofline::fit("m".into(), s.iter(), &FitOptions::default()).unwrap();
+        let c = roofline_chart(&r, s.iter(), true);
+        for &(x, y) in &c.series[1].points {
+            assert!(r.estimate(x) >= y - 1e-9);
+        }
+        let _ = c.to_svg(640, 480);
+    }
+}

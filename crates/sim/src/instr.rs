@@ -1,0 +1,196 @@
+//! The abstract instruction model consumed by the simulated core.
+//!
+//! The simulator is trace-driven: a workload is an iterator of [`Instr`]s
+//! carrying everything the pipeline needs to know — operation class,
+//! decode source, memory behaviour, branch outcome, and the dependency
+//! distance to the producing instruction. Wrong-path (mis-speculated) work
+//! is not materialized as instructions; its cost is modeled by the
+//! redirect/recovery penalties and issue-waste accounting in the core.
+
+use serde::{Deserialize, Serialize};
+
+/// SIMD vector width of a vector µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VecWidth {
+    /// 128-bit (XMM).
+    W128,
+    /// 256-bit (YMM).
+    W256,
+    /// 512-bit (ZMM).
+    W512,
+}
+
+/// The memory level that serves an access (decided by the workload
+/// generator's locality model, not by a simulated cache directory: the
+/// generator is the source of truth for residency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// First-level data cache hit.
+    L1,
+    /// Second-level cache hit.
+    L2,
+    /// Last-level cache hit.
+    L3,
+    /// DRAM access (last-level cache miss).
+    Dram,
+}
+
+/// Which front-end path decodes an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeSource {
+    /// Decoded stream buffer (µop cache): the fast path.
+    Dsb,
+    /// Legacy decode pipeline.
+    Mite,
+    /// Microcode sequencer (complex instructions).
+    Ms,
+}
+
+/// Operation class, determining execution ports and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Simple integer ALU operation.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (unpipelined divider).
+    IntDiv,
+    /// Floating-point add/sub.
+    FpAdd,
+    /// Floating-point multiply (or FMA).
+    FpMul,
+    /// Floating-point divide (unpipelined divider).
+    FpDiv,
+    /// SIMD vector operation of the given width.
+    Vec(VecWidth),
+    /// Memory load served by the given level; `locked` marks an atomic.
+    Load {
+        /// Which level serves the load.
+        level: MemLevel,
+        /// Locked (atomic) load: serializes against other locked ops.
+        locked: bool,
+    },
+    /// Memory store (fire-and-forget into the store buffer).
+    Store,
+    /// Conditional or indirect branch.
+    Branch {
+        /// Whether the branch was mispredicted.
+        mispredicted: bool,
+    },
+}
+
+/// One instruction of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Operation class.
+    pub class: InstrClass,
+    /// Number of µops the instruction decodes into (at least 1).
+    pub uops: u8,
+    /// Front-end path that decodes it.
+    pub decode: DecodeSource,
+    /// Distance (in instructions) to the producer this instruction depends
+    /// on; `0` means no register dependency.
+    pub dep_distance: u32,
+    /// Whether fetching this instruction misses the instruction cache.
+    pub icache_miss: bool,
+}
+
+impl Instr {
+    /// A 1-µop DSB-decoded integer ALU op with no dependencies — the
+    /// cheapest possible instruction, useful as a test building block.
+    pub fn simple_alu() -> Self {
+        Instr {
+            class: InstrClass::IntAlu,
+            uops: 1,
+            decode: DecodeSource::Dsb,
+            dep_distance: 0,
+            icache_miss: false,
+        }
+    }
+
+    /// A load from the given level (1 µop, DSB, no deps).
+    pub fn load(level: MemLevel) -> Self {
+        Instr {
+            class: InstrClass::Load {
+                level,
+                locked: false,
+            },
+            ..Instr::simple_alu()
+        }
+    }
+
+    /// A branch (1 µop, DSB, no deps).
+    pub fn branch(mispredicted: bool) -> Self {
+        Instr {
+            class: InstrClass::Branch { mispredicted },
+            ..Instr::simple_alu()
+        }
+    }
+
+    /// Returns `true` if this instruction performs a memory load.
+    pub fn is_load(&self) -> bool {
+        matches!(self.class, InstrClass::Load { .. })
+    }
+
+    /// Returns `true` if this instruction is a branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.class, InstrClass::Branch { .. })
+    }
+
+    /// Returns `true` if this instruction uses the (unpipelined) divider.
+    pub fn is_divide(&self) -> bool {
+        matches!(self.class, InstrClass::IntDiv | InstrClass::FpDiv)
+    }
+
+    /// The SIMD width, for vector operations.
+    pub fn vec_width(&self) -> Option<VecWidth> {
+        match self.class {
+            InstrClass::Vec(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Instr {
+    fn default() -> Self {
+        Instr::simple_alu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_expected_classes() {
+        assert!(Instr::load(MemLevel::L3).is_load());
+        assert!(Instr::branch(true).is_branch());
+        assert!(!Instr::simple_alu().is_load());
+        let div = Instr {
+            class: InstrClass::IntDiv,
+            ..Instr::simple_alu()
+        };
+        assert!(div.is_divide());
+    }
+
+    #[test]
+    fn vec_width_only_for_vector_ops() {
+        let v = Instr {
+            class: InstrClass::Vec(VecWidth::W512),
+            ..Instr::simple_alu()
+        };
+        assert_eq!(v.vec_width(), Some(VecWidth::W512));
+        assert_eq!(Instr::simple_alu().vec_width(), None);
+    }
+
+    #[test]
+    fn mem_levels_order_by_distance() {
+        assert!(MemLevel::L1 < MemLevel::L2);
+        assert!(MemLevel::L3 < MemLevel::Dram);
+    }
+
+    #[test]
+    fn default_is_simple_alu() {
+        assert_eq!(Instr::default(), Instr::simple_alu());
+    }
+}

@@ -1,0 +1,47 @@
+//! # spire-sim
+//!
+//! A cycle-level out-of-order CPU core simulator with a performance
+//! monitoring unit (PMU), built as the hardware substrate for the SPIRE
+//! reproduction. It stands in for the paper's Xeon Gold 6126: SPIRE and
+//! the TMA baseline consume nothing but the counter streams this simulator
+//! produces.
+//!
+//! The model is trace-driven and Skylake-server-class:
+//!
+//! * **front-end** — DSB (µop cache) vs legacy MITE decode vs microcode
+//!   sequencer delivery, instruction-cache miss stalls, branch-redirect
+//!   bubbles;
+//! * **back-end** — 4-wide allocation/retirement, a reorder buffer and
+//!   scheduler with realistic capacities, 8 execution ports, an
+//!   unpipelined divider, register dependencies via producer distances;
+//! * **memory** — four-level hierarchy (L1/L2/L3/DRAM) with MSHR-limited
+//!   miss parallelism, a DRAM queue, and serializing locked loads;
+//! * **PMU** — ~60 countable events named after their Intel counterparts
+//!   (every Table III metric from the paper), with fixed and programmable
+//!   counters.
+//!
+//! ```
+//! use spire_sim::{Core, CoreConfig, Event, Instr, MemLevel};
+//!
+//! let mut core = Core::new(CoreConfig::skylake_server());
+//! let mut workload = std::iter::repeat(Instr::load(MemLevel::Dram)).take(1_000);
+//! let summary = core.run(&mut workload, 10_000_000);
+//! assert_eq!(core.counters().get(Event::LongestLatCacheMiss), 1_000);
+//! assert!(summary.ipc() < 0.5); // DRAM-bound
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod core;
+mod events;
+mod instr;
+mod pmu;
+pub mod predictor;
+
+pub use crate::core::{Core, RunSummary};
+pub use config::{BackendConfig, CoreConfig, FrontendConfig, InvalidConfigError, MemoryConfig};
+pub use events::{CounterFile, Event};
+pub use instr::{DecodeSource, Instr, InstrClass, MemLevel, VecWidth};
+pub use pmu::{Pmu, PmuError};

@@ -1,0 +1,229 @@
+//! The performance-monitoring unit: programmable counter slots over the
+//! raw [`CounterFile`].
+//!
+//! Real PMUs expose hundreds of countable events but only a handful of
+//! counter registers (the paper notes often fewer than 10 per core), so
+//! software must *program* a subset and multiplex over time to cover more.
+//! This module models that constraint: reads are only allowed for the
+//! fixed counters (instructions, cycles) and the currently programmed
+//! events. The multiplexing scheduler itself lives in `spire-counters`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::{CounterFile, Event};
+
+/// Errors returned by PMU programming and reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmuError {
+    /// More events were requested than there are programmable slots.
+    TooManyEvents {
+        /// Number of events requested.
+        requested: usize,
+        /// Number of programmable slots available.
+        slots: usize,
+    },
+    /// A read was attempted for an event that is neither fixed nor
+    /// currently programmed.
+    NotProgrammed {
+        /// The unreadable event.
+        event: Event,
+    },
+}
+
+impl fmt::Display for PmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmuError::TooManyEvents { requested, slots } => write!(
+                f,
+                "cannot program {requested} events into {slots} counter slots"
+            ),
+            PmuError::NotProgrammed { event } => {
+                write!(f, "event `{event}` is not programmed on any counter")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmuError {}
+
+/// A PMU with two fixed counters and a limited number of programmable
+/// slots, mirroring Intel's fixed/general-purpose counter split.
+///
+/// ```
+/// use spire_sim::{CounterFile, Event, Pmu};
+///
+/// # fn main() -> Result<(), spire_sim::PmuError> {
+/// let mut pmu = Pmu::new(4);
+/// pmu.program(&[Event::IdqDsbUops, Event::LongestLatCacheMiss])?;
+///
+/// let mut counters = CounterFile::new();
+/// counters.add(Event::IdqDsbUops, 42);
+/// assert_eq!(pmu.read(&counters, Event::IdqDsbUops)?, 42);
+/// // Fixed counters are always readable.
+/// assert_eq!(pmu.read(&counters, Event::InstRetiredAny)?, 0);
+/// // Unprogrammed events are not.
+/// assert!(pmu.read(&counters, Event::IcacheMisses).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pmu {
+    slots: usize,
+    programmed: Vec<Event>,
+}
+
+impl Pmu {
+    /// Events always readable regardless of programming (Intel fixed
+    /// counters: retired instructions and unhalted cycles).
+    pub const FIXED: [Event; 2] = [Event::InstRetiredAny, Event::CpuClkUnhaltedThread];
+
+    /// Creates a PMU with `slots` programmable counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero: a PMU without programmable counters
+    /// cannot measure any performance metric.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "a PMU needs at least one programmable slot");
+        Pmu {
+            slots,
+            programmed: Vec::new(),
+        }
+    }
+
+    /// A Skylake-like PMU: 4 programmable counters per thread.
+    pub fn skylake() -> Self {
+        Pmu::new(4)
+    }
+
+    /// Number of programmable slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The currently programmed events.
+    pub fn programmed(&self) -> &[Event] {
+        &self.programmed
+    }
+
+    /// Programs a group of events, replacing the previous group.
+    ///
+    /// Fixed events need not (and should not) be programmed; they are
+    /// always readable and do not consume slots. Duplicates are collapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError::TooManyEvents`] if the deduplicated,
+    /// non-fixed event set exceeds the slot count.
+    pub fn program(&mut self, events: &[Event]) -> Result<(), PmuError> {
+        let mut wanted: Vec<Event> = Vec::new();
+        for &e in events {
+            if Self::FIXED.contains(&e) || wanted.contains(&e) {
+                continue;
+            }
+            wanted.push(e);
+        }
+        if wanted.len() > self.slots {
+            return Err(PmuError::TooManyEvents {
+                requested: wanted.len(),
+                slots: self.slots,
+            });
+        }
+        self.programmed = wanted;
+        Ok(())
+    }
+
+    /// Returns `true` if `event` can currently be read.
+    pub fn is_readable(&self, event: Event) -> bool {
+        Self::FIXED.contains(&event) || self.programmed.contains(&event)
+    }
+
+    /// Reads `event` from `counters`, enforcing programming rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError::NotProgrammed`] if `event` is neither fixed nor
+    /// programmed.
+    pub fn read(&self, counters: &CounterFile, event: Event) -> Result<u64, PmuError> {
+        if self.is_readable(event) {
+            Ok(counters.get(event))
+        } else {
+            Err(PmuError::NotProgrammed { event })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programming_too_many_events_fails() {
+        let mut pmu = Pmu::new(2);
+        let err = pmu
+            .program(&[
+                Event::IdqDsbUops,
+                Event::IcacheMisses,
+                Event::LongestLatCacheMiss,
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PmuError::TooManyEvents {
+                requested: 3,
+                slots: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn fixed_events_do_not_consume_slots() {
+        let mut pmu = Pmu::new(1);
+        pmu.program(&[
+            Event::InstRetiredAny,
+            Event::CpuClkUnhaltedThread,
+            Event::IdqDsbUops,
+        ])
+        .unwrap();
+        assert_eq!(pmu.programmed(), [Event::IdqDsbUops]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut pmu = Pmu::new(1);
+        pmu.program(&[Event::IdqDsbUops, Event::IdqDsbUops]).unwrap();
+        assert_eq!(pmu.programmed().len(), 1);
+    }
+
+    #[test]
+    fn reprogramming_replaces_the_group() {
+        let mut pmu = Pmu::new(2);
+        pmu.program(&[Event::IdqDsbUops]).unwrap();
+        pmu.program(&[Event::IcacheMisses]).unwrap();
+        assert!(pmu.is_readable(Event::IcacheMisses));
+        assert!(!pmu.is_readable(Event::IdqDsbUops));
+    }
+
+    #[test]
+    fn read_enforces_programming() {
+        let mut pmu = Pmu::skylake();
+        pmu.program(&[Event::IdqDsbUops]).unwrap();
+        let mut c = CounterFile::new();
+        c.add(Event::IdqDsbUops, 7);
+        c.add(Event::IcacheMisses, 9);
+        assert_eq!(pmu.read(&c, Event::IdqDsbUops).unwrap(), 7);
+        assert!(matches!(
+            pmu.read(&c, Event::IcacheMisses),
+            Err(PmuError::NotProgrammed { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_slots_panics() {
+        let _ = Pmu::new(0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Branch-predictor models: 2-bit bimodal and gshare.
+//!
+//! The workload generator can mark branch mispredictions statistically
+//! (a Bernoulli rate), or — for higher fidelity — synthesize branch
+//! *outcomes* and let one of these predictors decide what a real
+//! front-end would have mispredicted (see
+//! `spire_workloads::PredictedBranches`). Both predictors use saturating
+//! 2-bit counters; gshare additionally hashes global history into the
+//! table index, letting it learn correlated patterns a bimodal table
+//! cannot.
+
+use serde::{Deserialize, Serialize};
+
+/// A branch predictor: predicts a direction for a branch address, then
+/// learns from the resolved outcome.
+pub trait BranchPredictor {
+    /// Predicts whether the branch at `pc` is taken.
+    fn predict(&self, pc: u64) -> bool;
+
+    /// Updates predictor state with the branch's resolved direction.
+    fn update(&mut self, pc: u64, taken: bool);
+
+    /// Convenience: predicts, updates, and reports whether the
+    /// prediction was wrong.
+    fn mispredicts(&mut self, pc: u64, taken: bool) -> bool {
+        let predicted = self.predict(pc);
+        self.update(pc, taken);
+        predicted != taken
+    }
+}
+
+/// Saturating 2-bit counter helpers (0..=3; taken when >= 2).
+#[inline]
+fn counter_predicts(c: u8) -> bool {
+    c >= 2
+}
+
+#[inline]
+fn counter_update(c: u8, taken: bool) -> u8 {
+    if taken {
+        (c + 1).min(3)
+    } else {
+        c.saturating_sub(1)
+    }
+}
+
+/// A bimodal predictor: one 2-bit counter per (hashed) branch address.
+///
+/// ```
+/// use spire_sim::predictor::{BimodalPredictor, BranchPredictor};
+///
+/// let mut p = BimodalPredictor::new(10);
+/// // A heavily-taken branch is learned after a couple of outcomes.
+/// p.update(0x40_0000, true);
+/// p.update(0x40_0000, true);
+/// assert!(p.predict(0x40_0000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BimodalPredictor {
+    table: Vec<u8>,
+    mask: u64,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `2^log2_entries` counters, initialized
+    /// to weakly-not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is 0 or greater than 24.
+    pub fn new(log2_entries: u32) -> Self {
+        assert!(
+            (1..=24).contains(&log2_entries),
+            "table size must be 2^1 ..= 2^24 entries"
+        );
+        let n = 1usize << log2_entries;
+        BimodalPredictor {
+            table: vec![1; n],
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Branch addresses are word-aligned; drop the low bits.
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        counter_predicts(self.table[self.index(pc)])
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i] = counter_update(self.table[i], taken);
+    }
+}
+
+/// A gshare predictor: the table index is the branch address XORed with
+/// a global taken/not-taken history register, so correlated branches get
+/// distinct counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GsharePredictor {
+    table: Vec<u8>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+}
+
+impl GsharePredictor {
+    /// Creates a predictor with `2^log2_entries` counters and
+    /// `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is outside `1..=24` or `history_bits`
+    /// exceeds `log2_entries`.
+    pub fn new(log2_entries: u32, history_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&log2_entries),
+            "table size must be 2^1 ..= 2^24 entries"
+        );
+        assert!(
+            history_bits <= log2_entries,
+            "history cannot be wider than the index"
+        );
+        let n = 1usize << log2_entries;
+        GsharePredictor {
+            table: vec![1; n],
+            mask: (n - 1) as u64,
+            history: 0,
+            history_bits,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The current global-history register value.
+    pub fn history(&self) -> u64 {
+        self.history
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict(&self, pc: u64) -> bool {
+        counter_predicts(self.table[self.index(pc)])
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i] = counter_update(self.table[i], taken);
+        let mask = (1u64 << self.history_bits).wrapping_sub(1);
+        self.history = ((self.history << 1) | u64::from(taken)) & mask;
+    }
+}
+
+/// An oracle that never mispredicts — the baseline for predictor
+/// comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfectPredictor;
+
+impl BranchPredictor for PerfectPredictor {
+    fn predict(&self, _pc: u64) -> bool {
+        true
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn mispredicts(&mut self, _pc: u64, _taken: bool) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mispredict rate of a predictor on an outcome sequence for one pc.
+    fn rate<P: BranchPredictor>(p: &mut P, pc: u64, outcomes: &[bool]) -> f64 {
+        let misses = outcomes
+            .iter()
+            .filter(|&&t| p.mispredicts(pc, t))
+            .count();
+        misses as f64 / outcomes.len() as f64
+    }
+
+    #[test]
+    fn bimodal_learns_a_biased_branch() {
+        let mut p = BimodalPredictor::new(12);
+        let outcomes = vec![true; 1000];
+        assert!(rate(&mut p, 0x1000, &outcomes) < 0.01);
+    }
+
+    #[test]
+    fn bimodal_tolerates_occasional_flips() {
+        // 2-bit hysteresis: a single not-taken shouldn't flip the
+        // prediction of a strongly-taken branch.
+        let mut p = BimodalPredictor::new(12);
+        for _ in 0..10 {
+            p.update(0x2000, true);
+        }
+        p.update(0x2000, false);
+        assert!(p.predict(0x2000));
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut p = BimodalPredictor::new(12);
+        let outcomes: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        // Weak counters oscillate: bimodal stays bad on alternating
+        // branches.
+        assert!(rate(&mut p, 0x3000, &outcomes) > 0.3);
+    }
+
+    #[test]
+    fn gshare_learns_alternation_via_history() {
+        let mut p = GsharePredictor::new(12, 8);
+        let outcomes: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
+        assert!(
+            rate(&mut p, 0x3000, &outcomes) < 0.05,
+            "gshare should learn a period-2 pattern"
+        );
+    }
+
+    #[test]
+    fn gshare_learns_longer_patterns() {
+        let mut p = GsharePredictor::new(14, 10);
+        let pattern = [true, true, false, true, false, false, true, false];
+        let outcomes: Vec<bool> = (0..4000).map(|i| pattern[i % pattern.len()]).collect();
+        assert!(rate(&mut p, 0x4000, &outcomes) < 0.1);
+    }
+
+    #[test]
+    fn distinct_branches_use_distinct_counters() {
+        let mut p = BimodalPredictor::new(12);
+        for _ in 0..10 {
+            p.update(0x1000, true);
+            p.update(0x2000, false);
+        }
+        assert!(p.predict(0x1000));
+        assert!(!p.predict(0x2000));
+    }
+
+    #[test]
+    fn tiny_table_aliases_and_hurts() {
+        // Two opposing branches that collide in a 2-entry table
+        // ((pc >> 2) & 1 is 0 for both) but not in a large one: the
+        // aliased counter thrashes while the large table is near-perfect.
+        let outcomes: Vec<(u64, bool)> = (0..1000)
+            .flat_map(|_| [(0x1000u64, true), (0x1008u64, false)])
+            .collect();
+        let run = |log2: u32| {
+            let mut p = BimodalPredictor::new(log2);
+            let misses = outcomes
+                .iter()
+                .filter(|&&(pc, t)| p.mispredicts(pc, t))
+                .count();
+            misses as f64 / outcomes.len() as f64
+        };
+        assert!(run(12) < 0.01, "large table must separate the branches");
+        assert!(run(1) > 0.3, "aliased table must thrash");
+    }
+
+    #[test]
+    fn perfect_predictor_never_misses() {
+        let mut p = PerfectPredictor;
+        for i in 0..100u64 {
+            assert!(!p.mispredicts(i * 4, i % 3 == 0));
+        }
+    }
+
+    #[test]
+    fn history_register_masks_to_width() {
+        let mut p = GsharePredictor::new(10, 4);
+        for _ in 0..100 {
+            p.update(0x10, true);
+        }
+        assert!(p.history() < 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^1 ..= 2^24")]
+    fn zero_size_table_panics() {
+        BimodalPredictor::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the index")]
+    fn oversized_history_panics() {
+        GsharePredictor::new(4, 8);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests over the simulator's counter semantics: for random
+//! instruction streams, the PMU counts must satisfy the identities a
+//! real PMU guarantees. TMA and SPIRE both lean on these identities, so
+//! they are the simulator's contract.
+
+use proptest::prelude::*;
+use spire_sim::{
+    Core, CoreConfig, DecodeSource, Event, Instr, InstrClass, MemLevel, VecWidth,
+};
+
+/// Strategy: one random instruction.
+fn instr() -> impl Strategy<Value = Instr> {
+    let class = prop_oneof![
+        4 => Just(InstrClass::IntAlu),
+        1 => Just(InstrClass::IntMul),
+        1 => Just(InstrClass::IntDiv),
+        1 => Just(InstrClass::FpAdd),
+        1 => Just(InstrClass::FpMul),
+        1 => Just(InstrClass::FpDiv),
+        1 => Just(InstrClass::Vec(VecWidth::W256)),
+        1 => Just(InstrClass::Vec(VecWidth::W512)),
+        2 => (prop_oneof![
+                Just(MemLevel::L1), Just(MemLevel::L2),
+                Just(MemLevel::L3), Just(MemLevel::Dram)
+            ], any::<bool>())
+            .prop_map(|(level, locked)| InstrClass::Load { level, locked }),
+        1 => Just(InstrClass::Store),
+        2 => any::<bool>().prop_map(|m| InstrClass::Branch { mispredicted: m }),
+    ];
+    (class, prop_oneof![Just(DecodeSource::Dsb), Just(DecodeSource::Mite), Just(DecodeSource::Ms)],
+     0u32..8, prop::bool::weighted(0.01))
+        .prop_map(|(class, decode, dep, icache_miss)| Instr {
+            class,
+            uops: if decode == DecodeSource::Ms { 4 } else { 1 },
+            decode,
+            dep_distance: dep,
+            icache_miss,
+        })
+}
+
+fn run(instrs: Vec<Instr>) -> (Core, u64) {
+    let mut core = Core::new(CoreConfig::skylake_server());
+    let n = instrs.len() as u64;
+    let mut stream = instrs.into_iter();
+    core.run(&mut stream, 10_000_000);
+    (core, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every supplied instruction retires exactly once, and the core
+    /// drains.
+    #[test]
+    fn all_instructions_retire(instrs in prop::collection::vec(instr(), 1..400)) {
+        let (core, n) = run(instrs);
+        prop_assert!(core.is_drained());
+        prop_assert_eq!(core.counters().get(Event::InstRetiredAny), n);
+    }
+
+    /// µop conservation: delivered = issued (minus wrong-path waste) =
+    /// executed = retired.
+    #[test]
+    fn uop_conservation(instrs in prop::collection::vec(instr(), 1..400)) {
+        let (core, _) = run(instrs.clone());
+        let c = core.counters();
+        let delivered = c.get(Event::IdqDsbUops)
+            + c.get(Event::IdqMiteUops)
+            + c.get(Event::IdqMsUops);
+        let retired = c.get(Event::UopsRetiredRetireSlots);
+        let executed = c.get(Event::UopsExecutedThread);
+        prop_assert_eq!(delivered, retired, "delivered µops must all retire");
+        prop_assert_eq!(executed, retired, "executed µops must all retire");
+        // Issued includes modeled wrong-path waste, so it can only exceed.
+        prop_assert!(c.get(Event::UopsIssuedAny) >= retired);
+    }
+
+    /// Per-instruction-class retirement counters add up.
+    #[test]
+    fn class_counters_add_up(instrs in prop::collection::vec(instr(), 1..400)) {
+        let loads = instrs.iter().filter(|i| i.is_load()).count() as u64;
+        let stores = instrs
+            .iter()
+            .filter(|i| matches!(i.class, InstrClass::Store))
+            .count() as u64;
+        let branches = instrs.iter().filter(|i| i.is_branch()).count() as u64;
+        let mispredicts = instrs
+            .iter()
+            .filter(|i| matches!(i.class, InstrClass::Branch { mispredicted: true }))
+            .count() as u64;
+        let locks = instrs
+            .iter()
+            .filter(|i| matches!(i.class, InstrClass::Load { locked: true, .. }))
+            .count() as u64;
+        let dram = instrs
+            .iter()
+            .filter(|i| matches!(i.class, InstrClass::Load { level: MemLevel::Dram, .. }))
+            .count() as u64;
+        let (core, _) = run(instrs);
+        let c = core.counters();
+        prop_assert_eq!(c.get(Event::MemInstRetiredAllLoads), loads);
+        prop_assert_eq!(c.get(Event::MemInstRetiredAllStores), stores);
+        prop_assert_eq!(c.get(Event::BrInstRetiredAllBranches), branches);
+        prop_assert_eq!(c.get(Event::BrMispRetiredAllBranches), mispredicts);
+        prop_assert_eq!(c.get(Event::MemInstRetiredLockLoads), locks);
+        prop_assert_eq!(c.get(Event::LongestLatCacheMiss), dram);
+        let hits = c.get(Event::MemLoadRetiredL1Hit)
+            + c.get(Event::MemLoadRetiredL2Hit)
+            + c.get(Event::MemLoadRetiredL3Hit)
+            + c.get(Event::MemLoadRetiredDramHit);
+        prop_assert_eq!(hits, loads);
+    }
+
+    /// Cycle-gated counters never exceed the cycle count.
+    #[test]
+    fn cycle_counters_bounded_by_cycles(instrs in prop::collection::vec(instr(), 1..400)) {
+        let (core, _) = run(instrs);
+        let c = core.counters();
+        let cycles = c.get(Event::CpuClkUnhaltedThread);
+        prop_assert_eq!(cycles, core.cycle());
+        for e in [
+            Event::IdqDsbCycles,
+            Event::IdqMiteCycles,
+            Event::IdqMsDsbCycles,
+            Event::IdqAllDsbCyclesAnyUops,
+            Event::CycleActivityStallsTotal,
+            Event::CycleActivityStallsMemAny,
+            Event::CycleActivityCyclesMemAny,
+            Event::CycleActivityCyclesL1dMiss,
+            Event::CycleActivityStallsL1dMiss,
+            Event::UopsRetiredStallCycles,
+            Event::UopsIssuedStallCycles,
+            Event::UopsExecutedStallCycles,
+            Event::UopsExecutedCoreCyclesGe1,
+            Event::UopsExecutedCyclesGe1UopExec,
+            Event::ExeActivityExeBound0Ports,
+            Event::ExeActivity1PortsUtil,
+            Event::ExeActivity2PortsUtil,
+            Event::ResourceStallsAny,
+            Event::IdqUopsNotDeliveredCyclesFeWasOk,
+            Event::IdqUopsNotDeliveredCyclesLe1,
+            Event::IdqUopsNotDeliveredCyclesLe2,
+            Event::IdqUopsNotDeliveredCyclesLe3,
+            Event::ArithDividerActive,
+            Event::IntMiscRecoveryCycles,
+        ] {
+            prop_assert!(
+                c.get(e) <= cycles,
+                "{} = {} exceeds cycles {}",
+                e.name(),
+                c.get(e),
+                cycles
+            );
+        }
+    }
+
+    /// Stall-cycle hierarchies: full execution stalls split exactly into
+    /// memory-outstanding and no-memory (0-port) stalls; the `le_k`
+    /// delivery counters are monotone in `k`.
+    #[test]
+    fn stall_hierarchies_hold(instrs in prop::collection::vec(instr(), 1..400)) {
+        let (core, _) = run(instrs);
+        let c = core.counters();
+        prop_assert_eq!(
+            c.get(Event::CycleActivityStallsTotal),
+            c.get(Event::CycleActivityStallsMemAny) + c.get(Event::ExeActivityExeBound0Ports)
+        );
+        prop_assert!(
+            c.get(Event::IdqUopsNotDeliveredCyclesLe1)
+                <= c.get(Event::IdqUopsNotDeliveredCyclesLe2)
+        );
+        prop_assert!(
+            c.get(Event::IdqUopsNotDeliveredCyclesLe2)
+                <= c.get(Event::IdqUopsNotDeliveredCyclesLe3)
+        );
+        // FE bubble tiers are monotone too.
+        prop_assert!(
+            c.get(Event::FrontendRetiredLatencyGe2BubblesGe3)
+                <= c.get(Event::FrontendRetiredLatencyGe2BubblesGe2)
+        );
+        prop_assert!(
+            c.get(Event::FrontendRetiredLatencyGe2BubblesGe2)
+                <= c.get(Event::FrontendRetiredLatencyGe2BubblesGe1)
+        );
+        // Recovery cycles are identical across the `any` variant in a
+        // single-thread model.
+        prop_assert_eq!(
+            c.get(Event::IntMiscRecoveryCycles),
+            c.get(Event::IntMiscRecoveryCyclesAny)
+        );
+    }
+
+    /// Determinism: the same stream and config produce bit-identical
+    /// counter files.
+    #[test]
+    fn simulation_is_deterministic(instrs in prop::collection::vec(instr(), 1..200)) {
+        let (a, _) = run(instrs.clone());
+        let (b, _) = run(instrs);
+        prop_assert_eq!(a.counters(), b.counters());
+        prop_assert_eq!(a.cycle(), b.cycle());
+    }
+
+    /// Slicing a run into pieces changes nothing: counters depend on the
+    /// stream, not on how `run` was chunked.
+    #[test]
+    fn run_slicing_is_transparent(
+        instrs in prop::collection::vec(instr(), 1..200),
+        slice in 1u64..500,
+    ) {
+        let (whole, _) = run(instrs.clone());
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = instrs.into_iter();
+        while !core.is_drained() {
+            core.run(&mut stream, slice);
+        }
+        prop_assert_eq!(whole.counters(), core.counters());
+        prop_assert_eq!(whole.cycle(), core.cycle());
+    }
+}

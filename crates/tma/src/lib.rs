@@ -1,0 +1,511 @@
+//! # spire-tma
+//!
+//! Top-Down Microarchitecture Analysis (Yasin, ISPASS 2014) over the
+//! simulated PMU — the reproduction's stand-in for Intel VTune, the
+//! baseline tool the paper validates SPIRE against.
+//!
+//! TMA partitions a core's issue slots (`pipeline width × cycles`) into
+//! four top-level categories:
+//!
+//! 1. **Retiring** — slots that did useful work,
+//! 2. **Front-End Bound** — slots lost to fetch/decode stalls,
+//! 3. **Bad Speculation** — slots lost to incorrect speculation,
+//! 4. **Back-End Bound** — slots lost to back-end stalls,
+//!
+//! and refines back-end bound into **Memory Bound** vs **Core Bound** at
+//! level 2, with selected level-3 detail (cache-level shares, divider
+//! activity, decode-path shares) matching the observations the paper
+//! quotes from VTune for its four test workloads.
+//!
+//! ```
+//! use spire_sim::{Core, CoreConfig, Instr, MemLevel};
+//! use spire_tma::analyze;
+//!
+//! let cfg = CoreConfig::skylake_server();
+//! let mut core = Core::new(cfg);
+//! let mut wl = std::iter::repeat(Instr::load(MemLevel::Dram)).take(2_000);
+//! core.run(&mut wl, 10_000_000);
+//! let tma = analyze(core.counters(), &cfg);
+//! assert!(tma.level1.backend_bound > 0.5);
+//! assert!(tma.memory.memory_bound > tma.core.core_bound);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use spire_core::catalog::UarchArea;
+use spire_sim::{CoreConfig, CounterFile, Event};
+
+/// The four top-level TMA categories plus Retiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TmaCategory {
+    /// Slots doing useful work (not a bottleneck).
+    Retiring,
+    /// Slots lost to front-end stalls.
+    FrontEnd,
+    /// Slots lost to incorrect speculation.
+    BadSpeculation,
+    /// Back-end slots lost to memory stalls.
+    Memory,
+    /// Back-end slots lost to non-memory stalls.
+    Core,
+}
+
+impl std::fmt::Display for TmaCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TmaCategory::Retiring => "Retiring",
+            TmaCategory::FrontEnd => "Front-End",
+            TmaCategory::BadSpeculation => "Bad Speculation",
+            TmaCategory::Memory => "Memory",
+            TmaCategory::Core => "Core",
+        };
+        f.write_str(s)
+    }
+}
+
+impl TmaCategory {
+    /// Maps a bottleneck category to the metric-catalog area; `None` for
+    /// Retiring, which is not a bottleneck.
+    pub fn area(self) -> Option<UarchArea> {
+        match self {
+            TmaCategory::Retiring => None,
+            TmaCategory::FrontEnd => Some(UarchArea::FrontEnd),
+            TmaCategory::BadSpeculation => Some(UarchArea::BadSpeculation),
+            TmaCategory::Memory => Some(UarchArea::Memory),
+            TmaCategory::Core => Some(UarchArea::Core),
+        }
+    }
+}
+
+/// Level-1 slot fractions. The four fields sum to 1 (clamped).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TmaLevel1 {
+    /// Fraction of slots that retired useful µops.
+    pub retiring: f64,
+    /// Fraction of slots the front-end failed to fill.
+    pub frontend_bound: f64,
+    /// Fraction of slots wasted on wrong-path work and recovery.
+    pub bad_speculation: f64,
+    /// Fraction of slots stalled in the back-end.
+    pub backend_bound: f64,
+}
+
+/// Front-end detail (level 2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontendDetail {
+    /// Fraction of front-end-bound slots from long delivery outages
+    /// (i-cache misses, MS switches, redirects).
+    pub fetch_latency: f64,
+    /// Remaining front-end-bound slots (bandwidth shortfall).
+    pub fetch_bandwidth: f64,
+    /// Share of delivered µops that came from the DSB.
+    pub dsb_uop_share: f64,
+    /// Share of delivered µops from the legacy decode pipeline.
+    pub mite_uop_share: f64,
+    /// Share of delivered µops from the microcode sequencer.
+    pub ms_uop_share: f64,
+    /// Instruction-cache misses per thousand retired instructions.
+    pub icache_miss_pki: f64,
+}
+
+/// Bad-speculation detail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BadSpecDetail {
+    /// Branch mispredictions per thousand retired instructions.
+    pub mispredicts_pki: f64,
+    /// Fraction of cycles spent in allocator recovery.
+    pub recovery_cycle_frac: f64,
+}
+
+/// Memory-bound detail (level 2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryDetail {
+    /// The level-2 memory-bound fraction of all slots.
+    pub memory_bound: f64,
+    /// Latency-weighted share of load service attributable to L1 hits.
+    pub l1_share: f64,
+    /// Latency-weighted share from L2 hits.
+    pub l2_share: f64,
+    /// Latency-weighted share from L3 hits.
+    pub l3_share: f64,
+    /// Latency-weighted share from DRAM (the paper's "DRAM bound").
+    pub dram_share: f64,
+    /// Locked loads per thousand retired instructions.
+    pub lock_loads_pki: f64,
+}
+
+/// Core-bound detail (level 2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreDetail {
+    /// The level-2 core-bound fraction of all slots.
+    pub core_bound: f64,
+    /// Fraction of cycles the divider was active.
+    pub divider_active_frac: f64,
+    /// Fraction of cycles with zero execution ports utilized (while
+    /// stalled for non-memory reasons).
+    pub ports_0_frac: f64,
+    /// Fraction of cycles with exactly one port utilized.
+    pub ports_1_frac: f64,
+    /// Fraction of cycles with exactly two ports utilized.
+    pub ports_2_frac: f64,
+}
+
+/// A complete TMA breakdown of one measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TmaBreakdown {
+    /// Level-1 slot fractions.
+    pub level1: TmaLevel1,
+    /// Front-end refinement.
+    pub frontend: FrontendDetail,
+    /// Bad-speculation refinement.
+    pub bad_speculation: BadSpecDetail,
+    /// Memory-bound refinement.
+    pub memory: MemoryDetail,
+    /// Core-bound refinement.
+    pub core: CoreDetail,
+    /// Retired instructions per cycle.
+    pub ipc: f64,
+}
+
+impl TmaBreakdown {
+    /// The dominant *bottleneck* (ignoring Retiring): the largest of
+    /// front-end, bad speculation, memory, and core fractions.
+    pub fn dominant_bottleneck(&self) -> UarchArea {
+        let candidates = [
+            (UarchArea::FrontEnd, self.level1.frontend_bound),
+            (UarchArea::BadSpeculation, self.level1.bad_speculation),
+            (UarchArea::Memory, self.memory.memory_bound),
+            (UarchArea::Core, self.core.core_bound),
+        ];
+        candidates
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .0
+    }
+
+    /// The largest level-1/2 category including Retiring, mirroring how
+    /// the paper reports e.g. "43% retiring, 40% core-bound".
+    pub fn main_category(&self) -> TmaCategory {
+        let candidates = [
+            (TmaCategory::Retiring, self.level1.retiring),
+            (TmaCategory::FrontEnd, self.level1.frontend_bound),
+            (TmaCategory::BadSpeculation, self.level1.bad_speculation),
+            (TmaCategory::Memory, self.memory.memory_bound),
+            (TmaCategory::Core, self.core.core_bound),
+        ];
+        candidates
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .0
+    }
+
+    /// Renders the breakdown as a VTune-style hierarchy, with level-1
+    /// categories, their level-2 refinements, and selected level-3
+    /// detail, each as a percentage of pipeline slots (or the noted
+    /// unit).
+    pub fn to_tree(&self) -> String {
+        let pct = |v: f64| format!("{:5.1}%", v * 100.0);
+        let mut out = String::new();
+        let l = &self.level1;
+        out.push_str(&format!("Retiring            {}\n", pct(l.retiring)));
+        out.push_str(&format!("Front-End Bound     {}\n", pct(l.frontend_bound)));
+        out.push_str(&format!(
+            "├─ Fetch Latency    {}\n",
+            pct(self.frontend.fetch_latency)
+        ));
+        out.push_str(&format!(
+            "└─ Fetch Bandwidth  {}   (dsb {:.1}% | mite {:.1}% | ms {:.1}% of µops)\n",
+            pct(self.frontend.fetch_bandwidth),
+            self.frontend.dsb_uop_share * 100.0,
+            self.frontend.mite_uop_share * 100.0,
+            self.frontend.ms_uop_share * 100.0
+        ));
+        out.push_str(&format!("Bad Speculation     {}\n", pct(l.bad_speculation)));
+        out.push_str(&format!(
+            "└─ Mispredicts      {:.2}/kinstr (recovery {:.1}% of cycles)\n",
+            self.bad_speculation.mispredicts_pki,
+            self.bad_speculation.recovery_cycle_frac * 100.0
+        ));
+        out.push_str(&format!("Back-End Bound      {}\n", pct(l.backend_bound)));
+        out.push_str(&format!(
+            "├─ Memory Bound     {}   (l1 {:.1}% | l2 {:.1}% | l3 {:.1}% | dram {:.1}% of load cost)\n",
+            pct(self.memory.memory_bound),
+            self.memory.l1_share * 100.0,
+            self.memory.l2_share * 100.0,
+            self.memory.l3_share * 100.0,
+            self.memory.dram_share * 100.0
+        ));
+        out.push_str(&format!(
+            "│  └─ Lock Loads    {:.2}/kinstr\n",
+            self.memory.lock_loads_pki
+        ));
+        out.push_str(&format!(
+            "└─ Core Bound       {}   (divider {:.1}% | 0p {:.1}% | 1p {:.1}% | 2p {:.1}% of cycles)\n",
+            pct(self.core.core_bound),
+            self.core.divider_active_frac * 100.0,
+            self.core.ports_0_frac * 100.0,
+            self.core.ports_1_frac * 100.0,
+            self.core.ports_2_frac * 100.0
+        ));
+        out.push_str(&format!("IPC                 {:5.2}\n", self.ipc));
+        out
+    }
+
+    /// Formats the breakdown as a short human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "retiring {:.1}% | front-end {:.1}% | bad-spec {:.1}% | memory {:.1}% | core {:.1}% (ipc {:.2})",
+            self.level1.retiring * 100.0,
+            self.level1.frontend_bound * 100.0,
+            self.level1.bad_speculation * 100.0,
+            self.memory.memory_bound * 100.0,
+            self.core.core_bound * 100.0,
+            self.ipc
+        )
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+fn clamp01(v: f64) -> f64 {
+    v.clamp(0.0, 1.0)
+}
+
+/// Computes the TMA breakdown from raw counters and the core
+/// configuration they were measured on.
+///
+/// All fractions are clamped to `[0, 1]`; the level-1 categories are
+/// normalized to sum to 1 when the measurement is non-empty.
+pub fn analyze(counters: &CounterFile, config: &CoreConfig) -> TmaBreakdown {
+    let g = |e: Event| counters.get(e) as f64;
+    let cycles = g(Event::CpuClkUnhaltedThread);
+    let width = config.slots_per_cycle() as f64;
+    let slots = (cycles * width).max(1.0);
+    let instrs = g(Event::InstRetiredAny);
+
+    // --- Level 1. ----------------------------------------------------------
+    let retiring = clamp01(g(Event::UopsRetiredRetireSlots) / slots);
+    let frontend_bound = clamp01(g(Event::IdqUopsNotDeliveredCore) / slots);
+    let bad_spec = clamp01(
+        (g(Event::UopsIssuedAny) - g(Event::UopsRetiredRetireSlots)
+            + width * g(Event::IntMiscRecoveryCycles))
+            / slots,
+    );
+    let backend_bound = clamp01(1.0 - retiring - frontend_bound - bad_spec);
+    // Normalize so the four categories sum to exactly 1.
+    let total = retiring + frontend_bound + bad_spec + backend_bound;
+    let (retiring, frontend_bound, bad_spec, backend_bound) = if total > 0.0 {
+        (
+            retiring / total,
+            frontend_bound / total,
+            bad_spec / total,
+            backend_bound / total,
+        )
+    } else {
+        (0.0, 0.0, 0.0, 0.0)
+    };
+
+    // --- Level 2: memory vs core. -------------------------------------------
+    // Memory-bound cycles are execution stalls with an outstanding load
+    // miss; core-bound pressure additionally includes poorly-utilized
+    // execution cycles (Intel's "few µops executed" term), which is what
+    // separates latency-chain workloads from cache-miss workloads.
+    let stalls_total = g(Event::CycleActivityStallsTotal);
+    let stalls_mem = g(Event::CycleActivityStallsMemAny);
+    let few_ports = g(Event::ExeActivity1PortsUtil);
+    let backend_cycles = (stalls_total + few_ports).max(1.0);
+    let mem_frac = ratio(stalls_mem, backend_cycles);
+    let memory_bound = backend_bound * mem_frac;
+    let core_bound = backend_bound - memory_bound;
+
+    // --- Level 2: fetch latency vs bandwidth. --------------------------------
+    let le1 = g(Event::IdqUopsNotDeliveredCyclesLe1);
+    let fetch_latency_slots = (le1 * width).min(g(Event::IdqUopsNotDeliveredCore));
+    let fetch_latency = frontend_bound * ratio(fetch_latency_slots, g(Event::IdqUopsNotDeliveredCore).max(1.0));
+    let fetch_bandwidth = frontend_bound - fetch_latency;
+
+    // --- Level 3 details. -----------------------------------------------------
+    let dsb = g(Event::IdqDsbUops);
+    let mite = g(Event::IdqMiteUops);
+    let ms = g(Event::IdqMsUops);
+    let delivered = (dsb + mite + ms).max(1.0);
+
+    let m = &config.memory;
+    let l1_cost = g(Event::MemLoadRetiredL1Hit) * m.l1_latency as f64;
+    let l2_cost = g(Event::MemLoadRetiredL2Hit) * m.l2_latency as f64;
+    let l3_cost = g(Event::MemLoadRetiredL3Hit) * m.l3_latency as f64;
+    let dram_cost = g(Event::MemLoadRetiredDramHit) * m.dram_latency as f64;
+    let mem_cost = (l1_cost + l2_cost + l3_cost + dram_cost).max(1.0);
+
+    let pki = |count: f64| ratio(count * 1000.0, instrs.max(1.0));
+
+    TmaBreakdown {
+        level1: TmaLevel1 {
+            retiring,
+            frontend_bound,
+            bad_speculation: bad_spec,
+            backend_bound,
+        },
+        frontend: FrontendDetail {
+            fetch_latency,
+            fetch_bandwidth,
+            dsb_uop_share: dsb / delivered,
+            mite_uop_share: mite / delivered,
+            ms_uop_share: ms / delivered,
+            icache_miss_pki: pki(g(Event::IcacheMisses)),
+        },
+        bad_speculation: BadSpecDetail {
+            mispredicts_pki: pki(g(Event::BrMispRetiredAllBranches)),
+            recovery_cycle_frac: ratio(g(Event::IntMiscRecoveryCycles), cycles.max(1.0)),
+        },
+        memory: MemoryDetail {
+            memory_bound,
+            l1_share: l1_cost / mem_cost,
+            l2_share: l2_cost / mem_cost,
+            l3_share: l3_cost / mem_cost,
+            dram_share: dram_cost / mem_cost,
+            lock_loads_pki: pki(g(Event::MemInstRetiredLockLoads)),
+        },
+        core: CoreDetail {
+            core_bound,
+            divider_active_frac: ratio(g(Event::ArithDividerActive), cycles.max(1.0)),
+            ports_0_frac: ratio(g(Event::ExeActivityExeBound0Ports), cycles.max(1.0)),
+            ports_1_frac: ratio(g(Event::ExeActivity1PortsUtil), cycles.max(1.0)),
+            ports_2_frac: ratio(g(Event::ExeActivity2PortsUtil), cycles.max(1.0)),
+        },
+        ipc: ratio(instrs, cycles.max(1.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_sim::{Core, Instr, InstrClass, MemLevel};
+
+    fn analyze_stream(instrs: Vec<Instr>, max_cycles: u64) -> TmaBreakdown {
+        let cfg = CoreConfig::skylake_server();
+        let mut core = Core::new(cfg);
+        let mut stream = instrs.into_iter();
+        core.run(&mut stream, max_cycles);
+        analyze(core.counters(), &cfg)
+    }
+
+    #[test]
+    fn level1_sums_to_one() {
+        let t = analyze_stream(vec![Instr::simple_alu(); 5_000], 1_000_000);
+        let l = t.level1;
+        let sum = l.retiring + l.frontend_bound + l.bad_speculation + l.backend_bound;
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn clean_alu_stream_is_mostly_retiring() {
+        let t = analyze_stream(vec![Instr::simple_alu(); 20_000], 1_000_000);
+        assert!(t.level1.retiring > 0.8, "{}", t.summary());
+        assert_eq!(t.main_category(), TmaCategory::Retiring);
+    }
+
+    #[test]
+    fn dram_stream_is_memory_bound() {
+        let t = analyze_stream(vec![Instr::load(MemLevel::Dram); 3_000], 10_000_000);
+        assert_eq!(t.dominant_bottleneck(), UarchArea::Memory);
+        assert!(t.memory.memory_bound > 0.5, "{}", t.summary());
+        assert!(t.memory.dram_share > 0.9);
+    }
+
+    #[test]
+    fn mispredict_stream_is_bad_speculation_bound() {
+        let mut v = Vec::new();
+        for k in 0..10_000 {
+            v.push(Instr::branch(k % 8 == 0));
+            v.push(Instr::simple_alu());
+        }
+        let t = analyze_stream(v, 10_000_000);
+        assert_eq!(t.dominant_bottleneck(), UarchArea::BadSpeculation, "{}", t.summary());
+        assert!(t.bad_speculation.mispredicts_pki > 30.0);
+    }
+
+    #[test]
+    fn serial_divider_stream_is_core_bound() {
+        let div = Instr {
+            class: InstrClass::IntDiv,
+            dep_distance: 1,
+            ..Instr::simple_alu()
+        };
+        let t = analyze_stream(vec![div; 2_000], 10_000_000);
+        assert_eq!(t.dominant_bottleneck(), UarchArea::Core, "{}", t.summary());
+        assert!(t.core.divider_active_frac > 0.5);
+    }
+
+    #[test]
+    fn legacy_decode_stream_is_frontend_bound() {
+        let mite = Instr {
+            decode: spire_sim::DecodeSource::Mite,
+            ..Instr::simple_alu()
+        };
+        let t = analyze_stream(vec![mite; 20_000], 10_000_000);
+        assert_eq!(t.dominant_bottleneck(), UarchArea::FrontEnd, "{}", t.summary());
+        assert!(t.frontend.mite_uop_share > 0.95);
+    }
+
+    #[test]
+    fn memory_shares_sum_to_one_with_loads() {
+        let mut v = vec![Instr::load(MemLevel::L1); 1_000];
+        v.extend(vec![Instr::load(MemLevel::L3); 200]);
+        let t = analyze_stream(v, 10_000_000);
+        let s = t.memory.l1_share + t.memory.l2_share + t.memory.l3_share + t.memory.dram_share;
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_measurement_is_all_zero() {
+        let cfg = CoreConfig::skylake_server();
+        let t = analyze(&spire_sim::CounterFile::new(), &cfg);
+        assert_eq!(t.level1.retiring, 0.0);
+        assert_eq!(t.ipc, 0.0);
+    }
+
+    #[test]
+    fn category_display_and_area_mapping() {
+        assert_eq!(TmaCategory::FrontEnd.to_string(), "Front-End");
+        assert_eq!(TmaCategory::Retiring.area(), None);
+        assert_eq!(TmaCategory::Memory.area(), Some(UarchArea::Memory));
+    }
+
+    #[test]
+    fn tree_renders_every_level() {
+        let t = analyze_stream(vec![Instr::load(MemLevel::L3); 500], 1_000_000);
+        let tree = t.to_tree();
+        for needle in [
+            "Retiring",
+            "Front-End Bound",
+            "Fetch Latency",
+            "Bad Speculation",
+            "Memory Bound",
+            "Core Bound",
+            "Lock Loads",
+            "IPC",
+        ] {
+            assert!(tree.contains(needle), "tree missing {needle}:\n{tree}");
+        }
+    }
+
+    #[test]
+    fn summary_mentions_all_categories() {
+        let t = analyze_stream(vec![Instr::simple_alu(); 1_000], 100_000);
+        let s = t.summary();
+        for needle in ["retiring", "front-end", "bad-spec", "memory", "core", "ipc"] {
+            assert!(s.contains(needle), "summary missing {needle}: {s}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the TMA formulas: for arbitrary workload profiles
+//! the breakdown must stay a valid partition of the machine's slots.
+
+use proptest::prelude::*;
+use spire_core::catalog::UarchArea;
+use spire_sim::{Core, CoreConfig};
+use spire_tma::{analyze, TmaBreakdown};
+use spire_workloads::{
+    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior,
+    WorkloadProfile,
+};
+
+/// Strategy: a random (valid) workload profile.
+fn profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0.0f64..0.5,  // load fraction
+        0.0f64..0.3,  // branch fraction
+        0.0f64..0.15, // mispredict rate
+        0.0f64..1.0,  // dsb coverage
+        0.0f64..0.3,  // dram weight
+        0.0f64..1.0,  // dep rate
+    )
+        .prop_map(|(load, branch, misp, dsb, dram, dep)| {
+            let mix = InstrMix {
+                load,
+                branch,
+                ..InstrMix::scalar_int()
+            };
+            WorkloadProfile::named("prop", "random")
+                .with_mix(mix)
+                .with_memory(MemoryBehavior {
+                    level_weights: [1.0 - dram, 0.05, 0.02, dram],
+                    lock_rate: 0.0,
+                })
+                .with_frontend(FrontendBehavior {
+                    dsb_coverage: dsb * 0.98,
+                    ms_rate: 0.01,
+                    icache_miss_rate: 0.001,
+                    two_uop_rate: 0.1,
+                })
+                .with_branch(BranchBehavior {
+                    mispredict_rate: misp,
+                })
+                .with_dependency(DependencyBehavior {
+                    dep_rate: dep,
+                    distance_p: 0.4,
+                    max_distance: 16,
+                })
+        })
+}
+
+fn breakdown(p: &WorkloadProfile, seed: u64) -> TmaBreakdown {
+    let cfg = CoreConfig::skylake_server();
+    let mut core = Core::new(cfg);
+    let mut stream = p.stream(seed);
+    core.run(&mut stream, 60_000);
+    analyze(core.counters(), &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Level-1 categories are non-negative and sum to 1.
+    #[test]
+    fn level1_is_a_partition(p in profile(), seed in 0u64..1000) {
+        let t = breakdown(&p, seed);
+        let l = t.level1;
+        for v in [l.retiring, l.frontend_bound, l.bad_speculation, l.backend_bound] {
+            prop_assert!((0.0..=1.0).contains(&v), "{}", t.summary());
+        }
+        prop_assert!((l.retiring + l.frontend_bound + l.bad_speculation + l.backend_bound - 1.0).abs() < 1e-9);
+    }
+
+    /// Level 2 splits back-end bound exactly into memory and core.
+    #[test]
+    fn level2_splits_backend(p in profile(), seed in 0u64..1000) {
+        let t = breakdown(&p, seed);
+        prop_assert!(t.memory.memory_bound >= -1e-12);
+        prop_assert!(t.core.core_bound >= -1e-12);
+        prop_assert!(
+            (t.memory.memory_bound + t.core.core_bound - t.level1.backend_bound).abs() < 1e-9
+        );
+        prop_assert!(
+            (t.frontend.fetch_latency + t.frontend.fetch_bandwidth
+                - t.level1.frontend_bound)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    /// Decode-path µop shares form a distribution.
+    #[test]
+    fn decode_shares_partition(p in profile(), seed in 0u64..1000) {
+        let t = breakdown(&p, seed);
+        let s = t.frontend.dsb_uop_share + t.frontend.mite_uop_share + t.frontend.ms_uop_share;
+        prop_assert!((s - 1.0).abs() < 1e-9, "shares sum to {s}");
+    }
+
+    /// Memory-level shares form a distribution when loads exist.
+    #[test]
+    fn memory_shares_partition(p in profile(), seed in 0u64..1000) {
+        let t = breakdown(&p, seed);
+        let s = t.memory.l1_share + t.memory.l2_share + t.memory.l3_share + t.memory.dram_share;
+        if p.mix.load > 0.01 {
+            prop_assert!((s - 1.0).abs() < 1e-6, "shares sum to {s}");
+        } else {
+            prop_assert!(s <= 1.0 + 1e-9);
+        }
+    }
+
+    /// The dominant bottleneck is one of the four areas and matches the
+    /// maximum fraction.
+    #[test]
+    fn dominant_bottleneck_is_the_max(p in profile(), seed in 0u64..1000) {
+        let t = breakdown(&p, seed);
+        let pairs = [
+            (UarchArea::FrontEnd, t.level1.frontend_bound),
+            (UarchArea::BadSpeculation, t.level1.bad_speculation),
+            (UarchArea::Memory, t.memory.memory_bound),
+            (UarchArea::Core, t.core.core_bound),
+        ];
+        let max = pairs.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let dom = t.dominant_bottleneck();
+        let dom_value = pairs.iter().find(|(a, _)| *a == dom).unwrap().1;
+        prop_assert!((dom_value - max).abs() < 1e-12);
+    }
+}

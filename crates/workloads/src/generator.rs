@@ -1,0 +1,300 @@
+//! Deterministic instruction-stream generation from a
+//! [`WorkloadProfile`].
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spire_sim::{DecodeSource, Instr, InstrClass, MemLevel, VecWidth};
+
+use crate::profile::WorkloadProfile;
+
+/// An infinite, deterministic instruction stream sampled from a profile.
+///
+/// The stream implements [`Iterator`]; cap it with [`Iterator::take`] or
+/// let the simulator's cycle budget bound the run.
+///
+/// ```
+/// use spire_workloads::WorkloadProfile;
+///
+/// let p = WorkloadProfile::named("demo", "cfg");
+/// let a: Vec<_> = p.stream(7).take(100).collect();
+/// let b: Vec<_> = p.stream(7).take(100).collect();
+/// assert_eq!(a, b); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    profile: WorkloadProfile,
+    rng: SmallRng,
+    class_dist: WeightedIndex<f64>,
+    level_dist: WeightedIndex<f64>,
+    produced: u64,
+}
+
+/// Instruction classes in the order matching
+/// [`crate::profile::InstrMix`]'s fields.
+const CLASS_TABLE: [fn(&mut SmallRng, &WorkloadProfile) -> InstrClass; 12] = [
+    |_, _| InstrClass::IntAlu,
+    |_, _| InstrClass::IntMul,
+    |_, _| InstrClass::IntDiv,
+    |_, _| InstrClass::FpAdd,
+    |_, _| InstrClass::FpMul,
+    |_, _| InstrClass::FpDiv,
+    |_, _| InstrClass::Vec(VecWidth::W128),
+    |_, _| InstrClass::Vec(VecWidth::W256),
+    |_, _| InstrClass::Vec(VecWidth::W512),
+    |rng, p| InstrClass::Load {
+        level: MemLevel::L1, // replaced below using level_dist
+        locked: rng.gen_bool(p.memory.lock_rate),
+    },
+    |_, _| InstrClass::Store,
+    |rng, p| InstrClass::Branch {
+        mispredicted: rng.gen_bool(p.branch.mispredict_rate),
+    },
+];
+
+impl WorkloadStream {
+    /// Creates a stream for `profile` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation; validate profiles at
+    /// construction time.
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        profile
+            .validate()
+            .expect("workload profile must be valid before streaming");
+        let mix = &profile.mix;
+        let class_dist = WeightedIndex::new([
+            mix.int_alu,
+            mix.int_mul,
+            mix.int_div,
+            mix.fp_add,
+            mix.fp_mul,
+            mix.fp_div,
+            mix.vec128,
+            mix.vec256,
+            mix.vec512,
+            mix.load,
+            mix.store,
+            mix.branch,
+        ])
+        .expect("validated mix has positive total");
+        let level_dist = WeightedIndex::new(profile.memory.level_weights)
+            .expect("validated weights have positive total");
+        WorkloadStream {
+            profile,
+            rng: SmallRng::seed_from_u64(seed),
+            class_dist,
+            level_dist,
+            produced: 0,
+        }
+    }
+
+    /// The profile this stream was built from.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Number of instructions produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn sample_level(&mut self) -> MemLevel {
+        match self.level_dist.sample(&mut self.rng) {
+            0 => MemLevel::L1,
+            1 => MemLevel::L2,
+            2 => MemLevel::L3,
+            _ => MemLevel::Dram,
+        }
+    }
+
+    fn sample_dep_distance(&mut self) -> u32 {
+        let d = &self.profile.dependency;
+        if !self.rng.gen_bool(d.dep_rate) {
+            return 0;
+        }
+        // Geometric distance: number of failures before a success with
+        // probability `distance_p`, shifted to start at 1.
+        let mut dist = 1u32;
+        while dist < d.max_distance && !self.rng.gen_bool(d.distance_p) {
+            dist += 1;
+        }
+        // Dependencies cannot reach before the start of the stream.
+        dist.min(self.produced.min(u64::from(u32::MAX)) as u32)
+    }
+
+    fn sample_decode(&mut self, class: InstrClass) -> DecodeSource {
+        let fe = &self.profile.frontend;
+        // Divides and locked operations are microcoded more often; model
+        // that by doubling their MS probability (capped).
+        let ms_rate = match class {
+            InstrClass::IntDiv | InstrClass::FpDiv => (fe.ms_rate * 2.0).min(1.0),
+            _ => fe.ms_rate,
+        };
+        let r: f64 = self.rng.gen();
+        if r < ms_rate {
+            DecodeSource::Ms
+        } else if r < ms_rate + fe.dsb_coverage * (1.0 - ms_rate) {
+            DecodeSource::Dsb
+        } else {
+            DecodeSource::Mite
+        }
+    }
+}
+
+impl Iterator for WorkloadStream {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        let idx = self.class_dist.sample(&mut self.rng);
+        let mut class = CLASS_TABLE[idx](&mut self.rng, &self.profile);
+        if let InstrClass::Load { locked, .. } = class {
+            class = InstrClass::Load {
+                level: self.sample_level(),
+                locked,
+            };
+        }
+        let decode = self.sample_decode(class);
+        let uops = match decode {
+            // Microcoded instructions expand into several µops.
+            DecodeSource::Ms => 4,
+            _ => {
+                if self.rng.gen_bool(self.profile.frontend.two_uop_rate) {
+                    2
+                } else {
+                    1
+                }
+            }
+        };
+        let instr = Instr {
+            class,
+            uops,
+            decode,
+            dep_distance: self.sample_dep_distance(),
+            icache_miss: self.rng.gen_bool(self.profile.frontend.icache_miss_rate),
+        };
+        self.produced += 1;
+        Some(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BranchBehavior, FrontendBehavior, InstrMix, MemoryBehavior};
+
+    fn count_classes(profile: &WorkloadProfile, n: usize) -> (usize, usize, usize) {
+        let mut loads = 0;
+        let mut branches = 0;
+        let mut mispredicts = 0;
+        for i in profile.stream(1).take(n) {
+            if i.is_load() {
+                loads += 1;
+            }
+            if let InstrClass::Branch { mispredicted } = i.class {
+                branches += 1;
+                if mispredicted {
+                    mispredicts += 1;
+                }
+            }
+        }
+        (loads, branches, mispredicts)
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let p = WorkloadProfile::named("a", "b");
+        let x: Vec<Instr> = p.stream(99).take(500).collect();
+        let y: Vec<Instr> = p.stream(99).take(500).collect();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = WorkloadProfile::named("a", "b");
+        let x: Vec<Instr> = p.stream(1).take(500).collect();
+        let y: Vec<Instr> = p.stream(2).take(500).collect();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn class_frequencies_track_the_mix() {
+        let p = WorkloadProfile::named("a", "b").with_mix(InstrMix::scalar_int());
+        let n = 50_000;
+        let (loads, branches, _) = count_classes(&p, n);
+        // scalar_int: 25% loads, 17% branches.
+        assert!((loads as f64 / n as f64 - 0.25).abs() < 0.02);
+        assert!((branches as f64 / n as f64 - 0.17).abs() < 0.02);
+    }
+
+    #[test]
+    fn mispredict_rate_is_respected() {
+        let p = WorkloadProfile::named("a", "b").with_branch(BranchBehavior {
+            mispredict_rate: 0.25,
+        });
+        let (_, branches, mispredicts) = count_classes(&p, 50_000);
+        let rate = mispredicts as f64 / branches as f64;
+        assert!((rate - 0.25).abs() < 0.04, "rate {rate}");
+    }
+
+    #[test]
+    fn level_weights_are_respected() {
+        let p = WorkloadProfile::named("a", "b").with_memory(MemoryBehavior {
+            level_weights: [0.0, 0.0, 0.0, 1.0],
+            lock_rate: 0.0,
+        });
+        for i in p.stream(3).take(1_000) {
+            if let InstrClass::Load { level, .. } = i.class {
+                assert_eq!(level, MemLevel::Dram);
+            }
+        }
+    }
+
+    #[test]
+    fn dsb_coverage_controls_decode_sources() {
+        let p = WorkloadProfile::named("a", "b").with_frontend(FrontendBehavior {
+            dsb_coverage: 1.0,
+            ms_rate: 0.0,
+            icache_miss_rate: 0.0,
+            two_uop_rate: 0.0,
+        });
+        for i in p.stream(4).take(1_000) {
+            assert_eq!(i.decode, DecodeSource::Dsb);
+            assert_eq!(i.uops, 1);
+        }
+    }
+
+    #[test]
+    fn dependencies_never_precede_stream_start() {
+        let p = WorkloadProfile::named("a", "b")
+            .with_dependency(crate::profile::DependencyBehavior::serial_chain());
+        for (n, i) in p.stream(5).take(100).enumerate() {
+            assert!(u64::from(i.dep_distance) <= n as u64);
+        }
+    }
+
+    #[test]
+    fn ms_instructions_are_multi_uop() {
+        let p = WorkloadProfile::named("a", "b").with_frontend(FrontendBehavior {
+            dsb_coverage: 0.0,
+            ms_rate: 1.0,
+            icache_miss_rate: 0.0,
+            two_uop_rate: 0.0,
+        });
+        for i in p.stream(6).take(200) {
+            assert_eq!(i.decode, DecodeSource::Ms);
+            assert_eq!(i.uops, 4);
+        }
+    }
+
+    #[test]
+    fn produced_counts_instructions() {
+        let p = WorkloadProfile::named("a", "b");
+        let mut s = p.stream(7);
+        for _ in 0..42 {
+            s.next();
+        }
+        assert_eq!(s.produced(), 42);
+    }
+}

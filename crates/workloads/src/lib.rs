@@ -1,0 +1,42 @@
+//! # spire-workloads
+//!
+//! Synthetic workload profiles and instruction-stream generators for the
+//! SPIRE reproduction. These stand in for the paper's 27 Phoronix Test
+//! Suite HPC workloads: each profile is a statistical description (mix,
+//! cache residency, branch behaviour, decode-path coverage, dependency
+//! structure) tuned to exhibit the same dominant bottleneck as its real
+//! counterpart, sampled into a deterministic `spire_sim::Instr` stream.
+//!
+//! * [`WorkloadProfile`] — the statistical description plus builder API.
+//! * [`suite`] — the paper's Table I: 23 training + 4 testing workloads.
+//! * [`micro`] — single-knob parameter sweeps (the "microbenchmark"
+//!   training option the paper mentions).
+//!
+//! ```
+//! use spire_sim::{Core, CoreConfig};
+//! use spire_workloads::suite;
+//!
+//! let profile = suite::by_name("tnn", "SqueezeNet v1.1").unwrap();
+//! let mut core = Core::new(CoreConfig::skylake_server());
+//! let mut stream = profile.stream(1);
+//! let summary = core.run(&mut stream, 50_000);
+//! assert!(summary.instructions > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod branches;
+mod generator;
+pub mod micro;
+mod phases;
+mod profile;
+pub mod suite;
+
+pub use branches::{BranchSiteModel, PredictedBranches};
+pub use generator::WorkloadStream;
+pub use phases::{Phase, PhasedStream, PhasedWorkload};
+pub use profile::{
+    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior, ProfileError,
+    WorkloadProfile,
+};

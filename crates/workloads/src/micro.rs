@@ -1,0 +1,151 @@
+//! Targeted microbenchmarks: parameter sweeps that exercise one
+//! microarchitectural mechanism at a time.
+//!
+//! The paper notes that ideal SPIRE training data comes from "optimized
+//! workloads specifically designed to exercise each metric (e.g.,
+//! microbenchmarks)". These sweeps provide that option: each returns a
+//! family of profiles that varies a single knob over a wide range, giving
+//! a roofline dense coverage of one metric's intensity axis. They also
+//! power the training-set-size ablation.
+
+use spire_core::catalog::UarchArea;
+
+use crate::profile::{
+    BranchBehavior, DependencyBehavior, FrontendBehavior, MemoryBehavior, WorkloadProfile,
+};
+
+/// Interpolates `lo..=hi` geometrically over `steps` points.
+fn geom_steps(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 2, "a sweep needs at least two points");
+    assert!(lo > 0.0 && hi > lo, "sweep bounds must be 0 < lo < hi");
+    let ratio = (hi / lo).powf(1.0 / (steps - 1) as f64);
+    (0..steps).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// Sweeps the branch-misprediction rate (exercises `BP.*` metrics).
+pub fn mispredict_sweep(steps: usize) -> Vec<WorkloadProfile> {
+    geom_steps(1e-4, 0.2, steps)
+        .into_iter()
+        .enumerate()
+        .map(|(i, rate)| {
+            WorkloadProfile::named("micro-mispredict", format!("rate={rate:.5} #{i}"))
+                .expect_bottleneck(UarchArea::BadSpeculation)
+                .with_branch(BranchBehavior {
+                    mispredict_rate: rate,
+                })
+        })
+        .collect()
+}
+
+/// Sweeps the DRAM-resident fraction of loads (exercises `L3`, `M`,
+/// `L1.*` metrics).
+pub fn dram_sweep(steps: usize) -> Vec<WorkloadProfile> {
+    geom_steps(1e-3, 0.8, steps)
+        .into_iter()
+        .enumerate()
+        .map(|(i, dram)| {
+            WorkloadProfile::named("micro-dram", format!("dram={dram:.4} #{i}"))
+                .expect_bottleneck(UarchArea::Memory)
+                .with_memory(MemoryBehavior {
+                    level_weights: [1.0 - dram, 0.05_f64.min(1.0 - dram), 0.0, dram],
+                    lock_rate: 0.0,
+                })
+        })
+        .collect()
+}
+
+/// Sweeps DSB coverage downward (exercises `DB.*` and `DQ.*` metrics).
+pub fn dsb_sweep(steps: usize) -> Vec<WorkloadProfile> {
+    geom_steps(0.02, 0.98, steps)
+        .into_iter()
+        .enumerate()
+        .map(|(i, dsb)| {
+            WorkloadProfile::named("micro-dsb", format!("dsb={dsb:.3} #{i}"))
+                .expect_bottleneck(UarchArea::FrontEnd)
+                .with_frontend(FrontendBehavior {
+                    dsb_coverage: dsb,
+                    ms_rate: 0.001,
+                    icache_miss_rate: 0.0005,
+                    two_uop_rate: 0.05,
+                })
+        })
+        .collect()
+}
+
+/// Sweeps dependency-chain tightness (exercises `CS.*` and `C1.*`
+/// metrics).
+pub fn dependency_sweep(steps: usize) -> Vec<WorkloadProfile> {
+    geom_steps(0.02, 0.95, steps)
+        .into_iter()
+        .enumerate()
+        .map(|(i, rate)| {
+            WorkloadProfile::named("micro-deps", format!("dep_rate={rate:.3} #{i}"))
+                .expect_bottleneck(UarchArea::Core)
+                .with_dependency(DependencyBehavior {
+                    dep_rate: rate,
+                    distance_p: 0.5,
+                    max_distance: 16,
+                })
+        })
+        .collect()
+}
+
+/// The union of all sweeps: a microbenchmark training corpus.
+pub fn full_corpus(steps_per_sweep: usize) -> Vec<WorkloadProfile> {
+    let mut v = mispredict_sweep(steps_per_sweep);
+    v.extend(dram_sweep(steps_per_sweep));
+    v.extend(dsb_sweep(steps_per_sweep));
+    v.extend(dependency_sweep(steps_per_sweep));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_produce_requested_sizes_and_validate() {
+        for sweep in [
+            mispredict_sweep(8),
+            dram_sweep(8),
+            dsb_sweep(8),
+            dependency_sweep(8),
+        ] {
+            assert_eq!(sweep.len(), 8);
+            for p in &sweep {
+                p.validate().unwrap();
+            }
+        }
+        assert_eq!(full_corpus(5).len(), 20);
+    }
+
+    #[test]
+    fn mispredict_sweep_is_monotone() {
+        let s = mispredict_sweep(6);
+        for w in s.windows(2) {
+            assert!(w[1].branch.mispredict_rate > w[0].branch.mispredict_rate);
+        }
+    }
+
+    #[test]
+    fn dram_sweep_weights_stay_valid() {
+        for p in dram_sweep(10) {
+            let sum: f64 = p.memory.level_weights.iter().sum();
+            assert!(sum > 0.0);
+            assert!(p.memory.level_weights.iter().all(|w| *w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn geom_steps_hits_both_ends() {
+        let v = geom_steps(0.1, 10.0, 5);
+        assert!((v[0] - 0.1).abs() < 1e-12);
+        assert!((v[4] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_step_sweep_panics() {
+        geom_steps(0.1, 1.0, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Phased workloads: programs whose behaviour changes over time.
+//!
+//! The paper cautions (Section III-A) that a workload's analysis may be
+//! inaccurate "if parts of the workload's execution are over- or
+//! under-represented" in its samples. Real programs have phases — an
+//! initialization loop, a compute kernel, an I/O epilogue — so this
+//! module provides [`PhasedWorkload`]: a stream that switches between
+//! profiles on an instruction schedule, letting experiments quantify the
+//! representation effect (see the `phase_representation` experiment).
+
+use serde::{Deserialize, Serialize};
+use spire_sim::Instr;
+
+use crate::generator::WorkloadStream;
+use crate::profile::{ProfileError, WorkloadProfile};
+
+/// One phase: a profile and how many instructions it runs for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// The behaviour during this phase.
+    pub profile: WorkloadProfile,
+    /// Phase length in instructions.
+    pub instructions: u64,
+}
+
+/// A multi-phase workload description.
+///
+/// ```
+/// use spire_workloads::{PhasedWorkload, Phase, WorkloadProfile};
+///
+/// let phased = PhasedWorkload::new(vec![
+///     Phase { profile: WorkloadProfile::named("init", "scalar"), instructions: 1_000 },
+///     Phase { profile: WorkloadProfile::named("kernel", "vector"), instructions: 9_000 },
+/// ]).expect("valid phases");
+/// assert_eq!(phased.total_instructions(), 10_000);
+/// let instrs: Vec<_> = phased.stream(1).collect();
+/// assert_eq!(instrs.len(), 10_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedWorkload {
+    phases: Vec<Phase>,
+}
+
+impl PhasedWorkload {
+    /// Creates a phased workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileError`] if `phases` is empty, any phase has
+    /// zero instructions, or any profile fails validation.
+    pub fn new(phases: Vec<Phase>) -> Result<Self, ProfileError> {
+        if phases.is_empty() {
+            return Err(ProfileError {
+                field: "phases",
+                reason: "at least one phase is required".to_owned(),
+            });
+        }
+        for (i, phase) in phases.iter().enumerate() {
+            phase.profile.validate()?;
+            if phase.instructions == 0 {
+                return Err(ProfileError {
+                    field: "phases",
+                    reason: format!("phase #{i} has zero instructions"),
+                });
+            }
+        }
+        Ok(PhasedWorkload { phases })
+    }
+
+    /// The phases, in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total instructions across all phases.
+    pub fn total_instructions(&self) -> u64 {
+        self.phases.iter().map(|p| p.instructions).sum()
+    }
+
+    /// A finite, deterministic instruction stream running the phases in
+    /// order. Phase `i` is seeded with `seed + i` so phases are
+    /// independent but reproducible.
+    pub fn stream(&self, seed: u64) -> PhasedStream {
+        PhasedStream {
+            phases: self.phases.clone(),
+            current: None,
+            index: 0,
+            remaining: 0,
+            seed,
+        }
+    }
+}
+
+/// Iterator over a [`PhasedWorkload`]'s instructions.
+#[derive(Debug, Clone)]
+pub struct PhasedStream {
+    phases: Vec<Phase>,
+    current: Option<WorkloadStream>,
+    index: usize,
+    remaining: u64,
+    seed: u64,
+}
+
+impl Iterator for PhasedStream {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        loop {
+            if self.remaining == 0 {
+                let phase = self.phases.get(self.index)?;
+                self.current = Some(phase.profile.stream(self.seed + self.index as u64));
+                self.remaining = phase.instructions;
+                self.index += 1;
+            }
+            if let Some(stream) = &mut self.current {
+                self.remaining -= 1;
+                return stream.next();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{InstrMix, MemoryBehavior};
+    use spire_sim::InstrClass;
+
+    fn loady() -> WorkloadProfile {
+        WorkloadProfile::named("loady", "")
+            .with_mix(InstrMix {
+                load: 0.9,
+                int_alu: 0.1,
+                branch: 0.0,
+                store: 0.0,
+                ..InstrMix::scalar_int()
+            })
+            .with_memory(MemoryBehavior::dram_streaming())
+    }
+
+    fn branchy() -> WorkloadProfile {
+        WorkloadProfile::named("branchy", "").with_mix(InstrMix {
+            branch: 0.9,
+            int_alu: 0.1,
+            load: 0.0,
+            store: 0.0,
+            ..InstrMix::scalar_int()
+        })
+    }
+
+    #[test]
+    fn phases_execute_in_order_with_exact_lengths() {
+        let phased = PhasedWorkload::new(vec![
+            Phase {
+                profile: loady(),
+                instructions: 500,
+            },
+            Phase {
+                profile: branchy(),
+                instructions: 300,
+            },
+        ])
+        .unwrap();
+        let instrs: Vec<Instr> = phased.stream(3).collect();
+        assert_eq!(instrs.len(), 800);
+        let first_loads = instrs[..500]
+            .iter()
+            .filter(|i| matches!(i.class, InstrClass::Load { .. }))
+            .count();
+        let tail_branches = instrs[500..]
+            .iter()
+            .filter(|i| i.is_branch())
+            .count();
+        assert!(first_loads > 400, "phase 1 must be load-heavy");
+        assert!(tail_branches > 240, "phase 2 must be branch-heavy");
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let phased = PhasedWorkload::new(vec![Phase {
+            profile: loady(),
+            instructions: 200,
+        }])
+        .unwrap();
+        let a: Vec<Instr> = phased.stream(9).collect();
+        let b: Vec<Instr> = phased.stream(9).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_zero_length_phases_are_rejected() {
+        assert!(PhasedWorkload::new(vec![]).is_err());
+        assert!(PhasedWorkload::new(vec![Phase {
+            profile: loady(),
+            instructions: 0,
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn total_instructions_sums_phases() {
+        let phased = PhasedWorkload::new(vec![
+            Phase {
+                profile: loady(),
+                instructions: 100,
+            },
+            Phase {
+                profile: branchy(),
+                instructions: 250,
+            },
+        ])
+        .unwrap();
+        assert_eq!(phased.total_instructions(), 350);
+    }
+}

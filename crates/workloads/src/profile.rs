@@ -1,0 +1,545 @@
+//! Statistical workload profiles.
+//!
+//! A [`WorkloadProfile`] describes a synthetic workload as a set of
+//! per-instruction probabilities: the instruction-class mix, the cache
+//! residency of its loads, the behaviour of its branches and front-end,
+//! and its register-dependency structure. A profile plus a seed yields a
+//! deterministic instruction stream for `spire-sim`.
+//!
+//! Profiles replace the paper's Phoronix Test Suite binaries: each of the
+//! 27 suite entries (see [`crate::suite`]) is a profile tuned to exhibit
+//! the same dominant bottleneck as its real counterpart.
+
+use serde::{Deserialize, Serialize};
+use spire_core::catalog::UarchArea;
+
+/// Fractions of each instruction class in the dynamic instruction stream.
+///
+/// The fields need not sum exactly to one; they are normalized when
+/// sampling. All fields must be non-negative and at least one positive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// Simple integer ALU operations.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mul: f64,
+    /// Integer divides.
+    pub int_div: f64,
+    /// Floating-point adds.
+    pub fp_add: f64,
+    /// Floating-point multiplies.
+    pub fp_mul: f64,
+    /// Floating-point divides.
+    pub fp_div: f64,
+    /// 128-bit vector operations.
+    pub vec128: f64,
+    /// 256-bit vector operations.
+    pub vec256: f64,
+    /// 512-bit vector operations.
+    pub vec512: f64,
+    /// Memory loads.
+    pub load: f64,
+    /// Memory stores.
+    pub store: f64,
+    /// Branches.
+    pub branch: f64,
+}
+
+impl InstrMix {
+    /// A scalar-integer mix typical of control-heavy code.
+    pub fn scalar_int() -> Self {
+        InstrMix {
+            int_alu: 0.45,
+            int_mul: 0.03,
+            int_div: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            vec128: 0.0,
+            vec256: 0.0,
+            vec512: 0.0,
+            load: 0.25,
+            store: 0.10,
+            branch: 0.17,
+        }
+    }
+
+    /// A vector floating-point mix typical of HPC kernels.
+    pub fn vector_fp() -> Self {
+        InstrMix {
+            int_alu: 0.20,
+            int_mul: 0.02,
+            int_div: 0.0,
+            fp_add: 0.05,
+            fp_mul: 0.05,
+            fp_div: 0.0,
+            vec128: 0.02,
+            vec256: 0.25,
+            vec512: 0.0,
+            load: 0.28,
+            store: 0.08,
+            branch: 0.05,
+        }
+    }
+
+    /// Sum of all fractions (the normalization denominator).
+    pub fn total(&self) -> f64 {
+        self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
+            + self.vec128
+            + self.vec256
+            + self.vec512
+            + self.load
+            + self.store
+            + self.branch
+    }
+
+    fn fields(&self) -> [f64; 12] {
+        [
+            self.int_alu,
+            self.int_mul,
+            self.int_div,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+            self.vec128,
+            self.vec256,
+            self.vec512,
+            self.load,
+            self.store,
+            self.branch,
+        ]
+    }
+
+    /// Validates that all fractions are finite, non-negative, and at least
+    /// one is positive.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        for (i, v) in self.fields().iter().enumerate() {
+            if !v.is_finite() || *v < 0.0 {
+                return Err(ProfileError {
+                    field: "mix",
+                    reason: format!("fraction #{i} is {v}; must be finite and >= 0"),
+                });
+            }
+        }
+        if self.total() <= 0.0 {
+            return Err(ProfileError {
+                field: "mix",
+                reason: "at least one class fraction must be positive".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cache residency and locking behaviour of the workload's loads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBehavior {
+    /// Probability a load hits L1 / L2 / L3 / DRAM (normalized when
+    /// sampling).
+    pub level_weights: [f64; 4],
+    /// Probability a load is locked (atomic).
+    pub lock_rate: f64,
+}
+
+impl MemoryBehavior {
+    /// Cache-resident: nearly all loads hit L1.
+    pub fn cache_resident() -> Self {
+        MemoryBehavior {
+            level_weights: [0.97, 0.02, 0.008, 0.002],
+            lock_rate: 0.0,
+        }
+    }
+
+    /// Streaming from DRAM: large working set.
+    pub fn dram_streaming() -> Self {
+        MemoryBehavior {
+            level_weights: [0.55, 0.15, 0.10, 0.20],
+            lock_rate: 0.0,
+        }
+    }
+
+    /// Validates weights and rates.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let sum: f64 = self.level_weights.iter().sum();
+        if self.level_weights.iter().any(|w| !w.is_finite() || *w < 0.0) || sum <= 0.0 {
+            return Err(ProfileError {
+                field: "memory.level_weights",
+                reason: "weights must be finite, non-negative, and not all zero".to_owned(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.lock_rate) {
+            return Err(ProfileError {
+                field: "memory.lock_rate",
+                reason: format!("must be within [0, 1], got {}", self.lock_rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Front-end behaviour: decode-path coverage and instruction-cache
+/// locality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontendBehavior {
+    /// Fraction of instructions served by the DSB (µop cache). The
+    /// remainder (after `ms_rate`) uses the legacy MITE pipeline.
+    pub dsb_coverage: f64,
+    /// Fraction of instructions decoded by the microcode sequencer.
+    pub ms_rate: f64,
+    /// Probability an instruction fetch misses the instruction cache.
+    pub icache_miss_rate: f64,
+    /// Fraction of instructions that decode into 2 µops instead of 1.
+    pub two_uop_rate: f64,
+}
+
+impl FrontendBehavior {
+    /// A hot-loop front-end: high DSB coverage, negligible i-cache misses.
+    pub fn hot_loop() -> Self {
+        FrontendBehavior {
+            dsb_coverage: 0.95,
+            ms_rate: 0.001,
+            icache_miss_rate: 0.0001,
+            two_uop_rate: 0.05,
+        }
+    }
+
+    /// A large-footprint front-end: mostly legacy decode, frequent
+    /// i-cache misses.
+    pub fn large_footprint() -> Self {
+        FrontendBehavior {
+            dsb_coverage: 0.10,
+            ms_rate: 0.01,
+            icache_miss_rate: 0.01,
+            two_uop_rate: 0.15,
+        }
+    }
+
+    /// Validates that all rates lie in `[0, 1]` and are jointly feasible.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        for (name, v) in [
+            ("frontend.dsb_coverage", self.dsb_coverage),
+            ("frontend.ms_rate", self.ms_rate),
+            ("frontend.icache_miss_rate", self.icache_miss_rate),
+            ("frontend.two_uop_rate", self.two_uop_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ProfileError {
+                    field: name,
+                    reason: format!("must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        if self.dsb_coverage + self.ms_rate > 1.0 {
+            return Err(ProfileError {
+                field: "frontend",
+                reason: format!(
+                    "dsb_coverage + ms_rate must not exceed 1 (got {})",
+                    self.dsb_coverage + self.ms_rate
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Branch-prediction behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchBehavior {
+    /// Probability a branch is mispredicted.
+    pub mispredict_rate: f64,
+}
+
+impl BranchBehavior {
+    /// Well-predicted branches (loop-dominated code).
+    pub fn predictable() -> Self {
+        BranchBehavior {
+            mispredict_rate: 0.001,
+        }
+    }
+
+    /// Data-dependent, hard-to-predict branches.
+    pub fn erratic() -> Self {
+        BranchBehavior {
+            mispredict_rate: 0.08,
+        }
+    }
+
+    /// Validates the rate.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if !(0.0..=1.0).contains(&self.mispredict_rate) {
+            return Err(ProfileError {
+                field: "branch.mispredict_rate",
+                reason: format!("must be within [0, 1], got {}", self.mispredict_rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Register-dependency structure: how often an instruction depends on a
+/// recent producer, and how close that producer is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DependencyBehavior {
+    /// Probability an instruction has a register dependency at all.
+    pub dep_rate: f64,
+    /// Geometric-distribution parameter for the producer distance: larger
+    /// values mean shorter (tighter) dependency chains. Must be in
+    /// `(0, 1]`.
+    pub distance_p: f64,
+    /// Maximum dependency distance (clamp).
+    pub max_distance: u32,
+}
+
+impl DependencyBehavior {
+    /// High instruction-level parallelism: few, distant dependencies.
+    pub fn high_ilp() -> Self {
+        DependencyBehavior {
+            dep_rate: 0.25,
+            distance_p: 0.05,
+            max_distance: 64,
+        }
+    }
+
+    /// Tight serial chains: almost every instruction depends on the
+    /// previous one.
+    pub fn serial_chain() -> Self {
+        DependencyBehavior {
+            dep_rate: 0.9,
+            distance_p: 0.8,
+            max_distance: 8,
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if !(0.0..=1.0).contains(&self.dep_rate) {
+            return Err(ProfileError {
+                field: "dependency.dep_rate",
+                reason: format!("must be within [0, 1], got {}", self.dep_rate),
+            });
+        }
+        if !(self.distance_p > 0.0 && self.distance_p <= 1.0) {
+            return Err(ProfileError {
+                field: "dependency.distance_p",
+                reason: format!("must be within (0, 1], got {}", self.distance_p),
+            });
+        }
+        if self.max_distance == 0 {
+            return Err(ProfileError {
+                field: "dependency.max_distance",
+                reason: "must be at least 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a profile fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileError {
+    /// The offending field.
+    pub field: &'static str,
+    /// The constraint that was violated.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid workload profile: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// A complete synthetic workload description.
+///
+/// ```
+/// use spire_workloads::WorkloadProfile;
+///
+/// let profile = WorkloadProfile::named("demo", "quick test")
+///     .expect_bottleneck(spire_core::catalog::UarchArea::Memory);
+/// profile.validate().expect("builder defaults are valid");
+/// let mut stream = profile.stream(42);
+/// let first = stream.next().unwrap();
+/// assert!(first.uops >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Workload name (e.g. `"tnn"`).
+    pub name: String,
+    /// Configuration label (e.g. `"SqueezeNet v1.1"`), mirroring the
+    /// paper's Table I "Configuration" column.
+    pub config: String,
+    /// The dominant bottleneck this profile is tuned to exhibit (the
+    /// paper's Table I color coding).
+    pub expected_bottleneck: UarchArea,
+    /// Instruction-class mix.
+    pub mix: InstrMix,
+    /// Load residency and locking.
+    pub memory: MemoryBehavior,
+    /// Decode-path and i-cache behaviour.
+    pub frontend: FrontendBehavior,
+    /// Branch predictability.
+    pub branch: BranchBehavior,
+    /// Register-dependency structure.
+    pub dependency: DependencyBehavior,
+}
+
+impl WorkloadProfile {
+    /// Creates a profile with neutral defaults (scalar mix, cache
+    /// resident, hot-loop front-end, predictable branches, high ILP) to be
+    /// customized with struct-update syntax or the builder-style methods.
+    pub fn named(name: impl Into<String>, config: impl Into<String>) -> Self {
+        WorkloadProfile {
+            name: name.into(),
+            config: config.into(),
+            expected_bottleneck: UarchArea::Core,
+            mix: InstrMix::scalar_int(),
+            memory: MemoryBehavior::cache_resident(),
+            frontend: FrontendBehavior::hot_loop(),
+            branch: BranchBehavior::predictable(),
+            dependency: DependencyBehavior::high_ilp(),
+        }
+    }
+
+    /// Sets the expected bottleneck (builder style).
+    pub fn expect_bottleneck(mut self, area: UarchArea) -> Self {
+        self.expected_bottleneck = area;
+        self
+    }
+
+    /// Sets the instruction mix (builder style).
+    pub fn with_mix(mut self, mix: InstrMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the memory behaviour (builder style).
+    pub fn with_memory(mut self, memory: MemoryBehavior) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Sets the front-end behaviour (builder style).
+    pub fn with_frontend(mut self, frontend: FrontendBehavior) -> Self {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Sets the branch behaviour (builder style).
+    pub fn with_branch(mut self, branch: BranchBehavior) -> Self {
+        self.branch = branch;
+        self
+    }
+
+    /// Sets the dependency behaviour (builder style).
+    pub fn with_dependency(mut self, dependency: DependencyBehavior) -> Self {
+        self.dependency = dependency;
+        self
+    }
+
+    /// Validates every component of the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProfileError`] found.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        self.mix.validate()?;
+        self.memory.validate()?;
+        self.frontend.validate()?;
+        self.branch.validate()?;
+        self.dependency.validate()?;
+        Ok(())
+    }
+
+    /// Creates a deterministic, infinite instruction stream for this
+    /// profile.
+    ///
+    /// The same `(profile, seed)` pair always yields the same stream.
+    pub fn stream(&self, seed: u64) -> crate::generator::WorkloadStream {
+        crate::generator::WorkloadStream::new(self.clone(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        WorkloadProfile::named("a", "b").validate().unwrap();
+        let p = WorkloadProfile::named("hpc", "kernel")
+            .with_mix(InstrMix::vector_fp())
+            .with_memory(MemoryBehavior::dram_streaming())
+            .with_frontend(FrontendBehavior::large_footprint())
+            .with_branch(BranchBehavior::erratic())
+            .with_dependency(DependencyBehavior::serial_chain());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn negative_mix_fraction_rejected() {
+        let mut p = WorkloadProfile::named("a", "b");
+        p.mix.load = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn all_zero_mix_rejected() {
+        let mut p = WorkloadProfile::named("a", "b");
+        p.mix = InstrMix {
+            int_alu: 0.0,
+            int_mul: 0.0,
+            int_div: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            vec128: 0.0,
+            vec256: 0.0,
+            vec512: 0.0,
+            load: 0.0,
+            store: 0.0,
+            branch: 0.0,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_rates_rejected() {
+        let mut p = WorkloadProfile::named("a", "b");
+        p.branch.mispredict_rate = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::named("a", "b");
+        p.frontend.dsb_coverage = 0.9;
+        p.frontend.ms_rate = 0.2;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::named("a", "b");
+        p.dependency.distance_p = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::named("a", "b");
+        p.memory.lock_rate = -0.01;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn profile_serde_round_trip() {
+        let p = WorkloadProfile::named("x", "y").with_mix(InstrMix::vector_fp());
+        let json = serde_json::to_string(&p).unwrap();
+        let back: WorkloadProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn mix_total_sums_fields() {
+        let m = InstrMix::scalar_int();
+        assert!((m.total() - 1.0).abs() < 1e-9);
+    }
+}

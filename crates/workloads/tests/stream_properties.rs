@@ -1,0 +1,117 @@
+//! Property tests for workload-stream generation: any valid profile must
+//! produce well-formed, deterministic instruction streams whose
+//! statistics track the profile.
+
+use proptest::prelude::*;
+use spire_sim::{DecodeSource, InstrClass};
+use spire_workloads::{
+    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior,
+    WorkloadProfile,
+};
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0.01f64..1.0, // alu
+        0.0f64..0.6,  // load
+        0.0f64..0.4,  // branch
+        0.0f64..1.0,  // dsb
+        0.0f64..0.2,  // ms (kept jointly feasible below)
+        0.0f64..0.2,  // misp
+        0.0f64..1.0,  // dep rate
+        0.01f64..1.0, // distance p
+        1u32..64,     // max distance
+    )
+        .prop_map(
+            |(alu, load, branch, dsb, ms, misp, dep_rate, distance_p, max_distance)| {
+                WorkloadProfile::named("prop", "arb")
+                    .with_mix(InstrMix {
+                        int_alu: alu,
+                        load,
+                        branch,
+                        ..InstrMix::scalar_int()
+                    })
+                    .with_memory(MemoryBehavior {
+                        level_weights: [0.7, 0.2, 0.07, 0.03],
+                        lock_rate: 0.05,
+                    })
+                    .with_frontend(FrontendBehavior {
+                        dsb_coverage: dsb * (1.0 - ms),
+                        ms_rate: ms,
+                        icache_miss_rate: 0.005,
+                        two_uop_rate: 0.1,
+                    })
+                    .with_branch(BranchBehavior {
+                        mispredict_rate: misp,
+                    })
+                    .with_dependency(DependencyBehavior {
+                        dep_rate,
+                        distance_p,
+                        max_distance,
+                    })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Profiles built this way always validate.
+    #[test]
+    fn arbitrary_profiles_validate(p in arb_profile()) {
+        prop_assert!(p.validate().is_ok());
+    }
+
+    /// Streams are deterministic under the seed and differ across seeds.
+    #[test]
+    fn determinism(p in arb_profile(), seed in 0u64..1_000) {
+        let a: Vec<_> = p.stream(seed).take(200).collect();
+        let b: Vec<_> = p.stream(seed).take(200).collect();
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// Every generated instruction is well-formed: at least one µop,
+    /// dependencies never reach before the stream start, and dependency
+    /// distances respect the profile's clamp.
+    #[test]
+    fn instructions_are_well_formed(p in arb_profile(), seed in 0u64..1_000) {
+        for (i, instr) in p.stream(seed).take(500).enumerate() {
+            prop_assert!(instr.uops >= 1);
+            prop_assert!(u64::from(instr.dep_distance) <= i as u64);
+            prop_assert!(instr.dep_distance <= p.dependency.max_distance);
+            if instr.decode == DecodeSource::Ms {
+                prop_assert!(instr.uops > 1, "microcoded ops expand to several µops");
+            }
+        }
+    }
+
+    /// Class frequencies track the normalized mix within tolerance.
+    #[test]
+    fn frequencies_track_mix(p in arb_profile(), seed in 0u64..100) {
+        let n = 20_000usize;
+        let total = p.mix.total();
+        let expect_load = p.mix.load / total;
+        let expect_branch = p.mix.branch / total;
+        let mut loads = 0usize;
+        let mut branches = 0usize;
+        for i in p.stream(seed).take(n) {
+            match i.class {
+                InstrClass::Load { .. } => loads += 1,
+                InstrClass::Branch { .. } => branches += 1,
+                _ => {}
+            }
+        }
+        let tol = 0.03;
+        prop_assert!((loads as f64 / n as f64 - expect_load).abs() < tol);
+        prop_assert!((branches as f64 / n as f64 - expect_branch).abs() < tol);
+    }
+
+    /// The generated stream runs on the core and drains completely.
+    #[test]
+    fn streams_simulate_cleanly(p in arb_profile(), seed in 0u64..100) {
+        let mut core = spire_sim::Core::new(spire_sim::CoreConfig::tiny());
+        let mut stream = p.stream(seed).take(300);
+        let summary = core.run(&mut stream, 1_000_000);
+        prop_assert_eq!(summary.instructions, 300);
+        prop_assert!(core.is_drained());
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end bottleneck hunt on the simulated CPU: collect multiplexed
+//! counter samples from a few training workloads, train a SPIRE
+//! ensemble, analyze a memory-bound test workload, and cross-check the
+//! verdict against Top-Down Analysis.
+//!
+//! Run with: `cargo run --release --example bottleneck_hunt`
+
+use spire_core::catalog::MetricCatalog;
+use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_counters::{collect, SessionConfig};
+use spire_sim::{Core, CoreConfig, Event};
+use spire_tma::analyze;
+use spire_workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let core_cfg = CoreConfig::skylake_server();
+    let session = SessionConfig {
+        interval_cycles: 60_000,
+        slice_cycles: 3_000,
+        pmu_slots: 4,
+        switch_overhead_cycles: 60,
+        max_cycles: 600_000,
+    };
+
+    // 1. Collect training samples from a handful of varied workloads.
+    let mut training = spire_core::SampleSet::new();
+    for profile in suite::training().into_iter().take(8) {
+        let mut core = Core::new(core_cfg);
+        let mut stream = profile.stream(42);
+        let report = collect(&mut core, &mut stream, Event::ALL, &session);
+        println!(
+            "collected {:4} samples from {} ({}), overhead {:.2}%",
+            report.samples.len(),
+            profile.name,
+            profile.config,
+            report.overhead_fraction() * 100.0
+        );
+        training.merge(report.samples);
+    }
+
+    // 2. Train the ensemble.
+    let model = SpireModel::train(&training, TrainConfig::default())?;
+    println!("\ntrained {} metric rooflines", model.metric_count());
+
+    // 3. Analyze the paper's memory-bound test workload (ONNX T5).
+    let target = suite::by_name("onnx", "T5 Encoder, Std.").expect("suite workload");
+    let mut core = Core::new(core_cfg);
+    let mut stream = target.stream(43);
+    let report = collect(&mut core, &mut stream, Event::ALL, &session);
+    let estimate = model.estimate(&report.samples)?;
+    let spire_report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
+
+    println!("\nSPIRE top metrics for {} ({}):", target.name, target.config);
+    print!("{}", spire_report.to_table(10));
+
+    // 4. Cross-check with TMA on a dedicated run.
+    let mut core = Core::new(core_cfg);
+    let mut stream = target.stream(43);
+    core.run(&mut stream, session.max_cycles);
+    let tma = analyze(core.counters(), &core_cfg);
+    println!("\nTMA says: {}", tma.summary());
+    println!("TMA main bottleneck: {}", tma.dominant_bottleneck());
+    println!(
+        "SPIRE's top-10 contains that area: {}",
+        spire_report.area_in_top(tma.dominant_bottleneck(), 10)
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Architecture independence: SPIRE retrains against any processor just
+//! by resampling its counters. This example builds a custom "little"
+//! core (2-wide, small buffers, slow memory), shows that the same
+//! workload bottlenecks differently there, and trains a separate SPIRE
+//! model for it — no model code changes, exactly the paper's portability
+//! claim.
+//!
+//! Run with: `cargo run --release --example custom_cpu`
+
+use spire_core::catalog::MetricCatalog;
+use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_counters::{collect, SessionConfig};
+use spire_sim::{BackendConfig, Core, CoreConfig, Event, FrontendConfig, MemoryConfig};
+use spire_tma::analyze;
+use spire_workloads::suite;
+
+/// A small in-order-ish edge core: half the width, quarter the buffers,
+/// much slower DRAM.
+fn little_core() -> CoreConfig {
+    CoreConfig {
+        frontend: FrontendConfig {
+            dsb_width: 3,
+            mite_width: 1,
+            ms_width: 2,
+            ms_switch_penalty: 3,
+            idq_capacity: 24,
+            mispredict_redirect_penalty: 10,
+        },
+        backend: BackendConfig {
+            issue_width: 2,
+            retire_width: 2,
+            rob_size: 48,
+            rs_size: 20,
+            ports: 4,
+            int_div_latency: 32,
+            fp_div_latency: 24,
+            recovery_penalty: 8,
+        },
+        memory: MemoryConfig {
+            l1_latency: 3,
+            l2_latency: 12,
+            l3_latency: 35,
+            dram_latency: 320,
+            mshrs: 4,
+            dram_queue: 6,
+            store_buffer: 16,
+            lock_latency: 16,
+            icache_miss_latency: 40,
+        },
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let big = CoreConfig::skylake_server();
+    let little = little_core();
+    little.validate()?;
+
+    let workload = suite::by_name("parboil", "Stencil").expect("suite workload");
+
+    // The same workload, two machines, two TMA verdicts.
+    for (name, cfg) in [("big (skylake-server)", big), ("little (edge core)", little)] {
+        let mut core = Core::new(cfg);
+        let mut stream = workload.stream(7);
+        let summary = core.run(&mut stream, 500_000);
+        let tma = analyze(core.counters(), &cfg);
+        println!(
+            "{name}: ipc {:.2} | {} | main: {}",
+            summary.ipc(),
+            tma.summary(),
+            tma.dominant_bottleneck()
+        );
+    }
+
+    // Retraining SPIRE for the little core is just resampling: the model
+    // code never sees an architecture parameter.
+    let session = SessionConfig {
+        interval_cycles: 60_000,
+        slice_cycles: 3_000,
+        pmu_slots: 4,
+        switch_overhead_cycles: 60,
+        max_cycles: 500_000,
+    };
+    let mut training = spire_core::SampleSet::new();
+    for profile in suite::training().into_iter().take(6) {
+        let mut core = Core::new(little);
+        let mut stream = profile.stream(11);
+        training.merge(collect(&mut core, &mut stream, Event::ALL, &session).samples);
+    }
+    let little_model = SpireModel::train(&training, TrainConfig::default())?;
+
+    let mut core = Core::new(little);
+    let mut stream = workload.stream(12);
+    let samples = collect(&mut core, &mut stream, Event::ALL, &session).samples;
+    let estimate = little_model.estimate(&samples)?;
+    let report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
+
+    println!(
+        "\nSPIRE model trained for the little core ({} rooflines).",
+        little_model.metric_count()
+    );
+    println!("top metrics for the stencil workload on the little core:");
+    print!("{}", report.to_table(8));
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Rendering learned rooflines: train a small ensemble on simulated
+//! counters and write SVG plots of two contrasting metric rooflines
+//! (like the paper's Fig. 7), plus an ASCII preview in the terminal.
+//!
+//! Run with: `cargo run --release --example plot_rooflines`
+
+use spire_core::{MetricId, SpireModel, TrainConfig};
+use spire_counters::{collect, SessionConfig};
+use spire_plot::roofline_chart;
+use spire_sim::{Core, CoreConfig, Event};
+use spire_workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = SessionConfig {
+        interval_cycles: 60_000,
+        slice_cycles: 3_000,
+        pmu_slots: 4,
+        switch_overhead_cycles: 60,
+        max_cycles: 500_000,
+    };
+
+    let mut training = spire_core::SampleSet::new();
+    for profile in suite::training().into_iter().take(10) {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = profile.stream(3);
+        training.merge(collect(&mut core, &mut stream, Event::ALL, &session).samples);
+    }
+    let model = SpireModel::train(&training, TrainConfig::default())?;
+
+    let outdir = std::path::Path::new("target/examples");
+    std::fs::create_dir_all(outdir)?;
+
+    for (event, file) in [
+        ("br_misp_retired.all_branches", "bp1_roofline.svg"),
+        ("idq.dsb_uops", "db2_roofline.svg"),
+    ] {
+        let metric = MetricId::new(event);
+        let roofline = model
+            .roofline(&metric)
+            .ok_or("metric missing from the trained model")?;
+        let samples = training.samples_for(&metric);
+        let chart = roofline_chart(roofline, samples.iter().copied(), true);
+        let path = outdir.join(file);
+        std::fs::write(&path, chart.to_svg(720, 480))?;
+        println!("wrote {}", path.display());
+        println!("{}", chart.to_ascii(72, 18));
+    }
+    Ok(())
+}

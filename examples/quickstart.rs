@@ -1,0 +1,48 @@
+//! Quickstart: train a SPIRE model from counter samples and rank the
+//! likely bottlenecks of a new workload.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spire_core::catalog::MetricCatalog;
+use spire_core::{BottleneckReport, Sample, SampleSet, SpireModel, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Training data: samples of (time, work, metric delta) per metric.
+    //    In practice these come from `perf stat` or the bundled CPU
+    //    simulator; here we hand-write a tiny corpus. Units: cycles for
+    //    T, instructions for W, so throughput is IPC.
+    let mut training = SampleSet::new();
+    for (cycles, instrs, stalls, misses) in [
+        (1e6, 0.8e6, 6.0e5, 2.0e4),
+        (1e6, 1.5e6, 3.0e5, 1.0e4),
+        (1e6, 2.4e6, 1.2e5, 4.0e3),
+        (1e6, 3.1e6, 4.0e4, 1.5e3),
+        (1e6, 3.5e6, 1.0e4, 6.0e2),
+    ] {
+        training.push(Sample::new("cycle_activity.stalls_total", cycles, instrs, stalls)?);
+        training.push(Sample::new("longest_lat_cache.miss", cycles, instrs, misses)?);
+    }
+
+    // 2. Train the ensemble: one piecewise-linear roofline per metric.
+    let model = SpireModel::train(&training, TrainConfig::default())?;
+    println!("trained {} metric rooflines", model.metric_count());
+
+    // 3. Analyze a new workload's samples.
+    let mut workload = SampleSet::new();
+    workload.push(Sample::new("cycle_activity.stalls_total", 1e6, 1.1e6, 5.5e5)?);
+    workload.push(Sample::new("longest_lat_cache.miss", 1e6, 1.1e6, 2.0e3)?);
+
+    let estimate = model.estimate(&workload)?;
+    println!(
+        "ensemble max-throughput estimate: {:.2} IPC",
+        estimate.throughput()
+    );
+
+    // 4. The ranking: metrics with the lowest estimates are the likely
+    //    bottlenecks — here the stall counter, since the workload stalls
+    //    far more than its cache misses explain.
+    let report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
+    println!("\nranked bottleneck metrics:");
+    print!("{}", report.to_table(10));
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate: re-exports the SPIRE reproduction workspace for examples
+//! and integration tests.
+
+pub use spire_baselines as baselines;
+pub use spire_core as core;
+pub use spire_counters as counters;
+pub use spire_plot as plot;
+pub use spire_sim as sim;
+pub use spire_tma as tma;
+pub use spire_workloads as workloads;

@@ -1,0 +1,155 @@
+//! Integration tests that pin the paper's qualitative claims, so a
+//! regression in any substrate that would break a figure or table shows
+//! up as a test failure rather than a silently wrong experiment.
+
+use spire_core::{MetricId, SampleSet, SpireModel, TrainConfig};
+use spire_counters::{collect, SessionConfig};
+use spire_sim::{Core, CoreConfig, Event};
+use spire_tma::analyze;
+use spire_workloads::suite;
+
+fn session() -> SessionConfig {
+    SessionConfig {
+        interval_cycles: 40_000,
+        slice_cycles: 2_500,
+        pmu_slots: 4,
+        switch_overhead_cycles: 40,
+        max_cycles: 400_000,
+    }
+}
+
+/// Collects a diverse training corpus (every other training workload).
+fn corpus() -> SampleSet {
+    let mut all = SampleSet::new();
+    for profile in suite::training().into_iter().step_by(2) {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = profile.stream(21);
+        all.merge(collect(&mut core, &mut stream, Event::ALL, &session()).samples);
+    }
+    all
+}
+
+/// Fig. 7 (left): the BP.1 roofline learns that branch mispredictions
+/// limit max IPC — the estimate rises with instructions-per-misprediction
+/// over the left region.
+#[test]
+fn fig7_bp1_roofline_rises_with_intensity() {
+    let model = SpireModel::train(&corpus(), TrainConfig::default()).unwrap();
+    let bp1 = model
+        .roofline(&MetricId::new("br_misp_retired.all_branches"))
+        .expect("BP.1 trained");
+    let apex = bp1.apex().expect("non-constant roofline");
+    let low = bp1.estimate(apex.x * 0.02);
+    let mid = bp1.estimate(apex.x * 0.3);
+    let high = bp1.estimate(apex.x);
+    assert!(low <= mid + 1e-9 && mid <= high + 1e-9, "{low} {mid} {high}");
+    assert!(high > low, "the roofline must actually rise");
+}
+
+/// Fig. 7 (middle/right): the DB.2 roofline learns that losing DSB
+/// coverage lowers the IPC upper bound — the estimate falls beyond the
+/// apex.
+#[test]
+fn fig7_db2_roofline_falls_beyond_apex() {
+    let model = SpireModel::train(&corpus(), TrainConfig::default()).unwrap();
+    let db2 = model
+        .roofline(&MetricId::new("idq.dsb_uops"))
+        .expect("DB.2 trained");
+    let apex = db2.apex().expect("non-constant roofline");
+    let at_apex = db2.estimate(apex.x);
+    let far = db2.estimate(apex.x * 6.0);
+    assert!(
+        far < at_apex * 0.8,
+        "DB.2 must drop beyond the apex: {at_apex} -> {far}"
+    );
+}
+
+/// Section IV: multiplexed sampling is cheap — single-digit-percent
+/// overhead at the paper's interval/slice geometry.
+#[test]
+fn sampling_overhead_is_small() {
+    let profile = suite::by_name("parboil", "Stencil").unwrap();
+    let mut core = Core::new(CoreConfig::skylake_server());
+    let mut stream = profile.stream(5);
+    let report = collect(&mut core, &mut stream, Event::ALL, &session());
+    let f = report.overhead_fraction();
+    assert!(f > 0.0, "overhead must be modeled");
+    assert!(f < 0.05, "overhead {f} should be a few percent");
+}
+
+/// Table I premise: the four testing workloads are the strongest
+/// examples of their four distinct TMA bottlenecks.
+#[test]
+fn table1_test_workloads_cover_all_four_areas() {
+    let cfg = CoreConfig::skylake_server();
+    let mut seen = std::collections::BTreeSet::new();
+    for profile in suite::testing() {
+        let mut core = Core::new(cfg);
+        let mut stream = profile.stream(13);
+        core.run(&mut stream, 400_000);
+        let tma = analyze(core.counters(), &cfg);
+        assert_eq!(
+            tma.dominant_bottleneck(),
+            profile.expected_bottleneck,
+            "{} ({}): {}",
+            profile.name,
+            profile.config,
+            tma.summary()
+        );
+        seen.insert(profile.expected_bottleneck);
+    }
+    assert_eq!(seen.len(), 4, "all four areas must be covered");
+}
+
+/// The paper's overall claim: SPIRE requires no architecture-specific
+/// inputs — the identical training code works against a different core
+/// configuration's counters.
+#[test]
+fn spire_retrains_on_a_different_core_without_changes() {
+    let mut little = CoreConfig::skylake_server();
+    little.backend.issue_width = 2;
+    little.backend.retire_width = 2;
+    little.backend.rob_size = 64;
+    little.backend.rs_size = 32;
+    little.memory.dram_latency = 320;
+    little.validate().unwrap();
+
+    let mut all = SampleSet::new();
+    for profile in suite::training().into_iter().step_by(4) {
+        let mut core = Core::new(little);
+        let mut stream = profile.stream(17);
+        all.merge(collect(&mut core, &mut stream, Event::ALL, &session()).samples);
+    }
+    let model = SpireModel::train(&all, TrainConfig::default()).unwrap();
+    assert!(model.metric_count() > 30);
+
+    // Estimates from the little-core model are bounded by the little
+    // core's lower pipeline width (IPC can never reach 4).
+    let profile = suite::by_name("fftw", "Stock, 1D FFT, 4096").unwrap();
+    let mut core = Core::new(little);
+    let mut stream = profile.stream(18);
+    let samples = collect(&mut core, &mut stream, Event::ALL, &session()).samples;
+    let est = model.estimate(&samples).unwrap();
+    assert!(est.throughput() <= 2.0 + 1e-9);
+    assert!(est.throughput() > 0.0);
+}
+
+/// The "pool of low-valued metrics" suggestion: the uncertainty pool is
+/// a ranking prefix and grows with tolerance.
+#[test]
+fn uncertainty_pool_grows_with_tolerance() {
+    let model = SpireModel::train(&corpus(), TrainConfig::default()).unwrap();
+    let profile = suite::by_name("onnx", "T5 Encoder, Std.").unwrap();
+    let mut core = Core::new(CoreConfig::skylake_server());
+    let mut stream = profile.stream(19);
+    let samples = collect(&mut core, &mut stream, Event::ALL, &session()).samples;
+    let estimate = model.estimate(&samples).unwrap();
+    let report = spire_core::BottleneckReport::new(
+        &estimate,
+        &spire_core::catalog::MetricCatalog::table_iii(),
+    );
+    let tight = report.uncertainty_pool(0.01).len();
+    let loose = report.uncertainty_pool(0.2).len();
+    assert!(tight >= 1);
+    assert!(loose >= tight);
+}
