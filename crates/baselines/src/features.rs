@@ -2,7 +2,7 @@
 //! becomes a rate matrix (rows = aligned intervals, columns = metrics)
 //! plus a throughput target vector.
 
-use spire_core::{MetricId, SampleSet};
+use spire_core::{MetricColumn, MetricId, SampleSet};
 
 /// Extracted features: metric order, rate rows, and targets.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,24 +23,25 @@ pub struct FeatureMatrix {
 /// session produces). The row count is the smallest per-metric sample
 /// count. Returns `None` when no complete rows exist.
 pub fn feature_matrix(samples: &SampleSet) -> Option<FeatureMatrix> {
-    let groups = samples.by_metric();
-    if groups.is_empty() {
+    let columns = samples.columns();
+    if columns.is_empty() {
         return None;
     }
-    let metrics: Vec<MetricId> = groups.keys().map(|m| (*m).clone()).collect();
-    let n_rows = groups.values().map(Vec::len).min().unwrap_or(0);
+    let metrics: Vec<MetricId> = columns.iter().map(|c| c.metric().clone()).collect();
+    let n_rows = columns.iter().map(MetricColumn::len).min().unwrap_or(0);
     if n_rows == 0 {
         return None;
     }
     let cols = metrics.len();
     let mut rows = vec![vec![0.0; cols]; n_rows];
     let mut targets = vec![0.0; n_rows];
-    for (c, metric) in metrics.iter().enumerate() {
-        let group = &groups[metric];
+    for (c, column) in columns.iter().enumerate() {
+        let deltas = column.metric_deltas();
+        let times = column.times();
+        let throughputs = column.throughputs();
         for r in 0..n_rows {
-            let s = group[r];
-            rows[r][c] = s.metric_delta() / s.time();
-            targets[r] += s.throughput() / cols as f64;
+            rows[r][c] = deltas[r] / times[r];
+            targets[r] += throughputs[r] / cols as f64;
         }
     }
     Some(FeatureMatrix {

@@ -61,7 +61,10 @@ impl GbrtConfig {
             ));
         }
         if !(0.0 < self.subsample && self.subsample <= 1.0) {
-            return Err(format!("subsample must be in (0, 1], got {}", self.subsample));
+            return Err(format!(
+                "subsample must be in (0, 1], got {}",
+                self.subsample
+            ));
         }
         if self.min_leaf == 0 {
             return Err("min_leaf must be at least 1".into());
@@ -315,12 +318,9 @@ impl CounterMinerBaseline {
     ///
     /// Returns a message when the set yields no usable rows or the GBRT
     /// config is invalid.
-    pub fn train(
-        samples: &spire_core::SampleSet,
-        config: &GbrtConfig,
-    ) -> Result<Self, String> {
-        let fm = crate::features::feature_matrix(samples)
-            .ok_or("no complete sample rows available")?;
+    pub fn train(samples: &spire_core::SampleSet, config: &GbrtConfig) -> Result<Self, String> {
+        let fm =
+            crate::features::feature_matrix(samples).ok_or("no complete sample rows available")?;
         let model = Gbrt::fit(&fm.rows, &fm.targets, config)?;
         Ok(CounterMinerBaseline {
             metrics: fm.metrics,
@@ -403,11 +403,26 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let (x, y) = make_data(10);
         for bad in [
-            GbrtConfig { rounds: 0, ..GbrtConfig::default() },
-            GbrtConfig { max_depth: 0, ..GbrtConfig::default() },
-            GbrtConfig { learning_rate: 0.0, ..GbrtConfig::default() },
-            GbrtConfig { subsample: 1.5, ..GbrtConfig::default() },
-            GbrtConfig { min_leaf: 0, ..GbrtConfig::default() },
+            GbrtConfig {
+                rounds: 0,
+                ..GbrtConfig::default()
+            },
+            GbrtConfig {
+                max_depth: 0,
+                ..GbrtConfig::default()
+            },
+            GbrtConfig {
+                learning_rate: 0.0,
+                ..GbrtConfig::default()
+            },
+            GbrtConfig {
+                subsample: 1.5,
+                ..GbrtConfig::default()
+            },
+            GbrtConfig {
+                min_leaf: 0,
+                ..GbrtConfig::default()
+            },
         ] {
             assert!(Gbrt::fit(&x, &y, &bad).is_err());
         }
@@ -432,7 +447,10 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let (x, y) = make_data(50);
-        let cfg = GbrtConfig { rounds: 10, ..GbrtConfig::default() };
+        let cfg = GbrtConfig {
+            rounds: 10,
+            ..GbrtConfig::default()
+        };
         let model = Gbrt::fit(&x, &y, &cfg).unwrap();
         let back: Gbrt = serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
         assert_eq!(model.predict(&[3.0, 3.0]), back.predict(&[3.0, 3.0]));

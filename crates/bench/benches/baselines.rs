@@ -64,13 +64,19 @@ fn bench_predictors(c: &mut Criterion) {
     group.bench_function("bimodal_12", |b| {
         b.iter(|| {
             let mut p = BimodalPredictor::new(12);
-            trace.iter().filter(|&&(pc, t)| p.mispredicts(pc, t)).count()
+            trace
+                .iter()
+                .filter(|&&(pc, t)| p.mispredicts(pc, t))
+                .count()
         });
     });
     group.bench_function("gshare_12_8", |b| {
         b.iter(|| {
             let mut p = GsharePredictor::new(12, 8);
-            trace.iter().filter(|&&(pc, t)| p.mispredicts(pc, t)).count()
+            trace
+                .iter()
+                .filter(|&&(pc, t)| p.mispredicts(pc, t))
+                .count()
         });
     });
     group.finish();

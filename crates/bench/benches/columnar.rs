@@ -1,0 +1,117 @@
+//! Criterion benchmarks for the columnar sample store: row-API iteration
+//! vs contiguous column access, row-API fitting vs column fitting, and
+//! serial vs parallel training/estimation.
+//!
+//! Run `cargo bench --bench columnar` for full measurements, or with
+//! `-- --test` for the smoke mode CI uses. Parallel speedups only show
+//! on multi-core runners; on a single core the parallel variants verify
+//! overhead stays negligible (results are identical either way).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spire_core::{
+    FitOptions, MetricId, PiecewiseRoofline, Sample, SampleSet, SpireModel, TrainConfig,
+};
+
+fn corpus(metrics: usize, samples_per_metric: usize, seed: u64) -> SampleSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut set = SampleSet::new();
+    for m in 0..metrics {
+        let name = format!("metric_{m:03}");
+        for _ in 0..samples_per_metric {
+            let intensity: f64 = rng.gen_range(0.01..50.0);
+            let p = (intensity * 0.5).min(3.0) * rng.gen_range(0.3..1.0);
+            let t = rng.gen_range(0.5..2.0);
+            set.push(Sample::new(name.as_str(), t, p * t, p * t / intensity).unwrap());
+        }
+    }
+    set
+}
+
+/// Row-style reduction: materialise every sample, call its accessors.
+fn bench_reduce(c: &mut Criterion) {
+    let set = corpus(64, 1_000, 3);
+    let mut group = c.benchmark_group("columnar_reduce");
+    group.bench_function("row_iter", |b| {
+        b.iter(|| {
+            let set = std::hint::black_box(&set);
+            set.iter().map(|s| s.throughput() * s.time()).sum::<f64>()
+        });
+    });
+    group.bench_function("column_slices", |b| {
+        b.iter(|| {
+            let set = std::hint::black_box(&set);
+            set.columns()
+                .iter()
+                .map(|c| {
+                    c.throughputs()
+                        .iter()
+                        .zip(c.times())
+                        .map(|(p, t)| p * t)
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+/// Roofline fitting: generic row API vs the column fast path.
+fn bench_fit(c: &mut Criterion) {
+    let set = corpus(1, 5_000, 7);
+    let metric = MetricId::new("metric_000");
+    let column = set.column(&metric).unwrap().clone();
+    let rows = set.samples_for(&metric);
+    let mut group = c.benchmark_group("columnar_fit");
+    group.bench_function("fit_rows", |b| {
+        b.iter(|| {
+            PiecewiseRoofline::fit(
+                metric.clone(),
+                std::hint::black_box(rows.iter()),
+                &FitOptions::default(),
+            )
+        });
+    });
+    group.bench_function("fit_column", |b| {
+        b.iter(|| {
+            PiecewiseRoofline::fit_column(std::hint::black_box(&column), &FitOptions::default())
+        });
+    });
+    group.finish();
+}
+
+/// Serial vs parallel ensemble training and estimation (identical
+/// results; the parallel fan-out is a pure throughput knob).
+fn bench_parallel(c: &mut Criterion) {
+    let train = corpus(64, 500, 5);
+    let workload = corpus(64, 40, 9);
+    let mut group = c.benchmark_group("columnar_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        let tag = if threads == 1 { "serial" } else { "auto" };
+        group.bench_with_input(BenchmarkId::new("train", tag), &threads, |b, &threads| {
+            let config = TrainConfig {
+                threads,
+                ..TrainConfig::default()
+            };
+            b.iter(|| SpireModel::train(std::hint::black_box(&train), config.clone()).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("estimate", tag),
+            &threads,
+            |b, &threads| {
+                let config = TrainConfig {
+                    threads,
+                    ..TrainConfig::default()
+                };
+                let model = SpireModel::train(&train, config).unwrap();
+                b.iter(|| model.estimate(std::hint::black_box(&workload)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce, bench_fit, bench_parallel);
+criterion_main!(benches);

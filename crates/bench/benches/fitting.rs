@@ -56,8 +56,7 @@ fn bench_roofline_fit(c: &mut Criterion) {
         let samples = synthetic_samples(n, 11);
         group.bench_with_input(BenchmarkId::new("graph", n), &samples, |b, s| {
             b.iter(|| {
-                PiecewiseRoofline::fit("bench".into(), s.iter(), &FitOptions::default())
-                    .unwrap()
+                PiecewiseRoofline::fit("bench".into(), s.iter(), &FitOptions::default()).unwrap()
             });
         });
         let plateau = FitOptions {

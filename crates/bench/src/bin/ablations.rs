@@ -72,11 +72,46 @@ fn main() {
         "merge", "aggregation", "right-fit", "hits", "mean |err|"
     );
     let variants = [
-        ("time-weighted", MergeStrategy::TimeWeighted, "min", EnsembleAggregation::Min, "graph", RightFitMode::Graph),
-        ("unweighted", MergeStrategy::Unweighted, "min", EnsembleAggregation::Min, "graph", RightFitMode::Graph),
-        ("time-weighted", MergeStrategy::TimeWeighted, "mean", EnsembleAggregation::Mean, "graph", RightFitMode::Graph),
-        ("time-weighted", MergeStrategy::TimeWeighted, "min", EnsembleAggregation::Min, "plateau", RightFitMode::Plateau),
-        ("time-weighted", MergeStrategy::TimeWeighted, "min", EnsembleAggregation::Min, "auto", RightFitMode::Auto),
+        (
+            "time-weighted",
+            MergeStrategy::TimeWeighted,
+            "min",
+            EnsembleAggregation::Min,
+            "graph",
+            RightFitMode::Graph,
+        ),
+        (
+            "unweighted",
+            MergeStrategy::Unweighted,
+            "min",
+            EnsembleAggregation::Min,
+            "graph",
+            RightFitMode::Graph,
+        ),
+        (
+            "time-weighted",
+            MergeStrategy::TimeWeighted,
+            "mean",
+            EnsembleAggregation::Mean,
+            "graph",
+            RightFitMode::Graph,
+        ),
+        (
+            "time-weighted",
+            MergeStrategy::TimeWeighted,
+            "min",
+            EnsembleAggregation::Min,
+            "plateau",
+            RightFitMode::Plateau,
+        ),
+        (
+            "time-weighted",
+            MergeStrategy::TimeWeighted,
+            "min",
+            EnsembleAggregation::Min,
+            "auto",
+            RightFitMode::Auto,
+        ),
     ];
     for (mname, merge, aname, agg, rname, right) in variants {
         let model = train_model(&dataset, config_with(merge, agg, right));
@@ -89,7 +124,10 @@ fn main() {
 
     // --- 4: training-set size. ----------------------------------------------
     println!("\ntraining-set size (paper setting: 23):");
-    println!("{:>10} {:>8} {:>6} {:>12}", "workloads", "samples", "hits", "mean |err|");
+    println!(
+        "{:>10} {:>8} {:>6} {:>12}",
+        "workloads", "samples", "hits", "mean |err|"
+    );
     for k in [2usize, 5, 10, 16, 23] {
         let subset: Dataset = train_runs
             .iter()
@@ -123,9 +161,9 @@ fn main() {
         match RegressionBaseline::train(&run.session.samples, 1.0) {
             Ok(reg) => {
                 let top: Vec<_> = reg.importance_ranking().into_iter().take(10).collect();
-                let hit = top.iter().any(|(m, _)| {
-                    catalog.area_of(m) == Some(run.profile.expected_bottleneck)
-                });
+                let hit = top
+                    .iter()
+                    .any(|(m, _)| catalog.area_of(m) == Some(run.profile.expected_bottleneck));
                 reg_hits += usize::from(hit);
                 println!(
                     "  {:<36} expected {:<16} regression top metric: {}",

@@ -19,8 +19,8 @@
 //! SPIRE trains itself from samples, and TMA took Intel years of formula
 //! engineering (our `spire-tma` inherits those published formulas).
 
-use spire_bench::{config_from_args, dataset_of, report_for, run_suite, train_model};
 use spire_baselines::ClassicRoofline;
+use spire_bench::{config_from_args, dataset_of, report_for, run_suite, train_model};
 use spire_core::{MetricId, TrainConfig};
 use spire_sim::{Core, Event, Instr, MemLevel};
 use spire_workloads::suite;
@@ -34,8 +34,7 @@ fn main() {
     let summary = core.run(&mut probe, 10_000_000);
     // β: instructions per cycle per (instruction per DRAM access) — i.e.
     // DRAM accesses per cycle the machine can sustain.
-    let dram_rate = core.counters().get(Event::LongestLatCacheMiss) as f64
-        / summary.cycles as f64;
+    let dram_rate = core.counters().get(Event::LongestLatCacheMiss) as f64 / summary.cycles as f64;
     let peak_ipc = cfg.core.backend.issue_width as f64;
     let roofline = ClassicRoofline::new(peak_ipc, dram_rate).expect("valid parameters");
 

@@ -29,7 +29,11 @@ fn main() {
     let samples = paper_samples();
     println!("Fig. 6 — right-region fitting over Pareto samples A–E\n");
     for (name, s) in ["A", "B", "C", "D", "E"].iter().zip(&samples) {
-        println!("  {name}: I = {:>5.2}, P = {:.2}", s.intensity(), s.throughput());
+        println!(
+            "  {name}: I = {:>5.2}, P = {:.2}",
+            s.intensity(),
+            s.throughput()
+        );
     }
 
     // The BD segment's error over C, the paper's worked example: line
@@ -42,9 +46,8 @@ fn main() {
     let bd_error = (line_at_c - 2.5_f64).powi(2);
     println!("\nBD segment at C: {line_at_c:.2} -> squared error {bd_error:.2}");
 
-    let roofline =
-        PiecewiseRoofline::fit("fig6".into(), samples.iter(), &FitOptions::default())
-            .expect("samples are valid");
+    let roofline = PiecewiseRoofline::fit("fig6".into(), samples.iter(), &FitOptions::default())
+        .expect("samples are valid");
     let region = roofline.right_region().expect("non-constant fit");
 
     println!("\nchosen right-region knots (ascending intensity):");
@@ -53,7 +56,10 @@ fn main() {
     }
     println!("plateau height (End horizontal): {:.2}", region.plateau());
     println!("tail height (Start): {:.2}", region.tail());
-    println!("total fit error (shortest-path cost): {:.4}", region.fit_error());
+    println!(
+        "total fit error (shortest-path cost): {:.4}",
+        region.fit_error()
+    );
 
     println!("\nfit evaluated at each sample:");
     let mut all_above = true;

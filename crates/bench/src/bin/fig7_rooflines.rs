@@ -29,16 +29,24 @@ fn main() {
     for (panel, metric_name, log_axes, file) in [
         ("left", "br_misp_retired.all_branches", true, "fig7_bp1.svg"),
         ("middle", "idq.dsb_uops", true, "fig7_db2.svg"),
-        ("right (linear zoom)", "idq.dsb_uops", false, "fig7_db2_linear.svg"),
+        (
+            "right (linear zoom)",
+            "idq.dsb_uops",
+            false,
+            "fig7_db2_linear.svg",
+        ),
     ] {
         let metric = MetricId::new(metric_name);
         let roofline = model.roofline(&metric).expect("metric is in the catalog");
         let samples = merged.samples_for(&metric);
-        let chart = roofline_chart(roofline, samples.iter().copied(), log_axes);
+        let chart = roofline_chart(roofline, samples.iter(), log_axes);
         let path = outdir.join(file);
         std::fs::write(&path, chart.to_svg(720, 480)).expect("write svg");
 
-        println!("[{panel}] {metric_name} ({} training samples)", samples.len());
+        println!(
+            "[{panel}] {metric_name} ({} training samples)",
+            samples.len()
+        );
         println!("  left knots (origin -> apex):");
         for k in roofline.left_knots() {
             println!("    ({:.4}, {:.4})", k.x, k.y);

@@ -96,8 +96,8 @@ fn main() {
     // The memory-bound kernel dominates execution: the full-run and
     // kernel-only analyses must both surface Memory; the biased
     // prologue-only view must not have it as its primary suspicion.
-    let full_sees_memory =
-        full_report.area_in_top(UarchArea::Memory, 10) && kernel_report.area_in_top(UarchArea::Memory, 10);
+    let full_sees_memory = full_report.area_in_top(UarchArea::Memory, 10)
+        && kernel_report.area_in_top(UarchArea::Memory, 10);
     println!("full-run analysis surfaces the kernel's memory bottleneck: {full_sees_memory}");
     println!(
         "prologue-only analysis misleads (primary area differs): {}",

@@ -45,12 +45,8 @@ fn main() {
     );
     for log2 in [4u32, 6, 8, 10, 12, 14] {
         let predictor = GsharePredictor::new(log2, log2.min(12));
-        let mut stream = PredictedBranches::new(
-            profile.stream(cfg.seed),
-            sites,
-            predictor,
-            cfg.seed + 1,
-        );
+        let mut stream =
+            PredictedBranches::new(profile.stream(cfg.seed), sites, predictor, cfg.seed + 1);
 
         // Measure TMA/IPC on a dedicated run.
         let mut core = Core::new(cfg.core);

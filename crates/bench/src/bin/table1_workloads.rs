@@ -40,7 +40,5 @@ fn main() {
             );
         }
     }
-    println!(
-        "\n{matches}/{total} workloads exhibit their intended Table I bottleneck"
-    );
+    println!("\n{matches}/{total} workloads exhibit their intended Table I bottleneck");
 }

@@ -63,9 +63,21 @@ fn main() {
 
     println!("Cross-microarchitecture transfer (4 test workloads each)\n");
     evaluate(&big_model, &big_tests, "big model -> big core (native)");
-    evaluate(&little_model, &little_tests, "little model -> little core (native)");
-    evaluate(&big_model, &little_tests, "big model -> little core (transferred)");
-    evaluate(&little_model, &big_tests, "little model -> big core (transferred)");
+    evaluate(
+        &little_model,
+        &little_tests,
+        "little model -> little core (native)",
+    );
+    evaluate(
+        &big_model,
+        &little_tests,
+        "big model -> little core (transferred)",
+    );
+    evaluate(
+        &little_model,
+        &big_tests,
+        "little model -> big core (transferred)",
+    );
 
     // The machine limit is visible in the models themselves: the little
     // core's rooflines top out near its 2-wide pipeline.

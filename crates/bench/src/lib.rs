@@ -193,7 +193,10 @@ pub fn config_from_args() -> (ExperimentConfig, std::path::PathBuf) {
         .iter()
         .position(|a| a == "--outdir")
         .and_then(|i| args.get(i + 1))
-        .map_or_else(|| std::path::PathBuf::from("target/experiments"), Into::into);
+        .map_or_else(
+            || std::path::PathBuf::from("target/experiments"),
+            Into::into,
+        );
     std::fs::create_dir_all(&outdir).ok();
     (cfg, outdir)
 }

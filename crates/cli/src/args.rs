@@ -131,6 +131,9 @@ mod tests {
         assert_eq!(a.get_or("n", 1u64).unwrap(), 5);
         assert_eq!(a.get_or("m", 7u64).unwrap(), 7);
         let bad = Args::parse(["--n", "xyz"]).unwrap();
-        assert!(matches!(bad.get_or::<u64>("n", 0), Err(ArgsError::BadValue { .. })));
+        assert!(matches!(
+            bad.get_or::<u64>("n", 0),
+            Err(ArgsError::BadValue { .. })
+        ));
     }
 }

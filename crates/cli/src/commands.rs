@@ -30,9 +30,10 @@ COMMANDS:
   collect   --out FILE [--cycles X]   sample the full suite into a dataset
             [--set train|test|all] [--seed S] [--interval X] [--slice X]
   train     --data FILE --out FILE    train a SPIRE model from a dataset
-            [--min-samples N]
+            [--min-samples N]         (--threads N fans per-metric fits
+            [--threads N]             across N threads; 0 = auto)
   analyze   --model FILE --data FILE  rank bottleneck metrics for a workload
-            --workload LABEL [--top K]
+            --workload LABEL [--top K] [--threads N]
   tma       --workload N --config C   full TMA breakdown for one workload
             [--cycles X] [--seed S]
   import-perf --csv FILE --out FILE   convert `perf stat -I -x,` output
@@ -79,7 +80,11 @@ fn find_workload(args: &Args) -> Result<WorkloadProfile, Box<dyn Error + Send + 
 
 fn list_workloads() -> CmdResult {
     let mut out = String::new();
-    writeln!(out, "{:<18} {:<22} {:<16} set", "name", "config", "bottleneck")?;
+    writeln!(
+        out,
+        "{:<18} {:<22} {:<16} set",
+        "name", "config", "bottleneck"
+    )?;
     for p in suite::training() {
         writeln!(
             out,
@@ -167,6 +172,7 @@ fn train(args: &Args) -> CmdResult {
     let dataset = Dataset::load(data_path)?;
     let config = TrainConfig {
         min_samples_per_metric: args.get_or("min-samples", 1)?,
+        threads: args.get_or("threads", 0)?,
         ..TrainConfig::default()
     };
     let model = SpireModel::train(&dataset.merged(), config)?;
@@ -184,7 +190,8 @@ fn analyze_cmd(args: &Args) -> CmdResult {
     let data_path = args.require("data")?;
     let label = args.require("workload")?;
     let top: usize = args.get_or("top", 10)?;
-    let model: SpireModel = serde_json::from_str(&std::fs::read_to_string(model_path)?)?;
+    let mut model: SpireModel = serde_json::from_str(&std::fs::read_to_string(model_path)?)?;
+    model.set_threads(args.get_or("threads", model.config().threads)?);
     let dataset = Dataset::load(data_path)?;
     let samples = dataset
         .get(label)
@@ -227,8 +234,7 @@ fn coverage_cmd(args: &Args) -> CmdResult {
     // per-metric observation window.
     let session_time = samples
         .by_metric()
-        .values()
-        .map(|g| g.iter().map(|s| s.time()).sum::<f64>())
+        .map(|(_, column)| column.total_time())
         .fold(0.0f64, f64::max)
         .max(1.0);
     let report = spire_counters::CoverageReport::new(samples, session_time);
@@ -270,7 +276,7 @@ fn plot_cmd(args: &Args) -> CmdResult {
         .ok_or_else(|| format!("model has no roofline for `{metric_name}`"))?;
 
     // Plot against one workload's samples, or the whole dataset.
-    let samples: Vec<&spire_core::Sample> = match args.get("workload") {
+    let samples: Vec<spire_core::Sample> = match args.get("workload") {
         Some(label) => dataset
             .get(label)
             .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?
@@ -283,7 +289,7 @@ fn plot_cmd(args: &Args) -> CmdResult {
             v
         }
     };
-    let chart = spire_plot::roofline_chart(roofline, samples.iter().copied(), log_axes);
+    let chart = spire_plot::roofline_chart(roofline, samples.iter(), log_axes);
     std::fs::write(out_path, chart.to_svg(720, 480))?;
     Ok(format!(
         "plotted `{metric_name}` ({} samples) to {out_path}
@@ -302,7 +308,9 @@ fn import_perf(args: &Args) -> CmdResult {
     let mut dataset = Dataset::new();
     dataset.insert(label, samples);
     dataset.save(out_path)?;
-    Ok(format!("imported {n} samples as `{label}` into {out_path}\n"))
+    Ok(format!(
+        "imported {n} samples as `{label}` into {out_path}\n"
+    ))
 }
 
 #[cfg(test)]
@@ -398,8 +406,14 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote"));
 
-        let out = run_str(&["train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap()])
-            .unwrap();
+        let out = run_str(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .unwrap();
         assert!(out.contains("trained"));
 
         let out = run_str(&[
@@ -439,8 +453,14 @@ mod tests {
             "1000",
         ])
         .unwrap();
-        run_str(&["train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap()])
-            .unwrap();
+        run_str(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .unwrap();
         let out = run_str(&[
             "plot",
             "--model",

@@ -93,18 +93,42 @@ impl MetricCatalog {
     pub fn table_iii() -> Self {
         use UarchArea::*;
         let entries: &[(&str, &str, UarchArea)] = &[
-            ("FE.1", "frontend_retired.latency_ge_2_bubbles_ge_1", FrontEnd),
-            ("FE.2", "frontend_retired.latency_ge_2_bubbles_ge_2", FrontEnd),
-            ("FE.3", "frontend_retired.latency_ge_2_bubbles_ge_3", FrontEnd),
+            (
+                "FE.1",
+                "frontend_retired.latency_ge_2_bubbles_ge_1",
+                FrontEnd,
+            ),
+            (
+                "FE.2",
+                "frontend_retired.latency_ge_2_bubbles_ge_2",
+                FrontEnd,
+            ),
+            (
+                "FE.3",
+                "frontend_retired.latency_ge_2_bubbles_ge_3",
+                FrontEnd,
+            ),
             ("DB.1", "idq.dsb_cycles", FrontEnd),
             ("DB.2", "idq.dsb_uops", FrontEnd),
             ("DB.3", "frontend_retired.dsb_miss", FrontEnd),
             ("DB.4", "idq.all_dsb_cycles_any_uops", FrontEnd),
             ("MS.1", "idq.ms_switches", FrontEnd),
             ("MS.2", "idq.ms_dsb_cycles", FrontEnd),
-            ("DQ.1", "idq_uops_not_delivered.cycles_le_1_uop_deliv.core", FrontEnd),
-            ("DQ.2", "idq_uops_not_delivered.cycles_le_2_uop_deliv.core", FrontEnd),
-            ("DQ.3", "idq_uops_not_delivered.cycles_le_3_uop_deliv.core", FrontEnd),
+            (
+                "DQ.1",
+                "idq_uops_not_delivered.cycles_le_1_uop_deliv.core",
+                FrontEnd,
+            ),
+            (
+                "DQ.2",
+                "idq_uops_not_delivered.cycles_le_2_uop_deliv.core",
+                FrontEnd,
+            ),
+            (
+                "DQ.3",
+                "idq_uops_not_delivered.cycles_le_3_uop_deliv.core",
+                FrontEnd,
+            ),
             ("DQ.C", "idq_uops_not_delivered.core", FrontEnd),
             ("DQ.K", "idq_uops_not_delivered.cycles_fe_was_ok", Core),
             ("BP.1", "br_misp_retired.all_branches", BadSpeculation),
@@ -215,7 +239,10 @@ mod tests {
     fn areas_match_the_paper() {
         let c = MetricCatalog::table_iii();
         assert_eq!(c.lookup_abbr("FE.1").unwrap().area, UarchArea::FrontEnd);
-        assert_eq!(c.lookup_abbr("BP.2").unwrap().area, UarchArea::BadSpeculation);
+        assert_eq!(
+            c.lookup_abbr("BP.2").unwrap().area,
+            UarchArea::BadSpeculation
+        );
         assert_eq!(c.lookup_abbr("L3").unwrap().area, UarchArea::Memory);
         assert_eq!(c.lookup_abbr("VW").unwrap().area, UarchArea::Core);
         // DQ.K is the back-end-stalling-the-front-end signal.

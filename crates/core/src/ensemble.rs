@@ -1,15 +1,23 @@
 //! The SPIRE ensemble (paper Section III-C): one roofline per metric,
 //! merged per-sample estimates, and the ensemble-wide minimum.
+//!
+//! Both training and estimation fan their per-metric work (one roofline
+//! fit, or one Eq. (1) merge, per metric) across [`crate::parallel`]
+//! worker threads when [`TrainConfig::threads`] allows. Results are
+//! collected in metric-name order regardless of scheduling, so parallel
+//! runs are bit-identical to serial ones.
 
 use std::collections::BTreeMap;
 
+use serde::de::Deserializer;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SpireError};
+use crate::parallel;
 use crate::roofline::{FitOptions, PiecewiseRoofline};
-use crate::sample::{MetricId, SampleSet};
 #[cfg(test)]
 use crate::sample::Sample;
+use crate::sample::{MetricColumn, MetricId, SampleSet};
 
 /// How per-sample estimates are merged into one value per metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -37,7 +45,7 @@ pub enum EnsembleAggregation {
 }
 
 /// Configuration for [`SpireModel::train`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TrainConfig {
     /// Options passed to every per-metric roofline fit.
     pub fit: FitOptions,
@@ -49,6 +57,11 @@ pub struct TrainConfig {
     pub merge: MergeStrategy,
     /// How per-metric values reduce to the ensemble estimate.
     pub aggregation: EnsembleAggregation,
+    /// Worker threads for the per-metric fit/estimate fan-out: `0` (the
+    /// default) uses [`parallel::available_parallelism`], `1` forces the
+    /// serial path, anything else caps the worker count. Results are
+    /// identical at every setting; this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -58,7 +71,31 @@ impl Default for TrainConfig {
             min_samples_per_metric: 1,
             merge: MergeStrategy::TimeWeighted,
             aggregation: EnsembleAggregation::Min,
+            threads: 0,
         }
+    }
+}
+
+/// Manual impl so configurations serialized before the `threads` field
+/// existed still deserialize (a missing `threads` means `0` = auto).
+impl<'de> Deserialize<'de> for TrainConfig {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Wire {
+            fit: FitOptions,
+            min_samples_per_metric: usize,
+            merge: MergeStrategy,
+            aggregation: EnsembleAggregation,
+            threads: Option<usize>,
+        }
+        let w = Wire::deserialize(deserializer)?;
+        Ok(TrainConfig {
+            fit: w.fit,
+            min_samples_per_metric: w.min_samples_per_metric,
+            merge: w.merge,
+            aggregation: w.aggregation,
+            threads: w.threads.unwrap_or(0),
+        })
     }
 }
 
@@ -122,21 +159,38 @@ impl Estimate {
     /// Ties are broken by metric name for determinism.
     pub fn ranked(&self) -> Vec<(&MetricId, &MetricEstimate)> {
         let mut v: Vec<_> = self.per_metric.iter().collect();
-        v.sort_by(|a, b| {
-            a.1.merged
-                .total_cmp(&b.1.merged)
-                .then_with(|| a.0.cmp(b.0))
-        });
+        v.sort_by(Self::rank_order);
         v
     }
 
     /// The `k` lowest-estimate metrics (the paper's "top metrics").
+    ///
+    /// Uses partial selection — `O(n + k log k)` rather than a full
+    /// `O(n log n)` sort — since the typical query asks for the top ~15 of
+    /// the paper's 424 metrics. The result and its tie-breaking (ascending
+    /// merged estimate, then metric name) are identical to taking the
+    /// first `k` entries of [`Estimate::ranked`].
     pub fn top_metrics(&self, k: usize) -> Vec<(&MetricId, f64)> {
-        self.ranked()
-            .into_iter()
-            .take(k)
-            .map(|(m, e)| (m, e.merged))
-            .collect()
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut v: Vec<_> = self.per_metric.iter().collect();
+        if k < v.len() {
+            v.select_nth_unstable_by(k - 1, Self::rank_order);
+            v.truncate(k);
+        }
+        v.sort_by(Self::rank_order);
+        v.into_iter().map(|(m, e)| (m, e.merged)).collect()
+    }
+
+    /// Total order used by [`Estimate::ranked`] and
+    /// [`Estimate::top_metrics`]: ascending merged estimate, ties broken
+    /// by metric name.
+    fn rank_order(
+        a: &(&MetricId, &MetricEstimate),
+        b: &(&MetricId, &MetricEstimate),
+    ) -> std::cmp::Ordering {
+        a.1.merged.total_cmp(&b.1.merged).then_with(|| a.0.cmp(b.0))
     }
 
     /// The metric with the lowest merged estimate, if any.
@@ -197,19 +251,27 @@ impl SpireModel {
         if samples.is_empty() {
             return Err(SpireError::EmptyTrainingSet { metric: None });
         }
-        let mut rooflines = BTreeMap::new();
         let mut skipped = Vec::new();
-        for (metric, group) in samples.by_metric() {
-            if group.len() < config.min_samples_per_metric {
+        let mut jobs: Vec<&MetricColumn> = Vec::new();
+        for (metric, column) in samples.by_metric() {
+            if column.len() < config.min_samples_per_metric {
                 skipped.push(metric.clone());
-                continue;
+            } else {
+                jobs.push(column);
             }
-            let roofline =
-                PiecewiseRoofline::fit(metric.clone(), group, &config.fit)?;
-            rooflines.insert(metric.clone(), roofline);
         }
-        if rooflines.is_empty() {
+        if jobs.is_empty() {
             return Err(SpireError::EmptyTrainingSet { metric: None });
+        }
+        // Fan the independent per-metric fits across workers; `map`
+        // returns results in job (metric-name) order, so the ensemble is
+        // identical to a serial build.
+        let fitted = parallel::map(&jobs, config.threads, |column| {
+            PiecewiseRoofline::fit_column(column, &config.fit)
+        });
+        let mut rooflines = BTreeMap::new();
+        for (column, fit) in jobs.iter().zip(fitted) {
+            rooflines.insert(column.metric().clone(), fit?);
         }
         Ok(SpireModel {
             rooflines,
@@ -227,49 +289,32 @@ impl SpireModel {
     ///
     /// # Errors
     ///
-    /// Returns [`SpireError::EmptyWorkload`] if `workload` has no samples
-    /// and [`SpireError::NoCommonMetrics`] if no workload sample belongs to
-    /// a trained metric.
+    /// Returns [`SpireError::EmptyWorkload`] if `workload` has no samples,
+    /// [`SpireError::NoCommonMetrics`] if no workload sample belongs to
+    /// a trained metric, and [`SpireError::DegenerateWeights`] if a
+    /// metric's merge weights sum to zero or NaN (possible only for
+    /// workload data that bypassed [`Sample::new`] validation, e.g. via
+    /// deserialization).
     pub fn estimate(&self, workload: &SampleSet) -> Result<Estimate> {
         if workload.is_empty() {
             return Err(SpireError::EmptyWorkload);
         }
-        let mut per_metric = BTreeMap::new();
-        for (metric, group) in workload.by_metric() {
-            let Some(roofline) = self.rooflines.get(metric) else {
-                continue;
-            };
-            let mut weighted_sum = 0.0;
-            let mut weight_total = 0.0;
-            let mut min_e = f64::INFINITY;
-            let mut max_e = f64::NEG_INFINITY;
-            let mut total_time = 0.0;
-            for s in &group {
-                let e = roofline.estimate_sample(s);
-                let w = match self.config.merge {
-                    MergeStrategy::TimeWeighted => s.time(),
-                    MergeStrategy::Unweighted => 1.0,
-                };
-                weighted_sum += w * e;
-                weight_total += w;
-                min_e = min_e.min(e);
-                max_e = max_e.max(e);
-                total_time += s.time();
-            }
-            debug_assert!(weight_total > 0.0, "samples have positive time");
-            per_metric.insert(
-                metric.clone(),
-                MetricEstimate {
-                    merged: weighted_sum / weight_total,
-                    sample_count: group.len(),
-                    total_time,
-                    min_sample_estimate: min_e,
-                    max_sample_estimate: max_e,
-                },
-            );
-        }
-        if per_metric.is_empty() {
+        // Workload metrics the model was not trained on are skipped here;
+        // trained metrics absent from the workload simply produce no job.
+        let jobs: Vec<(&MetricColumn, &PiecewiseRoofline)> = workload
+            .by_metric()
+            .filter_map(|(metric, column)| self.rooflines.get(metric).map(|r| (column, r)))
+            .collect();
+        if jobs.is_empty() {
             return Err(SpireError::NoCommonMetrics);
+        }
+        let merge = self.config.merge;
+        let merged = parallel::map(&jobs, self.config.threads, |(column, roofline)| {
+            merge_column(column, roofline, merge)
+        });
+        let mut per_metric = BTreeMap::new();
+        for ((column, _), result) in jobs.iter().zip(merged) {
+            per_metric.insert(column.metric().clone(), result?);
         }
         let throughput = match self.config.aggregation {
             EnsembleAggregation::Min => per_metric
@@ -308,10 +353,56 @@ impl SpireModel {
         &self.config
     }
 
+    /// Overrides the thread count used by [`SpireModel::estimate`]
+    /// (0 = auto). Threading is purely a throughput knob — results are
+    /// identical for every setting — so changing it after training is
+    /// always safe.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
     /// Number of metrics in the ensemble.
     pub fn metric_count(&self) -> usize {
         self.rooflines.len()
     }
+}
+
+/// Merges one workload column through its roofline (paper Eq. 1), reading
+/// the intensity and time columns as contiguous slices.
+fn merge_column(
+    column: &MetricColumn,
+    roofline: &PiecewiseRoofline,
+    merge: MergeStrategy,
+) -> Result<MetricEstimate> {
+    let mut weighted_sum = 0.0;
+    let mut weight_total = 0.0;
+    let mut min_e = f64::INFINITY;
+    let mut max_e = f64::NEG_INFINITY;
+    let mut total_time = 0.0;
+    for (&intensity, &time) in column.intensities().iter().zip(column.times()) {
+        let e = roofline.estimate(intensity);
+        let w = match merge {
+            MergeStrategy::TimeWeighted => time,
+            MergeStrategy::Unweighted => 1.0,
+        };
+        weighted_sum += w * e;
+        weight_total += w;
+        min_e = min_e.min(e);
+        max_e = max_e.max(e);
+        total_time += time;
+    }
+    if weight_total <= 0.0 || weight_total.is_nan() {
+        return Err(SpireError::DegenerateWeights {
+            metric: column.metric().to_string(),
+        });
+    }
+    Ok(MetricEstimate {
+        merged: weighted_sum / weight_total,
+        sample_count: column.len(),
+        total_time,
+        min_sample_estimate: min_e,
+        max_sample_estimate: max_e,
+    })
 }
 
 #[cfg(test)]
@@ -328,7 +419,7 @@ mod tests {
         set.push(s("stalls", 10.0, 10.0, 10.0)); // I 1, P 1
         set.push(s("stalls", 10.0, 20.0, 5.0)); // I 4, P 2
         set.push(s("stalls", 10.0, 30.0, 3.0)); // I 10, P 3
-        // "hits": positively associated; throughput falls as hits thin out.
+                                                // "hits": positively associated; throughput falls as hits thin out.
         set.push(s("hits", 10.0, 30.0, 30.0)); // I 1, P 3
         set.push(s("hits", 10.0, 20.0, 4.0)); // I 5, P 2
         set.push(s("hits", 10.0, 10.0, 1.0)); // I 10, P 1
@@ -461,10 +552,7 @@ mod tests {
         let ranked = est.ranked();
         assert_eq!(ranked[0].0.as_str(), "stalls");
         assert!(ranked[0].1.merged <= ranked[1].1.merged);
-        assert_eq!(
-            est.primary_bottleneck().unwrap().0.as_str(),
-            "stalls"
-        );
+        assert_eq!(est.primary_bottleneck().unwrap().0.as_str(), "stalls");
     }
 
     #[test]
@@ -474,6 +562,96 @@ mod tests {
             ..TrainConfig::default()
         };
         assert!(SpireModel::train(&training(), config).is_err());
+    }
+
+    #[test]
+    fn parallel_training_is_identical_to_serial() {
+        // 12 metrics x 40 samples, varied shapes; any thread count must
+        // produce the same ensemble and the same estimates, bit for bit.
+        let mut set = SampleSet::new();
+        for m in 0..12 {
+            for i in 0..40 {
+                let t = 10.0 + (i % 7) as f64;
+                let w = 5.0 + ((i * m) % 13) as f64;
+                let delta = (i % 5) as f64; // includes M = 0 rows
+                set.push(s(&format!("metric_{m:02}"), t, w, delta));
+            }
+        }
+        let serial_cfg = TrainConfig {
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let serial = SpireModel::train(&set, serial_cfg).unwrap();
+        let wl: SampleSet = set.clone();
+        let serial_est = serial.estimate(&wl).unwrap();
+        for threads in [0, 2, 3, 8] {
+            let cfg = TrainConfig {
+                threads,
+                ..TrainConfig::default()
+            };
+            let par = SpireModel::train(&set, cfg).unwrap();
+            assert_eq!(serial.rooflines(), par.rooflines(), "threads = {threads}");
+            let par_est = par.estimate(&wl).unwrap();
+            assert_eq!(serial_est.per_metric(), par_est.per_metric());
+            assert_eq!(serial_est.throughput(), par_est.throughput());
+        }
+    }
+
+    #[test]
+    fn zero_weight_workload_is_a_typed_error() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        // Zero times cannot be built through Sample::new; deserialization
+        // bypasses that validation, which is exactly the hole the typed
+        // error guards.
+        let wl: SampleSet = serde_json::from_str(
+            r#"{"samples":[{"metric":"stalls","time":0.0,"work":1.0,"metric_delta":1.0}]}"#,
+        )
+        .unwrap();
+        match model.estimate(&wl).unwrap_err() {
+            SpireError::DegenerateWeights { metric } => assert_eq!(metric, "stalls"),
+            other => panic!("expected DegenerateWeights, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_metrics_matches_ranked_prefix_with_ties() {
+        // Many metrics, several with identical merged estimates, so the
+        // partial selection must reproduce the full sort's name
+        // tie-breaking exactly.
+        let mut set = SampleSet::new();
+        for m in 0..20 {
+            // Metrics come in tie groups of four: same samples -> same fit
+            // -> same merged estimate.
+            let group = m / 4;
+            for i in 0..5 {
+                let w = 10.0 + (group * 7 + i) as f64;
+                set.push(s(&format!("tied_{m:02}"), 10.0, w, 2.0));
+            }
+        }
+        let model = SpireModel::train(&set, TrainConfig::default()).unwrap();
+        let est = model.estimate(&set).unwrap();
+        let ranked = est.ranked();
+        for k in [0, 1, 3, 4, 7, 19, 20, 25] {
+            let top = est.top_metrics(k);
+            assert_eq!(top.len(), k.min(ranked.len()));
+            for (got, want) in top.iter().zip(&ranked) {
+                assert_eq!(got.0, want.0, "k = {k}");
+                assert_eq!(got.1, want.1.merged, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn train_config_without_threads_field_deserializes_to_auto() {
+        // Configurations persisted before the `threads` knob existed.
+        let json = serde_json::to_string(&TrainConfig::default()).unwrap();
+        assert!(json.contains("\"threads\""));
+        let legacy = r#"{"fit":{"right_fit":"Graph","auto_trend_threshold":-0.1,
+            "max_front_size":256},"min_samples_per_metric":1,
+            "merge":"TimeWeighted","aggregation":"Min"}"#;
+        let cfg: TrainConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg.threads, 0);
+        assert_eq!(cfg, TrainConfig::default());
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub enum SpireError {
     /// An estimate was requested for a workload that shares no metrics with
     /// the trained model.
     NoCommonMetrics,
+    /// The per-metric merge weights summed to zero (or NaN), so the merged
+    /// estimate of Eq. (1) is undefined.
+    ///
+    /// Unreachable for sample sets built through [`Sample::new`]
+    /// (`crate::Sample::new`), which requires strictly positive times, but
+    /// deserialized data bypasses that validation and is surfaced here as
+    /// an error rather than a `NaN` estimate.
+    DegenerateWeights {
+        /// Metric whose merge weights degenerate.
+        metric: String,
+    },
     /// An estimate was requested from an empty workload sample set.
     EmptyWorkload,
     /// The right-region fitting graph had no `Start -> End` path.
@@ -76,9 +87,17 @@ impl fmt::Display for SpireError {
                 "metric `{metric}` has {have} samples but at least {need} are required"
             ),
             SpireError::NoCommonMetrics => {
-                write!(f, "workload samples share no metrics with the trained model")
+                write!(
+                    f,
+                    "workload samples share no metrics with the trained model"
+                )
             }
             SpireError::EmptyWorkload => write!(f, "workload sample set is empty"),
+            SpireError::DegenerateWeights { metric } => write!(
+                f,
+                "merge weights for metric `{metric}` sum to zero or NaN; no sample \
+                 contributed positive weight"
+            ),
             SpireError::NoFitPath { metric } => write!(
                 f,
                 "right-region fit for metric `{metric}` found no start-to-end path"

@@ -1,9 +1,15 @@
 //! Plane geometry used by the roofline fitting algorithms: the Jarvis-march
 //! upper-hull walk (paper Fig. 5) and the Pareto front (paper Fig. 6).
 //!
-//! Points live in the `(intensity, throughput)` plane. All coordinates are
-//! finite here; infinite-intensity samples are handled at the fitting layer
-//! before geometry is invoked.
+//! Points live in the `(intensity, throughput)` plane. Non-finite
+//! coordinates are skipped by every algorithm here; infinite-intensity
+//! samples are handled at the fitting layer before geometry is invoked.
+//!
+//! Each algorithm has two entry points: a struct-of-arrays form taking
+//! parallel `xs`/`ys` slices (`*_soa`), which is what the columnar
+//! [`MetricColumn`](crate::MetricColumn) fit path feeds directly, and an
+//! array-of-structs form over `&[Point]` for callers that already hold
+//! materialized points. The SoA form is the primary implementation.
 
 use serde::{Deserialize, Serialize};
 
@@ -67,10 +73,26 @@ pub(crate) fn ge_approx(a: f64, b: f64) -> bool {
 /// Ties in slope are broken toward the farther point, which minimizes the
 /// number of knots for collinear runs.
 pub fn upper_hull_from_origin(points: &[Point]) -> Vec<Point> {
-    let pts: Vec<Point> = points
+    let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    upper_hull_from_origin_soa(&xs, &ys)
+}
+
+/// Struct-of-arrays form of [`upper_hull_from_origin`]: `xs[i]`/`ys[i]`
+/// are the coordinates of point `i`. Pairs with a non-finite coordinate
+/// are skipped, so an intensity column containing `I_x = ∞` rows can be
+/// passed directly.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn upper_hull_from_origin_soa(xs: &[f64], ys: &[f64]) -> Vec<Point> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must be parallel columns");
+    let pts: Vec<Point> = xs
         .iter()
-        .copied()
-        .filter(|p| p.x.is_finite() && p.y.is_finite())
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| Point::new(x, y))
         .collect();
     let mut hull = vec![Point::ORIGIN];
     if pts.is_empty() {
@@ -81,13 +103,7 @@ pub fn upper_hull_from_origin(points: &[Point]) -> Vec<Point> {
     let apex = pts
         .iter()
         .copied()
-        .reduce(|a, b| {
-            if (b.y, b.x) > (a.y, a.x) {
-                b
-            } else {
-                a
-            }
-        })
+        .reduce(|a, b| if (b.y, b.x) > (a.y, a.x) { b } else { a })
         .expect("non-empty");
     if apex.y <= 0.0 {
         // All throughputs are zero: the hull degenerates to the origin plus
@@ -147,11 +163,33 @@ pub fn upper_hull_from_origin(points: &[Point]) -> Vec<Point> {
 /// fitting order `q1 (rightmost) .. qk (leftmost, highest)`. Duplicate
 /// points are collapsed to one representative.
 pub fn pareto_front(points: &[Point]) -> Vec<Point> {
-    let mut pts: Vec<Point> = points
+    let pts: Vec<Point> = points
         .iter()
         .copied()
         .filter(|p| p.x.is_finite() && p.y.is_finite())
         .collect();
+    pareto_front_of(pts)
+}
+
+/// Struct-of-arrays form of [`pareto_front`]: `xs[i]`/`ys[i]` are the
+/// coordinates of point `i`. Pairs with a non-finite coordinate are
+/// skipped.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pareto_front_soa(xs: &[f64], ys: &[f64]) -> Vec<Point> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must be parallel columns");
+    let pts: Vec<Point> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| Point::new(x, y))
+        .collect();
+    pareto_front_of(pts)
+}
+
+fn pareto_front_of(mut pts: Vec<Point>) -> Vec<Point> {
     if pts.is_empty() {
         return Vec::new();
     }
@@ -179,7 +217,10 @@ pub fn pareto_front(points: &[Point]) -> Vec<Point> {
 ///
 /// Panics if `knots` is empty.
 pub fn piecewise_eval(knots: &[Point], x: f64) -> f64 {
-    assert!(!knots.is_empty(), "piecewise_eval requires at least one knot");
+    assert!(
+        !knots.is_empty(),
+        "piecewise_eval requires at least one knot"
+    );
     if x <= knots[0].x {
         return knots[0].y;
     }
@@ -222,9 +263,18 @@ mod tests {
     fn hull_walks_by_max_slope() {
         // Mirrors the paper's Fig. 5 shape: several points, the hull picks
         // the steepest first, then flattens toward the apex.
-        let pts = [p(1.0, 2.0), p(2.0, 3.0), p(3.0, 3.5), p(1.5, 1.0), p(2.5, 2.0)];
+        let pts = [
+            p(1.0, 2.0),
+            p(2.0, 3.0),
+            p(3.0, 3.5),
+            p(1.5, 1.0),
+            p(2.5, 2.0),
+        ];
         let hull = upper_hull_from_origin(&pts);
-        assert_eq!(hull, vec![Point::ORIGIN, p(1.0, 2.0), p(2.0, 3.0), p(3.0, 3.5)]);
+        assert_eq!(
+            hull,
+            vec![Point::ORIGIN, p(1.0, 2.0), p(2.0, 3.0), p(3.0, 3.5)]
+        );
     }
 
     #[test]
@@ -256,7 +306,10 @@ mod tests {
         let hull = upper_hull_from_origin(&pts);
         let slopes: Vec<f64> = hull.windows(2).map(|w| w[0].slope_to(&w[1])).collect();
         for w in slopes.windows(2) {
-            assert!(w[1] <= w[0] + EPS, "slopes must be non-increasing: {slopes:?}");
+            assert!(
+                w[1] <= w[0] + EPS,
+                "slopes must be non-increasing: {slopes:?}"
+            );
         }
     }
 
@@ -316,6 +369,32 @@ mod tests {
     #[test]
     fn pareto_front_of_empty_is_empty() {
         assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn soa_forms_match_point_forms() {
+        let pts = [
+            p(0.5, 0.4),
+            p(1.0, 2.0),
+            p(f64::INFINITY, 3.0),
+            p(2.0, 2.5),
+            p(2.7, 2.9),
+            p(3.0, 3.0),
+            p(4.0, 1.0),
+        ];
+        let xs: Vec<f64> = pts.iter().map(|q| q.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|q| q.y).collect();
+        assert_eq!(
+            upper_hull_from_origin(&pts),
+            upper_hull_from_origin_soa(&xs, &ys)
+        );
+        assert_eq!(pareto_front(&pts), pareto_front_soa(&xs, &ys));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel columns")]
+    fn soa_length_mismatch_panics() {
+        upper_hull_from_origin_soa(&[1.0, 2.0], &[1.0]);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod ensemble;
 mod error;
 pub mod geometry;
 pub mod graph;
+pub mod parallel;
 pub mod roofline;
 mod sample;
 pub mod stats;
@@ -79,4 +80,4 @@ pub use ensemble::{
 };
 pub use error::{Result, SpireError};
 pub use roofline::{FitOptions, PiecewiseRoofline, RightFitMode, RightRegion};
-pub use sample::{MetricId, Sample, SampleSet};
+pub use sample::{MetricColumn, MetricId, Sample, SampleIter, SampleSet};

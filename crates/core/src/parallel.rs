@@ -1,0 +1,130 @@
+//! Deterministic fork/join helpers for the train/estimate pipeline.
+//!
+//! SPIRE's per-metric work (roofline fits, estimate merges) is
+//! embarrassingly parallel: the paper's setup trains 424 independent
+//! rooflines. [`map`] fans a slice of such jobs across scoped worker
+//! threads and returns results **in input order**, so a parallel run is
+//! bit-identical to a serial one — thread scheduling can reorder
+//! execution but never the output, and each job's floating-point
+//! reductions stay within one thread.
+//!
+//! Thread counts follow the convention used by
+//! [`TrainConfig::threads`](crate::ensemble::TrainConfig::threads):
+//! `0` means "use [`available_parallelism`]", `1` forces the serial
+//! path (no threads are spawned), and any other value caps the worker
+//! count. The cap is additionally clamped to the number of jobs.
+
+use crossbeam::thread;
+
+/// Number of hardware threads available to this process, with a fallback
+/// of 1 when the runtime cannot determine it.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing thread-count knob: `0` (auto) becomes
+/// [`available_parallelism`], anything else is returned unchanged.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_parallelism()
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every item and collects the results in input order,
+/// fanning the items across at most `threads` scoped worker threads.
+///
+/// `threads` follows the module convention (`0` = auto, `1` = serial).
+/// Items are partitioned into contiguous chunks, one per worker, so
+/// results land in pre-assigned output slots and the returned vector is
+/// independent of scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel::map worker panicked");
+
+    out.into_iter()
+        .map(|slot| slot.expect("every output slot is filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_to_available_parallelism() {
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = map(&items, threads, |&x| x * 2);
+            let expect: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_float_reductions() {
+        // Each job reduces its own slice; per-job summation order is
+        // fixed, so the result is bit-identical at any thread count.
+        let jobs: Vec<Vec<f64>> = (0..17)
+            .map(|i| (0..1000).map(|j| (i * 1000 + j) as f64 * 1e-3).collect())
+            .collect();
+        let serial = map(&jobs, 1, |v| v.iter().sum::<f64>());
+        for threads in [2, 4, 8] {
+            let par = map(&jobs, threads, |v| v.iter().sum::<f64>());
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let items = vec![1, 2, 3, 4];
+        let _ = map(&items, 2, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SpireError};
 use crate::geometry::{self, Point};
-use crate::sample::{MetricId, Sample};
+use crate::sample::{MetricColumn, MetricId, Sample};
 
 /// Strategy for the region right of the apex.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -83,10 +83,7 @@ impl FitOptions {
         if !(-1.0..=0.0).contains(&self.auto_trend_threshold) {
             return Err(SpireError::InvalidConfig {
                 field: "auto_trend_threshold",
-                reason: format!(
-                    "must be within [-1, 0], got {}",
-                    self.auto_trend_threshold
-                ),
+                reason: format!("must be within [-1, 0], got {}", self.auto_trend_threshold),
             });
         }
         if self.max_front_size < 2 {
@@ -161,28 +158,67 @@ impl PiecewiseRoofline {
     where
         I: IntoIterator<Item = &'a Sample>,
     {
-        options.validate()?;
-        let mut finite: Vec<Point> = Vec::new();
-        let mut inf_height: Option<f64> = None;
-        let mut right_points: Vec<Point> = Vec::new();
-        let mut count = 0usize;
+        let mut intensities: Vec<f64> = Vec::new();
+        let mut throughputs: Vec<f64> = Vec::new();
         for s in samples {
             debug_assert_eq!(s.metric(), &metric, "sample metric mismatch");
-            count += 1;
-            let i = s.intensity();
-            let p = s.throughput();
-            if i.is_finite() {
-                finite.push(Point::new(i, p));
-            } else {
-                inf_height = Some(inf_height.map_or(p, |h: f64| h.max(p)));
-            }
+            intensities.push(s.intensity());
+            throughputs.push(s.throughput());
         }
+        Self::fit_slices(metric, &intensities, &throughputs, options)
+    }
+
+    /// Fits a roofline directly from a [`MetricColumn`]'s cached derived
+    /// columns, without materializing per-sample rows.
+    ///
+    /// This is the training hot path: the intensity and throughput slices
+    /// are borrowed straight from the column and streamed through the SoA
+    /// geometry kernels. The result is identical to running [`fit`] over
+    /// the column's rows — both delegate to the same slice-based
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::EmptyTrainingSet`] if `column` is empty and
+    /// [`SpireError::InvalidConfig`] if `options` fails validation.
+    ///
+    /// [`fit`]: PiecewiseRoofline::fit
+    pub fn fit_column(column: &MetricColumn, options: &FitOptions) -> Result<Self> {
+        Self::fit_slices(
+            column.metric().clone(),
+            column.intensities(),
+            column.throughputs(),
+            options,
+        )
+    }
+
+    /// The shared slice-based fit: `intensities[i]`/`throughputs[i]`
+    /// describe sample `i`. Rows with infinite intensity feed the right
+    /// region's tail height; finite rows feed the hull and Pareto front.
+    fn fit_slices(
+        metric: MetricId,
+        intensities: &[f64],
+        throughputs: &[f64],
+        options: &FitOptions,
+    ) -> Result<Self> {
+        options.validate()?;
+        debug_assert_eq!(intensities.len(), throughputs.len());
+        let count = intensities.len();
         if count == 0 {
             return Err(SpireError::EmptyTrainingSet {
                 metric: Some(metric.to_string()),
             });
         }
-        if finite.is_empty() {
+        let mut inf_height: Option<f64> = None;
+        let mut any_finite = false;
+        for (&i, &p) in intensities.iter().zip(throughputs) {
+            if i.is_finite() {
+                any_finite = true;
+            } else {
+                inf_height = Some(inf_height.map_or(p, |h: f64| h.max(p)));
+            }
+        }
+        if !any_finite {
             return Ok(PiecewiseRoofline {
                 metric,
                 shape: Shape::Constant(inf_height.unwrap_or(0.0)),
@@ -190,12 +226,18 @@ impl PiecewiseRoofline {
             });
         }
 
-        // Left region: hull from origin to the apex.
-        let left = geometry::upper_hull_from_origin(&finite);
+        // Left region: hull from origin to the apex (the SoA kernel skips
+        // the infinite-intensity rows).
+        let left = geometry::upper_hull_from_origin_soa(intensities, throughputs);
         let apex = *left.last().expect("hull always contains the origin");
 
         // Right region: Pareto front over samples at or beyond the apex.
-        right_points.extend(finite.iter().copied().filter(|p| p.x >= apex.x));
+        let mut right_points: Vec<Point> = intensities
+            .iter()
+            .zip(throughputs)
+            .filter(|(&i, _)| i.is_finite() && i >= apex.x)
+            .map(|(&i, &p)| Point::new(i, p))
+            .collect();
         if right_points.is_empty() {
             // Possible only when every finite sample has zero throughput
             // and sits left of the apex; fall back to the apex alone.
@@ -367,9 +409,8 @@ mod tests {
 
     #[test]
     fn empty_training_set_is_an_error() {
-        let err =
-            PiecewiseRoofline::fit("m".into(), std::iter::empty(), &FitOptions::default())
-                .unwrap_err();
+        let err = PiecewiseRoofline::fit("m".into(), std::iter::empty(), &FitOptions::default())
+            .unwrap_err();
         assert!(matches!(err, SpireError::EmptyTrainingSet { .. }));
     }
 
@@ -405,13 +446,13 @@ mod tests {
     #[test]
     fn fit_is_upper_bound_on_training_samples() {
         let samples = vec![
-            s(10.0, 5.0, 10.0),   // I 0.5, P 0.5
-            s(10.0, 12.0, 8.0),   // I 1.5, P 1.2
-            s(10.0, 20.0, 5.0),   // I 4, P 2
-            s(10.0, 25.0, 2.5),   // I 10, P 2.5
-            s(10.0, 18.0, 1.0),   // I 18, P 1.8
-            s(10.0, 12.0, 0.5),   // I 24, P 1.2
-            s(10.0, 8.0, 0.0),    // I inf, P 0.8
+            s(10.0, 5.0, 10.0), // I 0.5, P 0.5
+            s(10.0, 12.0, 8.0), // I 1.5, P 1.2
+            s(10.0, 20.0, 5.0), // I 4, P 2
+            s(10.0, 25.0, 2.5), // I 10, P 2.5
+            s(10.0, 18.0, 1.0), // I 18, P 1.8
+            s(10.0, 12.0, 0.5), // I 24, P 1.2
+            s(10.0, 8.0, 0.0),  // I inf, P 0.8
         ];
         let r = fit(&samples);
         for smp in &samples {
@@ -447,9 +488,9 @@ mod tests {
     #[test]
     fn plateau_mode_never_decreases_right_of_apex() {
         let samples = [
-            s(10.0, 20.0, 5.0),  // I 4, P 2 (apex)
-            s(10.0, 10.0, 1.0),  // I 10, P 1
-            s(10.0, 5.0, 0.25),  // I 20, P 0.5
+            s(10.0, 20.0, 5.0), // I 4, P 2 (apex)
+            s(10.0, 10.0, 1.0), // I 10, P 1
+            s(10.0, 5.0, 0.25), // I 20, P 0.5
         ];
         let opts = FitOptions {
             right_fit: RightFitMode::Plateau,
@@ -463,9 +504,9 @@ mod tests {
     #[test]
     fn graph_mode_decreases_right_of_apex() {
         let samples = vec![
-            s(10.0, 20.0, 5.0),  // I 4, P 2 (apex)
-            s(10.0, 10.0, 1.0),  // I 10, P 1
-            s(10.0, 5.0, 0.25),  // I 20, P 0.5
+            s(10.0, 20.0, 5.0), // I 4, P 2 (apex)
+            s(10.0, 10.0, 1.0), // I 10, P 1
+            s(10.0, 5.0, 0.25), // I 20, P 0.5
         ];
         let r = fit(&samples);
         assert!(r.estimate(20.0) < 2.0);
@@ -476,10 +517,10 @@ mod tests {
     fn auto_mode_prefers_plateau_for_flat_right_region() {
         // Right-region throughput does not trend downward.
         let samples = [
-            s(10.0, 20.0, 5.0),   // I 4, P 2 (apex)
-            s(10.0, 19.0, 2.0),   // I 9.5, P 1.9
-            s(10.0, 19.5, 1.0),   // I 19.5, P 1.95
-            s(10.0, 19.2, 0.5),   // I 38.4, P 1.92
+            s(10.0, 20.0, 5.0), // I 4, P 2 (apex)
+            s(10.0, 19.0, 2.0), // I 9.5, P 1.9
+            s(10.0, 19.5, 1.0), // I 19.5, P 1.95
+            s(10.0, 19.2, 0.5), // I 38.4, P 1.92
         ];
         let opts = FitOptions {
             right_fit: RightFitMode::Auto,
@@ -523,12 +564,30 @@ mod tests {
 
     #[test]
     fn thin_front_keeps_extremes() {
-        let mut front: Vec<Point> =
-            (0..100).map(|i| Point::new(100.0 - i as f64, i as f64)).collect();
+        let mut front: Vec<Point> = (0..100)
+            .map(|i| Point::new(100.0 - i as f64, i as f64))
+            .collect();
         thin_front(&mut front, 10);
         assert!(front.len() <= 10);
         assert_eq!(front[0], Point::new(100.0, 0.0));
         assert_eq!(*front.last().unwrap(), Point::new(1.0, 99.0));
+    }
+
+    #[test]
+    fn fit_column_matches_row_fit() {
+        let samples = vec![
+            s(10.0, 5.0, 10.0),
+            s(10.0, 12.0, 8.0),
+            s(10.0, 20.0, 5.0),
+            s(10.0, 25.0, 2.5),
+            s(10.0, 18.0, 1.0),
+            s(10.0, 8.0, 0.0), // I = inf
+        ];
+        let row_fit = fit(&samples);
+        let set: crate::SampleSet = samples.into_iter().collect();
+        let col = set.column(&"m".into()).unwrap();
+        let col_fit = PiecewiseRoofline::fit_column(col, &FitOptions::default()).unwrap();
+        assert_eq!(row_fit, col_fit);
     }
 
     #[test]

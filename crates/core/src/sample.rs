@@ -1,5 +1,5 @@
 //! SPIRE's input data model: performance-counter [`Sample`]s and the
-//! [`SampleSet`] collection.
+//! columnar [`SampleSet`] collection.
 //!
 //! A sample (paper Section III-A) describes one measurement period of a
 //! workload executing on the processor under analysis:
@@ -14,11 +14,24 @@
 //! The units of `T` and `W` must be consistent across all samples (for IPC
 //! analysis: `W` in retired instructions, `T` in unhalted core cycles).
 //! `M_x` is in whatever unit the associated metric counts.
+//!
+//! # Storage layout
+//!
+//! [`SampleSet`] stores samples **grouped by metric** in struct-of-arrays
+//! form: one [`MetricColumn`] per distinct [`MetricId`], each holding the
+//! `time`/`work`/`metric_delta` fields as parallel `Vec<f64>` columns.
+//! Training iterates per-metric groups (424 metrics in the paper's setup),
+//! so the grouped layout makes [`SampleSet::by_metric`] a zero-copy view
+//! instead of a per-call `BTreeMap<_, Vec<&Sample>>` allocation, and the
+//! columnar fields let the roofline fitter stream contiguous `&[f64]`
+//! slices. A row-oriented compatibility API ([`SampleSet::push`],
+//! [`SampleSet::iter`]) and the serialized `{"samples": [...]}` format are
+//! preserved.
 
 use std::borrow::Borrow;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use serde::de::Deserializer;
 use serde::ser::Serializer;
@@ -142,27 +155,7 @@ impl Sample {
         work: f64,
         metric_delta: f64,
     ) -> Result<Self> {
-        if !time.is_finite() || time <= 0.0 {
-            return Err(SpireError::InvalidSample {
-                field: "time",
-                value: time,
-                constraint: "must be finite and > 0",
-            });
-        }
-        if !work.is_finite() || work < 0.0 {
-            return Err(SpireError::InvalidSample {
-                field: "work",
-                value: work,
-                constraint: "must be finite and >= 0",
-            });
-        }
-        if !metric_delta.is_finite() || metric_delta < 0.0 {
-            return Err(SpireError::InvalidSample {
-                field: "metric_delta",
-                value: metric_delta,
-                constraint: "must be finite and >= 0",
-            });
-        }
+        validate_parts(time, work, metric_delta)?;
         Ok(Sample {
             metric: metric.into(),
             time,
@@ -203,22 +196,220 @@ impl Sample {
     /// `0.0` when both `W` and `M_x` are zero: a period that did no work is
     /// treated as zero intensity rather than an indeterminate `0/0`.
     pub fn intensity(&self) -> f64 {
-        if self.metric_delta == 0.0 {
-            if self.work == 0.0 {
-                0.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
-            self.work / self.metric_delta
-        }
+        intensity_of(self.work, self.metric_delta)
     }
 }
 
-/// A collection of [`Sample`]s, groupable by metric.
+/// Validates the `(time, work, metric_delta)` domain constraints shared by
+/// [`Sample::new`] and the streaming [`SampleSet::push_parts`] ingest path.
+fn validate_parts(time: f64, work: f64, metric_delta: f64) -> Result<()> {
+    if !time.is_finite() || time <= 0.0 {
+        return Err(SpireError::InvalidSample {
+            field: "time",
+            value: time,
+            constraint: "must be finite and > 0",
+        });
+    }
+    if !work.is_finite() || work < 0.0 {
+        return Err(SpireError::InvalidSample {
+            field: "work",
+            value: work,
+            constraint: "must be finite and >= 0",
+        });
+    }
+    if !metric_delta.is_finite() || metric_delta < 0.0 {
+        return Err(SpireError::InvalidSample {
+            field: "metric_delta",
+            value: metric_delta,
+            constraint: "must be finite and >= 0",
+        });
+    }
+    Ok(())
+}
+
+/// Shared `I_x = W / M_x` rule (see [`Sample::intensity`]).
+fn intensity_of(work: f64, metric_delta: f64) -> f64 {
+    if metric_delta == 0.0 {
+        if work == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        work / metric_delta
+    }
+}
+
+/// Lazily computed derived columns of a [`MetricColumn`].
+#[derive(Debug, Clone)]
+struct Derived {
+    throughput: Vec<f64>,
+    intensity: Vec<f64>,
+}
+
+/// All samples of one metric in struct-of-arrays form.
+///
+/// The raw `time`/`work`/`metric_delta` fields are stored as parallel
+/// `Vec<f64>` columns in insertion order. The derived `throughput` and
+/// `intensity` columns are computed on first access and cached; any
+/// mutation ([`MetricColumn::push`]) invalidates the cache.
+///
+/// Equality compares the metric id and raw columns only — the derived
+/// cache is a pure function of them.
+///
+/// ```
+/// use spire_core::MetricColumn;
+///
+/// let mut col = MetricColumn::new("stalls".into());
+/// col.push(2.0, 8.0, 4.0);
+/// col.push(4.0, 8.0, 0.0);
+/// assert_eq!(col.throughputs(), &[4.0, 2.0]);
+/// assert_eq!(col.intensities()[0], 2.0);
+/// assert!(col.intensities()[1].is_infinite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricColumn {
+    metric: MetricId,
+    time: Vec<f64>,
+    work: Vec<f64>,
+    metric_delta: Vec<f64>,
+    derived: OnceLock<Derived>,
+}
+
+impl MetricColumn {
+    /// Creates an empty column for `metric`.
+    pub fn new(metric: MetricId) -> Self {
+        MetricColumn {
+            metric,
+            time: Vec::new(),
+            work: Vec::new(),
+            metric_delta: Vec::new(),
+            derived: OnceLock::new(),
+        }
+    }
+
+    /// The metric every row of this column belongs to.
+    pub fn metric(&self) -> &MetricId {
+        &self.metric
+    }
+
+    /// Number of rows (samples) in the column.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Returns `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Appends one row. The caller must uphold the [`Sample::new`] domain
+    /// constraints (use [`SampleSet::push`] / [`SampleSet::push_parts`] for
+    /// validated ingest). Invalidates the derived-column cache.
+    pub fn push(&mut self, time: f64, work: f64, metric_delta: f64) {
+        self.time.push(time);
+        self.work.push(work);
+        self.metric_delta.push(metric_delta);
+        self.derived = OnceLock::new();
+    }
+
+    /// The `T` column, in insertion order.
+    pub fn times(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// The `W` column, in insertion order.
+    pub fn works(&self) -> &[f64] {
+        &self.work
+    }
+
+    /// The `M_x` column, in insertion order.
+    pub fn metric_deltas(&self) -> &[f64] {
+        &self.metric_delta
+    }
+
+    /// The derived `P = W / T` column (computed on first access, cached).
+    pub fn throughputs(&self) -> &[f64] {
+        &self.derived().throughput
+    }
+
+    /// The derived `I_x = W / M_x` column (computed on first access,
+    /// cached). Follows the [`Sample::intensity`] zero rules, so rows may
+    /// be `f64::INFINITY`.
+    pub fn intensities(&self) -> &[f64] {
+        &self.derived().intensity
+    }
+
+    /// Sum of the `T` column.
+    pub fn total_time(&self) -> f64 {
+        self.time.iter().sum()
+    }
+
+    /// Sum of the `W` column.
+    pub fn total_work(&self) -> f64 {
+        self.work.iter().sum()
+    }
+
+    /// Reconstructs row `i` as an owned [`Sample`].
+    pub fn get(&self, i: usize) -> Option<Sample> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(Sample {
+            metric: self.metric.clone(),
+            time: self.time[i],
+            work: self.work[i],
+            metric_delta: self.metric_delta[i],
+        })
+    }
+
+    /// Iterates the rows as owned [`Sample`]s, in insertion order.
+    pub fn samples(&self) -> impl ExactSizeIterator<Item = Sample> + '_ {
+        (0..self.len()).map(move |i| Sample {
+            metric: self.metric.clone(),
+            time: self.time[i],
+            work: self.work[i],
+            metric_delta: self.metric_delta[i],
+        })
+    }
+
+    fn derived(&self) -> &Derived {
+        self.derived.get_or_init(|| Derived {
+            throughput: self
+                .work
+                .iter()
+                .zip(&self.time)
+                .map(|(&w, &t)| w / t)
+                .collect(),
+            intensity: self
+                .work
+                .iter()
+                .zip(&self.metric_delta)
+                .map(|(&w, &m)| intensity_of(w, m))
+                .collect(),
+        })
+    }
+}
+
+impl PartialEq for MetricColumn {
+    fn eq(&self, other: &Self) -> bool {
+        self.metric == other.metric
+            && self.time == other.time
+            && self.work == other.work
+            && self.metric_delta == other.metric_delta
+    }
+}
+
+/// A collection of [`Sample`]s stored grouped by metric.
 ///
 /// `SampleSet` is the unit of data exchanged with the model: training
 /// consumes one, and each analyzed workload is described by one.
+///
+/// Internally the set keeps one [`MetricColumn`] per distinct metric,
+/// ordered by metric name, so [`SampleSet::by_metric`] is a zero-copy
+/// view and [`SampleSet::column`] is a binary search. Row-level insertion
+/// order is preserved *within* each metric group; whole-set iteration
+/// ([`SampleSet::iter`]) visits groups in metric-name order.
 ///
 /// ```
 /// use spire_core::{Sample, SampleSet};
@@ -230,12 +421,17 @@ impl Sample {
 /// set.push(Sample::new("l3_miss", 100.0, 150.0, 2.0)?);
 /// assert_eq!(set.len(), 3);
 /// assert_eq!(set.metrics().count(), 2);
+/// let stalls = set.column(&"stalls".into()).unwrap();
+/// assert_eq!(stalls.throughputs(), &[1.5, 1.8]);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SampleSet {
-    samples: Vec<Sample>,
+    /// Columns sorted by metric name (the `by_metric` iteration order).
+    columns: Vec<MetricColumn>,
+    /// Total row count across all columns.
+    len: usize,
 }
 
 impl SampleSet {
@@ -244,86 +440,190 @@ impl SampleSet {
         SampleSet::default()
     }
 
-    /// Creates an empty sample set with capacity for `n` samples.
-    pub fn with_capacity(n: usize) -> Self {
-        SampleSet {
-            samples: Vec::with_capacity(n),
-        }
+    /// Creates an empty sample set expecting roughly `n` samples.
+    ///
+    /// The grouped layout cannot pre-size per-metric columns, so this is
+    /// only a compatibility shim for the former row-store constructor; it
+    /// currently allocates nothing up front.
+    pub fn with_capacity(_n: usize) -> Self {
+        SampleSet::default()
     }
 
-    /// Appends a sample.
+    /// Appends a sample to its metric's column.
     pub fn push(&mut self, sample: Sample) {
-        self.samples.push(sample);
+        let Sample {
+            metric,
+            time,
+            work,
+            metric_delta,
+        } = sample;
+        self.column_mut(metric).push(time, work, metric_delta);
+        self.len += 1;
+    }
+
+    /// Streaming ingest: validates and appends one measurement without
+    /// materializing a [`Sample`].
+    ///
+    /// This is the hot path for counter sessions that emit one reading per
+    /// multiplexing slice — the fields go straight into the metric's
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::InvalidSample`] under the same domain
+    /// constraints as [`Sample::new`].
+    pub fn push_parts(
+        &mut self,
+        metric: MetricId,
+        time: f64,
+        work: f64,
+        metric_delta: f64,
+    ) -> Result<()> {
+        validate_parts(time, work, metric_delta)?;
+        self.column_mut(metric).push(time, work, metric_delta);
+        self.len += 1;
+        Ok(())
     }
 
     /// Number of samples in the set.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.len
     }
 
     /// Returns `true` if the set contains no samples.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len == 0
     }
 
-    /// Iterates over the samples in insertion order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
-        self.samples.iter()
-    }
-
-    /// Returns the samples as a slice.
-    pub fn as_slice(&self) -> &[Sample] {
-        &self.samples
-    }
-
-    /// Groups the samples by metric, preserving insertion order within each
-    /// group. The map is ordered by metric name for deterministic iteration.
-    pub fn by_metric(&self) -> BTreeMap<&MetricId, Vec<&Sample>> {
-        let mut map: BTreeMap<&MetricId, Vec<&Sample>> = BTreeMap::new();
-        for s in &self.samples {
-            map.entry(s.metric()).or_default().push(s);
+    /// Iterates over the samples grouped by metric (name order), rows in
+    /// insertion order within each group. Yields owned [`Sample`]s
+    /// reconstructed from the columns.
+    pub fn iter(&self) -> SampleIter<'_> {
+        SampleIter {
+            columns: self.columns.iter(),
+            current: None,
+            remaining: self.len,
         }
-        map
+    }
+
+    /// The per-metric groups as a zero-copy view, ordered by metric name.
+    ///
+    /// This is the training fan-out point: each item borrows one
+    /// [`MetricColumn`] directly from the set — no per-call map or
+    /// reference vectors are built.
+    pub fn by_metric(&self) -> impl ExactSizeIterator<Item = (&MetricId, &MetricColumn)> + Clone {
+        self.columns.iter().map(|c| (c.metric(), c))
+    }
+
+    /// The underlying columns, ordered by metric name.
+    pub fn columns(&self) -> &[MetricColumn] {
+        &self.columns
+    }
+
+    /// Returns the column for `metric`, if any samples were recorded for it.
+    pub fn column(&self, metric: &MetricId) -> Option<&MetricColumn> {
+        self.columns
+            .binary_search_by(|c| c.metric().cmp(metric))
+            .ok()
+            .map(|i| &self.columns[i])
     }
 
     /// Iterates over the distinct metrics present in the set, in name order.
-    pub fn metrics(&self) -> impl Iterator<Item = &MetricId> {
-        let mut names: Vec<&MetricId> = self.samples.iter().map(Sample::metric).collect();
-        names.sort_unstable();
-        names.dedup();
-        names.into_iter()
+    pub fn metrics(&self) -> impl ExactSizeIterator<Item = &MetricId> + Clone {
+        self.columns.iter().map(MetricColumn::metric)
     }
 
-    /// Returns all samples for one metric, in insertion order.
-    pub fn samples_for(&self, metric: &MetricId) -> Vec<&Sample> {
-        self.samples
-            .iter()
-            .filter(|s| s.metric() == metric)
-            .collect()
+    /// Returns all samples for one metric as owned rows, in insertion order.
+    pub fn samples_for(&self, metric: &MetricId) -> Vec<Sample> {
+        self.column(metric)
+            .map(|c| c.samples().collect())
+            .unwrap_or_default()
     }
 
     /// Total measurement time across all samples (sum of `T`).
     pub fn total_time(&self) -> f64 {
-        self.samples.iter().map(Sample::time).sum()
+        self.columns.iter().map(MetricColumn::total_time).sum()
     }
 
-    /// Merges another sample set into this one.
+    /// Merges another sample set into this one, appending each of its
+    /// columns to the matching metric group.
     pub fn merge(&mut self, other: SampleSet) {
-        self.samples.extend(other.samples);
+        for col in other.columns {
+            self.len += col.len();
+            match self
+                .columns
+                .binary_search_by(|c| c.metric().cmp(col.metric()))
+            {
+                Ok(i) => {
+                    let dst = &mut self.columns[i];
+                    dst.time.extend(col.time);
+                    dst.work.extend(col.work);
+                    dst.metric_delta.extend(col.metric_delta);
+                    dst.derived = OnceLock::new();
+                }
+                Err(i) => self.columns.insert(i, col),
+            }
+        }
+    }
+
+    /// Finds or creates the column for `metric`, keeping `columns` sorted
+    /// by metric name.
+    fn column_mut(&mut self, metric: MetricId) -> &mut MetricColumn {
+        match self.columns.binary_search_by(|c| c.metric().cmp(&metric)) {
+            Ok(i) => &mut self.columns[i],
+            Err(i) => {
+                self.columns.insert(i, MetricColumn::new(metric));
+                &mut self.columns[i]
+            }
+        }
     }
 }
 
+/// Iterator over a [`SampleSet`]'s rows as owned [`Sample`]s; see
+/// [`SampleSet::iter`] for the visit order.
+#[derive(Debug, Clone)]
+pub struct SampleIter<'a> {
+    columns: std::slice::Iter<'a, MetricColumn>,
+    current: Option<(&'a MetricColumn, usize)>,
+    remaining: usize,
+}
+
+impl Iterator for SampleIter<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        loop {
+            if let Some((col, i)) = &mut self.current {
+                if let Some(s) = col.get(*i) {
+                    *i += 1;
+                    self.remaining -= 1;
+                    return Some(s);
+                }
+            }
+            self.current = Some((self.columns.next()?, 0));
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SampleIter<'_> {}
+
 impl FromIterator<Sample> for SampleSet {
     fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
-        SampleSet {
-            samples: iter.into_iter().collect(),
-        }
+        let mut set = SampleSet::new();
+        set.extend(iter);
+        set
     }
 }
 
 impl Extend<Sample> for SampleSet {
     fn extend<I: IntoIterator<Item = Sample>>(&mut self, iter: I) {
-        self.samples.extend(iter);
+        for s in iter {
+            self.push(s);
+        }
     }
 }
 
@@ -332,16 +632,42 @@ impl IntoIterator for SampleSet {
     type IntoIter = std::vec::IntoIter<Sample>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.samples.into_iter()
+        let rows: Vec<Sample> = self.iter().collect();
+        rows.into_iter()
     }
 }
 
 impl<'a> IntoIterator for &'a SampleSet {
-    type Item = &'a Sample;
-    type IntoIter = std::slice::Iter<'a, Sample>;
+    type Item = Sample;
+    type IntoIter = SampleIter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.samples.iter()
+        self.iter()
+    }
+}
+
+/// Serialization keeps the pre-columnar row format `{"samples": [...]}`,
+/// with rows emitted in [`SampleSet::iter`] order (grouped by metric).
+/// Round-tripping therefore preserves equality — [`SampleSet`] comparison
+/// is group-based and row order within each group survives.
+#[derive(Serialize, Deserialize)]
+struct SampleSetRows {
+    samples: Vec<Sample>,
+}
+
+impl Serialize for SampleSet {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        SampleSetRows {
+            samples: self.iter().collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SampleSet {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        let rows = SampleSetRows::deserialize(deserializer)?;
+        Ok(rows.samples.into_iter().collect())
     }
 }
 
@@ -398,12 +724,26 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let groups = set.by_metric();
-        assert_eq!(groups.len(), 2);
-        let b = &groups[&MetricId::new("b")];
+        assert_eq!(set.by_metric().len(), 2);
+        let b = set.column(&MetricId::new("b")).unwrap();
         assert_eq!(b.len(), 2);
-        assert_eq!(b[0].work(), 1.0);
-        assert_eq!(b[1].work(), 3.0);
+        assert_eq!(b.works(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn by_metric_is_ordered_by_name_and_zero_copy() {
+        let set: SampleSet = vec![
+            s("z", 1.0, 1.0, 1.0),
+            s("a", 1.0, 1.0, 1.0),
+            s("m", 1.0, 1.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<&str> = set.by_metric().map(|(m, _)| m.as_str()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+        // The view borrows the set's own columns.
+        let (_, col) = set.by_metric().next().unwrap();
+        assert!(std::ptr::eq(col, &set.columns()[0]));
     }
 
     #[test]
@@ -428,11 +768,15 @@ mod tests {
     }
 
     #[test]
-    fn merge_appends_all_samples() {
+    fn merge_appends_within_matching_groups() {
         let mut a: SampleSet = vec![s("a", 1.0, 1.0, 1.0)].into_iter().collect();
-        let b: SampleSet = vec![s("b", 1.0, 1.0, 1.0)].into_iter().collect();
+        let b: SampleSet = vec![s("b", 1.0, 1.0, 1.0), s("a", 2.0, 4.0, 1.0)]
+            .into_iter()
+            .collect();
         a.merge(b);
-        assert_eq!(a.len(), 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.column(&"a".into()).unwrap().times(), &[1.0, 2.0]);
+        assert_eq!(a.column(&"b".into()).unwrap().len(), 1);
     }
 
     #[test]
@@ -445,9 +789,84 @@ mod tests {
 
     #[test]
     fn sample_set_serde_round_trip() {
-        let set: SampleSet = vec![s("a", 1.0, 2.0, 3.0)].into_iter().collect();
+        let set: SampleSet = vec![s("a", 1.0, 2.0, 3.0), s("b", 2.0, 2.0, 0.0)]
+            .into_iter()
+            .collect();
         let json = serde_json::to_string(&set).unwrap();
+        assert!(json.contains("\"samples\""));
         let back: SampleSet = serde_json::from_str(&json).unwrap();
         assert_eq!(set, back);
+    }
+
+    #[test]
+    fn derived_columns_match_row_accessors() {
+        let rows = vec![
+            s("x", 2.0, 8.0, 4.0),
+            s("x", 4.0, 8.0, 0.0),
+            s("x", 5.0, 0.0, 0.0),
+        ];
+        let set: SampleSet = rows.clone().into_iter().collect();
+        let col = set.column(&"x".into()).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(col.throughputs()[i], r.throughput());
+            let (a, b) = (col.intensities()[i], r.intensity());
+            assert!(a == b || (a.is_infinite() && b.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn push_invalidates_derived_cache() {
+        let mut col = MetricColumn::new("x".into());
+        col.push(1.0, 2.0, 1.0);
+        assert_eq!(col.throughputs(), &[2.0]);
+        col.push(1.0, 6.0, 2.0);
+        assert_eq!(col.throughputs(), &[2.0, 6.0]);
+        assert_eq!(col.intensities(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn push_parts_validates_like_sample_new() {
+        let mut set = SampleSet::new();
+        set.push_parts("m".into(), 1.0, 2.0, 1.0).unwrap();
+        assert!(set.push_parts("m".into(), 0.0, 2.0, 1.0).is_err());
+        assert!(set.push_parts("m".into(), 1.0, -2.0, 1.0).is_err());
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_every_row_grouped() {
+        let set: SampleSet = vec![
+            s("b", 1.0, 1.0, 1.0),
+            s("a", 2.0, 1.0, 1.0),
+            s("b", 3.0, 1.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let rows: Vec<Sample> = set.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(set.iter().len(), 3);
+        let metrics: Vec<&str> = rows.iter().map(|r| r.metric().as_str()).collect();
+        assert_eq!(metrics, ["a", "b", "b"]);
+        assert_eq!(rows[1].time(), 1.0);
+        assert_eq!(rows[2].time(), 3.0);
+    }
+
+    #[test]
+    fn equality_ignores_original_push_interleaving() {
+        let interleaved: SampleSet = vec![
+            s("a", 1.0, 1.0, 1.0),
+            s("b", 2.0, 1.0, 1.0),
+            s("a", 3.0, 1.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let grouped: SampleSet = vec![
+            s("a", 1.0, 1.0, 1.0),
+            s("a", 3.0, 1.0, 1.0),
+            s("b", 2.0, 1.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(interleaved, grouped);
     }
 }

@@ -33,6 +33,21 @@ fn samples(metric: &'static str, n: usize) -> impl Strategy<Value = Vec<Sample>>
     })
 }
 
+/// Strategy: an interleaved multi-metric corpus — up to `per_metric`
+/// samples for each of `metrics` metric names, in arbitrary row order.
+fn corpus(metrics: usize, per_metric: usize) -> impl Strategy<Value = Vec<Sample>> {
+    let names: Vec<String> = (0..metrics).map(|i| format!("metric_{i}")).collect();
+    prop::collection::vec((0..metrics, raw_sample()), metrics..metrics * per_metric).prop_map(
+        move |v| {
+            v.into_iter()
+                .map(|(i, (t, w, m))| {
+                    Sample::new(names[i].as_str(), t, w, m).expect("valid by construction")
+                })
+                .collect()
+        },
+    )
+}
+
 /// Tolerance used when checking the upper-bound property; fits only need
 /// to hold up to floating-point round-off.
 fn tol(v: f64) -> f64 {
@@ -274,5 +289,58 @@ proptest! {
         let a = model.roofline(&m).unwrap().estimate(probe);
         let b = back.roofline(&m).unwrap().estimate(probe);
         prop_assert_eq!(a, b);
+    }
+
+    /// The columnar fit fast path is bit-identical to the generic row
+    /// API for arbitrary sample populations (including M = 0 rows).
+    #[test]
+    fn column_fit_matches_row_fit(rows in samples("m", 64)) {
+        let set: SampleSet = rows.iter().cloned().collect();
+        let column = set.column(&spire_core::MetricId::new("m")).unwrap();
+        for mode in [RightFitMode::Graph, RightFitMode::Plateau, RightFitMode::Auto] {
+            let opts = FitOptions { right_fit: mode, ..FitOptions::default() };
+            let by_rows = PiecewiseRoofline::fit("m".into(), rows.iter(), &opts).unwrap();
+            let by_column = PiecewiseRoofline::fit_column(column, &opts).unwrap();
+            prop_assert_eq!(&by_rows, &by_column, "mode {:?}", mode);
+        }
+    }
+
+    /// Columnar grouping is row-order independent: interleaving samples
+    /// across metrics in any order yields the same store and the same
+    /// trained model as pushing them metric-by-metric.
+    #[test]
+    fn grouping_is_push_order_independent(rows in corpus(4, 24)) {
+        let interleaved: SampleSet = rows.iter().cloned().collect();
+        let mut grouped = SampleSet::new();
+        for metric in interleaved.metrics().cloned().collect::<Vec<_>>() {
+            for s in interleaved.samples_for(&metric) {
+                grouped.push(s);
+            }
+        }
+        prop_assert_eq!(&interleaved, &grouped);
+        let a = SpireModel::train(&interleaved, TrainConfig::default()).unwrap();
+        let b = SpireModel::train(&grouped, TrainConfig::default()).unwrap();
+        prop_assert_eq!(a.rooflines(), b.rooflines());
+    }
+
+    /// Fanning training and estimation across worker threads is
+    /// bit-identical to the serial path for every thread count.
+    #[test]
+    fn parallel_pipeline_matches_serial(
+        train_rows in corpus(6, 24),
+        probe_rows in corpus(6, 8),
+        threads in 2usize..=8,
+    ) {
+        let train_set: SampleSet = train_rows.iter().cloned().collect();
+        let probe_set: SampleSet = probe_rows.iter().cloned().collect();
+        let serial_cfg = TrainConfig { threads: 1, ..TrainConfig::default() };
+        let par_cfg = TrainConfig { threads, ..TrainConfig::default() };
+        let serial = SpireModel::train(&train_set, serial_cfg).unwrap();
+        let parallel = SpireModel::train(&train_set, par_cfg).unwrap();
+        prop_assert_eq!(serial.rooflines(), parallel.rooflines());
+        let a = serial.estimate(&probe_set).unwrap();
+        let b = parallel.estimate(&probe_set).unwrap();
+        prop_assert_eq!(a.throughput(), b.throughput());
+        prop_assert_eq!(a.per_metric(), b.per_metric());
     }
 }

@@ -46,9 +46,8 @@ impl CoverageReport {
         assert!(session_cycles > 0.0, "session duration must be positive");
         let mut per_metric = Vec::new();
         for (metric, group) in samples.by_metric() {
-            let measured_time: f64 = group.iter().map(|s| s.time()).sum();
-            let throughputs: Vec<f64> = group.iter().map(|s| s.throughput()).collect();
-            let (mean, std) = spire_core::stats::mean_std(&throughputs);
+            let measured_time = group.total_time();
+            let (mean, std) = spire_core::stats::mean_std(group.throughputs());
             per_metric.push(MetricCoverage {
                 metric: metric.to_string(),
                 samples: group.len(),
@@ -160,7 +159,12 @@ mod tests {
         let (samples, cycles) = collected();
         let report = CoverageReport::new(&samples, cycles);
         for m in report.per_metric() {
-            assert!(m.throughput_cv < 0.2, "{}: cv {}", m.metric, m.throughput_cv);
+            assert!(
+                m.throughput_cv < 0.2,
+                "{}: cv {}",
+                m.metric,
+                m.throughput_cv
+            );
         }
         assert!(report.phase_suspects(0.5).is_empty());
     }

@@ -81,7 +81,7 @@ impl Dataset {
     pub fn merged(&self) -> SampleSet {
         let mut all = SampleSet::new();
         for set in self.entries.values() {
-            all.extend(set.iter().cloned());
+            all.extend(set.iter());
         }
         all
     }

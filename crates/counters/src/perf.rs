@@ -134,12 +134,10 @@ pub fn parse_perf_csv(text: &str) -> Result<Vec<PerfRow>, PerfParseError> {
                 line: line_no,
                 value: fields[0].to_owned(),
             })?;
-        let count: f64 = count_field
-            .parse()
-            .map_err(|_| PerfParseError::BadNumber {
-                line: line_no,
-                value: count_field.to_owned(),
-            })?;
+        let count: f64 = count_field.parse().map_err(|_| PerfParseError::BadNumber {
+            line: line_no,
+            value: count_field.to_owned(),
+        })?;
         let event = fields[3].trim().to_owned();
         if event.is_empty() {
             return Err(PerfParseError::MalformedRow {
@@ -334,8 +332,8 @@ mod tests {
     fn missing_fixed_events_is_an_error() {
         let text = "1.0,100,,some.event,1,100,,\n";
         let rows = parse_perf_csv(text).unwrap();
-        let err = samples_from_rows(&rows, "inst_retired.any", "cpu_clk_unhalted.thread")
-            .unwrap_err();
+        let err =
+            samples_from_rows(&rows, "inst_retired.any", "cpu_clk_unhalted.thread").unwrap_err();
         assert!(matches!(err, PerfParseError::MissingFixedEvents { .. }));
     }
 
@@ -376,13 +374,11 @@ mod tests {
         // Work adds up to the retired instructions across intervals for
         // each metric.
         for (_, group) in set.by_metric() {
-            let w: f64 = group.iter().map(|s| s.work()).sum();
+            let w: f64 = group.works().iter().sum();
             assert_eq!(w as u64, core.retired_instructions());
         }
         // The never-firing misprediction counter yields I = ∞ samples.
-        let misp = set.samples_for(&spire_core::MetricId::new(
-            "br_misp_retired.all_branches",
-        ));
+        let misp = set.samples_for(&spire_core::MetricId::new("br_misp_retired.all_branches"));
         assert!(misp.iter().all(|s| s.intensity().is_infinite()));
     }
 

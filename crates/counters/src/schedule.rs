@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn fixed_events_are_excluded() {
         let s = MultiplexSchedule::new(
-            &[Event::InstRetiredAny, Event::CpuClkUnhaltedThread, Event::IdqDsbUops],
+            &[
+                Event::InstRetiredAny,
+                Event::CpuClkUnhaltedThread,
+                Event::IdqDsbUops,
+            ],
             4,
         );
         assert_eq!(s.event_count(), 1);

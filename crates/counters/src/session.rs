@@ -8,7 +8,7 @@
 //! (cycles) and `W` (instructions).
 
 use serde::{Deserialize, Serialize};
-use spire_core::{MetricId, Sample, SampleSet};
+use spire_core::{MetricId, SampleSet};
 use spire_sim::{Core, Event, Instr, Pmu};
 
 use crate::schedule::MultiplexSchedule;
@@ -114,7 +114,10 @@ pub fn collect<I>(
 where
     I: Iterator<Item = Instr>,
 {
-    assert!(config.interval_cycles > 0, "interval_cycles must be non-zero");
+    assert!(
+        config.interval_cycles > 0,
+        "interval_cycles must be non-zero"
+    );
     assert!(config.slice_cycles > 0, "slice_cycles must be non-zero");
     let schedule = MultiplexSchedule::new(events, config.pmu_slots);
     let mut pmu = Pmu::new(config.pmu_slots);
@@ -136,7 +139,8 @@ where
         'interval: for (group_idx, group) in schedule.groups().iter().enumerate().cycle() {
             // Reprogramming overhead: the workload keeps running but no
             // group is being measured.
-            pmu.program(group).expect("groups fit the PMU by construction");
+            pmu.program(group)
+                .expect("groups fit the PMU by construction");
             if overhead_stream_budget > 0 {
                 let before = core.cycle();
                 core.run(stream, overhead_stream_budget);
@@ -150,7 +154,9 @@ where
             let t = pmu
                 .read(&delta, Event::CpuClkUnhaltedThread)
                 .expect("fixed counter") as f64;
-            let w = pmu.read(&delta, Event::InstRetiredAny).expect("fixed counter") as f64;
+            let w = pmu
+                .read(&delta, Event::InstRetiredAny)
+                .expect("fixed counter") as f64;
             for &e in group {
                 let m = pmu.read(&delta, e).expect("programmed event") as f64;
                 let idx = flat_events
@@ -173,14 +179,15 @@ where
                 || drained
                 || out_of_budget
             {
-                // Close the interval: emit one sample per covered event.
+                // Close the interval: emit one sample per covered event,
+                // streaming straight into the per-metric columns.
                 let mut emitted = false;
                 for (i, &e) in flat_events.iter().enumerate() {
                     let (t, w, m) = acc[i];
                     if t > 0.0 {
-                        let sample = Sample::new(MetricId::new(e.name()), t, w, m)
+                        samples
+                            .push_parts(MetricId::new(e.name()), t, w, m)
                             .expect("cycle counts are positive and finite");
-                        samples.push(sample);
                         emitted = true;
                     }
                 }
@@ -229,7 +236,12 @@ mod tests {
     fn collect_emits_one_sample_per_event_per_interval() {
         let mut core = Core::new(CoreConfig::skylake_server());
         let mut stream = alu_stream(500_000);
-        let report = collect(&mut core, &mut stream, &small_events(), &SessionConfig::quick());
+        let report = collect(
+            &mut core,
+            &mut stream,
+            &small_events(),
+            &SessionConfig::quick(),
+        );
         assert!(report.intervals >= 2, "intervals = {}", report.intervals);
         // Each interval covers all 6 events.
         assert_eq!(report.samples.len(), report.intervals * 6);
@@ -252,7 +264,12 @@ mod tests {
     fn overhead_is_accounted_and_small() {
         let mut core = Core::new(CoreConfig::skylake_server());
         let mut stream = alu_stream(500_000);
-        let report = collect(&mut core, &mut stream, &small_events(), &SessionConfig::quick());
+        let report = collect(
+            &mut core,
+            &mut stream,
+            &small_events(),
+            &SessionConfig::quick(),
+        );
         assert!(report.overhead_cycles > 0);
         // The paper reports 1.6% average; our default is the same order.
         assert!(
@@ -277,7 +294,12 @@ mod tests {
     fn session_drains_short_streams() {
         let mut core = Core::new(CoreConfig::skylake_server());
         let mut stream = alu_stream(5_000);
-        let report = collect(&mut core, &mut stream, &small_events(), &SessionConfig::quick());
+        let report = collect(
+            &mut core,
+            &mut stream,
+            &small_events(),
+            &SessionConfig::quick(),
+        );
         assert_eq!(report.instructions, 5_000);
         assert!(core.is_drained());
         assert!(report.intervals >= 1);
@@ -287,12 +309,17 @@ mod tests {
     fn fixed_counters_are_consistent_with_samples() {
         let mut core = Core::new(CoreConfig::skylake_server());
         let mut stream = alu_stream(200_000);
-        let report = collect(&mut core, &mut stream, &small_events(), &SessionConfig::quick());
+        let report = collect(
+            &mut core,
+            &mut stream,
+            &small_events(),
+            &SessionConfig::quick(),
+        );
         // Summed per-metric work cannot exceed the total work (each event
         // only sees its own slices).
         let per_metric = report.samples.by_metric();
         for (_, group) in per_metric {
-            let w: f64 = group.iter().map(|s| s.work()).sum();
+            let w: f64 = group.works().iter().sum();
             assert!(w <= report.instructions as f64 + 1.0);
         }
     }

@@ -62,7 +62,7 @@ proptest! {
             // Balanced coverage: at most one missing (truncated) sample.
             prop_assert!(group.len() >= report.intervals - 1);
             prop_assert!(group.len() <= report.intervals);
-            for s in group {
+            for s in group.samples() {
                 prop_assert!(s.time() > 0.0);
                 prop_assert!(s.work() >= 0.0);
                 prop_assert!(s.metric_delta() >= 0.0);
@@ -78,7 +78,7 @@ proptest! {
         let mut stream = mixed_stream(1_000_000);
         let report = collect(&mut core, &mut stream, &events(), &cfg);
         for (_, group) in report.samples.by_metric() {
-            let t: f64 = group.iter().map(|s| s.time()).sum();
+            let t: f64 = group.total_time();
             prop_assert!(t <= report.total_cycles as f64 + 1.0);
         }
         let f = report.overhead_fraction();

@@ -150,8 +150,16 @@ impl Chart {
         }
         b.map(|(x0, x1, y0, y1)| {
             // Avoid zero-size ranges.
-            let (x0, x1) = if x0 == x1 { (x0 - 0.5, x1 + 0.5) } else { (x0, x1) };
-            let (y0, y1) = if y0 == y1 { (y0 - 0.5, y1 + 0.5) } else { (y0, y1) };
+            let (x0, x1) = if x0 == x1 {
+                (x0 - 0.5, x1 + 0.5)
+            } else {
+                (x0, x1)
+            };
+            let (y0, y1) = if y0 == y1 {
+                (y0 - 0.5, y1 + 0.5)
+            } else {
+                (y0, y1)
+            };
             (x0, x1, y0, y1)
         })
     }
@@ -409,8 +417,8 @@ mod tests {
 
     #[test]
     fn title_is_escaped() {
-        let c = Chart::new("a<b&c", "x", "y")
-            .with_series("s", SeriesKind::Points, vec![(1.0, 1.0)]);
+        let c =
+            Chart::new("a<b&c", "x", "y").with_series("s", SeriesKind::Points, vec![(1.0, 1.0)]);
         let svg = c.to_svg(100, 100);
         assert!(svg.contains("a&lt;b&amp;c"));
         assert!(!svg.contains("a<b"));

@@ -51,7 +51,11 @@ pub fn roofline_chart<'a>(
         }
     }
 
-    let scale = if log_axes { Scale::Log10 } else { Scale::Linear };
+    let scale = if log_axes {
+        Scale::Log10
+    } else {
+        Scale::Linear
+    };
     Chart::new(
         format!("SPIRE roofline: {}", roofline.metric()),
         "operational intensity I_x (work per event)",

@@ -539,7 +539,11 @@ impl Core {
                     MemLevel::L3 => mem.l3_latency,
                     MemLevel::Dram => mem.dram_latency,
                 };
-                let lat = if locked { base + mem.lock_latency } else { base };
+                let lat = if locked {
+                    base + mem.lock_latency
+                } else {
+                    base
+                };
                 (&[2, 3], lat)
             }
             InstrClass::Store => {
@@ -992,7 +996,11 @@ mod tests {
         assert_eq!(core.counters().get(Event::IcacheMisses), 200);
         // 200 misses x 30-cycle penalty dominates 2000 instructions.
         assert!(s.cycles > 200 * 30);
-        assert!(core.counters().get(Event::FrontendRetiredLatencyGe2BubblesGe1) > 0);
+        assert!(
+            core.counters()
+                .get(Event::FrontendRetiredLatencyGe2BubblesGe1)
+                > 0
+        );
     }
 
     #[test]
@@ -1039,7 +1047,8 @@ mod tests {
         let c = core.counters();
         // Delivered µops by source must equal issued (no waste here) and
         // retired µops (single-µop instructions, no mispredicts).
-        let delivered = c.get(Event::IdqDsbUops) + c.get(Event::IdqMiteUops) + c.get(Event::IdqMsUops);
+        let delivered =
+            c.get(Event::IdqDsbUops) + c.get(Event::IdqMiteUops) + c.get(Event::IdqMsUops);
         assert_eq!(delivered, 4000);
         assert_eq!(c.get(Event::UopsIssuedAny), 4000);
         assert_eq!(c.get(Event::UopsRetiredRetireSlots), 4000);
@@ -1049,7 +1058,10 @@ mod tests {
     #[test]
     fn cycles_counter_matches_cycle() {
         let (core, s) = run_n(vec![Instr::simple_alu(); 100], 10_000);
-        assert_eq!(core.counters().get(Event::CpuClkUnhaltedThread), core.cycle());
+        assert_eq!(
+            core.counters().get(Event::CpuClkUnhaltedThread),
+            core.cycle()
+        );
         assert_eq!(s.cycles, core.cycle());
     }
 

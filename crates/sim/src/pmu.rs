@@ -194,7 +194,8 @@ mod tests {
     #[test]
     fn duplicates_collapse() {
         let mut pmu = Pmu::new(1);
-        pmu.program(&[Event::IdqDsbUops, Event::IdqDsbUops]).unwrap();
+        pmu.program(&[Event::IdqDsbUops, Event::IdqDsbUops])
+            .unwrap();
         assert_eq!(pmu.programmed().len(), 1);
     }
 

@@ -190,10 +190,7 @@ mod tests {
 
     /// Mispredict rate of a predictor on an outcome sequence for one pc.
     fn rate<P: BranchPredictor>(p: &mut P, pc: u64, outcomes: &[bool]) -> f64 {
-        let misses = outcomes
-            .iter()
-            .filter(|&&t| p.mispredicts(pc, t))
-            .count();
+        let misses = outcomes.iter().filter(|&&t| p.mispredicts(pc, t)).count();
         misses as f64 / outcomes.len() as f64
     }
 

@@ -4,9 +4,7 @@
 //! they are the simulator's contract.
 
 use proptest::prelude::*;
-use spire_sim::{
-    Core, CoreConfig, DecodeSource, Event, Instr, InstrClass, MemLevel, VecWidth,
-};
+use spire_sim::{Core, CoreConfig, DecodeSource, Event, Instr, InstrClass, MemLevel, VecWidth};
 
 /// Strategy: one random instruction.
 fn instr() -> impl Strategy<Value = Instr> {
@@ -27,8 +25,16 @@ fn instr() -> impl Strategy<Value = Instr> {
         1 => Just(InstrClass::Store),
         2 => any::<bool>().prop_map(|m| InstrClass::Branch { mispredicted: m }),
     ];
-    (class, prop_oneof![Just(DecodeSource::Dsb), Just(DecodeSource::Mite), Just(DecodeSource::Ms)],
-     0u32..8, prop::bool::weighted(0.01))
+    (
+        class,
+        prop_oneof![
+            Just(DecodeSource::Dsb),
+            Just(DecodeSource::Mite),
+            Just(DecodeSource::Ms)
+        ],
+        0u32..8,
+        prop::bool::weighted(0.01),
+    )
         .prop_map(|(class, decode, dep, icache_miss)| Instr {
             class,
             uops: if decode == DecodeSource::Ms { 4 } else { 1 },

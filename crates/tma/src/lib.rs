@@ -331,7 +331,11 @@ pub fn analyze(counters: &CounterFile, config: &CoreConfig) -> TmaBreakdown {
     // --- Level 2: fetch latency vs bandwidth. --------------------------------
     let le1 = g(Event::IdqUopsNotDeliveredCyclesLe1);
     let fetch_latency_slots = (le1 * width).min(g(Event::IdqUopsNotDeliveredCore));
-    let fetch_latency = frontend_bound * ratio(fetch_latency_slots, g(Event::IdqUopsNotDeliveredCore).max(1.0));
+    let fetch_latency = frontend_bound
+        * ratio(
+            fetch_latency_slots,
+            g(Event::IdqUopsNotDeliveredCore).max(1.0),
+        );
     let fetch_bandwidth = frontend_bound - fetch_latency;
 
     // --- Level 3 details. -----------------------------------------------------
@@ -431,7 +435,12 @@ mod tests {
             v.push(Instr::simple_alu());
         }
         let t = analyze_stream(v, 10_000_000);
-        assert_eq!(t.dominant_bottleneck(), UarchArea::BadSpeculation, "{}", t.summary());
+        assert_eq!(
+            t.dominant_bottleneck(),
+            UarchArea::BadSpeculation,
+            "{}",
+            t.summary()
+        );
         assert!(t.bad_speculation.mispredicts_pki > 30.0);
     }
 
@@ -454,7 +463,12 @@ mod tests {
             ..Instr::simple_alu()
         };
         let t = analyze_stream(vec![mite; 20_000], 10_000_000);
-        assert_eq!(t.dominant_bottleneck(), UarchArea::FrontEnd, "{}", t.summary());
+        assert_eq!(
+            t.dominant_bottleneck(),
+            UarchArea::FrontEnd,
+            "{}",
+            t.summary()
+        );
         assert!(t.frontend.mite_uop_share > 0.95);
     }
 

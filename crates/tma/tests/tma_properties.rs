@@ -6,8 +6,7 @@ use spire_core::catalog::UarchArea;
 use spire_sim::{Core, CoreConfig};
 use spire_tma::{analyze, TmaBreakdown};
 use spire_workloads::{
-    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior,
-    WorkloadProfile,
+    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior, WorkloadProfile,
 };
 
 /// Strategy: a random (valid) workload profile.

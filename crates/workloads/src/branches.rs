@@ -52,7 +52,10 @@ impl BranchSiteModel {
             return Err("sites must be at least 1".to_owned());
         }
         if !(0.0..=1.0).contains(&self.taken_bias) {
-            return Err(format!("taken_bias must be in [0,1], got {}", self.taken_bias));
+            return Err(format!(
+                "taken_bias must be in [0,1], got {}",
+                self.taken_bias
+            ));
         }
         if !(0.0..=1.0).contains(&self.periodic_fraction) {
             return Err(format!(

@@ -167,10 +167,7 @@ mod tests {
             .iter()
             .filter(|i| matches!(i.class, InstrClass::Load { .. }))
             .count();
-        let tail_branches = instrs[500..]
-            .iter()
-            .filter(|i| i.is_branch())
-            .count();
+        let tail_branches = instrs[500..].iter().filter(|i| i.is_branch()).count();
         assert!(first_loads > 400, "phase 1 must be load-heavy");
         assert!(tail_branches > 240, "phase 2 must be branch-heavy");
     }

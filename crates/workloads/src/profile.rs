@@ -166,7 +166,12 @@ impl MemoryBehavior {
     /// Validates weights and rates.
     pub fn validate(&self) -> Result<(), ProfileError> {
         let sum: f64 = self.level_weights.iter().sum();
-        if self.level_weights.iter().any(|w| !w.is_finite() || *w < 0.0) || sum <= 0.0 {
+        if self
+            .level_weights
+            .iter()
+            .any(|w| !w.is_finite() || *w < 0.0)
+            || sum <= 0.0
+        {
             return Err(ProfileError {
                 field: "memory.level_weights",
                 reason: "weights must be finite, non-negative, and not all zero".to_owned(),
@@ -350,7 +355,11 @@ pub struct ProfileError {
 
 impl std::fmt::Display for ProfileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid workload profile: {}: {}", self.field, self.reason)
+        write!(
+            f,
+            "invalid workload profile: {}: {}",
+            self.field, self.reason
+        )
     }
 }
 

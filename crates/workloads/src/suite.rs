@@ -17,8 +17,7 @@
 use spire_core::catalog::UarchArea;
 
 use crate::profile::{
-    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior,
-    WorkloadProfile,
+    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior, WorkloadProfile,
 };
 
 fn mix(

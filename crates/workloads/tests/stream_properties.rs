@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 use spire_sim::{DecodeSource, InstrClass};
 use spire_workloads::{
-    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior,
-    WorkloadProfile,
+    BranchBehavior, DependencyBehavior, FrontendBehavior, InstrMix, MemoryBehavior, WorkloadProfile,
 };
 
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {

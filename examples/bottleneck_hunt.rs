@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let estimate = model.estimate(&report.samples)?;
     let spire_report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
 
-    println!("\nSPIRE top metrics for {} ({}):", target.name, target.config);
+    println!(
+        "\nSPIRE top metrics for {} ({}):",
+        target.name, target.config
+    );
     print!("{}", spire_report.to_table(10));
 
     // 4. Cross-check with TMA on a dedicated run.

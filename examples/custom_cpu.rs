@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = suite::by_name("parboil", "Stencil").expect("suite workload");
 
     // The same workload, two machines, two TMA verdicts.
-    for (name, cfg) in [("big (skylake-server)", big), ("little (edge core)", little)] {
+    for (name, cfg) in [
+        ("big (skylake-server)", big),
+        ("little (edge core)", little),
+    ] {
         let mut core = Core::new(cfg);
         let mut stream = workload.stream(7);
         let summary = core.run(&mut stream, 500_000);

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .roofline(&metric)
             .ok_or("metric missing from the trained model")?;
         let samples = training.samples_for(&metric);
-        let chart = roofline_chart(roofline, samples.iter().copied(), true);
+        let chart = roofline_chart(roofline, samples.iter(), true);
         let path = outdir.join(file);
         std::fs::write(&path, chart.to_svg(720, 480))?;
         println!("wrote {}", path.display());

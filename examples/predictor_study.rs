@@ -50,8 +50,7 @@ fn main() {
         (s.mispredict_rate(), core)
     });
     run("bimodal 4k entries", &mut || {
-        let mut s =
-            PredictedBranches::new(profile.stream(1), sites, BimodalPredictor::new(12), 2);
+        let mut s = PredictedBranches::new(profile.stream(1), sites, BimodalPredictor::new(12), 2);
         let mut core = Core::new(cfg);
         core.run(&mut s, cycles);
         (s.mispredict_rate(), core)

@@ -19,8 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (1e6, 3.1e6, 4.0e4, 1.5e3),
         (1e6, 3.5e6, 1.0e4, 6.0e2),
     ] {
-        training.push(Sample::new("cycle_activity.stalls_total", cycles, instrs, stalls)?);
-        training.push(Sample::new("longest_lat_cache.miss", cycles, instrs, misses)?);
+        training.push(Sample::new(
+            "cycle_activity.stalls_total",
+            cycles,
+            instrs,
+            stalls,
+        )?);
+        training.push(Sample::new(
+            "longest_lat_cache.miss",
+            cycles,
+            instrs,
+            misses,
+        )?);
     }
 
     // 2. Train the ensemble: one piecewise-linear roofline per metric.
@@ -29,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Analyze a new workload's samples.
     let mut workload = SampleSet::new();
-    workload.push(Sample::new("cycle_activity.stalls_total", 1e6, 1.1e6, 5.5e5)?);
+    workload.push(Sample::new(
+        "cycle_activity.stalls_total",
+        1e6,
+        1.1e6,
+        5.5e5,
+    )?);
     workload.push(Sample::new("longest_lat_cache.miss", 1e6, 1.1e6, 2.0e3)?);
 
     let estimate = model.estimate(&workload)?;

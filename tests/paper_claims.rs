@@ -42,7 +42,10 @@ fn fig7_bp1_roofline_rises_with_intensity() {
     let low = bp1.estimate(apex.x * 0.02);
     let mid = bp1.estimate(apex.x * 0.3);
     let high = bp1.estimate(apex.x);
-    assert!(low <= mid + 1e-9 && mid <= high + 1e-9, "{low} {mid} {high}");
+    assert!(
+        low <= mid + 1e-9 && mid <= high + 1e-9,
+        "{low} {mid} {high}"
+    );
     assert!(high > low, "the roofline must actually rise");
 }
 

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Mirrors the API surface this workspace uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple median-of-samples timer instead of the statistical engine.
+//!
+//! Smoke mode: when run with `--test` (as `cargo test --benches` does) or
+//! with `SPIRE_BENCH_SMOKE=1` in the environment, every benchmark body runs
+//! exactly once so CI can validate the benches cheaply.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, for parity with the real crate.
+pub use std::hint::black_box;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+        || std::env::var_os("SPIRE_BENCH_SMOKE").is_some_and(|v| v == "1")
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: usize,
+    smoke: bool,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Size the batch so one sample takes at least ~1 ms, so the timer
+        // resolution does not dominate short routines.
+        let probe = Instant::now();
+        black_box(routine());
+        let single = probe.elapsed();
+        let batch = if single >= Duration::from_millis(1) {
+            1
+        } else {
+            (Duration::from_millis(1).as_nanos() / single.as_nanos().max(1) + 1) as u32
+        };
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed() / batch
+            })
+            .collect();
+        per_iter.sort_unstable();
+        self.result = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let smoke = smoke_mode();
+    let mut bencher = Bencher {
+        samples,
+        smoke,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        _ if smoke => println!("bench {label} ... ok (smoke)"),
+        Some(median) => println!("bench {label} ... median {median:?}"),
+        None => println!("bench {label} ... no measurement"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+    }
+
+    /// Ends the group. (No-op; exists for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("fit", 100).to_string(), "fit/100");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher {
+            samples: 3,
+            smoke: false,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(17u64.wrapping_mul(31)));
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &x| {
+                b.iter(|| x + 1);
+            });
+            group.finish();
+        }
+        c.bench_function("standalone", |b| {
+            ran += 1;
+            b.iter(|| 2 + 2);
+        });
+        assert_eq!(ran, 1);
+    }
+}

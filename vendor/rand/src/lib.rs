@@ -1,0 +1,418 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset this workspace uses: `SmallRng` (xoshiro256++ with a
+//! SplitMix64 seeder, matching the real crate's algorithm family),
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_bool, gen_range}`,
+//! `distributions::{Distribution, Standard, WeightedIndex}` and
+//! `seq::SliceRandom::shuffle`. Deterministic for a given seed; stream values
+//! are not expected to match the real crate.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`](distributions::Standard)
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions and uniform-range sampling.
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// Types that can produce values of `T` given a generator.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over the full range
+    /// for integers, uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Uniform-range machinery mirroring `rand::distributions::uniform`.
+    pub mod uniform {
+        use super::super::{Rng, RngCore};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Ranges that can sample a single value of `T`.
+        pub trait SampleRange<T> {
+            /// Samples uniformly from the range.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the range is empty.
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+        }
+
+        fn uniform_u64<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            // Multiply-shift bounded sampling (Lemire); bias is negligible
+            // for the spans used here and determinism is what matters.
+            let x = rng.next_u64();
+            ((x as u128 * span as u128) >> 64) as u64
+        }
+
+        macro_rules! int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        self.start.wrapping_add(uniform_u64(rng, span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "cannot sample empty range");
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        if span > u64::MAX as u128 {
+                            return rng.next_u64() as $t;
+                        }
+                        start.wrapping_add(uniform_u64_inclusive(rng, span as u64) as $t)
+                    }
+                }
+            )*};
+        }
+
+        fn uniform_u64_inclusive<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+            if span == 0 {
+                rng.next_u64()
+            } else {
+                uniform_u64(rng, span)
+            }
+        }
+
+        int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! float_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let unit: f64 = rng.gen();
+                        let v = self.start as f64
+                            + unit * (self.end as f64 - self.start as f64);
+                        // Floating rounding can land exactly on `end`.
+                        let v = v as $t;
+                        if v >= self.end { self.start } else { v }
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "cannot sample empty range");
+                        let unit: f64 = rng.gen();
+                        (start as f64 + unit * (end as f64 - start as f64)) as $t
+                    }
+                }
+            )*};
+        }
+
+        float_range!(f32, f64);
+    }
+
+    /// Error from constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WeightedError;
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("invalid weights for WeightedIndex")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Samples indices `0..n` proportionally to a weight table.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex<X> {
+        cumulative: Vec<f64>,
+        total: f64,
+        _marker: std::marker::PhantomData<X>,
+    }
+
+    impl<X: Into<f64> + Copy> WeightedIndex<X> {
+        /// Builds a sampler from an iterable of non-negative weights.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`WeightedError`] if the weights are empty, contain a
+        /// negative or non-finite value, or sum to zero.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator<Item = X>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w: f64 = w.into();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError);
+            }
+            Ok(WeightedIndex {
+                cumulative,
+                total,
+                _marker: std::marker::PhantomData,
+            })
+        }
+    }
+
+    impl<X> Distribution<usize> for WeightedIndex<X> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+            let unit: f64 = rng.gen();
+            let target = unit * self.total;
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&target).expect("finite cumulative weights"))
+            {
+                // Exact hit on a cumulative boundary belongs to the next
+                // bucket with positive weight.
+                Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension methods for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher-Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weight() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let dist = WeightedIndex::new([1.0f64, 0.0, 99.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 10, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new(Vec::<f64>::new()).is_err());
+        assert!(WeightedIndex::new([0.0f64, 0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0f64]).is_err());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

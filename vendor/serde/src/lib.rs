@@ -1,0 +1,538 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` is unavailable in this build environment (no registry
+//! access), so this crate implements the subset of its API that the SPIRE
+//! workspace uses: the [`Serialize`]/[`Deserialize`] traits, a simplified
+//! self-describing data model ([`Content`]), and — behind the `derive`
+//! feature — `#[derive(Serialize, Deserialize)]` for structs and enums.
+//!
+//! The data model is deliberately small: serializers receive a fully built
+//! [`Content`] tree instead of a streamed visitor sequence. That is enough
+//! for the JSON round-tripping this workspace performs and keeps the shim
+//! auditable.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree this shim's serializers consume and its
+/// deserializers produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, tuple, array).
+    Seq(Vec<Content>),
+    /// A map or struct; insertion-ordered key/value pairs.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Looks up `key` in a `Map` whose keys are strings.
+    pub fn get_field(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find_map(|(k, v)| match k {
+                Content::Str(s) if s == key => Some(v),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+}
+
+pub mod ser {
+    //! Serialization half of the shim.
+
+    use super::Content;
+    use std::fmt;
+
+    /// Error trait for serializers.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds a serializer error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A serializer: consumes one [`Content`] tree.
+    ///
+    /// The convenience `serialize_*` methods mirror the real serde API at
+    /// the call sites this workspace contains.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Consumes a fully built value tree.
+        fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::Str(v.to_owned()))
+        }
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::Bool(v))
+        }
+
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::U64(v))
+        }
+
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::I64(v))
+        }
+
+        /// Serializes a floating-point number.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::F64(v))
+        }
+
+        /// Serializes a unit value.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::Null)
+        }
+    }
+
+    /// A serializer whose output is the [`Content`] tree itself.
+    pub struct ContentSerializer;
+
+    /// Error produced by [`ContentSerializer`] (it cannot actually fail,
+    /// but the trait requires an error type).
+    #[derive(Debug)]
+    pub struct ContentError(pub String);
+
+    impl fmt::Display for ContentError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    impl Error for ContentError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    impl super::de::Error for ContentError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = ContentError;
+
+        fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+            Ok(content)
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the shim.
+
+    use super::Content;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Error trait for deserializers; mirrors `serde::de::Error`.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds a deserializer error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A deserializer: produces one [`Content`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Produces the value tree to deserialize from.
+        fn deserialize_content(self) -> Result<Content, Self::Error>;
+    }
+
+    /// A deserializer over an already-parsed [`Content`] tree, generic in
+    /// the error type so derived code can thread the outer deserializer's
+    /// error through nested field decoding.
+    pub struct ContentDeserializer<E> {
+        content: Content,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> ContentDeserializer<E> {
+        /// Wraps a content tree.
+        pub fn new(content: Content) -> Self {
+            ContentDeserializer {
+                content,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+}
+
+/// A type that can be serialized into the shim's data model.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized from the shim's data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from `deserializer`.
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+pub use ser::Serializer;
+
+/// Serializes any value to a [`Content`] tree (helper used by derived
+/// code and by `serde_json`).
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    value
+        .serialize(ser::ContentSerializer)
+        .expect("content serialization is infallible")
+}
+
+/// Deserializes a typed value out of a [`Content`] tree, threading the
+/// caller's error type (helper used by derived code and by `serde_json`).
+pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+    T::deserialize(de::ContentDeserializer::<E>::new(content))
+}
+
+// --- Serialize impls for primitives and std types. -------------------------
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                let v: u64 = match c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                        v as u64
+                    }
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    de::Error::custom(format_args!(
+                        "integer {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_u64(v as u64)
+                } else {
+                    s.serialize_i64(v)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                let v: i64 = match c {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => v as i64,
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    de::Error::custom(format_args!(
+                        "integer {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format_args!(
+                "expected number, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format_args!(
+                "expected boolean, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(de::Error::custom(format_args!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_unit(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            c => from_content::<T, D::Error>(c).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content::<T, D::Error>).collect(),
+            other => Err(de::Error::custom(format_args!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Seq(items) if items.len() == N => {
+                let values: Vec<T> = items
+                    .into_iter()
+                    .map(from_content::<T, D::Error>)
+                    .collect::<Result<_, _>>()?;
+                values
+                    .try_into()
+                    .map_err(|_| de::Error::custom("array length mismatch"))
+            }
+            other => Err(de::Error::custom(format_args!(
+                "expected sequence of length {N}, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Map(
+            self.iter()
+                .map(|(k, v)| (to_content(k), to_content(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        from_content::<K, D::Error>(k)?,
+                        from_content::<V, D::Error>(v)?,
+                    ))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format_args!(
+                "expected map, found {other:?}"
+            ))),
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::Seq(vec![$(to_content(&self.$n)),+]))
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: de::Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                match d.deserialize_content()? {
+                    Content::Seq(items) if items.len() == LEN => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_content::<$t, __D::Error>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(de::Error::custom(format_args!(
+                        "expected sequence of length {LEN}, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+serialize_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_content() {
+        assert_eq!(to_content(&3u32), Content::U64(3));
+        assert_eq!(to_content(&-2i64), Content::I64(-2));
+        assert_eq!(to_content(&1.5f64), Content::F64(1.5));
+        assert_eq!(to_content(&true), Content::Bool(true));
+        assert_eq!(to_content(&"hi".to_owned()), Content::Str("hi".into()));
+        let v: Result<u32, ser::ContentError> = from_content(Content::U64(7));
+        assert_eq!(v.unwrap(), 7);
+    }
+
+    #[test]
+    fn vec_and_map_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let c = to_content(&v);
+        let back: Vec<u64> = from_content::<_, ser::ContentError>(c).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), 1.5f64);
+        let back: BTreeMap<String, f64> =
+            from_content::<_, ser::ContentError>(to_content(&m)).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(to_content(&Option::<u32>::None), Content::Null);
+        let v: Option<u32> = from_content::<_, ser::ContentError>(Content::Null).unwrap();
+        assert_eq!(v, None);
+    }
+}

@@ -1,0 +1,473 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually contains — structs with named fields,
+//! unit structs, and enums whose variants are unit, tuple, or struct-like —
+//! by hand-parsing the item's token stream (the real `syn`/`quote` stack is
+//! unavailable offline). Generated code targets the simplified `Content`
+//! data model of the sibling `serde` shim.
+//!
+//! Unsupported shapes (generic types, tuple structs, unions) produce a
+//! compile error naming the limitation rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+enum VariantKind {
+    Unit,
+    /// Tuple variant with `n` unnamed fields.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// The parsed item shape.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Recursively splices `Delimiter::None` groups into the surrounding
+/// stream. Items produced by `macro_rules!` expansion arrive with fragment
+/// substitutions (`$vis`, `$meta`, ...) wrapped in such invisible groups.
+fn flatten(input: TokenStream) -> TokenStream {
+    let mut out = TokenStream::new();
+    for tree in input {
+        match tree {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                out.extend(flatten(g.stream()));
+            }
+            other => out.extend([other]),
+        }
+    }
+    out
+}
+
+/// Parses the derive input item into an [`Item`], or an error message.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = flatten(input).into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            None => Ok(Item::UnitStruct { name }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Err(format!(
+                "serde shim derive does not support tuple struct `{name}`"
+            )),
+            other => Err(format!("unexpected token after struct name: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = flatten(stream).into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, found {tree:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = flatten(stream).into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            return Err(format!("expected variant name, found {tree:?}"));
+        };
+        let name = name.to_string();
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                // Count top-level comma-separated types.
+                let mut depth = 0i32;
+                let mut count = 1usize;
+                let mut any = false;
+                for t in inner {
+                    any = true;
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => count += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                VariantKind::Tuple(if any { count } else { 0 })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Implements `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::serde::Content::Str(::std::string::String::from({f:?})), \
+                     ::serde::to_content(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n{pushes}\
+                 __serializer.serialize_content(::serde::Content::Map(__fields))"
+            )
+        }
+        Item::UnitStruct { .. } => {
+            "__serializer.serialize_content(::serde::Content::Null)".to_owned()
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_content(\
+                         ::serde::Content::Str(::std::string::String::from({vname:?}))),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let bind_list = binds.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::to_content(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({bind_list}) => __serializer.serialize_content(\
+                             ::serde::Content::Map(::std::vec![(\
+                             ::serde::Content::Str(::std::string::String::from({vname:?})), \
+                             {inner})])),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let bind_list = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__fields.push((::serde::Content::Str(\
+                                 ::std::string::String::from({f:?})), \
+                                 ::serde::to_content({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bind_list} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::serde::Content, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n{pushes}\
+                             __serializer.serialize_content(::serde::Content::Map(\
+                             ::std::vec![(::serde::Content::Str(\
+                             ::std::string::String::from({vname:?})), \
+                             ::serde::Content::Map(__fields))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. } | Item::UnitStruct { name } | Item::Enum { name, .. } => {
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Generates the `field: ...` initializer list for a named-field body
+/// decoded from a `__map` of field name to content.
+///
+/// A missing field is retried against `Content::Null` before erroring:
+/// `Option<T>` deserializes `Null` to `None`, which reproduces real
+/// serde's missing-`Option`-field behavior, while other types fail the
+/// retry and surface the "missing field" error.
+fn named_field_inits(type_label: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: match __map.remove({f:?}) {{\n\
+             Some(__c) => ::serde::from_content::<_, __D::Error>(__c)?,\n\
+             None => match ::serde::from_content::<_, __D::Error>(::serde::Content::Null) {{\n\
+             ::std::result::Result::Ok(__v) => __v,\n\
+             ::std::result::Result::Err(_) => return ::std::result::Result::Err(\
+             ::serde::de::Error::custom(\"missing field `{f}` of `{type_label}`\")),\n}},\n}},\n"
+        ));
+    }
+    inits
+}
+
+/// Boilerplate that converts `__entries` (a content map's pairs) into a
+/// string-keyed `__map`.
+const MAP_COLLECT: &str = "let mut __map: ::std::collections::BTreeMap<\
+    ::std::string::String, ::serde::Content> = ::std::collections::BTreeMap::new();\n\
+    for (__k, __v) in __entries {\n\
+    if let ::serde::Content::Str(__s) = __k { __map.insert(__s, __v); }\n}\n";
+
+/// Implements `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits = named_field_inits(name, fields);
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Map(__entries) => {{\n{MAP_COLLECT}\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"expected map for struct {name}, found {{__other:?}}\"))),\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "match __content {{\n\
+             ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+             ::std::format!(\"expected null for unit struct {name}, found {{__other:?}}\"))),\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::from_content::<_, __D::Error>(__v)?)),\n"
+                            ));
+                        } else {
+                            let mut elems = String::new();
+                            for _ in 0..*n {
+                                elems.push_str(
+                                    "::serde::from_content::<_, __D::Error>(\
+                                     match __it.next() { Some(__c) => __c, None => return \
+                                     ::std::result::Result::Err(::serde::de::Error::custom(\
+                                     \"tuple variant too short\")) })?,\n",
+                                );
+                            }
+                            data_arms.push_str(&format!(
+                                "{vname:?} => match __v {{\n\
+                                 ::serde::Content::Seq(__items) => {{\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 ::std::result::Result::Ok({name}::{vname}({elems}))\n}}\n\
+                                 __other => ::std::result::Result::Err(\
+                                 ::serde::de::Error::custom(\"expected sequence for tuple \
+                                 variant\")),\n}},\n"
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = named_field_inits(vname, fields);
+                        data_arms.push_str(&format!(
+                            "{vname:?} => match __v {{\n\
+                             ::serde::Content::Map(__entries) => {{\n{MAP_COLLECT}\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}}\n\
+                             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                             \"expected map for struct variant\")),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = __entries.into_iter().next().expect(\"len checked\");\n\
+                 let __k = match __k {{ ::serde::Content::Str(__s) => __s, _ => return \
+                 ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected string variant key\")) }};\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"expected variant for enum {name}, found {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. } | Item::UnitStruct { name } | Item::Enum { name, .. } => {
+            name
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         let __content = __deserializer.deserialize_content()?;\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
