@@ -52,10 +52,30 @@ impl Args {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        Self::parse_with_flags(raw, &[])
+    }
+
+    /// Like [`Args::parse`], but the keys named in `bool_flags` are
+    /// valueless switches: `--strict` records `strict = "true"` without
+    /// consuming the next argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingValue`] if a non-switch `--flag` has no
+    /// value.
+    pub fn parse_with_flags<I, S>(raw: I, bool_flags: &[&str]) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
         let mut out = Args::default();
         let mut iter = raw.into_iter().map(Into::into).peekable();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if bool_flags.contains(&key) {
+                    out.options.insert(key.to_owned(), "true".to_owned());
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| ArgsError::MissingValue(key.to_owned()))?;
@@ -65,6 +85,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Whether a boolean switch (see [`Args::parse_with_flags`]) was set.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
     }
 
     /// Positional arguments in order.
@@ -121,6 +146,22 @@ mod tests {
             Args::parse(["--flag"]),
             Err(ArgsError::MissingValue(_))
         ));
+    }
+
+    #[test]
+    fn bool_flags_do_not_consume_values() {
+        let a = Args::parse_with_flags(
+            ["cmd", "--strict", "file.csv", "--budget", "0.2"],
+            &["strict"],
+        )
+        .unwrap();
+        assert_eq!(a.positionals(), ["cmd", "file.csv"]);
+        assert!(a.flag("strict"));
+        assert!(!a.flag("budget")); // has a value, not a switch
+        assert_eq!(a.get("budget"), Some("0.2"));
+        // A trailing switch needs no value.
+        let b = Args::parse_with_flags(["--strict"], &["strict"]).unwrap();
+        assert!(b.flag("strict"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 
 use spire_core::catalog::MetricCatalog;
 use spire_core::{BottleneckReport, SpireModel, TrainConfig};
-use spire_counters::{collect, Dataset, SessionConfig};
+use spire_counters::{collect, Dataset, IngestConfig, SessionConfig};
 use spire_sim::{Core, CoreConfig, Event};
 use spire_tma::analyze;
 use spire_workloads::{suite, WorkloadProfile};
@@ -31,19 +31,31 @@ COMMANDS:
             [--set train|test|all] [--seed S] [--interval X] [--slice X]
   train     --data FILE --out FILE    train a SPIRE model from a dataset
             [--min-samples N]         (--threads N fans per-metric fits
-            [--threads N]             across N threads; 0 = auto)
+            [--threads N]             across N threads; 0 = auto;
+            [--ingest-report]         --ingest-report prints the stored
+                                      ingest provenance before training)
   analyze   --model FILE --data FILE  rank bottleneck metrics for a workload
             --workload LABEL [--top K] [--threads N]
   tma       --workload N --config C   full TMA breakdown for one workload
             [--cycles X] [--seed S]
-  import-perf --csv FILE --out FILE   convert `perf stat -I -x,` output
-                                      into a SPIRE dataset (label: --label)
+  ingest    --csv FILE --out FILE     fault-tolerant import of `perf stat
+            [--label L]               -I -x,` output: counts are scaled by
+            [--min-frac F]            1/running_frac (multiplex correction,
+            [--budget F]              disable with --no-scale), broken rows
+            [--no-scale] [--strict]   are quarantined under an error budget,
+            [--ingest-report]         and the ingest report is stored with
+                                      the dataset (alias: import-perf;
+                                      --strict fails when over budget)
   plot      --model FILE --data FILE  render a metric's learned roofline
             --metric EVENT --out SVG  with its samples (add --linear for
             [--workload LABEL]        a linear-scale zoom)
   coverage  --data FILE               sampling-coverage diagnostics for a
-            --workload LABEL [--n K]  collected workload
+            --workload LABEL [--n K]  collected workload (multiplex column
+                                      filled from the stored ingest report)
 ";
+
+/// Option names that are valueless switches rather than `--key value`.
+const BOOL_FLAGS: &[&str] = &["linear", "ingest-report", "strict", "no-scale"];
 
 /// Dispatches a command line (without the program name).
 ///
@@ -52,7 +64,7 @@ COMMANDS:
 /// Returns any command error; unknown commands produce the usage text as
 /// an error message.
 pub fn run(argv: &[String]) -> CmdResult {
-    let args = Args::parse(argv.iter().cloned())?;
+    let args = Args::parse_with_flags(argv.iter().cloned(), BOOL_FLAGS)?;
     let Some(command) = args.positionals().first().map(String::as_str) else {
         return Ok(USAGE.to_owned());
     };
@@ -63,7 +75,7 @@ pub fn run(argv: &[String]) -> CmdResult {
         "train" => train(&args),
         "analyze" => analyze_cmd(&args),
         "tma" => tma_cmd(&args),
-        "import-perf" => import_perf(&args),
+        "ingest" | "import-perf" => ingest_cmd(&args),
         "plot" => plot_cmd(&args),
         "coverage" => coverage_cmd(&args),
         "help" | "--help" => Ok(USAGE.to_owned()),
@@ -170,6 +182,21 @@ fn train(args: &Args) -> CmdResult {
     let data_path = args.require("data")?;
     let out_path = args.require("out")?;
     let dataset = Dataset::load(data_path)?;
+    let mut log = String::new();
+    if args.flag("ingest-report") {
+        let mut any = false;
+        for (label, report) in dataset.reports() {
+            any = true;
+            writeln!(log, "{label}: {}", report.summary())?;
+            if report.degraded {
+                writeln!(log, "  warning: capture is degraded (possibly incomplete)")?;
+            }
+        }
+        if !any {
+            writeln!(log, "no ingest reports stored in {data_path}")?;
+        }
+        log.push('\n');
+    }
     let config = TrainConfig {
         min_samples_per_metric: args.get_or("min-samples", 1)?,
         threads: args.get_or("threads", 0)?,
@@ -178,11 +205,13 @@ fn train(args: &Args) -> CmdResult {
     let model = SpireModel::train(&dataset.merged(), config)?;
     let json = serde_json::to_string(&model)?;
     std::fs::write(out_path, &json)?;
-    Ok(format!(
-        "trained {} metric rooflines from {} samples; wrote {out_path}\n",
+    writeln!(
+        log,
+        "trained {} metric rooflines from {} samples; wrote {out_path}",
         model.metric_count(),
         dataset.total_samples()
-    ))
+    )?;
+    Ok(log)
 }
 
 fn analyze_cmd(args: &Args) -> CmdResult {
@@ -237,7 +266,10 @@ fn coverage_cmd(args: &Args) -> CmdResult {
         .map(|(_, column)| column.total_time())
         .fold(0.0f64, f64::max)
         .max(1.0);
-    let report = spire_counters::CoverageReport::new(samples, session_time);
+    let report = match dataset.report(label) {
+        Some(ingest) => spire_counters::CoverageReport::with_ingest(samples, session_time, ingest),
+        None => spire_counters::CoverageReport::new(samples, session_time),
+    };
     let (lo, hi) = report.fraction_range();
     let mut out = format!(
         "workload: {label}
@@ -266,7 +298,7 @@ fn plot_cmd(args: &Args) -> CmdResult {
     let data_path = args.require("data")?;
     let metric_name = args.require("metric")?;
     let out_path = args.require("out")?;
-    let log_axes = args.get("linear").is_none();
+    let log_axes = !args.flag("linear");
 
     let model: SpireModel = serde_json::from_str(&std::fs::read_to_string(model_path)?)?;
     let dataset = Dataset::load(data_path)?;
@@ -298,19 +330,42 @@ fn plot_cmd(args: &Args) -> CmdResult {
     ))
 }
 
-fn import_perf(args: &Args) -> CmdResult {
+fn ingest_cmd(args: &Args) -> CmdResult {
     let csv_path = args.require("csv")?;
     let out_path = args.require("out")?;
     let label = args.get("label").unwrap_or("imported");
+    let config = IngestConfig {
+        min_running_frac: args.get_or("min-frac", 0.05)?,
+        error_budget: args.get_or("budget", 0.5)?,
+        scale_multiplexed: !args.flag("no-scale"),
+        ..IngestConfig::default()
+    };
+    config.validate()?;
     let text = std::fs::read_to_string(csv_path)?;
-    let samples = spire_counters::perf::import_perf_stat(&text)?;
-    let n = samples.len();
+    let out = spire_counters::ingest_perf_csv(&text, &config);
+    // The full table embeds the summary as its first line.
+    let mut log = if args.flag("ingest-report") {
+        out.report.to_table(20)
+    } else {
+        format!("{}\n", out.report.summary())
+    };
+    if args.flag("strict") && out.report.budget_exceeded() {
+        let report = out.report;
+        return Err(spire_core::SpireError::ErrorBudgetExceeded {
+            quarantined: report.rows_quarantined,
+            total: report.rows_seen,
+            budget: report.error_budget,
+        }
+        .into());
+    }
+    let n = out.samples.len();
     let mut dataset = Dataset::new();
-    dataset.insert(label, samples);
+    dataset.insert_with_report(label, out.samples, out.report);
     dataset.save(out_path)?;
-    Ok(format!(
+    log.push_str(&format!(
         "imported {n} samples as `{label}` into {out_path}\n"
-    ))
+    ));
+    Ok(log)
 }
 
 #[cfg(test)]
@@ -508,6 +563,121 @@ mod tests {
         .unwrap();
         assert!(out.contains("coverage fraction range"));
         assert!(out.contains("time frac"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_scales_multiplexed_counts_and_stores_the_report() {
+        let dir = std::env::temp_dir().join("spire-cli-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("perf.csv");
+        let out_file = dir.join("imported.json");
+        std::fs::write(
+            &csv,
+            "1.0,100,,inst_retired.any,1,100,,\n\
+             1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
+             1.0,7,,longest_lat_cache.miss,250000,25.00,,\n\
+             broken line\n",
+        )
+        .unwrap();
+        let out = run_str(&[
+            "ingest",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+            "--label",
+            "mux",
+            "--ingest-report",
+        ])
+        .unwrap();
+        assert!(out.contains("1 quarantined"));
+        assert!(out.contains("quarantine breakdown"));
+        assert!(out.contains("imported 1 samples"));
+        let ds = Dataset::load(&out_file).unwrap();
+        // 7 counted over 25% of the interval -> 28 estimated.
+        let s = ds.get("mux").unwrap().iter().next().unwrap();
+        assert_eq!(s.metric_delta(), 28.0);
+        assert_eq!(ds.report("mux").unwrap().rows_scaled, 1);
+
+        // The stored report feeds the coverage table's mux column.
+        let cov = run_str(&[
+            "coverage",
+            "--data",
+            out_file.to_str().unwrap(),
+            "--workload",
+            "mux",
+        ])
+        .unwrap();
+        assert!(cov.contains("25.0%"));
+
+        // And train --ingest-report surfaces the provenance.
+        let model = dir.join("model.json");
+        let trained = run_str(&[
+            "train",
+            "--data",
+            out_file.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--ingest-report",
+        ])
+        .unwrap();
+        assert!(trained.contains("mux:"));
+        assert!(trained.contains("trained"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_ingest_fails_when_over_budget() {
+        let dir = std::env::temp_dir().join("spire-cli-strict-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("garbage.csv");
+        let out_file = dir.join("out.json");
+        std::fs::write(&csv, "junk\nmore junk\nstill junk\n").unwrap();
+        let common = [
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+        ];
+        // Lenient mode saves the (empty) partial dataset.
+        let mut argv = vec!["ingest"];
+        argv.extend_from_slice(&common);
+        assert!(run_str(&argv).unwrap().contains("3 quarantined"));
+        // Strict mode refuses and writes nothing.
+        std::fs::remove_file(&out_file).ok();
+        argv.push("--strict");
+        let err = run_str(&argv).unwrap_err();
+        assert!(err.to_string().contains("error budget"));
+        assert!(!out_file.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_scale_keeps_raw_counts() {
+        let dir = std::env::temp_dir().join("spire-cli-noscale-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("perf.csv");
+        let out_file = dir.join("out.json");
+        std::fs::write(
+            &csv,
+            "1.0,100,,inst_retired.any,1,100,,\n\
+             1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
+             1.0,7,,longest_lat_cache.miss,250000,25.00,,\n",
+        )
+        .unwrap();
+        run_str(&[
+            "ingest",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+            "--no-scale",
+        ])
+        .unwrap();
+        let ds = Dataset::load(&out_file).unwrap();
+        let s = ds.get("imported").unwrap().iter().next().unwrap();
+        assert_eq!(s.metric_delta(), 7.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

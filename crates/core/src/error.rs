@@ -66,6 +66,20 @@ pub enum SpireError {
         /// Explanation of the constraint that was violated.
         reason: String,
     },
+    /// A fault-tolerant ingest quarantined a larger fraction of its input
+    /// rows than the configured error budget allows.
+    ///
+    /// The partial data is still available from the ingest layer; this
+    /// error is raised only when a caller asks for budget enforcement
+    /// (e.g. a strict import) rather than graceful degradation.
+    ErrorBudgetExceeded {
+        /// Number of rows that were quarantined.
+        quarantined: usize,
+        /// Total number of rows considered.
+        total: usize,
+        /// The configured budget as a fraction of `total` in `[0, 1]`.
+        budget: f64,
+    },
 }
 
 impl fmt::Display for SpireError {
@@ -105,6 +119,16 @@ impl fmt::Display for SpireError {
             SpireError::InvalidConfig { field, reason } => {
                 write!(f, "invalid configuration: {field}: {reason}")
             }
+            SpireError::ErrorBudgetExceeded {
+                quarantined,
+                total,
+                budget,
+            } => write!(
+                f,
+                "ingest quarantined {quarantined} of {total} rows, exceeding the \
+                 error budget of {:.1}%",
+                budget * 100.0
+            ),
         }
     }
 }
@@ -146,6 +170,17 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('1') && msg.contains('3') && msg.contains("stalls"));
+    }
+
+    #[test]
+    fn error_budget_exceeded_reports_counts_and_budget() {
+        let e = SpireError::ErrorBudgetExceeded {
+            quarantined: 7,
+            total: 10,
+            budget: 0.25,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains("10") && msg.contains("25.0%"));
     }
 
     #[test]

@@ -44,7 +44,14 @@ pub struct RightRegion {
 
 impl RightRegion {
     /// Evaluates the region at intensity `x` (which may be `f64::INFINITY`).
+    ///
+    /// A NaN intensity carries no position information, so the result is
+    /// NaN — mirroring the geometry layer, which skips non-finite points
+    /// when fitting — rather than an arbitrary interpolation.
     pub fn eval(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
         if self.knots.is_empty() {
             return self.tail;
         }
@@ -356,6 +363,19 @@ mod tests {
         let front = paper_front();
         let out = fit_right(&front, None);
         assert_eq!(out.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn nan_intensity_evaluates_to_nan() {
+        // Regression: a NaN intensity used to fall through both boundary
+        // comparisons into `piecewise_eval` and return an arbitrary
+        // interpolation between the first knots.
+        let out = fit_right(&paper_front(), None);
+        assert!(out.eval(f64::NAN).is_nan());
+        // The degenerate constant region propagates NaN too.
+        let constant = RightRegion::constant(3.0);
+        assert!(constant.eval(f64::NAN).is_nan());
+        assert_eq!(constant.eval(1.0), 3.0);
     }
 
     #[test]

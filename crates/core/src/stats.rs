@@ -34,16 +34,21 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
         for j in (i + 1)..n {
             let da = a[i] - a[j];
             let db = b[i] - b[j];
-            if da == 0.0 && db == 0.0 {
-                // tied on both: contributes to neither
-            } else if da == 0.0 {
+            // Tau-b's n1/n2 terms count every pair tied on that variable,
+            // including pairs tied on both — dropping joint ties from both
+            // counts shrinks the denominator and inflates |τ|.
+            if da == 0.0 {
                 ties_a += 1;
-            } else if db == 0.0 {
+            }
+            if db == 0.0 {
                 ties_b += 1;
-            } else if (da > 0.0) == (db > 0.0) {
-                concordant += 1;
-            } else {
-                discordant += 1;
+            }
+            if da != 0.0 && db != 0.0 {
+                if (da > 0.0) == (db > 0.0) {
+                    concordant += 1;
+                } else {
+                    discordant += 1;
+                }
             }
         }
     }
@@ -121,22 +126,33 @@ fn ranks(v: &[f64]) -> Vec<f64> {
     out
 }
 
-/// Overlap@k between two ranked lists: the fraction of the first `k`
-/// elements of `a` that also appear in the first `k` of `b`.
+/// Overlap@k between two ranked lists: the number of distinct items shared
+/// by the two `k`-prefixes, as a fraction of the first `k` rank positions.
 ///
-/// Returns `1.0` when `k == 0` (empty prefixes trivially agree). Items
-/// are compared by equality.
+/// `k` is clamped to the longer list, so comparing two identical short
+/// lists yields `1.0`; when one list is shorter than the (clamped) `k`,
+/// its missing positions count as disagreements. Duplicate items within a
+/// prefix are counted once. Returns `1.0` when `k == 0` or both lists are
+/// empty (empty prefixes trivially agree). Items are compared by equality.
+///
+/// This definition is symmetric: `overlap_at_k(a, b, k) ==
+/// overlap_at_k(b, a, k)` for any inputs, in particular for equal-length
+/// rankings of the same metric universe.
 pub fn overlap_at_k<T: PartialEq>(a: &[T], b: &[T], k: usize) -> f64 {
-    if k == 0 {
+    let eff = k.min(a.len().max(b.len()));
+    if eff == 0 {
         return 1.0;
     }
     let ka = &a[..k.min(a.len())];
     let kb = &b[..k.min(b.len())];
-    if ka.is_empty() {
-        return 1.0;
+    let mut hits = 0usize;
+    for (i, x) in ka.iter().enumerate() {
+        // Count each distinct shared item once, regardless of duplicates.
+        if !ka[..i].contains(x) && kb.contains(x) {
+            hits += 1;
+        }
     }
-    let hits = ka.iter().filter(|x| kb.contains(x)).count();
-    hits as f64 / ka.len() as f64
+    hits as f64 / eff as f64
 }
 
 /// Mean and sample standard deviation of a slice; `(0, 0)` when empty.
@@ -182,6 +198,81 @@ mod tests {
         kendall_tau(&[1.0], &[1.0, 2.0]);
     }
 
+    /// Textbook tau-b computed from tie-group sizes: `n1`/`n2` are the
+    /// numbers of pairs tied within `a` / within `b` (joint ties included
+    /// in both), and the numerator sums `sign(da) * sign(db)`.
+    fn tau_b_reference(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut num = 0i64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let sa = (a[i] - a[j]).partial_cmp(&0.0).unwrap() as i64;
+                let sb = (b[i] - b[j]).partial_cmp(&0.0).unwrap() as i64;
+                num += sa * sb;
+            }
+        }
+        let tie_pairs = |v: &[f64]| -> i64 {
+            let mut sorted = v.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let mut pairs = 0i64;
+            let mut i = 0;
+            while i < sorted.len() {
+                let mut t = 1i64;
+                while i + 1 < sorted.len() && sorted[i + 1] == sorted[i] {
+                    t += 1;
+                    i += 1;
+                }
+                pairs += t * (t - 1) / 2;
+                i += 1;
+            }
+            pairs
+        };
+        let n0 = (n * (n - 1) / 2) as i64;
+        let denom = (((n0 - tie_pairs(a)) as f64) * ((n0 - tie_pairs(b)) as f64)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            num as f64 / denom
+        }
+    }
+
+    #[test]
+    fn kendall_matches_brute_force_tau_b_on_tie_heavy_inputs() {
+        // Deterministic pseudo-random vectors drawn from a small integer
+        // alphabet, so ties — including pairs tied on both variables —
+        // are frequent.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let n = 2 + (next() % 12) as usize;
+            let alphabet = 1 + (next() % 4);
+            let a: Vec<f64> = (0..n).map(|_| (next() % alphabet) as f64).collect();
+            let b: Vec<f64> = (0..n).map(|_| (next() % alphabet) as f64).collect();
+            let got = kendall_tau(&a, &b);
+            let want = tau_b_reference(&a, &b);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "trial {trial}: kendall_tau = {got}, reference = {want}\n a = {a:?}\n b = {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kendall_counts_joint_ties_in_both_denominator_terms() {
+        // One pair tied on both variables; the other pairs are concordant.
+        // Reference tau-b: C=2, D=0, n0=3, n1=n2=1 -> 2/sqrt(2*2) = 1.
+        let t = kendall_tau(&[1.0, 1.0, 2.0], &[5.0, 5.0, 9.0]);
+        assert!((t - 1.0).abs() < 1e-12, "tau = {t}");
+    }
+
     #[test]
     fn spearman_matches_monotone_transforms() {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0];
@@ -209,8 +300,36 @@ mod tests {
         assert!((overlap_at_k(&a, &b, 2) - 1.0).abs() < 1e-12);
         assert!((overlap_at_k(&a, &b, 3) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(overlap_at_k(&a, &b, 0), 1.0);
+        // A missing list cannot agree with a populated prefix.
         let empty: [&str; 0] = [];
-        assert_eq!(overlap_at_k(&empty, &b, 3), 1.0);
+        assert_eq!(overlap_at_k(&empty, &b, 3), 0.0);
+        assert_eq!(overlap_at_k(&empty, &empty, 3), 1.0);
+    }
+
+    #[test]
+    fn overlap_at_k_is_symmetric_for_short_lists() {
+        // Regression: the old implementation divided by `ka.len()`, so a
+        // short `a` against a long `b` disagreed with the swapped call.
+        let a = ["x", "y"];
+        let b = ["y", "q", "x", "r"];
+        for k in 0..=5 {
+            assert_eq!(
+                overlap_at_k(&a, &b, k),
+                overlap_at_k(&b, &a, k),
+                "asymmetric at k={k}"
+            );
+        }
+        // k clamps to the longer list: identical short lists still agree
+        // perfectly even when k exceeds both lengths.
+        assert_eq!(overlap_at_k(&a, &a, 5), 1.0);
+        // k=3 prefixes: {x,y} vs {y,q,x} share 2 distinct items over 3
+        // positions.
+        assert!((overlap_at_k(&a, &b, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // Duplicates within a prefix are counted once.
+        let dup = ["x", "x", "y"];
+        let other = ["x", "y", "z"];
+        assert!((overlap_at_k(&dup, &other, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(overlap_at_k(&dup, &other, 3), overlap_at_k(&other, &dup, 3));
     }
 
     #[test]

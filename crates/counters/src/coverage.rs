@@ -10,6 +10,8 @@
 use serde::{Deserialize, Serialize};
 use spire_core::SampleSet;
 
+use crate::ingest::IngestReport;
+
 /// Coverage summary for one metric within a sample set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricCoverage {
@@ -24,6 +26,10 @@ pub struct MetricCoverage {
     /// Coefficient of variation of the samples' throughput — high values
     /// indicate phase behaviour that a single average may misrepresent.
     pub throughput_cv: f64,
+    /// Mean multiplex running fraction reported by the ingest layer, when
+    /// the samples came from a perf capture that recorded one (`None` for
+    /// simulator sessions and legacy captures).
+    pub mean_running_frac: Option<f64>,
 }
 
 /// A coverage report over a sample set.
@@ -43,6 +49,18 @@ impl CoverageReport {
     ///
     /// Panics if `session_cycles` is not positive.
     pub fn new(samples: &SampleSet, session_cycles: f64) -> Self {
+        Self::build(samples, session_cycles, None)
+    }
+
+    /// Like [`CoverageReport::new`], but annotates each metric with the
+    /// multiplex running fraction observed by a fault-tolerant ingest, so
+    /// the coverage table shows how much of each interval the underlying
+    /// hardware counter was actually live for.
+    pub fn with_ingest(samples: &SampleSet, session_cycles: f64, ingest: &IngestReport) -> Self {
+        Self::build(samples, session_cycles, Some(ingest))
+    }
+
+    fn build(samples: &SampleSet, session_cycles: f64, ingest: Option<&IngestReport>) -> Self {
         assert!(session_cycles > 0.0, "session duration must be positive");
         let mut per_metric = Vec::new();
         for (metric, group) in samples.by_metric() {
@@ -54,6 +72,7 @@ impl CoverageReport {
                 measured_time,
                 time_fraction: measured_time / session_cycles,
                 throughput_cv: if mean > 0.0 { std / mean } else { 0.0 },
+                mean_running_frac: ingest.and_then(|r| r.event_running_frac(metric.as_str())),
             });
         }
         CoverageReport {
@@ -103,16 +122,20 @@ impl CoverageReport {
         let mut rows: Vec<&MetricCoverage> = self.per_metric.iter().collect();
         rows.sort_by(|a, b| a.time_fraction.total_cmp(&b.time_fraction));
         let mut out = format!(
-            "{:<50} {:>8} {:>10} {:>8}\n",
-            "metric", "samples", "time frac", "P cv"
+            "{:<50} {:>8} {:>10} {:>8} {:>9}\n",
+            "metric", "samples", "time frac", "P cv", "mux frac"
         );
         for m in rows.into_iter().take(n) {
+            let mux = m
+                .mean_running_frac
+                .map_or("-".to_owned(), |f| format!("{:.1}%", f * 100.0));
             out.push_str(&format!(
-                "{:<50} {:>8} {:>9.2}% {:>8.3}\n",
+                "{:<50} {:>8} {:>9.2}% {:>8.3} {:>9}\n",
                 m.metric,
                 m.samples,
                 m.time_fraction * 100.0,
-                m.throughput_cv
+                m.throughput_cv,
+                mux
             ));
         }
         out
@@ -189,5 +212,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_duration_panics() {
         CoverageReport::new(&SampleSet::new(), 0.0);
+    }
+
+    #[test]
+    fn ingest_report_annotates_multiplex_fractions() {
+        let text = "\
+1.0,1000,,inst_retired.any,1000000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000000,100.00,,
+1.0,120,,evt.a,250000,25.00,,
+";
+        let out = crate::ingest_perf_csv(text, &crate::IngestConfig::default());
+        let report = CoverageReport::with_ingest(&out.samples, 500.0, &out.report);
+        let m = &report.per_metric()[0];
+        assert_eq!(m.metric, "evt.a");
+        assert_eq!(m.mean_running_frac, Some(0.25));
+        assert!(report.to_table(5).contains("25.0%"));
+        // The plain constructor leaves the annotation empty.
+        let plain = CoverageReport::new(&out.samples, 500.0);
+        assert_eq!(plain.per_metric()[0].mean_running_frac, None);
+        assert!(plain.to_table(5).contains("mux frac"));
     }
 }

@@ -12,6 +12,8 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 use spire_core::SampleSet;
 
+use crate::ingest::IngestReport;
+
 /// A labeled collection of sample sets.
 ///
 /// ```
@@ -33,6 +35,10 @@ use spire_core::SampleSet;
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     entries: BTreeMap<String, SampleSet>,
+    /// Per-label ingest provenance, for entries that came through the
+    /// fault-tolerant perf ingest. `Option` so datasets persisted before
+    /// this field existed still deserialize (absent → `None`).
+    reports: Option<BTreeMap<String, IngestReport>>,
 }
 
 impl Dataset {
@@ -43,12 +49,44 @@ impl Dataset {
 
     /// Inserts (or replaces) a labeled sample set.
     pub fn insert(&mut self, label: impl Into<String>, samples: SampleSet) {
-        self.entries.insert(label.into(), samples);
+        let label = label.into();
+        if let Some(reports) = &mut self.reports {
+            reports.remove(&label);
+        }
+        self.entries.insert(label, samples);
+    }
+
+    /// Inserts a labeled sample set together with the [`IngestReport`]
+    /// that produced it, preserving the capture's provenance (multiplex
+    /// coverage, quarantines, degradation) alongside the data.
+    pub fn insert_with_report(
+        &mut self,
+        label: impl Into<String>,
+        samples: SampleSet,
+        report: IngestReport,
+    ) {
+        let label = label.into();
+        self.reports
+            .get_or_insert_with(BTreeMap::new)
+            .insert(label.clone(), report);
+        self.entries.insert(label, samples);
     }
 
     /// Looks up a sample set by label.
     pub fn get(&self, label: &str) -> Option<&SampleSet> {
         self.entries.get(label)
+    }
+
+    /// Looks up the ingest provenance recorded for a label, if any.
+    pub fn report(&self, label: &str) -> Option<&IngestReport> {
+        self.reports.as_ref()?.get(label)
+    }
+
+    /// Iterates `(label, report)` pairs for every entry with provenance.
+    pub fn reports(&self) -> impl Iterator<Item = (&str, &IngestReport)> {
+        self.reports
+            .iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (k.as_str(), v)))
     }
 
     /// Iterates `(label, samples)` pairs in label order.
@@ -130,6 +168,7 @@ impl FromIterator<(String, SampleSet)> for Dataset {
     fn from_iter<I: IntoIterator<Item = (String, SampleSet)>>(iter: I) -> Self {
         Dataset {
             entries: iter.into_iter().collect(),
+            reports: None,
         }
     }
 }
@@ -189,6 +228,45 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(Dataset::load("/nonexistent/path/ds.json").is_err());
+    }
+
+    #[test]
+    fn reports_persist_with_their_entries() {
+        let text = "\
+1.0,1000,,inst_retired.any,1000000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000000,100.00,,
+1.0,120,,evt.a,250000,25.00,,
+garbage line
+";
+        let out = crate::ingest_perf_csv(text, &crate::IngestConfig::default());
+        let mut d = Dataset::new();
+        d.insert_with_report("capture", out.samples, out.report);
+        d.insert("plain", set(1));
+        assert_eq!(d.report("capture").unwrap().rows_quarantined, 1);
+        assert!(d.report("plain").is_none());
+        let back = Dataset::from_json(&d.to_json().unwrap()).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.report("capture").unwrap().rows_scaled, 1);
+        assert_eq!(back.reports().count(), 1);
+    }
+
+    #[test]
+    fn plain_insert_clears_stale_provenance() {
+        let out = crate::ingest_perf_csv("", &crate::IngestConfig::default());
+        let mut d = Dataset::new();
+        d.insert_with_report("x", out.samples, out.report);
+        assert!(d.report("x").is_some());
+        d.insert("x", set(1));
+        assert!(d.report("x").is_none());
+    }
+
+    #[test]
+    fn datasets_without_reports_field_still_load() {
+        // JSON persisted before provenance existed has no `reports` key.
+        let legacy = r#"{"entries": {}}"#;
+        let d = Dataset::from_json(legacy).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.reports().count(), 0);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //!   1.6% average overhead statistic).
 //! * [`perf`] — imports real `perf stat -I -x,` output, so models can be
 //!   trained on actual hardware counters with the same pipeline.
+//! * [`ingest`] — the multiplex-aware, fault-tolerant version of that
+//!   import: counts are scaled by `1 / running_frac`, broken rows are
+//!   quarantined under an error budget, and every run yields an
+//!   [`IngestReport`].
+//! * [`proc`] — supervises a live `perf` child process with deadline,
+//!   retry, and graceful-degradation handling.
 //! * [`Dataset`] — labeled, JSON-persisted sample corpora.
 //!
 //! ```
@@ -35,11 +41,18 @@
 
 mod coverage;
 mod dataset;
+pub mod ingest;
 pub mod perf;
+pub mod proc;
 mod schedule;
 mod session;
 
 pub use coverage::{CoverageReport, MetricCoverage};
 pub use dataset::Dataset;
+pub use ingest::{
+    ingest_perf_csv, EventCoverage, Ingest, IngestConfig, IngestReport, QuarantineReason,
+    QuarantinedRow,
+};
+pub use proc::{run_capture, Capture, CaptureConfig, CaptureOutcome};
 pub use schedule::MultiplexSchedule;
 pub use session::{collect, SessionConfig, SessionReport};

@@ -14,19 +14,28 @@
 //! rows whose count is `<not counted>` or `<not supported>` are skipped.
 //! Within each interval, the designated *work* and *time* events supply
 //! `W` and `T`, and every other event becomes one sample.
+//!
+//! Multiplexed captures report a `pct_running` below 100%: the counter was
+//! live for only that fraction of the interval, so the raw count
+//! undercounts the interval by the same factor. The conversion functions
+//! here scale counts by `1 / running_frac` (see [`crate::IngestConfig`]);
+//! the fault-tolerant entry point with quarantine accounting is
+//! [`crate::ingest_perf_csv`].
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use spire_core::{MetricId, Sample, SampleSet};
+use spire_core::SampleSet;
+
+use crate::ingest::{self, IngestConfig};
 
 /// One parsed `perf stat -I -x,` row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfRow {
     /// Interval end time in seconds.
     pub time_s: f64,
-    /// Counter value for the interval (already scaled by perf).
+    /// Raw counter value for the interval (not yet corrected for
+    /// multiplexing; see [`PerfRow::running_frac`]).
     pub count: f64,
     /// Event name.
     pub event: String,
@@ -110,61 +119,119 @@ impl std::error::Error for PerfParseError {}
 pub fn parse_perf_csv(text: &str) -> Result<Vec<PerfRow>, PerfParseError> {
     let mut rows = Vec::new();
     for (idx, line) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+        match parse_row(idx + 1, line) {
+            RowParse::Row(row) => rows.push(row),
+            RowParse::Blank | RowParse::NotCounted { .. } => {}
+            RowParse::Malformed { line, row } => {
+                return Err(PerfParseError::MalformedRow { line, row });
+            }
+            RowParse::BadNumber { line, value } => {
+                return Err(PerfParseError::BadNumber { line, value });
+            }
         }
-        let fields: Vec<&str> = trimmed.split(',').collect();
-        if fields.len() < 4 {
-            return Err(PerfParseError::MalformedRow {
-                line: line_no,
-                row: trimmed.to_owned(),
-            });
-        }
-        let count_field = fields[1].trim();
-        if count_field.starts_with('<') {
-            // "<not counted>" / "<not supported>"
-            continue;
-        }
-        let time_s: f64 = fields[0]
-            .trim()
-            .parse()
-            .map_err(|_| PerfParseError::BadNumber {
-                line: line_no,
-                value: fields[0].to_owned(),
-            })?;
-        let count: f64 = count_field.parse().map_err(|_| PerfParseError::BadNumber {
-            line: line_no,
-            value: count_field.to_owned(),
-        })?;
-        let event = fields[3].trim().to_owned();
-        if event.is_empty() {
-            return Err(PerfParseError::MalformedRow {
-                line: line_no,
-                row: trimmed.to_owned(),
-            });
-        }
-        let running_frac = fields
-            .get(5)
-            .and_then(|s| s.trim().parse::<f64>().ok())
-            .map(|pct| pct / 100.0);
-        rows.push(PerfRow {
-            time_s,
-            count,
-            event,
-            running_frac,
-        });
     }
     Ok(rows)
 }
 
-/// Converts parsed perf rows into a SPIRE [`SampleSet`].
+/// The outcome of parsing one line of perf CSV.
+///
+/// The strict path ([`parse_perf_csv`]) turns the failure variants into
+/// hard [`PerfParseError`]s; the fault-tolerant path
+/// ([`crate::ingest_perf_csv`]) quarantines them instead.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RowParse {
+    /// A structurally valid numeric row.
+    Row(PerfRow),
+    /// A comment or empty line.
+    Blank,
+    /// A `<not counted>` / `<not supported>` row.
+    NotCounted {
+        /// Whether the event was supported (`<not counted>`) or not
+        /// (`<not supported>`).
+        supported: bool,
+    },
+    /// A row with too few fields or an empty event name.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending row text.
+        row: String,
+    },
+    /// A numeric field that failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The field's content.
+        value: String,
+    },
+}
+
+/// Classifies one line of `perf stat -I -x,` output.
+pub(crate) fn parse_row(line_no: usize, line: &str) -> RowParse {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return RowParse::Blank;
+    }
+    let fields: Vec<&str> = trimmed.split(',').collect();
+    if fields.len() < 4 {
+        return RowParse::Malformed {
+            line: line_no,
+            row: trimmed.to_owned(),
+        };
+    }
+    let count_field = fields[1].trim();
+    if count_field.starts_with('<') {
+        // "<not counted>" / "<not supported>"
+        return RowParse::NotCounted {
+            supported: !count_field.contains("not supported"),
+        };
+    }
+    let Ok(time_s) = fields[0].trim().parse::<f64>() else {
+        return RowParse::BadNumber {
+            line: line_no,
+            value: fields[0].to_owned(),
+        };
+    };
+    let Ok(count) = count_field.parse::<f64>() else {
+        return RowParse::BadNumber {
+            line: line_no,
+            value: count_field.to_owned(),
+        };
+    };
+    let event = fields[3].trim().to_owned();
+    if event.is_empty() {
+        return RowParse::Malformed {
+            line: line_no,
+            row: trimmed.to_owned(),
+        };
+    }
+    let running_frac = fields
+        .get(5)
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .map(|pct| pct / 100.0);
+    RowParse::Row(PerfRow {
+        time_s,
+        count,
+        event,
+        running_frac,
+    })
+}
+
+/// Converts parsed perf rows into a SPIRE [`SampleSet`], correcting
+/// multiplexed counts.
 ///
 /// Rows are grouped by interval timestamp; within each interval, the
 /// `work_event` row supplies `W`, the `time_event` row supplies `T`, and
-/// every other row becomes one sample for its event. Intervals missing
-/// either fixed event are skipped.
+/// every other row becomes one sample for its event. Counts with a
+/// running fraction below 100% are scaled by `1 / running_frac` (the
+/// counter was live for only that fraction of the interval); rows whose
+/// fraction falls below the default [`IngestConfig::min_running_frac`]
+/// floor are dropped as unreliable rather than wildly extrapolated.
+/// Intervals missing either fixed event are skipped.
+///
+/// This is the strict wrapper over [`crate::ingest_perf_csv`]'s engine;
+/// use that entry point to also receive an [`crate::IngestReport`] of
+/// what was scaled, quarantined, or dropped.
 ///
 /// # Errors
 ///
@@ -175,53 +242,23 @@ pub fn samples_from_rows(
     work_event: &str,
     time_event: &str,
 ) -> Result<SampleSet, PerfParseError> {
-    // Group rows by interval; timestamps are bit-identical within one
-    // perf interval, so an ordered map on the raw bits is exact.
-    let mut intervals: BTreeMap<u64, Vec<&PerfRow>> = BTreeMap::new();
-    for row in rows {
-        intervals.entry(row.time_s.to_bits()).or_default().push(row);
-    }
-
-    let mut samples = SampleSet::new();
-    let mut found_fixed = false;
-    for group in intervals.values() {
-        let work = group.iter().find(|r| r.event == work_event);
-        let time = group.iter().find(|r| r.event == time_event);
-        let (Some(work), Some(time)) = (work, time) else {
-            continue;
-        };
-        if time.count <= 0.0 || !time.count.is_finite() || work.count < 0.0 {
-            continue;
-        }
-        found_fixed = true;
-        for row in group {
-            if row.event == work_event || row.event == time_event {
-                continue;
-            }
-            if row.count < 0.0 || !row.count.is_finite() {
-                continue;
-            }
-            let sample = Sample::new(
-                MetricId::new(row.event.as_str()),
-                time.count,
-                work.count,
-                row.count,
-            )
-            .expect("fields validated above");
-            samples.push(sample);
-        }
-    }
-    if !found_fixed {
+    let config = IngestConfig {
+        work_event: work_event.to_owned(),
+        time_event: time_event.to_owned(),
+        ..IngestConfig::default()
+    };
+    let out = ingest::ingest_rows(rows, &config);
+    if out.report.intervals_ingested == 0 {
         return Err(PerfParseError::MissingFixedEvents {
             work_event: work_event.to_owned(),
             time_event: time_event.to_owned(),
         });
     }
-    Ok(samples)
+    Ok(out.samples)
 }
 
-/// One-step convenience: parse perf CSV text and build samples using the
-/// paper's fixed events (`inst_retired.any` and
+/// One-step convenience: parse perf CSV text and build multiplex-corrected
+/// samples using the paper's fixed events (`inst_retired.any` and
 /// `cpu_clk_unhalted.thread`).
 ///
 /// # Errors
@@ -229,7 +266,8 @@ pub fn samples_from_rows(
 /// Propagates [`PerfParseError`] from parsing and conversion.
 pub fn import_perf_stat(text: &str) -> Result<SampleSet, PerfParseError> {
     let rows = parse_perf_csv(text)?;
-    samples_from_rows(&rows, "inst_retired.any", "cpu_clk_unhalted.thread")
+    let config = IngestConfig::default();
+    samples_from_rows(&rows, &config.work_event, &config.time_event)
 }
 
 /// Runs `stream` on `core` and emits `perf stat -I -x,`-style CSV: one
@@ -308,12 +346,24 @@ mod tests {
         let set = import_perf_stat(SAMPLE).unwrap();
         // Interval 1: 2 metric rows; interval 2: 1 (misp not counted).
         assert_eq!(set.len(), 3);
-        let misp = set.samples_for(&MetricId::new("br_misp_retired.all_branches"));
+        let misp = set.samples_for(&spire_core::MetricId::new("br_misp_retired.all_branches"));
         assert_eq!(misp.len(), 1);
         assert_eq!(misp[0].work(), 1.2e9);
         assert_eq!(misp[0].time(), 1e9);
-        assert_eq!(misp[0].metric_delta(), 5e6);
+        // The counter ran for 25% of the interval, so the raw 5e6 count is
+        // scaled by 1/0.25 to estimate the full interval.
+        assert_eq!(misp[0].metric_delta(), 2e7);
         assert!((misp[0].throughput() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplexed_counts_are_scaled_by_running_fraction() {
+        let miss = import_perf_stat(SAMPLE).unwrap();
+        let miss = miss.samples_for(&spire_core::MetricId::new("longest_lat_cache.miss"));
+        assert_eq!(miss.len(), 2);
+        // 300000 at 25% -> 1.2e6; 250000 at 50% -> 5e5.
+        assert_eq!(miss[0].metric_delta(), 1.2e6);
+        assert_eq!(miss[1].metric_delta(), 5e5);
     }
 
     #[test]
@@ -326,6 +376,51 @@ mod tests {
     fn bad_number_is_an_error() {
         let err = parse_perf_csv("abc,42,,evt,1,100,,\n").unwrap_err();
         assert!(matches!(err, PerfParseError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn trailing_commas_are_tolerated() {
+        let rows = parse_perf_csv("1.0,42,,evt,1,100,,,,,,\n").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].event, "evt");
+        assert_eq!(rows[0].running_frac, Some(1.0));
+    }
+
+    #[test]
+    fn not_supported_and_not_counted_are_both_skipped() {
+        let text = "\
+1.0,<not counted>,,idq.dsb_uops,0,0.00,,
+1.0,<not supported>,,slots,0,0.00,,
+1.0,42,,evt,1,100,,
+";
+        let rows = parse_perf_csv(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].event, "evt");
+        assert!(matches!(
+            parse_row(1, "1.0,<not counted>,,e,0,0.00,,"),
+            RowParse::NotCounted { supported: true }
+        ));
+        assert!(matches!(
+            parse_row(1, "1.0,<not supported>,,e,0,0.00,,"),
+            RowParse::NotCounted { supported: false }
+        ));
+    }
+
+    #[test]
+    fn empty_running_fraction_field_means_unknown() {
+        let rows = parse_perf_csv("1.0,42,,evt,1,,,\n").unwrap();
+        assert_eq!(rows[0].running_frac, None);
+        // A row short enough to have no fraction field at all.
+        let rows = parse_perf_csv("1.0,42,,evt\n").unwrap();
+        assert_eq!(rows[0].running_frac, None);
+        // Unknown fractions are ingested unscaled.
+        let text = "\
+1.0,100,,inst_retired.any,1,100,,
+1.0,50,,cpu_clk_unhalted.thread,1,100,,
+1.0,7,,evt,1,,,
+";
+        let set = import_perf_stat(text).unwrap();
+        assert_eq!(set.iter().next().unwrap().metric_delta(), 7.0);
     }
 
     #[test]

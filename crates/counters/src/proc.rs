@@ -1,0 +1,348 @@
+//! Supervised `perf` child-process capture.
+//!
+//! Running `perf stat` for real is the least reliable link in the ingest
+//! chain: the tool can be missing, refuse an event list, wedge on a
+//! dead workload, or be OOM-killed halfway through a capture. This
+//! module wraps the child process in deadline, retry-with-backoff, and
+//! graceful-degradation logic so that every outcome — including a
+//! killed or hung `perf` — still produces an honestly-labeled
+//! [`Ingest`] instead of a panic, a hang, or a silent empty dataset.
+//!
+//! The supervisor never blocks indefinitely: stdout and stderr are
+//! drained by chunk-reader threads feeding channels, so even a
+//! grandchild that inherits the pipes cannot wedge the caller past the
+//! configured deadline.
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::ingest::{ingest_perf_csv, Ingest, IngestConfig};
+
+/// Configuration for a supervised capture run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureConfig {
+    /// Program to execute (normally `perf`).
+    pub program: String,
+    /// Arguments passed verbatim (e.g. `stat -I 2000 -x, -e ... -- cmd`).
+    pub args: Vec<String>,
+    /// Hard deadline per attempt; a child still running at the deadline
+    /// is killed and its partial output ingested.
+    pub timeout: Duration,
+    /// Total attempts (at least 1). An attempt is retried only when it
+    /// produced no samples at all; partial data is accepted as-is.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubled after each failure.
+    pub initial_backoff: Duration,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig {
+            program: "perf".to_owned(),
+            args: Vec::new(),
+            timeout: Duration::from_secs(600),
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// How a supervised capture ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaptureOutcome {
+    /// The child exited successfully before the deadline.
+    Completed,
+    /// The child was still running at the deadline and was killed; any
+    /// output produced before the kill was ingested.
+    TimedOut,
+    /// The child exited with a non-zero status (code, when one exists —
+    /// a signal-terminated child reports none).
+    ExitedNonZero(Option<i32>),
+    /// The child could not be spawned at all.
+    SpawnFailed(String),
+}
+
+/// Result of a supervised capture: the (possibly partial) ingest plus
+/// how the run ended and how many attempts it took.
+#[derive(Debug)]
+pub struct Capture {
+    /// Ingested samples and report. On any outcome other than
+    /// [`CaptureOutcome::Completed`], the report is marked degraded.
+    pub ingest: Ingest,
+    /// How the final attempt ended.
+    pub outcome: CaptureOutcome,
+    /// Number of attempts made (1-based).
+    pub attempts: u32,
+}
+
+/// Spawns a chunk-reader thread that forwards a stream through a channel,
+/// so the supervisor can stop listening without blocking on a pipe that
+/// a grandchild may still hold open.
+fn drain<R: Read + Send + 'static>(mut stream: R) -> mpsc::Receiver<Vec<u8>> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut buf = [0u8; 8192];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                // A dropped receiver means the supervisor gave up; keep
+                // draining quietly so the child never blocks on a full
+                // pipe, but stop once the read errors out.
+                Ok(n) => {
+                    let _ = tx.send(buf[..n].to_vec());
+                }
+            }
+        }
+    });
+    rx
+}
+
+/// Pulls everything currently queued on a reader channel.
+fn recv_pending(rx: &mpsc::Receiver<Vec<u8>>, into: &mut Vec<u8>) {
+    while let Ok(chunk) = rx.try_recv() {
+        into.extend_from_slice(&chunk);
+    }
+}
+
+/// Gives a finished child's reader a short grace period to flush.
+fn recv_grace(rx: &mpsc::Receiver<Vec<u8>>, into: &mut Vec<u8>, grace: Duration) {
+    let deadline = Instant::now() + grace;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(chunk) => into.extend_from_slice(&chunk),
+            Err(_) => break,
+        }
+    }
+}
+
+fn kill_and_reap(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Runs one supervised attempt; returns raw stdout bytes and the outcome.
+fn run_attempt(config: &CaptureConfig) -> (Vec<u8>, CaptureOutcome) {
+    let mut child = match Command::new(&config.program)
+        .args(&config.args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => return (Vec::new(), CaptureOutcome::SpawnFailed(e.to_string())),
+    };
+
+    let stdout_rx = drain(child.stdout.take().expect("stdout was piped"));
+    // Stderr must be drained too or a chatty perf can wedge on a full
+    // pipe; its content is not ingested.
+    let _stderr_rx = drain(child.stderr.take().expect("stderr was piped"));
+
+    let deadline = Instant::now() + config.timeout;
+    let grace = Duration::from_millis(250);
+    let mut out = Vec::new();
+    loop {
+        recv_pending(&stdout_rx, &mut out);
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                recv_grace(&stdout_rx, &mut out, grace);
+                let outcome = if status.success() {
+                    CaptureOutcome::Completed
+                } else {
+                    CaptureOutcome::ExitedNonZero(status.code())
+                };
+                return (out, outcome);
+            }
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    kill_and_reap(&mut child);
+                    recv_grace(&stdout_rx, &mut out, grace);
+                    return (out, CaptureOutcome::TimedOut);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                kill_and_reap(&mut child);
+                recv_grace(&stdout_rx, &mut out, grace);
+                return (out, CaptureOutcome::SpawnFailed(e.to_string()));
+            }
+        }
+    }
+}
+
+/// Runs a supervised, fault-tolerant capture.
+///
+/// Each attempt runs the configured program under a hard deadline; a
+/// child still alive at the deadline is killed and whatever it wrote is
+/// ingested. Attempts that yield **no samples at all** are retried with
+/// exponential backoff up to [`CaptureConfig::max_attempts`]; an attempt
+/// that yields any samples is accepted immediately. On every outcome
+/// other than a clean exit, the returned report is marked
+/// [`degraded`](crate::IngestReport::degraded) with a reason, so
+/// downstream consumers know the capture may be incomplete.
+///
+/// # Panics
+///
+/// Panics if `ingest` fails [`IngestConfig::validate`].
+pub fn run_capture(config: &CaptureConfig, ingest: &IngestConfig) -> Capture {
+    let attempts_allowed = config.max_attempts.max(1);
+    let mut backoff = config.initial_backoff;
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let (bytes, outcome) = run_attempt(config);
+        let text = String::from_utf8_lossy(&bytes);
+        let mut result = ingest_perf_csv(&text, ingest);
+        match &outcome {
+            CaptureOutcome::Completed => {}
+            CaptureOutcome::TimedOut => {
+                result.report.degraded = true;
+                result.report.degraded_reason = Some(format!(
+                    "capture killed at the {:?} deadline; partial output ingested",
+                    config.timeout
+                ));
+            }
+            CaptureOutcome::ExitedNonZero(code) => {
+                result.report.degraded = true;
+                result.report.degraded_reason = Some(match code {
+                    Some(c) => format!("perf exited with status {c}"),
+                    None => "perf was terminated by a signal".to_owned(),
+                });
+            }
+            CaptureOutcome::SpawnFailed(e) => {
+                result.report.degraded = true;
+                result.report.degraded_reason = Some(format!("failed to run perf: {e}"));
+            }
+        }
+        let recovered = !result.samples.is_empty();
+        if recovered || attempt >= attempts_allowed {
+            return Capture {
+                ingest: result,
+                outcome,
+                attempts: attempt,
+            };
+        }
+        std::thread::sleep(backoff);
+        backoff = backoff.saturating_mul(2);
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    /// A minimal valid two-event capture body.
+    const CSV: &str = "1.0,1000,,inst_retired.any,1000000,100.00,,\\n\
+                       1.0,500,,cpu_clk_unhalted.thread,1000000,100.00,,\\n\
+                       1.0,120,,evt.a,250000,25.00,,\\n";
+
+    fn sh(script: String) -> CaptureConfig {
+        CaptureConfig {
+            program: "/bin/sh".to_owned(),
+            args: vec!["-c".to_owned(), script],
+            timeout: Duration::from_secs(10),
+            max_attempts: 1,
+            initial_backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn clean_exit_yields_samples_and_no_degradation() {
+        let cap = run_capture(&sh(format!("printf '{CSV}'")), &IngestConfig::default());
+        assert_eq!(cap.outcome, CaptureOutcome::Completed);
+        assert_eq!(cap.attempts, 1);
+        assert_eq!(cap.ingest.samples.len(), 1);
+        assert!(!cap.ingest.report.degraded);
+        // Multiplex correction applies on the supervised path too.
+        let s = cap.ingest.samples.iter().next().unwrap();
+        assert_eq!(s.metric_delta(), 480.0);
+    }
+
+    #[test]
+    fn nonzero_exit_keeps_partial_output_and_marks_degraded() {
+        let cap = run_capture(
+            &sh(format!("printf '{CSV}'; exit 3")),
+            &IngestConfig::default(),
+        );
+        assert_eq!(cap.outcome, CaptureOutcome::ExitedNonZero(Some(3)));
+        assert_eq!(cap.ingest.samples.len(), 1);
+        assert!(cap.ingest.report.degraded);
+        assert!(cap
+            .ingest
+            .report
+            .degraded_reason
+            .as_deref()
+            .unwrap()
+            .contains("status 3"));
+    }
+
+    #[test]
+    fn wedged_child_is_killed_at_the_deadline_with_partial_ingest() {
+        let mut config = sh(format!("printf '{CSV}'; exec sleep 30"));
+        config.timeout = Duration::from_millis(300);
+        let start = Instant::now();
+        let cap = run_capture(&config, &IngestConfig::default());
+        assert!(start.elapsed() < Duration::from_secs(5), "supervisor hung");
+        assert_eq!(cap.outcome, CaptureOutcome::TimedOut);
+        assert_eq!(cap.ingest.samples.len(), 1);
+        assert!(cap.ingest.report.degraded);
+        assert!(cap
+            .ingest
+            .report
+            .degraded_reason
+            .as_deref()
+            .unwrap()
+            .contains("deadline"));
+    }
+
+    #[test]
+    fn missing_program_degrades_after_all_retries() {
+        let config = CaptureConfig {
+            program: "/nonexistent/spire-no-such-perf".to_owned(),
+            args: Vec::new(),
+            timeout: Duration::from_secs(1),
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+        };
+        let cap = run_capture(&config, &IngestConfig::default());
+        assert!(matches!(cap.outcome, CaptureOutcome::SpawnFailed(_)));
+        assert_eq!(cap.attempts, 2);
+        assert_eq!(cap.ingest.samples.len(), 0);
+        assert!(cap.ingest.report.degraded);
+    }
+
+    #[test]
+    fn empty_attempts_are_retried_until_one_yields_samples() {
+        // First run exits empty; the marker file makes the second succeed.
+        let marker = std::env::temp_dir().join(format!("spire-proc-retry-{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let script = format!(
+            "if [ -e {m} ]; then printf '{CSV}'; else : > {m}; exit 1; fi",
+            m = marker.display()
+        );
+        let mut config = sh(script);
+        config.max_attempts = 3;
+        let cap = run_capture(&config, &IngestConfig::default());
+        let _ = std::fs::remove_file(&marker);
+        assert_eq!(cap.attempts, 2);
+        assert_eq!(cap.outcome, CaptureOutcome::Completed);
+        assert_eq!(cap.ingest.samples.len(), 1);
+        assert!(!cap.ingest.report.degraded);
+    }
+
+    #[test]
+    fn partial_data_is_accepted_without_retry() {
+        // Non-zero exit but with usable output: accept, don't retry.
+        let mut config = sh(format!("printf '{CSV}'; exit 9"));
+        config.max_attempts = 5;
+        let cap = run_capture(&config, &IngestConfig::default());
+        assert_eq!(cap.attempts, 1);
+        assert_eq!(cap.ingest.samples.len(), 1);
+    }
+}

@@ -76,6 +76,23 @@ impl MultiplexSchedule {
     pub fn events(&self) -> impl Iterator<Item = Event> + '_ {
         self.groups.iter().flatten().copied()
     }
+
+    /// The fraction of wall time each group — and hence each event — is
+    /// expected to be live for under fair round-robin rotation
+    /// (`1 / group_count`, `0.0` for an empty schedule).
+    ///
+    /// This is the model-side counterpart of perf's per-row running
+    /// fraction: an ingested capture whose observed
+    /// [`mean_running_frac`](crate::EventCoverage::mean_running_frac)
+    /// deviates far from this value indicates an unfair or starved
+    /// multiplex rotation.
+    pub fn expected_time_fraction(&self) -> f64 {
+        if self.groups.is_empty() {
+            0.0
+        } else {
+            1.0 / self.groups.len() as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +149,24 @@ mod tests {
     fn empty_event_list_gives_empty_schedule() {
         let s = MultiplexSchedule::new(&[], 4);
         assert_eq!(s.group_count(), 0);
+        assert_eq!(s.expected_time_fraction(), 0.0);
+    }
+
+    #[test]
+    fn expected_time_fraction_is_one_over_group_count() {
+        let events = [
+            Event::IdqDsbUops,
+            Event::IdqMsSwitches,
+            Event::IcacheMisses,
+            Event::LongestLatCacheMiss,
+            Event::BrMispRetiredAllBranches,
+        ];
+        let s = MultiplexSchedule::new(&events, 2);
+        assert_eq!(s.group_count(), 3);
+        assert!((s.expected_time_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // A single group is always live.
+        let one = MultiplexSchedule::new(&events, 8);
+        assert_eq!(one.expected_time_fraction(), 1.0);
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct SessionReport {
     pub intervals: usize,
     /// Number of event groups in the rotation.
     pub groups: usize,
+    /// Readings that failed sample validation and were dropped instead of
+    /// aborting the session (0 for healthy counters; non-zero indicates a
+    /// simulator or PMU defect worth investigating).
+    pub dropped_samples: usize,
 }
 
 impl SessionReport {
@@ -126,6 +130,7 @@ where
     let start_instrs = core.retired_instructions();
     let mut overhead_cycles = 0u64;
     let mut intervals = 0usize;
+    let mut dropped_samples = 0usize;
 
     // Accumulators per event within the current interval: (T, W, M).
     let mut acc: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); schedule.event_count()];
@@ -184,11 +189,14 @@ where
                 let mut emitted = false;
                 for (i, &e) in flat_events.iter().enumerate() {
                     let (t, w, m) = acc[i];
+                    // A malfunctioning counter (e.g. a wrapped delta) must
+                    // not abort the whole session: drop the reading and
+                    // account for it instead.
                     if t > 0.0 {
-                        samples
-                            .push_parts(MetricId::new(e.name()), t, w, m)
-                            .expect("cycle counts are positive and finite");
-                        emitted = true;
+                        match samples.push_parts(MetricId::new(e.name()), t, w, m) {
+                            Ok(()) => emitted = true,
+                            Err(_) => dropped_samples += 1,
+                        }
                     }
                 }
                 if emitted {
@@ -209,6 +217,7 @@ where
         overhead_cycles,
         intervals,
         groups: schedule.group_count(),
+        dropped_samples,
     }
 }
 
@@ -243,9 +252,10 @@ mod tests {
             &SessionConfig::quick(),
         );
         assert!(report.intervals >= 2, "intervals = {}", report.intervals);
-        // Each interval covers all 6 events.
+        // Each interval covers all 6 events; healthy counters drop nothing.
         assert_eq!(report.samples.len(), report.intervals * 6);
         assert_eq!(report.samples.metrics().count(), 6);
+        assert_eq!(report.dropped_samples, 0);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Property tests for the fault-tolerant ingest: no input — valid,
+//! truncated, or arbitrary byte soup — may panic it, and multiplex
+//! scaling must obey its algebraic contract.
+
+use proptest::prelude::*;
+use spire_counters::perf::export_perf_csv;
+use spire_counters::{ingest_perf_csv, IngestConfig};
+use spire_sim::{Core, CoreConfig, Event, Instr};
+
+/// Arbitrary bytes rendered as (lossy) text — the worst thing a wedged
+/// or killed perf could leave in a capture file.
+fn byte_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..512)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// A syntactically plausible perf CSV with randomized values, including
+/// sub-floor and >100% running fractions.
+fn plausible_csv() -> impl Strategy<Value = String> {
+    let row = (
+        0u32..4,     // interval index
+        0f64..1e12,  // count
+        0u8..4,      // event selector
+        0f64..150.0, // pct running
+    )
+        .prop_map(|(t, count, event, pct)| {
+            let event = match event {
+                0 => "inst_retired.any",
+                1 => "cpu_clk_unhalted.thread",
+                2 => "evt.alpha",
+                _ => "evt.beta",
+            };
+            format!("{}.0,{count},,{event},1000,{pct:.2},,", t + 1)
+        });
+    prop::collection::vec(row, 0..40).prop_map(|rows| rows.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ingest never panics and its report always accounts for every row.
+    #[test]
+    fn byte_soup_never_panics(text in byte_soup()) {
+        let out = ingest_perf_csv(&text, &IngestConfig::default());
+        let r = &out.report;
+        prop_assert!(r.rows_quarantined <= r.rows_seen);
+        prop_assert!(r.rows_parsed + r.rows_not_counted + r.rows_not_supported <= r.rows_seen);
+        prop_assert!(r.intervals_ingested + r.intervals_dropped == r.intervals_seen);
+        prop_assert!(r.samples_emitted == out.samples.len());
+        prop_assert!(r.quarantined_fraction() >= 0.0 && r.quarantined_fraction() <= 1.0);
+    }
+
+    /// Structured-but-random captures also never panic, and every emitted
+    /// sample satisfies the core domain invariants.
+    #[test]
+    fn plausible_csv_never_panics(text in plausible_csv()) {
+        let out = ingest_perf_csv(&text, &IngestConfig::default());
+        for s in out.samples.iter() {
+            prop_assert!(s.time() > 0.0);
+            prop_assert!(s.work() >= 0.0);
+            prop_assert!(s.metric_delta() >= 0.0 && s.metric_delta().is_finite());
+        }
+        // Per-reason counts sum to the quarantine total.
+        let by_reason: usize = out.report.quarantined_by_reason.values().sum();
+        prop_assert_eq!(by_reason, out.report.rows_quarantined);
+    }
+
+    /// Truncating a valid capture at any byte still ingests cleanly, and
+    /// never yields more samples than the full capture.
+    #[test]
+    fn truncation_is_graceful(cut in 0usize..2048, seed in 1u64..5) {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream =
+            std::iter::repeat_n(Instr::simple_alu(), 40_000 * seed as usize);
+        let full = export_perf_csv(
+            &mut core,
+            &mut stream,
+            &[
+                Event::InstRetiredAny,
+                Event::CpuClkUnhaltedThread,
+                Event::LongestLatCacheMiss,
+            ],
+            10_000,
+            80_000,
+            1e9,
+        );
+        let config = IngestConfig::default();
+        let complete = ingest_perf_csv(&full, &config);
+        let cut = cut.min(full.len());
+        // Cut on a char boundary (the export is ASCII, but be exact).
+        let mut cut = cut;
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let partial = ingest_perf_csv(&full[..cut], &config);
+        prop_assert!(partial.samples.len() <= complete.samples.len());
+        prop_assert!(partial.report.rows_seen <= complete.report.rows_seen);
+    }
+}
+
+/// The exporter emits 100% running fractions, so a round trip through the
+/// scaled ingest must reproduce the raw counts exactly.
+#[test]
+fn export_round_trip_is_scale_invariant() {
+    let events = [
+        Event::InstRetiredAny,
+        Event::CpuClkUnhaltedThread,
+        Event::LongestLatCacheMiss,
+        Event::BrMispRetiredAllBranches,
+    ];
+    let mut core = Core::new(CoreConfig::skylake_server());
+    let mut stream = std::iter::repeat_n(Instr::simple_alu(), 120_000);
+    let csv = export_perf_csv(&mut core, &mut stream, &events, 10_000, 60_000, 1e9);
+
+    let scaled = ingest_perf_csv(&csv, &IngestConfig::default());
+    let unscaled = ingest_perf_csv(
+        &csv,
+        &IngestConfig {
+            scale_multiplexed: false,
+            ..IngestConfig::default()
+        },
+    );
+    assert!(!scaled.samples.is_empty());
+    assert_eq!(scaled.samples, unscaled.samples);
+    assert_eq!(scaled.report.rows_scaled, 0);
+    assert!(!scaled.report.budget_exceeded());
+}
+
+/// Halving every running fraction doubles every ingested count (as long
+/// as the fraction stays above the floor): the scaling law itself.
+#[test]
+fn halving_running_fraction_doubles_estimates() {
+    let base = "\
+1.0,1000,,inst_retired.any,1000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000,100.00,,
+1.0,80,,evt.a,400,40.00,,
+1.0,30,,evt.b,600,60.00,,
+";
+    let halved = "\
+1.0,1000,,inst_retired.any,1000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000,100.00,,
+1.0,80,,evt.a,200,20.00,,
+1.0,30,,evt.b,300,30.00,,
+";
+    let config = IngestConfig::default();
+    let a = ingest_perf_csv(base, &config);
+    let b = ingest_perf_csv(halved, &config);
+    let pairs = a.samples.iter().zip(b.samples.iter());
+    let mut compared = 0;
+    for (x, y) in pairs {
+        assert!((y.metric_delta() - 2.0 * x.metric_delta()).abs() < 1e-9);
+        compared += 1;
+    }
+    assert_eq!(compared, 2);
+}

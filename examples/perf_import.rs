@@ -13,7 +13,9 @@ use spire_counters::perf::import_perf_stat;
 
 /// Synthetic-but-realistic perf stat interval output. Each 2-second
 /// interval reports the fixed counters plus two metrics. IPC falls from
-/// 2.4 to 0.8 as mispredictions climb; cache misses stay flat.
+/// 2.4 to 0.8 as mispredictions climb; cache misses stay flat. The metric
+/// rows carry 50% running fractions (the two events share one counter),
+/// so the importer scales their counts by 2x — multiplex correction.
 const PERF_TRAINING: &str = "\
 # started on Fri Jul  4 09:00:00 2026
 2.000,4800000000,,inst_retired.any,2000000000,100.00,,
