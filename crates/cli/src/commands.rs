@@ -1,12 +1,16 @@
 //! Implementation of the `spire` subcommands. Each command returns its
-//! output as a `String` so the logic is testable without capturing
-//! stdout.
+//! output as a [`CmdOutput`] so the logic is testable without capturing
+//! stdout, and so partial success (a degraded-but-usable result) is
+//! visible to the process exit code.
 
 use std::error::Error;
 use std::fmt::Write as _;
 
 use spire_core::catalog::MetricCatalog;
-use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_core::snapshot::load_model;
+use spire_core::{
+    BottleneckReport, ModelSnapshot, SnapshotMode, SpireModel, TrainConfig, TrainStrictness,
+};
 use spire_counters::{collect, Dataset, IngestConfig, SessionConfig};
 use spire_sim::{Core, CoreConfig, Event};
 use spire_tma::analyze;
@@ -14,8 +18,49 @@ use spire_workloads::{suite, WorkloadProfile};
 
 use crate::args::Args;
 
+/// Process exit code for full success.
+pub const EXIT_OK: i32 = 0;
+/// Process exit code for failure (the command could not complete).
+pub const EXIT_FAILURE: i32 = 1;
+/// Process exit code for partial success: the command completed, but some
+/// inputs were quarantined or dropped along the way (lenient training with
+/// quarantined metrics, a salvaged snapshot, an ingest with quarantined
+/// rows). Scripts that require pristine runs should treat 2 like 1;
+/// pipelines that tolerate degradation can treat it like 0.
+pub const EXIT_DEGRADED: i32 = 2;
+
+/// A command's printable output plus whether the run was degraded
+/// (mapped to [`EXIT_DEGRADED`] by the binary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// `true` when the command completed by dropping or quarantining part
+    /// of its input.
+    pub degraded: bool,
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> Self {
+        CmdOutput {
+            text,
+            degraded: false,
+        }
+    }
+}
+
+/// A [`CmdOutput`] derefs to its text, so callers that only care about
+/// stdout (tests, the usage path) can treat it as a string.
+impl std::ops::Deref for CmdOutput {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
 /// Convenience alias for command results.
-pub type CmdResult = Result<String, Box<dyn Error + Send + Sync>>;
+pub type CmdResult = Result<CmdOutput, Box<dyn Error + Send + Sync>>;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -29,13 +74,25 @@ COMMANDS:
             [--cycles X] [--seed S]
   collect   --out FILE [--cycles X]   sample the full suite into a dataset
             [--set train|test|all] [--seed S] [--interval X] [--slice X]
-  train     --data FILE --out FILE    train a SPIRE model from a dataset
-            [--min-samples N]         (--threads N fans per-metric fits
-            [--threads N]             across N threads; 0 = auto;
-            [--ingest-report]         --ingest-report prints the stored
-                                      ingest provenance before training)
+  train     --data FILE               train a SPIRE model from a dataset;
+            [--out FILE]              --out writes the raw model JSON,
+            [--snapshot FILE]         --snapshot writes a versioned,
+            [--min-samples N]         checksummed snapshot with provenance
+            [--threads N]             (at least one of the two is
+            [--metric-budget F]       required). Training is fault-
+            [--strict]                isolated: failing metrics are
+            [--ingest-report]         quarantined up to --metric-budget
+                                      (default 0.5) unless --strict, which
+                                      fails on the first bad metric.
+                                      --ingest-report prints the stored
+                                      ingest provenance before training.
   analyze   --model FILE --data FILE  rank bottleneck metrics for a workload
-            --workload LABEL [--top K] [--threads N]
+            --workload LABEL          (--model accepts a snapshot or raw
+            [--top K] [--threads N]   model JSON; corrupted snapshot
+            [--strict]                records are dropped unless --strict)
+  estimate  --model FILE --data FILE  just the ensemble throughput estimate
+            --workload LABEL          for a workload (same --model handling
+            [--threads N] [--strict]  as analyze)
   tma       --workload N --config C   full TMA breakdown for one workload
             [--cycles X] [--seed S]
   ingest    --csv FILE --out FILE     fault-tolerant import of `perf stat
@@ -52,6 +109,13 @@ COMMANDS:
   coverage  --data FILE               sampling-coverage diagnostics for a
             --workload LABEL [--n K]  collected workload (multiplex column
                                       filled from the stored ingest report)
+
+EXIT CODES:
+  0  success
+  2  partial success: the command completed but quarantined or dropped
+     part of its input (degraded training, salvaged snapshot, lossy
+     ingest)
+  1  failure
 ";
 
 /// Option names that are valueless switches rather than `--key value`.
@@ -66,7 +130,7 @@ const BOOL_FLAGS: &[&str] = &["linear", "ingest-report", "strict", "no-scale"];
 pub fn run(argv: &[String]) -> CmdResult {
     let args = Args::parse_with_flags(argv.iter().cloned(), BOOL_FLAGS)?;
     let Some(command) = args.positionals().first().map(String::as_str) else {
-        return Ok(USAGE.to_owned());
+        return Ok(USAGE.to_owned().into());
     };
     match command {
         "list-workloads" => list_workloads(),
@@ -74,13 +138,50 @@ pub fn run(argv: &[String]) -> CmdResult {
         "collect" => collect_cmd(&args),
         "train" => train(&args),
         "analyze" => analyze_cmd(&args),
+        "estimate" => estimate_cmd(&args),
         "tma" => tma_cmd(&args),
         "ingest" | "import-perf" => ingest_cmd(&args),
         "plot" => plot_cmd(&args),
         "coverage" => coverage_cmd(&args),
-        "help" | "--help" => Ok(USAGE.to_owned()),
+        "help" | "--help" => Ok(USAGE.to_owned().into()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
     }
+}
+
+/// Loads a model from `path`, accepting either a versioned snapshot or the
+/// legacy raw-model JSON, in the [`SnapshotMode`] chosen by `--strict`.
+///
+/// Returns the model, a log of any salvage (empty when pristine), and
+/// whether the load was degraded.
+fn load_model_arg(
+    path: &str,
+    strict: bool,
+) -> Result<(SpireModel, String, bool), Box<dyn Error + Send + Sync>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read model file {path}: {e}"))?;
+    let mode = if strict {
+        SnapshotMode::Strict
+    } else {
+        SnapshotMode::Lenient
+    };
+    let (model, report) = load_model(&text, mode)?;
+    let mut log = String::new();
+    let mut degraded = false;
+    if let Some(report) = &report {
+        if report.is_degraded() {
+            degraded = true;
+            writeln!(
+                log,
+                "warning: salvaged snapshot {path}: {} of {} metric records dropped",
+                report.dropped.len(),
+                report.metrics_total
+            )?;
+            for d in &report.dropped {
+                writeln!(log, "  dropped {}: {}", d.metric.as_str(), d.reason)?;
+            }
+        }
+    }
+    Ok((model, log, degraded))
 }
 
 fn find_workload(args: &Args) -> Result<WorkloadProfile, Box<dyn Error + Send + Sync>> {
@@ -111,7 +212,7 @@ fn list_workloads() -> CmdResult {
             p.name, p.config, p.expected_bottleneck
         )?;
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 fn simulate(args: &Args) -> CmdResult {
@@ -132,7 +233,8 @@ fn simulate(args: &Args) -> CmdResult {
         summary.ipc(),
         tma.summary(),
         tma.main_category()
-    ))
+    )
+    .into())
 }
 
 fn collect_cmd(args: &Args) -> CmdResult {
@@ -175,12 +277,16 @@ fn collect_cmd(args: &Args) -> CmdResult {
         dataset.total_samples(),
         dataset.len()
     )?;
-    Ok(log)
+    Ok(log.into())
 }
 
 fn train(args: &Args) -> CmdResult {
     let data_path = args.require("data")?;
-    let out_path = args.require("out")?;
+    let out_path = args.get("out");
+    let snapshot_path = args.get("snapshot");
+    if out_path.is_none() && snapshot_path.is_none() {
+        return Err("train requires --out and/or --snapshot".into());
+    }
     let dataset = Dataset::load(data_path)?;
     let mut log = String::new();
     if args.flag("ingest-report") {
@@ -200,18 +306,42 @@ fn train(args: &Args) -> CmdResult {
     let config = TrainConfig {
         min_samples_per_metric: args.get_or("min-samples", 1)?,
         threads: args.get_or("threads", 0)?,
+        metric_error_budget: args.get_or("metric-budget", 0.5)?,
         ..TrainConfig::default()
     };
-    let model = SpireModel::train(&dataset.merged(), config)?;
-    let json = serde_json::to_string(&model)?;
-    std::fs::write(out_path, &json)?;
+    let strictness = if args.flag("strict") {
+        TrainStrictness::Strict
+    } else {
+        TrainStrictness::Lenient
+    };
+    let outcome = SpireModel::train_with_report(&dataset.merged(), config, strictness)?;
+    writeln!(log, "{}", outcome.report.to_table(10))?;
+    if let Some(path) = out_path {
+        std::fs::write(path, serde_json::to_string(&outcome.model)?)?;
+        writeln!(log, "wrote model to {path}")?;
+    }
+    if let Some(path) = snapshot_path {
+        let snapshot = ModelSnapshot::from_model(&outcome.model)?
+            .with_provenance(dataset.provenance(Some(data_path)))
+            .with_train_report(outcome.report.clone());
+        std::fs::write(path, snapshot.to_json())?;
+        writeln!(
+            log,
+            "wrote snapshot (format v{}, {} checksummed records) to {path}",
+            spire_core::SNAPSHOT_FORMAT_VERSION,
+            outcome.model.metric_count()
+        )?;
+    }
     writeln!(
         log,
-        "trained {} metric rooflines from {} samples; wrote {out_path}",
-        model.metric_count(),
+        "trained {} metric rooflines from {} samples",
+        outcome.model.metric_count(),
         dataset.total_samples()
     )?;
-    Ok(log)
+    Ok(CmdOutput {
+        text: log,
+        degraded: outcome.report.is_degraded(),
+    })
 }
 
 fn analyze_cmd(args: &Args) -> CmdResult {
@@ -219,7 +349,7 @@ fn analyze_cmd(args: &Args) -> CmdResult {
     let data_path = args.require("data")?;
     let label = args.require("workload")?;
     let top: usize = args.get_or("top", 10)?;
-    let mut model: SpireModel = serde_json::from_str(&std::fs::read_to_string(model_path)?)?;
+    let (mut model, mut out, degraded) = load_model_arg(model_path, args.flag("strict"))?;
     model.set_threads(args.get_or("threads", model.config().threads)?);
     let dataset = Dataset::load(data_path)?;
     let samples = dataset
@@ -227,12 +357,47 @@ fn analyze_cmd(args: &Args) -> CmdResult {
         .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
     let estimate = model.estimate(samples)?;
     let report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
-    let mut out = format!(
+    write!(
+        out,
         "workload: {label}\nensemble throughput estimate: {:.4}\n\n",
         report.throughput()
-    );
+    )?;
     out.push_str(&report.to_table(top));
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        degraded,
+    })
+}
+
+fn estimate_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let data_path = args.require("data")?;
+    let label = args.require("workload")?;
+    let (mut model, mut out, degraded) = load_model_arg(model_path, args.flag("strict"))?;
+    model.set_threads(args.get_or("threads", model.config().threads)?);
+    let dataset = Dataset::load(data_path)?;
+    let samples = dataset
+        .get(label)
+        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
+    let estimate = model.estimate(samples)?;
+    writeln!(
+        out,
+        "workload: {label}\nensemble throughput estimate: {:.6}",
+        estimate.throughput()
+    )?;
+    if let Some((metric, value)) = estimate.primary_bottleneck() {
+        writeln!(out, "primary bottleneck: {metric} ({value:.6})")?;
+    }
+    writeln!(
+        out,
+        "metrics contributing: {} of {} trained",
+        estimate.per_metric().len(),
+        model.metric_count()
+    )?;
+    Ok(CmdOutput {
+        text: out,
+        degraded,
+    })
 }
 
 fn tma_cmd(args: &Args) -> CmdResult {
@@ -248,7 +413,7 @@ fn tma_cmd(args: &Args) -> CmdResult {
     writeln!(out, "{} ({})", profile.name, profile.config)?;
     out.push_str(&t.to_tree());
     writeln!(out, "main bottleneck: {}", t.dominant_bottleneck())?;
-    Ok(out)
+    Ok(out.into())
 }
 
 fn coverage_cmd(args: &Args) -> CmdResult {
@@ -290,7 +455,7 @@ metrics: {} | coverage fraction range: {:.2}%..{:.2}%
             suspects.len()
         ));
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 fn plot_cmd(args: &Args) -> CmdResult {
@@ -300,7 +465,7 @@ fn plot_cmd(args: &Args) -> CmdResult {
     let out_path = args.require("out")?;
     let log_axes = !args.flag("linear");
 
-    let model: SpireModel = serde_json::from_str(&std::fs::read_to_string(model_path)?)?;
+    let (model, mut log, degraded) = load_model_arg(model_path, args.flag("strict"))?;
     let dataset = Dataset::load(data_path)?;
     let metric = spire_core::MetricId::new(metric_name);
     let roofline = model
@@ -323,11 +488,15 @@ fn plot_cmd(args: &Args) -> CmdResult {
     };
     let chart = spire_plot::roofline_chart(roofline, samples.iter(), log_axes);
     std::fs::write(out_path, chart.to_svg(720, 480))?;
-    Ok(format!(
-        "plotted `{metric_name}` ({} samples) to {out_path}
-",
+    writeln!(
+        log,
+        "plotted `{metric_name}` ({} samples) to {out_path}",
         samples.len()
-    ))
+    )?;
+    Ok(CmdOutput {
+        text: log,
+        degraded,
+    })
 }
 
 fn ingest_cmd(args: &Args) -> CmdResult {
@@ -359,22 +528,44 @@ fn ingest_cmd(args: &Args) -> CmdResult {
         .into());
     }
     let n = out.samples.len();
+    // Quarantined rows (or a capture the supervision layer flagged) mean
+    // the dataset is usable but lossy — surface that via the exit code.
+    let degraded = out.report.rows_quarantined > 0 || out.report.degraded;
     let mut dataset = Dataset::new();
     dataset.insert_with_report(label, out.samples, out.report);
     dataset.save(out_path)?;
     log.push_str(&format!(
         "imported {n} samples as `{label}` into {out_path}\n"
     ));
-    Ok(log)
+    Ok(CmdOutput {
+        text: log,
+        degraded,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spire_core::{Sample, SampleSet};
 
     fn run_str(argv: &[&str]) -> CmdResult {
         let v: Vec<String> = argv.iter().map(|s| (*s).to_owned()).collect();
         run(&v)
+    }
+
+    /// Writes a small three-metric dataset to `path` and returns it.
+    fn write_dataset(path: &std::path::Path) -> Dataset {
+        let mut set = SampleSet::new();
+        for m in ["m_alpha", "m_beta", "m_gamma"] {
+            for i in 1..6 {
+                let s = Sample::new(m, 10.0, (5 * i) as f64, (10 - i) as f64).unwrap();
+                set.push(s);
+            }
+        }
+        let mut ds = Dataset::new();
+        ds.insert("wl", set);
+        ds.save(path).unwrap();
+        ds
     }
 
     #[test]
@@ -594,6 +785,7 @@ mod tests {
         assert!(out.contains("1 quarantined"));
         assert!(out.contains("quarantine breakdown"));
         assert!(out.contains("imported 1 samples"));
+        assert!(out.degraded, "quarantined rows must flag partial success");
         let ds = Dataset::load(&out_file).unwrap();
         // 7 counted over 25% of the interval -> 28 estimated.
         let s = ds.get("mux").unwrap().iter().next().unwrap();
@@ -624,6 +816,107 @@ mod tests {
         .unwrap();
         assert!(trained.contains("mux:"));
         assert!(trained.contains("trained"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_requires_an_output() {
+        let err = run_str(&["train", "--data", "whatever.json"]).unwrap_err();
+        assert!(err.to_string().contains("--out and/or --snapshot"));
+    }
+
+    #[test]
+    fn train_snapshot_estimate_round_trip() {
+        let dir = std::env::temp_dir().join("spire-cli-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json");
+        let snap = dir.join("model.snapshot.json");
+        write_dataset(&data);
+
+        let out = run_str(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote snapshot (format v1, 3 checksummed records)"));
+        assert!(out.contains("trained 3/3 metrics"));
+        assert!(!out.degraded);
+
+        // The snapshot stores provenance from the dataset.
+        let stored = ModelSnapshot::from_json(&std::fs::read_to_string(&snap).unwrap()).unwrap();
+        let prov = stored.provenance.as_ref().unwrap();
+        assert_eq!(prov.labels, ["wl"]);
+        assert_eq!(prov.total_samples, 15);
+        assert!(stored.train_report.is_some());
+
+        // estimate and analyze load the snapshot without retraining.
+        let common = [
+            "--model",
+            snap.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--workload",
+            "wl",
+        ];
+        let mut argv = vec!["estimate"];
+        argv.extend_from_slice(&common);
+        let est = run_str(&argv).unwrap();
+        assert!(est.contains("ensemble throughput estimate"));
+        assert!(est.contains("primary bottleneck"));
+        assert!(!est.degraded);
+        let mut argv = vec!["analyze"];
+        argv.extend_from_slice(&common);
+        let ana = run_str(&argv).unwrap();
+        assert!(ana.contains("ensemble throughput estimate"));
+        assert!(!ana.degraded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_snapshot_salvages_leniently_and_refuses_strictly() {
+        let dir = std::env::temp_dir().join("spire-cli-salvage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json");
+        let snap = dir.join("model.snapshot.json");
+        write_dataset(&data);
+        run_str(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // Corrupt one record's checksum on disk.
+        let mut stored =
+            ModelSnapshot::from_json(&std::fs::read_to_string(&snap).unwrap()).unwrap();
+        stored.metrics[0].checksum = "0000000000000000".to_owned();
+        std::fs::write(&snap, stored.to_json()).unwrap();
+
+        let common = [
+            "--model",
+            snap.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--workload",
+            "wl",
+        ];
+        // Lenient (default): completes on the surviving metrics, degraded.
+        let mut argv = vec!["estimate"];
+        argv.extend_from_slice(&common);
+        let out = run_str(&argv).unwrap();
+        assert!(out.degraded);
+        assert!(out.contains("salvaged snapshot"));
+        assert!(out.contains("dropped m_alpha"));
+        assert!(out.contains("metrics contributing: 2 of 2 trained"));
+        // Strict: refuses the artifact.
+        argv.push("--strict");
+        let err = run_str(&argv).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,12 +1,25 @@
-//! Thin binary wrapper around the `spire-cli` command library.
+//! Thin binary wrapper around the `spire` command library.
+//!
+//! Exit codes: 0 success, 2 partial success (the command completed but
+//! quarantined or dropped part of its input), 1 failure.
+
+use spire_cli::commands::{EXIT_DEGRADED, EXIT_FAILURE, EXIT_OK};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match spire_cli::commands::run(&argv) {
-        Ok(output) => print!("{output}"),
+    let code = match spire_cli::commands::run(&argv) {
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.degraded {
+                EXIT_DEGRADED
+            } else {
+                EXIT_OK
+            }
+        }
         Err(err) => {
             eprintln!("error: {err}");
-            std::process::exit(1);
+            EXIT_FAILURE
         }
-    }
+    };
+    std::process::exit(code);
 }

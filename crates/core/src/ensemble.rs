@@ -62,6 +62,12 @@ pub struct TrainConfig {
     /// serial path, anything else caps the worker count. Results are
     /// identical at every setting; this is purely a throughput knob.
     pub threads: usize,
+    /// Fault-isolated training ([`SpireModel::train_with_report`]) tolerates
+    /// quarantined metrics up to this fraction of the metrics it attempted
+    /// to fit; beyond it, lenient training fails with
+    /// [`SpireError::ErrorBudgetExceeded`]. Must lie in `[0, 1]`.
+    /// Default `0.5`, mirroring the ingest layer's budget.
+    pub metric_error_budget: f64,
 }
 
 impl Default for TrainConfig {
@@ -72,12 +78,14 @@ impl Default for TrainConfig {
             merge: MergeStrategy::TimeWeighted,
             aggregation: EnsembleAggregation::Min,
             threads: 0,
+            metric_error_budget: 0.5,
         }
     }
 }
 
-/// Manual impl so configurations serialized before the `threads` field
-/// existed still deserialize (a missing `threads` means `0` = auto).
+/// Manual impl so configurations serialized before the `threads` and
+/// `metric_error_budget` fields existed still deserialize (a missing
+/// `threads` means `0` = auto; a missing budget means the default `0.5`).
 impl<'de> Deserialize<'de> for TrainConfig {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
         #[derive(Deserialize)]
@@ -87,6 +95,7 @@ impl<'de> Deserialize<'de> for TrainConfig {
             merge: MergeStrategy,
             aggregation: EnsembleAggregation,
             threads: Option<usize>,
+            metric_error_budget: Option<f64>,
         }
         let w = Wire::deserialize(deserializer)?;
         Ok(TrainConfig {
@@ -95,6 +104,7 @@ impl<'de> Deserialize<'de> for TrainConfig {
             merge: w.merge,
             aggregation: w.aggregation,
             threads: w.threads.unwrap_or(0),
+            metric_error_budget: w.metric_error_budget.unwrap_or(0.5),
         })
     }
 }
@@ -105,7 +115,8 @@ impl TrainConfig {
     /// # Errors
     ///
     /// Returns [`SpireError::InvalidConfig`] if `min_samples_per_metric` is
-    /// zero or the fit options are invalid.
+    /// zero, `metric_error_budget` is outside `[0, 1]`, or the fit options
+    /// are invalid.
     pub fn validate(&self) -> Result<()> {
         self.fit.validate()?;
         if self.min_samples_per_metric == 0 {
@@ -114,8 +125,170 @@ impl TrainConfig {
                 reason: "must be at least 1".to_owned(),
             });
         }
+        if !(0.0..=1.0).contains(&self.metric_error_budget) {
+            return Err(SpireError::InvalidConfig {
+                field: "metric_error_budget",
+                reason: format!("must be within [0, 1], got {}", self.metric_error_budget),
+            });
+        }
         Ok(())
     }
+}
+
+/// Whether fault-isolated training tolerates quarantined metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainStrictness {
+    /// Quarantine failing metrics (up to
+    /// [`TrainConfig::metric_error_budget`]) and train on the survivors.
+    #[default]
+    Lenient,
+    /// Fail fast with the first failing metric's typed error.
+    Strict,
+}
+
+/// Why a metric was quarantined during fault-isolated training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TrainQuarantineReason {
+    /// The fit panicked; the panic was contained to this metric.
+    FitPanicked,
+    /// The fit returned a typed error.
+    FitFailed,
+    /// The fit returned a roofline that failed
+    /// [`PiecewiseRoofline::validate`].
+    InvariantViolation,
+}
+
+impl TrainQuarantineReason {
+    /// Stable snake_case key for reports and tables.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TrainQuarantineReason::FitPanicked => "fit_panicked",
+            TrainQuarantineReason::FitFailed => "fit_failed",
+            TrainQuarantineReason::InvariantViolation => "invariant_violation",
+        }
+    }
+}
+
+/// One metric excluded from the ensemble by fault-isolated training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedMetric {
+    /// The metric that failed.
+    pub metric: MetricId,
+    /// Why it was quarantined.
+    pub reason: TrainQuarantineReason,
+    /// Human-readable detail: the fit error, panic message, or violated
+    /// invariant.
+    pub detail: String,
+}
+
+/// What fault-isolated training did: the training-side mirror of the
+/// ingest layer's `IngestReport`.
+///
+/// Produced by [`SpireModel::train_with_report`]; persisted (as a summary)
+/// into model snapshots so a degraded model stays honestly labeled.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Distinct metrics in the training set.
+    pub metrics_seen: usize,
+    /// Metrics that produced a validated roofline.
+    pub metrics_trained: usize,
+    /// Metrics skipped for having fewer than
+    /// [`TrainConfig::min_samples_per_metric`] samples (not a fault).
+    pub metrics_skipped: usize,
+    /// Metrics excluded by the quarantine, in metric-name order.
+    pub quarantined: Vec<QuarantinedMetric>,
+    /// The budget the run was held to
+    /// ([`TrainConfig::metric_error_budget`]).
+    pub error_budget: f64,
+}
+
+impl TrainReport {
+    /// Quarantined metrics as a fraction of the metrics the run attempted
+    /// to fit (seen minus skipped). `0.0` when nothing was attempted.
+    pub fn quarantined_fraction(&self) -> f64 {
+        let attempted = self.metrics_trained + self.quarantined.len();
+        if attempted == 0 {
+            0.0
+        } else {
+            self.quarantined.len() as f64 / attempted as f64
+        }
+    }
+
+    /// Returns `true` if the quarantined fraction exceeds the budget.
+    pub fn budget_exceeded(&self) -> bool {
+        self.quarantined_fraction() > self.error_budget
+    }
+
+    /// Returns `true` if any metric was quarantined (the model is usable
+    /// but degraded).
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Quarantine counts grouped by reason key (see
+    /// [`TrainQuarantineReason::as_str`]), in key order.
+    pub fn by_reason(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for q in &self.quarantined {
+            *counts.entry(q.reason.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// One-line summary, e.g.
+    /// `trained 10/12 metrics (1 skipped, 1 quarantined: fit_panicked 1)`.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "trained {}/{} metrics ({} skipped, {} quarantined",
+            self.metrics_trained,
+            self.metrics_seen,
+            self.metrics_skipped,
+            self.quarantined.len()
+        );
+        if !self.quarantined.is_empty() {
+            s.push_str(": ");
+            let parts: Vec<String> = self
+                .by_reason()
+                .into_iter()
+                .map(|(k, n)| format!("{k} {n}"))
+                .collect();
+            s.push_str(&parts.join(", "));
+        }
+        s.push(')');
+        s
+    }
+
+    /// Multi-line report: the summary plus up to `max_details` quarantined
+    /// metrics with their reasons.
+    pub fn to_table(&self, max_details: usize) -> String {
+        let mut out = self.summary();
+        for q in self.quarantined.iter().take(max_details) {
+            out.push_str(&format!(
+                "\n  quarantined {} [{}]: {}",
+                q.metric.as_str(),
+                q.reason.as_str(),
+                q.detail
+            ));
+        }
+        if self.quarantined.len() > max_details {
+            out.push_str(&format!(
+                "\n  ... and {} more",
+                self.quarantined.len() - max_details
+            ));
+        }
+        out
+    }
+}
+
+/// A trained model together with the [`TrainReport`] describing how the
+/// training run degraded, if at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// The (possibly degraded) ensemble over the surviving metrics.
+    pub model: SpireModel,
+    /// What happened to every metric.
+    pub report: TrainReport,
 }
 
 /// The merged estimate one metric produced for a workload.
@@ -247,6 +420,53 @@ impl SpireModel {
     /// metric reaches the minimum sample count, and
     /// [`SpireError::InvalidConfig`] for invalid configuration.
     pub fn train(samples: &SampleSet, config: TrainConfig) -> Result<Self> {
+        Ok(Self::train_with_report(samples, config, TrainStrictness::Strict)?.model)
+    }
+
+    /// Fault-isolated training: like [`SpireModel::train`], but failing
+    /// metrics are contained at the per-metric boundary instead of tearing
+    /// the run down.
+    ///
+    /// Each fit runs under [`parallel::map_catching`], so a metric whose
+    /// fit panics (or returns an error, or produces a roofline that fails
+    /// [`PiecewiseRoofline::validate`]) is *quarantined* into the returned
+    /// [`TrainReport`] and the ensemble is built from the survivors. In
+    /// [`TrainStrictness::Strict`] mode the first failing metric's typed
+    /// error is returned instead (panics become
+    /// [`SpireError::FitPanicked`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SpireModel::train`] returns, plus — in lenient mode —
+    /// [`SpireError::ErrorBudgetExceeded`] when the quarantined fraction
+    /// exceeds [`TrainConfig::metric_error_budget`], and the first
+    /// quarantined metric's error when *no* metric survives.
+    pub fn train_with_report(
+        samples: &SampleSet,
+        config: TrainConfig,
+        strictness: TrainStrictness,
+    ) -> Result<TrainOutcome> {
+        Self::train_with_report_using(samples, config, strictness, |column, fit| {
+            PiecewiseRoofline::fit_column(column, fit)
+        })
+    }
+
+    /// [`SpireModel::train_with_report`] with a caller-supplied fit
+    /// function in place of [`PiecewiseRoofline::fit_column`].
+    ///
+    /// This is the seam for custom fitters and for the fault-injection
+    /// harness ([`crate::fault`]), which substitutes fits that panic or
+    /// err on chosen metrics to drive every quarantine path
+    /// deterministically.
+    pub fn train_with_report_using<F>(
+        samples: &SampleSet,
+        config: TrainConfig,
+        strictness: TrainStrictness,
+        fit_fn: F,
+    ) -> Result<TrainOutcome>
+    where
+        F: Fn(&MetricColumn, &FitOptions) -> Result<PiecewiseRoofline> + Sync,
+    {
         config.validate()?;
         if samples.is_empty() {
             return Err(SpireError::EmptyTrainingSet { metric: None });
@@ -263,21 +483,95 @@ impl SpireModel {
         if jobs.is_empty() {
             return Err(SpireError::EmptyTrainingSet { metric: None });
         }
-        // Fan the independent per-metric fits across workers; `map`
-        // returns results in job (metric-name) order, so the ensemble is
-        // identical to a serial build.
-        let fitted = parallel::map(&jobs, config.threads, |column| {
-            PiecewiseRoofline::fit_column(column, &config.fit)
-        });
+        let metrics_seen = skipped.len() + jobs.len();
+
+        // Fan the independent per-metric fits across workers with per-item
+        // panic containment; results come back in job (metric-name) order,
+        // so the ensemble — and the quarantine order — is identical to a
+        // serial build.
+        let fitted =
+            parallel::map_catching(&jobs, config.threads, |column| fit_fn(column, &config.fit));
+
         let mut rooflines = BTreeMap::new();
-        for (column, fit) in jobs.iter().zip(fitted) {
-            rooflines.insert(column.metric().clone(), fit?);
+        let mut quarantined: Vec<QuarantinedMetric> = Vec::new();
+        for (column, outcome) in jobs.iter().zip(fitted) {
+            let metric = column.metric().clone();
+            // Flatten the three failure channels (panic, fit error,
+            // invariant violation) into one typed error per metric.
+            let checked: Result<PiecewiseRoofline> = match outcome {
+                Err(message) => Err(SpireError::FitPanicked {
+                    metric: metric.to_string(),
+                    message,
+                }),
+                Ok(Err(e)) => Err(e),
+                Ok(Ok(fit)) => fit.validate().map(|()| fit),
+            };
+            match checked {
+                Ok(fit) => {
+                    rooflines.insert(metric, fit);
+                }
+                Err(e) => {
+                    if strictness == TrainStrictness::Strict {
+                        return Err(e);
+                    }
+                    quarantined.push(QuarantinedMetric {
+                        metric,
+                        reason: match &e {
+                            SpireError::FitPanicked { .. } => TrainQuarantineReason::FitPanicked,
+                            SpireError::ModelInvariantViolation { .. } => {
+                                TrainQuarantineReason::InvariantViolation
+                            }
+                            _ => TrainQuarantineReason::FitFailed,
+                        },
+                        detail: e.to_string(),
+                    });
+                }
+            }
         }
-        Ok(SpireModel {
+
+        let report = TrainReport {
+            metrics_seen,
+            metrics_trained: rooflines.len(),
+            metrics_skipped: skipped.len(),
+            quarantined,
+            error_budget: config.metric_error_budget,
+        };
+        if report.budget_exceeded() {
+            return Err(SpireError::ErrorBudgetExceeded {
+                quarantined: report.quarantined.len(),
+                total: report.metrics_trained + report.quarantined.len(),
+                budget: report.error_budget,
+            });
+        }
+        if rooflines.is_empty() {
+            // Every attempted metric was quarantined (possible only under a
+            // budget of 1.0); a zero-metric ensemble cannot estimate, so
+            // surface the first underlying failure rather than a model that
+            // errors on every query.
+            return Err(SpireError::EmptyTrainingSet { metric: None });
+        }
+        Ok(TrainOutcome {
+            model: SpireModel {
+                rooflines,
+                config,
+                skipped_metrics: skipped,
+            },
+            report,
+        })
+    }
+
+    /// Reassembles a model from trained parts (the snapshot loader's
+    /// constructor).
+    pub(crate) fn from_parts(
+        rooflines: BTreeMap<MetricId, PiecewiseRoofline>,
+        config: TrainConfig,
+        skipped_metrics: Vec<MetricId>,
+    ) -> Self {
+        SpireModel {
             rooflines,
             config,
-            skipped_metrics: skipped,
-        })
+            skipped_metrics,
+        }
     }
 
     /// Estimates a workload's maximum attainable throughput (paper Fig. 4):
@@ -391,7 +685,13 @@ fn merge_column(
         max_e = max_e.max(e);
         total_time += time;
     }
-    if weight_total <= 0.0 || weight_total.is_nan() {
+    // `weight_total` catches degenerate TimeWeighted merges; `total_time`
+    // additionally catches all-zero (or NaN) measurement times under the
+    // Unweighted strategy, where every sample still gets weight 1. Valid
+    // samples always have `time > 0`, so this only fires for data that
+    // bypassed validation — deserialized workloads and snapshot-loaded
+    // paths included.
+    if weight_total <= 0.0 || weight_total.is_nan() || total_time <= 0.0 || total_time.is_nan() {
         return Err(SpireError::DegenerateWeights {
             metric: column.metric().to_string(),
         });
@@ -652,6 +952,175 @@ mod tests {
         let cfg: TrainConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(cfg.threads, 0);
         assert_eq!(cfg, TrainConfig::default());
+    }
+
+    /// A fit function that panics on metrics whose name contains "poison".
+    fn poisoned_fit(column: &MetricColumn, fit: &FitOptions) -> Result<PiecewiseRoofline> {
+        if column.metric().as_str().contains("poison") {
+            panic!("injected fit panic for {}", column.metric());
+        }
+        PiecewiseRoofline::fit_column(column, fit)
+    }
+
+    fn training_with_poison() -> SampleSet {
+        let mut set = training();
+        set.push(s("poisoned", 10.0, 10.0, 10.0));
+        set.push(s("poisoned", 10.0, 20.0, 5.0));
+        set
+    }
+
+    #[test]
+    fn lenient_training_quarantines_panicking_metric() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let outcome = SpireModel::train_with_report_using(
+            &training_with_poison(),
+            TrainConfig::default(),
+            TrainStrictness::Lenient,
+            poisoned_fit,
+        );
+        std::panic::set_hook(hook);
+        let outcome = outcome.unwrap();
+        assert_eq!(outcome.model.metric_count(), 2);
+        assert!(outcome.model.roofline(&MetricId::new("poisoned")).is_none());
+        assert_eq!(outcome.report.metrics_seen, 3);
+        assert_eq!(outcome.report.metrics_trained, 2);
+        assert_eq!(outcome.report.quarantined.len(), 1);
+        let q = &outcome.report.quarantined[0];
+        assert_eq!(q.metric.as_str(), "poisoned");
+        assert_eq!(q.reason, TrainQuarantineReason::FitPanicked);
+        assert!(q.detail.contains("injected fit panic"));
+        assert!(outcome.report.is_degraded());
+        assert!(!outcome.report.budget_exceeded());
+        assert!(outcome.report.summary().contains("fit_panicked 1"));
+        // The degraded model still estimates over the survivors.
+        let mut wl = SampleSet::new();
+        wl.push(s("stalls", 10.0, 20.0, 5.0));
+        assert!(outcome.model.estimate(&wl).is_ok());
+    }
+
+    #[test]
+    fn strict_training_fails_fast_on_panicking_metric() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = SpireModel::train_with_report_using(
+            &training_with_poison(),
+            TrainConfig::default(),
+            TrainStrictness::Strict,
+            poisoned_fit,
+        )
+        .unwrap_err();
+        std::panic::set_hook(hook);
+        match err {
+            SpireError::FitPanicked { metric, message } => {
+                assert_eq!(metric, "poisoned");
+                assert!(message.contains("injected fit panic"));
+            }
+            other => panic!("expected FitPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_training_enforces_metric_error_budget() {
+        // Two of three metrics poisoned with a budget of 0.5: 2/3 > 0.5.
+        let mut set = training();
+        set.push(s("poison_a", 10.0, 10.0, 10.0));
+        set.push(s("poison_b", 10.0, 10.0, 10.0));
+        // Drop "hits" so only stalls survives: seen 3 fitted, 2 quarantined.
+        let mut thin = SampleSet::new();
+        for smp in set.iter().filter(|smp| smp.metric().as_str() != "hits") {
+            thin.push(smp);
+        }
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = SpireModel::train_with_report_using(
+            &thin,
+            TrainConfig::default(),
+            TrainStrictness::Lenient,
+            poisoned_fit,
+        )
+        .unwrap_err();
+        std::panic::set_hook(hook);
+        match err {
+            SpireError::ErrorBudgetExceeded {
+                quarantined,
+                total,
+                budget,
+            } => {
+                assert_eq!((quarantined, total), (2, 3));
+                assert!((budget - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected ErrorBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_with_report_matches_train_on_clean_data() {
+        let outcome = SpireModel::train_with_report(
+            &training(),
+            TrainConfig::default(),
+            TrainStrictness::Lenient,
+        )
+        .unwrap();
+        let plain = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        assert_eq!(outcome.model, plain);
+        assert!(!outcome.report.is_degraded());
+        assert_eq!(outcome.report.metrics_trained, 2);
+        assert_eq!(outcome.report.quarantined_fraction(), 0.0);
+    }
+
+    #[test]
+    fn train_rejects_out_of_range_error_budget() {
+        let config = TrainConfig {
+            metric_error_budget: 1.5,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(
+            SpireModel::train(&training(), config).unwrap_err(),
+            SpireError::InvalidConfig {
+                field: "metric_error_budget",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn train_report_serde_round_trip() {
+        let report = TrainReport {
+            metrics_seen: 5,
+            metrics_trained: 3,
+            metrics_skipped: 1,
+            quarantined: vec![QuarantinedMetric {
+                metric: MetricId::new("bad"),
+                reason: TrainQuarantineReason::InvariantViolation,
+                detail: "NaN plateau".to_owned(),
+            }],
+            error_budget: 0.5,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TrainReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(back.to_table(5).contains("invariant_violation"));
+    }
+
+    #[test]
+    fn unweighted_merge_with_zero_total_time_is_degenerate() {
+        // The Unweighted strategy gives every sample weight 1, so the
+        // original weight check alone cannot catch all-zero times; the
+        // merge must still refuse them.
+        let config = TrainConfig {
+            merge: MergeStrategy::Unweighted,
+            ..TrainConfig::default()
+        };
+        let model = SpireModel::train(&training(), config).unwrap();
+        let wl: SampleSet = serde_json::from_str(
+            r#"{"samples":[{"metric":"stalls","time":0.0,"work":1.0,"metric_delta":1.0}]}"#,
+        )
+        .unwrap();
+        match model.estimate(&wl).unwrap_err() {
+            SpireError::DegenerateWeights { metric } => assert_eq!(metric, "stalls"),
+            other => panic!("expected DegenerateWeights, got {other:?}"),
+        }
     }
 
     #[test]

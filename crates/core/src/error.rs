@@ -80,6 +80,54 @@ pub enum SpireError {
         /// The configured budget as a fraction of `total` in `[0, 1]`.
         budget: f64,
     },
+    /// A fitted or deserialized [`PiecewiseRoofline`](crate::PiecewiseRoofline)
+    /// violates one of its structural invariants (ordered finite knots,
+    /// increasing concave-down left region, decreasing concave-up right
+    /// region, non-negative ceilings).
+    ///
+    /// Raised by [`PiecewiseRoofline::validate`](crate::PiecewiseRoofline::validate)
+    /// after fits over hostile data and after loading model snapshots; a
+    /// model that fails validation must not be used for estimates.
+    ModelInvariantViolation {
+        /// Metric whose roofline is malformed.
+        metric: String,
+        /// Which invariant was violated, in human-readable form.
+        invariant: String,
+    },
+    /// A metric's roofline fit panicked inside the training fan-out.
+    ///
+    /// The panic is caught at the per-metric boundary (the scoped thread
+    /// pool survives); in lenient training the metric is quarantined into
+    /// the [`TrainReport`](crate::TrainReport) instead, and this error is
+    /// surfaced only in strict mode.
+    FitPanicked {
+        /// Metric whose fit panicked.
+        metric: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A model snapshot could not be understood at the container level:
+    /// malformed JSON, a missing field, an unsupported format version, or
+    /// an unknown checksum algorithm.
+    ///
+    /// Container-level damage is fatal in both strict and lenient loads —
+    /// per-metric salvage only applies once the outer envelope parses.
+    SnapshotFormat {
+        /// What was wrong with the snapshot container.
+        reason: String,
+    },
+    /// A per-metric snapshot record failed its integrity check: the stored
+    /// checksum does not match the record payload, the payload no longer
+    /// parses, or the embedded roofline fails validation.
+    ///
+    /// Lenient loads drop only the damaged record and salvage the rest;
+    /// strict loads refuse the whole snapshot with this error.
+    SnapshotRecordCorrupt {
+        /// Metric whose snapshot record is damaged.
+        metric: String,
+        /// Why the record was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpireError {
@@ -128,6 +176,20 @@ impl fmt::Display for SpireError {
                 "ingest quarantined {quarantined} of {total} rows, exceeding the \
                  error budget of {:.1}%",
                 budget * 100.0
+            ),
+            SpireError::ModelInvariantViolation { metric, invariant } => write!(
+                f,
+                "roofline for metric `{metric}` violates model invariant: {invariant}"
+            ),
+            SpireError::FitPanicked { metric, message } => {
+                write!(f, "roofline fit for metric `{metric}` panicked: {message}")
+            }
+            SpireError::SnapshotFormat { reason } => {
+                write!(f, "model snapshot is unreadable: {reason}")
+            }
+            SpireError::SnapshotRecordCorrupt { metric, reason } => write!(
+                f,
+                "snapshot record for metric `{metric}` is corrupt: {reason}"
             ),
         }
     }
@@ -181,6 +243,32 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('7') && msg.contains("10") && msg.contains("25.0%"));
+    }
+
+    #[test]
+    fn robustness_variants_render_their_context() {
+        let e = SpireError::ModelInvariantViolation {
+            metric: "stalls".to_owned(),
+            invariant: "left knots must be strictly increasing in x".to_owned(),
+        };
+        assert!(e.to_string().contains("stalls") && e.to_string().contains("increasing"));
+
+        let e = SpireError::FitPanicked {
+            metric: "stalls".to_owned(),
+            message: "index out of bounds".to_owned(),
+        };
+        assert!(e.to_string().contains("panicked") && e.to_string().contains("stalls"));
+
+        let e = SpireError::SnapshotFormat {
+            reason: "unsupported format version 99".to_owned(),
+        };
+        assert!(e.to_string().contains("version 99"));
+
+        let e = SpireError::SnapshotRecordCorrupt {
+            metric: "stalls".to_owned(),
+            reason: "checksum mismatch".to_owned(),
+        };
+        assert!(e.to_string().contains("checksum") && e.to_string().contains("stalls"));
     }
 
     #[test]

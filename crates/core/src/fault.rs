@@ -1,0 +1,310 @@
+//! Deterministic fault injection for exercising SPIRE's containment
+//! paths.
+//!
+//! Robustness claims are only as good as the faults they were tested
+//! against. This module supplies the hostile inputs the rest of the crate
+//! promises to survive — non-finite and negative counter values, poisoned
+//! metric columns, fits that panic or err on chosen metrics, and
+//! corrupted or truncated snapshot text — all driven by a tiny seeded
+//! generator ([`FaultRng`]) so every failure a test provokes can be
+//! replayed from its seed.
+//!
+//! The injectors target the same seams real damage arrives through:
+//!
+//! * [`poison_metric`] writes hostile rows through
+//!   [`SampleSet::push_unchecked`], the same unvalidated surface that
+//!   deserialized data crosses (JSON cannot carry NaN, but a column built
+//!   by serde is unvalidated all the same);
+//! * [`panicking_fit`] / [`erring_fit`] substitute into
+//!   [`SpireModel::train_with_report_using`](crate::SpireModel::train_with_report_using)
+//!   to drive the per-metric quarantine without needing a genuinely
+//!   crashing numeric kernel;
+//! * [`flip_digit`] and [`truncate`] damage snapshot JSON the way storage
+//!   does — a changed byte, a short read — for the checksum and
+//!   container-parse paths.
+//!
+//! Nothing here is compiled into release binaries' hot paths; it is a
+//! library so integration tests, benches, and the CLI's future chaos
+//! tooling share one vocabulary of faults.
+
+use crate::roofline::{FitOptions, PiecewiseRoofline};
+use crate::sample::{MetricColumn, MetricId, SampleSet};
+use crate::Result;
+
+/// Hostile values injected into counter fields: the non-finite trio plus
+/// a negative count, covering every way a raw field can leave the domain
+/// [`crate::Sample::new`] enforces.
+pub const POISON_VALUES: [f64; 4] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0];
+
+/// A tiny deterministic RNG (splitmix64) for fault placement.
+///
+/// Not a statistical or cryptographic generator — just a stable,
+/// dependency-free source of well-mixed bits so injected faults are
+/// reproducible from a seed across platforms and runs.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n`. `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "FaultRng::index requires a nonempty range");
+        // Modulo bias is irrelevant at fault-injection scales (n << 2^64).
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// One of the [`POISON_VALUES`].
+    pub fn poison_value(&mut self) -> f64 {
+        POISON_VALUES[self.index(POISON_VALUES.len())]
+    }
+}
+
+/// Appends `rows` hostile samples to `metric`'s column, each with one
+/// field (time, work, or metric delta) replaced by a poison value.
+///
+/// Returns the injected `(time, work, metric_delta)` rows so a test can
+/// assert on exactly what was planted. The rows pass through
+/// [`SampleSet::push_unchecked`], bypassing validation the same way
+/// deserialized data does.
+pub fn poison_metric(
+    set: &mut SampleSet,
+    metric: &MetricId,
+    rng: &mut FaultRng,
+    rows: usize,
+) -> Vec<(f64, f64, f64)> {
+    let mut injected = Vec::with_capacity(rows);
+    for i in 0..rows {
+        // Benign baseline row, then poison exactly one field.
+        let mut fields = [10.0, 10.0 + i as f64, 1.0 + i as f64];
+        fields[rng.index(3)] = rng.poison_value();
+        let [time, work, delta] = fields;
+        set.push_unchecked(metric.clone(), time, work, delta);
+        injected.push((time, work, delta));
+    }
+    injected
+}
+
+/// A fit function for
+/// [`SpireModel::train_with_report_using`](crate::SpireModel::train_with_report_using)
+/// that panics on metrics whose name contains `needle` and otherwise
+/// defers to [`PiecewiseRoofline::fit_column`].
+///
+/// Drives the [`FitPanicked`](crate::SpireError::FitPanicked) quarantine
+/// path. Callers running many injected panics may want to silence the
+/// global panic hook around the call (see [`silence_panics`]).
+pub fn panicking_fit(
+    needle: &str,
+) -> impl Fn(&MetricColumn, &FitOptions) -> Result<PiecewiseRoofline> + Sync + '_ {
+    move |column, fit| {
+        if column.metric().as_str().contains(needle) {
+            panic!("injected panic for metric {}", column.metric());
+        }
+        PiecewiseRoofline::fit_column(column, fit)
+    }
+}
+
+/// Like [`panicking_fit`], but the targeted metrics return a typed fit
+/// error ([`EmptyTrainingSet`](crate::SpireError::EmptyTrainingSet) with
+/// the metric named) instead of panicking — the
+/// [`FitFailed`](crate::ensemble::TrainQuarantineReason::FitFailed)
+/// quarantine path.
+pub fn erring_fit(
+    needle: &str,
+) -> impl Fn(&MetricColumn, &FitOptions) -> Result<PiecewiseRoofline> + Sync + '_ {
+    move |column, fit| {
+        if column.metric().as_str().contains(needle) {
+            return Err(crate::SpireError::EmptyTrainingSet {
+                metric: Some(column.metric().to_string()),
+            });
+        }
+        PiecewiseRoofline::fit_column(column, fit)
+    }
+}
+
+/// Runs `f` with the global panic hook silenced, restoring it afterwards.
+///
+/// Contained panics ([`crate::parallel::map_catching`]) still route
+/// through the hook before unwinding; harnesses injecting hundreds of
+/// panics use this to keep stderr readable. Restores the previous hook
+/// even if `f` itself panics.
+pub fn silence_panics<R>(f: impl FnOnce() -> R) -> R {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    // Restore via catch/resume rather than a drop guard: `set_hook`
+    // itself panics on a panicking thread, so restoring *during* unwind
+    // would abort the process.
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    std::panic::set_hook(hook);
+    match out {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Replaces one ASCII digit in `text` with a different digit, at a
+/// position chosen by `rng` — a UTF-8-safe stand-in for a storage bit
+/// flip that is guaranteed to change a stored number rather than JSON
+/// punctuation (so the result still parses and the damage must be caught
+/// by checksums or validation, the interesting case).
+///
+/// Returns `None` if `text` contains no digits.
+pub fn flip_digit(text: &str, rng: &mut FaultRng) -> Option<String> {
+    let digit_positions: Vec<usize> = text
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| b.is_ascii_digit())
+        .map(|(i, _)| i)
+        .collect();
+    if digit_positions.is_empty() {
+        return None;
+    }
+    let pos = digit_positions[rng.index(digit_positions.len())];
+    let old = text.as_bytes()[pos];
+    // Shift within '0'..='9', never landing on the original digit.
+    let new = b'0' + ((old - b'0' + 1 + (rng.next_u64() % 9) as u8) % 10);
+    let mut bytes = text.as_bytes().to_vec();
+    bytes[pos] = new;
+    Some(String::from_utf8(bytes).expect("digit-for-digit swap preserves UTF-8"))
+}
+
+/// Keeps the first `fraction` of `text` (by bytes, snapped down to a
+/// UTF-8 boundary) — a short read / interrupted write.
+pub fn truncate(text: &str, fraction: f64) -> &str {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let mut cut = (text.len() as f64 * fraction) as usize;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &text[..cut]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sample, SpireModel, TrainConfig, TrainStrictness};
+
+    #[test]
+    fn rng_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = FaultRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = FaultRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = FaultRng::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poison_rows_bypass_validation_and_land_in_the_column() {
+        let mut set = SampleSet::new();
+        set.push(Sample::new("m", 10.0, 10.0, 1.0).unwrap());
+        let metric = MetricId::new("m");
+        let mut rng = FaultRng::new(7);
+        let injected = poison_metric(&mut set, &metric, &mut rng, 5);
+        assert_eq!(injected.len(), 5);
+        assert_eq!(set.len(), 6);
+        let column = set.column(&metric).unwrap();
+        assert_eq!(column.len(), 6);
+        // Every injected row has exactly one out-of-domain field.
+        for (t, w, d) in injected {
+            let bad = [t, w, d]
+                .iter()
+                .filter(|v| !v.is_finite() || **v < 0.0)
+                .count();
+            assert_eq!(bad, 1, "row ({t}, {w}, {d})");
+        }
+    }
+
+    #[test]
+    fn injected_fits_drive_both_quarantine_reasons() {
+        let mut set = SampleSet::new();
+        for (w, m) in [(10.0, 10.0), (20.0, 5.0), (30.0, 3.0)] {
+            set.push(Sample::new("good", 10.0, w, m).unwrap());
+            set.push(Sample::new("bad_metric", 10.0, w, m).unwrap());
+        }
+        let panicked = silence_panics(|| {
+            SpireModel::train_with_report_using(
+                &set,
+                TrainConfig::default(),
+                TrainStrictness::Lenient,
+                panicking_fit("bad"),
+            )
+        })
+        .unwrap();
+        assert_eq!(
+            panicked.report.quarantined[0].reason.as_str(),
+            "fit_panicked"
+        );
+
+        let erred = SpireModel::train_with_report_using(
+            &set,
+            TrainConfig::default(),
+            TrainStrictness::Lenient,
+            erring_fit("bad"),
+        )
+        .unwrap();
+        assert_eq!(erred.report.quarantined[0].reason.as_str(), "fit_failed");
+        assert_eq!(erred.model.metric_count(), 1);
+    }
+
+    #[test]
+    fn flip_digit_changes_exactly_one_digit() {
+        let text = r#"{"a": 12.5, "b": [3, 4]}"#;
+        let mut rng = FaultRng::new(3);
+        let flipped = flip_digit(text, &mut rng).unwrap();
+        assert_ne!(flipped, text);
+        let diffs: Vec<(char, char)> = text
+            .chars()
+            .zip(flipped.chars())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].0.is_ascii_digit() && diffs[0].1.is_ascii_digit());
+        assert!(flip_digit("no digits here", &mut rng).is_none());
+    }
+
+    #[test]
+    fn truncate_respects_utf8_boundaries() {
+        let text = "abc\u{00e9}def"; // 'é' is 2 bytes
+        for pct in 0..=10 {
+            let cut = truncate(text, pct as f64 / 10.0);
+            assert!(text.starts_with(cut));
+        }
+        assert_eq!(truncate(text, 1.0), text);
+        assert_eq!(truncate(text, 0.0), "");
+    }
+
+    #[test]
+    fn silence_panics_restores_the_hook_on_unwind() {
+        let result = std::panic::catch_unwind(|| {
+            silence_panics(|| panic!("inner"));
+        });
+        assert!(result.is_err());
+        // The default (or prior) hook is back; nothing observable to
+        // assert beyond "set_hook did not panic", which take/set verify.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(hook);
+    }
+}

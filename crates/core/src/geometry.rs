@@ -88,12 +88,20 @@ pub fn upper_hull_from_origin(points: &[Point]) -> Vec<Point> {
 /// Panics if the slices have different lengths.
 pub fn upper_hull_from_origin_soa(xs: &[f64], ys: &[f64]) -> Vec<Point> {
     assert_eq!(xs.len(), ys.len(), "xs and ys must be parallel columns");
-    let pts: Vec<Point> = xs
+    let mut pts: Vec<Point> = xs
         .iter()
         .zip(ys)
         .filter(|(x, y)| x.is_finite() && y.is_finite())
         .map(|(&x, &y)| Point::new(x, y))
         .collect();
+    // Canonicalize before walking: the slope tie-break below is tolerant
+    // (EPS-approximate), and approximate equality is not transitive, so the
+    // winner among near-tied candidates could otherwise depend on input
+    // order. Sorting into a total order (and collapsing exact duplicates,
+    // which duplicate-intensity samples produce) makes the hull a function
+    // of the point *set* rather than the sample sequence.
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     let mut hull = vec![Point::ORIGIN];
     if pts.is_empty() {
         return hull;
@@ -193,12 +201,11 @@ fn pareto_front_of(mut pts: Vec<Point>) -> Vec<Point> {
     if pts.is_empty() {
         return Vec::new();
     }
-    // Sort by decreasing x; for equal x keep the highest y first.
-    pts.sort_by(|a, b| {
-        b.x.partial_cmp(&a.x)
-            .unwrap()
-            .then(b.y.partial_cmp(&a.y).unwrap())
-    });
+    // Sort by decreasing x; for equal x keep the highest y first. The
+    // total order (rather than `partial_cmp().unwrap()`) keeps the kernel
+    // deterministic — and panic-free — for any input permutation, including
+    // duplicate-intensity ties.
+    pts.sort_by(|a, b| b.x.total_cmp(&a.x).then(b.y.total_cmp(&a.y)));
     let mut front: Vec<Point> = Vec::new();
     let mut best_y = f64::NEG_INFINITY;
     for p in pts {
@@ -395,6 +402,90 @@ mod tests {
     #[should_panic(expected = "parallel columns")]
     fn soa_length_mismatch_panics() {
         upper_hull_from_origin_soa(&[1.0, 2.0], &[1.0]);
+    }
+
+    /// Deterministic permutations of a slice (rotations + reversal) —
+    /// enough to expose order-dependent tie-breaking without needing an
+    /// RNG in a unit test.
+    fn permutations(pts: &[Point]) -> Vec<Vec<Point>> {
+        let mut all = Vec::new();
+        for k in 0..pts.len() {
+            let mut rot: Vec<Point> = pts[k..].iter().chain(&pts[..k]).copied().collect();
+            all.push(rot.clone());
+            rot.reverse();
+            all.push(rot);
+        }
+        all
+    }
+
+    #[test]
+    fn hull_is_independent_of_input_order_with_duplicates() {
+        // Duplicate intensities (equal x, differing y), exact duplicate
+        // points, and a near-collinear run that exercises the approximate
+        // slope tie-break.
+        let pts = [
+            p(1.0, 2.0),
+            p(1.0, 2.0),
+            p(1.0, 1.5),
+            p(2.0, 4.0),
+            p(2.0, 3.999999999),
+            p(3.0, 5.9999999995),
+            p(3.0, 6.0),
+            p(4.0, 6.5),
+        ];
+        let reference = upper_hull_from_origin(&pts);
+        for perm in permutations(&pts) {
+            assert_eq!(
+                upper_hull_from_origin(&perm),
+                reference,
+                "hull must not depend on sample order"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_independent_of_input_order_with_duplicates() {
+        let pts = [
+            p(10.0, 1.0),
+            p(10.0, 1.0),
+            p(10.0, 0.5),
+            p(8.0, 2.0),
+            p(8.0, 2.0),
+            p(6.0, 2.0),
+            p(4.0, 4.0),
+        ];
+        let reference = pareto_front(&pts);
+        for perm in permutations(&pts) {
+            assert_eq!(
+                pareto_front(&perm),
+                reference,
+                "front must not depend on sample order"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_skip_zero_time_infinities_deterministically() {
+        // Zero-time samples surface here as infinite throughput (w / 0);
+        // zero-delta samples as infinite intensity. Both must be skipped,
+        // in every input order.
+        let pts = [
+            p(1.0, f64::INFINITY),
+            p(f64::INFINITY, 2.0),
+            p(1.0, f64::NAN),
+            p(2.0, 3.0),
+            p(1.0, 2.0),
+        ];
+        let reference_hull = upper_hull_from_origin(&pts);
+        let reference_front = pareto_front(&pts);
+        assert_eq!(
+            reference_hull,
+            vec![Point::ORIGIN, p(1.0, 2.0), p(2.0, 3.0)]
+        );
+        for perm in permutations(&pts) {
+            assert_eq!(upper_hull_from_origin(&perm), reference_hull);
+            assert_eq!(pareto_front(&perm), reference_front);
+        }
     }
 
     #[test]

@@ -67,17 +67,24 @@ pub mod analysis;
 pub mod catalog;
 pub mod ensemble;
 mod error;
+pub mod fault;
 pub mod geometry;
 pub mod graph;
 pub mod parallel;
 pub mod roofline;
 mod sample;
+pub mod snapshot;
 pub mod stats;
 
 pub use analysis::{BottleneckReport, RankedMetric};
 pub use ensemble::{
-    EnsembleAggregation, Estimate, MergeStrategy, MetricEstimate, SpireModel, TrainConfig,
+    EnsembleAggregation, Estimate, MergeStrategy, MetricEstimate, QuarantinedMetric, SpireModel,
+    TrainConfig, TrainOutcome, TrainQuarantineReason, TrainReport, TrainStrictness,
 };
 pub use error::{Result, SpireError};
 pub use roofline::{FitOptions, PiecewiseRoofline, RightFitMode, RightRegion};
 pub use sample::{MetricColumn, MetricId, Sample, SampleIter, SampleSet};
+pub use snapshot::{
+    ModelSnapshot, SnapshotLoad, SnapshotMode, SnapshotProvenance, SnapshotReport,
+    SNAPSHOT_FORMAT_VERSION,
+};

@@ -15,6 +15,7 @@
 //! count. The cap is additionally clamped to the number of jobs.
 
 use crossbeam::thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Number of hardware threads available to this process, with a fallback
 /// of 1 when the runtime cannot determine it.
@@ -75,6 +76,49 @@ where
         .collect()
 }
 
+/// Like [`map`], but contains panics at the per-item boundary: a job that
+/// panics yields `Err(message)` in its output slot while every other job —
+/// including the rest of the panicking worker's chunk — still runs and the
+/// scoped thread pool joins normally.
+///
+/// This is the containment layer under fault-isolated training: one
+/// poisoned metric's fit must not tear down the fan-out for the other
+/// metrics. The panic payload is recovered when it is a `&str` or
+/// `String` (the overwhelmingly common case for `panic!`/`assert!`/
+/// indexing panics); other payloads are reported as an opaque message.
+///
+/// Determinism matches [`map`]: output order is input order, and each
+/// item's result is independent of the thread count.
+///
+/// Note: a panicking job still routes through the global panic hook, so
+/// callers running many injected panics may want to silence the default
+/// stderr backtrace in their harness.
+pub fn map_catching<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map(items, threads, |item| {
+        // `AssertUnwindSafe` is sound here: `f` is `Fn` (no interior state
+        // to observe half-mutated) and a panicking job writes nothing to
+        // its output slot besides this Result.
+        catch_unwind(AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +170,56 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn map_catching_contains_panics_to_their_slot() {
+        let items: Vec<usize> = (0..23).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = map_catching(&items, threads, |&x| {
+                if x % 7 == 3 {
+                    panic!("poisoned item {x}");
+                }
+                x * 10
+            });
+            assert_eq!(out.len(), items.len(), "threads = {threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    assert_eq!(r.as_ref().err(), Some(&format!("poisoned item {i}")));
+                } else {
+                    assert_eq!(r.as_ref().ok(), Some(&(i * 10)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_catching_recovers_string_and_str_payloads() {
+        let out = map_catching(&[0, 1], 1, |&x| {
+            if x == 0 {
+                panic!("static str");
+            }
+            std::panic::panic_any(String::from("owned string"));
+        });
+        let _: &Vec<Result<(), String>> = &out;
+        assert_eq!(
+            out[0].as_ref().err().map(String::as_str),
+            Some("static str")
+        );
+        assert_eq!(
+            out[1].as_ref().err().map(String::as_str),
+            Some("owned string")
+        );
+    }
+
+    #[test]
+    fn map_catching_matches_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..50).collect();
+        let plain = map(&items, 4, |&x| x * x);
+        let caught = map_catching(&items, 4, |&x| x * x);
+        assert_eq!(
+            plain,
+            caught.into_iter().map(Result::unwrap).collect::<Vec<_>>()
+        );
     }
 }

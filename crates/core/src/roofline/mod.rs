@@ -19,7 +19,7 @@ pub use right::RightRegion;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SpireError};
-use crate::geometry::{self, Point};
+use crate::geometry::{self, ge_approx, Point};
 use crate::sample::{MetricColumn, MetricId, Sample};
 
 /// Strategy for the region right of the apex.
@@ -349,6 +349,162 @@ impl PiecewiseRoofline {
     pub fn is_constant(&self) -> bool {
         matches!(self.shape, Shape::Constant(_))
     }
+
+    /// Checks the structural invariants every usable roofline must satisfy:
+    ///
+    /// * all knot coordinates finite, with non-negative heights;
+    /// * left region from the origin, strictly increasing in intensity,
+    ///   non-decreasing and concave-down in throughput (up to [`EPS`]
+    ///   tolerances, like the fit itself);
+    /// * right region strictly increasing in intensity, non-increasing and
+    ///   concave-up in throughput, starting at or beyond the apex, with no
+    ///   knot above the plateau;
+    /// * plateau, tail, and fit error finite and non-negative.
+    ///
+    /// The fit upholds these by construction over validated samples, but a
+    /// roofline can also arrive from hostile places — a fit over poisoned
+    /// (NaN/negative) columns, or a deserialized snapshot — so training
+    /// quarantine and snapshot loading both run this validator and refuse
+    /// models that fail it.
+    ///
+    /// The tail is *not* required to sit below the interior knots: samples
+    /// at `I_x = ∞` can legitimately raise the start height above the
+    /// chosen front (see [`RightRegion`]).
+    ///
+    /// [`EPS`]: crate::geometry::EPS
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::ModelInvariantViolation`] naming the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |invariant: String| {
+            Err(SpireError::ModelInvariantViolation {
+                metric: self.metric.to_string(),
+                invariant,
+            })
+        };
+        let finite_nonneg = |v: f64| v.is_finite() && v >= 0.0;
+        match &self.shape {
+            Shape::Constant(h) => {
+                if !finite_nonneg(*h) {
+                    return fail(format!("constant height must be finite and >= 0, got {h}"));
+                }
+            }
+            Shape::Full { left, right } => {
+                // Left region: origin-anchored, increasing, concave-down.
+                let Some(first) = left.first() else {
+                    return fail("left region must contain at least the origin".to_owned());
+                };
+                if *first != Point::ORIGIN {
+                    return fail(format!(
+                        "left region must start at the origin, got ({}, {})",
+                        first.x, first.y
+                    ));
+                }
+                for k in left {
+                    if !finite_nonneg(k.x) || !finite_nonneg(k.y) {
+                        return fail(format!(
+                            "left knot ({}, {}) must be finite and non-negative",
+                            k.x, k.y
+                        ));
+                    }
+                }
+                let mut prev_slope = f64::INFINITY;
+                for w in left.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    if b.x <= a.x {
+                        return fail(format!(
+                            "left knots must be strictly increasing in intensity \
+                             ({} then {})",
+                            a.x, b.x
+                        ));
+                    }
+                    if !ge_approx(b.y, a.y) {
+                        return fail(format!(
+                            "left region must be non-decreasing ({} then {})",
+                            a.y, b.y
+                        ));
+                    }
+                    let slope = a.slope_to(&b);
+                    if !ge_approx(prev_slope, slope) {
+                        return fail(format!(
+                            "left region must be concave-down (slope {prev_slope} \
+                             then {slope})"
+                        ));
+                    }
+                    prev_slope = slope;
+                }
+                let apex = *left.last().expect("checked non-empty above");
+
+                // Right region: decreasing, concave-up, under the plateau.
+                if !finite_nonneg(right.plateau) {
+                    return fail(format!(
+                        "plateau must be finite and >= 0, got {}",
+                        right.plateau
+                    ));
+                }
+                if !finite_nonneg(right.tail) {
+                    return fail(format!("tail must be finite and >= 0, got {}", right.tail));
+                }
+                if !finite_nonneg(right.fit_error) {
+                    return fail(format!(
+                        "fit error must be finite and >= 0, got {}",
+                        right.fit_error
+                    ));
+                }
+                for k in &right.knots {
+                    if !finite_nonneg(k.x) || !finite_nonneg(k.y) {
+                        return fail(format!(
+                            "right knot ({}, {}) must be finite and non-negative",
+                            k.x, k.y
+                        ));
+                    }
+                    if !ge_approx(right.plateau, k.y) {
+                        return fail(format!(
+                            "right knot height {} exceeds the plateau {}",
+                            k.y, right.plateau
+                        ));
+                    }
+                }
+                if let Some(k0) = right.knots.first() {
+                    if !ge_approx(k0.x, apex.x) {
+                        return fail(format!(
+                            "right region must start at or beyond the apex \
+                             (first knot at {}, apex at {})",
+                            k0.x, apex.x
+                        ));
+                    }
+                }
+                let mut prev_slope = f64::NEG_INFINITY;
+                for w in right.knots.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    if b.x <= a.x {
+                        return fail(format!(
+                            "right knots must be strictly increasing in intensity \
+                             ({} then {})",
+                            a.x, b.x
+                        ));
+                    }
+                    if !ge_approx(a.y, b.y) {
+                        return fail(format!(
+                            "right region must be non-increasing ({} then {})",
+                            a.y, b.y
+                        ));
+                    }
+                    let slope = a.slope_to(&b);
+                    if !ge_approx(slope, prev_slope) {
+                        return fail(format!(
+                            "right region must be concave-up (slope {prev_slope} \
+                             then {slope})"
+                        ));
+                    }
+                    prev_slope = slope;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Thins an oversized Pareto front to at most `max` points, always keeping
@@ -605,5 +761,150 @@ mod tests {
         let samples = vec![s(10.0, 0.0, 5.0), s(10.0, 0.0, 2.0)];
         let r = fit(&samples);
         assert_eq!(r.estimate(1.0), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_fits() {
+        let cases: Vec<Vec<Sample>> = vec![
+            vec![s(10.0, 10.0, 5.0)],
+            vec![s(10.0, 20.0, 0.0), s(10.0, 30.0, 0.0)], // constant
+            vec![s(10.0, 0.0, 5.0), s(10.0, 0.0, 2.0)],   // all-zero throughput
+            vec![
+                s(10.0, 5.0, 10.0),
+                s(10.0, 12.0, 8.0),
+                s(10.0, 20.0, 5.0),
+                s(10.0, 25.0, 2.5),
+                s(10.0, 18.0, 1.0),
+                s(10.0, 8.0, 0.0),
+            ],
+        ];
+        for samples in cases {
+            fit(&samples)
+                .validate()
+                .expect("fit must satisfy invariants");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_shapes() {
+        let violation = |shape: Shape| {
+            let r = PiecewiseRoofline {
+                metric: "m".into(),
+                shape,
+                training_samples: 1,
+            };
+            match r.validate() {
+                Err(SpireError::ModelInvariantViolation { metric, .. }) => {
+                    assert_eq!(metric, "m");
+                }
+                other => panic!("expected invariant violation, got {other:?}"),
+            }
+        };
+
+        violation(Shape::Constant(f64::NAN));
+        violation(Shape::Constant(-1.0));
+        // Left region not starting at the origin.
+        violation(Shape::Full {
+            left: vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+            right: RightRegion::constant(2.0),
+        });
+        // Left region decreasing.
+        violation(Shape::Full {
+            left: vec![Point::ORIGIN, Point::new(1.0, 2.0), Point::new(2.0, 1.0)],
+            right: RightRegion::constant(2.0),
+        });
+        // Left region convex (slopes increasing).
+        violation(Shape::Full {
+            left: vec![Point::ORIGIN, Point::new(1.0, 0.5), Point::new(2.0, 5.0)],
+            right: RightRegion::constant(5.0),
+        });
+        // Non-finite left knot.
+        violation(Shape::Full {
+            left: vec![Point::ORIGIN, Point::new(1.0, f64::NAN)],
+            right: RightRegion::constant(1.0),
+        });
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_right_regions() {
+        let full = |right: RightRegion| Shape::Full {
+            left: vec![Point::ORIGIN, Point::new(2.0, 4.0)],
+            right,
+        };
+        let violation = |shape: Shape| {
+            let r = PiecewiseRoofline {
+                metric: "m".into(),
+                shape,
+                training_samples: 1,
+            };
+            assert!(
+                matches!(
+                    r.validate(),
+                    Err(SpireError::ModelInvariantViolation { .. })
+                ),
+                "shape should be rejected"
+            );
+        };
+
+        // Increasing right region.
+        violation(full(RightRegion {
+            plateau: 4.0,
+            knots: vec![Point::new(2.0, 3.0), Point::new(4.0, 3.5)],
+            tail: 3.5,
+            fit_error: 0.0,
+        }));
+        // Concave-down (slopes decreasing) right region.
+        violation(full(RightRegion {
+            plateau: 4.0,
+            knots: vec![
+                Point::new(2.0, 4.0),
+                Point::new(3.0, 3.9),
+                Point::new(4.0, 1.0),
+            ],
+            tail: 1.0,
+            fit_error: 0.0,
+        }));
+        // Knot above the plateau.
+        violation(full(RightRegion {
+            plateau: 4.0,
+            knots: vec![Point::new(2.0, 5.0)],
+            tail: 1.0,
+            fit_error: 0.0,
+        }));
+        // Right region starting left of the apex.
+        violation(full(RightRegion {
+            plateau: 4.0,
+            knots: vec![Point::new(1.0, 4.0), Point::new(4.0, 1.0)],
+            tail: 1.0,
+            fit_error: 0.0,
+        }));
+        // Non-finite fit error.
+        violation(full(RightRegion {
+            plateau: 4.0,
+            knots: vec![Point::new(2.0, 4.0)],
+            tail: 4.0,
+            fit_error: f64::INFINITY,
+        }));
+        // NaN plateau (what a fully poisoned column degenerates to).
+        violation(full(RightRegion::constant(f64::NAN)));
+    }
+
+    #[test]
+    fn validate_allows_tail_above_interior_knots() {
+        // An I = ∞ sample can raise the start height above the front.
+        let r = PiecewiseRoofline {
+            metric: "m".into(),
+            shape: Shape::Full {
+                left: vec![Point::ORIGIN, Point::new(2.0, 4.0)],
+                right: RightRegion {
+                    plateau: 4.0,
+                    knots: vec![Point::new(2.0, 4.0), Point::new(6.0, 1.0)],
+                    tail: 10.0,
+                    fit_error: 0.0,
+                },
+            },
+            training_samples: 3,
+        };
+        r.validate().expect("high tail is legitimate");
     }
 }

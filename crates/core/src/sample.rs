@@ -485,6 +485,20 @@ impl SampleSet {
         Ok(())
     }
 
+    /// Appends one measurement **without** the [`Sample::new`] domain
+    /// validation — NaN, infinite, zero, and negative fields all pass.
+    ///
+    /// Deserialization already admits such rows (serde builds columns
+    /// directly from the wire format), so downstream code must tolerate
+    /// them anyway; this constructor exists so the fault-injection
+    /// harness ([`crate::fault`]) can build those hostile sets
+    /// deliberately and deterministically. Prefer [`SampleSet::push`] /
+    /// [`SampleSet::push_parts`] everywhere else.
+    pub fn push_unchecked(&mut self, metric: MetricId, time: f64, work: f64, metric_delta: f64) {
+        self.column_mut(metric).push(time, work, metric_delta);
+        self.len += 1;
+    }
+
     /// Number of samples in the set.
     pub fn len(&self) -> usize {
         self.len

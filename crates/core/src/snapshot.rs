@@ -1,0 +1,563 @@
+//! Versioned, checksummed on-disk form for trained [`SpireModel`]s.
+//!
+//! A snapshot is the durability contract between `train` and
+//! `estimate`/`analyze`: training is expensive (the paper's setup fits 424
+//! rooflines over 1.3M samples), so serving must load a previously trained
+//! ensemble — and must be able to *trust* it. The format is designed so
+//! damage is detected, attributed, and contained:
+//!
+//! * a `format_version` field gates structural compatibility — a snapshot
+//!   from a future format refuses to load rather than misparse;
+//! * each per-metric roofline is stored as an *embedded JSON string* with
+//!   its own FNV-1a checksum over the exact bytes, so a bit flip inside one
+//!   record is attributable to that record and cannot silently change a
+//!   ceiling;
+//! * loading re-validates every roofline's structural invariants
+//!   ([`PiecewiseRoofline::validate`]) — a record can be bytewise intact
+//!   yet semantically hostile;
+//! * [`SnapshotMode::Lenient`] salvages the intact metrics from a partially
+//!   corrupted snapshot (reporting what was dropped); strict mode refuses
+//!   the whole artifact on the first damaged record.
+//!
+//! Container-level damage — truncation, malformed JSON, an unsupported
+//! version — is fatal in both modes: there is no trustworthy boundary to
+//! salvage within.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ensemble::{TrainConfig, TrainReport};
+use crate::error::{Result, SpireError};
+use crate::roofline::PiecewiseRoofline;
+use crate::sample::MetricId;
+use crate::SpireModel;
+
+/// The snapshot format version this build writes and the newest it reads.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// The checksum algorithm identifier written into snapshots.
+const CHECKSUM_ALGORITHM: &str = "fnv1a64";
+
+/// 64-bit FNV-1a over `bytes` — dependency-free, stable across platforms,
+/// and plenty for integrity (not security) checking.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Where the training data for a snapshot came from: dataset labels,
+/// sample counts, and the ingest layer's degradation summaries.
+///
+/// Populated by the CLI from the counters crate's `Dataset`; kept generic
+/// here (strings and counts) so the dependency direction stays
+/// `counters -> core`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SnapshotProvenance {
+    /// Path or description of the source dataset.
+    pub source: Option<String>,
+    /// Workload labels the training data was collected from.
+    pub labels: Vec<String>,
+    /// Total training samples across all labels.
+    pub total_samples: usize,
+    /// Per-label ingest report summaries (label -> summary line), for
+    /// datasets that came through the fault-tolerant ingest.
+    pub ingest_summaries: BTreeMap<String, String>,
+}
+
+/// One metric's roofline record: the fit serialized to a JSON string plus
+/// a checksum over those exact bytes.
+///
+/// The payload is a *string* (JSON-in-JSON) deliberately: checksumming the
+/// exact stored bytes makes verification independent of any number
+/// re-formatting a structural round-trip might apply, and a record whose
+/// payload no longer parses is attributable to that record rather than
+/// poisoning the whole file. The fields are public so fault-injection
+/// harnesses and tooling can tamper with records deliberately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRecord {
+    /// The metric this record models.
+    pub metric: MetricId,
+    /// FNV-1a 64 checksum of `roofline`'s UTF-8 bytes, in lowercase hex.
+    pub checksum: String,
+    /// The [`PiecewiseRoofline`] serialized as canonical JSON.
+    pub roofline: String,
+}
+
+impl MetricRecord {
+    /// Builds a record (and its checksum) for one fitted roofline.
+    fn new(roofline: &PiecewiseRoofline) -> Result<Self> {
+        let payload = serde_json::to_string(roofline).map_err(|e| SpireError::SnapshotFormat {
+            reason: format!("failed to serialize roofline: {e}"),
+        })?;
+        Ok(MetricRecord {
+            metric: roofline.metric().clone(),
+            checksum: format!("{:016x}", fnv1a64(payload.as_bytes())),
+            roofline: payload,
+        })
+    }
+
+    /// Verifies and decodes the record into a validated roofline.
+    fn decode(&self) -> Result<PiecewiseRoofline> {
+        let corrupt = |reason: String| SpireError::SnapshotRecordCorrupt {
+            metric: self.metric.to_string(),
+            reason,
+        };
+        let actual = format!("{:016x}", fnv1a64(self.roofline.as_bytes()));
+        if actual != self.checksum {
+            return Err(corrupt(format!(
+                "checksum mismatch (stored {}, computed {actual})",
+                self.checksum
+            )));
+        }
+        let roofline: PiecewiseRoofline = serde_json::from_str(&self.roofline)
+            .map_err(|e| corrupt(format!("payload does not parse: {e}")))?;
+        if roofline.metric() != &self.metric {
+            return Err(corrupt(format!(
+                "payload models metric `{}`, record claims `{}`",
+                roofline.metric(),
+                self.metric
+            )));
+        }
+        roofline.validate()?;
+        Ok(roofline)
+    }
+}
+
+/// How snapshot loading treats damaged per-metric records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Salvage the intact metrics; report the dropped ones.
+    #[default]
+    Lenient,
+    /// Refuse the whole snapshot on the first damaged record.
+    Strict,
+}
+
+/// One metric dropped by a lenient snapshot load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroppedMetric {
+    /// The metric whose record was damaged.
+    pub metric: MetricId,
+    /// Why it was dropped (checksum mismatch, parse failure, invariant
+    /// violation).
+    pub reason: String,
+}
+
+/// What a snapshot load did: loaded/dropped counts, mirroring the
+/// train-time [`TrainReport`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SnapshotReport {
+    /// Metric records present in the snapshot.
+    pub metrics_total: usize,
+    /// Records that verified, parsed, and validated.
+    pub metrics_loaded: usize,
+    /// Records dropped by the lenient load, in snapshot order.
+    pub dropped: Vec<DroppedMetric>,
+}
+
+impl SnapshotReport {
+    /// Returns `true` if any record was dropped (the model is usable but
+    /// degraded).
+    pub fn is_degraded(&self) -> bool {
+        !self.dropped.is_empty()
+    }
+
+    /// One-line summary, e.g. `loaded 10/12 snapshot metrics (2 dropped)`.
+    pub fn summary(&self) -> String {
+        format!(
+            "loaded {}/{} snapshot metrics ({} dropped)",
+            self.metrics_loaded,
+            self.metrics_total,
+            self.dropped.len()
+        )
+    }
+}
+
+/// A loaded model together with the [`SnapshotReport`] describing what was
+/// salvaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotLoad {
+    /// The reassembled (possibly degraded) model.
+    pub model: SpireModel,
+    /// Per-record load outcomes.
+    pub report: SnapshotReport,
+}
+
+/// The on-disk snapshot container: format version, training configuration,
+/// provenance, and one checksummed [`MetricRecord`] per trained metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Format version; see [`SNAPSHOT_FORMAT_VERSION`].
+    pub format_version: u32,
+    /// Checksum algorithm used by the records (`"fnv1a64"`).
+    pub checksum_algorithm: String,
+    /// The configuration the model was trained with.
+    pub config: TrainConfig,
+    /// Metrics skipped at train time for having too few samples.
+    pub skipped_metrics: Vec<MetricId>,
+    /// Training-data provenance, when the trainer supplied it.
+    pub provenance: Option<SnapshotProvenance>,
+    /// The train-time quarantine report, when training was fault-isolated.
+    pub train_report: Option<TrainReport>,
+    /// One record per trained metric, in metric-name order.
+    pub metrics: Vec<MetricRecord>,
+}
+
+impl ModelSnapshot {
+    /// Builds a snapshot of `model`, checksumming every per-metric record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::SnapshotFormat`] if a roofline fails to
+    /// serialize (not expected for well-formed models).
+    pub fn from_model(model: &SpireModel) -> Result<Self> {
+        let metrics: Result<Vec<MetricRecord>> =
+            model.rooflines().values().map(MetricRecord::new).collect();
+        Ok(ModelSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            checksum_algorithm: CHECKSUM_ALGORITHM.to_owned(),
+            config: model.config().clone(),
+            skipped_metrics: model.skipped_metrics().to_vec(),
+            provenance: None,
+            train_report: None,
+            metrics: metrics?,
+        })
+    }
+
+    /// Attaches training-data provenance.
+    pub fn with_provenance(mut self, provenance: SnapshotProvenance) -> Self {
+        self.provenance = Some(provenance);
+        self
+    }
+
+    /// Attaches the train-time quarantine report.
+    pub fn with_train_report(mut self, report: TrainReport) -> Self {
+        self.train_report = Some(report);
+        self
+    }
+
+    /// Serializes the snapshot container to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot containers always serialize")
+    }
+
+    /// Parses a snapshot container from JSON, checking the format version
+    /// and checksum algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::SnapshotFormat`] for malformed or truncated
+    /// JSON, an unsupported `format_version`, or an unknown checksum
+    /// algorithm — all fatal in both load modes.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let snapshot: ModelSnapshot =
+            serde_json::from_str(text).map_err(|e| SpireError::SnapshotFormat {
+                reason: format!("container does not parse: {e}"),
+            })?;
+        if snapshot.format_version == 0 || snapshot.format_version > SNAPSHOT_FORMAT_VERSION {
+            return Err(SpireError::SnapshotFormat {
+                reason: format!(
+                    "unsupported format version {} (this build reads up to {})",
+                    snapshot.format_version, SNAPSHOT_FORMAT_VERSION
+                ),
+            });
+        }
+        if snapshot.checksum_algorithm != CHECKSUM_ALGORITHM {
+            return Err(SpireError::SnapshotFormat {
+                reason: format!(
+                    "unknown checksum algorithm `{}` (expected `{CHECKSUM_ALGORITHM}`)",
+                    snapshot.checksum_algorithm
+                ),
+            });
+        }
+        Ok(snapshot)
+    }
+
+    /// Verifies every record and reassembles the model.
+    ///
+    /// In [`SnapshotMode::Lenient`], damaged records are dropped into the
+    /// returned [`SnapshotReport`] and the model is built from the
+    /// survivors; in [`SnapshotMode::Strict`] the first damaged record's
+    /// error is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`SpireError::SnapshotRecordCorrupt`] /
+    /// [`SpireError::ModelInvariantViolation`] in strict mode;
+    /// [`SpireError::SnapshotFormat`] when no metric survives a lenient
+    /// load (a zero-metric model cannot estimate).
+    pub fn into_model(self, mode: SnapshotMode) -> Result<SnapshotLoad> {
+        let metrics_total = self.metrics.len();
+        let mut rooflines = BTreeMap::new();
+        let mut dropped = Vec::new();
+        for record in &self.metrics {
+            match record.decode() {
+                Ok(roofline) => {
+                    rooflines.insert(record.metric.clone(), roofline);
+                }
+                Err(e) => {
+                    if mode == SnapshotMode::Strict {
+                        return Err(e);
+                    }
+                    dropped.push(DroppedMetric {
+                        metric: record.metric.clone(),
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        if rooflines.is_empty() {
+            return Err(SpireError::SnapshotFormat {
+                reason: format!(
+                    "no metric record could be salvaged ({metrics_total} present, all damaged \
+                     or none stored)"
+                ),
+            });
+        }
+        let report = SnapshotReport {
+            metrics_total,
+            metrics_loaded: rooflines.len(),
+            dropped,
+        };
+        Ok(SnapshotLoad {
+            model: SpireModel::from_parts(rooflines, self.config, self.skipped_metrics),
+            report,
+        })
+    }
+}
+
+/// Loads a model from either a snapshot or the legacy raw-model JSON that
+/// `train --out` writes, sniffing the format by attempting the snapshot
+/// container first.
+///
+/// Returns the model and, for snapshots, the load report (`None` for
+/// legacy models, which carry no integrity information).
+///
+/// # Errors
+///
+/// Snapshot errors as in [`ModelSnapshot::into_model`]; for legacy input,
+/// [`SpireError::SnapshotFormat`] when the text parses as neither format.
+/// A legacy model is also run through [`PiecewiseRoofline::validate`]
+/// per-metric (strict: any violation fails; lenient: violations are
+/// reported but legacy models carry no per-record boundary, so the model
+/// is refused only if every metric is invalid).
+pub fn load_model(text: &str, mode: SnapshotMode) -> Result<(SpireModel, Option<SnapshotReport>)> {
+    match ModelSnapshot::from_json(text) {
+        Ok(snapshot) => {
+            let loaded = snapshot.into_model(mode)?;
+            return Ok((loaded.model, Some(loaded.report)));
+        }
+        Err(SpireError::SnapshotFormat { reason })
+            if text.contains("\"format_version\"") || text.contains("\"checksum_algorithm\"") =>
+        {
+            // The text is (or claims to be) a snapshot; don't fall back to
+            // the legacy parser and mask a version or corruption problem.
+            return Err(SpireError::SnapshotFormat { reason });
+        }
+        Err(_) => {}
+    }
+    let model: SpireModel = serde_json::from_str(text).map_err(|e| SpireError::SnapshotFormat {
+        reason: format!("neither a model snapshot nor a legacy model: {e}"),
+    })?;
+    for roofline in model.rooflines().values() {
+        match roofline.validate() {
+            Ok(()) => {}
+            Err(e) if mode == SnapshotMode::Strict => return Err(e),
+            Err(_) => {}
+        }
+    }
+    Ok((model, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sample, SampleSet, TrainConfig};
+
+    fn trained() -> SpireModel {
+        let mut set = SampleSet::new();
+        for m in 0..4 {
+            for i in 1..6 {
+                let s = Sample::new(
+                    format!("metric_{m}").as_str(),
+                    10.0,
+                    (5 * i) as f64,
+                    (10 - i) as f64,
+                )
+                .unwrap();
+                set.push(s);
+            }
+        }
+        SpireModel::train(&set, TrainConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_identity() {
+        let model = trained();
+        let json = ModelSnapshot::from_model(&model).unwrap().to_json();
+        let loaded = ModelSnapshot::from_json(&json)
+            .unwrap()
+            .into_model(SnapshotMode::Strict)
+            .unwrap();
+        assert_eq!(loaded.model, model);
+        assert_eq!(loaded.report.metrics_loaded, 4);
+        assert!(!loaded.report.is_degraded());
+    }
+
+    #[test]
+    fn fnv1a64_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn corrupted_record_is_dropped_leniently_and_fatal_strictly() {
+        let model = trained();
+        let mut snapshot = ModelSnapshot::from_model(&model).unwrap();
+        // Tamper with one record's payload without updating its checksum.
+        snapshot.metrics[1].roofline = snapshot.metrics[1].roofline.replacen('1', "2", 1);
+        let json = snapshot.to_json();
+
+        let strict = ModelSnapshot::from_json(&json)
+            .unwrap()
+            .into_model(SnapshotMode::Strict);
+        assert!(matches!(
+            strict.unwrap_err(),
+            SpireError::SnapshotRecordCorrupt { .. }
+        ));
+
+        let lenient = ModelSnapshot::from_json(&json)
+            .unwrap()
+            .into_model(SnapshotMode::Lenient)
+            .unwrap();
+        assert_eq!(lenient.report.metrics_loaded, 3);
+        assert_eq!(lenient.report.dropped.len(), 1);
+        assert_eq!(lenient.report.dropped[0].metric.as_str(), "metric_1");
+        assert!(lenient.report.dropped[0].reason.contains("checksum"));
+        assert!(lenient.model.roofline(&"metric_1".into()).is_none());
+        assert!(lenient.model.roofline(&"metric_0".into()).is_some());
+    }
+
+    #[test]
+    fn metric_name_mismatch_is_corruption() {
+        let model = trained();
+        let mut snapshot = ModelSnapshot::from_model(&model).unwrap();
+        // Swap two records' metric names (payloads and checksums intact).
+        let m0 = snapshot.metrics[0].metric.clone();
+        snapshot.metrics[0].metric = snapshot.metrics[1].metric.clone();
+        snapshot.metrics[1].metric = m0;
+        let err = snapshot.into_model(SnapshotMode::Strict).unwrap_err();
+        match err {
+            SpireError::SnapshotRecordCorrupt { reason, .. } => {
+                assert!(reason.contains("record claims"));
+            }
+            other => panic!("expected record corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_version_refuses_in_both_modes() {
+        let model = trained();
+        let mut snapshot = ModelSnapshot::from_model(&model).unwrap();
+        snapshot.format_version = 99;
+        let json = snapshot.to_json();
+        let err = ModelSnapshot::from_json(&json).unwrap_err();
+        assert!(matches!(err, SpireError::SnapshotFormat { .. }));
+        assert!(err.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn truncated_container_refuses_in_both_modes() {
+        let model = trained();
+        let json = ModelSnapshot::from_model(&model).unwrap().to_json();
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(
+            ModelSnapshot::from_json(truncated).unwrap_err(),
+            SpireError::SnapshotFormat { .. }
+        ));
+        // Auto-detecting loader must not fall back to the legacy parser
+        // for a damaged snapshot.
+        assert!(matches!(
+            load_model(truncated, SnapshotMode::Lenient).unwrap_err(),
+            SpireError::SnapshotFormat { .. }
+        ));
+    }
+
+    #[test]
+    fn all_records_damaged_refuses_even_leniently() {
+        let model = trained();
+        let mut snapshot = ModelSnapshot::from_model(&model).unwrap();
+        for record in &mut snapshot.metrics {
+            record.checksum = "0000000000000000".to_owned();
+        }
+        assert!(matches!(
+            snapshot.into_model(SnapshotMode::Lenient).unwrap_err(),
+            SpireError::SnapshotFormat { .. }
+        ));
+    }
+
+    #[test]
+    fn load_model_accepts_legacy_raw_model_json() {
+        let model = trained();
+        let legacy = serde_json::to_string(&model).unwrap();
+        let (loaded, report) = load_model(&legacy, SnapshotMode::Strict).unwrap();
+        assert_eq!(loaded, model);
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn load_model_accepts_snapshot_json() {
+        let model = trained();
+        let json = ModelSnapshot::from_model(&model).unwrap().to_json();
+        let (loaded, report) = load_model(&json, SnapshotMode::Lenient).unwrap();
+        assert_eq!(loaded, model);
+        assert!(!report.unwrap().is_degraded());
+    }
+
+    #[test]
+    fn provenance_and_train_report_round_trip() {
+        let model = trained();
+        let provenance = SnapshotProvenance {
+            source: Some("data.json".to_owned()),
+            labels: vec!["wl_a".to_owned(), "wl_b".to_owned()],
+            total_samples: 20,
+            ingest_summaries: [("wl_a".to_owned(), "scaled 10/10 rows".to_owned())]
+                .into_iter()
+                .collect(),
+        };
+        let snapshot = ModelSnapshot::from_model(&model)
+            .unwrap()
+            .with_provenance(provenance.clone())
+            .with_train_report(TrainReport::default());
+        let back = ModelSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back.provenance.as_ref(), Some(&provenance));
+        assert!(back.train_report.is_some());
+        let loaded = back.into_model(SnapshotMode::Strict).unwrap();
+        assert_eq!(loaded.model, model);
+    }
+
+    #[test]
+    fn snapshot_estimates_bit_identical_to_in_memory() {
+        let model = trained();
+        let mut wl = SampleSet::new();
+        for i in 1..4 {
+            wl.push(Sample::new("metric_0", 10.0, (3 * i) as f64, 2.0).unwrap());
+            wl.push(Sample::new("metric_2", 10.0, (4 * i) as f64, 3.0).unwrap());
+        }
+        let json = ModelSnapshot::from_model(&model).unwrap().to_json();
+        let (loaded, _) = load_model(&json, SnapshotMode::Strict).unwrap();
+        let a = model.estimate(&wl).unwrap();
+        let b = loaded.estimate(&wl).unwrap();
+        assert_eq!(a.throughput().to_bits(), b.throughput().to_bits());
+        assert_eq!(a.per_metric(), b.per_metric());
+    }
+}

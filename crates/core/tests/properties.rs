@@ -343,4 +343,37 @@ proptest! {
         prop_assert_eq!(a.throughput(), b.throughput());
         prop_assert_eq!(a.per_metric(), b.per_metric());
     }
+
+    /// Every fit over arbitrary valid samples satisfies the model
+    /// invariants ([`PiecewiseRoofline::validate`]), in every right-fit
+    /// mode: the validator must never reject what the fitter produces.
+    #[test]
+    fn every_fit_validates(rows in samples("m", 64)) {
+        for mode in [RightFitMode::Graph, RightFitMode::Plateau, RightFitMode::Auto] {
+            let opts = FitOptions { right_fit: mode, ..FitOptions::default() };
+            let r = PiecewiseRoofline::fit("m".into(), rows.iter(), &opts).unwrap();
+            prop_assert!(r.validate().is_ok(), "mode {:?}: {:?}", mode, r.validate());
+        }
+    }
+
+    /// A model pushed through the checksummed snapshot format estimates
+    /// bit-identically to the in-memory original.
+    #[test]
+    fn snapshot_round_trip_estimates_bit_identical(
+        train_rows in corpus(4, 24),
+        probe_rows in corpus(4, 8),
+    ) {
+        let train_set: SampleSet = train_rows.iter().cloned().collect();
+        let probe_set: SampleSet = probe_rows.iter().cloned().collect();
+        let model = SpireModel::train(&train_set, TrainConfig::default()).unwrap();
+        let json = spire_core::ModelSnapshot::from_model(&model).unwrap().to_json();
+        let (loaded, report) =
+            spire_core::snapshot::load_model(&json, spire_core::SnapshotMode::Strict).unwrap();
+        prop_assert!(!report.unwrap().is_degraded());
+        prop_assert_eq!(&model, &loaded);
+        let a = model.estimate(&probe_set).unwrap();
+        let b = loaded.estimate(&probe_set).unwrap();
+        prop_assert_eq!(a.throughput().to_bits(), b.throughput().to_bits());
+        prop_assert_eq!(a.per_metric(), b.per_metric());
+    }
 }

@@ -10,7 +10,7 @@ use std::io;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
-use spire_core::SampleSet;
+use spire_core::{SampleSet, SnapshotProvenance};
 
 use crate::ingest::IngestReport;
 
@@ -122,6 +122,22 @@ impl Dataset {
             all.extend(set.iter());
         }
         all
+    }
+
+    /// Builds training-data provenance for a model snapshot: the labels,
+    /// total sample count, and per-label ingest summaries of this dataset.
+    ///
+    /// `source` is the path or description the dataset was loaded from.
+    pub fn provenance(&self, source: Option<&str>) -> SnapshotProvenance {
+        SnapshotProvenance {
+            source: source.map(str::to_owned),
+            labels: self.labels().map(str::to_owned).collect(),
+            total_samples: self.total_samples(),
+            ingest_summaries: self
+                .reports()
+                .map(|(label, report)| (label.to_owned(), report.summary()))
+                .collect(),
+        }
     }
 
     /// Serializes to pretty-printed JSON.
@@ -267,6 +283,25 @@ garbage line
         let d = Dataset::from_json(legacy).unwrap();
         assert!(d.is_empty());
         assert_eq!(d.reports().count(), 0);
+    }
+
+    #[test]
+    fn provenance_carries_labels_counts_and_ingest_summaries() {
+        let text = "\
+1.0,1000,,inst_retired.any,1000000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000000,100.00,,
+1.0,120,,evt.a,250000,25.00,,
+";
+        let out = crate::ingest_perf_csv(text, &crate::IngestConfig::default());
+        let mut d = Dataset::new();
+        d.insert_with_report("capture", out.samples, out.report);
+        d.insert("plain", set(2));
+        let prov = d.provenance(Some("corpus.json"));
+        assert_eq!(prov.source.as_deref(), Some("corpus.json"));
+        assert_eq!(prov.labels, ["capture", "plain"]);
+        assert_eq!(prov.total_samples, d.total_samples());
+        assert_eq!(prov.ingest_summaries.len(), 1);
+        assert!(prov.ingest_summaries["capture"].contains("rows"));
     }
 
     #[test]
