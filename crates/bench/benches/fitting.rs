@@ -1,12 +1,24 @@
-//! Criterion benchmarks for the roofline fitting algorithms: the
-//! Jarvis-march left fit, the Pareto front, and the shortest-path right
-//! fit, as a function of training-sample count.
+//! Benchmarks for the roofline fitting algorithms: the Jarvis-march left
+//! fit, the Pareto front, the right-region fit (fast topological-DP path
+//! vs. the retained graph/Dijkstra reference), and the batch SoA estimate
+//! kernel.
+//!
+//! Besides the criterion-style groups, `main` runs a timed head-to-head of
+//! `fit_right_front` against `roofline::reference::fit_right` on synthetic
+//! Pareto fronts of k = 256 / 1024 / 4096 samples and writes the results to
+//! `BENCH_fitting.json` at the workspace root. The comparison asserts the
+//! two fits agree (equal plateau/tail, fit cost within 1e-9 relative) and
+//! panics on a mismatch, so CI smoke runs validate correctness even though
+//! they skip the timing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spire_core::geometry::{pareto_front, upper_hull_from_origin, Point};
-use spire_core::{FitOptions, PiecewiseRoofline, RightFitMode, Sample};
+use spire_core::roofline::{fit_right_front, reference};
+use spire_core::{FitOptions, MetricId, PiecewiseRoofline, RightFitMode, Sample, SampleSet};
 
 /// Synthetic roofline-shaped samples: throughput rises then falls with
 /// intensity, plus noise — the shape a real metric produces.
@@ -31,6 +43,39 @@ fn points_of(samples: &[Sample]) -> Vec<Point> {
     samples
         .iter()
         .map(|s| Point::new(s.intensity(), s.throughput()))
+        .collect()
+}
+
+/// A jittered k-sample Pareto front (descending intensity, ascending
+/// throughput), the shape the right fit sees from noisy real data.
+fn jittered_front(k: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut x = 100.0 + k as f64;
+    let mut y = 0.5;
+    (0..k)
+        .map(|_| {
+            x -= rng.gen_range(0.05..1.0);
+            y += rng.gen_range(0.02..0.5);
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+/// An adversarial front for the reference algorithm: blocks of `block`
+/// samples in convex position separated by throughput jumps far larger
+/// than any within-block variation. Cross-block chords sag below the
+/// convex interior, so the reference's per-pair feasibility scan walks
+/// deep into each block before rejecting, while within-block pairs are
+/// all feasible — a dense segment graph with long scans, without the
+/// memory blow-up of a fully convex front.
+fn block_convex_front(k: usize, block: usize) -> Vec<Point> {
+    let jump = 10.0 * (block * block) as f64;
+    (0..k)
+        .map(|i| {
+            let t = (i % block) as f64;
+            let y = (i / block) as f64 * jump + t * t + 1.0;
+            Point::new((k - i) as f64, y)
+        })
         .collect()
 }
 
@@ -70,6 +115,18 @@ fn bench_roofline_fit(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_right_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("right_fit");
+    group.sample_size(10);
+    for k in [256usize, 1_024, 4_096] {
+        let front = jittered_front(k, 17);
+        group.bench_with_input(BenchmarkId::new("front_dp", k), &front, |b, f| {
+            b.iter(|| fit_right_front(std::hint::black_box(f), None));
+        });
+    }
+    group.finish();
+}
+
 fn bench_estimate(c: &mut Criterion) {
     let samples = synthetic_samples(5_000, 13);
     let roofline =
@@ -83,5 +140,141 @@ fn bench_estimate(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_geometry, bench_roofline_fit, bench_estimate);
-criterion_main!(benches);
+fn bench_batch_estimate(c: &mut Criterion) {
+    let train = synthetic_samples(5_000, 13);
+    let roofline =
+        PiecewiseRoofline::fit("bench".into(), train.iter(), &FitOptions::default()).unwrap();
+    let probes: SampleSet = synthetic_samples(10_000, 19).into_iter().collect();
+    let column = probes.column(&MetricId::new("bench")).unwrap();
+    let mut group = c.benchmark_group("batch_estimate");
+    group.sample_size(20);
+    group.bench_function("per_sample", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in column.intensities() {
+                acc += roofline.estimate(std::hint::black_box(x));
+            }
+            acc
+        });
+    });
+    group.bench_function("estimate_column", |b| {
+        b.iter(|| roofline.estimate_column(std::hint::black_box(column)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geometry,
+    bench_roofline_fit,
+    bench_right_fit,
+    bench_estimate,
+    bench_batch_estimate
+);
+
+// --- fast-vs-reference comparison, emitted as BENCH_fitting.json -----------
+
+/// Median wall-clock milliseconds of `runs` executions of `f`.
+fn time_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Asserts the fast fit matches the reference on `front`: equal plateau
+/// and tail, fit cost within 1e-9 relative. Panics on violation (this is
+/// the invariant CI smoke mode checks).
+fn assert_fits_agree(shape: &str, k: usize, front: &[Point]) {
+    let fast = fit_right_front(front, None);
+    let slow = reference::fit_right(front, None);
+    assert_eq!(
+        fast.plateau(),
+        slow.plateau(),
+        "{shape}/{k}: plateau mismatch"
+    );
+    assert_eq!(fast.tail(), slow.tail(), "{shape}/{k}: tail mismatch");
+    let (a, b) = (fast.fit_error(), slow.fit_error());
+    assert!(
+        (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+        "{shape}/{k}: fit cost diverged: fast {a} vs reference {b}"
+    );
+}
+
+#[derive(serde::Serialize)]
+struct BenchSummary {
+    right_fit: Vec<FitCase>,
+}
+
+#[derive(serde::Serialize)]
+struct FitCase {
+    shape: &'static str,
+    k: usize,
+    fast_ms: f64,
+    reference_ms: Option<f64>,
+    speedup: Option<f64>,
+}
+
+fn fit_comparison() -> Vec<FitCase> {
+    let mut cases = Vec::new();
+    for &(shape, make) in &[
+        ("jittered", jittered_front as fn(usize, u64) -> Vec<Point>),
+        ("block_convex", |k, _| block_convex_front(k, 64)),
+    ] {
+        for &k in &[256usize, 1_024, 4_096] {
+            let front = make(k, 17);
+            // The reference is O(k^3)-ish; skip it at the largest size.
+            let run_reference = k <= 1_024;
+            if run_reference {
+                assert_fits_agree(shape, k, &front);
+            }
+            let fast_ms = time_ms(5, || fit_right_front(&front, None));
+            let reference_ms =
+                run_reference.then(|| time_ms(3, || reference::fit_right(&front, None)));
+            let speedup = reference_ms.map(|r| r / fast_ms);
+            println!(
+                "right_fit {shape}/{k}: fast {fast_ms:.3} ms, reference {}, speedup {}",
+                reference_ms.map_or("skipped".into(), |r| format!("{r:.3} ms")),
+                speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+            );
+            cases.push(FitCase {
+                shape,
+                k,
+                fast_ms,
+                reference_ms,
+                speedup,
+            });
+        }
+    }
+    cases
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+        || std::env::var_os("SPIRE_BENCH_SMOKE").is_some_and(|v| v == "1")
+}
+
+fn main() {
+    if smoke_mode() {
+        // Validate the fast-vs-reference invariants on small fronts; no
+        // timing, no BENCH_fitting.json (smoke numbers would be noise).
+        for k in [64usize, 256] {
+            assert_fits_agree("jittered", k, &jittered_front(k, 17));
+            assert_fits_agree("block_convex", k, &block_convex_front(k, 16));
+        }
+        println!("bench right_fit invariants ... ok (smoke)");
+    } else {
+        let summary = BenchSummary {
+            right_fit: fit_comparison(),
+        };
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fitting.json");
+        std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap()).unwrap();
+        println!("wrote {path}");
+    }
+    benches();
+}

@@ -9,7 +9,8 @@ use std::fmt::Write as _;
 use spire_core::catalog::MetricCatalog;
 use spire_core::snapshot::load_model;
 use spire_core::{
-    BottleneckReport, ModelSnapshot, SnapshotMode, SpireModel, TrainConfig, TrainStrictness,
+    BottleneckReport, FitOptions, ModelSnapshot, SnapshotMode, SpireModel, TrainConfig,
+    TrainStrictness,
 };
 use spire_counters::{collect, Dataset, IngestConfig, SessionConfig};
 use spire_sim::{Core, CoreConfig, Event};
@@ -80,12 +81,16 @@ COMMANDS:
             [--min-samples N]         checksummed snapshot with provenance
             [--threads N]             (at least one of the two is
             [--metric-budget F]       required). Training is fault-
-            [--strict]                isolated: failing metrics are
-            [--ingest-report]         quarantined up to --metric-budget
-                                      (default 0.5) unless --strict, which
-                                      fails on the first bad metric.
+            [--max-front N]           isolated: failing metrics are
+            [--thin-front]            quarantined up to --metric-budget
+            [--strict]                (default 0.5) unless --strict, which
+            [--ingest-report]         fails on the first bad metric.
                                       --ingest-report prints the stored
                                       ingest provenance before training.
+                                      --thin-front re-enables lossy Pareto
+                                      front thinning above --max-front
+                                      samples (default 2048); without it
+                                      the full front is always fitted.
   analyze   --model FILE --data FILE  rank bottleneck metrics for a workload
             --workload LABEL          (--model accepts a snapshot or raw
             [--top K] [--threads N]   model JSON; corrupted snapshot
@@ -119,7 +124,13 @@ EXIT CODES:
 ";
 
 /// Option names that are valueless switches rather than `--key value`.
-const BOOL_FLAGS: &[&str] = &["linear", "ingest-report", "strict", "no-scale"];
+const BOOL_FLAGS: &[&str] = &[
+    "linear",
+    "ingest-report",
+    "strict",
+    "no-scale",
+    "thin-front",
+];
 
 /// Dispatches a command line (without the program name).
 ///
@@ -303,10 +314,16 @@ fn train(args: &Args) -> CmdResult {
         }
         log.push('\n');
     }
+    let fit_defaults = FitOptions::default();
     let config = TrainConfig {
         min_samples_per_metric: args.get_or("min-samples", 1)?,
         threads: args.get_or("threads", 0)?,
         metric_error_budget: args.get_or("metric-budget", 0.5)?,
+        fit: FitOptions {
+            max_front_size: args.get_or("max-front", fit_defaults.max_front_size)?,
+            thin_front: args.flag("thin-front"),
+            ..fit_defaults
+        },
         ..TrainConfig::default()
     };
     let strictness = if args.flag("strict") {
@@ -816,6 +833,29 @@ mod tests {
         .unwrap();
         assert!(trained.contains("mux:"));
         assert!(trained.contains("trained"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_accepts_front_fitting_flags() {
+        let dir = std::env::temp_dir().join("spire-cli-front-flags-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json");
+        let model = dir.join("model.json");
+        write_dataset(&data);
+        let out = run_str(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--max-front",
+            "64",
+            "--thin-front",
+        ])
+        .unwrap();
+        assert!(out.contains("trained"));
+        assert!(model.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -673,8 +673,11 @@ fn merge_column(
     let mut min_e = f64::INFINITY;
     let mut max_e = f64::NEG_INFINITY;
     let mut total_time = 0.0;
-    for (&intensity, &time) in column.intensities().iter().zip(column.times()) {
-        let e = roofline.estimate(intensity);
+    // Estimate the whole column through the batch SoA kernel (bit-identical
+    // to per-sample `estimate`, minus the per-sample shape dispatch), then
+    // accumulate in the same sample order as before.
+    let estimates = roofline.estimate_column(column);
+    for (&e, &time) in estimates.iter().zip(column.times()) {
         let w = match merge {
             MergeStrategy::TimeWeighted => time,
             MergeStrategy::Unweighted => 1.0,
@@ -943,7 +946,9 @@ mod tests {
 
     #[test]
     fn train_config_without_threads_field_deserializes_to_auto() {
-        // Configurations persisted before the `threads` knob existed.
+        // Configurations persisted before the `threads` knob existed (which
+        // also predate `fit.thin_front`, and carry the old default front
+        // cap of 256 from when thinning was unconditional).
         let json = serde_json::to_string(&TrainConfig::default()).unwrap();
         assert!(json.contains("\"threads\""));
         let legacy = r#"{"fit":{"right_fit":"Graph","auto_trend_threshold":-0.1,
@@ -951,7 +956,21 @@ mod tests {
             "merge":"TimeWeighted","aggregation":"Min"}"#;
         let cfg: TrainConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(cfg.threads, 0);
-        assert_eq!(cfg, TrainConfig::default());
+        assert_eq!(cfg.metric_error_budget, 0.5);
+        // The stored fit options win over current defaults: the persisted
+        // front cap is preserved and thinning stays off.
+        assert_eq!(cfg.fit.max_front_size, 256);
+        assert!(!cfg.fit.thin_front);
+        assert_eq!(
+            cfg,
+            TrainConfig {
+                fit: FitOptions {
+                    max_front_size: 256,
+                    ..FitOptions::default()
+                },
+                ..TrainConfig::default()
+            }
+        );
     }
 
     /// A fit function that panics on metrics whose name contains "poison".

@@ -56,6 +56,19 @@ pub(crate) fn ge_approx(a: f64, b: f64) -> bool {
     a >= b - EPS * (1.0 + a.abs().max(b.abs()))
 }
 
+/// Returns `true` when two x-coordinates are close enough that a chord
+/// between them has no numerically meaningful slope, using the same
+/// relative tolerance as [`EPS`].
+///
+/// This replaces an absolute `< f64::MIN_POSITIVE` guard that only caught
+/// exact zeros and denormals: near-duplicate intensities (samples whose
+/// `x` differ only in the last few bits) produce slopes of magnitude
+/// `~1/Δx` and catastrophic cancellation in chord interpolation, so the
+/// fitting layer treats such pairs as a vertical stack instead.
+pub(crate) fn approx_coincident_x(xa: f64, xb: f64) -> bool {
+    (xb - xa).abs() <= EPS * (1.0 + xa.abs().max(xb.abs()))
+}
+
 /// Computes the increasing, concave-down upper hull from the origin to the
 /// highest-throughput point (the paper's left-region fit, Fig. 5).
 ///
@@ -486,6 +499,20 @@ mod tests {
             assert_eq!(upper_hull_from_origin(&perm), reference_hull);
             assert_eq!(pareto_front(&perm), reference_front);
         }
+    }
+
+    #[test]
+    fn approx_coincident_x_uses_relative_tolerance() {
+        // Exact zero and denormal gaps (the old absolute guard's range).
+        assert!(approx_coincident_x(10.0, 10.0));
+        assert!(approx_coincident_x(10.0, 10.0 + f64::MIN_POSITIVE));
+        // Last-bits gaps at ordinary magnitudes, invisible to an absolute
+        // `< f64::MIN_POSITIVE` test.
+        assert!(approx_coincident_x(10.0, 10.0 + 1e-10));
+        assert!(approx_coincident_x(1e6, 1e6 + 1e-4));
+        // Genuine gaps stay distinct, including near zero.
+        assert!(!approx_coincident_x(10.0, 10.1));
+        assert!(!approx_coincident_x(0.0, 1e-6));
     }
 
     #[test]

@@ -2,9 +2,18 @@
 //!
 //! The right-region fitting algorithm (paper Fig. 6) encodes candidate
 //! piecewise fits as paths in a segment graph and selects the
-//! minimum-estimation-error fit with Dijkstra's algorithm. The graph here is
+//! minimum-estimation-error fit as a shortest path. The graph here is
 //! deliberately minimal: dense adjacency lists over `usize` node ids with
 //! non-negative `f64` weights.
+//!
+//! The production right fit no longer goes through this module: since the
+//! segment graph is a DAG ordered by front index, `roofline::fit_right_front`
+//! solves the same shortest-path problem with a topological dynamic program
+//! and on-the-fly edges, in `O(k² log k)` without materializing adjacency
+//! lists. `DiGraph` remains as a general-purpose utility and as the engine
+//! of the retained reference fit (`roofline::reference`, enabled by tests
+//! and the `reference-fit` feature), which the fast path is proptested
+//! against.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

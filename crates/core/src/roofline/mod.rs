@@ -14,8 +14,12 @@
 
 mod right;
 
-pub use right::RightRegion;
+pub use right::{fit_right_front, RightRegion};
 
+#[cfg(any(test, feature = "reference-fit"))]
+pub use right::reference;
+
+use serde::de::Deserializer;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SpireError};
@@ -47,7 +51,7 @@ pub enum RightFitMode {
 /// Options controlling how a roofline is fitted.
 ///
 /// The defaults reproduce the paper's algorithm exactly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FitOptions {
     /// How to fit the region right of the apex.
     pub right_fit: RightFitMode,
@@ -56,10 +60,21 @@ pub struct FitOptions {
     /// region is considered genuinely decreasing and the graph fit is used.
     /// Must lie in `[-1, 0]`. Default `-0.1`.
     pub auto_trend_threshold: f64,
-    /// Upper limit on the Pareto-front size fed to the right-region graph
-    /// search. Larger fronts are thinned (keeping both extremes) to bound
-    /// the `O(front³)` graph construction. Default `256`.
+    /// Pareto-front size beyond which [`thin_front`](FitOptions::thin_front)
+    /// (when enabled) thins the front before the right-region fit. Default
+    /// `2048`.
+    ///
+    /// The limit dates from the original `O(front³)` graph search, where it
+    /// defaulted to `256` and was applied unconditionally; the fit is now
+    /// `O(front²)`, so by default the full front is fitted exactly and this
+    /// value only takes effect when thinning is explicitly enabled.
     pub max_front_size: usize,
+    /// Opt-in fidelity/memory trade-off: when `true`, fronts larger than
+    /// [`max_front_size`](FitOptions::max_front_size) are thinned to that
+    /// size (keeping both extremes, evenly spaced interior picks) and a
+    /// note is logged to stderr. When `false` (the default) the front is
+    /// never thinned. Default `false`.
+    pub thin_front: bool,
 }
 
 impl Default for FitOptions {
@@ -67,8 +82,31 @@ impl Default for FitOptions {
         FitOptions {
             right_fit: RightFitMode::Graph,
             auto_trend_threshold: -0.1,
-            max_front_size: 256,
+            max_front_size: 2048,
+            thin_front: false,
         }
+    }
+}
+
+/// Manual impl so options serialized before the `thin_front` field existed
+/// (when thinning at `max_front_size` was unconditional) still deserialize;
+/// a missing `thin_front` means `false`.
+impl<'de> Deserialize<'de> for FitOptions {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Wire {
+            right_fit: RightFitMode,
+            auto_trend_threshold: f64,
+            max_front_size: usize,
+            thin_front: Option<bool>,
+        }
+        let w = Wire::deserialize(deserializer)?;
+        Ok(FitOptions {
+            right_fit: w.right_fit,
+            auto_trend_threshold: w.auto_trend_threshold,
+            max_front_size: w.max_front_size,
+            thin_front: w.thin_front.unwrap_or(false),
+        })
     }
 }
 
@@ -247,7 +285,16 @@ impl PiecewiseRoofline {
         if front.is_empty() {
             front.push(apex);
         }
-        thin_front(&mut front, options.max_front_size);
+        if options.thin_front && front.len() > options.max_front_size {
+            let original = front.len();
+            thin_front(&mut front, options.max_front_size);
+            eprintln!(
+                "spire: thinning {metric} Pareto front from {original} to {} samples \
+                 (thin_front enabled, max_front_size = {})",
+                front.len(),
+                options.max_front_size
+            );
+        }
 
         let use_graph = match options.right_fit {
             RightFitMode::Graph => true,
@@ -266,7 +313,7 @@ impl PiecewiseRoofline {
         };
 
         let right = if use_graph {
-            right::fit_right(&front, inf_height)
+            right::fit_right_front(&front, inf_height)
         } else {
             // Plateau mode must still bound infinite-intensity samples.
             let height = inf_height.map_or(apex.y, |h| h.max(apex.y));
@@ -316,6 +363,76 @@ impl PiecewiseRoofline {
     /// its intensity.
     pub fn estimate_sample(&self, sample: &Sample) -> f64 {
         self.estimate(sample.intensity())
+    }
+
+    /// Batch SoA form of [`estimate`](PiecewiseRoofline::estimate): clears
+    /// `out` and fills it with the estimate for each intensity, in order.
+    ///
+    /// This is the estimation hot path: the shape match, apex lookup, and
+    /// right-region boundary loads are hoisted out of the per-sample loop,
+    /// so the loop body is pure branch-and-interpolate. Every output is
+    /// bit-identical to calling `estimate` on the same intensity.
+    pub fn estimate_soa(&self, intensities: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(intensities.len());
+        match &self.shape {
+            Shape::Constant(h) => {
+                // `estimate` returns the constant height unconditionally —
+                // including for non-positive and NaN intensities.
+                out.resize(intensities.len(), *h);
+            }
+            Shape::Full { left, right } => {
+                let apex = *left.last().expect("hull is non-empty");
+                if right.knots.is_empty() {
+                    for &x in intensities {
+                        out.push(if x <= 0.0 {
+                            0.0
+                        } else if x < apex.x {
+                            geometry::piecewise_eval(left, x)
+                        } else if x.is_nan() {
+                            f64::NAN
+                        } else {
+                            right.tail
+                        });
+                    }
+                    return;
+                }
+                let first = right.knots[0];
+                let last = right.knots[right.knots.len() - 1];
+                for &x in intensities {
+                    // Branch order mirrors `estimate` + `RightRegion::eval`
+                    // exactly: NaN fails `x <= 0.0` and `x < apex.x`, then
+                    // `eval` checks it first.
+                    out.push(if x <= 0.0 {
+                        0.0
+                    } else if x < apex.x {
+                        geometry::piecewise_eval(left, x)
+                    } else if x.is_nan() {
+                        f64::NAN
+                    } else if x < first.x {
+                        right.plateau
+                    } else if x > last.x {
+                        right.tail
+                    } else {
+                        geometry::piecewise_eval(&right.knots, x)
+                    });
+                }
+            }
+        }
+    }
+
+    /// Batch estimate over a [`MetricColumn`]'s cached intensity column,
+    /// one output per sample in column order.
+    ///
+    /// Results are bit-identical to mapping
+    /// [`estimate`](PiecewiseRoofline::estimate) over
+    /// [`MetricColumn::intensities`]; see
+    /// [`estimate_soa`](PiecewiseRoofline::estimate_soa) for why the batch
+    /// form is faster.
+    pub fn estimate_column(&self, column: &MetricColumn) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.estimate_soa(column.intensities(), &mut out);
+        out
     }
 
     /// The apex: the highest-throughput training sample the fit split at,
@@ -716,6 +833,136 @@ mod tests {
         };
         assert!(bad.validate().is_err());
         assert!(FitOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn thinning_is_opt_in_and_bounds_the_front() {
+        // 20 right-region Pareto samples on a convex curve; every one is a
+        // front point, so an exact fit can (and does) pass through all of
+        // them with zero error.
+        let mut samples = vec![s(10.0, 40.0, 10.0)]; // apex: I 4, P 4
+        for i in 0..20 {
+            let x = 5.0 + i as f64;
+            let y = 16.0 / x; // convex, decreasing
+                              // Sample::new(metric, t, w, m): I = w/m = x, P = w/t = y.
+            samples.push(Sample::new("m", 10.0, 10.0 * y, 10.0 * y / x).unwrap());
+        }
+        let exact_opts = FitOptions {
+            max_front_size: 8,
+            thin_front: false,
+            ..FitOptions::default()
+        };
+        let exact = PiecewiseRoofline::fit("m".into(), samples.iter(), &exact_opts).unwrap();
+        let exact_knots = exact.right_region().unwrap().knots().len();
+        assert!(
+            exact_knots > 8,
+            "without thinning the full front must be fitted (got {exact_knots} knots)"
+        );
+        assert!(exact.right_region().unwrap().fit_error() < 1e-9);
+        exact.validate().unwrap();
+
+        let thinned_opts = FitOptions {
+            max_front_size: 8,
+            thin_front: true,
+            ..FitOptions::default()
+        };
+        let thinned = PiecewiseRoofline::fit("m".into(), samples.iter(), &thinned_opts).unwrap();
+        let thinned_knots = thinned.right_region().unwrap().knots().len();
+        assert!(
+            thinned_knots <= 8,
+            "thinning must cap the front at max_front_size (got {thinned_knots} knots)"
+        );
+        thinned.validate().unwrap();
+    }
+
+    #[test]
+    fn fit_options_without_thin_front_field_deserialize_to_disabled() {
+        // Options serialized before `thin_front` existed (when thinning at
+        // `max_front_size` was unconditional) must still load; the stored
+        // front cap is preserved, thinning defaults to off.
+        let legacy = r#"{"right_fit":"Graph","auto_trend_threshold":-0.1,"max_front_size":256}"#;
+        let opts: FitOptions = serde_json::from_str(legacy).unwrap();
+        assert_eq!(opts.right_fit, RightFitMode::Graph);
+        assert_eq!(opts.max_front_size, 256);
+        assert!(!opts.thin_front);
+        // And the current shape round-trips exactly.
+        let json = serde_json::to_string(&FitOptions::default()).unwrap();
+        let back: FitOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, FitOptions::default());
+    }
+
+    #[test]
+    fn estimate_soa_matches_per_sample_estimate_bitwise() {
+        let samples = vec![
+            s(10.0, 5.0, 10.0),
+            s(10.0, 12.0, 8.0),
+            s(10.0, 20.0, 5.0),
+            s(10.0, 25.0, 2.5),
+            s(10.0, 18.0, 1.0),
+            s(10.0, 12.0, 0.5),
+            s(10.0, 8.0, 0.0), // I = inf: distinct tail height
+        ];
+        let r = fit(&samples);
+        let region = r.right_region().unwrap().clone();
+        let apex = r.apex().unwrap();
+        let first = region.knots()[0];
+        let last = *region.knots().last().unwrap();
+        // Probe every branch: non-positive, left region, exact apex, exact
+        // knot boundaries and their neighbours, beyond-tail, infinities,
+        // NaN.
+        let probes = vec![
+            -1.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            apex.x * 0.5,
+            apex.x,
+            first.x,
+            (first.x + last.x) * 0.5,
+            last.x,
+            last.x + 1.0,
+            1e12,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        let mut out = Vec::new();
+        r.estimate_soa(&probes, &mut out);
+        assert_eq!(out.len(), probes.len());
+        for (&x, &got) in probes.iter().zip(&out) {
+            let want = r.estimate(x);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "estimate_soa({x}) = {got} but estimate({x}) = {want}"
+            );
+        }
+
+        // Constant rooflines take the hoisted resize path.
+        let constant = fit(&[s(10.0, 20.0, 0.0), s(10.0, 30.0, 0.0)]);
+        constant.estimate_soa(&probes, &mut out);
+        for (&x, &got) in probes.iter().zip(&out) {
+            assert_eq!(got.to_bits(), constant.estimate(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn estimate_column_matches_per_sample_estimate_bitwise() {
+        let samples = vec![
+            s(10.0, 5.0, 10.0),
+            s(10.0, 12.0, 8.0),
+            s(10.0, 20.0, 5.0),
+            s(10.0, 25.0, 2.5),
+            s(10.0, 0.0, 2.0), // zero work: I = 0 hits the non-positive arm
+            s(10.0, 8.0, 0.0), // I = inf
+        ];
+        let r = fit(&samples);
+        let set: crate::SampleSet = samples.into_iter().collect();
+        let col = set.column(&"m".into()).unwrap();
+        let batch = r.estimate_column(col);
+        assert_eq!(batch.len(), col.len());
+        for (&x, &got) in col.intensities().iter().zip(&batch) {
+            assert_eq!(got.to_bits(), r.estimate(x).to_bits());
+        }
     }
 
     #[test]

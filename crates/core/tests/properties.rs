@@ -344,6 +344,39 @@ proptest! {
         prop_assert_eq!(a.per_metric(), b.per_metric());
     }
 
+    /// The batch SoA estimate kernel ([`PiecewiseRoofline::estimate_column`])
+    /// is bit-identical to the scalar per-sample path, for models trained
+    /// at every thread count (serial and parallel training must agree on
+    /// the fit, and both estimate paths must agree on every sample).
+    #[test]
+    fn batch_estimate_matches_scalar_across_thread_counts(
+        train_rows in corpus(4, 24),
+        probe_rows in corpus(4, 12),
+        threads in 1usize..=8,
+    ) {
+        let train_set: SampleSet = train_rows.iter().cloned().collect();
+        let probe_set: SampleSet = probe_rows.iter().cloned().collect();
+        let cfg = TrainConfig { threads, ..TrainConfig::default() };
+        let model = SpireModel::train(&train_set, cfg).unwrap();
+        for (metric, column) in probe_set.by_metric() {
+            let Some(roofline) = model.roofline(metric) else { continue };
+            let batch = roofline.estimate_column(column);
+            prop_assert_eq!(batch.len(), column.len());
+            for (est, &intensity) in batch.iter().zip(column.intensities()) {
+                let scalar = roofline.estimate(intensity);
+                prop_assert_eq!(
+                    est.to_bits(),
+                    scalar.to_bits(),
+                    "batch {} != scalar {} at I={} ({} threads)",
+                    est,
+                    scalar,
+                    intensity,
+                    threads
+                );
+            }
+        }
+    }
+
     /// Every fit over arbitrary valid samples satisfies the model
     /// invariants ([`PiecewiseRoofline::validate`]), in every right-fit
     /// mode: the validator must never reject what the fitter produces.
