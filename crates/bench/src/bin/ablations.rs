@@ -16,8 +16,8 @@
 
 use spire_baselines::RegressionBaseline;
 use spire_bench::{
-    config_from_args, dataset_of, report_for, run_suite, spire_finds_expected, train_model,
-    workload_label, WorkloadRun,
+    config_from_args, dataset_of, run_suite, spire_finds_expected, workload_label, Engine,
+    WorkloadRun,
 };
 use spire_core::catalog::MetricCatalog;
 use spire_core::{
@@ -27,11 +27,11 @@ use spire_counters::Dataset;
 use spire_workloads::suite;
 
 /// Scores one trained model over the test runs: `(hits, mean |rel err|)`.
-fn score(model: &SpireModel, tests: &[WorkloadRun]) -> (usize, f64) {
+fn score(engine: &mut Engine, model: &SpireModel, tests: &[WorkloadRun]) -> (usize, f64) {
     let mut hits = 0usize;
     let mut err_sum = 0.0;
     for run in tests {
-        let report = report_for(model, run);
+        let report = engine.report(model, &run.session.samples);
         if spire_finds_expected(&report, run.profile.expected_bottleneck, 10) {
             hits += 1;
         }
@@ -58,8 +58,9 @@ fn config_with(
 
 fn main() {
     let (cfg, _outdir) = config_from_args();
+    let mut engine = Engine::narrated(TrainConfig::default());
 
-    eprintln!("collecting corpus (23 train + 4 test workloads)...");
+    engine.note("collecting corpus (23 train + 4 test workloads)...");
     let train_runs = run_suite(&suite::training(), &cfg);
     let test_runs = run_suite(&suite::testing(), &cfg);
     let dataset = dataset_of(&train_runs);
@@ -114,8 +115,8 @@ fn main() {
         ),
     ];
     for (mname, merge, aname, agg, rname, right) in variants {
-        let model = train_model(&dataset, config_with(merge, agg, right));
-        let (hits, err) = score(&model, &test_runs);
+        let model = engine.train_with(&dataset, config_with(merge, agg, right));
+        let (hits, err) = score(&mut engine, &model, &test_runs);
         println!(
             "{:<16} {:<12} {:<10} {:>4}/4 {:>12.3}",
             mname, aname, rname, hits, err
@@ -134,8 +135,8 @@ fn main() {
             .take(k)
             .map(|r| (r.label.clone(), r.session.samples.clone()))
             .collect();
-        let model = train_model(&subset, TrainConfig::default());
-        let (hits, err) = score(&model, &test_runs);
+        let model = engine.train_with(&subset, TrainConfig::default());
+        let (hits, err) = score(&mut engine, &model, &test_runs);
         println!(
             "{:>10} {:>8} {:>4}/4 {:>12.3}",
             k,
@@ -148,11 +149,11 @@ fn main() {
     // --- 5: regression-importance baseline. ---------------------------------
     println!("\nregression baseline (ridge importance vs SPIRE ranking):");
     let catalog = MetricCatalog::table_iii();
-    let spire_model = train_model(&dataset, TrainConfig::default());
+    let spire_model = engine.train_with(&dataset, TrainConfig::default());
     let mut spire_hits = 0usize;
     let mut reg_hits = 0usize;
     for run in &test_runs {
-        let report = report_for(&spire_model, run);
+        let report = engine.report(&spire_model, &run.session.samples);
         if spire_finds_expected(&report, run.profile.expected_bottleneck, 10) {
             spire_hits += 1;
         }

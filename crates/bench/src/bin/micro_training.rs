@@ -7,25 +7,24 @@
 //! four test workloads: the `spire_workloads::micro` sweeps (one knob
 //! per family) versus the 23-workload suite.
 
-use spire_bench::{
-    config_from_args, dataset_of, report_for, run_suite, spire_finds_expected, train_model,
-};
+use spire_bench::{config_from_args, dataset_of, run_suite, spire_finds_expected, Engine};
 use spire_core::TrainConfig;
 use spire_workloads::{micro, suite};
 
 fn main() {
     let (cfg, _outdir) = config_from_args();
+    let mut engine = Engine::narrated(TrainConfig::default());
 
-    eprintln!("collecting microbenchmark corpus (4 sweeps x 8 steps)...");
+    engine.note("collecting microbenchmark corpus (4 sweeps x 8 steps)...");
     let micro_profiles = micro::full_corpus(8);
     let micro_runs = run_suite(&micro_profiles, &cfg);
     let micro_dataset = dataset_of(&micro_runs);
 
-    eprintln!("collecting suite corpus (23 workloads)...");
+    engine.note("collecting suite corpus (23 workloads)...");
     let suite_runs = run_suite(&suite::training(), &cfg);
     let suite_dataset = dataset_of(&suite_runs);
 
-    eprintln!("collecting test workloads...");
+    engine.note("collecting test workloads...");
     let test_runs = run_suite(&suite::testing(), &cfg);
 
     println!("Microbenchmark vs suite training (4 test workloads)\n");
@@ -37,11 +36,11 @@ fn main() {
         ("micro sweeps", &micro_dataset, micro_profiles.len()),
         ("suite (23)", &suite_dataset, 23),
     ] {
-        let model = train_model(dataset, TrainConfig::default());
+        let model = engine.train(dataset);
         let mut hits = 0;
         let mut err = 0.0;
         for run in &test_runs {
-            let report = report_for(&model, run);
+            let report = engine.report(&model, &run.session.samples);
             if spire_finds_expected(&report, run.profile.expected_bottleneck, 10) {
                 hits += 1;
             }

@@ -8,31 +8,30 @@
 //! Run with `--quick` for a fast low-fidelity pass.
 #![allow(clippy::print_literal)] // literal header cells keep the column widths visible
 
-use spire_bench::{
-    config_from_args, dataset_of, report_for, run_suite, spire_agrees_with_tma, train_model,
-};
+use spire_bench::{config_from_args, dataset_of, run_suite, spire_agrees_with_tma, Engine};
 use spire_core::TrainConfig;
 use spire_workloads::suite;
 
 fn main() {
     let (cfg, _outdir) = config_from_args();
+    let mut engine = Engine::narrated(TrainConfig::default());
 
-    eprintln!("collecting training corpus (23 workloads)...");
+    engine.note("collecting training corpus (23 workloads)...");
     let training_runs = run_suite(&suite::training(), &cfg);
     let dataset = dataset_of(&training_runs);
-    eprintln!(
+    engine.note(format!(
         "training SPIRE ensemble on {} samples...",
         dataset.total_samples()
-    );
-    let model = train_model(&dataset, TrainConfig::default());
-    eprintln!("trained {} metric rooflines", model.metric_count());
+    ));
+    let model = engine.train(&dataset);
+    engine.note(format!("trained {} metric rooflines", model.metric_count()));
 
-    eprintln!("collecting testing workloads (4)...");
+    engine.note("collecting testing workloads (4)...");
     let test_runs = run_suite(&suite::testing(), &cfg);
 
     println!("Table II — top 10 performance metrics for each testing workload\n");
     for run in &test_runs {
-        let report = report_for(&model, run);
+        let report = engine.report(&model, &run.session.samples);
         println!(
             "=== {} — measured IPC {:.2} | TMA: {} (main: {}) ===",
             run.label,

@@ -8,9 +8,8 @@
 //! while the transferred model mis-estimates throughput, since its
 //! rooflines encode the other machine's limits.
 
-use spire_bench::{config_from_args, dataset_of, run_suite, train_model, ExperimentConfig};
-use spire_core::catalog::MetricCatalog;
-use spire_core::{BottleneckReport, SpireModel, TrainConfig};
+use spire_bench::{config_from_args, dataset_of, run_suite, Engine, ExperimentConfig};
+use spire_core::{SpireModel, TrainConfig};
 use spire_sim::CoreConfig;
 use spire_workloads::suite;
 
@@ -27,13 +26,16 @@ fn little_core() -> CoreConfig {
     c
 }
 
-fn evaluate(model: &SpireModel, runs: &[spire_bench::WorkloadRun], label: &str) {
-    let catalog = MetricCatalog::table_iii();
+fn evaluate(
+    engine: &mut Engine,
+    model: &SpireModel,
+    runs: &[spire_bench::WorkloadRun],
+    label: &str,
+) {
     let mut hits = 0usize;
     let mut err = 0.0;
     for run in runs {
-        let estimate = model.estimate(&run.session.samples).expect("shared events");
-        let report = BottleneckReport::new(&estimate, &catalog);
+        let report = engine.report(model, &run.session.samples);
         if report.area_in_top(run.profile.expected_bottleneck, 10) {
             hits += 1;
         }
@@ -51,29 +53,38 @@ fn main() {
         core: little_core(),
         ..big_cfg.clone()
     };
+    let mut engine = Engine::narrated(TrainConfig::default());
 
-    eprintln!("collecting corpora on both cores...");
+    engine.note("collecting corpora on both cores...");
     let big_train = run_suite(&suite::training(), &big_cfg);
     let little_train = run_suite(&suite::training(), &little_cfg);
     let big_tests = run_suite(&suite::testing(), &big_cfg);
     let little_tests = run_suite(&suite::testing(), &little_cfg);
 
-    let big_model = train_model(&dataset_of(&big_train), TrainConfig::default());
-    let little_model = train_model(&dataset_of(&little_train), TrainConfig::default());
+    let big_model = engine.train(&dataset_of(&big_train));
+    let little_model = engine.train(&dataset_of(&little_train));
 
     println!("Cross-microarchitecture transfer (4 test workloads each)\n");
-    evaluate(&big_model, &big_tests, "big model -> big core (native)");
     evaluate(
+        &mut engine,
+        &big_model,
+        &big_tests,
+        "big model -> big core (native)",
+    );
+    evaluate(
+        &mut engine,
         &little_model,
         &little_tests,
         "little model -> little core (native)",
     );
     evaluate(
+        &mut engine,
         &big_model,
         &little_tests,
         "big model -> little core (transferred)",
     );
     evaluate(
+        &mut engine,
         &little_model,
         &big_tests,
         "little model -> big core (transferred)",

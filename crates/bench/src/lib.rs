@@ -10,7 +10,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use spire_core::catalog::{MetricCatalog, UarchArea};
+pub mod engine;
+
+pub use engine::Engine;
+
+use spire_cli::args::{ArgCursor, ArgItem};
+use spire_core::catalog::UarchArea;
 use spire_core::{BottleneckReport, SpireModel, TrainConfig};
 use spire_counters::{collect, Dataset, SessionConfig, SessionReport};
 use spire_sim::{Core, CoreConfig, Event};
@@ -139,27 +144,25 @@ pub fn dataset_of(runs: &[WorkloadRun]) -> Dataset {
         .collect()
 }
 
-/// Trains a SPIRE model from a dataset with the given config.
+/// Trains a SPIRE model from a dataset with the given config, through a
+/// quiet pipeline [`Engine`].
 ///
 /// # Panics
 ///
 /// Panics if training fails (experiment corpora are never empty).
 pub fn train_model(dataset: &Dataset, config: TrainConfig) -> SpireModel {
-    SpireModel::train(&dataset.merged(), config).expect("experiment corpus trains")
+    Engine::new(config).train(dataset)
 }
 
 /// Builds the annotated bottleneck report for one workload run under a
-/// trained model.
+/// trained model, through a quiet pipeline [`Engine`].
 ///
 /// # Panics
 ///
 /// Panics if the workload shares no metrics with the model (impossible
 /// when both came from the same event catalog).
 pub fn report_for(model: &SpireModel, run: &WorkloadRun) -> BottleneckReport {
-    let estimate = model
-        .estimate(&run.session.samples)
-        .expect("shared event catalog");
-    BottleneckReport::new(&estimate, &MetricCatalog::table_iii())
+    Engine::new(model.config().clone()).report(model, &run.session.samples)
 }
 
 /// Agreement check used in EXPERIMENTS.md: does the TMA dominant
@@ -177,26 +180,30 @@ pub fn spire_finds_expected(report: &BottleneckReport, expected: UarchArea, k: u
 /// `--quick` selects [`ExperimentConfig::quick`], `--seed N` overrides the
 /// stream seed. Returns the config plus the output directory from
 /// `--outdir DIR` (default `target/experiments`).
+///
+/// Built on the CLI's shared [`ArgCursor`], so the bench bins classify
+/// `--key value` vs `--switch` words exactly like the `spire` command.
 pub fn config_from_args() -> (ExperimentConfig, std::path::PathBuf) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = if args.iter().any(|a| a == "--quick") {
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut outdir = std::path::PathBuf::from("target/experiments");
+    let cursor = ArgCursor::new(std::env::args().skip(1), &["quick"]);
+    for item in cursor.flatten() {
+        match item {
+            ArgItem::Switch(key) if key == "quick" => quick = true,
+            ArgItem::Value(key, value) if key == "seed" => seed = value.parse().ok(),
+            ArgItem::Value(key, value) if key == "outdir" => outdir = value.into(),
+            _ => {}
+        }
+    }
+    let mut cfg = if quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::default()
     };
-    if let Some(i) = args.iter().position(|a| a == "--seed") {
-        if let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-            cfg.seed = seed;
-        }
+    if let Some(seed) = seed {
+        cfg.seed = seed;
     }
-    let outdir = args
-        .iter()
-        .position(|a| a == "--outdir")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(
-            || std::path::PathBuf::from("target/experiments"),
-            Into::into,
-        );
     std::fs::create_dir_all(&outdir).ok();
     (cfg, outdir)
 }

@@ -41,6 +41,59 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
+/// One classified command-line word from an [`ArgCursor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgItem {
+    /// A bare word (no `--` prefix).
+    Positional(String),
+    /// A valueless `--switch` named in the cursor's bool-flag set.
+    Switch(String),
+    /// A `--key value` pair.
+    Value(String, String),
+}
+
+/// The one shared argument-classification loop: walks raw words and
+/// yields [`ArgItem`]s, treating the keys named in `bool_flags` as
+/// valueless switches. [`Args::parse_with_flags`] and the bench bins'
+/// flag parsing are both built on this cursor, so there is exactly one
+/// place that knows how `--key value` vs `--switch` disambiguation works.
+#[derive(Debug)]
+pub struct ArgCursor<I: Iterator<Item = String>> {
+    raw: I,
+    bool_flags: Vec<String>,
+}
+
+impl<I: Iterator<Item = String>> ArgCursor<I> {
+    /// Builds a cursor over raw words (without the program name).
+    pub fn new<J>(raw: J, bool_flags: &[&str]) -> Self
+    where
+        J: IntoIterator<IntoIter = I>,
+    {
+        ArgCursor {
+            raw: raw.into_iter(),
+            bool_flags: bool_flags.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+impl<I: Iterator<Item = String>> Iterator for ArgCursor<I> {
+    type Item = Result<ArgItem, ArgsError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let word = self.raw.next()?;
+        let Some(key) = word.strip_prefix("--") else {
+            return Some(Ok(ArgItem::Positional(word)));
+        };
+        if self.bool_flags.iter().any(|f| f == key) {
+            return Some(Ok(ArgItem::Switch(key.to_owned())));
+        }
+        Some(match self.raw.next() {
+            Some(value) => Ok(ArgItem::Value(key.to_owned(), value)),
+            None => Err(ArgsError::MissingValue(key.to_owned())),
+        })
+    }
+}
+
 impl Args {
     /// Parses a raw argument list (without the program name).
     ///
@@ -69,19 +122,15 @@ impl Args {
         S: Into<String>,
     {
         let mut out = Args::default();
-        let mut iter = raw.into_iter().map(Into::into).peekable();
-        while let Some(arg) = iter.next() {
-            if let Some(key) = arg.strip_prefix("--") {
-                if bool_flags.contains(&key) {
-                    out.options.insert(key.to_owned(), "true".to_owned());
-                    continue;
+        for item in ArgCursor::new(raw.into_iter().map(Into::into), bool_flags) {
+            match item? {
+                ArgItem::Positional(word) => out.positionals.push(word),
+                ArgItem::Switch(key) => {
+                    out.options.insert(key, "true".to_owned());
                 }
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgsError::MissingValue(key.to_owned()))?;
-                out.options.insert(key.to_owned(), value);
-            } else {
-                out.positionals.push(arg);
+                ArgItem::Value(key, value) => {
+                    out.options.insert(key, value);
+                }
             }
         }
         Ok(out)
@@ -162,6 +211,30 @@ mod tests {
         // A trailing switch needs no value.
         let b = Args::parse_with_flags(["--strict"], &["strict"]).unwrap();
         assert!(b.flag("strict"));
+    }
+
+    #[test]
+    fn arg_cursor_classifies_words() {
+        let items: Vec<ArgItem> = ArgCursor::new(
+            ["cmd", "--strict", "--seed", "7", "pos"].map(String::from),
+            &["strict"],
+        )
+        .collect::<Result<_, _>>()
+        .unwrap();
+        assert_eq!(
+            items,
+            [
+                ArgItem::Positional("cmd".into()),
+                ArgItem::Switch("strict".into()),
+                ArgItem::Value("seed".into(), "7".into()),
+                ArgItem::Positional("pos".into()),
+            ]
+        );
+        let mut cursor = ArgCursor::new(["--seed"].map(String::from), &[]);
+        assert!(matches!(
+            cursor.next(),
+            Some(Err(ArgsError::MissingValue(_)))
+        ));
     }
 
     #[test]

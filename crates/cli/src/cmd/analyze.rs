@@ -1,0 +1,42 @@
+//! `spire analyze`: snapshot load → Estimate → Analyze through the
+//! pipeline engine, ranking bottleneck metrics for one workload.
+
+use std::fmt::Write as _;
+
+use serde::Content;
+use spire_core::pipeline::{AnalyzeStage, EstimateStage, Stage};
+use spire_counters::Dataset;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{json, load_model, Runner};
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let data_path = args.require("data")?;
+    let label = args.require("workload")?;
+    let top: usize = args.get_or("top", 10)?;
+    let mut runner = Runner::from_args(args)?;
+    let (mut model, mut out) = load_model(&mut runner, model_path)?;
+    model.set_threads(args.get_or("threads", model.config().threads)?);
+    let dataset = Dataset::load(data_path)?;
+    let samples = dataset
+        .get(label)
+        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
+    let estimate = EstimateStage { model: &model }.execute(samples.clone(), &mut runner.ctx)?;
+    let report = AnalyzeStage::default().execute(estimate, &mut runner.ctx)?;
+    write!(
+        out,
+        "workload: {label}\nensemble throughput estimate: {:.4}\n\n",
+        report.throughput()
+    )?;
+    out.push_str(&report.to_table(top));
+    let rows: Vec<Content> = report.top(top).iter().map(serde::to_content).collect();
+    let result = json::obj(vec![
+        ("workload", json::s(label)),
+        ("throughput", json::f(report.throughput())),
+        ("rows", Content::Seq(rows)),
+    ]);
+    runner.finish(args, "analyze", out, result)
+}

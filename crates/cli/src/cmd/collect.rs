@@ -1,0 +1,72 @@
+//! `spire collect`: sample the workload suite on the simulated core into
+//! a labeled dataset, narrating each run on the diagnostics bus.
+
+use std::fmt::Write as _;
+
+use serde::Content;
+use spire_counters::{collect, Dataset, SessionConfig};
+use spire_sim::{Core, CoreConfig, Event};
+use spire_workloads::suite;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{json, Runner};
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let out_path = args.require("out")?;
+    let which = args.get("set").unwrap_or("train");
+    let runner = Runner::from_args(args)?;
+    let seed = runner.ctx.config.seed;
+    let mut session_cfg = SessionConfig::default();
+    session_cfg.max_cycles = args.get_or("cycles", 2_000_000)?;
+    session_cfg.interval_cycles = args.get_or("interval", session_cfg.interval_cycles)?;
+    session_cfg.slice_cycles = args.get_or("slice", session_cfg.slice_cycles)?;
+
+    let profiles = match which {
+        "train" => suite::training(),
+        "test" => suite::testing(),
+        "all" => suite::all(),
+        other => return Err(format!("--set must be train|test|all, got `{other}`").into()),
+    };
+
+    let mut dataset = Dataset::new();
+    let mut log = String::new();
+    let mut rows: Vec<Content> = Vec::new();
+    for p in &profiles {
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = p.stream(seed);
+        let report = collect(&mut core, &mut stream, Event::ALL, &session_cfg);
+        let line = format!(
+            "{} ({}): {} samples over {} intervals, overhead {:.2}%",
+            p.name,
+            p.config,
+            report.samples.len(),
+            report.intervals,
+            report.overhead_fraction() * 100.0
+        );
+        runner.ctx.note("collect", line.clone());
+        writeln!(log, "{line}")?;
+        rows.push(json::obj(vec![
+            ("name", json::s(p.name.clone())),
+            ("config", json::s(p.config.clone())),
+            ("samples", json::u(report.samples.len())),
+            ("intervals", json::u(report.intervals)),
+            ("overhead", json::f(report.overhead_fraction())),
+        ]));
+        dataset.insert(format!("{} ({})", p.name, p.config), report.samples);
+    }
+    dataset.save(out_path)?;
+    writeln!(
+        log,
+        "wrote {} samples across {} workloads to {out_path}",
+        dataset.total_samples(),
+        dataset.len()
+    )?;
+    let result = json::obj(vec![
+        ("out", json::s(out_path)),
+        ("total_samples", json::u(dataset.total_samples())),
+        ("workloads", Content::Seq(rows)),
+    ]);
+    runner.finish(args, "collect", log, result)
+}

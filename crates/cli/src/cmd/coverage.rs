@@ -1,0 +1,59 @@
+//! `spire coverage`: sampling-coverage diagnostics for one collected
+//! workload.
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+use spire_counters::Dataset;
+
+use super::{json, Runner};
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let data_path = args.require("data")?;
+    let label = args.require("workload")?;
+    let n: usize = args.get_or("n", 15)?;
+    let runner = Runner::from_args(args)?;
+    let dataset = Dataset::load(data_path)?;
+    let samples = dataset
+        .get(label)
+        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
+    // Without a session record, measure fractions against the longest
+    // per-metric observation window.
+    let session_time = samples
+        .by_metric()
+        .map(|(_, column)| column.total_time())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let report = match dataset.report(label) {
+        Some(ingest) => spire_counters::CoverageReport::with_ingest(samples, session_time, ingest),
+        None => spire_counters::CoverageReport::new(samples, session_time),
+    };
+    let (lo, hi) = report.fraction_range();
+    let mut out = format!(
+        "workload: {label}
+metrics: {} | coverage fraction range: {:.2}%..{:.2}%
+
+",
+        report.per_metric().len(),
+        lo * 100.0,
+        hi * 100.0
+    );
+    out.push_str(&report.to_table(n));
+    let suspects = report.phase_suspects(0.3);
+    if !suspects.is_empty() {
+        out.push_str(&format!(
+            "
+{} metrics show strong throughput variation (cv > 0.3): possible phase behaviour
+",
+            suspects.len()
+        ));
+    }
+    let result = json::obj(vec![
+        ("workload", json::s(label)),
+        ("metrics", json::u(report.per_metric().len())),
+        ("fraction_lo", json::f(lo)),
+        ("fraction_hi", json::f(hi)),
+        ("phase_suspects", json::u(suspects.len())),
+        ("report", serde::to_content(&report)),
+    ]);
+    runner.finish(args, "coverage", out, result)
+}

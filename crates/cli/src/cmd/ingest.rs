@@ -1,0 +1,45 @@
+//! `spire ingest` / `import-perf`: fault-tolerant `perf stat` CSV import
+//! through the counters crate's pipeline stage.
+
+use spire_core::pipeline::Stage;
+use spire_counters::{Dataset, IngestStage};
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{json, Runner};
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let csv_path = args.require("csv")?;
+    let out_path = args.require("out")?;
+    let label = args.get("label").unwrap_or("imported");
+    let mut runner = Runner::from_args(args)?;
+    let text = std::fs::read_to_string(csv_path)?;
+    let stage = IngestStage {
+        label: label.to_owned(),
+    };
+    // In strict mode the stage fails when over budget, before anything is
+    // written — the partial dataset only survives lenient runs.
+    let out = stage.execute(text, &mut runner.ctx)?;
+    // The full table embeds the summary as its first line.
+    let mut log = if args.flag("ingest-report") {
+        out.report.to_table(20)
+    } else {
+        format!("{}\n", out.report.summary())
+    };
+    let n = out.samples.len();
+    let report_json = serde::to_content(&out.report);
+    let mut dataset = Dataset::new();
+    dataset.insert_with_report(label, out.samples, out.report);
+    dataset.save(out_path)?;
+    log.push_str(&format!(
+        "imported {n} samples as `{label}` into {out_path}\n"
+    ));
+    let result = json::obj(vec![
+        ("out", json::s(out_path)),
+        ("label", json::s(label)),
+        ("samples", json::u(n)),
+        ("report", report_json),
+    ]);
+    runner.finish(args, "ingest", log, result)
+}

@@ -1,0 +1,85 @@
+//! Machine-readable output: every subcommand's `--json` envelope.
+//!
+//! The vendored serde shim has no `Value` type or `json!` macro, so this
+//! module builds [`Content`] trees directly. The envelope schema (shared
+//! by every command, documented in README "Machine-readable output"):
+//!
+//! ```json
+//! {
+//!   "command": "<subcommand>",
+//!   "schema_version": 1,
+//!   "degraded": false,
+//!   "events": [ { "kind": "...", ... }, ... ],
+//!   "result": { ...command-specific... }
+//! }
+//! ```
+
+use serde::Content;
+use spire_core::pipeline::Event;
+
+use super::CmdError;
+
+/// A [`Content`] tree made serializable (the shim's `to_string` needs a
+/// `Serialize` impl, which foreign `Content` lacks).
+pub(crate) struct JsonValue(pub Content);
+
+impl serde::Serialize for JsonValue {
+    fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.0.clone())
+    }
+}
+
+/// An object from `(key, value)` pairs, preserving insertion order.
+pub(crate) fn obj(fields: Vec<(&str, Content)>) -> Content {
+    Content::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (Content::Str(k.to_owned()), v))
+            .collect(),
+    )
+}
+
+/// A string value.
+pub(crate) fn s(v: impl Into<String>) -> Content {
+    Content::Str(v.into())
+}
+
+/// An unsigned integer value.
+pub(crate) fn u(v: usize) -> Content {
+    Content::U64(v as u64)
+}
+
+/// A float value.
+pub(crate) fn f(v: f64) -> Content {
+    Content::F64(v)
+}
+
+/// An optional string: `null` when absent.
+pub(crate) fn opt_s(v: Option<&str>) -> Content {
+    match v {
+        Some(v) => Content::Str(v.to_owned()),
+        None => Content::Null,
+    }
+}
+
+/// The shared envelope: command name, schema version, the degraded flag
+/// (exit-code-2 semantics), the full event stream, and the
+/// command-specific result.
+pub(crate) fn envelope(
+    command: &str,
+    degraded: bool,
+    events: &[Event],
+    result: Content,
+) -> Result<String, CmdError> {
+    let events: Vec<Content> = events.iter().map(serde::to_content).collect();
+    let root = obj(vec![
+        ("command", s(command)),
+        ("schema_version", Content::U64(1)),
+        ("degraded", Content::Bool(degraded)),
+        ("events", Content::Seq(events)),
+        ("result", result),
+    ]);
+    let mut text = serde_json::to_string_pretty(&JsonValue(root))?;
+    text.push('\n');
+    Ok(text)
+}

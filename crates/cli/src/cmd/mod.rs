@@ -1,0 +1,188 @@
+//! Per-command modules behind the `spire` dispatcher.
+//!
+//! Each module does exactly three things: parse its arguments into a
+//! [`PipelineConfig`], run the `spire_core::pipeline` engine, and render
+//! the result — human text on stdout, or the shared `--json` envelope.
+//! Degradation (exit code 2) is derived from the diagnostics bus, never
+//! tracked ad hoc: any `Severity::Degraded` event flips it.
+
+pub(crate) mod analyze;
+pub(crate) mod collect;
+pub(crate) mod coverage;
+pub(crate) mod ingest;
+pub(crate) mod json;
+pub(crate) mod plot;
+pub(crate) mod sim;
+pub(crate) mod train;
+
+pub(crate) mod estimate;
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use serde::Content;
+use spire_core::pipeline::{
+    CollectingSink, Event, EventSink, IngestSettings, LoadModelStage, PipelineConfig, RunContext,
+    Severity, Stage,
+};
+use spire_core::{FitOptions, SnapshotMode, SpireModel, TrainConfig, TrainStrictness};
+use spire_workloads::{suite, WorkloadProfile};
+
+use crate::args::Args;
+use crate::commands::{CmdOutput, CmdResult};
+
+/// Shared error alias (same shape as `commands::CmdResult`'s error).
+pub(crate) type CmdError = Box<dyn Error + Send + Sync>;
+
+/// Renders warning-severity events (lossy-but-requested decisions like
+/// front thinning) to stderr as the pre-pipeline CLI did. Degraded events
+/// are *not* echoed here — the command renderers put those warnings in
+/// the stdout text.
+struct WarnSink;
+
+impl EventSink for WarnSink {
+    fn emit(&self, event: &Event) {
+        if event.severity() == Severity::Warning {
+            eprintln!("spire: {}", event.render());
+        }
+    }
+}
+
+/// One command's engine handle: the [`RunContext`] plus the collecting
+/// sink every event is mirrored into (feeding the `--json` envelope, the
+/// warning renderers, and the degraded flag).
+pub(crate) struct Runner {
+    /// The run context threaded through every stage.
+    pub ctx: RunContext,
+    sink: Arc<CollectingSink>,
+}
+
+impl Runner {
+    /// Builds a runner from a command's parsed arguments.
+    pub fn from_args(args: &Args) -> Result<Self, CmdError> {
+        let sink = Arc::new(CollectingSink::new());
+        let ctx = RunContext::new(pipeline_config(args)?)
+            .with_sink(sink.clone())
+            .with_sink(Arc::new(WarnSink));
+        Ok(Runner { ctx, sink })
+    }
+
+    /// The events emitted so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.sink.events()
+    }
+
+    /// Whether the run degraded (exit-code-2 semantics, from the bus).
+    pub fn degraded(&self) -> bool {
+        self.ctx.degraded()
+    }
+
+    /// Finishes a command: the human `text` on stdout, or — with
+    /// `--json` — the shared envelope wrapping `result` plus the full
+    /// event stream. The degraded flag always comes from the bus.
+    pub fn finish(&self, args: &Args, command: &str, text: String, result: Content) -> CmdResult {
+        let degraded = self.degraded();
+        let text = if args.flag("json") {
+            json::envelope(command, degraded, &self.events(), result)?
+        } else {
+            text
+        };
+        Ok(CmdOutput { text, degraded })
+    }
+}
+
+/// Builds the run's [`PipelineConfig`] from the uniform option names
+/// (`--threads`, `--strict`, `--min-samples`, `--metric-budget`,
+/// `--max-front`, `--thin-front`, `--min-frac`, `--budget`,
+/// `--no-scale`, `--seed`). Options a command doesn't document simply
+/// keep their defaults.
+pub(crate) fn pipeline_config(args: &Args) -> Result<PipelineConfig, CmdError> {
+    let fit_defaults = FitOptions::default();
+    let strict = args.flag("strict");
+    Ok(PipelineConfig {
+        train: TrainConfig {
+            min_samples_per_metric: args.get_or("min-samples", 1)?,
+            threads: args.get_or("threads", 0)?,
+            metric_error_budget: args.get_or("metric-budget", 0.5)?,
+            fit: FitOptions {
+                max_front_size: args.get_or("max-front", fit_defaults.max_front_size)?,
+                thin_front: args.flag("thin-front"),
+                ..fit_defaults
+            },
+            ..TrainConfig::default()
+        },
+        strictness: if strict {
+            TrainStrictness::Strict
+        } else {
+            TrainStrictness::Lenient
+        },
+        snapshot_mode: if strict {
+            SnapshotMode::Strict
+        } else {
+            SnapshotMode::Lenient
+        },
+        ingest: IngestSettings {
+            min_running_frac: args.get_or("min-frac", 0.05)?,
+            error_budget: args.get_or("budget", 0.5)?,
+            scale_multiplexed: !args.flag("no-scale"),
+        },
+        seed: args.get_or("seed", 1)?,
+    })
+}
+
+/// Loads a model from `path` through [`LoadModelStage`] (accepting a
+/// versioned snapshot or legacy raw-model JSON, in the mode chosen by
+/// `--strict`), rendering any salvage from the event stream into the
+/// same warning text the pre-pipeline CLI printed.
+pub(crate) fn load_model(
+    runner: &mut Runner,
+    path: &str,
+) -> Result<(SpireModel, String), CmdError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read model file {path}: {e}"))?;
+    let stage = LoadModelStage {
+        source: path.to_owned(),
+    };
+    let model = stage.execute(text, &mut runner.ctx)?;
+    let mut log = String::new();
+    let events = runner.events();
+    if let Some(Event::SnapshotSalvaged {
+        source,
+        dropped,
+        total,
+    }) = events
+        .iter()
+        .find(|e| matches!(e, Event::SnapshotSalvaged { .. }))
+    {
+        writeln!(
+            log,
+            "warning: salvaged snapshot {source}: {dropped} of {total} metric records dropped"
+        )?;
+        for event in &events {
+            if let Event::SnapshotRecordDropped { metric, reason } = event {
+                writeln!(log, "  dropped {metric}: {reason}")?;
+            }
+        }
+    }
+    Ok((model, log))
+}
+
+/// Resolves `--workload NAME [--config C]` against the suite.
+pub(crate) fn find_workload(args: &Args) -> Result<WorkloadProfile, CmdError> {
+    let name = args.require("workload")?;
+    let config = args.get("config").unwrap_or("");
+    suite::by_name(name, config)
+        .ok_or_else(|| format!("no workload named `{name}` with config `{config}`").into())
+}
+
+/// Clones a dataset's labeled entries in label order — the
+/// `BuildStage` input whose merge reproduces `Dataset::merged` exactly.
+pub(crate) fn labeled_sets(
+    dataset: &spire_counters::Dataset,
+) -> Vec<(String, spire_core::SampleSet)> {
+    dataset
+        .iter()
+        .map(|(label, set)| (label.to_owned(), set.clone()))
+        .collect()
+}

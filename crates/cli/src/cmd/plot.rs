@@ -1,0 +1,54 @@
+//! `spire plot`: render one metric's learned roofline with its samples.
+
+use std::fmt::Write as _;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{json, load_model, Runner};
+use spire_counters::Dataset;
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let data_path = args.require("data")?;
+    let metric_name = args.require("metric")?;
+    let out_path = args.require("out")?;
+    let log_axes = !args.flag("linear");
+
+    let mut runner = Runner::from_args(args)?;
+    let (model, mut log) = load_model(&mut runner, model_path)?;
+    let dataset = Dataset::load(data_path)?;
+    let metric = spire_core::MetricId::new(metric_name);
+    let roofline = model
+        .roofline(&metric)
+        .ok_or_else(|| format!("model has no roofline for `{metric_name}`"))?;
+
+    // Plot against one workload's samples, or the whole dataset.
+    let samples: Vec<spire_core::Sample> = match args.get("workload") {
+        Some(label) => dataset
+            .get(label)
+            .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?
+            .samples_for(&metric),
+        None => {
+            let mut v = Vec::new();
+            for (_, set) in dataset.iter() {
+                v.extend(set.samples_for(&metric));
+            }
+            v
+        }
+    };
+    let chart = spire_plot::roofline_chart(roofline, samples.iter(), log_axes);
+    std::fs::write(out_path, chart.to_svg(720, 480))?;
+    writeln!(
+        log,
+        "plotted `{metric_name}` ({} samples) to {out_path}",
+        samples.len()
+    )?;
+    let result = json::obj(vec![
+        ("metric", json::s(metric_name)),
+        ("out", json::s(out_path)),
+        ("samples", json::u(samples.len())),
+        ("log_axes", serde::Content::Bool(log_axes)),
+    ]);
+    runner.finish(args, "plot", log, result)
+}

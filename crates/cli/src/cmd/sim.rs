@@ -1,0 +1,105 @@
+//! Simulator-facing commands: `list-workloads`, `simulate`, and `tma`.
+
+use std::fmt::Write as _;
+
+use serde::Content;
+use spire_sim::{Core, CoreConfig};
+use spire_tma::analyze;
+use spire_workloads::suite;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{find_workload, json, Runner};
+
+pub(crate) fn list_workloads(args: &Args) -> CmdResult {
+    let runner = Runner::from_args(args)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<18} {:<22} {:<16} set",
+        "name", "config", "bottleneck"
+    )?;
+    let mut rows: Vec<Content> = Vec::new();
+    let mut render = |profiles: Vec<spire_workloads::WorkloadProfile>,
+                      set: &str,
+                      out: &mut String|
+     -> Result<(), std::fmt::Error> {
+        for p in profiles {
+            writeln!(
+                out,
+                "{:<18} {:<22} {:<16} {set}",
+                p.name, p.config, p.expected_bottleneck
+            )?;
+            rows.push(json::obj(vec![
+                ("name", json::s(p.name)),
+                ("config", json::s(p.config)),
+                ("bottleneck", json::s(format!("{}", p.expected_bottleneck))),
+                ("set", json::s(set)),
+            ]));
+        }
+        Ok(())
+    };
+    render(suite::training(), "train", &mut out)?;
+    render(suite::testing(), "test", &mut out)?;
+    let result = json::obj(vec![("workloads", Content::Seq(rows))]);
+    runner.finish(args, "list-workloads", out, result)
+}
+
+pub(crate) fn simulate(args: &Args) -> CmdResult {
+    let profile = find_workload(args)?;
+    let cycles: u64 = args.get_or("cycles", 400_000)?;
+    let runner = Runner::from_args(args)?;
+    let seed = runner.ctx.config.seed;
+    let cfg = CoreConfig::skylake_server();
+    let mut core = Core::new(cfg);
+    let mut stream = profile.stream(seed);
+    let summary = core.run(&mut stream, cycles);
+    let tma = analyze(core.counters(), &cfg);
+    let text = format!(
+        "{} ({})\n  instructions: {}\n  cycles: {}\n  ipc: {:.3}\n  tma: {}\n  main: {}\n",
+        profile.name,
+        profile.config,
+        summary.instructions,
+        summary.cycles,
+        summary.ipc(),
+        tma.summary(),
+        tma.main_category()
+    );
+    let result = json::obj(vec![
+        ("name", json::s(profile.name)),
+        ("config", json::s(profile.config)),
+        ("instructions", json::u(summary.instructions as usize)),
+        ("cycles", json::u(summary.cycles as usize)),
+        ("ipc", json::f(summary.ipc())),
+        ("tma", json::s(tma.summary())),
+        ("main", json::s(format!("{}", tma.main_category()))),
+    ]);
+    runner.finish(args, "simulate", text, result)
+}
+
+pub(crate) fn tma(args: &Args) -> CmdResult {
+    let profile = find_workload(args)?;
+    let cycles: u64 = args.get_or("cycles", 400_000)?;
+    let runner = Runner::from_args(args)?;
+    let seed = runner.ctx.config.seed;
+    let cfg = CoreConfig::skylake_server();
+    let mut core = Core::new(cfg);
+    let mut stream = profile.stream(seed);
+    core.run(&mut stream, cycles);
+    let t = analyze(core.counters(), &cfg);
+    let mut out = String::new();
+    writeln!(out, "{} ({})", profile.name, profile.config)?;
+    out.push_str(&t.to_tree());
+    writeln!(out, "main bottleneck: {}", t.dominant_bottleneck())?;
+    let result = json::obj(vec![
+        ("name", json::s(profile.name)),
+        ("config", json::s(profile.config)),
+        (
+            "main_bottleneck",
+            json::s(format!("{}", t.dominant_bottleneck())),
+        ),
+        ("tree", json::s(t.to_tree())),
+    ]);
+    runner.finish(args, "tma", out, result)
+}

@@ -1,0 +1,93 @@
+//! `spire train`: dataset → Build → Train through the pipeline engine,
+//! with model/snapshot persistence at the edges.
+
+use std::fmt::Write as _;
+
+use serde::Content;
+use spire_core::pipeline::Pipeline;
+use spire_core::pipeline::{BuildStage, TrainStage};
+use spire_core::ModelSnapshot;
+use spire_counters::Dataset;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{json, labeled_sets, Runner};
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let data_path = args.require("data")?;
+    let out_path = args.get("out");
+    let snapshot_path = args.get("snapshot");
+    if out_path.is_none() && snapshot_path.is_none() {
+        return Err("train requires --out and/or --snapshot".into());
+    }
+    let dataset = Dataset::load(data_path)?;
+    let mut runner = Runner::from_args(args)?;
+    let mut log = String::new();
+    if args.flag("ingest-report") {
+        let mut any = false;
+        for (label, report) in dataset.reports() {
+            any = true;
+            writeln!(log, "{label}: {}", report.summary())?;
+            if report.degraded {
+                writeln!(log, "  warning: capture is degraded (possibly incomplete)")?;
+            }
+        }
+        if !any {
+            writeln!(log, "no ingest reports stored in {data_path}")?;
+        }
+        log.push('\n');
+    }
+    let outcome = Pipeline::new(BuildStage)
+        .then(TrainStage)
+        .run(labeled_sets(&dataset), &mut runner.ctx)?;
+    writeln!(log, "{}", outcome.report.to_table(10))?;
+    if let Some(path) = out_path {
+        std::fs::write(path, serde_json::to_string(&outcome.model)?)?;
+        writeln!(log, "wrote model to {path}")?;
+    }
+    if let Some(path) = snapshot_path {
+        let snapshot = ModelSnapshot::from_model(&outcome.model)?
+            .with_provenance(dataset.provenance(Some(data_path)))
+            .with_train_report(outcome.report.clone());
+        std::fs::write(path, snapshot.to_json())?;
+        writeln!(
+            log,
+            "wrote snapshot (format v{}, {} checksummed records) to {path}",
+            spire_core::SNAPSHOT_FORMAT_VERSION,
+            outcome.model.metric_count()
+        )?;
+    }
+    writeln!(
+        log,
+        "trained {} metric rooflines from {} samples",
+        outcome.model.metric_count(),
+        dataset.total_samples()
+    )?;
+    let result = json::obj(vec![
+        ("data", json::s(data_path)),
+        ("model_out", json::opt_s(out_path)),
+        ("snapshot_out", json::opt_s(snapshot_path)),
+        ("metrics", json::u(outcome.model.metric_count())),
+        ("samples", json::u(dataset.total_samples())),
+        ("report", serde::to_content(&outcome.report)),
+        (
+            "fit_notices",
+            Content::Seq(
+                outcome
+                    .fit_notices
+                    .iter()
+                    .map(|n| {
+                        json::obj(vec![
+                            ("metric", json::s(n.metric.as_str())),
+                            ("original", json::u(n.original)),
+                            ("retained", json::u(n.retained)),
+                            ("cap", json::u(n.cap)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    runner.finish(args, "train", log, result)
+}

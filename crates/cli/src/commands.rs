@@ -1,23 +1,17 @@
-//! Implementation of the `spire` subcommands. Each command returns its
-//! output as a [`CmdOutput`] so the logic is testable without capturing
-//! stdout, and so partial success (a degraded-but-usable result) is
-//! visible to the process exit code.
+//! The `spire` command dispatcher. Each subcommand lives in its own
+//! module under [`crate::cmd`]; they return a [`CmdOutput`] so the logic
+//! is testable without capturing stdout, and so partial success (a
+//! degraded-but-usable result) is visible to the process exit code.
+//!
+//! Every command runs through the `spire_core::pipeline` engine: a
+//! [`RunContext`](spire_core::RunContext) carries the run's configuration
+//! and a diagnostics bus of typed events, and the degraded flag (exit
+//! code 2) is derived from that event stream rather than tracked ad hoc.
 
 use std::error::Error;
-use std::fmt::Write as _;
-
-use spire_core::catalog::MetricCatalog;
-use spire_core::snapshot::load_model;
-use spire_core::{
-    BottleneckReport, FitOptions, ModelSnapshot, SnapshotMode, SpireModel, TrainConfig,
-    TrainStrictness,
-};
-use spire_counters::{collect, Dataset, IngestConfig, SessionConfig};
-use spire_sim::{Core, CoreConfig, Event};
-use spire_tma::analyze;
-use spire_workloads::{suite, WorkloadProfile};
 
 use crate::args::Args;
+use crate::cmd;
 
 /// Process exit code for full success.
 pub const EXIT_OK: i32 = 0;
@@ -37,7 +31,7 @@ pub struct CmdOutput {
     /// Text for stdout.
     pub text: String,
     /// `true` when the command completed by dropping or quarantining part
-    /// of its input.
+    /// of its input — derived from the diagnostics bus.
     pub degraded: bool,
 }
 
@@ -115,6 +109,12 @@ COMMANDS:
             --workload LABEL [--n K]  collected workload (multiplex column
                                       filled from the stored ingest report)
 
+GLOBAL OPTIONS:
+  --json    print a machine-readable envelope instead of the human text:
+            {command, schema_version, degraded, events, result}. Uniform
+            across every subcommand; see README \"Machine-readable
+            output\" for the schema. The exit code is unchanged.
+
 EXIT CODES:
   0  success
   2  partial success: the command completed but quarantined or dropped
@@ -124,12 +124,13 @@ EXIT CODES:
 ";
 
 /// Option names that are valueless switches rather than `--key value`.
-const BOOL_FLAGS: &[&str] = &[
+pub(crate) const BOOL_FLAGS: &[&str] = &[
     "linear",
     "ingest-report",
     "strict",
     "no-scale",
     "thin-front",
+    "json",
 ];
 
 /// Dispatches a command line (without the program name).
@@ -144,902 +145,17 @@ pub fn run(argv: &[String]) -> CmdResult {
         return Ok(USAGE.to_owned().into());
     };
     match command {
-        "list-workloads" => list_workloads(),
-        "simulate" => simulate(&args),
-        "collect" => collect_cmd(&args),
-        "train" => train(&args),
-        "analyze" => analyze_cmd(&args),
-        "estimate" => estimate_cmd(&args),
-        "tma" => tma_cmd(&args),
-        "ingest" | "import-perf" => ingest_cmd(&args),
-        "plot" => plot_cmd(&args),
-        "coverage" => coverage_cmd(&args),
+        "list-workloads" => cmd::sim::list_workloads(&args),
+        "simulate" => cmd::sim::simulate(&args),
+        "collect" => cmd::collect::run(&args),
+        "train" => cmd::train::run(&args),
+        "analyze" => cmd::analyze::run(&args),
+        "estimate" => cmd::estimate::run(&args),
+        "tma" => cmd::sim::tma(&args),
+        "ingest" | "import-perf" => cmd::ingest::run(&args),
+        "plot" => cmd::plot::run(&args),
+        "coverage" => cmd::coverage::run(&args),
         "help" | "--help" => Ok(USAGE.to_owned().into()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
-    }
-}
-
-/// Loads a model from `path`, accepting either a versioned snapshot or the
-/// legacy raw-model JSON, in the [`SnapshotMode`] chosen by `--strict`.
-///
-/// Returns the model, a log of any salvage (empty when pristine), and
-/// whether the load was degraded.
-fn load_model_arg(
-    path: &str,
-    strict: bool,
-) -> Result<(SpireModel, String, bool), Box<dyn Error + Send + Sync>> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read model file {path}: {e}"))?;
-    let mode = if strict {
-        SnapshotMode::Strict
-    } else {
-        SnapshotMode::Lenient
-    };
-    let (model, report) = load_model(&text, mode)?;
-    let mut log = String::new();
-    let mut degraded = false;
-    if let Some(report) = &report {
-        if report.is_degraded() {
-            degraded = true;
-            writeln!(
-                log,
-                "warning: salvaged snapshot {path}: {} of {} metric records dropped",
-                report.dropped.len(),
-                report.metrics_total
-            )?;
-            for d in &report.dropped {
-                writeln!(log, "  dropped {}: {}", d.metric.as_str(), d.reason)?;
-            }
-        }
-    }
-    Ok((model, log, degraded))
-}
-
-fn find_workload(args: &Args) -> Result<WorkloadProfile, Box<dyn Error + Send + Sync>> {
-    let name = args.require("workload")?;
-    let config = args.get("config").unwrap_or("");
-    suite::by_name(name, config)
-        .ok_or_else(|| format!("no workload named `{name}` with config `{config}`").into())
-}
-
-fn list_workloads() -> CmdResult {
-    let mut out = String::new();
-    writeln!(
-        out,
-        "{:<18} {:<22} {:<16} set",
-        "name", "config", "bottleneck"
-    )?;
-    for p in suite::training() {
-        writeln!(
-            out,
-            "{:<18} {:<22} {:<16} train",
-            p.name, p.config, p.expected_bottleneck
-        )?;
-    }
-    for p in suite::testing() {
-        writeln!(
-            out,
-            "{:<18} {:<22} {:<16} test",
-            p.name, p.config, p.expected_bottleneck
-        )?;
-    }
-    Ok(out.into())
-}
-
-fn simulate(args: &Args) -> CmdResult {
-    let profile = find_workload(args)?;
-    let cycles: u64 = args.get_or("cycles", 400_000)?;
-    let seed: u64 = args.get_or("seed", 1)?;
-    let cfg = CoreConfig::skylake_server();
-    let mut core = Core::new(cfg);
-    let mut stream = profile.stream(seed);
-    let summary = core.run(&mut stream, cycles);
-    let tma = analyze(core.counters(), &cfg);
-    Ok(format!(
-        "{} ({})\n  instructions: {}\n  cycles: {}\n  ipc: {:.3}\n  tma: {}\n  main: {}\n",
-        profile.name,
-        profile.config,
-        summary.instructions,
-        summary.cycles,
-        summary.ipc(),
-        tma.summary(),
-        tma.main_category()
-    )
-    .into())
-}
-
-fn collect_cmd(args: &Args) -> CmdResult {
-    let out_path = args.require("out")?;
-    let which = args.get("set").unwrap_or("train");
-    let seed: u64 = args.get_or("seed", 1)?;
-    let mut session_cfg = SessionConfig::default();
-    session_cfg.max_cycles = args.get_or("cycles", 2_000_000)?;
-    session_cfg.interval_cycles = args.get_or("interval", session_cfg.interval_cycles)?;
-    session_cfg.slice_cycles = args.get_or("slice", session_cfg.slice_cycles)?;
-
-    let profiles = match which {
-        "train" => suite::training(),
-        "test" => suite::testing(),
-        "all" => suite::all(),
-        other => return Err(format!("--set must be train|test|all, got `{other}`").into()),
-    };
-
-    let mut dataset = Dataset::new();
-    let mut log = String::new();
-    for p in &profiles {
-        let mut core = Core::new(CoreConfig::skylake_server());
-        let mut stream = p.stream(seed);
-        let report = collect(&mut core, &mut stream, Event::ALL, &session_cfg);
-        writeln!(
-            log,
-            "{} ({}): {} samples over {} intervals, overhead {:.2}%",
-            p.name,
-            p.config,
-            report.samples.len(),
-            report.intervals,
-            report.overhead_fraction() * 100.0
-        )?;
-        dataset.insert(format!("{} ({})", p.name, p.config), report.samples);
-    }
-    dataset.save(out_path)?;
-    writeln!(
-        log,
-        "wrote {} samples across {} workloads to {out_path}",
-        dataset.total_samples(),
-        dataset.len()
-    )?;
-    Ok(log.into())
-}
-
-fn train(args: &Args) -> CmdResult {
-    let data_path = args.require("data")?;
-    let out_path = args.get("out");
-    let snapshot_path = args.get("snapshot");
-    if out_path.is_none() && snapshot_path.is_none() {
-        return Err("train requires --out and/or --snapshot".into());
-    }
-    let dataset = Dataset::load(data_path)?;
-    let mut log = String::new();
-    if args.flag("ingest-report") {
-        let mut any = false;
-        for (label, report) in dataset.reports() {
-            any = true;
-            writeln!(log, "{label}: {}", report.summary())?;
-            if report.degraded {
-                writeln!(log, "  warning: capture is degraded (possibly incomplete)")?;
-            }
-        }
-        if !any {
-            writeln!(log, "no ingest reports stored in {data_path}")?;
-        }
-        log.push('\n');
-    }
-    let fit_defaults = FitOptions::default();
-    let config = TrainConfig {
-        min_samples_per_metric: args.get_or("min-samples", 1)?,
-        threads: args.get_or("threads", 0)?,
-        metric_error_budget: args.get_or("metric-budget", 0.5)?,
-        fit: FitOptions {
-            max_front_size: args.get_or("max-front", fit_defaults.max_front_size)?,
-            thin_front: args.flag("thin-front"),
-            ..fit_defaults
-        },
-        ..TrainConfig::default()
-    };
-    let strictness = if args.flag("strict") {
-        TrainStrictness::Strict
-    } else {
-        TrainStrictness::Lenient
-    };
-    let outcome = SpireModel::train_with_report(&dataset.merged(), config, strictness)?;
-    writeln!(log, "{}", outcome.report.to_table(10))?;
-    if let Some(path) = out_path {
-        std::fs::write(path, serde_json::to_string(&outcome.model)?)?;
-        writeln!(log, "wrote model to {path}")?;
-    }
-    if let Some(path) = snapshot_path {
-        let snapshot = ModelSnapshot::from_model(&outcome.model)?
-            .with_provenance(dataset.provenance(Some(data_path)))
-            .with_train_report(outcome.report.clone());
-        std::fs::write(path, snapshot.to_json())?;
-        writeln!(
-            log,
-            "wrote snapshot (format v{}, {} checksummed records) to {path}",
-            spire_core::SNAPSHOT_FORMAT_VERSION,
-            outcome.model.metric_count()
-        )?;
-    }
-    writeln!(
-        log,
-        "trained {} metric rooflines from {} samples",
-        outcome.model.metric_count(),
-        dataset.total_samples()
-    )?;
-    Ok(CmdOutput {
-        text: log,
-        degraded: outcome.report.is_degraded(),
-    })
-}
-
-fn analyze_cmd(args: &Args) -> CmdResult {
-    let model_path = args.require("model")?;
-    let data_path = args.require("data")?;
-    let label = args.require("workload")?;
-    let top: usize = args.get_or("top", 10)?;
-    let (mut model, mut out, degraded) = load_model_arg(model_path, args.flag("strict"))?;
-    model.set_threads(args.get_or("threads", model.config().threads)?);
-    let dataset = Dataset::load(data_path)?;
-    let samples = dataset
-        .get(label)
-        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
-    let estimate = model.estimate(samples)?;
-    let report = BottleneckReport::new(&estimate, &MetricCatalog::table_iii());
-    write!(
-        out,
-        "workload: {label}\nensemble throughput estimate: {:.4}\n\n",
-        report.throughput()
-    )?;
-    out.push_str(&report.to_table(top));
-    Ok(CmdOutput {
-        text: out,
-        degraded,
-    })
-}
-
-fn estimate_cmd(args: &Args) -> CmdResult {
-    let model_path = args.require("model")?;
-    let data_path = args.require("data")?;
-    let label = args.require("workload")?;
-    let (mut model, mut out, degraded) = load_model_arg(model_path, args.flag("strict"))?;
-    model.set_threads(args.get_or("threads", model.config().threads)?);
-    let dataset = Dataset::load(data_path)?;
-    let samples = dataset
-        .get(label)
-        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
-    let estimate = model.estimate(samples)?;
-    writeln!(
-        out,
-        "workload: {label}\nensemble throughput estimate: {:.6}",
-        estimate.throughput()
-    )?;
-    if let Some((metric, value)) = estimate.primary_bottleneck() {
-        writeln!(out, "primary bottleneck: {metric} ({value:.6})")?;
-    }
-    writeln!(
-        out,
-        "metrics contributing: {} of {} trained",
-        estimate.per_metric().len(),
-        model.metric_count()
-    )?;
-    Ok(CmdOutput {
-        text: out,
-        degraded,
-    })
-}
-
-fn tma_cmd(args: &Args) -> CmdResult {
-    let profile = find_workload(args)?;
-    let cycles: u64 = args.get_or("cycles", 400_000)?;
-    let seed: u64 = args.get_or("seed", 1)?;
-    let cfg = CoreConfig::skylake_server();
-    let mut core = Core::new(cfg);
-    let mut stream = profile.stream(seed);
-    core.run(&mut stream, cycles);
-    let t = analyze(core.counters(), &cfg);
-    let mut out = String::new();
-    writeln!(out, "{} ({})", profile.name, profile.config)?;
-    out.push_str(&t.to_tree());
-    writeln!(out, "main bottleneck: {}", t.dominant_bottleneck())?;
-    Ok(out.into())
-}
-
-fn coverage_cmd(args: &Args) -> CmdResult {
-    let data_path = args.require("data")?;
-    let label = args.require("workload")?;
-    let n: usize = args.get_or("n", 15)?;
-    let dataset = Dataset::load(data_path)?;
-    let samples = dataset
-        .get(label)
-        .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
-    // Without a session record, measure fractions against the longest
-    // per-metric observation window.
-    let session_time = samples
-        .by_metric()
-        .map(|(_, column)| column.total_time())
-        .fold(0.0f64, f64::max)
-        .max(1.0);
-    let report = match dataset.report(label) {
-        Some(ingest) => spire_counters::CoverageReport::with_ingest(samples, session_time, ingest),
-        None => spire_counters::CoverageReport::new(samples, session_time),
-    };
-    let (lo, hi) = report.fraction_range();
-    let mut out = format!(
-        "workload: {label}
-metrics: {} | coverage fraction range: {:.2}%..{:.2}%
-
-",
-        report.per_metric().len(),
-        lo * 100.0,
-        hi * 100.0
-    );
-    out.push_str(&report.to_table(n));
-    let suspects = report.phase_suspects(0.3);
-    if !suspects.is_empty() {
-        out.push_str(&format!(
-            "
-{} metrics show strong throughput variation (cv > 0.3): possible phase behaviour
-",
-            suspects.len()
-        ));
-    }
-    Ok(out.into())
-}
-
-fn plot_cmd(args: &Args) -> CmdResult {
-    let model_path = args.require("model")?;
-    let data_path = args.require("data")?;
-    let metric_name = args.require("metric")?;
-    let out_path = args.require("out")?;
-    let log_axes = !args.flag("linear");
-
-    let (model, mut log, degraded) = load_model_arg(model_path, args.flag("strict"))?;
-    let dataset = Dataset::load(data_path)?;
-    let metric = spire_core::MetricId::new(metric_name);
-    let roofline = model
-        .roofline(&metric)
-        .ok_or_else(|| format!("model has no roofline for `{metric_name}`"))?;
-
-    // Plot against one workload's samples, or the whole dataset.
-    let samples: Vec<spire_core::Sample> = match args.get("workload") {
-        Some(label) => dataset
-            .get(label)
-            .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?
-            .samples_for(&metric),
-        None => {
-            let mut v = Vec::new();
-            for (_, set) in dataset.iter() {
-                v.extend(set.samples_for(&metric));
-            }
-            v
-        }
-    };
-    let chart = spire_plot::roofline_chart(roofline, samples.iter(), log_axes);
-    std::fs::write(out_path, chart.to_svg(720, 480))?;
-    writeln!(
-        log,
-        "plotted `{metric_name}` ({} samples) to {out_path}",
-        samples.len()
-    )?;
-    Ok(CmdOutput {
-        text: log,
-        degraded,
-    })
-}
-
-fn ingest_cmd(args: &Args) -> CmdResult {
-    let csv_path = args.require("csv")?;
-    let out_path = args.require("out")?;
-    let label = args.get("label").unwrap_or("imported");
-    let config = IngestConfig {
-        min_running_frac: args.get_or("min-frac", 0.05)?,
-        error_budget: args.get_or("budget", 0.5)?,
-        scale_multiplexed: !args.flag("no-scale"),
-        ..IngestConfig::default()
-    };
-    config.validate()?;
-    let text = std::fs::read_to_string(csv_path)?;
-    let out = spire_counters::ingest_perf_csv(&text, &config);
-    // The full table embeds the summary as its first line.
-    let mut log = if args.flag("ingest-report") {
-        out.report.to_table(20)
-    } else {
-        format!("{}\n", out.report.summary())
-    };
-    if args.flag("strict") && out.report.budget_exceeded() {
-        let report = out.report;
-        return Err(spire_core::SpireError::ErrorBudgetExceeded {
-            quarantined: report.rows_quarantined,
-            total: report.rows_seen,
-            budget: report.error_budget,
-        }
-        .into());
-    }
-    let n = out.samples.len();
-    // Quarantined rows (or a capture the supervision layer flagged) mean
-    // the dataset is usable but lossy — surface that via the exit code.
-    let degraded = out.report.rows_quarantined > 0 || out.report.degraded;
-    let mut dataset = Dataset::new();
-    dataset.insert_with_report(label, out.samples, out.report);
-    dataset.save(out_path)?;
-    log.push_str(&format!(
-        "imported {n} samples as `{label}` into {out_path}\n"
-    ));
-    Ok(CmdOutput {
-        text: log,
-        degraded,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use spire_core::{Sample, SampleSet};
-
-    fn run_str(argv: &[&str]) -> CmdResult {
-        let v: Vec<String> = argv.iter().map(|s| (*s).to_owned()).collect();
-        run(&v)
-    }
-
-    /// Writes a small three-metric dataset to `path` and returns it.
-    fn write_dataset(path: &std::path::Path) -> Dataset {
-        let mut set = SampleSet::new();
-        for m in ["m_alpha", "m_beta", "m_gamma"] {
-            for i in 1..6 {
-                let s = Sample::new(m, 10.0, (5 * i) as f64, (10 - i) as f64).unwrap();
-                set.push(s);
-            }
-        }
-        let mut ds = Dataset::new();
-        ds.insert("wl", set);
-        ds.save(path).unwrap();
-        ds
-    }
-
-    #[test]
-    fn no_command_prints_usage() {
-        let out = run_str(&[]).unwrap();
-        assert!(out.contains("USAGE"));
-    }
-
-    #[test]
-    fn unknown_command_errors_with_usage() {
-        let err = run_str(&["bogus"]).unwrap_err();
-        assert!(err.to_string().contains("unknown command"));
-    }
-
-    #[test]
-    fn list_workloads_has_27_rows() {
-        let out = run_str(&["list-workloads"]).unwrap();
-        // header + 27 entries
-        assert_eq!(out.lines().count(), 28);
-        assert!(out.contains("tnn"));
-        assert!(out.contains("CUTCP"));
-    }
-
-    #[test]
-    fn simulate_reports_ipc_and_tma() {
-        let out = run_str(&[
-            "simulate",
-            "--workload",
-            "tnn",
-            "--config",
-            "SqueezeNet v1.1",
-            "--cycles",
-            "50000",
-        ])
-        .unwrap();
-        assert!(out.contains("ipc:"));
-        assert!(out.contains("retiring"));
-    }
-
-    #[test]
-    fn simulate_unknown_workload_errors() {
-        let err = run_str(&["simulate", "--workload", "nope"]).unwrap_err();
-        assert!(err.to_string().contains("no workload"));
-    }
-
-    #[test]
-    fn tma_command_prints_the_tree() {
-        let out = run_str(&[
-            "tma",
-            "--workload",
-            "onnx",
-            "--config",
-            "T5 Encoder, Std.",
-            "--cycles",
-            "50000",
-        ])
-        .unwrap();
-        assert!(out.contains("Memory Bound"));
-        assert!(out.contains("Core Bound"));
-        assert!(out.contains("main bottleneck: Memory"));
-    }
-
-    #[test]
-    fn end_to_end_collect_train_analyze() {
-        let dir = std::env::temp_dir().join("spire-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let data = dir.join("data.json");
-        let model = dir.join("model.json");
-
-        // Tiny collection run over the test set to stay fast.
-        let out = run_str(&[
-            "collect",
-            "--out",
-            data.to_str().unwrap(),
-            "--set",
-            "test",
-            "--cycles",
-            "60000",
-            "--interval",
-            "20000",
-            "--slice",
-            "1000",
-        ])
-        .unwrap();
-        assert!(out.contains("wrote"));
-
-        let out = run_str(&[
-            "train",
-            "--data",
-            data.to_str().unwrap(),
-            "--out",
-            model.to_str().unwrap(),
-        ])
-        .unwrap();
-        assert!(out.contains("trained"));
-
-        let out = run_str(&[
-            "analyze",
-            "--model",
-            model.to_str().unwrap(),
-            "--data",
-            data.to_str().unwrap(),
-            "--workload",
-            "tnn (SqueezeNet v1.1)",
-            "--top",
-            "5",
-        ])
-        .unwrap();
-        assert!(out.contains("ensemble throughput estimate"));
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn plot_writes_an_svg() {
-        let dir = std::env::temp_dir().join("spire-cli-plot-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let data = dir.join("data.json");
-        let model = dir.join("model.json");
-        let svg = dir.join("roofline.svg");
-        run_str(&[
-            "collect",
-            "--out",
-            data.to_str().unwrap(),
-            "--set",
-            "test",
-            "--cycles",
-            "60000",
-            "--interval",
-            "20000",
-            "--slice",
-            "1000",
-        ])
-        .unwrap();
-        run_str(&[
-            "train",
-            "--data",
-            data.to_str().unwrap(),
-            "--out",
-            model.to_str().unwrap(),
-        ])
-        .unwrap();
-        let out = run_str(&[
-            "plot",
-            "--model",
-            model.to_str().unwrap(),
-            "--data",
-            data.to_str().unwrap(),
-            "--metric",
-            "idq.dsb_uops",
-            "--out",
-            svg.to_str().unwrap(),
-        ])
-        .unwrap();
-        assert!(out.contains("plotted"));
-        let content = std::fs::read_to_string(&svg).unwrap();
-        assert!(content.contains("<svg"));
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn coverage_command_reports_fractions() {
-        let dir = std::env::temp_dir().join("spire-cli-coverage-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let data = dir.join("data.json");
-        run_str(&[
-            "collect",
-            "--out",
-            data.to_str().unwrap(),
-            "--set",
-            "test",
-            "--cycles",
-            "60000",
-            "--interval",
-            "20000",
-            "--slice",
-            "1000",
-        ])
-        .unwrap();
-        let out = run_str(&[
-            "coverage",
-            "--data",
-            data.to_str().unwrap(),
-            "--workload",
-            "tnn (SqueezeNet v1.1)",
-        ])
-        .unwrap();
-        assert!(out.contains("coverage fraction range"));
-        assert!(out.contains("time frac"));
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn ingest_scales_multiplexed_counts_and_stores_the_report() {
-        let dir = std::env::temp_dir().join("spire-cli-ingest-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let csv = dir.join("perf.csv");
-        let out_file = dir.join("imported.json");
-        std::fs::write(
-            &csv,
-            "1.0,100,,inst_retired.any,1,100,,\n\
-             1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
-             1.0,7,,longest_lat_cache.miss,250000,25.00,,\n\
-             broken line\n",
-        )
-        .unwrap();
-        let out = run_str(&[
-            "ingest",
-            "--csv",
-            csv.to_str().unwrap(),
-            "--out",
-            out_file.to_str().unwrap(),
-            "--label",
-            "mux",
-            "--ingest-report",
-        ])
-        .unwrap();
-        assert!(out.contains("1 quarantined"));
-        assert!(out.contains("quarantine breakdown"));
-        assert!(out.contains("imported 1 samples"));
-        assert!(out.degraded, "quarantined rows must flag partial success");
-        let ds = Dataset::load(&out_file).unwrap();
-        // 7 counted over 25% of the interval -> 28 estimated.
-        let s = ds.get("mux").unwrap().iter().next().unwrap();
-        assert_eq!(s.metric_delta(), 28.0);
-        assert_eq!(ds.report("mux").unwrap().rows_scaled, 1);
-
-        // The stored report feeds the coverage table's mux column.
-        let cov = run_str(&[
-            "coverage",
-            "--data",
-            out_file.to_str().unwrap(),
-            "--workload",
-            "mux",
-        ])
-        .unwrap();
-        assert!(cov.contains("25.0%"));
-
-        // And train --ingest-report surfaces the provenance.
-        let model = dir.join("model.json");
-        let trained = run_str(&[
-            "train",
-            "--data",
-            out_file.to_str().unwrap(),
-            "--out",
-            model.to_str().unwrap(),
-            "--ingest-report",
-        ])
-        .unwrap();
-        assert!(trained.contains("mux:"));
-        assert!(trained.contains("trained"));
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn train_accepts_front_fitting_flags() {
-        let dir = std::env::temp_dir().join("spire-cli-front-flags-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let data = dir.join("data.json");
-        let model = dir.join("model.json");
-        write_dataset(&data);
-        let out = run_str(&[
-            "train",
-            "--data",
-            data.to_str().unwrap(),
-            "--out",
-            model.to_str().unwrap(),
-            "--max-front",
-            "64",
-            "--thin-front",
-        ])
-        .unwrap();
-        assert!(out.contains("trained"));
-        assert!(model.exists());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn train_requires_an_output() {
-        let err = run_str(&["train", "--data", "whatever.json"]).unwrap_err();
-        assert!(err.to_string().contains("--out and/or --snapshot"));
-    }
-
-    #[test]
-    fn train_snapshot_estimate_round_trip() {
-        let dir = std::env::temp_dir().join("spire-cli-snapshot-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let data = dir.join("data.json");
-        let snap = dir.join("model.snapshot.json");
-        write_dataset(&data);
-
-        let out = run_str(&[
-            "train",
-            "--data",
-            data.to_str().unwrap(),
-            "--snapshot",
-            snap.to_str().unwrap(),
-        ])
-        .unwrap();
-        assert!(out.contains("wrote snapshot (format v1, 3 checksummed records)"));
-        assert!(out.contains("trained 3/3 metrics"));
-        assert!(!out.degraded);
-
-        // The snapshot stores provenance from the dataset.
-        let stored = ModelSnapshot::from_json(&std::fs::read_to_string(&snap).unwrap()).unwrap();
-        let prov = stored.provenance.as_ref().unwrap();
-        assert_eq!(prov.labels, ["wl"]);
-        assert_eq!(prov.total_samples, 15);
-        assert!(stored.train_report.is_some());
-
-        // estimate and analyze load the snapshot without retraining.
-        let common = [
-            "--model",
-            snap.to_str().unwrap(),
-            "--data",
-            data.to_str().unwrap(),
-            "--workload",
-            "wl",
-        ];
-        let mut argv = vec!["estimate"];
-        argv.extend_from_slice(&common);
-        let est = run_str(&argv).unwrap();
-        assert!(est.contains("ensemble throughput estimate"));
-        assert!(est.contains("primary bottleneck"));
-        assert!(!est.degraded);
-        let mut argv = vec!["analyze"];
-        argv.extend_from_slice(&common);
-        let ana = run_str(&argv).unwrap();
-        assert!(ana.contains("ensemble throughput estimate"));
-        assert!(!ana.degraded);
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn corrupted_snapshot_salvages_leniently_and_refuses_strictly() {
-        let dir = std::env::temp_dir().join("spire-cli-salvage-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let data = dir.join("data.json");
-        let snap = dir.join("model.snapshot.json");
-        write_dataset(&data);
-        run_str(&[
-            "train",
-            "--data",
-            data.to_str().unwrap(),
-            "--snapshot",
-            snap.to_str().unwrap(),
-        ])
-        .unwrap();
-
-        // Corrupt one record's checksum on disk.
-        let mut stored =
-            ModelSnapshot::from_json(&std::fs::read_to_string(&snap).unwrap()).unwrap();
-        stored.metrics[0].checksum = "0000000000000000".to_owned();
-        std::fs::write(&snap, stored.to_json()).unwrap();
-
-        let common = [
-            "--model",
-            snap.to_str().unwrap(),
-            "--data",
-            data.to_str().unwrap(),
-            "--workload",
-            "wl",
-        ];
-        // Lenient (default): completes on the surviving metrics, degraded.
-        let mut argv = vec!["estimate"];
-        argv.extend_from_slice(&common);
-        let out = run_str(&argv).unwrap();
-        assert!(out.degraded);
-        assert!(out.contains("salvaged snapshot"));
-        assert!(out.contains("dropped m_alpha"));
-        assert!(out.contains("metrics contributing: 2 of 2 trained"));
-        // Strict: refuses the artifact.
-        argv.push("--strict");
-        let err = run_str(&argv).unwrap_err();
-        assert!(err.to_string().contains("corrupt"), "got: {err}");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn strict_ingest_fails_when_over_budget() {
-        let dir = std::env::temp_dir().join("spire-cli-strict-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let csv = dir.join("garbage.csv");
-        let out_file = dir.join("out.json");
-        std::fs::write(&csv, "junk\nmore junk\nstill junk\n").unwrap();
-        let common = [
-            "--csv",
-            csv.to_str().unwrap(),
-            "--out",
-            out_file.to_str().unwrap(),
-        ];
-        // Lenient mode saves the (empty) partial dataset.
-        let mut argv = vec!["ingest"];
-        argv.extend_from_slice(&common);
-        assert!(run_str(&argv).unwrap().contains("3 quarantined"));
-        // Strict mode refuses and writes nothing.
-        std::fs::remove_file(&out_file).ok();
-        argv.push("--strict");
-        let err = run_str(&argv).unwrap_err();
-        assert!(err.to_string().contains("error budget"));
-        assert!(!out_file.exists());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn no_scale_keeps_raw_counts() {
-        let dir = std::env::temp_dir().join("spire-cli-noscale-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let csv = dir.join("perf.csv");
-        let out_file = dir.join("out.json");
-        std::fs::write(
-            &csv,
-            "1.0,100,,inst_retired.any,1,100,,\n\
-             1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
-             1.0,7,,longest_lat_cache.miss,250000,25.00,,\n",
-        )
-        .unwrap();
-        run_str(&[
-            "ingest",
-            "--csv",
-            csv.to_str().unwrap(),
-            "--out",
-            out_file.to_str().unwrap(),
-            "--no-scale",
-        ])
-        .unwrap();
-        let ds = Dataset::load(&out_file).unwrap();
-        let s = ds.get("imported").unwrap().iter().next().unwrap();
-        assert_eq!(s.metric_delta(), 7.0);
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn import_perf_round_trips() {
-        let dir = std::env::temp_dir().join("spire-cli-perf-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let csv = dir.join("perf.csv");
-        let out_file = dir.join("imported.json");
-        std::fs::write(
-            &csv,
-            "1.0,100,,inst_retired.any,1,100,,\n\
-             1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
-             1.0,7,,longest_lat_cache.miss,1,100,,\n",
-        )
-        .unwrap();
-        let out = run_str(&[
-            "import-perf",
-            "--csv",
-            csv.to_str().unwrap(),
-            "--out",
-            out_file.to_str().unwrap(),
-            "--label",
-            "real-cpu",
-        ])
-        .unwrap();
-        assert!(out.contains("imported 1 samples"));
-        let ds = Dataset::load(&out_file).unwrap();
-        assert_eq!(ds.get("real-cpu").unwrap().len(), 1);
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

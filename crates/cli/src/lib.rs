@@ -13,4 +13,5 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub(crate) mod cmd;
 pub mod commands;

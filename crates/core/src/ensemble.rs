@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SpireError};
 use crate::parallel;
-use crate::roofline::{FitOptions, PiecewiseRoofline};
+use crate::roofline::{FitOptions, PiecewiseRoofline, ThinningNotice};
 #[cfg(test)]
 use crate::sample::Sample;
 use crate::sample::{MetricColumn, MetricId, SampleSet};
@@ -289,6 +289,11 @@ pub struct TrainOutcome {
     pub model: SpireModel,
     /// What happened to every metric.
     pub report: TrainReport,
+    /// Lossy front-thinning decisions the fits made (only with
+    /// [`FitOptions::thin_front`]), in metric-name order. Lives here and
+    /// not in [`TrainReport`] because the report is persisted inside
+    /// snapshots, whose serialized bytes must stay stable.
+    pub fit_notices: Vec<ThinningNotice>,
 }
 
 /// The merged estimate one metric produced for a workload.
@@ -446,8 +451,8 @@ impl SpireModel {
         config: TrainConfig,
         strictness: TrainStrictness,
     ) -> Result<TrainOutcome> {
-        Self::train_with_report_using(samples, config, strictness, |column, fit| {
-            PiecewiseRoofline::fit_column(column, fit)
+        Self::train_with_report_logged(samples, config, strictness, |column, fit| {
+            PiecewiseRoofline::fit_column_logged(column, fit)
         })
     }
 
@@ -466,6 +471,25 @@ impl SpireModel {
     ) -> Result<TrainOutcome>
     where
         F: Fn(&MetricColumn, &FitOptions) -> Result<PiecewiseRoofline> + Sync,
+    {
+        Self::train_with_report_logged(samples, config, strictness, |column, options| {
+            fit_fn(column, options).map(|fit| (fit, None))
+        })
+    }
+
+    /// The shared fault-isolated training loop: like
+    /// [`SpireModel::train_with_report_using`], but the fit function also
+    /// reports any lossy [`ThinningNotice`] it made, which is collected
+    /// (in metric-name order) into [`TrainOutcome::fit_notices`].
+    fn train_with_report_logged<F>(
+        samples: &SampleSet,
+        config: TrainConfig,
+        strictness: TrainStrictness,
+        fit_fn: F,
+    ) -> Result<TrainOutcome>
+    where
+        F: Fn(&MetricColumn, &FitOptions) -> Result<(PiecewiseRoofline, Option<ThinningNotice>)>
+            + Sync,
     {
         config.validate()?;
         if samples.is_empty() {
@@ -494,21 +518,23 @@ impl SpireModel {
 
         let mut rooflines = BTreeMap::new();
         let mut quarantined: Vec<QuarantinedMetric> = Vec::new();
+        let mut fit_notices: Vec<ThinningNotice> = Vec::new();
         for (column, outcome) in jobs.iter().zip(fitted) {
             let metric = column.metric().clone();
             // Flatten the three failure channels (panic, fit error,
             // invariant violation) into one typed error per metric.
-            let checked: Result<PiecewiseRoofline> = match outcome {
+            let checked: Result<(PiecewiseRoofline, Option<ThinningNotice>)> = match outcome {
                 Err(message) => Err(SpireError::FitPanicked {
                     metric: metric.to_string(),
                     message,
                 }),
                 Ok(Err(e)) => Err(e),
-                Ok(Ok(fit)) => fit.validate().map(|()| fit),
+                Ok(Ok((fit, notice))) => fit.validate().map(|()| (fit, notice)),
             };
             match checked {
-                Ok(fit) => {
+                Ok((fit, notice)) => {
                     rooflines.insert(metric, fit);
+                    fit_notices.extend(notice);
                 }
                 Err(e) => {
                     if strictness == TrainStrictness::Strict {
@@ -557,6 +583,7 @@ impl SpireModel {
                 skipped_metrics: skipped,
             },
             report,
+            fit_notices,
         })
     }
 

@@ -71,6 +71,7 @@ pub mod fault;
 pub mod geometry;
 pub mod graph;
 pub mod parallel;
+pub mod pipeline;
 pub mod roofline;
 mod sample;
 pub mod snapshot;
@@ -82,7 +83,10 @@ pub use ensemble::{
     TrainConfig, TrainOutcome, TrainQuarantineReason, TrainReport, TrainStrictness,
 };
 pub use error::{Result, SpireError};
-pub use roofline::{FitOptions, PiecewiseRoofline, RightFitMode, RightRegion};
+pub use pipeline::{
+    CollectingSink, DiagnosticsBus, EventSink, Pipeline, PipelineConfig, RunContext, Stage,
+};
+pub use roofline::{FitOptions, PiecewiseRoofline, RightFitMode, RightRegion, ThinningNotice};
 pub use sample::{MetricColumn, MetricId, Sample, SampleIter, SampleSet};
 pub use snapshot::{
     ModelSnapshot, SnapshotLoad, SnapshotMode, SnapshotProvenance, SnapshotReport,

@@ -1,0 +1,378 @@
+//! The typed event taxonomy of the diagnostics bus.
+//!
+//! Every decision a pipeline stage makes that used to live only inside a
+//! returned report struct — a quarantined metric, a salvaged snapshot
+//! record, budget consumption — is mirrored as an [`Event`] so sinks can
+//! observe a run without threading report types through every caller.
+
+use serde::{Content, Serialize};
+
+/// How an event affects the overall run outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Progress or bookkeeping; does not change the run outcome.
+    Info,
+    /// Noteworthy but non-degrading (e.g. lossy-but-requested thinning).
+    Warning,
+    /// The run completed by dropping or quarantining part of its input;
+    /// maps to the CLI's exit code 2.
+    Degraded,
+    /// A stage failed outright; maps to the CLI's exit code 1.
+    Error,
+}
+
+/// One structured diagnostics event emitted by a pipeline stage.
+///
+/// Field types are deliberately primitive (strings and numbers) so the
+/// taxonomy serializes to a flat, stable JSON schema — see README
+/// "Machine-readable output" — and sinks need no spire-core type
+/// knowledge beyond this enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A stage began executing.
+    StageStarted {
+        /// Stage name (`ingest`, `build`, `train`, `estimate`, `analyze`, …).
+        stage: String,
+        /// Input item count, when the stage can measure it.
+        items_in: Option<usize>,
+    },
+    /// A stage finished successfully.
+    StageFinished {
+        /// Stage name.
+        stage: String,
+        /// Wall-clock time the stage took, in milliseconds.
+        wall_ms: f64,
+        /// Input item count, when measurable.
+        items_in: Option<usize>,
+        /// Output item count, when measurable.
+        items_out: Option<usize>,
+    },
+    /// A stage returned an error; the pipeline stops here.
+    StageFailed {
+        /// Stage name.
+        stage: String,
+        /// The error's display text.
+        error: String,
+    },
+    /// Training quarantined one metric instead of failing the run
+    /// (mirrors [`crate::QuarantinedMetric`]).
+    MetricQuarantined {
+        /// The quarantined metric.
+        metric: String,
+        /// Machine-readable reason (`fit_panicked`, `fit_failed`,
+        /// `invariant_violation`).
+        reason: String,
+        /// Human-readable detail from the underlying error.
+        detail: String,
+    },
+    /// Ingest quarantined rows for one reason (mirrors one entry of
+    /// `IngestReport::quarantined_by_reason`).
+    RowsQuarantined {
+        /// Machine-readable quarantine reason.
+        reason: String,
+        /// Number of rows quarantined for this reason.
+        rows: usize,
+    },
+    /// A lenient snapshot load dropped one damaged metric record.
+    SnapshotRecordDropped {
+        /// The dropped metric.
+        metric: String,
+        /// Why the record was unusable.
+        reason: String,
+    },
+    /// A lenient snapshot load completed by dropping records.
+    SnapshotSalvaged {
+        /// Where the snapshot came from (path or description).
+        source: String,
+        /// Records dropped.
+        dropped: usize,
+        /// Records present in the snapshot.
+        total: usize,
+    },
+    /// The capture that produced an ingested dataset was itself flagged
+    /// as degraded (possibly incomplete).
+    CaptureDegraded {
+        /// Dataset label.
+        label: String,
+        /// Why the capture is suspect.
+        reason: String,
+    },
+    /// How much of a stage's error budget a run consumed.
+    BudgetConsumed {
+        /// Stage name.
+        stage: String,
+        /// Fraction of the input quarantined (0.0–1.0).
+        consumed: f64,
+        /// The configured budget (0.0–1.0).
+        budget: f64,
+        /// Whether consumption exceeded the budget.
+        exceeded: bool,
+    },
+    /// A Pareto front was lossily thinned before the right-region fit
+    /// (only with `FitOptions::thin_front`).
+    FrontThinned {
+        /// The metric being fitted.
+        metric: String,
+        /// Front size before thinning.
+        original: usize,
+        /// Front size after thinning.
+        retained: usize,
+        /// The configured `max_front_size` cap.
+        cap: usize,
+    },
+    /// Free-form progress text (the bench bins' narration).
+    Note {
+        /// Stage or context name.
+        stage: String,
+        /// The message.
+        text: String,
+    },
+}
+
+impl Event {
+    /// Machine-readable discriminator, stable across releases (the
+    /// `kind` field of the JSON encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::StageStarted { .. } => "stage_started",
+            Event::StageFinished { .. } => "stage_finished",
+            Event::StageFailed { .. } => "stage_failed",
+            Event::MetricQuarantined { .. } => "metric_quarantined",
+            Event::RowsQuarantined { .. } => "rows_quarantined",
+            Event::SnapshotRecordDropped { .. } => "snapshot_record_dropped",
+            Event::SnapshotSalvaged { .. } => "snapshot_salvaged",
+            Event::CaptureDegraded { .. } => "capture_degraded",
+            Event::BudgetConsumed { .. } => "budget_consumed",
+            Event::FrontThinned { .. } => "front_thinned",
+            Event::Note { .. } => "note",
+        }
+    }
+
+    /// The event's severity; [`Severity::Degraded`] events flip the
+    /// bus's degraded flag, which the CLI maps to exit code 2.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Event::StageFailed { .. } => Severity::Error,
+            Event::MetricQuarantined { .. }
+            | Event::RowsQuarantined { .. }
+            | Event::SnapshotRecordDropped { .. }
+            | Event::SnapshotSalvaged { .. }
+            | Event::CaptureDegraded { .. } => Severity::Degraded,
+            Event::FrontThinned { .. } => Severity::Warning,
+            Event::BudgetConsumed { exceeded, .. } => {
+                if *exceeded {
+                    Severity::Warning
+                } else {
+                    Severity::Info
+                }
+            }
+            _ => Severity::Info,
+        }
+    }
+
+    /// One human-readable line describing the event (the stderr sink's
+    /// rendering, without a prefix).
+    pub fn render(&self) -> String {
+        match self {
+            Event::StageStarted { stage, items_in } => match items_in {
+                Some(n) => format!("stage {stage} started ({n} items)"),
+                None => format!("stage {stage} started"),
+            },
+            Event::StageFinished {
+                stage,
+                wall_ms,
+                items_out,
+                ..
+            } => match items_out {
+                Some(n) => format!("stage {stage} finished in {wall_ms:.1} ms ({n} items out)"),
+                None => format!("stage {stage} finished in {wall_ms:.1} ms"),
+            },
+            Event::StageFailed { stage, error } => format!("stage {stage} failed: {error}"),
+            Event::MetricQuarantined {
+                metric,
+                reason,
+                detail,
+            } => format!("quarantined metric {metric} ({reason}): {detail}"),
+            Event::RowsQuarantined { reason, rows } => {
+                format!("quarantined {rows} rows: {reason}")
+            }
+            Event::SnapshotRecordDropped { metric, reason } => {
+                format!("dropped snapshot record {metric}: {reason}")
+            }
+            Event::SnapshotSalvaged {
+                source,
+                dropped,
+                total,
+            } => format!("salvaged snapshot {source}: {dropped} of {total} metric records dropped"),
+            Event::CaptureDegraded { label, reason } => {
+                format!("capture {label} is degraded: {reason}")
+            }
+            Event::BudgetConsumed {
+                stage,
+                consumed,
+                budget,
+                exceeded,
+            } => format!(
+                "{stage} error budget: consumed {:.1}% of {:.1}%{}",
+                consumed * 100.0,
+                budget * 100.0,
+                if *exceeded { " (EXCEEDED)" } else { "" }
+            ),
+            Event::FrontThinned {
+                metric,
+                original,
+                retained,
+                cap,
+            } => format!(
+                "thinning {metric} Pareto front from {original} to {retained} samples \
+                 (thin_front enabled, max_front_size = {cap})"
+            ),
+            Event::Note { text, .. } => text.clone(),
+        }
+    }
+}
+
+fn field(key: &str, value: Content) -> (Content, Content) {
+    (Content::Str(key.to_owned()), value)
+}
+
+fn opt_usize(v: &Option<usize>) -> Content {
+    match v {
+        Some(n) => Content::U64(*n as u64),
+        None => Content::Null,
+    }
+}
+
+/// Events serialize to a flat map with a `kind` discriminator plus the
+/// variant's fields, so JSON-lines consumers can dispatch on one key.
+impl Serialize for Event {
+    fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = vec![field("kind", Content::Str(self.kind().to_owned()))];
+        match self {
+            Event::StageStarted { stage, items_in } => {
+                entries.push(field("stage", Content::Str(stage.clone())));
+                entries.push(field("items_in", opt_usize(items_in)));
+            }
+            Event::StageFinished {
+                stage,
+                wall_ms,
+                items_in,
+                items_out,
+            } => {
+                entries.push(field("stage", Content::Str(stage.clone())));
+                entries.push(field("wall_ms", Content::F64(*wall_ms)));
+                entries.push(field("items_in", opt_usize(items_in)));
+                entries.push(field("items_out", opt_usize(items_out)));
+            }
+            Event::StageFailed { stage, error } => {
+                entries.push(field("stage", Content::Str(stage.clone())));
+                entries.push(field("error", Content::Str(error.clone())));
+            }
+            Event::MetricQuarantined {
+                metric,
+                reason,
+                detail,
+            } => {
+                entries.push(field("metric", Content::Str(metric.clone())));
+                entries.push(field("reason", Content::Str(reason.clone())));
+                entries.push(field("detail", Content::Str(detail.clone())));
+            }
+            Event::RowsQuarantined { reason, rows } => {
+                entries.push(field("reason", Content::Str(reason.clone())));
+                entries.push(field("rows", Content::U64(*rows as u64)));
+            }
+            Event::SnapshotRecordDropped { metric, reason } => {
+                entries.push(field("metric", Content::Str(metric.clone())));
+                entries.push(field("reason", Content::Str(reason.clone())));
+            }
+            Event::SnapshotSalvaged {
+                source,
+                dropped,
+                total,
+            } => {
+                entries.push(field("source", Content::Str(source.clone())));
+                entries.push(field("dropped", Content::U64(*dropped as u64)));
+                entries.push(field("total", Content::U64(*total as u64)));
+            }
+            Event::CaptureDegraded { label, reason } => {
+                entries.push(field("label", Content::Str(label.clone())));
+                entries.push(field("reason", Content::Str(reason.clone())));
+            }
+            Event::BudgetConsumed {
+                stage,
+                consumed,
+                budget,
+                exceeded,
+            } => {
+                entries.push(field("stage", Content::Str(stage.clone())));
+                entries.push(field("consumed", Content::F64(*consumed)));
+                entries.push(field("budget", Content::F64(*budget)));
+                entries.push(field("exceeded", Content::Bool(*exceeded)));
+            }
+            Event::FrontThinned {
+                metric,
+                original,
+                retained,
+                cap,
+            } => {
+                entries.push(field("metric", Content::Str(metric.clone())));
+                entries.push(field("original", Content::U64(*original as u64)));
+                entries.push(field("retained", Content::U64(*retained as u64)));
+                entries.push(field("cap", Content::U64(*cap as u64)));
+            }
+            Event::Note { stage, text } => {
+                entries.push(field("stage", Content::Str(stage.clone())));
+                entries.push(field("text", Content::Str(text.clone())));
+            }
+        }
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_severity_matches_exit_code_semantics() {
+        assert_eq!(
+            Event::MetricQuarantined {
+                metric: "m".into(),
+                reason: "fit_failed".into(),
+                detail: "d".into(),
+            }
+            .severity(),
+            Severity::Degraded
+        );
+        assert_eq!(
+            Event::FrontThinned {
+                metric: "m".into(),
+                original: 10,
+                retained: 5,
+                cap: 5,
+            }
+            .severity(),
+            Severity::Warning,
+            "requested lossy thinning must not flip the degraded exit code"
+        );
+        assert_eq!(
+            Event::StageFailed {
+                stage: "train".into(),
+                error: "boom".into(),
+            }
+            .severity(),
+            Severity::Error
+        );
+    }
+
+    #[test]
+    fn events_serialize_with_a_kind_discriminator() {
+        let json = serde_json::to_string(&Event::RowsQuarantined {
+            reason: "not_counted".into(),
+            rows: 3,
+        })
+        .unwrap();
+        assert!(json.contains("\"kind\":\"rows_quarantined\""), "{json}");
+        assert!(json.contains("\"rows\":3"), "{json}");
+    }
+}

@@ -1,0 +1,563 @@
+//! The staged pipeline engine: one composable ingest → build → train →
+//! estimate → analyze core shared by the CLI and the bench harness.
+//!
+//! Every stage is a [`Stage`] implementation threaded through a single
+//! [`RunContext`], which owns the run's [`PipelineConfig`] and its
+//! [`DiagnosticsBus`]. The bus replaces ad-hoc report threading: stages
+//! emit typed [`Event`]s (stage start/finish with wall time and item
+//! counts, quarantine decisions, salvage warnings, budget consumption)
+//! into pluggable [`EventSink`]s — a [`CollectingSink`] for tests and the
+//! CLI's renderers, a [`StderrSink`] for humans, a [`JsonLinesSink`] for
+//! machines.
+//!
+//! The engine adds **no** computation of its own: stages call exactly the
+//! library entry points the pre-pipeline callers used
+//! ([`crate::SpireModel::train_with_report`], [`crate::snapshot::load_model`],
+//! [`crate::SpireModel::estimate`], …), so models, snapshots, estimates and
+//! rankings produced through the pipeline are bit-identical to direct API
+//! calls — a guarantee locked by the `pipeline_equivalence` integration
+//! test at the workspace root. See DESIGN.md §8 for the architecture.
+
+pub mod event;
+pub mod stages;
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::ensemble::{TrainConfig, TrainStrictness};
+use crate::snapshot::SnapshotMode;
+
+pub use event::{Event, Severity};
+pub use stages::{AnalyzeStage, BuildStage, EstimateStage, LoadModelStage, TrainStage};
+
+/// Errors flowing out of pipeline stages. Stages wrap heterogeneous
+/// failures (I/O, parse errors, [`crate::SpireError`]), so the engine uses
+/// the widest practical type; typed spire errors pass through unwrapped
+/// and can be downcast.
+pub type StageError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Result alias for stage execution.
+pub type StageResult<T> = Result<T, StageError>;
+
+/// Ingest knobs mirrored into core so [`PipelineConfig`] can be a true
+/// superset of every layer's configuration without a dependency cycle
+/// (spire-counters depends on spire-core, not vice versa). The counters
+/// crate's `IngestStage` converts these into its own `IngestConfig`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestSettings {
+    /// Minimum multiplexing fraction a row needs to be trusted.
+    pub min_running_frac: f64,
+    /// Quarantined-row fraction tolerated before the ingest is declared
+    /// over budget.
+    pub error_budget: f64,
+    /// Whether to scale multiplexed counts by `1/running_frac`.
+    pub scale_multiplexed: bool,
+}
+
+impl Default for IngestSettings {
+    fn default() -> Self {
+        IngestSettings {
+            min_running_frac: 0.05,
+            error_budget: 0.5,
+            scale_multiplexed: true,
+        }
+    }
+}
+
+/// The one configuration object a pipeline run carries: a superset of
+/// [`TrainConfig`] / [`crate::FitOptions`] (via `train.fit`) and the
+/// ingest knobs, plus run-wide policy (strictness, snapshot handling) and
+/// the determinism seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Training configuration (includes fit options and thread count).
+    pub train: TrainConfig,
+    /// Lenient runs quarantine and continue; strict runs fail fast.
+    /// Applies to training and to the ingest error budget.
+    pub strictness: TrainStrictness,
+    /// How snapshot loads treat damaged records.
+    pub snapshot_mode: SnapshotMode,
+    /// Ingest knobs, forwarded to the counters crate's `IngestStage`.
+    pub ingest: IngestSettings,
+    /// Workload-stream seed for stages that synthesize data.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            train: TrainConfig::default(),
+            strictness: TrainStrictness::Lenient,
+            snapshot_mode: SnapshotMode::Lenient,
+            ingest: IngestSettings::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// A destination for diagnostics events. Sinks must be shareable across
+/// the worker threads a stage may spawn.
+pub trait EventSink: Send + Sync {
+    /// Receives one event. Implementations must not panic.
+    fn emit(&self, event: &Event);
+}
+
+/// A sink that stores every event, for tests and for renderers that
+/// replay the stream after the run (the CLI's `--json` envelope).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events collected so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+}
+
+impl EventSink for CollectingSink {
+    fn emit(&self, event: &Event) {
+        if let Ok(mut events) = self.events.lock() {
+            events.push(event.clone());
+        }
+    }
+}
+
+/// A human-readable sink writing one `spire: `-prefixed line per event to
+/// stderr. [`StderrSink::warnings`] restricts it to noteworthy events
+/// (warnings and worse), which is what the CLI attaches by default.
+#[derive(Debug, Clone, Copy)]
+pub struct StderrSink {
+    min: Severity,
+}
+
+impl StderrSink {
+    /// A sink that narrates every event (stage progress included).
+    pub fn verbose() -> Self {
+        StderrSink {
+            min: Severity::Info,
+        }
+    }
+
+    /// A sink that only surfaces warnings, degradations, and failures.
+    pub fn warnings() -> Self {
+        StderrSink {
+            min: Severity::Warning,
+        }
+    }
+}
+
+fn severity_rank(s: Severity) -> u8 {
+    match s {
+        Severity::Info => 0,
+        Severity::Warning => 1,
+        Severity::Degraded => 2,
+        Severity::Error => 3,
+    }
+}
+
+impl EventSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        if severity_rank(event.severity()) >= severity_rank(self.min) {
+            eprintln!("spire: {}", event.render());
+        }
+    }
+}
+
+/// A machine-readable sink writing one compact JSON object per event
+/// (JSON-lines) to any writer.
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps `writer`; each event becomes one `\n`-terminated JSON line.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwraps the inner writer (tests read the buffer back).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonLinesSink<W> {
+    fn emit(&self, event: &Event) {
+        if let (Ok(line), Ok(mut w)) = (serde_json::to_string(event), self.writer.lock()) {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+/// The diagnostics bus: fans events out to the attached sinks and tracks
+/// whether any [`Severity::Degraded`] event was seen — the single source
+/// of truth the CLI derives exit code 2 from.
+#[derive(Default)]
+pub struct DiagnosticsBus {
+    sinks: Vec<Arc<dyn EventSink>>,
+    degraded: AtomicBool,
+}
+
+impl std::fmt::Debug for DiagnosticsBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiagnosticsBus")
+            .field("sinks", &self.sinks.len())
+            .field("degraded", &self.degraded())
+            .finish()
+    }
+}
+
+impl DiagnosticsBus {
+    /// An empty bus with no sinks (events still update the degraded flag).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a sink; every subsequent event is fanned out to it.
+    pub fn add_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Emits one event to every sink and updates the degraded flag.
+    pub fn emit(&self, event: Event) {
+        if event.severity() == Severity::Degraded {
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+        for sink in &self.sinks {
+            sink.emit(&event);
+        }
+    }
+
+    /// Whether any degraded-severity event has been emitted.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything a run threads through its stages: configuration, the
+/// diagnostics bus, and the determinism seed (inside the config). One
+/// `RunContext` is created per pipeline run and passed by mutable
+/// reference down the stage chain — stages never own it.
+#[derive(Debug)]
+pub struct RunContext {
+    /// The run's configuration.
+    pub config: PipelineConfig,
+    bus: DiagnosticsBus,
+}
+
+impl RunContext {
+    /// A context over `config` with an empty bus.
+    pub fn new(config: PipelineConfig) -> Self {
+        RunContext {
+            config,
+            bus: DiagnosticsBus::new(),
+        }
+    }
+
+    /// Builder-style sink attachment.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.bus.add_sink(sink);
+        self
+    }
+
+    /// Attaches a sink to the bus.
+    pub fn add_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.bus.add_sink(sink);
+    }
+
+    /// Emits one event on the bus.
+    pub fn emit(&self, event: Event) {
+        self.bus.emit(event);
+    }
+
+    /// Emits a free-form [`Event::Note`].
+    pub fn note(&self, stage: &str, text: impl Into<String>) {
+        self.emit(Event::Note {
+            stage: stage.to_owned(),
+            text: text.into(),
+        });
+    }
+
+    /// Whether the run has degraded (exit-code-2 semantics).
+    pub fn degraded(&self) -> bool {
+        self.bus.degraded()
+    }
+
+    /// The underlying bus, for sharing with non-stage emitters.
+    pub fn bus(&self) -> &DiagnosticsBus {
+        &self.bus
+    }
+}
+
+/// One typed pipeline stage: consumes `In`, produces `Out`, and reports
+/// its decisions on the [`RunContext`]'s bus.
+///
+/// Implementations override [`Stage::run`]; the provided
+/// [`Stage::execute`] wraps it with start/finish/failure instrumentation
+/// (wall time and item counts), so every stage is observable without
+/// writing any event plumbing.
+pub trait Stage {
+    /// Input type.
+    type In;
+    /// Output type.
+    type Out;
+
+    /// Stable stage name used in events (`ingest`, `train`, …).
+    fn name(&self) -> &'static str;
+
+    /// Input item count for instrumentation, when measurable.
+    fn items_in(&self, _input: &Self::In) -> Option<usize> {
+        None
+    }
+
+    /// Output item count for instrumentation, when measurable.
+    fn items_out(&self, _output: &Self::Out) -> Option<usize> {
+        None
+    }
+
+    /// The stage body.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; errors abort the pipeline run.
+    fn run(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out>;
+
+    /// Runs the stage with bus instrumentation: `StageStarted`, then
+    /// `StageFinished` (wall time + item counts) or `StageFailed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Stage::run`]'s error after emitting `StageFailed`.
+    fn execute(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out> {
+        let items_in = self.items_in(&input);
+        ctx.emit(Event::StageStarted {
+            stage: self.name().to_owned(),
+            items_in,
+        });
+        let start = Instant::now();
+        match self.run(input, ctx) {
+            Ok(output) => {
+                ctx.emit(Event::StageFinished {
+                    stage: self.name().to_owned(),
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                    items_in,
+                    items_out: self.items_out(&output),
+                });
+                Ok(output)
+            }
+            Err(error) => {
+                ctx.emit(Event::StageFailed {
+                    stage: self.name().to_owned(),
+                    error: error.to_string(),
+                });
+                Err(error)
+            }
+        }
+    }
+}
+
+/// Two stages run in sequence; built by [`Pipeline::then`]. `execute` is
+/// overridden to instrument each half individually (no synthetic
+/// chain-level events).
+#[derive(Debug)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Stage for Chain<A, B>
+where
+    A: Stage,
+    B: Stage<In = A::Out>,
+{
+    type In = A::In;
+    type Out = B::Out;
+
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn run(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out> {
+        let mid = self.first.execute(input, ctx)?;
+        self.second.execute(mid, ctx)
+    }
+
+    fn execute(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out> {
+        self.run(input, ctx)
+    }
+}
+
+/// A composed pipeline: a stage (possibly a [`Chain`]) plus the runner
+/// entry point.
+///
+/// ```
+/// use std::sync::Arc;
+/// use spire_core::pipeline::{
+///     BuildStage, CollectingSink, Pipeline, PipelineConfig, RunContext, TrainStage,
+/// };
+/// use spire_core::{Sample, SampleSet};
+///
+/// # fn main() -> Result<(), spire_core::pipeline::StageError> {
+/// let mut set = SampleSet::new();
+/// for i in 1..6 {
+///     set.push(Sample::new("m", 10.0, (5 * i) as f64, (10 - i) as f64)?);
+/// }
+/// let sink = Arc::new(CollectingSink::new());
+/// let mut ctx = RunContext::new(PipelineConfig::default()).with_sink(sink.clone());
+/// let outcome = Pipeline::new(BuildStage)
+///     .then(TrainStage)
+///     .run(vec![("wl".to_owned(), set)], &mut ctx)?;
+/// assert_eq!(outcome.model.metric_count(), 1);
+/// assert!(!sink.events().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Pipeline<S> {
+    stage: S,
+}
+
+impl<S: Stage> Pipeline<S> {
+    /// Starts a pipeline from one stage.
+    pub fn new(stage: S) -> Self {
+        Pipeline { stage }
+    }
+
+    /// Appends a stage whose input is this pipeline's output.
+    pub fn then<T: Stage<In = S::Out>>(self, next: T) -> Pipeline<Chain<S, T>> {
+        Pipeline {
+            stage: Chain {
+                first: self.stage,
+                second: next,
+            },
+        }
+    }
+
+    /// Runs the composed stages over `input`, threading `ctx` throughout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage error; a `StageFailed` event will have
+    /// been emitted for it.
+    pub fn run(&self, input: S::In, ctx: &mut RunContext) -> StageResult<S::Out> {
+        self.stage.execute(input, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Stage for Doubler {
+        type In = Vec<u32>;
+        type Out = Vec<u32>;
+        fn name(&self) -> &'static str {
+            "double"
+        }
+        fn items_in(&self, input: &Vec<u32>) -> Option<usize> {
+            Some(input.len())
+        }
+        fn items_out(&self, output: &Vec<u32>) -> Option<usize> {
+            Some(output.len())
+        }
+        fn run(&self, input: Vec<u32>, _ctx: &mut RunContext) -> StageResult<Vec<u32>> {
+            Ok(input.iter().map(|x| x * 2).collect())
+        }
+    }
+
+    struct Failer;
+    impl Stage for Failer {
+        type In = Vec<u32>;
+        type Out = Vec<u32>;
+        fn name(&self) -> &'static str {
+            "fail"
+        }
+        fn run(&self, _input: Vec<u32>, _ctx: &mut RunContext) -> StageResult<Vec<u32>> {
+            Err("deliberate".into())
+        }
+    }
+
+    #[test]
+    fn execute_instruments_start_and_finish() {
+        let sink = Arc::new(CollectingSink::new());
+        let mut ctx = RunContext::new(PipelineConfig::default()).with_sink(sink.clone());
+        let out = Pipeline::new(Doubler).run(vec![1, 2, 3], &mut ctx).unwrap();
+        assert_eq!(out, [2, 4, 6]);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            Event::StageStarted { stage, items_in: Some(3) } if stage == "double"
+        ));
+        assert!(matches!(
+            &events[1],
+            Event::StageFinished { stage, items_out: Some(3), .. } if stage == "double"
+        ));
+        assert!(!ctx.degraded());
+    }
+
+    #[test]
+    fn chained_stages_emit_per_stage_events_and_stop_on_failure() {
+        let sink = Arc::new(CollectingSink::new());
+        let mut ctx = RunContext::new(PipelineConfig::default()).with_sink(sink.clone());
+        let err = Pipeline::new(Doubler)
+            .then(Failer)
+            .then(Doubler)
+            .run(vec![1], &mut ctx)
+            .unwrap_err();
+        assert_eq!(err.to_string(), "deliberate");
+        let kinds: Vec<&str> = sink.events().iter().map(Event::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "stage_started",
+                "stage_finished",
+                "stage_started",
+                "stage_failed"
+            ],
+            "the third stage must never start"
+        );
+    }
+
+    #[test]
+    fn degraded_events_flip_the_bus_flag() {
+        let ctx = RunContext::new(PipelineConfig::default());
+        assert!(!ctx.degraded());
+        ctx.emit(Event::RowsQuarantined {
+            reason: "unparseable".into(),
+            rows: 1,
+        });
+        assert!(ctx.degraded());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_event() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.emit(&Event::Note {
+            stage: "t".into(),
+            text: "hello".into(),
+        });
+        sink.emit(&Event::RowsQuarantined {
+            reason: "r".into(),
+            rows: 2,
+        });
+        let buf = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = buf.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"note\""));
+        assert!(lines[1].contains("\"rows\":2"));
+    }
+}

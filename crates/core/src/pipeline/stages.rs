@@ -1,0 +1,405 @@
+//! Core [`Stage`] implementations: SampleSet assembly, training, snapshot
+//! loading, estimation, and bottleneck analysis. The ingest stage lives in
+//! `spire-counters` (`spire_counters::pipeline::IngestStage`), which
+//! depends on this crate.
+//!
+//! Every stage delegates to the same library entry point its pre-pipeline
+//! caller used, so pipeline outputs are bit-identical to direct API calls;
+//! the stages add only bus events.
+
+use crate::analysis::BottleneckReport;
+use crate::catalog::MetricCatalog;
+use crate::ensemble::{SpireModel, TrainOutcome, TrainReport};
+use crate::roofline::ThinningNotice;
+use crate::sample::SampleSet;
+use crate::snapshot::load_model;
+
+use super::{Event, RunContext, Stage, StageResult};
+
+/// Assembles one training [`SampleSet`] from labeled per-workload sets
+/// (the pipeline's `Build` step). The merge order is the input order, so
+/// feeding label-sorted entries (a `Dataset`'s natural iteration order)
+/// reproduces `Dataset::merged` exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStage;
+
+impl Stage for BuildStage {
+    type In = Vec<(String, SampleSet)>;
+    type Out = SampleSet;
+
+    fn name(&self) -> &'static str {
+        "build"
+    }
+
+    fn items_in(&self, input: &Self::In) -> Option<usize> {
+        Some(input.len())
+    }
+
+    fn items_out(&self, output: &Self::Out) -> Option<usize> {
+        Some(output.len())
+    }
+
+    fn run(&self, input: Self::In, _ctx: &mut RunContext) -> StageResult<Self::Out> {
+        let mut merged = SampleSet::new();
+        for (_, set) in &input {
+            merged.extend(set.iter());
+        }
+        Ok(merged)
+    }
+}
+
+/// Emits the bus events implied by a finished training run: one
+/// `MetricQuarantined` per quarantined metric, one `FrontThinned` per
+/// lossy thinning decision, and a `BudgetConsumed` summary. Public so
+/// tests (and custom training paths like the fault-injection harness) can
+/// mirror any [`TrainReport`] onto a bus.
+pub fn emit_train_events(report: &TrainReport, notices: &[ThinningNotice], ctx: &RunContext) {
+    for q in &report.quarantined {
+        ctx.emit(Event::MetricQuarantined {
+            metric: q.metric.to_string(),
+            reason: q.reason.as_str().to_owned(),
+            detail: q.detail.clone(),
+        });
+    }
+    for n in notices {
+        ctx.emit(Event::FrontThinned {
+            metric: n.metric.to_string(),
+            original: n.original,
+            retained: n.retained,
+            cap: n.cap,
+        });
+    }
+    ctx.emit(Event::BudgetConsumed {
+        stage: "train".to_owned(),
+        consumed: report.quarantined_fraction(),
+        budget: report.error_budget,
+        exceeded: report.budget_exceeded(),
+    });
+}
+
+/// Fault-isolated training over the context's
+/// [`TrainConfig`](crate::TrainConfig) and strictness; wraps
+/// [`SpireModel::train_with_report`] and mirrors the resulting
+/// [`TrainReport`] onto the bus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainStage;
+
+impl Stage for TrainStage {
+    type In = SampleSet;
+    type Out = TrainOutcome;
+
+    fn name(&self) -> &'static str {
+        "train"
+    }
+
+    fn items_in(&self, input: &Self::In) -> Option<usize> {
+        Some(input.len())
+    }
+
+    fn items_out(&self, output: &Self::Out) -> Option<usize> {
+        Some(output.model.metric_count())
+    }
+
+    fn run(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out> {
+        let outcome =
+            SpireModel::train_with_report(&input, ctx.config.train.clone(), ctx.config.strictness)?;
+        emit_train_events(&outcome.report, &outcome.fit_notices, ctx);
+        Ok(outcome)
+    }
+}
+
+/// Loads a model from snapshot (or legacy raw-model) JSON text in the
+/// context's [`SnapshotMode`](crate::SnapshotMode), mirroring any salvage
+/// onto the bus (`SnapshotSalvaged` plus one `SnapshotRecordDropped` per
+/// dropped record). The caller supplies the text; file I/O stays at the
+/// edges.
+#[derive(Debug, Clone)]
+pub struct LoadModelStage {
+    /// Where the text came from (path or description), for events.
+    pub source: String,
+}
+
+impl Stage for LoadModelStage {
+    type In = String;
+    type Out = SpireModel;
+
+    fn name(&self) -> &'static str {
+        "load-model"
+    }
+
+    fn items_out(&self, output: &Self::Out) -> Option<usize> {
+        Some(output.metric_count())
+    }
+
+    fn run(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out> {
+        let (model, report) = load_model(&input, ctx.config.snapshot_mode)?;
+        if let Some(report) = report {
+            if report.is_degraded() {
+                for d in &report.dropped {
+                    ctx.emit(Event::SnapshotRecordDropped {
+                        metric: d.metric.to_string(),
+                        reason: d.reason.clone(),
+                    });
+                }
+                ctx.emit(Event::SnapshotSalvaged {
+                    source: self.source.clone(),
+                    dropped: report.dropped.len(),
+                    total: report.metrics_total,
+                });
+            }
+        }
+        Ok(model)
+    }
+}
+
+/// Ensemble estimation of one workload under a trained model
+/// ([`SpireModel::estimate`]).
+#[derive(Debug)]
+pub struct EstimateStage<'m> {
+    /// The trained model to estimate under.
+    pub model: &'m SpireModel,
+}
+
+impl Stage for EstimateStage<'_> {
+    type In = SampleSet;
+    type Out = crate::ensemble::Estimate;
+
+    fn name(&self) -> &'static str {
+        "estimate"
+    }
+
+    fn items_in(&self, input: &Self::In) -> Option<usize> {
+        Some(input.len())
+    }
+
+    fn items_out(&self, output: &Self::Out) -> Option<usize> {
+        Some(output.per_metric().len())
+    }
+
+    fn run(&self, input: Self::In, _ctx: &mut RunContext) -> StageResult<Self::Out> {
+        Ok(self.model.estimate(&input)?)
+    }
+}
+
+/// Ranks an estimate into a [`BottleneckReport`] against a metric catalog.
+#[derive(Debug, Clone)]
+pub struct AnalyzeStage {
+    /// The catalog used to annotate ranked metrics.
+    pub catalog: MetricCatalog,
+}
+
+impl Default for AnalyzeStage {
+    fn default() -> Self {
+        AnalyzeStage {
+            catalog: MetricCatalog::table_iii(),
+        }
+    }
+}
+
+impl Stage for AnalyzeStage {
+    type In = crate::ensemble::Estimate;
+    type Out = BottleneckReport;
+
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn items_out(&self, output: &Self::Out) -> Option<usize> {
+        Some(output.rows().len())
+    }
+
+    fn run(&self, input: Self::In, _ctx: &mut RunContext) -> StageResult<Self::Out> {
+        Ok(BottleneckReport::new(&input, &self.catalog))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::super::{CollectingSink, Pipeline, PipelineConfig};
+    use super::*;
+    use crate::ensemble::{TrainConfig, TrainStrictness};
+    use crate::error::SpireError;
+    use crate::roofline::{FitOptions, PiecewiseRoofline};
+    use crate::sample::Sample;
+    use crate::snapshot::ModelSnapshot;
+
+    fn training_set() -> SampleSet {
+        let mut set = SampleSet::new();
+        for m in ["m_alpha", "m_beta", "m_gamma"] {
+            for i in 1..6 {
+                set.push(Sample::new(m, 10.0, (5 * i) as f64, (10 - i) as f64).unwrap());
+            }
+        }
+        set
+    }
+
+    fn ctx_with_sink() -> (super::super::RunContext, Arc<CollectingSink>) {
+        let sink = Arc::new(CollectingSink::new());
+        let ctx = super::super::RunContext::new(PipelineConfig::default()).with_sink(sink.clone());
+        (ctx, sink)
+    }
+
+    #[test]
+    fn build_stage_matches_dataset_merge_order() {
+        let (mut ctx, _sink) = ctx_with_sink();
+        let set = training_set();
+        let merged = BuildStage
+            .execute(vec![("wl".to_owned(), set.clone())], &mut ctx)
+            .unwrap();
+        assert_eq!(merged, set);
+    }
+
+    #[test]
+    fn train_stage_output_is_bit_identical_to_direct_training() {
+        let (mut ctx, _sink) = ctx_with_sink();
+        let set = training_set();
+        let outcome = Pipeline::new(BuildStage)
+            .then(TrainStage)
+            .run(vec![("wl".to_owned(), set.clone())], &mut ctx)
+            .unwrap();
+        let direct =
+            SpireModel::train_with_report(&set, TrainConfig::default(), TrainStrictness::Lenient)
+                .unwrap();
+        assert_eq!(outcome.model, direct.model);
+        assert_eq!(
+            serde_json::to_string(&ModelSnapshot::from_model(&outcome.model).unwrap()).unwrap(),
+            serde_json::to_string(&ModelSnapshot::from_model(&direct.model).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn quarantine_decisions_appear_as_typed_events() {
+        let (ctx, sink) = ctx_with_sink();
+        // Drive a quarantine through the fault-injection seam: one metric's
+        // fit always errs, the others train normally.
+        let outcome = SpireModel::train_with_report_using(
+            &training_set(),
+            TrainConfig::default(),
+            TrainStrictness::Lenient,
+            |column, options| {
+                if column.metric().as_str() == "m_beta" {
+                    Err(SpireError::EmptyWorkload)
+                } else {
+                    PiecewiseRoofline::fit_column(column, options)
+                }
+            },
+        )
+        .unwrap();
+        emit_train_events(&outcome.report, &outcome.fit_notices, &ctx);
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                Event::MetricQuarantined { metric, reason, .. }
+                    if metric == "m_beta" && reason == "fit_failed"
+            )),
+            "{events:?}"
+        );
+        let budget = events
+            .iter()
+            .find(|e| matches!(e, Event::BudgetConsumed { .. }))
+            .expect("budget event");
+        if let Event::BudgetConsumed {
+            consumed,
+            budget,
+            exceeded,
+            ..
+        } = budget
+        {
+            assert!((consumed - 1.0 / 3.0).abs() < 1e-12);
+            assert_eq!(*budget, 0.5);
+            assert!(!exceeded);
+        }
+        assert!(ctx.degraded(), "quarantine must flip the degraded flag");
+    }
+
+    #[test]
+    fn front_thinning_surfaces_as_an_event_not_stderr() {
+        let (ctx, sink) = ctx_with_sink();
+        // A wide front: strictly decreasing throughput right of the apex.
+        let mut set = SampleSet::new();
+        for i in 0..40 {
+            let intensity = 1.0 + i as f64;
+            let throughput = 50.0 - i as f64;
+            set.push(Sample::new("wide", 1.0, intensity * throughput, throughput).unwrap());
+        }
+        let config = TrainConfig {
+            fit: FitOptions {
+                thin_front: true,
+                max_front_size: 8,
+                ..FitOptions::default()
+            },
+            ..TrainConfig::default()
+        };
+        let outcome =
+            SpireModel::train_with_report(&set, config, TrainStrictness::Lenient).unwrap();
+        assert_eq!(outcome.fit_notices.len(), 1);
+        emit_train_events(&outcome.report, &outcome.fit_notices, &ctx);
+        assert!(
+            sink.events().iter().any(|e| matches!(
+                e,
+                Event::FrontThinned { metric, retained: 8, cap: 8, .. } if metric == "wide"
+            )),
+            "{:?}",
+            sink.events()
+        );
+        assert!(
+            !ctx.degraded(),
+            "requested thinning is a warning, not degradation"
+        );
+    }
+
+    #[test]
+    fn load_model_stage_mirrors_salvage_onto_the_bus() {
+        let outcome = SpireModel::train_with_report(
+            &training_set(),
+            TrainConfig::default(),
+            TrainStrictness::Strict,
+        )
+        .unwrap();
+        let mut snapshot = ModelSnapshot::from_model(&outcome.model).unwrap();
+        snapshot.metrics[0].checksum = "0000000000000000".to_owned();
+        let text = snapshot.to_json();
+
+        let (mut ctx, sink) = ctx_with_sink();
+        let stage = LoadModelStage {
+            source: "test.snapshot.json".to_owned(),
+        };
+        let model = stage.execute(text, &mut ctx).unwrap();
+        assert_eq!(model.metric_count(), 2);
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::SnapshotRecordDropped { metric, .. } if metric == "m_alpha"
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::SnapshotSalvaged {
+                dropped: 1,
+                total: 3,
+                ..
+            }
+        )));
+        assert!(ctx.degraded());
+    }
+
+    #[test]
+    fn estimate_and_analyze_stages_match_direct_calls() {
+        let set = training_set();
+        let model = SpireModel::train(&set, TrainConfig::default()).unwrap();
+        let (mut ctx, _sink) = ctx_with_sink();
+        let report = Pipeline::new(EstimateStage { model: &model })
+            .then(AnalyzeStage::default())
+            .run(set.clone(), &mut ctx)
+            .unwrap();
+        let direct =
+            BottleneckReport::new(&model.estimate(&set).unwrap(), &MetricCatalog::table_iii());
+        assert_eq!(report, direct);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
+    }
+}

@@ -72,9 +72,27 @@ pub struct FitOptions {
     /// Opt-in fidelity/memory trade-off: when `true`, fronts larger than
     /// [`max_front_size`](FitOptions::max_front_size) are thinned to that
     /// size (keeping both extremes, evenly spaced interior picks) and a
-    /// note is logged to stderr. When `false` (the default) the front is
-    /// never thinned. Default `false`.
+    /// [`ThinningNotice`] is reported through the logged fit entry points
+    /// (routed onto the diagnostics bus as an
+    /// [`Event::FrontThinned`](crate::pipeline::Event::FrontThinned)).
+    /// When `false` (the default) the front is never thinned. Default
+    /// `false`.
     pub thin_front: bool,
+}
+
+/// One lossy front-thinning decision made during a fit, reported by
+/// [`PiecewiseRoofline::fit_column_logged`] so callers can surface it on
+/// the diagnostics bus instead of losing it to stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThinningNotice {
+    /// The metric whose front was thinned.
+    pub metric: MetricId,
+    /// Front size before thinning.
+    pub original: usize,
+    /// Front size after thinning.
+    pub retained: usize,
+    /// The configured [`FitOptions::max_front_size`] cap.
+    pub cap: usize,
 }
 
 impl Default for FitOptions {
@@ -203,7 +221,7 @@ impl PiecewiseRoofline {
             intensities.push(s.intensity());
             throughputs.push(s.throughput());
         }
-        Self::fit_slices(metric, &intensities, &throughputs, options)
+        Self::fit_slices(metric, &intensities, &throughputs, options).map(|(fit, _)| fit)
     }
 
     /// Fits a roofline directly from a [`MetricColumn`]'s cached derived
@@ -222,6 +240,20 @@ impl PiecewiseRoofline {
     ///
     /// [`fit`]: PiecewiseRoofline::fit
     pub fn fit_column(column: &MetricColumn, options: &FitOptions) -> Result<Self> {
+        Self::fit_column_logged(column, options).map(|(fit, _)| fit)
+    }
+
+    /// [`fit_column`](PiecewiseRoofline::fit_column), additionally
+    /// reporting any lossy [`ThinningNotice`] the fit made instead of
+    /// printing it. The fitted roofline is identical to `fit_column`'s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit_column`](PiecewiseRoofline::fit_column).
+    pub fn fit_column_logged(
+        column: &MetricColumn,
+        options: &FitOptions,
+    ) -> Result<(Self, Option<ThinningNotice>)> {
         Self::fit_slices(
             column.metric().clone(),
             column.intensities(),
@@ -238,7 +270,7 @@ impl PiecewiseRoofline {
         intensities: &[f64],
         throughputs: &[f64],
         options: &FitOptions,
-    ) -> Result<Self> {
+    ) -> Result<(Self, Option<ThinningNotice>)> {
         options.validate()?;
         debug_assert_eq!(intensities.len(), throughputs.len());
         let count = intensities.len();
@@ -257,11 +289,14 @@ impl PiecewiseRoofline {
             }
         }
         if !any_finite {
-            return Ok(PiecewiseRoofline {
-                metric,
-                shape: Shape::Constant(inf_height.unwrap_or(0.0)),
-                training_samples: count,
-            });
+            return Ok((
+                PiecewiseRoofline {
+                    metric,
+                    shape: Shape::Constant(inf_height.unwrap_or(0.0)),
+                    training_samples: count,
+                },
+                None,
+            ));
         }
 
         // Left region: hull from origin to the apex (the SoA kernel skips
@@ -285,15 +320,16 @@ impl PiecewiseRoofline {
         if front.is_empty() {
             front.push(apex);
         }
+        let mut notice = None;
         if options.thin_front && front.len() > options.max_front_size {
             let original = front.len();
             thin_front(&mut front, options.max_front_size);
-            eprintln!(
-                "spire: thinning {metric} Pareto front from {original} to {} samples \
-                 (thin_front enabled, max_front_size = {})",
-                front.len(),
-                options.max_front_size
-            );
+            notice = Some(ThinningNotice {
+                metric: metric.clone(),
+                original,
+                retained: front.len(),
+                cap: options.max_front_size,
+            });
         }
 
         let use_graph = match options.right_fit {
@@ -320,11 +356,14 @@ impl PiecewiseRoofline {
             RightRegion::constant(height.max(apex.y))
         };
 
-        Ok(PiecewiseRoofline {
-            metric,
-            shape: Shape::Full { left, right },
-            training_samples: count,
-        })
+        Ok((
+            PiecewiseRoofline {
+                metric,
+                shape: Shape::Full { left, right },
+                training_samples: count,
+            },
+            notice,
+        ))
     }
 
     /// The metric this roofline models.

@@ -43,6 +43,7 @@ mod coverage;
 mod dataset;
 pub mod ingest;
 pub mod perf;
+pub mod pipeline;
 pub mod proc;
 mod schedule;
 mod session;
@@ -53,6 +54,7 @@ pub use ingest::{
     ingest_perf_csv, EventCoverage, Ingest, IngestConfig, IngestReport, QuarantineReason,
     QuarantinedRow,
 };
+pub use pipeline::IngestStage;
 pub use proc::{run_capture, Capture, CaptureConfig, CaptureOutcome};
 pub use schedule::MultiplexSchedule;
 pub use session::{collect, SessionConfig, SessionReport};

@@ -1,0 +1,189 @@
+//! The counters crate's adapter onto the `spire_core::pipeline` engine:
+//! an [`IngestStage`] that parses `perf stat -I -x,` text under the run's
+//! [`IngestSettings`](spire_core::pipeline::IngestSettings) and mirrors
+//! its [`IngestReport`] onto the diagnostics bus as typed events.
+
+use spire_core::pipeline::{Event, RunContext, Stage, StageResult};
+use spire_core::{SpireError, TrainStrictness};
+
+use crate::ingest::{ingest_perf_csv, Ingest, IngestConfig, IngestReport};
+
+/// Converts the core-side ingest knobs into this crate's [`IngestConfig`]
+/// (work/time events and detail caps keep their defaults).
+pub fn ingest_config_from(settings: &spire_core::pipeline::IngestSettings) -> IngestConfig {
+    IngestConfig {
+        min_running_frac: settings.min_running_frac,
+        error_budget: settings.error_budget,
+        scale_multiplexed: settings.scale_multiplexed,
+        ..IngestConfig::default()
+    }
+}
+
+/// Emits the bus events implied by a finished ingest: one
+/// `RowsQuarantined` per quarantine reason, a `CaptureDegraded` when the
+/// supervision layer flagged the capture, and a `BudgetConsumed` summary.
+/// Public so callers that ingest outside the stage (the proc supervisor)
+/// can mirror their reports too.
+pub fn emit_ingest_events(label: &str, report: &IngestReport, ctx: &RunContext) {
+    for (reason, rows) in &report.quarantined_by_reason {
+        ctx.emit(Event::RowsQuarantined {
+            reason: reason.clone(),
+            rows: *rows,
+        });
+    }
+    if report.degraded {
+        ctx.emit(Event::CaptureDegraded {
+            label: label.to_owned(),
+            reason: report
+                .degraded_reason
+                .clone()
+                .unwrap_or_else(|| "capture flagged as incomplete".to_owned()),
+        });
+    }
+    ctx.emit(Event::BudgetConsumed {
+        stage: "ingest".to_owned(),
+        consumed: report.quarantined_fraction(),
+        budget: report.error_budget,
+        exceeded: report.budget_exceeded(),
+    });
+}
+
+/// Fault-tolerant `perf stat` CSV ingest as a pipeline stage.
+///
+/// Input is the raw CSV text (file I/O stays at the edges); output is the
+/// full [`Ingest`] (samples + report) so callers keep the provenance. The
+/// stage is lenient by default; under
+/// [`TrainStrictness::Strict`] it fails with
+/// [`SpireError::ErrorBudgetExceeded`] when quarantined rows exceed the
+/// configured budget, exactly like `spire ingest --strict`.
+#[derive(Debug, Clone)]
+pub struct IngestStage {
+    /// Dataset label the samples will be stored under (used in events).
+    pub label: String,
+}
+
+impl Stage for IngestStage {
+    type In = String;
+    type Out = Ingest;
+
+    fn name(&self) -> &'static str {
+        "ingest"
+    }
+
+    fn items_in(&self, input: &Self::In) -> Option<usize> {
+        Some(input.lines().count())
+    }
+
+    fn items_out(&self, output: &Self::Out) -> Option<usize> {
+        Some(output.samples.len())
+    }
+
+    fn run(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out> {
+        let config = ingest_config_from(&ctx.config.ingest);
+        config.validate()?;
+        let out = ingest_perf_csv(&input, &config);
+        emit_ingest_events(&self.label, &out.report, ctx);
+        if ctx.config.strictness == TrainStrictness::Strict && out.report.budget_exceeded() {
+            return Err(SpireError::ErrorBudgetExceeded {
+                quarantined: out.report.rows_quarantined,
+                total: out.report.rows_seen,
+                budget: out.report.error_budget,
+            }
+            .into());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use spire_core::pipeline::{CollectingSink, PipelineConfig};
+
+    use super::*;
+
+    const MIXED_CSV: &str = "1.0,100,,inst_retired.any,1,100,,\n\
+         1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
+         1.0,7,,longest_lat_cache.miss,250000,25.00,,\n\
+         broken line\n";
+
+    fn ctx_with_sink(strictness: TrainStrictness) -> (RunContext, Arc<CollectingSink>) {
+        let sink = Arc::new(CollectingSink::new());
+        let config = PipelineConfig {
+            strictness,
+            ..PipelineConfig::default()
+        };
+        let ctx = RunContext::new(config).with_sink(sink.clone());
+        (ctx, sink)
+    }
+
+    #[test]
+    fn quarantined_rows_surface_as_typed_events() {
+        let (mut ctx, sink) = ctx_with_sink(TrainStrictness::Lenient);
+        let stage = IngestStage {
+            label: "mux".to_owned(),
+        };
+        let out = stage.execute(MIXED_CSV.to_owned(), &mut ctx).unwrap();
+        assert_eq!(out.samples.len(), 1);
+        assert_eq!(out.report.rows_quarantined, 1);
+        let events = sink.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::RowsQuarantined { rows: 1, .. })),
+            "{events:?}"
+        );
+        let budget = events
+            .iter()
+            .find(|e| matches!(e, Event::BudgetConsumed { .. }))
+            .expect("budget event");
+        if let Event::BudgetConsumed {
+            stage, exceeded, ..
+        } = budget
+        {
+            assert_eq!(stage, "ingest");
+            assert!(!exceeded);
+        }
+        assert!(ctx.degraded(), "quarantined rows flag partial success");
+    }
+
+    #[test]
+    fn strict_ingest_fails_over_budget_after_emitting_events() {
+        let (mut ctx, sink) = ctx_with_sink(TrainStrictness::Strict);
+        let stage = IngestStage {
+            label: "junk".to_owned(),
+        };
+        let err = stage
+            .execute("junk\nmore junk\nstill junk\n".to_owned(), &mut ctx)
+            .unwrap_err();
+        assert!(err.to_string().contains("error budget"), "{err}");
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::BudgetConsumed { exceeded: true, .. })));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::StageFailed { .. })),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn clean_ingest_emits_no_degrading_events() {
+        let (mut ctx, sink) = ctx_with_sink(TrainStrictness::Lenient);
+        let stage = IngestStage {
+            label: "clean".to_owned(),
+        };
+        let clean = "1.0,100,,inst_retired.any,1,100,,\n\
+             1.0,50,,cpu_clk_unhalted.thread,1,100,,\n\
+             1.0,7,,longest_lat_cache.miss,1,100,,\n";
+        stage.execute(clean.to_owned(), &mut ctx).unwrap();
+        assert!(!ctx.degraded());
+        assert!(sink
+            .events()
+            .iter()
+            .all(|e| !matches!(e, Event::RowsQuarantined { .. })));
+    }
+}

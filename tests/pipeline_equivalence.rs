@@ -1,0 +1,138 @@
+//! Locks the pipeline engine's bit-identical guarantee: models,
+//! snapshots, estimates, and bottleneck rankings produced through
+//! `spire_core::pipeline` stages are byte-for-byte equal to the same
+//! artifacts produced by direct library calls — at both `--threads 1`
+//! (serial) and `--threads 0` (auto parallel).
+
+use spire_core::catalog::MetricCatalog;
+use spire_core::pipeline::{
+    AnalyzeStage, BuildStage, EstimateStage, Pipeline, PipelineConfig, RunContext, Stage,
+    TrainStage,
+};
+use spire_core::{
+    BottleneckReport, ModelSnapshot, Sample, SampleSet, SpireModel, TrainConfig, TrainStrictness,
+};
+use spire_counters::Dataset;
+
+/// A deterministic multi-workload, multi-metric dataset with enough
+/// spread to exercise both hull and graph fitting.
+fn fixture_dataset() -> Dataset {
+    let mut ds = Dataset::new();
+    for (w, label) in ["wl_a", "wl_b", "wl_c"].iter().enumerate() {
+        let mut set = SampleSet::new();
+        for (m, metric) in ["m_alpha", "m_beta", "m_gamma", "m_delta"]
+            .iter()
+            .enumerate()
+        {
+            for i in 1..14 {
+                let x = (i * (m + 2) + w) as f64;
+                let y = 40.0 - (i as f64) - (w as f64) * 0.5;
+                set.push(Sample::new(*metric, 10.0 + w as f64, x, y.max(1.0)).unwrap());
+            }
+        }
+        ds.insert(*label, set);
+    }
+    ds
+}
+
+fn labeled_sets(dataset: &Dataset) -> Vec<(String, SampleSet)> {
+    dataset
+        .iter()
+        .map(|(label, set)| (label.to_owned(), set.clone()))
+        .collect()
+}
+
+#[test]
+fn pipeline_artifacts_are_bit_identical_to_direct_api() {
+    let dataset = fixture_dataset();
+    for threads in [1usize, 0] {
+        let config = TrainConfig {
+            threads,
+            ..TrainConfig::default()
+        };
+
+        // Direct API path (the pre-refactor CLI/bench code path).
+        let direct = SpireModel::train_with_report(
+            &dataset.merged(),
+            config.clone(),
+            TrainStrictness::Lenient,
+        )
+        .unwrap();
+        let direct_snapshot = ModelSnapshot::from_model(&direct.model).unwrap().to_json();
+        let samples = dataset.get("wl_b").unwrap();
+        let direct_estimate = direct.model.estimate(samples).unwrap();
+        let direct_report = BottleneckReport::new(&direct_estimate, &MetricCatalog::table_iii());
+
+        // Pipeline path: Build -> Train, then Estimate -> Analyze.
+        let mut ctx = RunContext::new(PipelineConfig {
+            train: config,
+            ..PipelineConfig::default()
+        });
+        let outcome = Pipeline::new(BuildStage)
+            .then(TrainStage)
+            .run(labeled_sets(&dataset), &mut ctx)
+            .unwrap();
+        let pipe_snapshot = ModelSnapshot::from_model(&outcome.model).unwrap().to_json();
+        let pipe_estimate = EstimateStage {
+            model: &outcome.model,
+        }
+        .execute(samples.clone(), &mut ctx)
+        .unwrap();
+        let pipe_report = AnalyzeStage::default()
+            .execute(pipe_estimate.clone(), &mut ctx)
+            .unwrap();
+
+        // Serialized artifacts must match byte for byte.
+        assert_eq!(
+            serde_json::to_string(&direct.model).unwrap(),
+            serde_json::to_string(&outcome.model).unwrap(),
+            "model JSON diverged at threads={threads}"
+        );
+        assert_eq!(
+            direct_snapshot, pipe_snapshot,
+            "snapshot bytes diverged at threads={threads}"
+        );
+        assert_eq!(
+            serde_json::to_string(&direct_estimate).unwrap(),
+            serde_json::to_string(&pipe_estimate).unwrap(),
+            "estimate JSON diverged at threads={threads}"
+        );
+        assert_eq!(
+            direct_report.rows(),
+            pipe_report.rows(),
+            "ranking diverged at threads={threads}"
+        );
+        assert_eq!(direct_report.throughput(), pipe_report.throughput());
+        assert_eq!(
+            serde_json::to_string(&direct.report).unwrap(),
+            serde_json::to_string(&outcome.report).unwrap(),
+            "train report diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_training_agree_through_the_pipeline() {
+    // The two thread settings must also agree with each other (the
+    // engine preserves the library's determinism guarantee).
+    let dataset = fixture_dataset();
+    let mut models = Vec::new();
+    for threads in [1usize, 0] {
+        let mut ctx = RunContext::new(PipelineConfig {
+            train: TrainConfig {
+                threads,
+                ..TrainConfig::default()
+            },
+            ..PipelineConfig::default()
+        });
+        let mut outcome = Pipeline::new(BuildStage)
+            .then(TrainStage)
+            .run(labeled_sets(&dataset), &mut ctx)
+            .unwrap();
+        // The model records the thread setting it was trained with;
+        // normalize it so the comparison covers the learned rooflines.
+        outcome.model.set_threads(1);
+        models.push(serde_json::to_string(&outcome.model).unwrap());
+    }
+    assert_eq!(models[0], models[1]);
+}
