@@ -14,6 +14,7 @@ pub(crate) mod json;
 pub(crate) mod plot;
 pub(crate) mod sim;
 pub(crate) mod train;
+pub(crate) mod update;
 
 pub(crate) mod estimate;
 

@@ -1,12 +1,17 @@
 //! `spire train`: dataset → Build → Train through the pipeline engine,
-//! with model/snapshot persistence at the edges.
+//! with model/snapshot persistence at the edges. With `--incremental`
+//! the labeled sets feed an [`OnlineTrainer`] one batch per workload
+//! through [`UpdateStage`] instead of one monolithic fit — the result is
+//! bit-identical, and the per-batch `model_refit`/`model_unchanged`
+//! events show how much of the model each workload actually moved.
 
 use std::fmt::Write as _;
+use std::path::Path;
 
 use serde::Content;
 use spire_core::pipeline::Pipeline;
-use spire_core::pipeline::{BuildStage, TrainStage};
-use spire_core::ModelSnapshot;
+use spire_core::pipeline::{BuildStage, Stage, TrainStage, UpdateStage};
+use spire_core::{write_atomic, ModelSnapshot, OnlineTrainer, TrainOutcome};
 use spire_counters::Dataset;
 
 use crate::args::Args;
@@ -38,19 +43,44 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         }
         log.push('\n');
     }
-    let outcome = Pipeline::new(BuildStage)
-        .then(TrainStage)
-        .run(labeled_sets(&dataset), &mut runner.ctx)?;
+    let outcome = if args.flag("incremental") {
+        let mut trainer = OnlineTrainer::new(
+            runner.ctx.config.train.clone(),
+            runner.ctx.config.strictness,
+        )?;
+        let mut last = None;
+        for (label, set) in labeled_sets(&dataset) {
+            let (next, outcome) = UpdateStage.execute((trainer, set), &mut runner.ctx)?;
+            trainer = next;
+            writeln!(log, "{label}: {}", outcome.update.summary())?;
+            last = Some(outcome);
+        }
+        let last = last.ok_or("dataset has no workloads")?;
+        log.push('\n');
+        let model = trainer
+            .model()
+            .cloned()
+            .ok_or("incremental training committed no model")?;
+        TrainOutcome {
+            model,
+            report: last.report,
+            fit_notices: last.fit_notices,
+        }
+    } else {
+        Pipeline::new(BuildStage)
+            .then(TrainStage)
+            .run(labeled_sets(&dataset), &mut runner.ctx)?
+    };
     writeln!(log, "{}", outcome.report.to_table(10))?;
     if let Some(path) = out_path {
-        std::fs::write(path, serde_json::to_string(&outcome.model)?)?;
+        write_atomic(Path::new(path), &serde_json::to_string(&outcome.model)?)?;
         writeln!(log, "wrote model to {path}")?;
     }
     if let Some(path) = snapshot_path {
         let snapshot = ModelSnapshot::from_model(&outcome.model)?
             .with_provenance(dataset.provenance(Some(data_path)))
             .with_train_report(outcome.report.clone());
-        std::fs::write(path, snapshot.to_json())?;
+        write_atomic(Path::new(path), &snapshot.to_json())?;
         writeln!(
             log,
             "wrote snapshot (format v{}, {} checksummed records) to {path}",

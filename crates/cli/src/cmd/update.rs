@@ -1,0 +1,117 @@
+//! `spire update`: incremental model maintenance. Seeds an
+//! [`OnlineTrainer`] from the base dataset, feeds each positional batch
+//! file through [`UpdateStage`], and persists the result as an updated
+//! snapshot and/or a delta (changed metric records only) against the
+//! existing snapshot — both written atomically.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use spire_core::pipeline::{Stage, UpdateStage};
+use spire_core::{write_atomic, ModelSnapshot, OnlineTrainer, SnapshotDelta, UpdateOutcome};
+use spire_counters::Dataset;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{json, CmdError, Runner};
+
+/// The trainer's maintained model (present after every successful commit).
+fn seeded_model(trainer: &OnlineTrainer) -> Result<&spire_core::SpireModel, CmdError> {
+    trainer
+        .model()
+        .ok_or_else(|| "update committed no model".into())
+}
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let data_path = args.require("data")?;
+    let snapshot_out = args.get("snapshot-out");
+    let delta_out = args.get("out-delta");
+    if snapshot_out.is_none() && delta_out.is_none() {
+        return Err("update requires --snapshot-out and/or --out-delta".into());
+    }
+    let base_text = std::fs::read_to_string(model_path)
+        .map_err(|e| format!("cannot read snapshot {model_path}: {e}"))?;
+    let base = ModelSnapshot::from_json(&base_text)?;
+
+    let mut runner = Runner::from_args(args)?;
+    // An update must be fit-compatible with the base snapshot, so the
+    // training options come from the snapshot itself; only the thread
+    // count is a run-time choice.
+    let mut config = base.config.clone();
+    config.threads = args.get_or("threads", config.threads)?;
+    let strictness = runner.ctx.config.strictness;
+
+    let mut log = String::new();
+    let mut trainer = OnlineTrainer::new(config, strictness)?;
+
+    // Batch 0: the base dataset the snapshot was trained from.
+    let dataset = Dataset::load(data_path)?;
+    let (next, outcome) = UpdateStage.execute((trainer, dataset.merged()), &mut runner.ctx)?;
+    trainer = next;
+    let mut last: UpdateOutcome = outcome;
+    writeln!(
+        log,
+        "seeded from {data_path}: {} samples, {} metrics",
+        last.update.samples_added,
+        seeded_model(&trainer)?.metric_count()
+    )?;
+    if ModelSnapshot::from_model(seeded_model(&trainer)?)?.fingerprint() != base.fingerprint() {
+        writeln!(
+            log,
+            "warning: base dataset does not reproduce snapshot {model_path} \
+             (fingerprints differ); the delta will carry every divergent metric"
+        )?;
+    }
+
+    let batch_paths = &args.positionals()[1..];
+    let mut samples_added = 0usize;
+    for path in batch_paths {
+        let batch = Dataset::load(path)?;
+        let (next, outcome) = UpdateStage.execute((trainer, batch.merged()), &mut runner.ctx)?;
+        trainer = next;
+        samples_added += outcome.update.samples_added;
+        writeln!(log, "{path}: {}", outcome.update.summary())?;
+        last = outcome;
+    }
+
+    let model = seeded_model(&trainer)?;
+    let updated = ModelSnapshot::from_model(model)?
+        .with_provenance(dataset.provenance(Some(data_path)))
+        .with_train_report(last.report.clone());
+    if let Some(path) = snapshot_out {
+        write_atomic(Path::new(path), &updated.to_json())?;
+        writeln!(
+            log,
+            "wrote updated snapshot (format v{}, {} checksummed records) to {path}",
+            spire_core::SNAPSHOT_FORMAT_VERSION,
+            model.metric_count()
+        )?;
+    }
+    let delta = SnapshotDelta::between(&base, &updated);
+    if let Some(path) = delta_out {
+        write_atomic(Path::new(path), &delta.to_json())?;
+        writeln!(
+            log,
+            "wrote delta ({} changed, {} removed of {} records) to {path}",
+            delta.changed.len(),
+            delta.removed.len(),
+            updated.metrics.len()
+        )?;
+    }
+
+    let result = json::obj(vec![
+        ("model", json::s(model_path)),
+        ("data", json::s(data_path)),
+        ("snapshot_out", json::opt_s(snapshot_out)),
+        ("delta_out", json::opt_s(delta_out)),
+        ("batches", json::u(batch_paths.len())),
+        ("samples_added", json::u(samples_added)),
+        ("metrics", json::u(model.metric_count())),
+        ("changed_records", json::u(delta.changed.len())),
+        ("removed_records", json::u(delta.removed.len())),
+        ("update", serde::to_content(&last.update)),
+    ]);
+    runner.finish(args, "update", log, result)
+}

@@ -79,12 +79,26 @@ COMMANDS:
             [--thin-front]            quarantined up to --metric-budget
             [--strict]                (default 0.5) unless --strict, which
             [--ingest-report]         fails on the first bad metric.
-                                      --ingest-report prints the stored
+            [--incremental]           --ingest-report prints the stored
                                       ingest provenance before training.
                                       --thin-front re-enables lossy Pareto
                                       front thinning above --max-front
                                       samples (default 2048); without it
                                       the full front is always fitted.
+                                      --incremental trains through the
+                                      online maintenance layer, one batch
+                                      per workload (identical model).
+  update    --model SNAPSHOT          incrementally update an existing
+            --data FILE [BATCH...]    snapshot: --data is the dataset the
+            [--snapshot-out FILE]     snapshot was trained from, each
+            [--out-delta FILE]        positional BATCH is a dataset of new
+            [--threads N] [--strict]  samples. Only metrics whose Pareto
+                                      front moved are refitted.
+                                      --snapshot-out writes the updated
+                                      snapshot, --out-delta a delta with
+                                      the changed records only (at least
+                                      one of the two is required); both
+                                      writes are atomic.
   analyze   --model FILE --data FILE  rank bottleneck metrics for a workload
             --workload LABEL          (--model accepts a snapshot or raw
             [--top K] [--threads N]   model JSON; corrupted snapshot
@@ -130,6 +144,7 @@ pub(crate) const BOOL_FLAGS: &[&str] = &[
     "strict",
     "no-scale",
     "thin-front",
+    "incremental",
     "json",
 ];
 
@@ -149,6 +164,7 @@ pub fn run(argv: &[String]) -> CmdResult {
         "simulate" => cmd::sim::simulate(&args),
         "collect" => cmd::collect::run(&args),
         "train" => cmd::train::run(&args),
+        "update" => cmd::update::run(&args),
         "analyze" => cmd::analyze::run(&args),
         "estimate" => cmd::estimate::run(&args),
         "tma" => cmd::sim::tma(&args),

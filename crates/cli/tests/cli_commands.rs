@@ -483,3 +483,137 @@ fn import_perf_round_trips() {
     assert_eq!(ds.get("real-cpu").unwrap().len(), 1);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn train_incremental_matches_batch_training() {
+    let dir = std::env::temp_dir().join("spire-cli-incr-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.json");
+    write_dataset(&data);
+    let batch_snap = dir.join("batch.snapshot.json");
+    let incr_snap = dir.join("incr.snapshot.json");
+
+    run_str(&[
+        "train",
+        "--data",
+        data.to_str().unwrap(),
+        "--snapshot",
+        batch_snap.to_str().unwrap(),
+    ])
+    .unwrap();
+    let out = run_str(&[
+        "train",
+        "--data",
+        data.to_str().unwrap(),
+        "--snapshot",
+        incr_snap.to_str().unwrap(),
+        "--incremental",
+    ])
+    .unwrap();
+    assert!(out.contains("wl: +15 samples"), "{}", out.text);
+
+    let batch = ModelSnapshot::from_json(&std::fs::read_to_string(&batch_snap).unwrap()).unwrap();
+    let incr = ModelSnapshot::from_json(&std::fs::read_to_string(&incr_snap).unwrap()).unwrap();
+    assert_eq!(batch.fingerprint(), incr.fingerprint());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn update_command_matches_retraining_and_writes_an_applicable_delta() {
+    let dir = std::env::temp_dir().join("spire-cli-update-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base_data = dir.join("base.json");
+    let base_ds = write_dataset(&base_data);
+
+    // New samples for one metric only; the other two stay untouched.
+    let mut extra = SampleSet::new();
+    for i in 6..9 {
+        extra.push(Sample::new("m_alpha", 10.0, (5 * i) as f64, (10 - i) as f64).unwrap());
+    }
+    let batch_data = dir.join("batch.json");
+    let mut batch_ds = Dataset::new();
+    batch_ds.insert("wl2", extra.clone());
+    batch_ds.save(&batch_data).unwrap();
+
+    let base_snap = dir.join("base.snapshot.json");
+    run_str(&[
+        "train",
+        "--data",
+        base_data.to_str().unwrap(),
+        "--snapshot",
+        base_snap.to_str().unwrap(),
+    ])
+    .unwrap();
+
+    let updated_snap = dir.join("updated.snapshot.json");
+    let delta_path = dir.join("delta.json");
+    let out = run_str(&[
+        "update",
+        "--model",
+        base_snap.to_str().unwrap(),
+        "--data",
+        base_data.to_str().unwrap(),
+        batch_data.to_str().unwrap(),
+        "--snapshot-out",
+        updated_snap.to_str().unwrap(),
+        "--out-delta",
+        delta_path.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("wrote updated snapshot"), "{}", out.text);
+    assert!(out.contains("wrote delta"), "{}", out.text);
+    assert!(
+        !out.contains("fingerprints differ"),
+        "base dataset must reproduce the snapshot: {}",
+        out.text
+    );
+
+    // The updated snapshot must equal a full retrain over base + batch.
+    let full_data = dir.join("full.json");
+    let mut full_ds = Dataset::new();
+    full_ds.insert("wl", base_ds.get("wl").unwrap().clone());
+    full_ds.insert("wl2", extra);
+    full_ds.save(&full_data).unwrap();
+    let full_snap = dir.join("full.snapshot.json");
+    run_str(&[
+        "train",
+        "--data",
+        full_data.to_str().unwrap(),
+        "--snapshot",
+        full_snap.to_str().unwrap(),
+    ])
+    .unwrap();
+    let updated =
+        ModelSnapshot::from_json(&std::fs::read_to_string(&updated_snap).unwrap()).unwrap();
+    let full = ModelSnapshot::from_json(&std::fs::read_to_string(&full_snap).unwrap()).unwrap();
+    assert_eq!(updated.fingerprint(), full.fingerprint());
+
+    // The delta applies to the base snapshot and reproduces the update,
+    // carrying only the metric whose front moved.
+    let base = ModelSnapshot::from_json(&std::fs::read_to_string(&base_snap).unwrap()).unwrap();
+    let delta =
+        spire_core::SnapshotDelta::from_json(&std::fs::read_to_string(&delta_path).unwrap())
+            .unwrap();
+    assert_eq!(delta.changed.len(), 1);
+    assert_eq!(delta.changed[0].metric.as_str(), "m_alpha");
+    let applied = delta.apply(&base).unwrap();
+    assert_eq!(applied.fingerprint(), updated.fingerprint());
+
+    // No temp files left behind by the atomic writes.
+    let stray: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(stray.is_empty(), "{stray:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn update_requires_an_output() {
+    let err = run_str(&["update", "--model", "x.json", "--data", "y.json"]).unwrap_err();
+    assert!(err
+        .to_string()
+        .contains("--snapshot-out and/or --out-delta"));
+}

@@ -601,6 +601,18 @@ impl SpireModel {
         }
     }
 
+    /// Mutable access to the per-metric rooflines, for the online
+    /// maintenance layer's in-place patching.
+    pub(crate) fn rooflines_mut(&mut self) -> &mut BTreeMap<MetricId, PiecewiseRoofline> {
+        &mut self.rooflines
+    }
+
+    /// Replaces the skipped-metric list (online maintenance recomputes it
+    /// each commit).
+    pub(crate) fn set_skipped_metrics(&mut self, skipped_metrics: Vec<MetricId>) {
+        self.skipped_metrics = skipped_metrics;
+    }
+
     /// Estimates a workload's maximum attainable throughput (paper Fig. 4):
     /// per-sample roofline estimates, merged per metric (Eq. 1), reduced
     /// over metrics.

@@ -70,6 +70,7 @@ mod error;
 pub mod fault;
 pub mod geometry;
 pub mod graph;
+pub mod online;
 pub mod parallel;
 pub mod pipeline;
 pub mod roofline;
@@ -83,12 +84,13 @@ pub use ensemble::{
     TrainConfig, TrainOutcome, TrainQuarantineReason, TrainReport, TrainStrictness,
 };
 pub use error::{Result, SpireError};
+pub use online::{OnlineTrainer, UpdateOutcome, UpdateReport};
 pub use pipeline::{
     CollectingSink, DiagnosticsBus, EventSink, Pipeline, PipelineConfig, RunContext, Stage,
 };
 pub use roofline::{FitOptions, PiecewiseRoofline, RightFitMode, RightRegion, ThinningNotice};
 pub use sample::{MetricColumn, MetricId, Sample, SampleIter, SampleSet};
 pub use snapshot::{
-    ModelSnapshot, SnapshotLoad, SnapshotMode, SnapshotProvenance, SnapshotReport,
-    SNAPSHOT_FORMAT_VERSION,
+    write_atomic, ModelSnapshot, SnapshotDelta, SnapshotLoad, SnapshotMode, SnapshotProvenance,
+    SnapshotReport, SNAPSHOT_FORMAT_VERSION,
 };

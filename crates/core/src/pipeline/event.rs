@@ -120,6 +120,22 @@ pub enum Event {
         /// The configured `max_front_size` cap.
         cap: usize,
     },
+    /// An incremental update refitted one metric (mirrors one entry of
+    /// [`crate::UpdateReport`]'s `refit_full`/`refit_right` lists).
+    ModelRefit {
+        /// The refitted metric.
+        metric: String,
+        /// Refit scope: `full` (complete refit from the metric's column)
+        /// or `right` (patched right-region refit from the maintained
+        /// Pareto front).
+        mode: String,
+    },
+    /// An incremental update left one metric's model untouched because
+    /// every new sample was dominated by the maintained Pareto front.
+    ModelUnchanged {
+        /// The unchanged metric.
+        metric: String,
+    },
     /// Free-form progress text (the bench bins' narration).
     Note {
         /// Stage or context name.
@@ -144,6 +160,8 @@ impl Event {
             Event::CaptureDegraded { .. } => "capture_degraded",
             Event::BudgetConsumed { .. } => "budget_consumed",
             Event::FrontThinned { .. } => "front_thinned",
+            Event::ModelRefit { .. } => "model_refit",
+            Event::ModelUnchanged { .. } => "model_unchanged",
             Event::Note { .. } => "note",
         }
     }
@@ -227,6 +245,12 @@ impl Event {
                 "thinning {metric} Pareto front from {original} to {retained} samples \
                  (thin_front enabled, max_front_size = {cap})"
             ),
+            Event::ModelRefit { metric, mode } => {
+                format!("refit metric {metric} ({mode})")
+            }
+            Event::ModelUnchanged { metric } => {
+                format!("metric {metric} unchanged (all new samples dominated)")
+            }
             Event::Note { text, .. } => text.clone(),
         }
     }
@@ -319,6 +343,13 @@ impl Serialize for Event {
                 entries.push(field("original", Content::U64(*original as u64)));
                 entries.push(field("retained", Content::U64(*retained as u64)));
                 entries.push(field("cap", Content::U64(*cap as u64)));
+            }
+            Event::ModelRefit { metric, mode } => {
+                entries.push(field("metric", Content::Str(metric.clone())));
+                entries.push(field("mode", Content::Str(mode.clone())));
+            }
+            Event::ModelUnchanged { metric } => {
+                entries.push(field("metric", Content::Str(metric.clone())));
             }
             Event::Note { stage, text } => {
                 entries.push(field("stage", Content::Str(stage.clone())));

@@ -30,7 +30,9 @@ use crate::ensemble::{TrainConfig, TrainStrictness};
 use crate::snapshot::SnapshotMode;
 
 pub use event::{Event, Severity};
-pub use stages::{AnalyzeStage, BuildStage, EstimateStage, LoadModelStage, TrainStage};
+pub use stages::{
+    AnalyzeStage, BuildStage, EstimateStage, LoadModelStage, TrainStage, UpdateStage,
+};
 
 /// Errors flowing out of pipeline stages. Stages wrap heterogeneous
 /// failures (I/O, parse errors, [`crate::SpireError`]), so the engine uses

@@ -10,6 +10,7 @@
 use crate::analysis::BottleneckReport;
 use crate::catalog::MetricCatalog;
 use crate::ensemble::{SpireModel, TrainOutcome, TrainReport};
+use crate::online::{OnlineTrainer, UpdateOutcome};
 use crate::roofline::ThinningNotice;
 use crate::sample::SampleSet;
 use crate::snapshot::load_model;
@@ -105,6 +106,59 @@ impl Stage for TrainStage {
             SpireModel::train_with_report(&input, ctx.config.train.clone(), ctx.config.strictness)?;
         emit_train_events(&outcome.report, &outcome.fit_notices, ctx);
         Ok(outcome)
+    }
+}
+
+/// Incremental model maintenance: feeds one sample batch into an
+/// [`OnlineTrainer`] and commits, mirroring the resulting
+/// [`UpdateReport`](crate::UpdateReport) onto the bus — one `ModelRefit`
+/// per refitted metric (`mode` distinguishes full refits from patched
+/// right-region refits), one `ModelUnchanged` per metric whose new
+/// samples were all dominated, plus the usual train events (quarantines,
+/// thinning, budget). The trainer threads through as part of the output
+/// so callers can chain further batches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateStage;
+
+impl Stage for UpdateStage {
+    type In = (OnlineTrainer, SampleSet);
+    type Out = (OnlineTrainer, UpdateOutcome);
+
+    fn name(&self) -> &'static str {
+        "update"
+    }
+
+    fn items_in(&self, input: &Self::In) -> Option<usize> {
+        Some(input.1.len())
+    }
+
+    fn items_out(&self, output: &Self::Out) -> Option<usize> {
+        output.0.model().map(SpireModel::metric_count)
+    }
+
+    fn run(&self, input: Self::In, ctx: &mut RunContext) -> StageResult<Self::Out> {
+        let (mut trainer, batch) = input;
+        trainer.push_batch(&batch);
+        let outcome = trainer.commit()?;
+        for metric in &outcome.update.refit_full {
+            ctx.emit(Event::ModelRefit {
+                metric: metric.to_string(),
+                mode: "full".to_owned(),
+            });
+        }
+        for metric in &outcome.update.refit_right {
+            ctx.emit(Event::ModelRefit {
+                metric: metric.to_string(),
+                mode: "right".to_owned(),
+            });
+        }
+        for metric in &outcome.update.unchanged {
+            ctx.emit(Event::ModelUnchanged {
+                metric: metric.to_string(),
+            });
+        }
+        emit_train_events(&outcome.report, &outcome.fit_notices, ctx);
+        Ok((trainer, outcome))
     }
 }
 
@@ -383,6 +437,74 @@ mod tests {
             }
         )));
         assert!(ctx.degraded());
+    }
+
+    #[test]
+    fn update_stage_emits_refit_and_unchanged_events() {
+        let (mut ctx, sink) = ctx_with_sink();
+        let trainer = OnlineTrainer::new(TrainConfig::default(), TrainStrictness::Lenient).unwrap();
+
+        // First batch: a metric with a multi-point Pareto front right of
+        // the apex. Everything is a full refit (no prior model).
+        let mut seed = SampleSet::new();
+        for (w, m) in [(10.0, 10.0), (40.0, 10.0), (60.0, 6.0), (30.0, 1.0)] {
+            seed.push(Sample::new("m_front", 10.0, w, m).unwrap());
+        }
+        let (trainer, outcome) = UpdateStage.execute((trainer, seed), &mut ctx).unwrap();
+        assert_eq!(outcome.update.refit_full.len(), 1);
+        assert!(
+            sink.events().iter().any(|e| matches!(
+                e,
+                Event::ModelRefit { metric, mode } if metric == "m_front" && mode == "full"
+            )),
+            "{:?}",
+            sink.events()
+        );
+
+        // Second batch: a sample right of the apex, strictly below the
+        // front — an exact no-op, so the model is untouched.
+        let mut dominated = SampleSet::new();
+        dominated.push(Sample::new("m_front", 10.0, 20.0, 1.0).unwrap());
+        let (_trainer, outcome) = UpdateStage.execute((trainer, dominated), &mut ctx).unwrap();
+        assert!(outcome.update.refit_full.is_empty());
+        assert!(outcome.update.refit_right.is_empty());
+        assert_eq!(outcome.update.unchanged.len(), 1);
+        assert!(
+            sink.events().iter().any(|e| matches!(
+                e,
+                Event::ModelUnchanged { metric } if metric == "m_front"
+            )),
+            "{:?}",
+            sink.events()
+        );
+        assert!(!ctx.degraded());
+    }
+
+    #[test]
+    fn update_stage_result_matches_batch_training() {
+        let (mut ctx, _sink) = ctx_with_sink();
+        let trainer = OnlineTrainer::new(TrainConfig::default(), TrainStrictness::Lenient).unwrap();
+        let set = training_set();
+        let (half_a, half_b): (Vec<_>, Vec<_>) =
+            set.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        let mut batch_a = SampleSet::new();
+        batch_a.extend(half_a.into_iter().map(|(_, s)| s));
+        let mut batch_b = SampleSet::new();
+        batch_b.extend(half_b.into_iter().map(|(_, s)| s));
+
+        let mut concatenated = SampleSet::new();
+        concatenated.extend(batch_a.iter());
+        concatenated.extend(batch_b.iter());
+
+        let (trainer, _) = UpdateStage.execute((trainer, batch_a), &mut ctx).unwrap();
+        let (trainer, _) = UpdateStage.execute((trainer, batch_b), &mut ctx).unwrap();
+        let direct = SpireModel::train_with_report(
+            &concatenated,
+            TrainConfig::default(),
+            TrainStrictness::Lenient,
+        )
+        .unwrap();
+        assert_eq!(trainer.model().expect("committed"), &direct.model);
     }
 
     #[test]

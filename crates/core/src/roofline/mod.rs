@@ -15,6 +15,7 @@
 mod right;
 
 pub use right::{fit_right_front, RightRegion};
+pub(crate) use right::{fit_right_front_with, PrefixSums};
 
 #[cfg(any(test, feature = "reference-fit"))]
 pub use right::reference;
@@ -169,6 +170,33 @@ enum Shape {
     },
 }
 
+/// The intermediate structures of a fit, cloned out for the online trainer
+/// so it can classify new samples and patch the right region without
+/// refitting the whole column.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FitArtifacts {
+    /// Every training sample had infinite intensity; the fit is a constant
+    /// at `inf_height` and stays maintainable by a running max.
+    Constant {
+        /// The maximum observed throughput over the infinite-intensity rows.
+        inf_height: f64,
+    },
+    /// A Graph-mode fit with a non-degenerate apex: the left hull, the
+    /// *un-thinned* right-region Pareto front (descending intensity, the
+    /// apex last), and the infinite-intensity tail height.
+    Graph {
+        /// Knots of the left hull, origin to apex (ascending intensity).
+        left: Vec<Point>,
+        /// The un-thinned Pareto front over points at or beyond the apex.
+        front: Vec<Point>,
+        /// Maximum throughput over infinite-intensity rows, if any.
+        inf_height: Option<f64>,
+    },
+    /// Any other fit (Auto/Plateau right regions, degenerate hulls): not
+    /// incrementally maintainable — every new sample forces a full refit.
+    Opaque,
+}
+
 /// A fitted per-metric roofline: an upper bound on throughput as a function
 /// of one metric's operational intensity.
 ///
@@ -262,6 +290,36 @@ impl PiecewiseRoofline {
         )
     }
 
+    /// [`fit_column_logged`](PiecewiseRoofline::fit_column_logged),
+    /// additionally returning the [`FitArtifacts`] the online trainer
+    /// needs to maintain the fit incrementally (the left hull, the
+    /// *un-thinned* Pareto front, and the infinite-intensity tail height).
+    ///
+    /// The fitted roofline is bit-identical to `fit_column_logged`'s —
+    /// both run the same slice fit; this entry point only additionally
+    /// clones out the intermediate structures.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit_column`](PiecewiseRoofline::fit_column).
+    pub(crate) fn fit_column_seeded(
+        column: &MetricColumn,
+        options: &FitOptions,
+    ) -> Result<(Self, Option<ThinningNotice>, FitArtifacts)> {
+        let (fit, notice, artifacts) = Self::fit_slices_impl(
+            column.metric().clone(),
+            column.intensities(),
+            column.throughputs(),
+            options,
+            true,
+        )?;
+        Ok((
+            fit,
+            notice,
+            artifacts.expect("artifacts requested from the seeded fit"),
+        ))
+    }
+
     /// The shared slice-based fit: `intensities[i]`/`throughputs[i]`
     /// describe sample `i`. Rows with infinite intensity feed the right
     /// region's tail height; finite rows feed the hull and Pareto front.
@@ -271,6 +329,20 @@ impl PiecewiseRoofline {
         throughputs: &[f64],
         options: &FitOptions,
     ) -> Result<(Self, Option<ThinningNotice>)> {
+        Self::fit_slices_impl(metric, intensities, throughputs, options, false)
+            .map(|(fit, notice, _)| (fit, notice))
+    }
+
+    /// The fit body. `want_artifacts` gates the extra clones that seed the
+    /// online trainer's incremental state; the batch hot path passes
+    /// `false` and pays nothing.
+    fn fit_slices_impl(
+        metric: MetricId,
+        intensities: &[f64],
+        throughputs: &[f64],
+        options: &FitOptions,
+        want_artifacts: bool,
+    ) -> Result<(Self, Option<ThinningNotice>, Option<FitArtifacts>)> {
         options.validate()?;
         debug_assert_eq!(intensities.len(), throughputs.len());
         let count = intensities.len();
@@ -289,13 +361,16 @@ impl PiecewiseRoofline {
             }
         }
         if !any_finite {
+            let height = inf_height.unwrap_or(0.0);
+            let artifacts = want_artifacts.then_some(FitArtifacts::Constant { inf_height: height });
             return Ok((
                 PiecewiseRoofline {
                     metric,
-                    shape: Shape::Constant(inf_height.unwrap_or(0.0)),
+                    shape: Shape::Constant(height),
                     training_samples: count,
                 },
                 None,
+                artifacts,
             ));
         }
 
@@ -316,21 +391,33 @@ impl PiecewiseRoofline {
             // and sits left of the apex; fall back to the apex alone.
             right_points.push(apex);
         }
-        let mut front = geometry::pareto_front(&right_points);
-        if front.is_empty() {
-            front.push(apex);
-        }
+        // `front` stays un-thinned (it seeds the online trainer's
+        // incremental state, which must track the exact batch front);
+        // thinning, when enabled, works on a copy for the fit itself.
+        let front = {
+            let mut f = geometry::pareto_front(&right_points);
+            if f.is_empty() {
+                f.push(apex);
+            }
+            f
+        };
         let mut notice = None;
-        if options.thin_front && front.len() > options.max_front_size {
-            let original = front.len();
-            thin_front(&mut front, options.max_front_size);
-            notice = Some(ThinningNotice {
-                metric: metric.clone(),
-                original,
-                retained: front.len(),
-                cap: options.max_front_size,
-            });
-        }
+        let thinned: Option<Vec<Point>> =
+            if options.thin_front && front.len() > options.max_front_size {
+                let original = front.len();
+                let mut f = front.clone();
+                thin_front(&mut f, options.max_front_size);
+                notice = Some(ThinningNotice {
+                    metric: metric.clone(),
+                    original,
+                    retained: f.len(),
+                    cap: options.max_front_size,
+                });
+                Some(f)
+            } else {
+                None
+            };
+        let fit_front: &[Point] = thinned.as_deref().unwrap_or(&front);
 
         let use_graph = match options.right_fit {
             RightFitMode::Graph => true,
@@ -349,13 +436,32 @@ impl PiecewiseRoofline {
         };
 
         let right = if use_graph {
-            right::fit_right_front(&front, inf_height)
+            right::fit_right_front(fit_front, inf_height)
         } else {
             // Plateau mode must still bound infinite-intensity samples.
             let height = inf_height.map_or(apex.y, |h| h.max(apex.y));
             RightRegion::constant(height.max(apex.y))
         };
 
+        // A fit is incrementally maintainable only in pure Graph mode with
+        // a non-degenerate apex: Auto re-judges the right-region trend over
+        // *all* right points (which the trainer does not keep), Plateau's
+        // height is not front-driven, and the degenerate zero-throughput
+        // fallbacks bypass the front entirely.
+        let artifacts = want_artifacts.then(|| {
+            let maintainable = options.right_fit == RightFitMode::Graph
+                && apex.y > 0.0
+                && front.last() == Some(&apex);
+            if maintainable {
+                FitArtifacts::Graph {
+                    left: left.clone(),
+                    front: front.clone(),
+                    inf_height,
+                }
+            } else {
+                FitArtifacts::Opaque
+            }
+        });
         Ok((
             PiecewiseRoofline {
                 metric,
@@ -363,7 +469,76 @@ impl PiecewiseRoofline {
                 training_samples: count,
             },
             notice,
+            artifacts,
         ))
+    }
+
+    /// Rebuilds a Graph-mode roofline from its maintained parts after a
+    /// right-region change: the left hull is reused as-is and only the
+    /// right region is refitted from the (already updated) Pareto front
+    /// and its patched prefix sums.
+    ///
+    /// `front` is the *un-thinned* maintained front with `sums` in sync;
+    /// thinning, when enabled and needed, is applied to a copy with fresh
+    /// sums — exactly what the batch fit does — so the result is
+    /// bit-identical to refitting the whole column.
+    pub(crate) fn refit_graph_right(
+        metric: MetricId,
+        left: &[Point],
+        front: &[Point],
+        sums: &PrefixSums,
+        inf_height: Option<f64>,
+        training_samples: usize,
+        options: &FitOptions,
+    ) -> (Self, Option<ThinningNotice>) {
+        let mut notice = None;
+        let right = if options.thin_front && front.len() > options.max_front_size {
+            let original = front.len();
+            let mut thinned = front.to_vec();
+            thin_front(&mut thinned, options.max_front_size);
+            notice = Some(ThinningNotice {
+                metric: metric.clone(),
+                original,
+                retained: thinned.len(),
+                cap: options.max_front_size,
+            });
+            let fresh = PrefixSums::new(&thinned);
+            fit_right_front_with(&thinned, &fresh, inf_height)
+        } else {
+            fit_right_front_with(front, sums, inf_height)
+        };
+        (
+            PiecewiseRoofline {
+                metric,
+                shape: Shape::Full {
+                    left: left.to_vec(),
+                    right,
+                },
+                training_samples,
+            },
+            notice,
+        )
+    }
+
+    /// Rebuilds a constant (all-infinite-intensity) roofline — the online
+    /// trainer's counterpart of the `!any_finite` branch of the fit.
+    pub(crate) fn constant_roofline(
+        metric: MetricId,
+        height: f64,
+        training_samples: usize,
+    ) -> Self {
+        PiecewiseRoofline {
+            metric,
+            shape: Shape::Constant(height),
+            training_samples,
+        }
+    }
+
+    /// Patches the recorded training-sample count (used by the online
+    /// trainer when new samples leave a metric's fit untouched but the
+    /// count — which a batch retrain would update — must stay in sync).
+    pub(crate) fn set_training_samples(&mut self, count: usize) {
+        self.training_samples = count;
     }
 
     /// The metric this roofline models.

@@ -350,6 +350,18 @@ impl MetricColumn {
         self.work.iter().sum()
     }
 
+    /// Appends another column's raw rows (which must belong to the same
+    /// metric), invalidating the derived-column cache. This is the single
+    /// bulk-mutation path, so cache invalidation cannot be forgotten at a
+    /// call site.
+    pub(crate) fn append_rows(&mut self, other: MetricColumn) {
+        debug_assert_eq!(self.metric, other.metric, "column metric mismatch");
+        self.time.extend(other.time);
+        self.work.extend(other.work);
+        self.metric_delta.extend(other.metric_delta);
+        self.derived = OnceLock::new();
+    }
+
     /// Reconstructs row `i` as an owned [`Sample`].
     pub fn get(&self, i: usize) -> Option<Sample> {
         if i >= self.len() {
@@ -568,13 +580,7 @@ impl SampleSet {
                 .columns
                 .binary_search_by(|c| c.metric().cmp(col.metric()))
             {
-                Ok(i) => {
-                    let dst = &mut self.columns[i];
-                    dst.time.extend(col.time);
-                    dst.work.extend(col.work);
-                    dst.metric_delta.extend(col.metric_delta);
-                    dst.derived = OnceLock::new();
-                }
+                Ok(i) => self.columns[i].append_rows(col),
                 Err(i) => self.columns.insert(i, col),
             }
         }
@@ -836,6 +842,43 @@ mod tests {
         col.push(1.0, 6.0, 2.0);
         assert_eq!(col.throughputs(), &[2.0, 6.0]);
         assert_eq!(col.intensities(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn every_mutation_path_invalidates_derived_after_by_metric_read() {
+        // Regression: reading derived columns through `by_metric` populates
+        // the per-column cache; every later mutation path — `push`,
+        // `push_parts`, `push_unchecked`, and `merge` — must invalidate it
+        // so stale intensities can never reach a fit.
+        let mut set = SampleSet::new();
+        set.push_parts("x".into(), 1.0, 2.0, 1.0).unwrap();
+        let (_, col) = set.by_metric().next().unwrap();
+        assert_eq!(col.intensities(), &[2.0]); // warm the cache
+
+        set.push(Sample::new("x", 1.0, 6.0, 2.0).unwrap());
+        assert_eq!(set.column(&"x".into()).unwrap().intensities(), &[2.0, 3.0]);
+
+        set.push_parts("x".into(), 1.0, 8.0, 2.0).unwrap();
+        assert_eq!(
+            set.column(&"x".into()).unwrap().intensities(),
+            &[2.0, 3.0, 4.0]
+        );
+
+        let _ = set.column(&"x".into()).unwrap().throughputs(); // re-warm
+        set.push_unchecked("x".into(), 1.0, 10.0, 2.0);
+        let col = set.column(&"x".into()).unwrap();
+        assert_eq!(col.intensities(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(col.throughputs(), &[2.0, 6.0, 8.0, 10.0]);
+
+        let other: SampleSet = vec![Sample::new("x", 1.0, 12.0, 2.0).unwrap()]
+            .into_iter()
+            .collect();
+        let _ = set.column(&"x".into()).unwrap().intensities(); // re-warm
+        set.merge(other);
+        assert_eq!(
+            set.column(&"x".into()).unwrap().intensities(),
+            &[2.0, 3.0, 4.0, 5.0, 6.0]
+        );
     }
 
     #[test]

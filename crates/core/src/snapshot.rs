@@ -333,6 +333,207 @@ impl ModelSnapshot {
     }
 }
 
+impl ModelSnapshot {
+    /// A 16-hex-digit FNV-1a fingerprint of the snapshot's model content:
+    /// the per-metric `metric:checksum` lines in record order.
+    ///
+    /// Two snapshots of the same model always agree (records are stored in
+    /// metric-name order and each checksum covers the exact roofline
+    /// bytes); any change to any metric's fit changes the fingerprint.
+    /// Container metadata (provenance, train report) is deliberately
+    /// excluded — the fingerprint anchors *model* identity for delta
+    /// application.
+    pub fn fingerprint(&self) -> String {
+        let mut lines = String::new();
+        for record in &self.metrics {
+            lines.push_str(record.metric.as_str());
+            lines.push(':');
+            lines.push_str(&record.checksum);
+            lines.push('\n');
+        }
+        format!("{:016x}", fnv1a64(lines.as_bytes()))
+    }
+}
+
+/// A *delta* between two model snapshots: only the per-metric records that
+/// changed, plus the metrics that disappeared — the streaming update loop's
+/// alternative to rewriting a full snapshot after every batch.
+///
+/// Deltas carry the base and result fingerprints ([`ModelSnapshot::fingerprint`])
+/// so application is anchored at both ends: applying to the wrong base, or
+/// a corrupted splice, is a typed error rather than a silently wrong model.
+/// The changed records keep the full-snapshot [`MetricRecord`] form, so the
+/// same FNV checksums guard each roofline's bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDelta {
+    /// Format version; shares [`SNAPSHOT_FORMAT_VERSION`] with snapshots.
+    pub format_version: u32,
+    /// Checksum algorithm used by the records (`"fnv1a64"`).
+    pub checksum_algorithm: String,
+    /// Fingerprint of the snapshot this delta applies to.
+    pub base_fingerprint: String,
+    /// Fingerprint of the snapshot the application must produce.
+    pub result_fingerprint: String,
+    /// The updated training configuration.
+    pub config: TrainConfig,
+    /// The updated skipped-metric list.
+    pub skipped_metrics: Vec<MetricId>,
+    /// Updated provenance, when the trainer supplied it.
+    pub provenance: Option<SnapshotProvenance>,
+    /// The updated train report, when training was fault-isolated.
+    pub train_report: Option<TrainReport>,
+    /// Records added or changed since the base, in metric-name order.
+    pub changed: Vec<MetricRecord>,
+    /// Metrics present in the base but absent from the result, in
+    /// metric-name order.
+    pub removed: Vec<MetricId>,
+}
+
+impl SnapshotDelta {
+    /// Computes the delta turning `base` into `updated`.
+    ///
+    /// A metric is *changed* if it is new or its record checksum differs;
+    /// *removed* if it exists in `base` only. An empty `changed`/`removed`
+    /// pair is valid (the delta still re-anchors config and reports).
+    pub fn between(base: &ModelSnapshot, updated: &ModelSnapshot) -> Self {
+        let base_checksums: BTreeMap<&MetricId, &str> = base
+            .metrics
+            .iter()
+            .map(|r| (&r.metric, r.checksum.as_str()))
+            .collect();
+        let changed: Vec<MetricRecord> = updated
+            .metrics
+            .iter()
+            .filter(|r| base_checksums.get(&r.metric) != Some(&r.checksum.as_str()))
+            .cloned()
+            .collect();
+        let updated_names: BTreeMap<&MetricId, ()> =
+            updated.metrics.iter().map(|r| (&r.metric, ())).collect();
+        let removed: Vec<MetricId> = base
+            .metrics
+            .iter()
+            .filter(|r| !updated_names.contains_key(&r.metric))
+            .map(|r| r.metric.clone())
+            .collect();
+        SnapshotDelta {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            checksum_algorithm: CHECKSUM_ALGORITHM.to_owned(),
+            base_fingerprint: base.fingerprint(),
+            result_fingerprint: updated.fingerprint(),
+            config: updated.config.clone(),
+            skipped_metrics: updated.skipped_metrics.clone(),
+            provenance: updated.provenance.clone(),
+            train_report: updated.train_report.clone(),
+            changed,
+            removed,
+        }
+    }
+
+    /// Applies the delta to `base`, returning the updated snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::SnapshotFormat`] if `base`'s fingerprint does
+    /// not match [`SnapshotDelta::base_fingerprint`], or if the spliced
+    /// result does not reproduce [`SnapshotDelta::result_fingerprint`]
+    /// (either indicates the delta belongs to a different history or was
+    /// damaged in a way the per-record checksums cannot see).
+    pub fn apply(&self, base: &ModelSnapshot) -> Result<ModelSnapshot> {
+        let base_fp = base.fingerprint();
+        if base_fp != self.base_fingerprint {
+            return Err(SpireError::SnapshotFormat {
+                reason: format!(
+                    "delta applies to base fingerprint {}, got a snapshot with {base_fp}",
+                    self.base_fingerprint
+                ),
+            });
+        }
+        let mut metrics = base.metrics.clone();
+        metrics.retain(|r| !self.removed.contains(&r.metric));
+        for record in &self.changed {
+            match metrics.binary_search_by(|r| r.metric.cmp(&record.metric)) {
+                Ok(i) => metrics[i] = record.clone(),
+                Err(i) => metrics.insert(i, record.clone()),
+            }
+        }
+        let result = ModelSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            checksum_algorithm: CHECKSUM_ALGORITHM.to_owned(),
+            config: self.config.clone(),
+            skipped_metrics: self.skipped_metrics.clone(),
+            provenance: self.provenance.clone(),
+            train_report: self.train_report.clone(),
+            metrics,
+        };
+        let result_fp = result.fingerprint();
+        if result_fp != self.result_fingerprint {
+            return Err(SpireError::SnapshotFormat {
+                reason: format!(
+                    "applied delta produced fingerprint {result_fp}, expected {}",
+                    self.result_fingerprint
+                ),
+            });
+        }
+        Ok(result)
+    }
+
+    /// Serializes the delta to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot deltas always serialize")
+    }
+
+    /// Parses a delta from JSON, checking the format version and checksum
+    /// algorithm like [`ModelSnapshot::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpireError::SnapshotFormat`] for malformed JSON, an
+    /// unsupported version, or an unknown checksum algorithm.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let delta: SnapshotDelta =
+            serde_json::from_str(text).map_err(|e| SpireError::SnapshotFormat {
+                reason: format!("delta does not parse: {e}"),
+            })?;
+        if delta.format_version == 0 || delta.format_version > SNAPSHOT_FORMAT_VERSION {
+            return Err(SpireError::SnapshotFormat {
+                reason: format!(
+                    "unsupported delta format version {} (this build reads up to {})",
+                    delta.format_version, SNAPSHOT_FORMAT_VERSION
+                ),
+            });
+        }
+        if delta.checksum_algorithm != CHECKSUM_ALGORITHM {
+            return Err(SpireError::SnapshotFormat {
+                reason: format!(
+                    "unknown checksum algorithm `{}` (expected `{CHECKSUM_ALGORITHM}`)",
+                    delta.checksum_algorithm
+                ),
+            });
+        }
+        Ok(delta)
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file which is then renamed over the destination, so a crash
+/// mid-write can never leave a torn snapshot (or delta) for a later load
+/// to chew on — the destination either keeps its old bytes or holds the
+/// complete new ones.
+///
+/// # Errors
+///
+/// Any I/O error from writing or renaming; the temporary file is cleaned
+/// up on a best-effort basis when the rename fails.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Loads a model from either a snapshot or the legacy raw-model JSON that
 /// `train --out` writes, sniffing the format by attempting the snapshot
 /// container first.
@@ -543,6 +744,116 @@ mod tests {
         assert!(back.train_report.is_some());
         let loaded = back.into_model(SnapshotMode::Strict).unwrap();
         assert_eq!(loaded.model, model);
+    }
+
+    /// Like [`trained`] but with one metric's data perturbed and one metric
+    /// added, so a delta against [`trained`] has both changed and new
+    /// records.
+    fn trained_updated() -> SpireModel {
+        let mut set = SampleSet::new();
+        for m in 0..5 {
+            for i in 1..6 {
+                let w = if m == 1 {
+                    (6 * i) as f64
+                } else {
+                    (5 * i) as f64
+                };
+                set.push(
+                    Sample::new(format!("metric_{m}").as_str(), 10.0, w, (10 - i) as f64).unwrap(),
+                );
+            }
+        }
+        SpireModel::train(&set, TrainConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = ModelSnapshot::from_model(&trained()).unwrap();
+        let b = ModelSnapshot::from_model(&trained()).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint().len(), 16);
+        // Metadata does not participate in the fingerprint...
+        let with_meta = a.clone().with_train_report(TrainReport::default());
+        assert_eq!(a.fingerprint(), with_meta.fingerprint());
+        // ...but model content does.
+        let updated = ModelSnapshot::from_model(&trained_updated()).unwrap();
+        assert_ne!(a.fingerprint(), updated.fingerprint());
+    }
+
+    #[test]
+    fn delta_round_trip_reproduces_updated_snapshot() {
+        let base = ModelSnapshot::from_model(&trained()).unwrap();
+        let updated = ModelSnapshot::from_model(&trained_updated()).unwrap();
+        let delta = SnapshotDelta::between(&base, &updated);
+        // metric_1 changed and metric_4 is new; the untouched three are
+        // not shipped.
+        assert_eq!(delta.changed.len(), 2);
+        assert!(delta.removed.is_empty());
+        let back = SnapshotDelta::from_json(&delta.to_json()).unwrap();
+        let applied = back.apply(&base).unwrap();
+        assert_eq!(applied, updated);
+        // And the applied snapshot loads into the exact updated model.
+        let loaded = applied.into_model(SnapshotMode::Strict).unwrap();
+        assert_eq!(loaded.model, trained_updated());
+    }
+
+    #[test]
+    fn delta_records_removed_metrics() {
+        let base = ModelSnapshot::from_model(&trained_updated()).unwrap();
+        let updated = ModelSnapshot::from_model(&trained()).unwrap();
+        let delta = SnapshotDelta::between(&base, &updated);
+        assert_eq!(delta.removed, vec![MetricId::new("metric_4")]);
+        assert_eq!(delta.apply(&base).unwrap(), updated);
+    }
+
+    #[test]
+    fn delta_refuses_wrong_base_and_tampered_result() {
+        let base = ModelSnapshot::from_model(&trained()).unwrap();
+        let updated = ModelSnapshot::from_model(&trained_updated()).unwrap();
+        let delta = SnapshotDelta::between(&base, &updated);
+
+        // Applying to the wrong base is a typed error.
+        let err = delta.apply(&updated).unwrap_err();
+        assert!(matches!(err, SpireError::SnapshotFormat { .. }));
+        assert!(err.to_string().contains("base fingerprint"));
+
+        // A tampered record that still checksums (record-level integrity
+        // intact, wrong history) is caught by the result fingerprint.
+        let mut tampered = delta.clone();
+        tampered.changed.pop();
+        let err = tampered.apply(&base).unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn delta_json_is_rejected_by_the_model_loader() {
+        // Feeding a delta where a snapshot is expected must fail cleanly,
+        // not fall back to the legacy parser.
+        let base = ModelSnapshot::from_model(&trained()).unwrap();
+        let updated = ModelSnapshot::from_model(&trained_updated()).unwrap();
+        let json = SnapshotDelta::between(&base, &updated).to_json();
+        assert!(matches!(
+            load_model(&json, SnapshotMode::Lenient).unwrap_err(),
+            SpireError::SnapshotFormat { .. }
+        ));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("spire_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property test pinning the online-training equivalence guarantee
+//! (ISSUE satellite): any interleaving of pushed batches, committed at
+//! any boundaries, converges to the *bit-identical* model, report, and
+//! notices of one batch retrain over the concatenated samples — at both
+//! `threads = 1` (serial) and `threads = 0` (auto fan-out).
+//!
+//! Equality here is structural (`PartialEq` over every fitted segment),
+//! not a tolerance: the maintenance layer only skips work it can prove is
+//! an exact no-op, and replays everything else through the same fitting
+//! code paths as the batch trainer.
+
+use proptest::prelude::*;
+use spire_core::{OnlineTrainer, Sample, SampleSet, SpireModel, TrainConfig, TrainStrictness};
+
+/// Strategy: one raw `(T, W, M)` triple; `M` is zero ~10% of the time to
+/// exercise the infinite-intensity (constant-fit) paths.
+fn raw_sample() -> impl Strategy<Value = (f64, f64, f64)> {
+    (
+        0.1f64..100.0,
+        0.0f64..1000.0,
+        prop_oneof![
+            1 => Just(0.0f64),
+            9 => 0.01f64..100.0,
+        ],
+    )
+}
+
+/// Strategy: an interleaved multi-metric stream, pre-split into batches.
+/// Batch sizes are part of the random input, so commit boundaries land at
+/// arbitrary points of the stream — including empty-batch-adjacent ones.
+fn batched_stream(
+    metrics: usize,
+    max_rows: usize,
+    max_batches: usize,
+) -> impl Strategy<Value = Vec<Vec<Sample>>> {
+    let names: Vec<String> = (0..metrics).map(|i| format!("metric_{i}")).collect();
+    let rows = prop::collection::vec((0..metrics, raw_sample()), metrics..max_rows);
+    (rows, 1..=max_batches).prop_map(move |(rows, batches)| {
+        let mut out = vec![Vec::new(); batches];
+        for (k, (i, (t, w, m))) in rows.into_iter().enumerate() {
+            out[k % batches]
+                .push(Sample::new(names[i].as_str(), t, w, m).expect("valid by construction"));
+        }
+        out
+    })
+}
+
+/// Streams the batches through an [`OnlineTrainer`] with a commit after
+/// every batch, and asserts the final state matches one batch retrain
+/// over the concatenation.
+fn assert_converges(batches: &[Vec<Sample>], threads: usize) {
+    let config = TrainConfig {
+        threads,
+        ..TrainConfig::default()
+    };
+    let mut trainer =
+        OnlineTrainer::new(config.clone(), TrainStrictness::Lenient).expect("valid config");
+    let mut concatenated = SampleSet::new();
+    let mut last = None;
+    for rows in batches {
+        let batch: SampleSet = rows.iter().cloned().collect();
+        concatenated.extend(batch.iter());
+        trainer.push_batch(&batch);
+        last = Some(trainer.commit().expect("lenient commit"));
+    }
+    let expected = SpireModel::train_with_report(&concatenated, config, TrainStrictness::Lenient)
+        .expect("batch retrain");
+    let last = last.expect("at least one batch");
+    assert_eq!(
+        trainer.model().expect("committed model"),
+        &expected.model,
+        "incremental model diverged from batch retrain"
+    );
+    assert_eq!(last.report, expected.report, "train report diverged");
+    assert_eq!(last.fit_notices, expected.fit_notices, "notices diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any batch interleaving converges to the batch-retrain model,
+    /// bit-identically, with the serial executor.
+    #[test]
+    fn interleavings_converge_serial(batches in batched_stream(4, 120, 6)) {
+        assert_converges(&batches, 1);
+    }
+
+    /// The same guarantee with `threads = 0` (auto fan-out): the executor
+    /// choice must not perturb the result.
+    #[test]
+    fn interleavings_converge_auto_threads(batches in batched_stream(4, 120, 6)) {
+        assert_converges(&batches, 0);
+    }
+}

@@ -57,4 +57,4 @@ pub use ingest::{
 pub use pipeline::IngestStage;
 pub use proc::{run_capture, Capture, CaptureConfig, CaptureOutcome};
 pub use schedule::MultiplexSchedule;
-pub use session::{collect, SessionConfig, SessionReport};
+pub use session::{collect, collect_batched, SessionConfig, SessionReport};

@@ -118,6 +118,38 @@ pub fn collect<I>(
 where
     I: Iterator<Item = Instr>,
 {
+    let mut samples = SampleSet::new();
+    let mut report = collect_batched(core, stream, events, config, |batch| samples.merge(batch));
+    report.samples = samples;
+    report
+}
+
+/// Streaming variant of [`collect`]: hands each completed interval's
+/// samples to `on_batch` as one insertable [`SampleSet`] instead of
+/// accumulating them, so callers can feed an incremental trainer
+/// ([`spire_core::OnlineTrainer`]) without holding the whole session in
+/// memory. Batches arrive in interval order; merging them in order
+/// reproduces [`collect`]'s sample set exactly.
+///
+/// The returned report's `samples` field is left empty — the samples were
+/// handed to `on_batch` — while every other field (cycles, instructions,
+/// overhead, intervals, groups, dropped samples) is identical to what
+/// [`collect`] would report.
+///
+/// # Panics
+///
+/// Panics if `config` has a zero interval, slice, or slot count.
+pub fn collect_batched<I, F>(
+    core: &mut Core,
+    stream: &mut I,
+    events: &[Event],
+    config: &SessionConfig,
+    mut on_batch: F,
+) -> SessionReport
+where
+    I: Iterator<Item = Instr>,
+    F: FnMut(SampleSet),
+{
     assert!(
         config.interval_cycles > 0,
         "interval_cycles must be non-zero"
@@ -125,7 +157,6 @@ where
     assert!(config.slice_cycles > 0, "slice_cycles must be non-zero");
     let schedule = MultiplexSchedule::new(events, config.pmu_slots);
     let mut pmu = Pmu::new(config.pmu_slots);
-    let mut samples = SampleSet::new();
     let start_cycles = core.cycle();
     let start_instrs = core.retired_instructions();
     let mut overhead_cycles = 0u64;
@@ -184,23 +215,24 @@ where
                 || drained
                 || out_of_budget
             {
-                // Close the interval: emit one sample per covered event,
-                // streaming straight into the per-metric columns.
-                let mut emitted = false;
+                // Close the interval: emit one sample per covered event
+                // into this interval's batch.
+                let mut batch = SampleSet::new();
                 for (i, &e) in flat_events.iter().enumerate() {
                     let (t, w, m) = acc[i];
                     // A malfunctioning counter (e.g. a wrapped delta) must
                     // not abort the whole session: drop the reading and
                     // account for it instead.
                     if t > 0.0 {
-                        match samples.push_parts(MetricId::new(e.name()), t, w, m) {
-                            Ok(()) => emitted = true,
+                        match batch.push_parts(MetricId::new(e.name()), t, w, m) {
+                            Ok(()) => {}
                             Err(_) => dropped_samples += 1,
                         }
                     }
                 }
-                if emitted {
+                if !batch.is_empty() {
                     intervals += 1;
+                    on_batch(batch);
                 }
                 if drained || out_of_budget {
                     break 'outer;
@@ -211,7 +243,7 @@ where
     }
 
     SessionReport {
-        samples,
+        samples: SampleSet::new(),
         total_cycles: core.cycle() - start_cycles,
         instructions: core.retired_instructions() - start_instrs,
         overhead_cycles,
@@ -332,6 +364,35 @@ mod tests {
             let w: f64 = group.works().iter().sum();
             assert!(w <= report.instructions as f64 + 1.0);
         }
+    }
+
+    #[test]
+    fn batched_collection_concatenates_to_the_unbatched_sample_set() {
+        let cfg = SessionConfig::quick();
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = alu_stream(300_000);
+        let whole = collect(&mut core, &mut stream, &small_events(), &cfg);
+
+        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut stream = alu_stream(300_000);
+        let mut batches = Vec::new();
+        let report = collect_batched(&mut core, &mut stream, &small_events(), &cfg, |batch| {
+            batches.push(batch)
+        });
+
+        assert!(report.samples.is_empty(), "batched report holds no samples");
+        assert_eq!(batches.len(), report.intervals, "one batch per interval");
+        assert_eq!(report.intervals, whole.intervals);
+        assert_eq!(report.total_cycles, whole.total_cycles);
+        assert_eq!(report.instructions, whole.instructions);
+        assert_eq!(report.overhead_cycles, whole.overhead_cycles);
+        assert_eq!(report.dropped_samples, whole.dropped_samples);
+
+        let mut merged = SampleSet::new();
+        for batch in batches {
+            merged.merge(batch);
+        }
+        assert_eq!(merged, whole.samples);
     }
 
     #[test]
