@@ -273,7 +273,11 @@ fn main() {
             right_fit: fit_comparison(),
         };
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fitting.json");
-        std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap()).unwrap();
+        spire_core::write_atomic(
+            std::path::Path::new(path),
+            &serde_json::to_string_pretty(&summary).unwrap(),
+        )
+        .unwrap();
         println!("wrote {path}");
     }
     benches();

@@ -52,7 +52,7 @@ fn main() {
     .with_series("App B (compute-bound)", SeriesKind::Points, vec![app_b]);
 
     let svg_path = outdir.join("fig2_roofline.svg");
-    std::fs::write(&svg_path, chart.to_svg(720, 480)).expect("write svg");
+    spire_core::write_atomic(&svg_path, &chart.to_svg(720, 480)).expect("write svg");
 
     println!("Fig. 2 — classic roofline (series as CSV)\n");
     println!("intensity,roof,scalar_ceiling,dram_ceiling");

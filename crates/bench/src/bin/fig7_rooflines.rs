@@ -41,7 +41,7 @@ fn main() {
         let samples = merged.samples_for(&metric);
         let chart = roofline_chart(roofline, samples.iter(), log_axes);
         let path = outdir.join(file);
-        std::fs::write(&path, chart.to_svg(720, 480)).expect("write svg");
+        spire_core::write_atomic(&path, &chart.to_svg(720, 480)).expect("write svg");
 
         println!(
             "[{panel}] {metric_name} ({} training samples)",

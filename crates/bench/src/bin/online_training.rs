@@ -284,7 +284,11 @@ fn main() {
             },
         };
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_online.json");
-        std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap()).unwrap();
+        spire_core::write_atomic(
+            std::path::Path::new(path),
+            &serde_json::to_string_pretty(&summary).unwrap(),
+        )
+        .unwrap();
         println!("wrote {path}");
     }
 

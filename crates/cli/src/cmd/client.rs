@@ -1,0 +1,144 @@
+//! `spire client`: a test client for a running spire-serve daemon.
+//!
+//! One request per invocation: `--addr` plus a request kind, with
+//! dataset-backed sample payloads for estimate/analyze. Shed responses
+//! map to the degraded exit code (2) — the daemon answered, but refused
+//! the work — while other request failures are plain errors (1).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Content;
+use spire_counters::Dataset;
+use spire_serve::{Client, Response};
+
+use crate::args::Args;
+use crate::commands::{CmdOutput, CmdResult};
+
+use super::json;
+
+fn render(response: &Response) -> Result<String, super::CmdError> {
+    let mut out = String::new();
+    writeln!(out, "kind: {}", response.kind)?;
+    if let Some(fp) = &response.fingerprint {
+        writeln!(out, "fingerprint: {fp}")?;
+    }
+    if let Some(t) = response.throughput {
+        writeln!(out, "throughput: {t:.6}")?;
+    }
+    if let Some(rows) = &response.ranked {
+        for row in rows {
+            writeln!(
+                out,
+                "  {:<10} {:>12.4}  {}",
+                row.abbr.as_deref().unwrap_or("-"),
+                row.estimate,
+                row.metric
+            )?;
+        }
+    }
+    if let Some(per_metric) = &response.per_metric {
+        writeln!(out, "metrics contributing: {}", per_metric.len())?;
+    }
+    if let Some(info) = &response.reloaded {
+        writeln!(
+            out,
+            "reloaded: {} -> {}{}",
+            info.old_fingerprint,
+            info.new_fingerprint,
+            if info.salvaged { " (salvaged)" } else { "" }
+        )?;
+    }
+    if let Some(stats) = &response.stats {
+        writeln!(
+            out,
+            "connections: {}, requests: {}",
+            stats.connections, stats.requests
+        )?;
+        for m in &stats.models {
+            writeln!(
+                out,
+                "model {} [{}]: {} metrics, {} estimates, {} analyzes, {} shed, \
+                 {} cache hits, {} reloads",
+                m.name,
+                m.fingerprint,
+                m.metrics,
+                m.estimates,
+                m.analyzes,
+                m.shed,
+                m.cache_hits,
+                m.reloads
+            )?;
+        }
+    }
+    if let Some(true) = response.cached {
+        writeln!(out, "cached: true")?;
+    }
+    Ok(out)
+}
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let addr = args.require("addr")?;
+    let kind = args
+        .positionals()
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.get("kind"))
+        .ok_or("client requires a request kind (ping, estimate, analyze, reload, stats, shutdown)")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let response = match kind {
+        "ping" => client.ping(),
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "reload" => {
+            let model = args.require("model")?;
+            client.reload(model, args.get("path").map(Path::new))
+        }
+        "estimate" | "analyze" => {
+            let model = args.require("model")?;
+            let data_path = args.require("data")?;
+            let label = args.require("workload")?;
+            let dataset = Dataset::load(data_path)?;
+            let samples = dataset
+                .get(label)
+                .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
+            if kind == "estimate" {
+                client.estimate(model, samples)
+            } else {
+                let top = match args.get("top") {
+                    Some(_) => Some(args.get_or("top", 10)?),
+                    None => None,
+                };
+                client.analyze(model, samples, top)
+            }
+        }
+        other => return Err(format!("unknown request kind `{other}`").into()),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
+
+    // A shed is a typed refusal under load: degraded, not failed.
+    let shed = response.shed == Some(true);
+    if !response.ok && !shed {
+        return Err(response
+            .error
+            .clone()
+            .unwrap_or_else(|| "server returned an error".to_owned())
+            .into());
+    }
+    let text = if args.flag("json") {
+        let result: Content = serde::to_content(&response);
+        json::envelope("client", shed, &[], result)?
+    } else if shed {
+        format!(
+            "request shed: {}\n",
+            response.error.as_deref().unwrap_or("queue full")
+        )
+    } else {
+        render(&response)?
+    };
+    Ok(CmdOutput {
+        text,
+        degraded: shed,
+    })
+}

@@ -7,11 +7,13 @@
 //! tracked ad hoc: any `Severity::Degraded` event flips it.
 
 pub(crate) mod analyze;
+pub(crate) mod client;
 pub(crate) mod collect;
 pub(crate) mod coverage;
 pub(crate) mod ingest;
 pub(crate) mod json;
 pub(crate) mod plot;
+pub(crate) mod serve;
 pub(crate) mod sim;
 pub(crate) mod train;
 pub(crate) mod update;
@@ -40,7 +42,7 @@ pub(crate) type CmdError = Box<dyn Error + Send + Sync>;
 /// front thinning) to stderr as the pre-pipeline CLI did. Degraded events
 /// are *not* echoed here — the command renderers put those warnings in
 /// the stdout text.
-struct WarnSink;
+pub(crate) struct WarnSink;
 
 impl EventSink for WarnSink {
     fn emit(&self, event: &Event) {

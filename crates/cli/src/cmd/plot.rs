@@ -38,7 +38,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         }
     };
     let chart = spire_plot::roofline_chart(roofline, samples.iter(), log_axes);
-    std::fs::write(out_path, chart.to_svg(720, 480))?;
+    spire_core::write_atomic(std::path::Path::new(out_path), &chart.to_svg(720, 480))?;
     writeln!(
         log,
         "plotted `{metric_name}` ({} samples) to {out_path}",

@@ -122,6 +122,18 @@ COMMANDS:
   coverage  --data FILE               sampling-coverage diagnostics for a
             --workload LABEL [--n K]  collected workload (multiplex column
                                       filled from the stored ingest report)
+  serve     NAME=MODEL [NAME=MODEL..] run the resident estimation daemon on
+            [--addr HOST:PORT]        a length-prefixed TCP protocol; models
+            [--workers N] [--queue N] hot-reload by atomic swap, same-model
+            [--cache N] [--max-batch N] requests coalesce into one batched
+            [--max-frame BYTES]       SoA pass, and a full queue sheds with
+            [--events FILE] [--strict] a typed refusal (--events appends the
+                                      diagnostics stream as JSON lines)
+  client    KIND --addr HOST:PORT     one request against a running daemon:
+            [--model NAME]            ping, stats, shutdown, reload
+            [--data FILE              [--path NEWSNAPSHOT], or estimate /
+             --workload LABEL]        analyze with samples from a dataset.
+            [--top K] [--path FILE]   A shed response exits 2 (degraded).
 
 GLOBAL OPTIONS:
   --json    print a machine-readable envelope instead of the human text:
@@ -171,6 +183,8 @@ pub fn run(argv: &[String]) -> CmdResult {
         "ingest" | "import-perf" => cmd::ingest::run(&args),
         "plot" => cmd::plot::run(&args),
         "coverage" => cmd::coverage::run(&args),
+        "serve" => cmd::serve::run(&args),
+        "client" => cmd::client::run(&args),
         "help" | "--help" => Ok(USAGE.to_owned().into()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
     }

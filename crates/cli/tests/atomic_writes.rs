@@ -1,0 +1,62 @@
+//! Crash-safety smoke test for the CLI's durable outputs.
+//!
+//! Every file the toolkit persists (datasets, snapshots, deltas, SVGs)
+//! goes through `spire_core::write_atomic`: bytes land in a temporary
+//! sibling which is renamed over the destination. This test kills a
+//! `spire collect` run at staggered points mid-flight and asserts the
+//! destination is never torn — it either still holds the previous
+//! complete dataset or the new complete one, and always parses.
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn spire() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spire"))
+}
+
+fn assert_valid_dataset(path: &Path, context: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{context}: cannot read {}: {e}", path.display()));
+    spire_counters::Dataset::from_json(&text)
+        .unwrap_or_else(|e| panic!("{context}: destination is torn ({e})"));
+}
+
+#[test]
+fn killed_collect_never_leaves_a_truncated_dataset() {
+    let dir = std::env::temp_dir().join(format!("spire-atomic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("ds.json");
+
+    // Seed the destination with a known-good dataset so a mid-overwrite
+    // kill has old bytes to tear.
+    let status = spire()
+        .args(["collect", "--out"])
+        .arg(&out)
+        .args(["--cycles", "2000", "--set", "train"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn spire collect");
+    assert!(status.success(), "seeding collect failed");
+    assert_valid_dataset(&out, "seed run");
+
+    // Re-collect into the same path, killing at staggered delays that
+    // straddle the write. Whatever the timing, the destination must
+    // still parse as a complete dataset.
+    for delay_ms in [1u64, 25, 100, 400, 1600] {
+        let mut child = spire()
+            .args(["collect", "--out"])
+            .arg(&out)
+            .args(["--cycles", "20000", "--set", "train"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn spire collect");
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        let _ = child.kill();
+        let _ = child.wait();
+        assert_valid_dataset(&out, &format!("after kill at {delay_ms}ms"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

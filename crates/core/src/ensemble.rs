@@ -665,6 +665,120 @@ impl SpireModel {
         })
     }
 
+    /// Estimates many workloads in one coalesced pass, returning one
+    /// result per workload **in input order**, each bit-identical to
+    /// calling [`estimate`](SpireModel::estimate) on that workload alone.
+    ///
+    /// This is the serving hot path: concurrently-arriving requests for
+    /// the same model are merged into larger columns. All requests'
+    /// intensity columns for a given metric are concatenated and pushed
+    /// through one [`PiecewiseRoofline::estimate_soa`] pass — hoisting the
+    /// shape dispatch and boundary loads once per metric per batch rather
+    /// than once per metric per request — then split back by range.
+    /// `estimate_soa` is elementwise, so the split segments match
+    /// per-request passes bit-for-bit, and the per-column merge
+    /// accumulation is literally the same loop (`merge_estimates`) the
+    /// single-workload path runs.
+    ///
+    /// Per-workload errors ([`SpireError::EmptyWorkload`],
+    /// [`SpireError::NoCommonMetrics`], [`SpireError::DegenerateWeights`])
+    /// land in that workload's slot with the same precedence as
+    /// `estimate` (first failing metric in column order) and never affect
+    /// neighboring workloads in the batch.
+    pub fn estimate_batch(&self, workloads: &[&SampleSet]) -> Vec<Result<Estimate>> {
+        // Classify each workload up front and group its routed columns by
+        // metric across the whole batch.
+        let mut results: Vec<Option<Result<Estimate>>> = Vec::with_capacity(workloads.len());
+        let mut metric_order: Vec<Vec<&MetricId>> = Vec::with_capacity(workloads.len());
+        let mut groups: BTreeMap<&MetricId, Vec<(usize, &MetricColumn)>> = BTreeMap::new();
+        for (wi, workload) in workloads.iter().enumerate() {
+            if workload.is_empty() {
+                results.push(Some(Err(SpireError::EmptyWorkload)));
+                metric_order.push(Vec::new());
+                continue;
+            }
+            let mut order = Vec::new();
+            for (metric, column) in workload.by_metric() {
+                if let Some((metric, _)) = self.rooflines.get_key_value(metric) {
+                    groups.entry(metric).or_default().push((wi, column));
+                    order.push(metric);
+                }
+            }
+            results.push(if order.is_empty() {
+                Some(Err(SpireError::NoCommonMetrics))
+            } else {
+                None
+            });
+            metric_order.push(order);
+        }
+
+        let merge = self.config.merge;
+        let group_list: Vec<(&MetricId, &PiecewiseRoofline, Vec<(usize, &MetricColumn)>)> = groups
+            .into_iter()
+            .map(|(metric, cols)| (metric, &self.rooflines[metric], cols))
+            .collect();
+        let merged: Vec<Vec<(usize, Result<MetricEstimate>)>> =
+            parallel::map(&group_list, self.config.threads, |(_, roofline, cols)| {
+                let total = cols.iter().map(|(_, c)| c.len()).sum();
+                let mut concatenated = Vec::with_capacity(total);
+                for (_, column) in cols {
+                    concatenated.extend_from_slice(column.intensities());
+                }
+                let mut estimates = Vec::new();
+                roofline.estimate_soa(&concatenated, &mut estimates);
+                let mut out = Vec::with_capacity(cols.len());
+                let mut offset = 0;
+                for (wi, column) in cols {
+                    let segment = &estimates[offset..offset + column.len()];
+                    offset += column.len();
+                    out.push((*wi, merge_estimates(segment, column, merge)));
+                }
+                out
+            });
+
+        // Scatter metric results back to their workloads, then assemble
+        // each Estimate with the same error precedence and aggregation
+        // fold as the single-workload path.
+        let mut per_workload: Vec<BTreeMap<&MetricId, Result<MetricEstimate>>> =
+            workloads.iter().map(|_| BTreeMap::new()).collect();
+        for ((metric, _, _), outs) in group_list.iter().zip(merged) {
+            for (wi, result) in outs {
+                per_workload[wi].insert(*metric, result);
+            }
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(wi, pre)| {
+                if let Some(decided) = pre {
+                    return decided;
+                }
+                let mut per_metric = BTreeMap::new();
+                for metric in &metric_order[wi] {
+                    let result = per_workload[wi]
+                        .remove(*metric)
+                        .expect("every routed metric was merged");
+                    per_metric.insert((*metric).clone(), result?);
+                }
+                let throughput = match self.config.aggregation {
+                    EnsembleAggregation::Min => per_metric
+                        .values()
+                        .map(|e| e.merged)
+                        .fold(f64::INFINITY, f64::min),
+                    EnsembleAggregation::Mean => {
+                        per_metric.values().map(|e| e.merged).sum::<f64>()
+                            / per_metric.len() as f64
+                    }
+                };
+                Ok(Estimate {
+                    per_metric,
+                    throughput,
+                    aggregation: self.config.aggregation,
+                })
+            })
+            .collect()
+    }
+
     /// The trained per-metric rooflines.
     pub fn rooflines(&self) -> &BTreeMap<MetricId, PiecewiseRoofline> {
         &self.rooflines
@@ -707,15 +821,28 @@ fn merge_column(
     roofline: &PiecewiseRoofline,
     merge: MergeStrategy,
 ) -> Result<MetricEstimate> {
+    // Estimate the whole column through the batch SoA kernel (bit-identical
+    // to per-sample `estimate`, minus the per-sample shape dispatch), then
+    // accumulate in the same sample order as before.
+    let estimates = roofline.estimate_column(column);
+    merge_estimates(&estimates, column, merge)
+}
+
+/// The accumulation half of [`merge_column`]: merges pre-computed
+/// per-sample estimates for one column. Shared with the coalesced
+/// [`SpireModel::estimate_batch`] path, where the estimates arrive as a
+/// slice of a larger concatenated column — sharing the accumulation loop
+/// is what makes the two paths bit-identical by construction.
+fn merge_estimates(
+    estimates: &[f64],
+    column: &MetricColumn,
+    merge: MergeStrategy,
+) -> Result<MetricEstimate> {
     let mut weighted_sum = 0.0;
     let mut weight_total = 0.0;
     let mut min_e = f64::INFINITY;
     let mut max_e = f64::NEG_INFINITY;
     let mut total_time = 0.0;
-    // Estimate the whole column through the batch SoA kernel (bit-identical
-    // to per-sample `estimate`, minus the per-sample shape dispatch), then
-    // accumulate in the same sample order as before.
-    let estimates = roofline.estimate_column(column);
     for (&e, &time) in estimates.iter().zip(column.times()) {
         let w = match merge {
             MergeStrategy::TimeWeighted => time,
@@ -873,6 +1000,66 @@ mod tests {
             model.estimate(&wl).unwrap_err(),
             SpireError::NoCommonMetrics
         ));
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_identical_to_per_workload_estimate() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        // A mixed batch: overlapping metrics (so columns coalesce), an
+        // empty workload, and a no-common-metrics workload interleaved
+        // with valid ones.
+        let mut w1 = SampleSet::new();
+        w1.push(s("stalls", 10.0, 20.0, 5.0));
+        w1.push(s("hits", 10.0, 20.0, 20.0));
+        let mut w2 = SampleSet::new();
+        w2.push(s("stalls", 30.0, 30.0, 30.0));
+        w2.push(s("stalls", 10.0, 100.0, 10.0));
+        let empty = SampleSet::new();
+        let mut foreign = SampleSet::new();
+        foreign.push(s("untrained", 10.0, 20.0, 5.0));
+        let mut w3 = SampleSet::new();
+        w3.push(s("hits", 5.0, 40.0, 8.0));
+
+        let batch = [&w1, &empty, &w2, &foreign, &w3];
+        for threads in [1usize, 0] {
+            let mut model = model.clone();
+            model.set_threads(threads);
+            let batched = model.estimate_batch(&batch);
+            assert_eq!(batched.len(), batch.len());
+            for (wl, got) in batch.iter().zip(&batched) {
+                match model.estimate(wl) {
+                    Ok(direct) => {
+                        let got = got.as_ref().expect("batch slot should succeed");
+                        assert_eq!(got.throughput().to_bits(), direct.throughput().to_bits());
+                        assert_eq!(got.per_metric(), direct.per_metric());
+                    }
+                    Err(expected) => {
+                        let got = got.as_ref().expect_err("batch slot should fail");
+                        assert_eq!(got.to_string(), expected.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_batch_isolates_degenerate_workloads() {
+        let model = SpireModel::train(&training(), TrainConfig::default()).unwrap();
+        // A workload with all-zero times (bypassing Sample::new validation)
+        // fails with DegenerateWeights without poisoning its batch
+        // neighbors — even though its column was coalesced with theirs.
+        let mut poisoned = SampleSet::new();
+        poisoned.push_unchecked("stalls".into(), 0.0, 0.0, 1.0);
+        let mut healthy = SampleSet::new();
+        healthy.push(s("stalls", 10.0, 20.0, 5.0));
+        let out = model.estimate_batch(&[&poisoned, &healthy]);
+        assert!(matches!(
+            out[0].as_ref().unwrap_err(),
+            SpireError::DegenerateWeights { .. }
+        ));
+        let direct = model.estimate(&healthy).unwrap();
+        let got = out[1].as_ref().unwrap();
+        assert_eq!(got.throughput().to_bits(), direct.throughput().to_bits());
     }
 
     #[test]

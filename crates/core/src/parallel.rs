@@ -108,6 +108,19 @@ where
     })
 }
 
+/// Runs one closure with panic containment: `Ok(value)` on success,
+/// `Err(message)` if the closure panics.
+///
+/// This is the single-job form of [`map_catching`], intended for request
+/// isolation in resident services: one malformed or adversarial request
+/// must not tear down the worker thread serving every other connection.
+/// Payload recovery matches [`map_catching`] (`&str` / `String`
+/// payloads become the message, anything else is opaque), and the same
+/// panic-hook note applies.
+pub fn run_catching<U>(f: impl FnOnce() -> U) -> Result<U, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| panic_message(payload.as_ref()))
+}
+
 /// Extracts a human-readable message from a caught panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -210,6 +223,13 @@ mod tests {
             out[1].as_ref().err().map(String::as_str),
             Some("owned string")
         );
+    }
+
+    #[test]
+    fn run_catching_contains_and_passes_through() {
+        assert_eq!(run_catching(|| 6 * 7), Ok(42));
+        let err = run_catching(|| -> u32 { panic!("request poisoned") });
+        assert_eq!(err, Err("request poisoned".to_owned()));
     }
 
     #[test]

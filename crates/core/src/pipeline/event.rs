@@ -136,6 +136,35 @@ pub enum Event {
         /// The unchanged metric.
         metric: String,
     },
+    /// A serving-layer request was shed because its model's bounded queue
+    /// was full (the backpressure alternative to silent drops).
+    RequestShed {
+        /// The model the request targeted.
+        model: String,
+        /// Queue depth at shed time.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// A serving-layer request panicked and was contained at the request
+    /// boundary (`parallel::run_catching`); the connection got a typed
+    /// error and the worker kept running.
+    RequestIsolated {
+        /// Request kind (`estimate`, `analyze`, …) — named `request` so it
+        /// does not collide with the JSON `kind` discriminator.
+        request: String,
+        /// The recovered panic message.
+        detail: String,
+    },
+    /// A serving-layer model was hot-reloaded by atomic snapshot swap.
+    ModelReloaded {
+        /// The reloaded model's registry name.
+        model: String,
+        /// Snapshot fingerprint before the swap.
+        old_fingerprint: String,
+        /// Snapshot fingerprint after the swap.
+        new_fingerprint: String,
+    },
     /// Free-form progress text (the bench bins' narration).
     Note {
         /// Stage or context name.
@@ -162,6 +191,9 @@ impl Event {
             Event::FrontThinned { .. } => "front_thinned",
             Event::ModelRefit { .. } => "model_refit",
             Event::ModelUnchanged { .. } => "model_unchanged",
+            Event::RequestShed { .. } => "request_shed",
+            Event::RequestIsolated { .. } => "request_isolated",
+            Event::ModelReloaded { .. } => "model_reloaded",
             Event::Note { .. } => "note",
         }
     }
@@ -175,7 +207,9 @@ impl Event {
             | Event::RowsQuarantined { .. }
             | Event::SnapshotRecordDropped { .. }
             | Event::SnapshotSalvaged { .. }
-            | Event::CaptureDegraded { .. } => Severity::Degraded,
+            | Event::CaptureDegraded { .. }
+            | Event::RequestShed { .. }
+            | Event::RequestIsolated { .. } => Severity::Degraded,
             Event::FrontThinned { .. } => Severity::Warning,
             Event::BudgetConsumed { exceeded, .. } => {
                 if *exceeded {
@@ -251,6 +285,19 @@ impl Event {
             Event::ModelUnchanged { metric } => {
                 format!("metric {metric} unchanged (all new samples dominated)")
             }
+            Event::RequestShed {
+                model,
+                depth,
+                capacity,
+            } => format!("shed request for model {model}: queue full ({depth}/{capacity})"),
+            Event::RequestIsolated { request, detail } => {
+                format!("isolated panicking {request} request: {detail}")
+            }
+            Event::ModelReloaded {
+                model,
+                old_fingerprint,
+                new_fingerprint,
+            } => format!("reloaded model {model}: {old_fingerprint} -> {new_fingerprint}"),
             Event::Note { text, .. } => text.clone(),
         }
     }
@@ -350,6 +397,28 @@ impl Serialize for Event {
             }
             Event::ModelUnchanged { metric } => {
                 entries.push(field("metric", Content::Str(metric.clone())));
+            }
+            Event::RequestShed {
+                model,
+                depth,
+                capacity,
+            } => {
+                entries.push(field("model", Content::Str(model.clone())));
+                entries.push(field("depth", Content::U64(*depth as u64)));
+                entries.push(field("capacity", Content::U64(*capacity as u64)));
+            }
+            Event::RequestIsolated { request, detail } => {
+                entries.push(field("request", Content::Str(request.clone())));
+                entries.push(field("detail", Content::Str(detail.clone())));
+            }
+            Event::ModelReloaded {
+                model,
+                old_fingerprint,
+                new_fingerprint,
+            } => {
+                entries.push(field("model", Content::Str(model.clone())));
+                entries.push(field("old_fingerprint", Content::Str(old_fingerprint.clone())));
+                entries.push(field("new_fingerprint", Content::Str(new_fingerprint.clone())));
             }
             Event::Note { stage, text } => {
                 entries.push(field("stage", Content::Str(stage.clone())));

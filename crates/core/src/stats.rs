@@ -2,11 +2,45 @@
 //! correlations and ranking-overlap measures for comparing bottleneck
 //! rankings (SPIRE vs TMA vs regression baselines).
 
+/// Keeps the indices where both slices are non-NaN.
+///
+/// The shared NaN policy of this module (matching the estimator's
+/// NaN-propagation policy in `RightRegion::eval`): a NaN carries no rank
+/// information, so the pair of observations at that index is excluded from
+/// the correlation as if it had never been measured. Infinities *are*
+/// ordered and are kept.
+fn non_nan_indices(a: &[f64], b: &[f64]) -> Vec<usize> {
+    (0..a.len())
+        .filter(|&i| !a[i].is_nan() && !b[i].is_nan())
+        .collect()
+}
+
+/// Sign of `x - y` extracted via [`f64::total_cmp`] — never panics, and
+/// treats numerically equal values (including `-0.0` vs `0.0`) as tied.
+/// Callers filter NaN before comparing; `total_cmp` keeps the extraction
+/// total even if one slips through.
+fn cmp_sign(x: f64, y: f64) -> i64 {
+    if x == y {
+        return 0;
+    }
+    match x.total_cmp(&y) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+
 /// Kendall's tau-b rank correlation between two equal-length slices.
 ///
 /// Returns a value in `[-1, 1]`; `0.0` for degenerate inputs (fewer than
-/// two elements, or all-tied sequences). Tau-b adjusts for ties on
+/// two usable elements, or all-tied sequences). Tau-b adjusts for ties on
 /// either side.
+///
+/// NaN semantics: indices where either slice holds NaN are skipped — every
+/// pair involving such an index contributes to neither the numerator nor
+/// the tie counts, exactly as if the observation had never been measured.
+/// This function is total over all finite, infinite, and NaN inputs; it
+/// never panics on values.
 ///
 /// ```
 /// use spire_core::stats::kendall_tau;
@@ -15,6 +49,9 @@
 /// assert!((perfect - 1.0).abs() < 1e-12);
 /// let reversed = kendall_tau(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
 /// assert!((reversed + 1.0).abs() < 1e-12);
+/// // A NaN observation is skipped, not propagated.
+/// let skipped = kendall_tau(&[1.0, f64::NAN, 2.0, 3.0], &[10.0, 0.0, 20.0, 30.0]);
+/// assert!((skipped - 1.0).abs() < 1e-12);
 /// ```
 ///
 /// # Panics
@@ -22,7 +59,8 @@
 /// Panics if the slices have different lengths.
 pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "rank correlation needs paired samples");
-    let n = a.len();
+    let idx = non_nan_indices(a, b);
+    let n = idx.len();
     if n < 2 {
         return 0.0;
     }
@@ -30,21 +68,22 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
     let mut discordant = 0i64;
     let mut ties_a = 0i64;
     let mut ties_b = 0i64;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let da = a[i] - a[j];
-            let db = b[i] - b[j];
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let (i, j) = (idx[p], idx[q]);
+            let sa = cmp_sign(a[i], a[j]);
+            let sb = cmp_sign(b[i], b[j]);
             // Tau-b's n1/n2 terms count every pair tied on that variable,
             // including pairs tied on both — dropping joint ties from both
             // counts shrinks the denominator and inflates |τ|.
-            if da == 0.0 {
+            if sa == 0 {
                 ties_a += 1;
             }
-            if db == 0.0 {
+            if sb == 0 {
                 ties_b += 1;
             }
-            if da != 0.0 && db != 0.0 {
-                if (da > 0.0) == (db > 0.0) {
+            if sa != 0 && sb != 0 {
+                if sa == sb {
                     concordant += 1;
                 } else {
                     discordant += 1;
@@ -62,18 +101,23 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
 
 /// Spearman's rank correlation (Pearson over ranks, average-rank ties).
 ///
-/// Returns `0.0` for degenerate inputs.
+/// Returns `0.0` for degenerate inputs. NaN observations are skipped
+/// pairwise under the same policy as [`kendall_tau`]: an index where
+/// either slice holds NaN is excluded before ranking.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "rank correlation needs paired samples");
-    if a.len() < 2 {
+    let idx = non_nan_indices(a, b);
+    if idx.len() < 2 {
         return 0.0;
     }
-    let ra = ranks(a);
-    let rb = ranks(b);
+    let fa: Vec<f64> = idx.iter().map(|&i| a[i]).collect();
+    let fb: Vec<f64> = idx.iter().map(|&i| b[i]).collect();
+    let ra = ranks(&fa);
+    let rb = ranks(&fb);
     pearson(&ra, &rb)
 }
 
@@ -129,11 +173,21 @@ fn ranks(v: &[f64]) -> Vec<f64> {
 /// Overlap@k between two ranked lists: the number of distinct items shared
 /// by the two `k`-prefixes, as a fraction of the first `k` rank positions.
 ///
-/// `k` is clamped to the longer list, so comparing two identical short
-/// lists yields `1.0`; when one list is shorter than the (clamped) `k`,
-/// its missing positions count as disagreements. Duplicate items within a
-/// prefix are counted once. Returns `1.0` when `k == 0` or both lists are
-/// empty (empty prefixes trivially agree). Items are compared by equality.
+/// This is a **total function** over every `(a, b, k)` — the serve `stats`
+/// endpoint reports it for arbitrary rankings, so the edge cases are
+/// pinned:
+///
+/// * `k == 0` returns `1.0` (empty prefixes trivially agree), as does
+///   `k > 0` with both lists empty;
+/// * `k > max(a.len(), b.len())` is clamped to the longer list, so
+///   comparing two identical short lists yields `1.0` no matter how large
+///   `k` is;
+/// * when one list is shorter than the (clamped) `k`, its missing
+///   positions count as disagreements;
+/// * the result is always in `[0, 1]` and symmetric in `a`/`b`.
+///
+/// Duplicate items within a prefix are counted once. Items are compared
+/// by equality.
 ///
 /// This definition is symmetric: `overlap_at_k(a, b, k) ==
 /// overlap_at_k(b, a, k)` for any inputs, in particular for equal-length
@@ -200,8 +254,16 @@ mod tests {
 
     /// Textbook tau-b computed from tie-group sizes: `n1`/`n2` are the
     /// numbers of pairs tied within `a` / within `b` (joint ties included
-    /// in both), and the numerator sums `sign(da) * sign(db)`.
+    /// in both), and the numerator sums `sign(da) * sign(db)`. NaN indices
+    /// are pre-filtered under the same skip policy as [`kendall_tau`];
+    /// sign extraction goes through `total_cmp`, so the reference is as
+    /// panic-free as the implementation it checks.
     fn tau_b_reference(a: &[f64], b: &[f64]) -> f64 {
+        let idx = non_nan_indices(a, b);
+        let (a, b): (Vec<f64>, Vec<f64>) = (
+            idx.iter().map(|&i| a[i]).collect(),
+            idx.iter().map(|&i| b[i]).collect(),
+        );
         let n = a.len();
         if n < 2 {
             return 0.0;
@@ -209,8 +271,8 @@ mod tests {
         let mut num = 0i64;
         for i in 0..n {
             for j in (i + 1)..n {
-                let sa = (a[i] - a[j]).partial_cmp(&0.0).unwrap() as i64;
-                let sb = (b[i] - b[j]).partial_cmp(&0.0).unwrap() as i64;
+                let sa = cmp_sign(a[i], a[j]);
+                let sb = cmp_sign(b[i], b[j]);
                 num += sa * sb;
             }
         }
@@ -231,7 +293,7 @@ mod tests {
             pairs
         };
         let n0 = (n * (n - 1) / 2) as i64;
-        let denom = (((n0 - tie_pairs(a)) as f64) * ((n0 - tie_pairs(b)) as f64)).sqrt();
+        let denom = (((n0 - tie_pairs(&a)) as f64) * ((n0 - tie_pairs(&b)) as f64)).sqrt();
         if denom == 0.0 {
             0.0
         } else {
@@ -330,6 +392,62 @@ mod tests {
         let other = ["x", "y", "z"];
         assert!((overlap_at_k(&dup, &other, 3) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(overlap_at_k(&dup, &other, 3), overlap_at_k(&other, &dup, 3));
+    }
+
+    #[test]
+    fn kendall_skips_nan_observations_instead_of_panicking() {
+        // Regression: the pre-fix implementation extracted pair signs with
+        // `partial_cmp(&0.0).unwrap()`, which panicked on NaN input. The
+        // defined semantics now skip the NaN index entirely.
+        let with_nan = kendall_tau(&[1.0, f64::NAN, 2.0, 3.0], &[1.0, 9.0, 2.0, 3.0]);
+        let without = kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(with_nan.to_bits(), without.to_bits());
+        // NaN on either side skips the index.
+        let t = kendall_tau(&[1.0, 2.0, 3.0, 4.0], &[4.0, 3.0, f64::NAN, 1.0]);
+        assert!((t + 1.0).abs() < 1e-12, "tau = {t}");
+        // All-NaN input is degenerate, not a panic.
+        assert_eq!(kendall_tau(&[f64::NAN; 4], &[1.0, 2.0, 3.0, 4.0]), 0.0);
+        assert_eq!(kendall_tau(&[f64::NAN; 2], &[f64::NAN; 2]), 0.0);
+    }
+
+    #[test]
+    fn kendall_orders_infinities() {
+        // Infinities carry rank information and are kept; equal infinities
+        // are ties (the old `a[i] - a[j]` formulation made them NaN).
+        let t = kendall_tau(
+            &[f64::NEG_INFINITY, 0.0, f64::INFINITY],
+            &[1.0, 2.0, 3.0],
+        );
+        assert!((t - 1.0).abs() < 1e-12);
+        assert_eq!(
+            kendall_tau(&[f64::INFINITY, f64::INFINITY], &[1.0, 2.0]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn spearman_skips_nan_observations() {
+        let with_nan = spearman_rho(&[1.0, f64::NAN, 2.0, 3.0], &[1.0, 9.0, 2.0, 3.0]);
+        let without = spearman_rho(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(with_nan.to_bits(), without.to_bits());
+        assert_eq!(spearman_rho(&[f64::NAN; 3], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn overlap_at_k_edge_cases_are_pinned() {
+        let a = ["x", "y", "z"];
+        let b = ["z", "y", "x"];
+        // k == 0 is defined as perfect agreement.
+        assert_eq!(overlap_at_k(&a, &b, 0), 1.0);
+        assert_eq!(overlap_at_k(&a[..0], &b[..0], 0), 1.0);
+        // k beyond both lengths clamps to the longer list.
+        assert_eq!(overlap_at_k(&a, &b, usize::MAX), 1.0);
+        assert_eq!(overlap_at_k(&a, &a, 1000), 1.0);
+        // One empty list: the populated prefix finds no partners.
+        assert_eq!(overlap_at_k(&a[..0], &b, 2), 0.0);
+        assert_eq!(overlap_at_k(&a, &b[..0], 2), 0.0);
+        // Both empty with k > 0: clamped to 0 positions, trivially 1.0.
+        assert_eq!(overlap_at_k(&a[..0], &b[..0], 5), 1.0);
     }
 
     #[test]

@@ -54,8 +54,46 @@ fn tol(v: f64) -> f64 {
     1e-6 * (1.0 + v.abs())
 }
 
+/// Strategy: an f64 that may be finite, NaN, or an infinity — the full
+/// range a long-running service can see in hostile request payloads.
+fn wild_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1e6f64..1e6,
+        1 => Just(f64::NAN),
+        1 => prop_oneof![Just(f64::INFINITY), Just(f64::NEG_INFINITY), Just(-0.0f64)],
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite hardening: rank statistics are total functions. No
+    /// finite-or-NaN (or infinite) input may panic, and results stay in
+    /// the documented ranges.
+    #[test]
+    fn rank_stats_never_panic(pairs in prop::collection::vec((wild_f64(), wild_f64()), 0..32)) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let tau = spire_core::stats::kendall_tau(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&tau), "tau out of range: {tau}");
+        let rho = spire_core::stats::spearman_rho(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&rho), "rho out of range: {rho}");
+    }
+
+    /// `overlap_at_k` is total over every `k` (including 0 and beyond
+    /// both lengths), bounded in [0, 1], and symmetric in its lists.
+    #[test]
+    fn overlap_at_k_is_total_and_symmetric(
+        a in prop::collection::vec(0u8..16, 0..12),
+        b in prop::collection::vec(0u8..16, 0..12),
+        k in 0usize..32,
+    ) {
+        let ab = spire_core::stats::overlap_at_k(&a, &b, k);
+        let ba = spire_core::stats::overlap_at_k(&b, &a, k);
+        prop_assert!((0.0..=1.0).contains(&ab), "overlap out of range: {ab}");
+        prop_assert_eq!(ab.to_bits(), ba.to_bits(), "overlap not symmetric");
+        prop_assert_eq!(spire_core::stats::overlap_at_k(&a, &b, 0).to_bits(), 1.0f64.to_bits());
+    }
 
     /// Paper Sec. III-B: the fitted function lies on or above all of its
     /// training samples — for every fitting mode.

@@ -159,14 +159,16 @@ impl Dataset {
         serde_json::from_str(json)
     }
 
-    /// Writes the dataset to `path` as JSON.
+    /// Writes the dataset to `path` as JSON, atomically: a crash
+    /// mid-write leaves the destination with either its old bytes or the
+    /// complete new ones, never a truncated dataset.
     ///
     /// # Errors
     ///
     /// Returns an [`io::Error`] on filesystem failure.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let json = self.to_json().map_err(io::Error::other)?;
-        fs::write(path, json)
+        spire_core::write_atomic(path.as_ref(), &json)
     }
 
     /// Reads a dataset from a JSON file at `path`.

@@ -1,0 +1,117 @@
+//! A small LRU cache of recent batch results, one per served model.
+//!
+//! Keys are 64-bit FNV-1a hashes of the request's semantic identity
+//! (kind, top-k, serving fingerprint, serialized samples), so a hit can
+//! only occur for a byte-identical workload against the same snapshot —
+//! reloads implicitly invalidate because the fingerprint is part of the
+//! key. Recency is a monotonic tick, eviction is exact least-recent.
+
+use std::collections::HashMap;
+
+use crate::proto::Response;
+
+/// Exact-LRU map from request hash to cached response.
+#[derive(Debug)]
+pub struct LruCache {
+    map: HashMap<u64, (u64, Response)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` responses (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: u64) -> Option<Response> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|(seen, response)| {
+            *seen = tick;
+            response.clone()
+        })
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when full.
+    pub fn put(&mut self, key: u64, response: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (seen, _))| *seen)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, response));
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Hashes one request's semantic identity into a cache key.
+pub fn request_key(kind: &str, top: usize, fingerprint: &str, samples_json: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(kind.len() + fingerprint.len() + samples_json.len() + 24);
+    bytes.extend_from_slice(kind.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&top.to_le_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(fingerprint.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(samples_json.as_bytes());
+    spire_core::snapshot::fnv1a64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.put(1, Response::ok("estimate"));
+        cache.put(2, Response::ok("estimate"));
+        assert!(cache.get(1).is_some()); // refresh 1 -> 2 is now LRU
+        cache.put(3, Response::ok("estimate"));
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.put(1, Response::ok("estimate"));
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn keys_separate_kind_top_and_fingerprint() {
+        let k = |kind, top, fp| request_key(kind, top, fp, "{}");
+        assert_ne!(k("estimate", 10, "aa"), k("analyze", 10, "aa"));
+        assert_ne!(k("analyze", 5, "aa"), k("analyze", 10, "aa"));
+        assert_ne!(k("analyze", 10, "aa"), k("analyze", 10, "bb"));
+        assert_eq!(k("analyze", 10, "aa"), k("analyze", 10, "aa"));
+    }
+}

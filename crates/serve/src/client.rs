@@ -1,0 +1,92 @@
+//! A small synchronous client for the serve protocol, shared by the
+//! `spire client` subcommand and the integration tests.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+use spire_core::SampleSet;
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response};
+use crate::ServeError;
+
+/// One connection to a spire-serve daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to `addr` with a generous response timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            max_frame: 64 << 20,
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let json = serde_json::to_string(request)
+            .map_err(|e| ServeError::Protocol(format!("cannot serialize request: {e}")))?;
+        write_frame(&mut self.writer, json.as_bytes()).map_err(ServeError::Io)?;
+        let payload = read_frame(&mut self.reader, self.max_frame)?
+            .ok_or_else(|| ServeError::Protocol("server closed the connection".to_owned()))?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| ServeError::Protocol(format!("response is not UTF-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| ServeError::Protocol(format!("invalid response: {e}")))
+    }
+
+    /// `ping` → expects `pong`.
+    pub fn ping(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::bare("ping"))
+    }
+
+    /// `estimate` of `samples` under `model`.
+    pub fn estimate(&mut self, model: &str, samples: &SampleSet) -> Result<Response, ServeError> {
+        let mut request = Request::bare("estimate");
+        request.model = Some(model.to_owned());
+        request.samples = Some(samples.clone());
+        self.request(&request)
+    }
+
+    /// `analyze` of `samples` under `model`, returning the top `top` rows.
+    pub fn analyze(
+        &mut self,
+        model: &str,
+        samples: &SampleSet,
+        top: Option<usize>,
+    ) -> Result<Response, ServeError> {
+        let mut request = Request::bare("analyze");
+        request.model = Some(model.to_owned());
+        request.samples = Some(samples.clone());
+        request.top = top;
+        self.request(&request)
+    }
+
+    /// `reload` of `model`, optionally from a new snapshot path.
+    pub fn reload(&mut self, model: &str, path: Option<&Path>) -> Result<Response, ServeError> {
+        let mut request = Request::bare("reload");
+        request.model = Some(model.to_owned());
+        request.path = path.map(|p| p.display().to_string());
+        self.request(&request)
+    }
+
+    /// `stats` counters.
+    pub fn stats(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::bare("stats"))
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    pub fn shutdown(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::bare("shutdown"))
+    }
+}

@@ -1,0 +1,145 @@
+//! Length-prefixed framing over any byte stream.
+//!
+//! Every protocol message is one frame: a 4-byte big-endian payload
+//! length followed by that many bytes of UTF-8 JSON. The prefix makes
+//! message boundaries explicit (no delimiter scanning, no ambiguity with
+//! newlines inside JSON strings) and lets the reader enforce a payload
+//! cap *before* allocating, so an adversarial 4-GiB length prefix costs
+//! four bytes of reading, not an allocation.
+
+use std::io::{self, Read, Write};
+
+/// Framing-layer errors, kept separate from [`io::Error`] so callers can
+/// distinguish "the peer broke protocol" from "the socket died".
+#[derive(Debug)]
+pub enum FrameError {
+    /// The declared payload length exceeds the configured cap.
+    Oversize {
+        /// Declared payload length.
+        declared: usize,
+        /// The reader's cap.
+        max: usize,
+    },
+    /// The stream ended in the middle of a frame (after a partial length
+    /// prefix or a partial payload).
+    Truncated,
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX bytes",
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, enforcing `max` before allocating.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames); a close *inside* a frame is [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max {
+        return Err(FrameError::Oversize { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    let mut read = 0;
+    while read < declared {
+        match r.read(&mut payload[read..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_payloads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xFFu8; 300]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), vec![0xFF; 300]);
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_declared_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf), 64).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::Oversize {
+                declared,
+                max: 64
+            } if declared == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn mid_frame_close_is_truncated_not_clean_eof() {
+        // Partial prefix.
+        let err = read_frame(&mut Cursor::new(vec![0u8, 0]), 64).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated));
+        // Full prefix, partial payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(buf), 64).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated));
+    }
+}

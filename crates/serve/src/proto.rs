@@ -1,0 +1,203 @@
+//! The request/response protocol spoken inside frames.
+//!
+//! Messages are flat structs with a `kind` discriminator and optional
+//! payload fields, so the wire schema is one stable JSON object per
+//! direction and absent fields simply stay `None`. Request kinds:
+//! `ping`, `estimate`, `analyze`, `reload`, `stats`, `shutdown`.
+//!
+//! Every model-touching response carries the `fingerprint` of the
+//! snapshot that produced it, which is what makes hot reload observable:
+//! a client racing a reload can attribute each response to exactly the
+//! old or the new model.
+
+use serde::{Deserialize, Serialize};
+use spire_core::{RankedMetric, SampleSet};
+
+/// One client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// `ping` | `estimate` | `analyze` | `reload` | `stats` | `shutdown`.
+    pub kind: String,
+    /// Target model name (estimate / analyze / reload).
+    pub model: Option<String>,
+    /// Workload samples (estimate / analyze), in the standard
+    /// `{"samples": [...]}` row format.
+    pub samples: Option<SampleSet>,
+    /// How many ranked rows to return (analyze; default 10).
+    pub top: Option<usize>,
+    /// Snapshot path override (reload; defaults to the model's
+    /// registered path).
+    pub path: Option<String>,
+}
+
+impl Request {
+    /// A bare request of the given kind with no payload.
+    pub fn bare(kind: &str) -> Self {
+        Request {
+            kind: kind.to_owned(),
+            model: None,
+            samples: None,
+            top: None,
+            path: None,
+        }
+    }
+}
+
+/// Per-metric detail of an estimate response (a flattened
+/// [`spire_core::ensemble::MetricEstimate`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricResult {
+    /// The metric.
+    pub metric: String,
+    /// Time-weighted merged estimate (paper Eq. 1).
+    pub merged: f64,
+    /// Samples merged for this metric.
+    pub sample_count: usize,
+}
+
+/// Outcome of a reload request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReloadInfo {
+    /// Fingerprint before the swap.
+    pub old_fingerprint: String,
+    /// Fingerprint after the swap.
+    pub new_fingerprint: String,
+    /// Whether the load salvaged (dropped) any snapshot records.
+    pub salvaged: bool,
+}
+
+/// Per-model counters reported by `stats`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Registry name.
+    pub name: String,
+    /// Fingerprint of the currently served snapshot.
+    pub fingerprint: String,
+    /// Trained metrics in the served model.
+    pub metrics: usize,
+    /// Total estimate requests routed to this model.
+    pub estimates: u64,
+    /// Total analyze requests routed to this model.
+    pub analyzes: u64,
+    /// Requests shed because the queue was full.
+    pub shed: u64,
+    /// Requests isolated after a contained panic.
+    pub isolated: u64,
+    /// Batch-result cache hits.
+    pub cache_hits: u64,
+    /// Batch-result cache misses.
+    pub cache_misses: u64,
+    /// Worker batches that coalesced more than one request.
+    pub coalesced_batches: u64,
+    /// Largest coalesced batch seen.
+    pub max_batch: u64,
+    /// Successful hot reloads.
+    pub reloads: u64,
+    /// overlap@5 between the last two analyze rankings, when two exist.
+    pub drift_overlap: Option<f64>,
+    /// Kendall tau between the last two analyze rankings, when two exist.
+    pub drift_tau: Option<f64>,
+}
+
+/// Server-wide counters reported by `stats`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Requests parsed since start.
+    pub requests: u64,
+    /// Per-model counters, in registry order.
+    pub models: Vec<ModelStats>,
+}
+
+/// One server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Echoes the request kind (`pong` for `ping`), or `error`.
+    pub kind: String,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Error detail when `ok` is false.
+    pub error: Option<String>,
+    /// True when the request was shed under load (a retry-later signal,
+    /// distinct from a malformed or failing request).
+    pub shed: Option<bool>,
+    /// The model that served the request.
+    pub model: Option<String>,
+    /// Fingerprint of the snapshot that served the request.
+    pub fingerprint: Option<String>,
+    /// Ensemble throughput estimate (estimate / analyze).
+    pub throughput: Option<f64>,
+    /// Per-metric merge detail (estimate).
+    pub per_metric: Option<Vec<MetricResult>>,
+    /// Ranked bottleneck rows (analyze).
+    pub ranked: Option<Vec<RankedMetric>>,
+    /// Whether this response came from the batch-result cache.
+    pub cached: Option<bool>,
+    /// Reload outcome (reload).
+    pub reloaded: Option<ReloadInfo>,
+    /// Server counters (stats).
+    pub stats: Option<ServerStats>,
+}
+
+impl Response {
+    /// A minimal success response of the given kind.
+    pub fn ok(kind: &str) -> Self {
+        Response {
+            kind: kind.to_owned(),
+            ok: true,
+            error: None,
+            shed: None,
+            model: None,
+            fingerprint: None,
+            throughput: None,
+            per_metric: None,
+            ranked: None,
+            cached: None,
+            reloaded: None,
+            stats: None,
+        }
+    }
+
+    /// An error response with the given detail.
+    pub fn error(detail: impl Into<String>) -> Self {
+        let mut r = Response::ok("error");
+        r.ok = false;
+        r.error = Some(detail.into());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_requests_round_trip_with_missing_fields() {
+        let parsed: Request = serde_json::from_str(r#"{"kind":"ping"}"#).unwrap();
+        assert_eq!(parsed.kind, "ping");
+        assert!(parsed.model.is_none());
+        assert!(parsed.samples.is_none());
+
+        let full = Request {
+            kind: "analyze".into(),
+            model: Some("prod".into()),
+            samples: None,
+            top: Some(5),
+            path: None,
+        };
+        let back: Request = serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
+        assert_eq!(back.kind, "analyze");
+        assert_eq!(back.top, Some(5));
+    }
+
+    #[test]
+    fn error_responses_carry_detail() {
+        let r = Response::error("bad frame");
+        assert!(!r.ok);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.error.as_deref(), Some("bad frame"));
+        assert_eq!(back.kind, "error");
+    }
+}

@@ -1,0 +1,422 @@
+//! The connection supervisor: accept loop, per-connection handlers,
+//! request dispatch, and the worker pool's lifecycle.
+//!
+//! Threading model: one nonblocking accept loop (polled so shutdown can
+//! interrupt it), one thread per connection reading frames with a short
+//! receive timeout (so handlers notice shutdown without a wakeup
+//! channel), and a fixed worker pool draining the bounded job queue.
+//! `estimate`/`analyze` requests go through the queue (where they
+//! coalesce per model); `ping`/`stats`/`reload`/`shutdown` are answered
+//! inline on the connection thread — reload is an atomic `Arc` swap, so
+//! answering it inline cannot stall the workers.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use spire_core::catalog::MetricCatalog;
+use spire_core::pipeline::{
+    DiagnosticsBus, Event, EventSink, PipelineConfig, RunContext,
+};
+
+use crate::cache::request_key;
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{ModelStats, Request, Response, ServerStats};
+use crate::queue::{Job, JobQueue};
+use crate::registry::{ModelCounters, ModelRegistry};
+use crate::worker::{self, effective_top};
+use crate::ServeError;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded job-queue capacity; overflow sheds with a typed event.
+    pub queue_capacity: usize,
+    /// Per-model LRU capacity for recent batch results (0 disables).
+    pub cache_capacity: usize,
+    /// Maximum accepted frame payload, in bytes.
+    pub max_frame: usize,
+    /// Maximum requests coalesced into one worker batch.
+    pub max_batch: usize,
+    /// Pipeline configuration (snapshot mode, estimate threads, …).
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            max_frame: 8 << 20,
+            max_batch: 32,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Forwards per-context events onto the server's shared bus, so stage
+/// events emitted inside an ad-hoc `RunContext` still reach the daemon's
+/// sinks and degraded flag.
+struct BusForward(Arc<DiagnosticsBus>);
+
+impl EventSink for BusForward {
+    fn emit(&self, event: &Event) {
+        self.0.emit(event.clone());
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+pub struct ServerShared {
+    /// Daemon configuration.
+    pub config: ServerConfig,
+    /// The served models.
+    pub registry: ModelRegistry,
+    /// The bounded request queue.
+    pub queue: JobQueue,
+    /// The diagnostics bus every serving decision is emitted on.
+    pub bus: Arc<DiagnosticsBus>,
+    /// Catalog used to annotate analyze rankings.
+    pub catalog: MetricCatalog,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl ServerShared {
+    /// A fresh `RunContext` whose events forward to the shared bus.
+    pub fn ctx(&self) -> RunContext {
+        RunContext::new(self.config.pipeline.clone())
+            .with_sink(Arc::new(BusForward(self.bus.clone())))
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+}
+
+impl Server {
+    /// Binds the listener and loads every `(name, snapshot path)` model.
+    /// Load failures (unreadable file, strict-mode damage) fail the bind;
+    /// lenient salvages come up serving with salvage events on `sinks`.
+    pub fn bind(
+        config: ServerConfig,
+        models: Vec<(String, PathBuf)>,
+        sinks: Vec<Arc<dyn EventSink>>,
+    ) -> Result<Server, ServeError> {
+        let mut bus = DiagnosticsBus::new();
+        for sink in sinks {
+            bus.add_sink(sink);
+        }
+        let bus = Arc::new(bus);
+        let boot_ctx = RunContext::new(config.pipeline.clone())
+            .with_sink(Arc::new(BusForward(bus.clone())));
+        let registry = ModelRegistry::open(&models, config.cache_capacity, &boot_ctx)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let queue = JobQueue::new(config.queue_capacity);
+        Ok(Server {
+            listener,
+            shared: Arc::new(ServerShared {
+                config,
+                registry,
+                queue,
+                bus,
+                catalog: MetricCatalog::table_iii(),
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared state (tests inspect counters and the bus).
+    pub fn shared(&self) -> Arc<ServerShared> {
+        self.shared.clone()
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains the queue,
+    /// joins workers and connections, and returns whether the run
+    /// degraded (sheds, isolations, salvages — exit-code-2 semantics).
+    pub fn run(self) -> Result<bool, ServeError> {
+        let shared = self.shared;
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers.max(1) {
+            let s = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("spire-serve-worker-{i}"))
+                    .spawn(move || worker::worker_loop(&s))?,
+            );
+        }
+        let mut connections = Vec::new();
+        loop {
+            if shared.shutting_down() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let s = shared.clone();
+                    connections.push(std::thread::spawn(move || handle_connection(&s, stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.queue.close();
+                    return Err(ServeError::Io(e));
+                }
+            }
+        }
+        // Drain: accepted requests still get answers, then workers see
+        // the closed+empty queue and exit.
+        shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        Ok(shared.bus.degraded())
+    }
+}
+
+fn send(writer: &mut impl Write, response: &Response) -> bool {
+    match serde_json::to_string(response) {
+        Ok(json) => write_frame(writer, json.as_bytes()).is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn handle_connection(shared: &ServerShared, stream: TcpStream) {
+    // The short receive timeout is the shutdown poll: an idle connection
+    // wakes every 200 ms to check the flag instead of blocking forever.
+    if stream.set_read_timeout(Some(Duration::from_millis(200))).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader, shared.config.max_frame) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let parsed: Result<Request, String> = std::str::from_utf8(&payload)
+                    .map_err(|e| format!("payload is not UTF-8: {e}"))
+                    .and_then(|text| {
+                        serde_json::from_str(text).map_err(|e| format!("invalid request: {e}"))
+                    });
+                match parsed {
+                    Err(detail) => {
+                        // Malformed JSON inside a well-formed frame: the
+                        // stream is still in sync, so answer and go on.
+                        if !send(&mut writer, &Response::error(detail)) {
+                            break;
+                        }
+                    }
+                    Ok(request) if request.kind == "shutdown" => {
+                        shared.shutdown.store(true, Ordering::Relaxed);
+                        shared.queue.close();
+                        let _ = send(&mut writer, &Response::ok("shutdown"));
+                        break;
+                    }
+                    Ok(request) => {
+                        let response = dispatch(shared, request);
+                        if !send(&mut writer, &response) {
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(FrameError::Oversize { declared, max }) => {
+                // The refused payload is still on the wire, so the stream
+                // is desynced: answer, then close.
+                let _ = send(
+                    &mut writer,
+                    &Response::error(format!(
+                        "frame of {declared} bytes exceeds the {max}-byte cap"
+                    )),
+                );
+                break;
+            }
+            Err(FrameError::Truncated) => break,
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down() {
+                    break;
+                }
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+}
+
+fn dispatch(shared: &ServerShared, request: Request) -> Response {
+    match request.kind.as_str() {
+        "ping" => Response::ok("pong"),
+        "stats" => stats_response(shared),
+        "reload" => reload_response(shared, &request),
+        "estimate" | "analyze" => batchable_response(shared, request),
+        other => Response::error(format!(
+            "unknown request kind {other:?} \
+             (expected ping, estimate, analyze, reload, stats, or shutdown)"
+        )),
+    }
+}
+
+fn reload_response(shared: &ServerShared, request: &Request) -> Response {
+    let Some(name) = request.model.as_deref() else {
+        return Response::error("reload requires a model name");
+    };
+    let ctx = shared.ctx();
+    match shared
+        .registry
+        .reload(name, request.path.as_deref().map(Path::new), &ctx)
+    {
+        Ok(info) => {
+            let mut r = Response::ok("reload");
+            r.model = Some(name.to_owned());
+            r.fingerprint = Some(info.new_fingerprint.clone());
+            r.reloaded = Some(info);
+            r
+        }
+        Err(e) => {
+            let mut r = Response::error(e.to_string());
+            r.model = Some(name.to_owned());
+            r
+        }
+    }
+}
+
+fn stats_response(shared: &ServerShared) -> Response {
+    let models = shared
+        .registry
+        .iter()
+        .map(|(name, slot)| {
+            let entry = slot.current();
+            let c = &slot.counters;
+            let drift = *slot.drift.lock().unwrap_or_else(|p| p.into_inner());
+            ModelStats {
+                name: name.clone(),
+                fingerprint: entry.fingerprint.clone(),
+                metrics: entry.model.metric_count(),
+                estimates: c.estimates.load(Ordering::Relaxed),
+                analyzes: c.analyzes.load(Ordering::Relaxed),
+                shed: c.shed.load(Ordering::Relaxed),
+                isolated: c.isolated.load(Ordering::Relaxed),
+                cache_hits: c.cache_hits.load(Ordering::Relaxed),
+                cache_misses: c.cache_misses.load(Ordering::Relaxed),
+                coalesced_batches: c.coalesced_batches.load(Ordering::Relaxed),
+                max_batch: c.max_batch.load(Ordering::Relaxed),
+                reloads: c.reloads.load(Ordering::Relaxed),
+                drift_overlap: drift.map(|(overlap, _)| overlap),
+                drift_tau: drift.map(|(_, tau)| tau),
+            }
+        })
+        .collect();
+    let mut r = Response::ok("stats");
+    r.stats = Some(ServerStats {
+        connections: shared.connections.load(Ordering::Relaxed),
+        requests: shared.requests.load(Ordering::Relaxed),
+        models,
+    });
+    r
+}
+
+fn batchable_response(shared: &ServerShared, request: Request) -> Response {
+    let Some(name) = request.model.clone() else {
+        return Response::error(format!("{} requires a model name", request.kind));
+    };
+    let Some(slot) = shared.registry.get(&name) else {
+        return Response::error(format!("unknown model {name}"));
+    };
+    let Some(samples) = request.samples.as_ref() else {
+        return Response::error(format!("{} requires samples", request.kind));
+    };
+    match request.kind.as_str() {
+        "estimate" => ModelCounters::bump(&slot.counters.estimates),
+        _ => ModelCounters::bump(&slot.counters.analyzes),
+    }
+    let samples_json = match serde_json::to_string(samples) {
+        Ok(json) => json,
+        Err(e) => return Response::error(format!("cannot serialize samples: {e}")),
+    };
+    // Cache lookup against the currently-served fingerprint; a reload
+    // between here and the worker only wastes the lookup, never serves a
+    // stale model's result as the new model's.
+    let fingerprint = slot.current().fingerprint.clone();
+    let key = request_key(
+        &request.kind,
+        effective_top(&request.kind, request.top),
+        &fingerprint,
+        &samples_json,
+    );
+    if let Some(mut hit) = slot
+        .cache
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(key)
+    {
+        ModelCounters::bump(&slot.counters.cache_hits);
+        hit.cached = Some(true);
+        return hit;
+    }
+    ModelCounters::bump(&slot.counters.cache_misses);
+
+    let (reply, receiver) = mpsc::channel();
+    let job = Job {
+        model: name.clone(),
+        request,
+        samples_json,
+        reply,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => receiver
+            .recv()
+            .unwrap_or_else(|_| Response::error("worker dropped the request")),
+        Err((job, depth)) => {
+            let capacity = shared.queue.capacity();
+            ModelCounters::bump(&slot.counters.shed);
+            shared.bus.emit(Event::RequestShed {
+                model: name.clone(),
+                depth,
+                capacity,
+            });
+            let mut r = Response::error(format!(
+                "request shed: queue full ({depth}/{capacity}); retry later"
+            ));
+            r.shed = Some(true);
+            r.model = Some(job.model);
+            r
+        }
+    }
+}

@@ -112,6 +112,70 @@ fn pipeline_artifacts_are_bit_identical_to_direct_api() {
 }
 
 #[test]
+fn serve_path_estimates_are_bit_identical_to_the_direct_api() {
+    // The daemon's coalesced batch path (`estimate_batch` over
+    // concatenated SoA columns) and a real client round trip must both
+    // reproduce `SpireModel::estimate` exactly, bit for bit.
+    let dataset = fixture_dataset();
+    let trained = SpireModel::train_with_report(
+        &dataset.merged(),
+        TrainConfig::default(),
+        TrainStrictness::Lenient,
+    )
+    .unwrap();
+    let model = trained.model;
+
+    // Library-level: the batched path against the scalar path.
+    let sets: Vec<&SampleSet> = dataset.iter().map(|(_, set)| set).collect();
+    let batched = model.estimate_batch(&sets);
+    for (set, batched) in sets.iter().zip(&batched) {
+        let direct = model.estimate(set).unwrap();
+        let batched = batched.as_ref().unwrap();
+        assert_eq!(
+            serde_json::to_string(&direct).unwrap(),
+            serde_json::to_string(batched).unwrap(),
+            "estimate_batch diverged from estimate"
+        );
+    }
+
+    // Wire-level: the same estimates served over the daemon protocol.
+    let dir = std::env::temp_dir().join(format!("spire-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    spire_core::write_atomic(&path, &ModelSnapshot::from_model(&model).unwrap().to_json())
+        .unwrap();
+    let server = spire_serve::Server::bind(
+        spire_serve::ServerConfig::default(),
+        vec![("m".to_owned(), path)],
+        Vec::new(),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = spire_serve::Client::connect(addr).unwrap();
+    for (label, set) in dataset.iter() {
+        let response = client.estimate("m", set).unwrap();
+        assert!(response.ok, "serve estimate failed for {label}");
+        let direct = model.estimate(set).unwrap();
+        assert_eq!(
+            response.throughput.unwrap().to_bits(),
+            direct.throughput().to_bits(),
+            "served throughput diverged for {label}"
+        );
+        let per_metric = response.per_metric.unwrap();
+        assert_eq!(per_metric.len(), direct.per_metric().len());
+        for row in &per_metric {
+            let me = &direct.per_metric()[&spire_core::MetricId::new(&row.metric)];
+            assert_eq!(row.merged.to_bits(), me.merged.to_bits());
+            assert_eq!(row.sample_count, me.sample_count);
+        }
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serial_and_parallel_training_agree_through_the_pipeline() {
     // The two thread settings must also agree with each other (the
     // engine preserves the library's determinism guarantee).
