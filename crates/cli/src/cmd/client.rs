@@ -8,9 +8,11 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use std::time::Duration;
+
 use serde::Content;
 use spire_counters::Dataset;
-use spire_serve::{Client, Response};
+use spire_serve::{Client, ClientConfig, Response};
 
 use crate::args::Args;
 use crate::commands::{CmdOutput, CmdResult};
@@ -40,6 +42,16 @@ fn render(response: &Response) -> Result<String, super::CmdError> {
     if let Some(per_metric) = &response.per_metric {
         writeln!(out, "metrics contributing: {}", per_metric.len())?;
     }
+    if let (Some(seq), Some(applied)) = (response.seq, response.applied) {
+        writeln!(
+            out,
+            "seq: {seq} ({})",
+            if applied { "applied" } else { "deduplicated" }
+        )?;
+    }
+    if let Some(report) = &response.update {
+        writeln!(out, "update: {}", report.summary())?;
+    }
     if let Some(info) = &response.reloaded {
         writeln!(
             out,
@@ -58,16 +70,18 @@ fn render(response: &Response) -> Result<String, super::CmdError> {
         for m in &stats.models {
             writeln!(
                 out,
-                "model {} [{}]: {} metrics, {} estimates, {} analyzes, {} shed, \
-                 {} cache hits, {} reloads",
+                "model {} [{}]: {} metrics, {} estimates, {} analyzes, {} updates, \
+                 {} shed, {} cache hits, {} reloads{}",
                 m.name,
                 m.fingerprint,
                 m.metrics,
                 m.estimates,
                 m.analyzes,
+                m.updates,
                 m.shed,
                 m.cache_hits,
-                m.reloads
+                m.reloads,
+                m.last_seq.map(|s| format!(", seq {s}")).unwrap_or_default()
             )?;
         }
     }
@@ -84,8 +98,30 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         .get(1)
         .map(String::as_str)
         .or_else(|| args.get("kind"))
-        .ok_or("client requires a request kind (ping, estimate, analyze, reload, stats, shutdown)")?;
-    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        .ok_or(
+            "client requires a request kind \
+             (ping, estimate, analyze, update, reload, stats, shutdown)",
+        )?;
+    let config = ClientConfig {
+        read_timeout: Duration::from_millis(args.get_or("timeout-ms", 30_000)?),
+        retries: args.get_or("retries", 0)?,
+        seed: args.get_or("seed", 1)?,
+        ..ClientConfig::default()
+    };
+
+    // `ping --wait` polls until the daemon is ready (or the read timeout
+    // elapses) — the scriptable readiness check CI uses instead of
+    // sleep loops.
+    let mut client = if kind == "ping" && args.flag("wait") {
+        Client::wait_ready(
+            addr,
+            config,
+            Duration::from_millis(args.get_or("timeout-ms", 10_000)?),
+        )
+        .map_err(|e| format!("daemon at {addr} did not become ready: {e}"))?
+    } else {
+        Client::connect_with(addr, config).map_err(|e| format!("cannot connect to {addr}: {e}"))?
+    };
 
     let response = match kind {
         "ping" => client.ping(),
@@ -95,7 +131,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
             let model = args.require("model")?;
             client.reload(model, args.get("path").map(Path::new))
         }
-        "estimate" | "analyze" => {
+        "estimate" | "analyze" | "update" => {
             let model = args.require("model")?;
             let data_path = args.require("data")?;
             let label = args.require("workload")?;
@@ -103,14 +139,16 @@ pub(crate) fn run(args: &Args) -> CmdResult {
             let samples = dataset
                 .get(label)
                 .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
-            if kind == "estimate" {
-                client.estimate(model, samples)
-            } else {
-                let top = match args.get("top") {
-                    Some(_) => Some(args.get_or("top", 10)?),
-                    None => None,
-                };
-                client.analyze(model, samples, top)
+            match kind {
+                "estimate" => client.estimate(model, samples),
+                "update" => client.update(model, samples, args.get("key")),
+                _ => {
+                    let top = match args.get("top") {
+                        Some(_) => Some(args.get_or("top", 10)?),
+                        None => None,
+                    };
+                    client.analyze(model, samples, top)
+                }
             }
         }
         other => return Err(format!("unknown request kind `{other}`").into()),

@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use spire_core::pipeline::{CollectingSink, EventSink, JsonLinesSink};
-use spire_serve::{Server, ServerConfig};
+use spire_serve::{Server, ServerConfig, WalSettings};
 
 use crate::args::Args;
 use crate::commands::{CmdOutput, CmdResult};
@@ -40,6 +40,17 @@ fn model_specs(args: &Args) -> Result<Vec<(String, PathBuf)>, super::CmdError> {
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let specs = model_specs(args)?;
+    // Durable updates are opt-in: `--wal-dir` turns the journal on and
+    // with it the `update` request kind (refused otherwise).
+    let wal = match args.get("wal-dir") {
+        None => None,
+        Some(dir) => {
+            let mut settings = WalSettings::new(dir);
+            settings.compact_records = args.get_or("wal-compact", settings.compact_records)?;
+            settings.dedup_window = args.get_or("dedup-window", settings.dedup_window)?;
+            Some(settings)
+        }
+    };
     let config = ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_owned(),
         workers: args.get_or("workers", 2)?,
@@ -48,6 +59,9 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         max_frame: args.get_or("max-frame", 8 << 20)?,
         max_batch: args.get_or("max-batch", 32)?,
         pipeline: pipeline_config(args)?,
+        wal,
+        worker_restart_budget: args.get_or("restart-budget", 4)?,
+        chaos: Default::default(),
     };
 
     let collecting = Arc::new(CollectingSink::new());
@@ -74,10 +88,11 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         let load = |v: &std::sync::atomic::AtomicU64| v.load(std::sync::atomic::Ordering::Relaxed);
         writeln!(
             text,
-            "model {name}: {} estimates, {} analyzes, {} shed, {} isolated, \
-             {} cache hits, {} reloads",
+            "model {name}: {} estimates, {} analyzes, {} updates, {} shed, \
+             {} isolated, {} cache hits, {} reloads",
             load(&c.estimates),
             load(&c.analyzes),
+            load(&c.updates),
             load(&c.shed),
             load(&c.isolated),
             load(&c.cache_hits),

@@ -3,18 +3,101 @@
 //! file through [`UpdateStage`], and persists the result as an updated
 //! snapshot and/or a delta (changed metric records only) against the
 //! existing snapshot — both written atomically.
+//!
+//! With `--via-server`, batches stream to a running daemon's journaled
+//! `update` endpoint instead: each batch carries a fresh idempotency key
+//! so the bounded retry loop can never double-apply, and the daemon's
+//! WAL — not a local snapshot file — is the durability boundary.
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 
 use spire_core::pipeline::{Stage, UpdateStage};
 use spire_core::{write_atomic, ModelSnapshot, OnlineTrainer, SnapshotDelta, UpdateOutcome};
 use spire_counters::Dataset;
+use spire_serve::{Client, ClientConfig};
 
 use crate::args::Args;
 use crate::commands::CmdResult;
 
 use super::{json, CmdError, Runner};
+
+/// Streams the base dataset plus every positional batch to a daemon.
+fn run_via_server(args: &Args) -> CmdResult {
+    let addr = args.require("addr")?;
+    let model = args.require("model")?;
+    let data_path = args.require("data")?;
+    let config = ClientConfig {
+        read_timeout: Duration::from_millis(args.get_or("timeout-ms", 30_000)?),
+        retries: args.get_or("retries", 3)?,
+        ..ClientConfig::default()
+    };
+    let mut client =
+        Client::connect_with(addr, config).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    // Keys are unique per run but stable per batch, so a retried send of
+    // batch `i` (after a timeout or shed) is recognized and applied once.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+        ^ u128::from(std::process::id());
+
+    let runner = Runner::from_args(args)?;
+    let mut log = String::new();
+    let mut last_seq = 0u64;
+    let mut fingerprint = String::new();
+    let mut batches = 0usize;
+    let base = Dataset::load(data_path)?.merged();
+    let batch_paths = &args.positionals()[1..];
+    let later = batch_paths
+        .iter()
+        .map(|p| Ok((p.as_str(), Dataset::load(p)?.merged())))
+        .collect::<Result<Vec<_>, CmdError>>()?;
+    for (label, samples) in std::iter::once((data_path, base)).chain(later) {
+        let key = format!("spire-update-{nonce:x}-{batches}");
+        let response = client
+            .update(model, &samples, Some(&key))
+            .map_err(|e| format!("update of {label} failed: {e}"))?;
+        if !response.ok {
+            return Err(response
+                .error
+                .unwrap_or_else(|| format!("server refused update of {label}"))
+                .into());
+        }
+        last_seq = response.seq.unwrap_or(last_seq);
+        fingerprint = response.fingerprint.clone().unwrap_or(fingerprint);
+        batches += 1;
+        writeln!(
+            log,
+            "{label}: seq {last_seq}{}{}",
+            if response.applied == Some(false) {
+                " (deduplicated)"
+            } else {
+                ""
+            },
+            response
+                .update
+                .as_ref()
+                .map(|r| format!(", {}", r.summary()))
+                .unwrap_or_default()
+        )?;
+    }
+    writeln!(
+        log,
+        "server model {model} now at seq {last_seq} [{fingerprint}]"
+    )?;
+
+    let result = json::obj(vec![
+        ("addr", json::s(addr)),
+        ("model", json::s(model)),
+        ("batches", json::u(batches)),
+        ("last_seq", json::u(last_seq as usize)),
+        ("fingerprint", json::s(fingerprint.as_str())),
+    ]);
+    runner.finish(args, "update", log, result)
+}
 
 /// The trainer's maintained model (present after every successful commit).
 fn seeded_model(trainer: &OnlineTrainer) -> Result<&spire_core::SpireModel, CmdError> {
@@ -24,6 +107,9 @@ fn seeded_model(trainer: &OnlineTrainer) -> Result<&spire_core::SpireModel, CmdE
 }
 
 pub(crate) fn run(args: &Args) -> CmdResult {
+    if args.flag("via-server") {
+        return run_via_server(args);
+    }
     let model_path = args.require("model")?;
     let data_path = args.require("data")?;
     let snapshot_out = args.get("snapshot-out");

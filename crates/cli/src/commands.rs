@@ -93,12 +93,17 @@ COMMANDS:
             [--snapshot-out FILE]     snapshot was trained from, each
             [--out-delta FILE]        positional BATCH is a dataset of new
             [--threads N] [--strict]  samples. Only metrics whose Pareto
-                                      front moved are refitted.
-                                      --snapshot-out writes the updated
-                                      snapshot, --out-delta a delta with
-                                      the changed records only (at least
+            [--via-server --addr A    front moved are refitted.
+             --model NAME             --snapshot-out writes the updated
+             [--retries N]            snapshot, --out-delta a delta with
+             [--timeout-ms MS]]       the changed records only (at least
                                       one of the two is required); both
-                                      writes are atomic.
+                                      writes are atomic. --via-server
+                                      streams the batches to a running
+                                      daemon's journaled update endpoint
+                                      instead (--model is then the served
+                                      model name); each batch carries an
+                                      idempotency key so retries are safe.
   analyze   --model FILE --data FILE  rank bottleneck metrics for a workload
             --workload LABEL          (--model accepts a snapshot or raw
             [--top K] [--threads N]   model JSON; corrupted snapshot
@@ -128,12 +133,21 @@ COMMANDS:
             [--cache N] [--max-batch N] requests coalesce into one batched
             [--max-frame BYTES]       SoA pass, and a full queue sheds with
             [--events FILE] [--strict] a typed refusal (--events appends the
-                                      diagnostics stream as JSON lines)
+            [--wal-dir DIR]           diagnostics stream as JSON lines).
+            [--wal-compact N]         --wal-dir enables durable `update`
+            [--dedup-window N]        requests behind a checksummed
+            [--restart-budget N]      write-ahead journal, replayed on
+                                      restart; --restart-budget caps
+                                      panicked-worker respawns before the
+                                      daemon degrades to read-only.
   client    KIND --addr HOST:PORT     one request against a running daemon:
             [--model NAME]            ping, stats, shutdown, reload
             [--data FILE              [--path NEWSNAPSHOT], or estimate /
-             --workload LABEL]        analyze with samples from a dataset.
-            [--top K] [--path FILE]   A shed response exits 2 (degraded).
+             --workload LABEL]        analyze / update with samples from a
+            [--top K] [--path FILE]   dataset (update: --key sets the
+            [--key KEY]               idempotency key). A shed response
+            [--timeout-ms MS]         exits 2 (degraded). ping --wait polls
+            [--retries N] [--wait]    until the daemon is ready.
 
 GLOBAL OPTIONS:
   --json    print a machine-readable envelope instead of the human text:
@@ -157,6 +171,8 @@ pub(crate) const BOOL_FLAGS: &[&str] = &[
     "no-scale",
     "thin-front",
     "incremental",
+    "wait",
+    "via-server",
     "json",
 ];
 

@@ -713,7 +713,14 @@ impl SpireModel {
         }
 
         let merge = self.config.merge;
-        let group_list: Vec<(&MetricId, &PiecewiseRoofline, Vec<(usize, &MetricColumn)>)> = groups
+        /// One parallel work item: a metric, its roofline, and every
+        /// (workload index, column) pair that needs it.
+        type MetricGroup<'a> = (
+            &'a MetricId,
+            &'a PiecewiseRoofline,
+            Vec<(usize, &'a MetricColumn)>,
+        );
+        let group_list: Vec<MetricGroup> = groups
             .into_iter()
             .map(|(metric, cols)| (metric, &self.rooflines[metric], cols))
             .collect();
@@ -766,8 +773,7 @@ impl SpireModel {
                         .map(|e| e.merged)
                         .fold(f64::INFINITY, f64::min),
                     EnsembleAggregation::Mean => {
-                        per_metric.values().map(|e| e.merged).sum::<f64>()
-                            / per_metric.len() as f64
+                        per_metric.values().map(|e| e.merged).sum::<f64>() / per_metric.len() as f64
                     }
                 };
                 Ok(Estimate {

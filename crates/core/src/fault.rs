@@ -182,6 +182,29 @@ pub fn flip_digit(text: &str, rng: &mut FaultRng) -> Option<String> {
     Some(String::from_utf8(bytes).expect("digit-for-digit swap preserves UTF-8"))
 }
 
+/// Flips one bit of one byte in `bytes`, at a position chosen by `rng` —
+/// raw storage corruption for binary formats (length prefixes, checksums,
+/// journal frames) where [`flip_digit`]'s UTF-8 care does not apply.
+///
+/// Returns the damaged position, or `None` for an empty slice.
+pub fn flip_byte(bytes: &mut [u8], rng: &mut FaultRng) -> Option<usize> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let pos = rng.index(bytes.len());
+    let bit = rng.index(8) as u8;
+    bytes[pos] ^= 1 << bit;
+    Some(pos)
+}
+
+/// Keeps the first `fraction` of `bytes` — the binary counterpart of
+/// [`truncate`]: a torn write or short read of a journal segment.
+pub fn truncate_bytes(bytes: &[u8], fraction: f64) -> &[u8] {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let cut = (bytes.len() as f64 * fraction) as usize;
+    &bytes[..cut.min(bytes.len())]
+}
+
 /// Keeps the first `fraction` of `text` (by bytes, snapped down to a
 /// UTF-8 boundary) — a short read / interrupted write.
 pub fn truncate(text: &str, fraction: f64) -> &str {
@@ -283,6 +306,36 @@ mod tests {
         assert_eq!(diffs.len(), 1);
         assert!(diffs[0].0.is_ascii_digit() && diffs[0].1.is_ascii_digit());
         assert!(flip_digit("no digits here", &mut rng).is_none());
+    }
+
+    #[test]
+    fn flip_byte_changes_exactly_one_bit() {
+        let original = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        let mut rng = FaultRng::new(11);
+        for _ in 0..32 {
+            let mut damaged = original;
+            let pos = flip_byte(&mut damaged, &mut rng).unwrap();
+            let xor = damaged[pos] ^ original[pos];
+            assert_eq!(xor.count_ones(), 1, "pos {pos}: {xor:#010b}");
+            let diffs = damaged
+                .iter()
+                .zip(original.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diffs, 1);
+        }
+        assert!(flip_byte(&mut [], &mut rng).is_none());
+    }
+
+    #[test]
+    fn truncate_bytes_keeps_a_prefix() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        for pct in 0..=10 {
+            let cut = truncate_bytes(&bytes, pct as f64 / 10.0);
+            assert!(bytes.starts_with(cut));
+        }
+        assert_eq!(truncate_bytes(&bytes, 1.0), &bytes[..]);
+        assert!(truncate_bytes(&bytes, 0.0).is_empty());
     }
 
     #[test]

@@ -165,6 +165,72 @@ pub enum Event {
         /// Snapshot fingerprint after the swap.
         new_fingerprint: String,
     },
+    /// A serving-layer model was advanced in place by a committed
+    /// `update` batch — the write-side counterpart of
+    /// [`Event::ModelReloaded`].
+    ModelUpdated {
+        /// The updated model's registry name.
+        model: String,
+        /// Journal sequence number of the committed record.
+        seq: u64,
+        /// Snapshot fingerprint before the update.
+        old_fingerprint: String,
+        /// Snapshot fingerprint after the update.
+        new_fingerprint: String,
+        /// Samples in the committed batch.
+        samples: usize,
+    },
+    /// A retried `update` carried an idempotency key the server had
+    /// already committed; it was acknowledged without being re-applied.
+    UpdateDeduplicated {
+        /// The targeted model.
+        model: String,
+        /// The journal sequence the original commit got.
+        seq: u64,
+        /// The caller-supplied idempotency key.
+        key: String,
+    },
+    /// Journal replay found a torn or corrupt record at the tail and
+    /// truncated the file back to the last whole record. Warning, not
+    /// Degraded: a torn tail is a record the crash prevented from being
+    /// acknowledged, so dropping it loses nothing a client was promised.
+    WalTruncated {
+        /// The model whose journal was repaired.
+        model: String,
+        /// Whole records that survived and were replayed.
+        valid_records: usize,
+        /// Bytes cut from the tail.
+        dropped_bytes: u64,
+    },
+    /// The write-ahead journal was compacted: its records were folded
+    /// into a checkpoint written atomically, then the journal reset.
+    WalCompacted {
+        /// The model whose journal was compacted.
+        model: String,
+        /// Highest sequence number covered by the checkpoint.
+        seq: u64,
+        /// Journal records folded into the checkpoint.
+        records: usize,
+    },
+    /// A supervised serve worker panicked outside request containment
+    /// and was respawned in place.
+    WorkerRestarted {
+        /// Worker index within the pool.
+        worker: usize,
+        /// Restarts consumed so far (this one included), pool-wide.
+        restarts: u64,
+        /// The configured restart budget.
+        budget: u64,
+        /// The recovered panic message.
+        detail: String,
+    },
+    /// The worker restart budget is exhausted; the daemon stopped
+    /// accepting writes/work it can no longer do instead of
+    /// crash-looping.
+    DaemonReadOnly {
+        /// Why the daemon degraded.
+        reason: String,
+    },
     /// Free-form progress text (the bench bins' narration).
     Note {
         /// Stage or context name.
@@ -194,6 +260,12 @@ impl Event {
             Event::RequestShed { .. } => "request_shed",
             Event::RequestIsolated { .. } => "request_isolated",
             Event::ModelReloaded { .. } => "model_reloaded",
+            Event::ModelUpdated { .. } => "model_updated",
+            Event::UpdateDeduplicated { .. } => "update_deduplicated",
+            Event::WalTruncated { .. } => "wal_truncated",
+            Event::WalCompacted { .. } => "wal_compacted",
+            Event::WorkerRestarted { .. } => "worker_restarted",
+            Event::DaemonReadOnly { .. } => "daemon_read_only",
             Event::Note { .. } => "note",
         }
     }
@@ -209,8 +281,10 @@ impl Event {
             | Event::SnapshotSalvaged { .. }
             | Event::CaptureDegraded { .. }
             | Event::RequestShed { .. }
-            | Event::RequestIsolated { .. } => Severity::Degraded,
-            Event::FrontThinned { .. } => Severity::Warning,
+            | Event::RequestIsolated { .. }
+            | Event::WorkerRestarted { .. }
+            | Event::DaemonReadOnly { .. } => Severity::Degraded,
+            Event::FrontThinned { .. } | Event::WalTruncated { .. } => Severity::Warning,
             Event::BudgetConsumed { exceeded, .. } => {
                 if *exceeded {
                     Severity::Warning
@@ -298,6 +372,41 @@ impl Event {
                 old_fingerprint,
                 new_fingerprint,
             } => format!("reloaded model {model}: {old_fingerprint} -> {new_fingerprint}"),
+            Event::ModelUpdated {
+                model,
+                seq,
+                old_fingerprint,
+                new_fingerprint,
+                samples,
+            } => format!(
+                "updated model {model} (seq {seq}, {samples} samples): \
+                 {old_fingerprint} -> {new_fingerprint}"
+            ),
+            Event::UpdateDeduplicated { model, seq, key } => {
+                format!("deduplicated retried update for {model} (key {key}, seq {seq})")
+            }
+            Event::WalTruncated {
+                model,
+                valid_records,
+                dropped_bytes,
+            } => format!(
+                "truncated torn journal tail for {model}: kept {valid_records} records, \
+                 dropped {dropped_bytes} bytes"
+            ),
+            Event::WalCompacted {
+                model,
+                seq,
+                records,
+            } => format!("compacted journal for {model}: {records} records folded at seq {seq}"),
+            Event::WorkerRestarted {
+                worker,
+                restarts,
+                budget,
+                detail,
+            } => format!("restarted panicked worker {worker} ({restarts}/{budget}): {detail}"),
+            Event::DaemonReadOnly { reason } => {
+                format!("daemon degraded to read-only: {reason}")
+            }
             Event::Note { text, .. } => text.clone(),
         }
     }
@@ -417,8 +526,70 @@ impl Serialize for Event {
                 new_fingerprint,
             } => {
                 entries.push(field("model", Content::Str(model.clone())));
-                entries.push(field("old_fingerprint", Content::Str(old_fingerprint.clone())));
-                entries.push(field("new_fingerprint", Content::Str(new_fingerprint.clone())));
+                entries.push(field(
+                    "old_fingerprint",
+                    Content::Str(old_fingerprint.clone()),
+                ));
+                entries.push(field(
+                    "new_fingerprint",
+                    Content::Str(new_fingerprint.clone()),
+                ));
+            }
+            Event::ModelUpdated {
+                model,
+                seq,
+                old_fingerprint,
+                new_fingerprint,
+                samples,
+            } => {
+                entries.push(field("model", Content::Str(model.clone())));
+                entries.push(field("seq", Content::U64(*seq)));
+                entries.push(field(
+                    "old_fingerprint",
+                    Content::Str(old_fingerprint.clone()),
+                ));
+                entries.push(field(
+                    "new_fingerprint",
+                    Content::Str(new_fingerprint.clone()),
+                ));
+                entries.push(field("samples", Content::U64(*samples as u64)));
+            }
+            Event::UpdateDeduplicated { model, seq, key } => {
+                entries.push(field("model", Content::Str(model.clone())));
+                entries.push(field("seq", Content::U64(*seq)));
+                entries.push(field("key", Content::Str(key.clone())));
+            }
+            Event::WalTruncated {
+                model,
+                valid_records,
+                dropped_bytes,
+            } => {
+                entries.push(field("model", Content::Str(model.clone())));
+                entries.push(field("valid_records", Content::U64(*valid_records as u64)));
+                entries.push(field("dropped_bytes", Content::U64(*dropped_bytes)));
+            }
+            Event::WalCompacted {
+                model,
+                seq,
+                records,
+            } => {
+                entries.push(field("model", Content::Str(model.clone())));
+                entries.push(field("seq", Content::U64(*seq)));
+                entries.push(field("records", Content::U64(*records as u64)));
+            }
+            Event::WorkerRestarted {
+                worker,
+                restarts,
+                budget,
+                detail,
+            } => {
+                entries.push(field("worker", Content::U64(*worker as u64)));
+                entries.push(field("restarts", Content::U64(*restarts)));
+                entries.push(field("budget", Content::U64(*budget)));
+                entries.push(field("detail", Content::Str(detail.clone())));
+            }
+            Event::DaemonReadOnly { reason } => {
+                entries.push(field("reason", Content::Str(reason.clone())));
             }
             Event::Note { stage, text } => {
                 entries.push(field("stage", Content::Str(stage.clone())));
@@ -462,6 +633,30 @@ mod tests {
             }
             .severity(),
             Severity::Error
+        );
+        assert_eq!(
+            Event::WorkerRestarted {
+                worker: 0,
+                restarts: 1,
+                budget: 4,
+                detail: "boom".into(),
+            }
+            .severity(),
+            Severity::Degraded
+        );
+        assert_eq!(
+            Event::DaemonReadOnly { reason: "r".into() }.severity(),
+            Severity::Degraded
+        );
+        assert_eq!(
+            Event::WalTruncated {
+                model: "m".into(),
+                valid_records: 3,
+                dropped_bytes: 17,
+            }
+            .severity(),
+            Severity::Warning,
+            "a torn tail drops only unacknowledged work; it must not flip exit 2"
         );
     }
 

@@ -414,10 +414,7 @@ mod tests {
     fn kendall_orders_infinities() {
         // Infinities carry rank information and are kept; equal infinities
         // are ties (the old `a[i] - a[j]` formulation made them NaN).
-        let t = kendall_tau(
-            &[f64::NEG_INFINITY, 0.0, f64::INFINITY],
-            &[1.0, 2.0, 3.0],
-        );
+        let t = kendall_tau(&[f64::NEG_INFINITY, 0.0, f64::INFINITY], &[1.0, 2.0, 3.0]);
         assert!((t - 1.0).abs() < 1e-12);
         assert_eq!(
             kendall_tau(&[f64::INFINITY, f64::INFINITY], &[1.0, 2.0]),

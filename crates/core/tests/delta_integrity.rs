@@ -1,0 +1,219 @@
+//! Integrity tests for [`SnapshotDelta`]: a delta is anchored at both
+//! ends by snapshot fingerprints, so applying it to the wrong base, a
+//! stale base, or after in-flight corruption must be a typed refusal —
+//! never a silently wrong model. These are the acceptance tests for the
+//! durability layer's replay path, which trusts `apply` to catch damage
+//! the per-record checksums cannot see.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use spire_core::fault::{flip_digit, truncate, FaultRng};
+use spire_core::{
+    ModelSnapshot, Sample, SampleSet, SnapshotDelta, SnapshotMode, SpireError, SpireModel,
+    TrainConfig, SNAPSHOT_FORMAT_VERSION,
+};
+
+/// A small multi-metric corpus; `salt` varies the weights so different
+/// salts train to different rooflines (and different fingerprints).
+fn corpus(metrics: usize, salt: u64) -> SampleSet {
+    let mut set = SampleSet::new();
+    for m in 0..metrics {
+        for i in 1..8 {
+            let w = (3 * i + m) as f64 + salt as f64 * 0.25;
+            let mem = (14 - i) as f64;
+            set.push(Sample::new(format!("metric_{m:02}").as_str(), 10.0, w, mem).unwrap());
+        }
+    }
+    set
+}
+
+/// Shared fixture: a base snapshot, an updated snapshot whose front moved
+/// on every metric, the expected loaded model, and the delta between them.
+struct Fixture {
+    base: ModelSnapshot,
+    updated: ModelSnapshot,
+    expected: SpireModel,
+    delta_json: String,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let base_set = corpus(4, 0);
+        let mut updated_set = base_set.clone();
+        // New samples above the existing front: every metric's record
+        // changes, so the delta is non-trivial.
+        for m in 0..4 {
+            updated_set
+                .push(Sample::new(format!("metric_{m:02}").as_str(), 10.0, 400.0, 8.0).unwrap());
+        }
+        let base_model = SpireModel::train(&base_set, TrainConfig::default()).unwrap();
+        let expected = SpireModel::train(&updated_set, TrainConfig::default()).unwrap();
+        let base = ModelSnapshot::from_model(&base_model).unwrap();
+        let updated = ModelSnapshot::from_model(&expected).unwrap();
+        let delta_json = SnapshotDelta::between(&base, &updated).to_json();
+        Fixture {
+            base,
+            updated,
+            expected,
+            delta_json,
+        }
+    })
+}
+
+#[test]
+fn delta_round_trips_and_applies_bit_identically() {
+    let f = fixture();
+    let delta = SnapshotDelta::from_json(&f.delta_json).unwrap();
+    assert!(
+        !delta.changed.is_empty(),
+        "fixture delta must be non-trivial"
+    );
+    let applied = delta.apply(&f.base).unwrap();
+    assert_eq!(applied.fingerprint(), f.updated.fingerprint());
+    let loaded = applied.into_model(SnapshotMode::Strict).unwrap();
+    assert_eq!(loaded.model, f.expected);
+}
+
+#[test]
+fn delta_refuses_a_mismatched_base() {
+    let f = fixture();
+    let delta = SnapshotDelta::from_json(&f.delta_json).unwrap();
+    // A snapshot from an unrelated training history.
+    let other_model = SpireModel::train(&corpus(4, 9), TrainConfig::default()).unwrap();
+    let other = ModelSnapshot::from_model(&other_model).unwrap();
+    assert_ne!(other.fingerprint(), f.base.fingerprint());
+    let err = delta.apply(&other).unwrap_err();
+    assert!(
+        matches!(err, SpireError::SnapshotFormat { .. }),
+        "expected SnapshotFormat, got {err:?}"
+    );
+    assert!(
+        err.to_string()
+            .contains("delta applies to base fingerprint"),
+        "refusal must name the fingerprint mismatch: {err}"
+    );
+}
+
+#[test]
+fn delta_refuses_a_stale_base() {
+    // Applying a delta to the snapshot it *produces* (the history has
+    // already advanced past its base) is the replay-ordering bug the
+    // WAL must never commit: it is refused, not re-applied.
+    let f = fixture();
+    let delta = SnapshotDelta::from_json(&f.delta_json).unwrap();
+    let err = delta.apply(&f.updated).unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("delta applies to base fingerprint"),
+        "stale base must be refused by fingerprint: {err}"
+    );
+}
+
+#[test]
+fn tampered_result_fingerprint_is_refused() {
+    let f = fixture();
+    let mut delta = SnapshotDelta::from_json(&f.delta_json).unwrap();
+    delta.result_fingerprint = f.base.fingerprint();
+    let err = delta.apply(&f.base).unwrap_err();
+    assert!(
+        matches!(err, SpireError::SnapshotFormat { .. }),
+        "expected SnapshotFormat, got {err:?}"
+    );
+    assert!(
+        err.to_string()
+            .contains("applied delta produced fingerprint"),
+        "refusal must name the result mismatch: {err}"
+    );
+}
+
+#[test]
+fn unsupported_delta_versions_are_refused() {
+    let f = fixture();
+    for version in [0, SNAPSHOT_FORMAT_VERSION + 1] {
+        let mut delta = SnapshotDelta::from_json(&f.delta_json).unwrap();
+        delta.format_version = version;
+        let err = SnapshotDelta::from_json(&delta.to_json()).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported delta format version"),
+            "version {version}: {err}"
+        );
+    }
+}
+
+#[test]
+fn truncated_delta_json_is_refused() {
+    let f = fixture();
+    for fraction in [0.0, 0.1, 0.5, 0.9, 0.99] {
+        let cut = truncate(&f.delta_json, fraction);
+        let err = SnapshotDelta::from_json(cut).unwrap_err();
+        assert!(
+            matches!(err, SpireError::SnapshotFormat { .. }),
+            "fraction {fraction}: {err:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The robustness contract for delta transport: flip one digit
+    /// anywhere in the serialized delta (or leave it pristine) and the
+    /// outcome is one of exactly three things — a parse refusal, an
+    /// apply refusal, or a successful application whose roofline
+    /// geometry is bit-identical to the clean update. Damage is either
+    /// caught by the version/algorithm checks, the fingerprint anchors,
+    /// or the per-record checksums at strict load; it never flows
+    /// silently into the served model.
+    #[test]
+    fn flipped_delta_digits_never_yield_a_silent_wrong_model(
+        seed in 0u64..1 << 48,
+        corrupt in prop_oneof![3 => Just(true), 1 => Just(false)],
+    ) {
+        let f = fixture();
+        let mut rng = FaultRng::new(seed);
+        let text = if corrupt {
+            match flip_digit(&f.delta_json, &mut rng) {
+                Some(t) => t,
+                None => return Ok(()),
+            }
+        } else {
+            f.delta_json.clone()
+        };
+        let delta = match SnapshotDelta::from_json(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+                return Ok(());
+            }
+        };
+        let applied = match delta.apply(&f.base) {
+            Ok(a) => a,
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, SpireError::SnapshotFormat { .. }),
+                    "apply must refuse typed: {e:?}"
+                );
+                return Ok(());
+            }
+        };
+        // Application succeeded: the fingerprint anchors held, so the
+        // spliced record set is the clean one. A flip that survived to
+        // here hit fingerprint-invisible metadata (config, provenance,
+        // reports) or roofline bytes whose per-record checksum now
+        // disagrees — strict load settles which.
+        prop_assert_eq!(applied.fingerprint(), f.updated.fingerprint());
+        if !corrupt {
+            prop_assert_eq!(&text, &f.delta_json);
+        }
+        match applied.into_model(SnapshotMode::Strict) {
+            Ok(loaded) => {
+                prop_assert_eq!(loaded.model.rooflines(), f.expected.rooflines());
+            }
+            Err(e) => {
+                prop_assert!(corrupt, "pristine delta failed strict load: {e}");
+            }
+        }
+    }
+}

@@ -28,6 +28,8 @@
 
 #![forbid(unsafe_code)]
 
+use std::time::Duration;
+
 pub mod cache;
 pub mod client;
 pub mod frame;
@@ -35,12 +37,14 @@ pub mod proto;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod wal;
 mod worker;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use frame::FrameError;
 pub use proto::{Request, Response};
-pub use server::{Server, ServerConfig};
+pub use server::{ChaosConfig, Server, ServerConfig};
+pub use wal::WalSettings;
 
 /// Serving-layer errors.
 #[derive(Debug)]
@@ -51,6 +55,10 @@ pub enum ServeError {
     Frame(FrameError),
     /// A request named a model the registry does not hold.
     UnknownModel(String),
+    /// The server did not answer within the client's read timeout — a
+    /// distinct, retryable condition (the request may still have been
+    /// applied, which is what idempotency keys are for).
+    Timeout(Duration),
     /// Any other protocol or load failure, with detail.
     Protocol(String),
 }
@@ -61,6 +69,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Frame(e) => write!(f, "{e}"),
             ServeError::UnknownModel(name) => write!(f, "unknown model {name}"),
+            ServeError::Timeout(limit) => {
+                write!(f, "no response within {} ms", limit.as_millis())
+            }
             ServeError::Protocol(detail) => write!(f, "{detail}"),
         }
     }

@@ -11,16 +11,17 @@
 //! old or the new model.
 
 use serde::{Deserialize, Serialize};
-use spire_core::{RankedMetric, SampleSet};
+use spire_core::{RankedMetric, SampleSet, UpdateReport};
 
 /// One client request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Request {
-    /// `ping` | `estimate` | `analyze` | `reload` | `stats` | `shutdown`.
+    /// `ping` | `estimate` | `analyze` | `update` | `reload` | `stats`
+    /// | `shutdown`.
     pub kind: String,
-    /// Target model name (estimate / analyze / reload).
+    /// Target model name (estimate / analyze / update / reload).
     pub model: Option<String>,
-    /// Workload samples (estimate / analyze), in the standard
+    /// Workload samples (estimate / analyze / update), in the standard
     /// `{"samples": [...]}` row format.
     pub samples: Option<SampleSet>,
     /// How many ranked rows to return (analyze; default 10).
@@ -28,6 +29,9 @@ pub struct Request {
     /// Snapshot path override (reload; defaults to the model's
     /// registered path).
     pub path: Option<String>,
+    /// Caller-supplied idempotency key (update): a retried request
+    /// carrying the same key and batch is applied at most once.
+    pub key: Option<String>,
 }
 
 impl Request {
@@ -39,6 +43,7 @@ impl Request {
             samples: None,
             top: None,
             path: None,
+            key: None,
         }
     }
 }
@@ -93,6 +98,12 @@ pub struct ModelStats {
     pub max_batch: u64,
     /// Successful hot reloads.
     pub reloads: u64,
+    /// Committed update batches.
+    pub updates: u64,
+    /// Retried updates the idempotency window absorbed.
+    pub deduplicated: u64,
+    /// Last committed journal sequence number, when updates are enabled.
+    pub last_seq: Option<u64>,
     /// overlap@5 between the last two analyze rankings, when two exist.
     pub drift_overlap: Option<f64>,
     /// Kendall tau between the last two analyze rankings, when two exist.
@@ -138,6 +149,13 @@ pub struct Response {
     pub reloaded: Option<ReloadInfo>,
     /// Server counters (stats).
     pub stats: Option<ServerStats>,
+    /// Journal sequence number of the commit (update).
+    pub seq: Option<u64>,
+    /// Whether the batch was applied (`false`: a retried idempotency
+    /// key was recognized and the batch was not re-applied).
+    pub applied: Option<bool>,
+    /// What the commit recomputed (update, when applied).
+    pub update: Option<UpdateReport>,
 }
 
 impl Response {
@@ -156,6 +174,9 @@ impl Response {
             cached: None,
             reloaded: None,
             stats: None,
+            seq: None,
+            applied: None,
+            update: None,
         }
     }
 
@@ -185,6 +206,7 @@ mod tests {
             samples: None,
             top: Some(5),
             path: None,
+            key: None,
         };
         let back: Request = serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
         assert_eq!(back.kind, "analyze");

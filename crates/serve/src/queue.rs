@@ -14,17 +14,27 @@ use std::sync::{Condvar, Mutex};
 
 use crate::proto::{Request, Response};
 
-/// One queued estimate/analyze request.
+/// One queued estimate/analyze/update request.
 pub struct Job {
     /// Target model name (validated against the registry at enqueue).
     pub model: String,
-    /// The parsed request (kind is `estimate` or `analyze`).
+    /// The parsed request (kind is `estimate`, `analyze`, or `update`).
     pub request: Request,
     /// The request's samples serialized once at enqueue, reused for the
-    /// cache key so workers never re-serialize.
+    /// cache key (reads) and the batch fingerprint (updates) so workers
+    /// never re-serialize.
     pub samples_json: String,
     /// Where the worker sends the response.
     pub reply: mpsc::Sender<Response>,
+}
+
+impl Job {
+    /// Whether this job mutates model state. Writes and reads never
+    /// coalesce into one batch: a read batch serves from one immutable
+    /// entry, while an update batch commits through the journal.
+    pub fn is_update(&self) -> bool {
+        self.request.kind == "update"
+    }
 }
 
 struct QueueState {
@@ -60,6 +70,9 @@ impl JobQueue {
     /// Enqueues `job`, or refuses it when the queue is full or closed.
     /// The refusal returns the job (so the caller can answer its reply
     /// channel) together with the depth observed.
+    // The Err variant deliberately hands the whole Job back by value;
+    // boxing it would put an allocation on the shed path.
+    #[allow(clippy::result_large_err)]
     pub fn push(&self, job: Job) -> Result<(), (Job, usize)> {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if state.closed || state.jobs.len() >= self.capacity {
@@ -73,18 +86,21 @@ impl JobQueue {
     }
 
     /// Blocks for the next batch: the oldest job plus up to
-    /// `max_batch - 1` other queued jobs for the same model, in FIFO
-    /// order. Returns `None` once the queue is closed *and* drained, so
-    /// no accepted request is ever abandoned at shutdown.
+    /// `max_batch - 1` other queued jobs for the same model *and the
+    /// same read/write class* (updates never coalesce with estimates or
+    /// analyzes), in FIFO order. Returns `None` once the queue is closed
+    /// *and* drained, so no accepted request is ever abandoned at
+    /// shutdown.
     pub fn pop_coalesced(&self, max_batch: usize) -> Option<Vec<Job>> {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(first) = state.jobs.pop_front() {
                 let model = first.model.clone();
+                let class = first.is_update();
                 let mut batch = vec![first];
                 let mut i = 0;
                 while i < state.jobs.len() && batch.len() < max_batch.max(1) {
-                    if state.jobs[i].model == model {
+                    if state.jobs[i].model == model && state.jobs[i].is_update() == class {
                         batch.push(state.jobs.remove(i).expect("index checked"));
                     } else {
                         i += 1;
@@ -100,6 +116,13 @@ impl JobQueue {
                 .wait(state)
                 .unwrap_or_else(|p| p.into_inner());
         }
+    }
+
+    /// Empties the queue, returning every pending job — the last-resort
+    /// drain when no worker is left alive to answer them.
+    pub fn drain(&self) -> Vec<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.jobs.drain(..).collect()
     }
 
     /// Closes the queue: pushes start failing, and poppers drain what is
@@ -126,10 +149,14 @@ mod tests {
     use super::*;
 
     fn job(model: &str) -> Job {
+        kind_job(model, "estimate")
+    }
+
+    fn kind_job(model: &str, kind: &str) -> Job {
         let (tx, _rx) = mpsc::channel();
         Job {
             model: model.to_owned(),
-            request: Request::bare("estimate"),
+            request: Request::bare(kind),
             samples_json: String::new(),
             reply: tx,
         }
@@ -154,6 +181,42 @@ mod tests {
     }
 
     #[test]
+    fn updates_never_coalesce_with_reads() {
+        let q = JobQueue::new(16);
+        q.push(kind_job("a", "estimate")).map_err(|_| ()).unwrap();
+        q.push(kind_job("a", "update")).map_err(|_| ()).unwrap();
+        q.push(kind_job("a", "estimate")).map_err(|_| ()).unwrap();
+        q.push(kind_job("a", "update")).map_err(|_| ()).unwrap();
+        let batch = q.pop_coalesced(8).unwrap();
+        assert_eq!(
+            batch
+                .iter()
+                .map(|j| j.request.kind.as_str())
+                .collect::<Vec<_>>(),
+            ["estimate", "estimate"]
+        );
+        let batch = q.pop_coalesced(8).unwrap();
+        assert_eq!(
+            batch
+                .iter()
+                .map(|j| j.request.kind.as_str())
+                .collect::<Vec<_>>(),
+            ["update", "update"],
+            "same-model updates may batch together, but never with reads"
+        );
+    }
+
+    #[test]
+    fn drain_empties_pending_jobs() {
+        let q = JobQueue::new(8);
+        for _ in 0..3 {
+            q.push(job("a")).map_err(|_| ()).unwrap();
+        }
+        assert_eq!(q.drain().len(), 3);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
     fn max_batch_caps_coalescing() {
         let q = JobQueue::new(16);
         for _ in 0..5 {
@@ -169,7 +232,7 @@ mod tests {
         let q = JobQueue::new(2);
         q.push(job("a")).map_err(|_| ()).unwrap();
         q.push(job("a")).map_err(|_| ()).unwrap();
-        let (_returned, depth) = q.push(job("a")).err().expect("third push sheds");
+        let (_returned, depth) = q.push(job("a")).expect_err("third push sheds");
         assert_eq!(depth, 2);
     }
 

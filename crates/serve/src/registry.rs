@@ -13,8 +13,8 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 
 use spire_core::pipeline::{Event, RunContext};
 use spire_core::snapshot::{load_model, ModelSnapshot};
@@ -22,6 +22,7 @@ use spire_core::{BottleneckReport, SpireModel};
 
 use crate::cache::LruCache;
 use crate::proto::ReloadInfo;
+use crate::wal::{UpdateState, WalSettings};
 use crate::ServeError;
 
 /// One immutable served model: requests clone the `Arc` and never
@@ -58,6 +59,10 @@ pub struct ModelCounters {
     pub max_batch: AtomicU64,
     /// Successful reloads.
     pub reloads: AtomicU64,
+    /// Committed update batches.
+    pub updates: AtomicU64,
+    /// Retried updates absorbed by the idempotency window.
+    pub deduplicated: AtomicU64,
 }
 
 impl ModelCounters {
@@ -87,6 +92,10 @@ pub struct ModelSlot {
     pub last_report: Mutex<Option<BottleneckReport>>,
     /// `(overlap@5, kendall tau)` between the last two analyze rankings.
     pub drift: Mutex<Option<(f64, f64)>>,
+    /// Durable update state, when the daemon journals updates (`None`
+    /// without a WAL directory — updates are then refused, never
+    /// applied volatile). The mutex also serializes commits per model.
+    pub update: Mutex<Option<UpdateState>>,
 }
 
 impl ModelSlot {
@@ -103,6 +112,12 @@ impl ModelSlot {
     pub fn path(&self) -> PathBuf {
         self.path.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
+
+    /// Swaps the served entry (a committed update's publish step).
+    pub fn install(&self, entry: ModelEntry) {
+        let mut current = self.current.write().unwrap_or_else(|p| p.into_inner());
+        *current = Arc::new(entry);
+    }
 }
 
 /// Named models served by one daemon.
@@ -112,13 +127,10 @@ pub struct ModelRegistry {
 
 /// Loads one snapshot file into an entry, mirroring salvage decisions
 /// onto the context's bus (the same events `LoadModelStage` emits).
-fn load_entry(
-    name: &str,
-    path: &Path,
-    ctx: &RunContext,
-) -> Result<(ModelEntry, bool), ServeError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ServeError::Protocol(format!("cannot read snapshot {}: {e}", path.display())))?;
+fn load_entry(name: &str, path: &Path, ctx: &RunContext) -> Result<(ModelEntry, bool), ServeError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        ServeError::Protocol(format!("cannot read snapshot {}: {e}", path.display()))
+    })?;
     let (model, report) = load_model(&text, ctx.config.snapshot_mode)
         .map_err(|e| ServeError::Protocol(format!("cannot load model {name}: {e}")))?;
     let mut salvaged = false;
@@ -147,9 +159,17 @@ fn load_entry(
 impl ModelRegistry {
     /// Loads every `(name, snapshot path)` spec; fails fast if any model
     /// is unreadable or (in strict mode) damaged.
+    ///
+    /// With `wal` settings, each model's durable update state is opened
+    /// too: its journal is replayed (torn tails truncated with a typed
+    /// event), and when committed updates are recovered the replayed
+    /// model — not the snapshot from disk — becomes the served entry,
+    /// so a crash-restart cycle is invisible to clients beyond the
+    /// events it emits.
     pub fn open(
         specs: &[(String, PathBuf)],
         cache_capacity: usize,
+        wal: Option<&WalSettings>,
         ctx: &RunContext,
     ) -> Result<Self, ServeError> {
         let mut slots = BTreeMap::new();
@@ -157,7 +177,23 @@ impl ModelRegistry {
             if slots.contains_key(name) {
                 return Err(ServeError::Protocol(format!("duplicate model name {name}")));
             }
-            let (entry, _) = load_entry(name, path, ctx)?;
+            let (mut entry, _) = load_entry(name, path, ctx)?;
+            let update = match wal {
+                None => None,
+                Some(settings) => {
+                    let (state, recovered) = UpdateState::open(
+                        name,
+                        entry.model.config(),
+                        ctx.config.strictness,
+                        settings,
+                        ctx,
+                    )?;
+                    if let Some((model, fingerprint)) = recovered {
+                        entry = ModelEntry { model, fingerprint };
+                    }
+                    Some(state)
+                }
+            };
             slots.insert(
                 name.clone(),
                 ModelSlot {
@@ -167,6 +203,7 @@ impl ModelRegistry {
                     cache: Mutex::new(LruCache::new(cache_capacity)),
                     last_report: Mutex::new(None),
                     drift: Mutex::new(None),
+                    update: Mutex::new(update),
                 },
             );
         }

@@ -18,17 +18,30 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use spire_core::catalog::MetricCatalog;
-use spire_core::pipeline::{
-    DiagnosticsBus, Event, EventSink, PipelineConfig, RunContext,
-};
+use spire_core::pipeline::{DiagnosticsBus, Event, EventSink, PipelineConfig, RunContext};
 
 use crate::cache::request_key;
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::proto::{ModelStats, Request, Response, ServerStats};
 use crate::queue::{Job, JobQueue};
 use crate::registry::{ModelCounters, ModelRegistry};
+use crate::wal::WalSettings;
 use crate::worker::{self, effective_top};
 use crate::ServeError;
+
+/// Seeded fault-injection seams, all off by default. Tests plant a
+/// marked metric name in a request's samples to detonate a panic at a
+/// chosen layer; production configs leave both markers `None`.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Panic *inside* request containment (`parallel::run_catching`)
+    /// when a batch carries a metric containing this marker — drives
+    /// the `request_isolated` path.
+    pub panic_marker: Option<String>,
+    /// Panic in the worker loop *outside* containment — drives worker
+    /// supervision, `worker_restarted`, and the restart budget.
+    pub worker_panic_marker: Option<String>,
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +60,14 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Pipeline configuration (snapshot mode, estimate threads, …).
     pub pipeline: PipelineConfig,
+    /// Write-ahead-journal settings; `None` disables `update` requests
+    /// (never applied volatile — durability is the point of the path).
+    pub wal: Option<WalSettings>,
+    /// How many panicked-worker respawns are tolerated before the
+    /// daemon degrades to read-only instead of crash-looping.
+    pub worker_restart_budget: u64,
+    /// Fault-injection seams (tests only).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +80,9 @@ impl Default for ServerConfig {
             max_frame: 8 << 20,
             max_batch: 32,
             pipeline: PipelineConfig::default(),
+            wal: None,
+            worker_restart_budget: 4,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -89,6 +113,13 @@ pub struct ServerShared {
     shutdown: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
+    /// Panicked-worker respawns so far, charged against the budget.
+    worker_restarts: AtomicU64,
+    /// Workers currently alive (the last one out drains the queue).
+    live_workers: AtomicU64,
+    /// Set once the restart budget is exhausted: updates are refused,
+    /// reads keep flowing.
+    read_only: AtomicBool,
 }
 
 impl ServerShared {
@@ -101,6 +132,21 @@ impl ServerShared {
     /// Whether shutdown has been requested.
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Whether the daemon has degraded to read-only (restart budget
+    /// exhausted). Updates are refused in this state; estimates,
+    /// analyzes, and stats keep working.
+    pub fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
+    }
+
+    /// Degrades the daemon to read-only, emitting `daemon_read_only`
+    /// exactly once no matter how many workers hit the budget.
+    pub fn enter_read_only(&self, reason: String) {
+        if !self.read_only.swap(true, Ordering::Relaxed) {
+            self.bus.emit(Event::DaemonReadOnly { reason });
+        }
     }
 }
 
@@ -124,9 +170,14 @@ impl Server {
             bus.add_sink(sink);
         }
         let bus = Arc::new(bus);
-        let boot_ctx = RunContext::new(config.pipeline.clone())
-            .with_sink(Arc::new(BusForward(bus.clone())));
-        let registry = ModelRegistry::open(&models, config.cache_capacity, &boot_ctx)?;
+        let boot_ctx =
+            RunContext::new(config.pipeline.clone()).with_sink(Arc::new(BusForward(bus.clone())));
+        let registry = ModelRegistry::open(
+            &models,
+            config.cache_capacity,
+            config.wal.as_ref(),
+            &boot_ctx,
+        )?;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let queue = JobQueue::new(config.queue_capacity);
@@ -141,6 +192,9 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
+                worker_restarts: AtomicU64::new(0),
+                live_workers: AtomicU64::new(0),
+                read_only: AtomicBool::new(false),
             }),
         })
     }
@@ -160,13 +214,17 @@ impl Server {
     /// degraded (sheds, isolations, salvages — exit-code-2 semantics).
     pub fn run(self) -> Result<bool, ServeError> {
         let shared = self.shared;
+        let worker_count = shared.config.workers.max(1);
+        shared
+            .live_workers
+            .store(worker_count as u64, Ordering::Relaxed);
         let mut workers = Vec::new();
-        for i in 0..shared.config.workers.max(1) {
+        for i in 0..worker_count {
             let s = shared.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("spire-serve-worker-{i}"))
-                    .spawn(move || worker::worker_loop(&s))?,
+                    .spawn(move || supervised_worker(&s, i))?,
             );
         }
         let mut connections = Vec::new();
@@ -196,10 +254,74 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        // Every committed update is already fsynced; this final pass
+        // re-syncs each journal so even metadata-only tail state is
+        // durable before the process exits.
+        for (_, slot) in shared.registry.iter() {
+            let mut guard = slot.update.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(state) = guard.as_mut() {
+                let _ = state.sync();
+            }
+        }
         for connection in connections {
             let _ = connection.join();
         }
         Ok(shared.bus.degraded())
+    }
+}
+
+/// Turns a `catch_unwind` payload into the human-readable panic message.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// The supervision wrapper around [`worker::worker_loop`]: a panicked
+/// worker is respawned in place (same thread, fresh loop) with a
+/// `worker_restarted` event, until the pool-wide restart budget is
+/// exhausted — then the daemon degrades to read-only instead of
+/// crash-looping. The last worker out closes and drains the queue so no
+/// accepted request waits forever on a pool that no longer exists.
+fn supervised_worker(shared: &ServerShared, index: usize) {
+    loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker::worker_loop(shared)))
+        {
+            Ok(()) => break, // queue closed and drained: clean exit
+            Err(payload) => {
+                let detail = panic_detail(payload);
+                let restarts = shared.worker_restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                let budget = shared.config.worker_restart_budget;
+                if restarts <= budget {
+                    shared.bus.emit(Event::WorkerRestarted {
+                        worker: index,
+                        restarts,
+                        budget,
+                        detail,
+                    });
+                    continue;
+                }
+                shared.enter_read_only(format!(
+                    "worker restart budget exhausted ({restarts} panics, budget {budget})"
+                ));
+                break;
+            }
+        }
+    }
+    if shared.live_workers.fetch_sub(1, Ordering::AcqRel) == 1 && !shared.shutting_down() {
+        // Budget exhaustion killed the last worker while the daemon is
+        // still accepting: close the queue (new pushes shed) and refuse
+        // what is already queued with a typed error.
+        shared.queue.close();
+        for job in shared.queue.drain() {
+            let _ = job.reply.send(Response::error(
+                "no live workers remain (restart budget exhausted); request refused",
+            ));
+        }
     }
 }
 
@@ -213,7 +335,10 @@ fn send(writer: &mut impl Write, response: &Response) -> bool {
 fn handle_connection(shared: &ServerShared, stream: TcpStream) {
     // The short receive timeout is the shutdown poll: an idle connection
     // wakes every 200 ms to check the flag instead of blocking forever.
-    if stream.set_read_timeout(Some(Duration::from_millis(200))).is_err() {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
         return;
     }
     let Ok(read_half) = stream.try_clone() else {
@@ -286,9 +411,10 @@ fn dispatch(shared: &ServerShared, request: Request) -> Response {
         "stats" => stats_response(shared),
         "reload" => reload_response(shared, &request),
         "estimate" | "analyze" => batchable_response(shared, request),
+        "update" => update_response(shared, request),
         other => Response::error(format!(
             "unknown request kind {other:?} \
-             (expected ping, estimate, analyze, reload, stats, or shutdown)"
+             (expected ping, estimate, analyze, update, reload, stats, or shutdown)"
         )),
     }
 }
@@ -325,6 +451,12 @@ fn stats_response(shared: &ServerShared) -> Response {
             let entry = slot.current();
             let c = &slot.counters;
             let drift = *slot.drift.lock().unwrap_or_else(|p| p.into_inner());
+            let last_seq = slot
+                .update
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .as_ref()
+                .map(|state| state.seq());
             ModelStats {
                 name: name.clone(),
                 fingerprint: entry.fingerprint.clone(),
@@ -338,6 +470,9 @@ fn stats_response(shared: &ServerShared) -> Response {
                 coalesced_batches: c.coalesced_batches.load(Ordering::Relaxed),
                 max_batch: c.max_batch.load(Ordering::Relaxed),
                 reloads: c.reloads.load(Ordering::Relaxed),
+                updates: c.updates.load(Ordering::Relaxed),
+                deduplicated: c.deduplicated.load(Ordering::Relaxed),
+                last_seq,
                 drift_overlap: drift.map(|(overlap, _)| overlap),
                 drift_tau: drift.map(|(_, tau)| tau),
             }
@@ -362,10 +497,6 @@ fn batchable_response(shared: &ServerShared, request: Request) -> Response {
     let Some(samples) = request.samples.as_ref() else {
         return Response::error(format!("{} requires samples", request.kind));
     };
-    match request.kind.as_str() {
-        "estimate" => ModelCounters::bump(&slot.counters.estimates),
-        _ => ModelCounters::bump(&slot.counters.analyzes),
-    }
     let samples_json = match serde_json::to_string(samples) {
         Ok(json) => json,
         Err(e) => return Response::error(format!("cannot serialize samples: {e}")),
@@ -380,6 +511,10 @@ fn batchable_response(shared: &ServerShared, request: Request) -> Response {
         &fingerprint,
         &samples_json,
     );
+    // The estimates/analyzes counters count *accepted* requests — bumped
+    // on a cache hit or after a successful enqueue, never on a shed —
+    // so `estimates + analyzes` always equals requests that received (or
+    // will receive) a real answer, exactly once each.
     if let Some(mut hit) = slot
         .cache
         .lock()
@@ -387,11 +522,85 @@ fn batchable_response(shared: &ServerShared, request: Request) -> Response {
         .get(key)
     {
         ModelCounters::bump(&slot.counters.cache_hits);
+        match request.kind.as_str() {
+            "estimate" => ModelCounters::bump(&slot.counters.estimates),
+            _ => ModelCounters::bump(&slot.counters.analyzes),
+        }
         hit.cached = Some(true);
         return hit;
     }
     ModelCounters::bump(&slot.counters.cache_misses);
 
+    let kind = request.kind.clone();
+    let (reply, receiver) = mpsc::channel();
+    let job = Job {
+        model: name.clone(),
+        request,
+        samples_json,
+        reply,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => {
+            match kind.as_str() {
+                "estimate" => ModelCounters::bump(&slot.counters.estimates),
+                _ => ModelCounters::bump(&slot.counters.analyzes),
+            }
+            receiver
+                .recv()
+                .unwrap_or_else(|_| Response::error("worker dropped the request"))
+        }
+        Err((job, depth)) => {
+            let capacity = shared.queue.capacity();
+            ModelCounters::bump(&slot.counters.shed);
+            shared.bus.emit(Event::RequestShed {
+                model: name.clone(),
+                depth,
+                capacity,
+            });
+            let mut r = Response::error(format!(
+                "request shed: queue full ({depth}/{capacity}); retry later"
+            ));
+            r.shed = Some(true);
+            r.model = Some(job.model);
+            r
+        }
+    }
+}
+
+/// Routes an `update` through the queue. Updates never touch the result
+/// cache; fast-fail checks (unknown model, updates disabled, read-only)
+/// answer inline so a doomed write never occupies queue capacity. The
+/// worker re-checks both conditions — they can flip while queued.
+fn update_response(shared: &ServerShared, request: Request) -> Response {
+    let Some(name) = request.model.clone() else {
+        return Response::error("update requires a model name");
+    };
+    let Some(slot) = shared.registry.get(&name) else {
+        return Response::error(format!("unknown model {name}"));
+    };
+    let Some(samples) = request.samples.as_ref() else {
+        return Response::error("update requires samples");
+    };
+    if shared.read_only() {
+        return Response::error(
+            "daemon is read-only (worker restart budget exhausted); update refused",
+        );
+    }
+    if slot
+        .update
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .is_none()
+    {
+        return Response::error(
+            "updates are disabled: start the daemon with --wal-dir to enable \
+             durable model maintenance",
+        );
+    }
+    let samples_json = match serde_json::to_string(samples) {
+        Ok(json) => json,
+        Err(e) => return Response::error(format!("cannot serialize samples: {e}")),
+    };
     let (reply, receiver) = mpsc::channel();
     let job = Job {
         model: name.clone(),

@@ -1,0 +1,961 @@
+//! Crash-safe model maintenance: a checksummed write-ahead journal
+//! behind the daemon's `update` request.
+//!
+//! ## Durability contract
+//!
+//! An `update` is acknowledged only after its journal record is written
+//! and fsynced. On restart the daemon replays the journal and must
+//! reproduce the pre-crash model **bit-identically** — the same
+//! discipline the online trainer already pins against batch retraining
+//! (`online_equivalence.rs`), extended across a process boundary. A
+//! record the crash tore in half was by definition never acknowledged,
+//! so the replay truncates it (typed `wal_truncated` event, Warning)
+//! and loses nothing a client was promised.
+//!
+//! ## On-disk layout (per model, under the configured WAL directory)
+//!
+//! - `<name>.base.json` — the anchor [`ModelSnapshot`]: zero metric
+//!   records plus the pinned [`TrainConfig`]. The maintained model is
+//!   the online trainer over exactly the streamed batches (matching a
+//!   clean batch retrain over them), so the delta chain starts from the
+//!   empty model, and the anchor's only jobs are pinning the training
+//!   configuration and the first record's `base_fingerprint`.
+//! - `<name>.checkpoint.json` — compaction output ([`WalCheckpoint`]):
+//!   the full sample set and model fingerprint as of a sequence number,
+//!   written with [`write_atomic`]. Replay folds it in first and skips
+//!   journal records it already covers.
+//! - `<name>.wal` — the journal: a 12-byte header (`SPIREWAL` magic +
+//!   big-endian u32 version) followed by records framed as
+//!   `[u32 BE payload len][u64 BE fnv1a64(payload)][payload JSON]`,
+//!   reusing the snapshot layer's FNV-1a checksum. Each payload is one
+//!   [`WalRecord`]: sequence number, optional idempotency key, the
+//!   batch itself, and the [`SnapshotDelta`] the commit produced —
+//!   every record is chained to its predecessor through the delta's
+//!   base/result fingerprints, so replay can *verify* each step rather
+//!   than trust it.
+//!
+//! ## Commit ordering
+//!
+//! [`UpdateState::apply_update`] trains a **cloned** trainer first (a
+//! failed or refused commit leaves no trace), appends + fsyncs the
+//! journal record, and only then publishes the new state in memory. A
+//! failed append is rolled back by truncating the journal to its
+//! previous length; if even that fails the state is poisoned and all
+//! further updates are refused with a typed error until restart.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use spire_core::pipeline::{Event, RunContext};
+use spire_core::snapshot::fnv1a64;
+use spire_core::{
+    write_atomic, ModelSnapshot, OnlineTrainer, SampleSet, SnapshotDelta, SpireModel, TrainConfig,
+    TrainStrictness, UpdateReport, SNAPSHOT_FORMAT_VERSION,
+};
+
+use crate::ServeError;
+
+/// Journal file magic; the version after it gates format evolution.
+pub const WAL_MAGIC: &[u8; 8] = b"SPIREWAL";
+/// Journal format version.
+pub const WAL_VERSION: u32 = 1;
+/// Header length: magic + big-endian version.
+pub const WAL_HEADER_LEN: u64 = 12;
+/// Per-record frame overhead: u32 length + u64 checksum.
+pub const WAL_FRAME_LEN: u64 = 12;
+/// Hard cap on one record's payload — a corrupt length prefix must not
+/// trigger a giant allocation during replay.
+const MAX_RECORD_LEN: usize = 256 << 20;
+
+/// Where and how a daemon journals updates.
+#[derive(Debug, Clone)]
+pub struct WalSettings {
+    /// Directory holding every model's journal, anchor, and checkpoint.
+    pub dir: PathBuf,
+    /// Compact (checkpoint + journal reset) after this many records.
+    pub compact_records: usize,
+    /// Idempotency-window size: how many recent keyed commits are
+    /// remembered for retry deduplication.
+    pub dedup_window: usize,
+}
+
+impl WalSettings {
+    /// Settings with the default compaction and dedup windows.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalSettings {
+            dir: dir.into(),
+            compact_records: 64,
+            dedup_window: 64,
+        }
+    }
+
+    /// The journal path for `model`.
+    pub fn wal_path(&self, model: &str) -> PathBuf {
+        self.dir.join(format!("{model}.wal"))
+    }
+
+    /// The anchor-snapshot path for `model`.
+    pub fn base_path(&self, model: &str) -> PathBuf {
+        self.dir.join(format!("{model}.base.json"))
+    }
+
+    /// The checkpoint path for `model`.
+    pub fn checkpoint_path(&self, model: &str) -> PathBuf {
+        self.dir.join(format!("{model}.checkpoint.json"))
+    }
+}
+
+/// One journaled update: the batch plus the delta its commit produced,
+/// chained to the previous record through the delta's fingerprints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Monotonic sequence number (1-based; 0 is the anchor).
+    pub seq: u64,
+    /// Caller-supplied idempotency key, when the client sent one.
+    pub key: Option<String>,
+    /// 16-hex FNV-1a fingerprint of the batch's canonical JSON, the
+    /// other half of the idempotency identity.
+    pub batch_fingerprint: String,
+    /// The committed sample batch, replayed through the online trainer.
+    pub batch: SampleSet,
+    /// The snapshot delta this commit produced; `base_fingerprint` must
+    /// equal the replaying trainer's current fingerprint and
+    /// `result_fingerprint` the post-commit one, or replay refuses.
+    pub delta: SnapshotDelta,
+}
+
+/// Compaction output: everything needed to rebuild the trainer without
+/// the records the checkpoint covers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalCheckpoint {
+    /// Snapshot-format version (shared with the model snapshot layer).
+    pub format_version: u32,
+    /// Highest journal sequence folded into this checkpoint.
+    pub seq: u64,
+    /// Fingerprint the rebuilt model must reproduce.
+    pub fingerprint: String,
+    /// Every sample committed up to `seq`, in commit order.
+    pub samples: SampleSet,
+}
+
+/// What the journal scan found on open.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Whole, checksum-verified records in file order.
+    pub records: Vec<WalRecord>,
+    /// `(valid_records, dropped_bytes)` when a torn or corrupt tail was
+    /// cut off.
+    pub truncated: Option<(usize, u64)>,
+}
+
+/// The append-only journal file for one model.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// Logical end of valid data (the append position).
+    len: u64,
+    path: PathBuf,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> ServeError {
+    ServeError::Protocol(format!("{context}: {e}"))
+}
+
+impl Wal {
+    /// Opens (or creates) the journal at `path`, scanning every record
+    /// and truncating a torn or corrupt tail back to the last whole
+    /// record. The scan result reports what was kept and what was cut.
+    pub fn open(path: &Path) -> Result<(Wal, WalScan), ServeError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err(&format!("cannot open journal {}", path.display()), e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| io_err(&format!("cannot read journal {}", path.display()), e))?;
+
+        let mut records = Vec::new();
+        let mut valid_end = WAL_HEADER_LEN;
+        let total = bytes.len() as u64;
+        let header_ok = bytes.len() >= WAL_HEADER_LEN as usize
+            && &bytes[..8] == WAL_MAGIC
+            && u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) == WAL_VERSION;
+        if header_ok {
+            let mut pos = WAL_HEADER_LEN as usize;
+            loop {
+                let Some(record) = read_record(&bytes, pos) else {
+                    break;
+                };
+                pos += WAL_FRAME_LEN as usize + record.1;
+                records.push(record.0);
+                valid_end = pos as u64;
+            }
+        } else if bytes.is_empty() {
+            // Fresh journal: write the header.
+            file.write_all(WAL_MAGIC)
+                .and_then(|()| file.write_all(&WAL_VERSION.to_be_bytes()))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| io_err("cannot initialize journal", e))?;
+            return Ok((
+                Wal {
+                    file,
+                    len: WAL_HEADER_LEN,
+                    path: path.to_path_buf(),
+                },
+                WalScan {
+                    records,
+                    truncated: None,
+                },
+            ));
+        } else {
+            // A short or foreign header: nothing is trustworthy. Reset
+            // to an empty journal and report everything as dropped.
+            file.set_len(0)
+                .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
+                .and_then(|()| file.write_all(WAL_MAGIC))
+                .and_then(|()| file.write_all(&WAL_VERSION.to_be_bytes()))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| io_err("cannot reset damaged journal header", e))?;
+            return Ok((
+                Wal {
+                    file,
+                    len: WAL_HEADER_LEN,
+                    path: path.to_path_buf(),
+                },
+                WalScan {
+                    records,
+                    truncated: Some((0, total)),
+                },
+            ));
+        }
+
+        let truncated = if valid_end < total {
+            file.set_len(valid_end)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| io_err("cannot truncate torn journal tail", e))?;
+            Some((records.len(), total - valid_end))
+        } else {
+            None
+        };
+        file.seek(SeekFrom::Start(valid_end))
+            .map_err(|e| io_err("cannot seek journal", e))?;
+        Ok((
+            Wal {
+                file,
+                len: valid_end,
+                path: path.to_path_buf(),
+            },
+            WalScan { records, truncated },
+        ))
+    }
+
+    /// Appends one record and fsyncs. On any failure the journal is
+    /// rolled back to its previous length so a half-written frame can
+    /// never be mistaken for a commit; a rollback failure is returned
+    /// as `Err(Err(_))` and the caller must poison the state.
+    #[allow(clippy::result_large_err)]
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), Result<ServeError, ServeError>> {
+        let payload = serde_json::to_string(record).map_err(|e| {
+            Ok(ServeError::Protocol(format!(
+                "cannot serialize record: {e}"
+            )))
+        })?;
+        let payload = payload.as_bytes();
+        let prev = self.len;
+        let result = (|| -> std::io::Result<()> {
+            let len = u32::try_from(payload.len()).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "record exceeds u32 bytes")
+            })?;
+            self.file.write_all(&len.to_be_bytes())?;
+            self.file.write_all(&fnv1a64(payload).to_be_bytes())?;
+            self.file.write_all(payload)?;
+            self.file.sync_data()
+        })();
+        match result {
+            Ok(()) => {
+                self.len = prev + WAL_FRAME_LEN + payload.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                let rollback = self
+                    .file
+                    .set_len(prev)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(prev)).map(|_| ()))
+                    .and_then(|()| self.file.sync_data());
+                let append_err = io_err(
+                    &format!("cannot append to journal {}", self.path.display()),
+                    e,
+                );
+                match rollback {
+                    Ok(()) => Err(Ok(append_err)),
+                    Err(re) => Err(Err(ServeError::Protocol(format!(
+                        "{append_err}; rollback also failed ({re}) — journal state unknown"
+                    )))),
+                }
+            }
+        }
+    }
+
+    /// Discards every record (after a checkpoint covered them).
+    pub fn reset(&mut self) -> Result<(), ServeError> {
+        self.file
+            .set_len(WAL_HEADER_LEN)
+            .and_then(|()| self.file.seek(SeekFrom::Start(WAL_HEADER_LEN)).map(|_| ()))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err("cannot reset journal", e))?;
+        self.len = WAL_HEADER_LEN;
+        Ok(())
+    }
+
+    /// Fsyncs the journal (the shutdown drain's last act).
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("cannot fsync journal", e))
+    }
+
+    /// Current logical length in bytes (tests index kill offsets by it).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_HEADER_LEN
+    }
+}
+
+/// Decodes the record starting at `pos`, returning it and its payload
+/// length — or `None` for anything short, corrupt, or unparseable (the
+/// truncation point).
+fn read_record(bytes: &[u8], pos: usize) -> Option<(WalRecord, usize)> {
+    let frame = bytes.get(pos..pos + WAL_FRAME_LEN as usize)?;
+    let len = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+    if len > MAX_RECORD_LEN {
+        return None;
+    }
+    let checksum = u64::from_be_bytes([
+        frame[4], frame[5], frame[6], frame[7], frame[8], frame[9], frame[10], frame[11],
+    ]);
+    let payload = bytes.get(pos + WAL_FRAME_LEN as usize..pos + WAL_FRAME_LEN as usize + len)?;
+    if fnv1a64(payload) != checksum {
+        return None;
+    }
+    let text = std::str::from_utf8(payload).ok()?;
+    let record: WalRecord = serde_json::from_str(text).ok()?;
+    Some((record, len))
+}
+
+/// A remembered keyed commit, for retry deduplication.
+#[derive(Debug, Clone)]
+struct DedupEntry {
+    key: String,
+    batch_fingerprint: String,
+    seq: u64,
+    fingerprint: String,
+}
+
+/// The acknowledgement an applied (or deduplicated) update earns.
+#[derive(Debug, Clone)]
+pub struct UpdateAck {
+    /// The commit's journal sequence number.
+    pub seq: u64,
+    /// The model fingerprint after the commit.
+    pub fingerprint: String,
+    /// `false` when the idempotency window recognized a retry and the
+    /// batch was *not* re-applied.
+    pub applied: bool,
+    /// What the commit recomputed (absent on deduplicated retries).
+    pub report: Option<UpdateReport>,
+    /// The post-commit model, for the registry to install (absent on
+    /// deduplicated retries).
+    pub model: Option<SpireModel>,
+}
+
+/// Per-model durable update state: the online trainer, its journal, the
+/// delta-chain head, and the idempotency window.
+#[derive(Debug)]
+pub struct UpdateState {
+    model_name: String,
+    settings: WalSettings,
+    trainer: OnlineTrainer,
+    /// Snapshot of the trainer's current model — each commit's delta
+    /// base, so the journal chain is verifiable link by link.
+    head: ModelSnapshot,
+    seq: u64,
+    wal: Wal,
+    dedup: VecDeque<DedupEntry>,
+    records_since_checkpoint: usize,
+    /// Set when a failed append could not be rolled back; all further
+    /// updates are refused until restart.
+    broken: Option<String>,
+}
+
+/// The empty anchor snapshot: no metric records, pinned config. Its
+/// fingerprint (FNV-1a of zero `metric:checksum` lines) anchors the
+/// first journal record's delta.
+fn anchor_snapshot(config: TrainConfig) -> ModelSnapshot {
+    ModelSnapshot {
+        format_version: SNAPSHOT_FORMAT_VERSION,
+        checksum_algorithm: "fnv1a64".to_owned(),
+        config,
+        skipped_metrics: Vec::new(),
+        provenance: None,
+        train_report: None,
+        metrics: Vec::new(),
+    }
+}
+
+fn snapshot_of(model: &SpireModel) -> Result<ModelSnapshot, ServeError> {
+    ModelSnapshot::from_model(model)
+        .map_err(|e| ServeError::Protocol(format!("cannot snapshot updated model: {e}")))
+}
+
+impl UpdateState {
+    /// Opens (or creates) the durable state for `model_name`, replaying
+    /// checkpoint + journal. Returns the state and, when any committed
+    /// update was recovered, the model that must be installed as the
+    /// served entry.
+    ///
+    /// Replay is verified at every link: the checkpoint's rebuilt model
+    /// must reproduce its recorded fingerprint, and each journal record
+    /// must chain (`delta.base_fingerprint` equals the current head)
+    /// and land (`delta.result_fingerprint` equals the re-committed
+    /// trainer's fingerprint, cross-checked against `delta.apply`). Any
+    /// mismatch is a typed refusal — never a silent wrong merge.
+    pub fn open(
+        model_name: &str,
+        config: &TrainConfig,
+        strictness: TrainStrictness,
+        settings: &WalSettings,
+        ctx: &RunContext,
+    ) -> Result<(UpdateState, Option<(SpireModel, String)>), ServeError> {
+        std::fs::create_dir_all(&settings.dir).map_err(|e| {
+            io_err(
+                &format!("cannot create WAL directory {}", settings.dir.display()),
+                e,
+            )
+        })?;
+
+        // Anchor: pin the config the whole delta chain trains under.
+        let base_path = settings.base_path(model_name);
+        let anchor = if base_path.exists() {
+            let text = std::fs::read_to_string(&base_path)
+                .map_err(|e| io_err(&format!("cannot read {}", base_path.display()), e))?;
+            ModelSnapshot::from_json(&text).map_err(|e| {
+                ServeError::Protocol(format!("damaged anchor {}: {e}", base_path.display()))
+            })?
+        } else {
+            let anchor = anchor_snapshot(config.clone());
+            write_atomic(&base_path, &anchor.to_json())
+                .map_err(|e| io_err(&format!("cannot write {}", base_path.display()), e))?;
+            anchor
+        };
+
+        let mut trainer = OnlineTrainer::new(anchor.config.clone(), strictness)
+            .map_err(|e| ServeError::Protocol(format!("invalid anchor config: {e}")))?;
+        let mut head = anchor;
+        let mut seq = 0u64;
+
+        // Checkpoint: fold in compacted history.
+        let checkpoint_path = settings.checkpoint_path(model_name);
+        if checkpoint_path.exists() {
+            let text = std::fs::read_to_string(&checkpoint_path)
+                .map_err(|e| io_err(&format!("cannot read {}", checkpoint_path.display()), e))?;
+            let cp: WalCheckpoint = serde_json::from_str(&text).map_err(|e| {
+                ServeError::Protocol(format!(
+                    "damaged checkpoint {}: {e}",
+                    checkpoint_path.display()
+                ))
+            })?;
+            if cp.format_version != SNAPSHOT_FORMAT_VERSION {
+                return Err(ServeError::Protocol(format!(
+                    "unsupported checkpoint format version {}",
+                    cp.format_version
+                )));
+            }
+            trainer.push_batch(&cp.samples);
+            trainer
+                .commit()
+                .map_err(|e| ServeError::Protocol(format!("checkpoint replay failed: {e}")))?;
+            let model = trainer
+                .model()
+                .ok_or_else(|| ServeError::Protocol("checkpoint produced no model".to_owned()))?;
+            let rebuilt = snapshot_of(model)?;
+            if rebuilt.fingerprint() != cp.fingerprint {
+                return Err(ServeError::Protocol(format!(
+                    "checkpoint replay for {model_name} produced fingerprint {}, expected {}",
+                    rebuilt.fingerprint(),
+                    cp.fingerprint
+                )));
+            }
+            head = rebuilt;
+            seq = cp.seq;
+        }
+
+        // Journal: truncate the torn tail, then replay the verified chain.
+        let (wal, scan) = Wal::open(&settings.wal_path(model_name))?;
+        if let Some((valid_records, dropped_bytes)) = scan.truncated {
+            ctx.emit(Event::WalTruncated {
+                model: model_name.to_owned(),
+                valid_records,
+                dropped_bytes,
+            });
+        }
+        let mut dedup = VecDeque::new();
+        let mut records_since_checkpoint = 0usize;
+        for record in &scan.records {
+            if record.seq <= seq {
+                // Covered by the checkpoint (a crash between checkpoint
+                // write and journal reset leaves these behind).
+                remember(&mut dedup, record, settings.dedup_window);
+                continue;
+            }
+            records_since_checkpoint += 1;
+            if record.seq != seq + 1 {
+                return Err(ServeError::Protocol(format!(
+                    "journal gap for {model_name}: record seq {} after seq {seq}",
+                    record.seq
+                )));
+            }
+            let head_fp = head.fingerprint();
+            if record.delta.base_fingerprint != head_fp {
+                return Err(ServeError::Protocol(format!(
+                    "journal chain broken for {model_name} at seq {}: delta base {} \
+                     does not match replayed fingerprint {head_fp}",
+                    record.seq, record.delta.base_fingerprint
+                )));
+            }
+            trainer.push_batch(&record.batch);
+            trainer.commit().map_err(|e| {
+                ServeError::Protocol(format!(
+                    "journal replay for {model_name} failed at seq {}: {e}",
+                    record.seq
+                ))
+            })?;
+            let model = trainer.model().ok_or_else(|| {
+                ServeError::Protocol(format!("replay produced no model at seq {}", record.seq))
+            })?;
+            let rebuilt = snapshot_of(model)?;
+            if rebuilt.fingerprint() != record.delta.result_fingerprint {
+                return Err(ServeError::Protocol(format!(
+                    "journal replay for {model_name} diverged at seq {}: rebuilt {}, \
+                     record says {}",
+                    record.seq,
+                    rebuilt.fingerprint(),
+                    record.delta.result_fingerprint
+                )));
+            }
+            // Cross-check through the delta path too: applying the
+            // record's delta to the old head must land on the same model.
+            let applied = record.delta.apply(&head).map_err(|e| {
+                ServeError::Protocol(format!(
+                    "journal delta for {model_name} refuses its own base at seq {}: {e}",
+                    record.seq
+                ))
+            })?;
+            if applied.fingerprint() != rebuilt.fingerprint() {
+                return Err(ServeError::Protocol(format!(
+                    "journal delta for {model_name} disagrees with retrain at seq {}",
+                    record.seq
+                )));
+            }
+            head = rebuilt;
+            seq = record.seq;
+            remember(&mut dedup, record, settings.dedup_window);
+        }
+
+        let recovered = if seq > 0 {
+            trainer.model().map(|m| (m.clone(), head.fingerprint()))
+        } else {
+            None
+        };
+        Ok((
+            UpdateState {
+                model_name: model_name.to_owned(),
+                settings: settings.clone(),
+                trainer,
+                head,
+                seq,
+                wal,
+                dedup,
+                records_since_checkpoint,
+                broken: None,
+            },
+            recovered,
+        ))
+    }
+
+    /// The last committed sequence number (0 before the first commit).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The current model fingerprint.
+    pub fn fingerprint(&self) -> String {
+        self.head.fingerprint()
+    }
+
+    /// The maintained model, once at least one update committed.
+    pub fn model(&self) -> Option<&SpireModel> {
+        self.trainer.model()
+    }
+
+    /// Marks the state unusable (e.g. after a panic mid-apply); every
+    /// later update is refused with this reason.
+    pub fn mark_broken(&mut self, reason: impl Into<String>) {
+        if self.broken.is_none() {
+            self.broken = Some(reason.into());
+        }
+    }
+
+    /// Fsyncs the journal (graceful-shutdown drain).
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.wal.sync()
+    }
+
+    /// Applies one update batch: dedup check, clone-train-commit,
+    /// journal append + fsync, then publish. See the module docs for
+    /// the ordering argument.
+    pub fn apply_update(
+        &mut self,
+        samples: &SampleSet,
+        samples_json: &str,
+        key: Option<&str>,
+        ctx: &RunContext,
+    ) -> Result<UpdateAck, ServeError> {
+        if let Some(reason) = &self.broken {
+            return Err(ServeError::Protocol(format!(
+                "updates for {} are disabled: {reason}",
+                self.model_name
+            )));
+        }
+        let batch_fingerprint = format!("{:016x}", fnv1a64(samples_json.as_bytes()));
+        if let Some(key) = key {
+            if let Some(hit) = self
+                .dedup
+                .iter()
+                .find(|e| e.key == key && e.batch_fingerprint == batch_fingerprint)
+            {
+                ctx.emit(Event::UpdateDeduplicated {
+                    model: self.model_name.clone(),
+                    seq: hit.seq,
+                    key: key.to_owned(),
+                });
+                return Ok(UpdateAck {
+                    seq: hit.seq,
+                    fingerprint: hit.fingerprint.clone(),
+                    applied: false,
+                    report: None,
+                    model: None,
+                });
+            }
+        }
+        if samples.is_empty() {
+            return Err(ServeError::Protocol(
+                "update requires a non-empty sample batch".to_owned(),
+            ));
+        }
+
+        // Train a candidate first: a refused commit must leave no trace,
+        // in memory or on disk.
+        let mut candidate = self.trainer.clone();
+        candidate.push_batch(samples);
+        let outcome = candidate
+            .commit()
+            .map_err(|e| ServeError::Protocol(format!("update commit refused: {e}")))?;
+        let model = candidate
+            .model()
+            .ok_or_else(|| ServeError::Protocol("update commit produced no model".to_owned()))?;
+        let new_head = snapshot_of(model)?;
+        let new_fingerprint = new_head.fingerprint();
+        let old_fingerprint = self.head.fingerprint();
+        let seq = self.seq + 1;
+        let record = WalRecord {
+            seq,
+            key: key.map(str::to_owned),
+            batch_fingerprint: batch_fingerprint.clone(),
+            batch: samples.clone(),
+            delta: SnapshotDelta::between(&self.head, &new_head),
+        };
+
+        // Durability point: the record is on disk (or nothing is).
+        match self.wal.append(&record) {
+            Ok(()) => {}
+            Err(Ok(e)) => return Err(e),
+            Err(Err(e)) => {
+                self.broken = Some(e.to_string());
+                return Err(e);
+            }
+        }
+
+        // Publish: plain moves, no fallible step between disk and memory.
+        let model = model.clone();
+        self.trainer = candidate;
+        self.head = new_head;
+        self.seq = seq;
+        self.records_since_checkpoint += 1;
+        if let Some(key) = key {
+            self.dedup.push_back(DedupEntry {
+                key: key.to_owned(),
+                batch_fingerprint,
+                seq,
+                fingerprint: new_fingerprint.clone(),
+            });
+            while self.dedup.len() > self.settings.dedup_window.max(1) {
+                self.dedup.pop_front();
+            }
+        }
+        ctx.emit(Event::ModelUpdated {
+            model: self.model_name.clone(),
+            seq,
+            old_fingerprint,
+            new_fingerprint: new_fingerprint.clone(),
+            samples: samples.len(),
+        });
+        self.maybe_compact(ctx);
+        Ok(UpdateAck {
+            seq,
+            fingerprint: new_fingerprint,
+            applied: true,
+            report: Some(outcome.update),
+            model: Some(model),
+        })
+    }
+
+    /// Compacts once enough records accumulated: checkpoint written
+    /// atomically first, journal reset second — a crash between the two
+    /// is safe because replay skips records the checkpoint covers. A
+    /// failed checkpoint write only defers compaction to the next
+    /// commit; it never loses data.
+    fn maybe_compact(&mut self, ctx: &RunContext) {
+        if self.records_since_checkpoint < self.settings.compact_records.max(1) {
+            return;
+        }
+        let checkpoint = WalCheckpoint {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            seq: self.seq,
+            fingerprint: self.head.fingerprint(),
+            samples: self.trainer.samples().clone(),
+        };
+        let json = match serde_json::to_string(&checkpoint) {
+            Ok(json) => json,
+            Err(_) => return,
+        };
+        let path = self.settings.checkpoint_path(&self.model_name);
+        if write_atomic(&path, &json).is_err() {
+            return;
+        }
+        let records = self.records_since_checkpoint;
+        if self.wal.reset().is_ok() {
+            self.records_since_checkpoint = 0;
+        }
+        ctx.emit(Event::WalCompacted {
+            model: self.model_name.clone(),
+            seq: self.seq,
+            records,
+        });
+    }
+}
+
+fn remember(dedup: &mut VecDeque<DedupEntry>, record: &WalRecord, window: usize) {
+    if let Some(key) = &record.key {
+        dedup.push_back(DedupEntry {
+            key: key.clone(),
+            batch_fingerprint: record.batch_fingerprint.clone(),
+            seq: record.seq,
+            fingerprint: record.delta.result_fingerprint.clone(),
+        });
+        while dedup.len() > window.max(1) {
+            dedup.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_core::pipeline::PipelineConfig;
+    use spire_core::Sample;
+
+    fn ctx() -> RunContext {
+        RunContext::new(PipelineConfig::default())
+    }
+
+    fn batch(salt: u64, n: usize) -> SampleSet {
+        let mut set = SampleSet::new();
+        for i in 0..n {
+            let x = (salt * 31 + i as u64) as f64;
+            set.push(Sample::new("wal.metric", 10.0, 5.0 + x, 1.0 + (x * 7.0) % 13.0).unwrap());
+            set.push(Sample::new("wal.other", 10.0, 3.0 + x, 2.0 + (x * 3.0) % 11.0).unwrap());
+        }
+        set
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spire-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn journal_round_trips_and_survives_reopen() {
+        let dir = temp_dir("roundtrip");
+        let settings = WalSettings::new(&dir);
+        let config = TrainConfig::default();
+        let ctx = ctx();
+        let mut fingerprints = Vec::new();
+        {
+            let (mut state, recovered) =
+                UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+            assert!(recovered.is_none());
+            for salt in 0..4 {
+                let b = batch(salt, 6);
+                let json = serde_json::to_string(&b).unwrap();
+                let ack = state.apply_update(&b, &json, None, &ctx).unwrap();
+                assert!(ack.applied);
+                assert_eq!(ack.seq, salt + 1);
+                fingerprints.push(ack.fingerprint);
+            }
+        }
+        // Reopen: replay must land on the last acknowledged fingerprint
+        // and equal a clean batch retrain over all four batches.
+        let (state, recovered) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let (model, fp) = recovered.expect("recovered model");
+        assert_eq!(state.seq(), 4);
+        assert_eq!(fp, *fingerprints.last().unwrap());
+        let mut merged = SampleSet::new();
+        for salt in 0..4 {
+            merged.merge(batch(salt, 6));
+        }
+        let retrained = SpireModel::train(&merged, config.clone()).unwrap();
+        assert_eq!(
+            model, retrained,
+            "recovery must equal a clean batch retrain"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_recovers() {
+        let dir = temp_dir("torn");
+        let settings = WalSettings::new(&dir);
+        let config = TrainConfig::default();
+        let ctx = ctx();
+        let wal_path = settings.wal_path("m");
+        {
+            let (mut state, _) =
+                UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+            for salt in 0..3 {
+                let b = batch(salt, 6);
+                let json = serde_json::to_string(&b).unwrap();
+                state.apply_update(&b, &json, None, &ctx).unwrap();
+            }
+        }
+        // Tear the last record in half.
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 40]).unwrap();
+        let (state, recovered) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        assert_eq!(state.seq(), 2, "the torn third record must be dropped");
+        let (model, _) = recovered.unwrap();
+        let mut merged = SampleSet::new();
+        merged.merge(batch(0, 6));
+        merged.merge(batch(1, 6));
+        assert_eq!(model, SpireModel::train(&merged, config.clone()).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keyed_retry_is_applied_at_most_once() {
+        let dir = temp_dir("dedup");
+        let settings = WalSettings::new(&dir);
+        let config = TrainConfig::default();
+        let ctx = ctx();
+        let (mut state, _) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let b = batch(0, 6);
+        let json = serde_json::to_string(&b).unwrap();
+        let first = state.apply_update(&b, &json, Some("k1"), &ctx).unwrap();
+        assert!(first.applied);
+        let retry = state.apply_update(&b, &json, Some("k1"), &ctx).unwrap();
+        assert!(!retry.applied, "retried key must not re-apply");
+        assert_eq!(retry.seq, first.seq);
+        assert_eq!(retry.fingerprint, first.fingerprint);
+        // Same key, different batch: a distinct update, not a retry.
+        let b2 = batch(9, 6);
+        let json2 = serde_json::to_string(&b2).unwrap();
+        let other = state.apply_update(&b2, &json2, Some("k1"), &ctx).unwrap();
+        assert!(other.applied);
+        assert_eq!(other.seq, first.seq + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_checkpoints_and_recovery_still_matches_retrain() {
+        let dir = temp_dir("compact");
+        let mut settings = WalSettings::new(&dir);
+        settings.compact_records = 2;
+        let config = TrainConfig::default();
+        let ctx = ctx();
+        let mut last_fp = String::new();
+        {
+            let (mut state, _) =
+                UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+            for salt in 0..5 {
+                let b = batch(salt, 6);
+                let json = serde_json::to_string(&b).unwrap();
+                last_fp = state
+                    .apply_update(&b, &json, None, &ctx)
+                    .unwrap()
+                    .fingerprint;
+            }
+        }
+        assert!(
+            settings.checkpoint_path("m").exists(),
+            "compaction must have written a checkpoint"
+        );
+        let (state, recovered) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        assert_eq!(state.seq(), 5);
+        let (model, fp) = recovered.unwrap();
+        assert_eq!(fp, last_fp);
+        let mut merged = SampleSet::new();
+        for salt in 0..5 {
+            merged.merge(batch(salt, 6));
+        }
+        assert_eq!(model, SpireModel::train(&merged, config.clone()).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_batch_and_broken_state_are_refused() {
+        let dir = temp_dir("refuse");
+        let settings = WalSettings::new(&dir);
+        let config = TrainConfig::default();
+        let ctx = ctx();
+        let (mut state, _) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let empty = SampleSet::new();
+        let json = serde_json::to_string(&empty).unwrap();
+        assert!(state.apply_update(&empty, &json, None, &ctx).is_err());
+        state.mark_broken("test poison");
+        let b = batch(0, 6);
+        let json = serde_json::to_string(&b).unwrap();
+        let err = state.apply_update(&b, &json, None, &ctx).unwrap_err();
+        assert!(err.to_string().contains("test poison"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -28,6 +28,18 @@ use crate::queue::Job;
 use crate::registry::{ModelCounters, ModelEntry, ModelSlot};
 use crate::server::ServerShared;
 
+/// Whether any job in the batch carries a sample metric whose name
+/// contains `marker` — the chaos harness's injection seam: tests plant
+/// a marked metric in a request to detonate a panic at a chosen layer.
+fn batch_matches_marker(batch: &[Job], marker: &str) -> bool {
+    batch.iter().any(|job| {
+        job.request
+            .samples
+            .as_ref()
+            .is_some_and(|s| s.metrics().any(|m| m.as_str().contains(marker)))
+    })
+}
+
 /// The analyze default for `top` when a request does not specify one.
 pub(crate) const DEFAULT_TOP: usize = 10;
 
@@ -44,7 +56,102 @@ pub(crate) fn effective_top(kind: &str, top: Option<usize>) -> usize {
 /// Runs until the queue closes and drains.
 pub(crate) fn worker_loop(shared: &ServerShared) {
     while let Some(batch) = shared.queue.pop_coalesced(shared.config.max_batch) {
-        process_batch(shared, batch);
+        // Chaos seam OUTSIDE the request containment: this panic
+        // escapes to the supervisor, exercising worker restart and the
+        // restart budget (the in-containment seam is in the estimate
+        // closure below).
+        if let Some(marker) = &shared.config.chaos.worker_panic_marker {
+            if batch_matches_marker(&batch, marker) {
+                panic!("chaos: worker panic marker {marker:?} matched");
+            }
+        }
+        if batch[0].is_update() {
+            process_update_batch(shared, batch);
+        } else {
+            process_batch(shared, batch);
+        }
+    }
+}
+
+/// Applies a coalesced batch of update jobs sequentially under the
+/// slot's update mutex (writes are serialized per model; the journal
+/// orders them). Each committed update swaps the served entry, so
+/// subsequent reads see the new fingerprint immediately.
+fn process_update_batch(shared: &ServerShared, batch: Vec<Job>) {
+    let Some(slot) = shared.registry.get(&batch[0].model) else {
+        let name = batch[0].model.clone();
+        for job in batch {
+            let _ = job
+                .reply
+                .send(Response::error(format!("unknown model {name}")));
+        }
+        return;
+    };
+    let mut guard = slot.update.lock().unwrap_or_else(|p| p.into_inner());
+    for job in batch {
+        let Some(state) = guard.as_mut() else {
+            let _ = job.reply.send(Response::error(
+                "updates are disabled: start the daemon with --wal-dir to enable \
+                 durable model maintenance",
+            ));
+            continue;
+        };
+        if shared.read_only() {
+            let _ = job.reply.send(Response::error(
+                "daemon is read-only (worker restart budget exhausted); update refused",
+            ));
+            continue;
+        }
+        let samples = job.request.samples.as_ref().expect("validated at enqueue");
+        let ctx = shared.ctx();
+        let key = job.request.key.as_deref();
+        let outcome =
+            parallel::run_catching(|| state.apply_update(samples, &job.samples_json, key, &ctx));
+        let response = match outcome {
+            Ok(Ok(ack)) => {
+                if ack.applied {
+                    ModelCounters::bump(&slot.counters.updates);
+                    if let Some(model) = &ack.model {
+                        slot.install(ModelEntry {
+                            model: model.clone(),
+                            fingerprint: ack.fingerprint.clone(),
+                        });
+                    }
+                } else {
+                    ModelCounters::bump(&slot.counters.deduplicated);
+                }
+                let mut r = Response::ok("update");
+                r.model = Some(job.model.clone());
+                r.fingerprint = Some(ack.fingerprint);
+                r.seq = Some(ack.seq);
+                r.applied = Some(ack.applied);
+                r.update = ack.report;
+                r
+            }
+            Ok(Err(e)) => {
+                let mut r = Response::error(e.to_string());
+                r.model = Some(job.model.clone());
+                r
+            }
+            Err(panic_msg) => {
+                // A panic mid-apply may have left half-built state; the
+                // clone-then-publish discipline makes that unlikely, but
+                // refusing further writes is the safe side.
+                state.mark_broken(format!("panic during update: {panic_msg}"));
+                ModelCounters::bump(&slot.counters.isolated);
+                shared.bus.emit(Event::RequestIsolated {
+                    request: "update".to_owned(),
+                    detail: panic_msg.clone(),
+                });
+                let mut r = Response::error(format!(
+                    "update isolated after panic: {panic_msg}; further updates for this \
+                     model are refused until restart"
+                ));
+                r.model = Some(job.model.clone());
+                r
+            }
+        };
+        let _ = job.reply.send(response);
     }
 }
 
@@ -52,7 +159,9 @@ fn process_batch(shared: &ServerShared, batch: Vec<Job>) {
     let Some(slot) = shared.registry.get(&batch[0].model) else {
         let name = batch[0].model.clone();
         for job in batch {
-            let _ = job.reply.send(Response::error(format!("unknown model {name}")));
+            let _ = job
+                .reply
+                .send(Response::error(format!("unknown model {name}")));
         }
         return;
     };
@@ -72,7 +181,16 @@ fn process_batch(shared: &ServerShared, batch: Vec<Job>) {
         .iter()
         .map(|j| j.request.samples.as_ref().expect("validated at enqueue"))
         .collect();
-    match parallel::run_catching(|| entry.model.estimate_batch(&sets)) {
+    match parallel::run_catching(|| {
+        // Chaos seam INSIDE request containment: drives the isolation
+        // path (typed error, worker survives) for tests.
+        if let Some(marker) = &shared.config.chaos.panic_marker {
+            if batch_matches_marker(&batch, marker) {
+                panic!("chaos: request panic marker {marker:?} matched");
+            }
+        }
+        entry.model.estimate_batch(&sets)
+    }) {
         Ok(results) => {
             shared.bus.emit(Event::StageFinished {
                 stage: "serve-batch".to_owned(),
@@ -89,7 +207,14 @@ fn process_batch(shared: &ServerShared, batch: Vec<Job>) {
             // so only the poisoned request(s) fail.
             for job in batch {
                 let samples = job.request.samples.as_ref().expect("validated at enqueue");
-                match parallel::run_catching(|| entry.model.estimate(samples)) {
+                match parallel::run_catching(|| {
+                    if let Some(marker) = &shared.config.chaos.panic_marker {
+                        if batch_matches_marker(std::slice::from_ref(&job), marker) {
+                            panic!("chaos: request panic marker {marker:?} matched");
+                        }
+                    }
+                    entry.model.estimate(samples)
+                }) {
                     Ok(result) => finish_job(shared, slot, &entry, job, result),
                     Err(panic_msg) => {
                         ModelCounters::bump(&slot.counters.isolated);
@@ -175,10 +300,7 @@ fn finish_job(
 /// `stats` endpoint's `overlap@5` / Kendall-tau pair, which also keeps
 /// the hardened rank statistics on a hot path.
 fn update_drift(slot: &ModelSlot, report: &BottleneckReport) {
-    let mut last = slot
-        .last_report
-        .lock()
-        .unwrap_or_else(|p| p.into_inner());
+    let mut last = slot.last_report.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(prev) = last.as_ref() {
         let (overlap, tau) = prev.compare(report, 5);
         *slot.drift.lock().unwrap_or_else(|p| p.into_inner()) = Some((overlap, tau));

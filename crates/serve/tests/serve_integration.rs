@@ -110,7 +110,13 @@ fn concurrent_clients_match_direct_estimates_bit_for_bit() {
 
     // Expected throughputs straight from the library.
     let expected: Vec<u64> = (0..4)
-        .map(|salt| model.estimate(&workload(salt)).unwrap().throughput().to_bits())
+        .map(|salt| {
+            model
+                .estimate(&workload(salt))
+                .unwrap()
+                .throughput()
+                .to_bits()
+        })
         .collect();
 
     let mut clients = Vec::new();
@@ -257,8 +263,16 @@ fn mid_flight_reload_never_tears_a_model() {
     let expected: Vec<[u64; 2]> = (0..4)
         .map(|salt| {
             [
-                model_a.estimate(&workload(salt)).unwrap().throughput().to_bits(),
-                model_b.estimate(&workload(salt)).unwrap().throughput().to_bits(),
+                model_a
+                    .estimate(&workload(salt))
+                    .unwrap()
+                    .throughput()
+                    .to_bits(),
+                model_b
+                    .estimate(&workload(salt))
+                    .unwrap()
+                    .throughput()
+                    .to_bits(),
             ]
         })
         .collect();
@@ -312,13 +326,20 @@ fn mid_flight_reload_never_tears_a_model() {
         let info = response.reloaded.unwrap();
         assert_eq!(
             info.new_fingerprint,
-            if current_is_a { fp_b.clone() } else { fp_a.clone() }
+            if current_is_a {
+                fp_b.clone()
+            } else {
+                fp_a.clone()
+            }
         );
         current_is_a = !current_is_a;
     }
     stop.store(true, Ordering::Relaxed);
     let checked: usize = hammers.into_iter().map(|h| h.join().unwrap()).sum();
-    assert!(checked > 32, "hammers should have exercised the swap window");
+    assert!(
+        checked > 32,
+        "hammers should have exercised the swap window"
+    );
 
     let reload_events = sink
         .events()

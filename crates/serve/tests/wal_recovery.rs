@@ -1,0 +1,434 @@
+//! Crash-safety and supervision tests for the durable update path.
+//!
+//! The invariants under test:
+//! - killing the daemon at *every* byte offset of the journal recovers a
+//!   model bit-identical to a clean batch retrain over exactly the
+//!   batches whose records are fully on disk (the durability contract:
+//!   acknowledged means replayable, torn means dropped);
+//! - a retried idempotent update is applied exactly once, even across a
+//!   crash-restart cycle (the dedup window is rebuilt from the journal);
+//! - a panicking worker is respawned under supervision until the restart
+//!   budget runs out, after which the daemon degrades to read-only
+//!   instead of crash-looping;
+//! - isolated requests are counted exactly once in the stats counters
+//!   (the counter-drift regression: sheds are never counted as serves).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+
+use spire_core::pipeline::{CollectingSink, EventSink, PipelineConfig, RunContext};
+use spire_core::{
+    write_atomic, ModelSnapshot, Sample, SampleSet, SpireModel, TrainConfig, TrainStrictness,
+};
+use spire_serve::wal::{UpdateState, WalSettings};
+use spire_serve::{ChaosConfig, Client, Server, ServerConfig};
+
+fn ctx() -> RunContext {
+    RunContext::new(PipelineConfig::default())
+}
+
+/// A small single-metric batch (keeps journal records short so the
+/// every-byte-offset sweep stays fast).
+fn tiny_batch(salt: u64) -> SampleSet {
+    let mut set = SampleSet::new();
+    for i in 0..2u64 {
+        let x = (salt * 17 + i * 3 + 1) as f64;
+        set.push(Sample::new("kill.metric", 10.0, x, 1.0 + (x * 5.0) % 9.0).unwrap());
+    }
+    set
+}
+
+/// A multi-metric batch for the server-level tests.
+fn batch(salt: usize) -> SampleSet {
+    let mut set = SampleSet::new();
+    for (m, metric) in ["m_alpha", "m_beta", "m_gamma"].iter().enumerate() {
+        for i in 1..10 {
+            let x = (i * (m + 2) + salt) as f64;
+            let y = (30.0 - i as f64 - salt as f64 * 0.25).max(1.0);
+            set.push(Sample::new(*metric, 5.0 + salt as f64, x, y).unwrap());
+        }
+    }
+    set
+}
+
+/// A workload carrying one chaos-marked metric name, to detonate the
+/// configured panic seam.
+fn marked_workload(marker: &str) -> SampleSet {
+    let mut set = batch(0);
+    set.push(Sample::new(format!("{marker}_x").as_str(), 5.0, 7.0, 3.0).unwrap());
+    set
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spire-wal-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn train_snapshot(dir: &std::path::Path) -> (PathBuf, String) {
+    let mut set = SampleSet::new();
+    for (m, metric) in ["m_alpha", "m_beta", "m_gamma"].iter().enumerate() {
+        for i in 1..20 {
+            let x = (i * (m + 2)) as f64;
+            let y = (60.0 - i as f64).max(1.0);
+            set.push(Sample::new(*metric, 10.0, x, y).unwrap());
+        }
+    }
+    let model =
+        SpireModel::train_with_report(&set, TrainConfig::default(), TrainStrictness::Strict)
+            .unwrap()
+            .model;
+    let snapshot = ModelSnapshot::from_model(&model).unwrap();
+    let path = dir.join("model.json");
+    write_atomic(&path, &snapshot.to_json()).unwrap();
+    (path, snapshot.fingerprint())
+}
+
+/// Waits for `kind` to appear `count` times on the bus: a panicking
+/// worker's reply channels drop mid-unwind, so the client can observe
+/// the failure before the supervisor has emitted its event.
+fn await_events(sink: &CollectingSink, kind: &str, count: usize) {
+    for _ in 0..200 {
+        if sink.events().iter().filter(|e| e.kind() == kind).count() >= count {
+            return;
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!(
+        "event {kind} did not reach count {count}; bus holds {:?}",
+        sink.events().iter().map(|e| e.kind()).collect::<Vec<_>>()
+    );
+}
+
+#[allow(clippy::type_complexity)]
+fn start(
+    config: ServerConfig,
+    models: Vec<(String, PathBuf)>,
+) -> (
+    String,
+    Arc<CollectingSink>,
+    thread::JoinHandle<Result<bool, spire_serve::ServeError>>,
+) {
+    let sink = Arc::new(CollectingSink::new());
+    let sinks: Vec<Arc<dyn EventSink>> = vec![sink.clone()];
+    let server = Server::bind(config, models, sinks).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = thread::spawn(move || server.run());
+    (addr, sink, handle)
+}
+
+/// The tentpole pin: simulate a kill at every byte offset of the journal
+/// and require recovery to be bit-identical to a clean batch retrain
+/// over exactly the fully-journaled batches.
+#[test]
+fn kill_at_every_byte_offset_recovers_prefix_bit_identically() {
+    let dir_a = temp_dir("kill-src");
+    let dir_b = temp_dir("kill-replay");
+    let settings_a = WalSettings::new(&dir_a);
+    let settings_b = WalSettings::new(&dir_b);
+    let config = TrainConfig::default();
+    let ctx = ctx();
+
+    // Write the reference journal, recording the on-disk length and the
+    // expected fingerprint after each acknowledged commit.
+    let wal_path_a = settings_a.wal_path("m");
+    let mut lens = Vec::new();
+    let mut expected_fp = Vec::new();
+    {
+        let (mut state, recovered) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings_a, &ctx).unwrap();
+        assert!(recovered.is_none());
+        lens.push(std::fs::metadata(&wal_path_a).unwrap().len());
+        expected_fp.push(state.fingerprint());
+        for salt in 0..3u64 {
+            let b = tiny_batch(salt);
+            let json = serde_json::to_string(&b).unwrap();
+            let ack = state.apply_update(&b, &json, None, &ctx).unwrap();
+            assert!(ack.applied);
+            lens.push(std::fs::metadata(&wal_path_a).unwrap().len());
+            // The acknowledged fingerprint must already equal a clean
+            // batch retrain over every acknowledged batch.
+            let mut merged = SampleSet::new();
+            for s in 0..=salt {
+                merged.merge(tiny_batch(s));
+            }
+            let retrained = SpireModel::train(&merged, config.clone()).unwrap();
+            assert_eq!(
+                ack.fingerprint,
+                ModelSnapshot::from_model(&retrained).unwrap().fingerprint(),
+                "ack after batch {salt} diverges from clean retrain"
+            );
+            expected_fp.push(ack.fingerprint);
+        }
+    }
+    let journal = std::fs::read(&wal_path_a).unwrap();
+    assert_eq!(*lens.last().unwrap() as usize, journal.len());
+
+    // Anchor is part of the durable state; the "crashed machine" has it.
+    std::fs::copy(settings_a.base_path("m"), settings_b.base_path("m")).unwrap();
+    let wal_path_b = settings_b.wal_path("m");
+
+    for cut in 0..=journal.len() {
+        std::fs::write(&wal_path_b, &journal[..cut]).unwrap();
+        let (state, recovered) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings_b, &ctx)
+                .unwrap_or_else(|e| panic!("recovery at offset {cut} refused: {e}"));
+        // The highest commit whose record is fully inside the prefix.
+        let k = lens.iter().rposition(|&l| l as usize <= cut).unwrap_or(0);
+        assert_eq!(state.seq(), k as u64, "wrong replay depth at offset {cut}");
+        assert_eq!(
+            state.fingerprint(),
+            expected_fp[k],
+            "recovered fingerprint diverges at offset {cut}"
+        );
+        if k > 0 {
+            let (model, fp) = recovered.unwrap_or_else(|| panic!("no model at offset {cut}"));
+            assert_eq!(fp, expected_fp[k]);
+            let mut merged = SampleSet::new();
+            for s in 0..k as u64 {
+                merged.merge(tiny_batch(s));
+            }
+            assert_eq!(
+                model,
+                SpireModel::train(&merged, config.clone()).unwrap(),
+                "recovered model is not the clean batch retrain at offset {cut}"
+            );
+        } else {
+            assert!(recovered.is_none(), "phantom recovery at offset {cut}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// The dedup window survives a crash-restart cycle: a retried idempotent
+/// update after reopen is recognized, not re-applied.
+#[test]
+fn retried_idempotent_update_is_applied_exactly_once_across_reopen() {
+    let dir = temp_dir("dedup-reopen");
+    let settings = WalSettings::new(&dir);
+    let config = TrainConfig::default();
+    let ctx = ctx();
+    let b = tiny_batch(0);
+    let json = serde_json::to_string(&b).unwrap();
+    let first = {
+        let (mut state, _) =
+            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        state
+            .apply_update(&b, &json, Some("retry-key"), &ctx)
+            .unwrap()
+    };
+    assert!(first.applied);
+    // "Crash" (drop without any shutdown niceties), reopen, retry.
+    let (mut state, recovered) =
+        UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+    assert!(recovered.is_some());
+    let retry = state
+        .apply_update(&b, &json, Some("retry-key"), &ctx)
+        .unwrap();
+    assert!(
+        !retry.applied,
+        "replayed dedup window must absorb the retry"
+    );
+    assert_eq!(retry.seq, first.seq);
+    assert_eq!(retry.fingerprint, first.fingerprint);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Worker supervision: panics outside containment respawn the worker
+/// (with a typed event) until the budget runs out, then the daemon goes
+/// read-only — reads and stats keep answering, updates are refused.
+#[test]
+fn chaos_worker_panic_respawns_then_degrades_to_read_only() {
+    let dir = temp_dir("supervise");
+    let (path, _fp) = train_snapshot(&dir);
+    let config = ServerConfig {
+        workers: 1,
+        cache_capacity: 0,
+        wal: Some(WalSettings::new(dir.join("wal"))),
+        worker_restart_budget: 1,
+        chaos: ChaosConfig {
+            panic_marker: None,
+            worker_panic_marker: Some("chaos_boom".to_owned()),
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, sink, handle) = start(config, vec![("m".to_owned(), path)]);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Panic 1: within budget, the worker respawns and keeps serving.
+    let r = client
+        .estimate("m", &marked_workload("chaos_boom"))
+        .unwrap();
+    assert!(!r.ok, "a request dropped by a dying worker cannot succeed");
+    await_events(&sink, "worker_restarted", 1);
+    let r = client.estimate("m", &batch(1)).unwrap();
+    assert!(r.ok, "respawned worker must serve again: {:?}", r.error);
+
+    // Panic 2: budget (1) exhausted — read-only, typed event, no serving
+    // workers left.
+    let r = client
+        .estimate("m", &marked_workload("chaos_boom"))
+        .unwrap();
+    assert!(!r.ok);
+    await_events(&sink, "daemon_read_only", 1);
+
+    // Updates are refused with the read-only reason; ping and stats
+    // still answer inline.
+    let r = client.update("m", &batch(2), Some("k")).unwrap();
+    assert!(!r.ok);
+    assert!(
+        r.error.as_deref().unwrap_or("").contains("read-only"),
+        "got: {:?}",
+        r.error
+    );
+    assert!(client.ping().unwrap().ok);
+    assert!(client.stats().unwrap().ok);
+
+    // Reads are now refused (shed by the closed queue, or drained with a
+    // typed refusal if they raced the close) rather than hanging.
+    let r = client.estimate("m", &batch(3)).unwrap();
+    assert!(!r.ok);
+    assert!(
+        r.shed == Some(true) || r.error.as_deref().unwrap_or("").contains("no live workers"),
+        "got: {:?}",
+        r.error
+    );
+
+    client.shutdown().unwrap();
+    let degraded = handle.join().unwrap().unwrap();
+    assert!(
+        degraded,
+        "restarts and read-only degradation are exit-2 events"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The counter-drift regression: every served request is counted exactly
+/// once (cache hits and worker-served requests), isolated requests are
+/// still counted as served, and sheds are never counted as serves.
+#[test]
+fn isolated_requests_are_counted_exactly_once() {
+    let dir = temp_dir("counters");
+    let (path, _fp) = train_snapshot(&dir);
+    let config = ServerConfig {
+        workers: 1,
+        cache_capacity: 8,
+        chaos: ChaosConfig {
+            panic_marker: Some("iso_boom".to_owned()),
+            worker_panic_marker: None,
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, sink, handle) = start(config, vec![("m".to_owned(), path)]);
+    let mut client = Client::connect(&addr).unwrap();
+
+    for salt in 1..=3 {
+        assert!(client.estimate("m", &batch(salt)).unwrap().ok);
+    }
+    // The marked request panics inside containment: isolated, counted
+    // once as an estimate, worker survives.
+    let r = client.estimate("m", &marked_workload("iso_boom")).unwrap();
+    assert!(!r.ok);
+    assert!(r.error.as_deref().unwrap_or("").contains("isolated"));
+    // An identical repeat of a served request: a cache hit, also counted.
+    assert!(client.estimate("m", &batch(1)).unwrap().cached == Some(true));
+
+    let stats = client.stats().unwrap().stats.unwrap();
+    let m = &stats.models[0];
+    assert_eq!(m.estimates, 5, "3 served + 1 isolated + 1 cache hit");
+    assert_eq!(m.isolated, 1);
+    assert_eq!(m.cache_hits, 1);
+    assert_eq!(m.shed, 0);
+    assert_eq!(
+        sink.events()
+            .iter()
+            .filter(|e| e.kind() == "request_isolated")
+            .count(),
+        1
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Server-level crash-recovery round trip: journaled updates survive a
+/// restart, the recovered model is served (and bit-identical to a clean
+/// retrain), the idempotency window persists, and the sequence resumes.
+#[test]
+fn updates_survive_daemon_restart_with_persistent_dedup() {
+    let dir = temp_dir("restart");
+    let (path, _fp) = train_snapshot(&dir);
+    let wal = WalSettings::new(dir.join("wal"));
+    let config = ServerConfig {
+        wal: Some(wal.clone()),
+        ..ServerConfig::default()
+    };
+
+    let fp2;
+    {
+        let (addr, _sink, handle) = start(config.clone(), vec![("m".to_owned(), path.clone())]);
+        let mut client = Client::connect(&addr).unwrap();
+        let r = client.update("m", &batch(1), Some("a")).unwrap();
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.seq, Some(1));
+        assert_eq!(r.applied, Some(true));
+        let r = client.update("m", &batch(2), Some("b")).unwrap();
+        assert_eq!(r.seq, Some(2));
+        fp2 = r.fingerprint.clone().unwrap();
+        // The served entry swapped to the maintained model: estimates now
+        // come from it, bit-identical to a clean retrain.
+        let mut merged = SampleSet::new();
+        merged.merge(batch(1));
+        merged.merge(batch(2));
+        let retrained = SpireModel::train(&merged, TrainConfig::default()).unwrap();
+        assert_eq!(
+            ModelSnapshot::from_model(&retrained).unwrap().fingerprint(),
+            fp2
+        );
+        let est = client.estimate("m", &batch(0)).unwrap();
+        assert_eq!(est.fingerprint.as_deref(), Some(fp2.as_str()));
+        assert_eq!(
+            est.throughput.unwrap().to_bits(),
+            retrained
+                .estimate(&batch(0))
+                .unwrap()
+                .throughput()
+                .to_bits(),
+            "served updated model diverges from the clean retrain"
+        );
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    // Restart against the same journal: recovery is transparent.
+    let (addr, _sink, handle) = start(config, vec![("m".to_owned(), path)]);
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert_eq!(stats.models[0].last_seq, Some(2));
+    assert_eq!(
+        stats.models[0].fingerprint, fp2,
+        "the replayed model must be the served entry after restart"
+    );
+    // Retrying an already-acknowledged batch is absorbed, not re-applied.
+    let r = client.update("m", &batch(2), Some("b")).unwrap();
+    assert!(r.ok);
+    assert_eq!(r.applied, Some(false));
+    assert_eq!(r.seq, Some(2));
+    // New work resumes the sequence.
+    let r = client.update("m", &batch(3), Some("c")).unwrap();
+    assert_eq!(r.applied, Some(true));
+    assert_eq!(r.seq, Some(3));
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert_eq!(stats.models[0].updates, 1);
+    assert_eq!(stats.models[0].deduplicated, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -142,8 +142,7 @@ fn serve_path_estimates_are_bit_identical_to_the_direct_api() {
     let dir = std::env::temp_dir().join(format!("spire-equiv-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("model.json");
-    spire_core::write_atomic(&path, &ModelSnapshot::from_model(&model).unwrap().to_json())
-        .unwrap();
+    spire_core::write_atomic(&path, &ModelSnapshot::from_model(&model).unwrap().to_json()).unwrap();
     let server = spire_serve::Server::bind(
         spire_serve::ServerConfig::default(),
         vec![("m".to_owned(), path)],
