@@ -3,16 +3,15 @@
 
 use crate::args::Args;
 use crate::commands::CmdResult;
-use spire_counters::Dataset;
 
-use super::{json, Runner};
+use super::{json, load_dataset, Runner};
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let data_path = args.require("data")?;
     let label = args.require("workload")?;
     let n: usize = args.get_or("n", 15)?;
     let runner = Runner::from_args(args)?;
-    let dataset = Dataset::load(data_path)?;
+    let (dataset, warn) = load_dataset(&runner, data_path)?;
     let samples = dataset
         .get(label)
         .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
@@ -28,7 +27,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         None => spire_counters::CoverageReport::new(samples, session_time),
     };
     let (lo, hi) = report.fraction_range();
-    let mut out = format!(
+    let mut out = warn;
+    out.push_str(&format!(
         "workload: {label}
 metrics: {} | coverage fraction range: {:.2}%..{:.2}%
 
@@ -36,7 +36,7 @@ metrics: {} | coverage fraction range: {:.2}%..{:.2}%
         report.per_metric().len(),
         lo * 100.0,
         hi * 100.0
-    );
+    ));
     out.push_str(&report.to_table(n));
     let suspects = report.phase_suspects(0.3);
     if !suspects.is_empty() {

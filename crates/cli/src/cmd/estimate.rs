@@ -5,12 +5,11 @@ use std::fmt::Write as _;
 
 use serde::Content;
 use spire_core::pipeline::{EstimateStage, Stage};
-use spire_counters::Dataset;
 
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, load_model, Runner};
+use super::{json, load_dataset, load_model, Runner};
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let model_path = args.require("model")?;
@@ -19,7 +18,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let mut runner = Runner::from_args(args)?;
     let (mut model, mut out) = load_model(&mut runner, model_path)?;
     model.set_threads(args.get_or("threads", model.config().threads)?);
-    let dataset = Dataset::load(data_path)?;
+    let (dataset, warn) = load_dataset(&runner, data_path)?;
+    out.push_str(&warn);
     let samples = dataset
         .get(label)
         .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;

@@ -31,7 +31,11 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let report_json = serde::to_content(&out.report);
     let mut dataset = Dataset::new();
     dataset.insert_with_report(label, out.samples, out.report);
-    dataset.save(out_path)?;
+    if args.flag("binary") {
+        dataset.save_binary(out_path)?;
+    } else {
+        dataset.save(out_path)?;
+    }
     log.push_str(&format!(
         "imported {n} samples as `{label}` into {out_path}\n"
     ));

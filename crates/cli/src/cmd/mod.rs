@@ -9,6 +9,7 @@
 pub(crate) mod analyze;
 pub(crate) mod client;
 pub(crate) mod collect;
+pub(crate) mod convert;
 pub(crate) mod coverage;
 pub(crate) mod ingest;
 pub(crate) mod json;
@@ -169,6 +170,51 @@ pub(crate) fn load_model(
         }
     }
     Ok((model, log))
+}
+
+/// Loads a dataset from `path` through [`Dataset::load_with_mode`] — the
+/// single format-sniffing entry point, so `SPIRECOL` binary column files
+/// and JSON datasets both work everywhere a `--data` path is accepted.
+/// The integrity mode follows `--strict`: strict runs refuse any binary
+/// damage, lenient runs quarantine damaged chunks, emit each one on the
+/// bus as a typed `chunk_quarantined` event (degrading the run, exit
+/// code 2), and render the salvage into the returned warning text.
+pub(crate) fn load_dataset(
+    runner: &Runner,
+    path: &str,
+) -> Result<(spire_counters::Dataset, String), CmdError> {
+    let mode = runner.ctx.config.snapshot_mode;
+    let (dataset, report) = spire_counters::Dataset::load_with_mode(path, mode)
+        .map_err(|e| format!("cannot load dataset {path}: {e}"))?;
+    let mut log = String::new();
+    if let Some(report) = report {
+        if !report.is_clean() {
+            writeln!(
+                log,
+                "warning: salvaged binary dataset {path}: {} of {} rows quarantined \
+                 ({} of {} chunks)",
+                report.rows_dropped,
+                report.rows_total,
+                report.quarantined.len(),
+                report.chunks_total
+            )?;
+            for q in &report.quarantined {
+                writeln!(
+                    log,
+                    "  quarantined {}/{} chunk {} ({} rows): {}",
+                    q.label, q.metric, q.chunk, q.rows, q.reason
+                )?;
+                runner.ctx.emit(Event::ChunkQuarantined {
+                    label: q.label.clone(),
+                    metric: q.metric.clone(),
+                    chunk: q.chunk,
+                    rows: q.rows as usize,
+                    reason: q.reason.clone(),
+                });
+            }
+        }
+    }
+    Ok((dataset, log))
 }
 
 /// Resolves `--workload NAME [--config C]` against the suite.

@@ -5,8 +5,7 @@ use std::fmt::Write as _;
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, load_model, Runner};
-use spire_counters::Dataset;
+use super::{json, load_dataset, load_model, Runner};
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let model_path = args.require("model")?;
@@ -17,37 +16,42 @@ pub(crate) fn run(args: &Args) -> CmdResult {
 
     let mut runner = Runner::from_args(args)?;
     let (model, mut log) = load_model(&mut runner, model_path)?;
-    let dataset = Dataset::load(data_path)?;
+    let (dataset, warn) = load_dataset(&runner, data_path)?;
+    log.push_str(&warn);
     let metric = spire_core::MetricId::new(metric_name);
     let roofline = model
         .roofline(&metric)
         .ok_or_else(|| format!("model has no roofline for `{metric_name}`"))?;
 
-    // Plot against one workload's samples, or the whole dataset.
-    let samples: Vec<spire_core::Sample> = match args.get("workload") {
+    // Plot against one workload's samples, or the whole dataset —
+    // streaming (intensity, throughput) pairs straight off the column
+    // slices instead of materializing an owned `Sample` per row.
+    let columns: Vec<&spire_core::MetricColumn> = match args.get("workload") {
         Some(label) => dataset
             .get(label)
             .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?
-            .samples_for(&metric),
-        None => {
-            let mut v = Vec::new();
-            for (_, set) in dataset.iter() {
-                v.extend(set.samples_for(&metric));
-            }
-            v
-        }
+            .column(&metric)
+            .into_iter()
+            .collect(),
+        None => dataset
+            .iter()
+            .filter_map(|(_, set)| set.column(&metric))
+            .collect(),
     };
-    let chart = spire_plot::roofline_chart(roofline, samples.iter(), log_axes);
+    let n_samples: usize = columns.iter().map(|c| c.len()).sum();
+    let points = columns.iter().flat_map(|c| {
+        c.intensities()
+            .iter()
+            .copied()
+            .zip(c.throughputs().iter().copied())
+    });
+    let chart = spire_plot::roofline_points_chart(roofline, points, log_axes);
     spire_core::write_atomic(std::path::Path::new(out_path), &chart.to_svg(720, 480))?;
-    writeln!(
-        log,
-        "plotted `{metric_name}` ({} samples) to {out_path}",
-        samples.len()
-    )?;
+    writeln!(log, "plotted `{metric_name}` ({n_samples} samples) to {out_path}")?;
     let result = json::obj(vec![
         ("metric", json::s(metric_name)),
         ("out", json::s(out_path)),
-        ("samples", json::u(samples.len())),
+        ("samples", json::u(n_samples)),
         ("log_axes", serde::Content::Bool(log_axes)),
     ]);
     runner.finish(args, "plot", log, result)

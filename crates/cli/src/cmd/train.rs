@@ -12,12 +12,11 @@ use serde::Content;
 use spire_core::pipeline::Pipeline;
 use spire_core::pipeline::{BuildStage, Stage, TrainStage, UpdateStage};
 use spire_core::{write_atomic, ModelSnapshot, OnlineTrainer, TrainOutcome};
-use spire_counters::Dataset;
 
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, labeled_sets, Runner};
+use super::{json, labeled_sets, load_dataset, Runner};
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let data_path = args.require("data")?;
@@ -26,9 +25,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     if out_path.is_none() && snapshot_path.is_none() {
         return Err("train requires --out and/or --snapshot".into());
     }
-    let dataset = Dataset::load(data_path)?;
     let mut runner = Runner::from_args(args)?;
-    let mut log = String::new();
+    let (dataset, mut log) = load_dataset(&runner, data_path)?;
     if args.flag("ingest-report") {
         let mut any = false;
         for (label, report) in dataset.reports() {

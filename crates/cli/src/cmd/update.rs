@@ -15,13 +15,12 @@ use std::time::Duration;
 
 use spire_core::pipeline::{Stage, UpdateStage};
 use spire_core::{write_atomic, ModelSnapshot, OnlineTrainer, SnapshotDelta, UpdateOutcome};
-use spire_counters::Dataset;
 use spire_serve::{Client, ClientConfig};
 
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, CmdError, Runner};
+use super::{json, load_dataset, CmdError, Runner};
 
 /// Streams the base dataset plus every positional batch to a daemon.
 fn run_via_server(args: &Args) -> CmdResult {
@@ -49,11 +48,11 @@ fn run_via_server(args: &Args) -> CmdResult {
     let mut last_seq = 0u64;
     let mut fingerprint = String::new();
     let mut batches = 0usize;
-    let base = Dataset::load(data_path)?.merged();
+    let base = load_dataset(&runner, data_path)?.0.merged();
     let batch_paths = &args.positionals()[1..];
     let later = batch_paths
         .iter()
-        .map(|p| Ok((p.as_str(), Dataset::load(p)?.merged())))
+        .map(|p| Ok((p.as_str(), load_dataset(&runner, p)?.0.merged())))
         .collect::<Result<Vec<_>, CmdError>>()?;
     for (label, samples) in std::iter::once((data_path, base)).chain(later) {
         let key = format!("spire-update-{nonce:x}-{batches}");
@@ -133,7 +132,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let mut trainer = OnlineTrainer::new(config, strictness)?;
 
     // Batch 0: the base dataset the snapshot was trained from.
-    let dataset = Dataset::load(data_path)?;
+    let (dataset, warn) = load_dataset(&runner, data_path)?;
+    log.push_str(&warn);
     let (next, outcome) = UpdateStage.execute((trainer, dataset.merged()), &mut runner.ctx)?;
     trainer = next;
     let mut last: UpdateOutcome = outcome;
@@ -154,7 +154,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let batch_paths = &args.positionals()[1..];
     let mut samples_added = 0usize;
     for path in batch_paths {
-        let batch = Dataset::load(path)?;
+        let (batch, warn) = load_dataset(&runner, path)?;
+        log.push_str(&warn);
         let (next, outcome) = UpdateStage.execute((trainer, batch.merged()), &mut runner.ctx)?;
         trainer = next;
         samples_added += outcome.update.samples_added;

@@ -119,8 +119,19 @@ COMMANDS:
             [--budget F]              disable with --no-scale), broken rows
             [--no-scale] [--strict]   are quarantined under an error budget,
             [--ingest-report]         and the ingest report is stored with
-                                      the dataset (alias: import-perf;
-                                      --strict fails when over budget)
+            [--binary]                the dataset (alias: import-perf;
+                                      --strict fails when over budget;
+                                      --binary writes the SPIRECOL column
+                                      format instead of JSON)
+  convert   --data FILE --out FILE    re-encode a dataset: --to binary
+            [--to binary|json]        (default) writes the `SPIRECOL`
+            [--strict]                checksummed column format, --to json
+                                      the interchange JSON. Input format
+                                      is sniffed; the round trip is
+                                      byte-identical and keeps stored
+                                      ingest reports. Damaged binary
+                                      chunks are quarantined unless
+                                      --strict, which refuses them.
   plot      --model FILE --data FILE  render a metric's learned roofline
             --metric EVENT --out SVG  with its samples (add --linear for
             [--workload LABEL]        a linear-scale zoom)
@@ -167,6 +178,7 @@ EXIT CODES:
 pub(crate) const BOOL_FLAGS: &[&str] = &[
     "linear",
     "ingest-report",
+    "binary",
     "strict",
     "no-scale",
     "thin-front",
@@ -197,6 +209,7 @@ pub fn run(argv: &[String]) -> CmdResult {
         "estimate" => cmd::estimate::run(&args),
         "tma" => cmd::sim::tma(&args),
         "ingest" | "import-perf" => cmd::ingest::run(&args),
+        "convert" => cmd::convert::run(&args),
         "plot" => cmd::plot::run(&args),
         "coverage" => cmd::coverage::run(&args),
         "serve" => cmd::serve::run(&args),

@@ -215,6 +215,81 @@ fn golden_salvaged_snapshot_is_degraded_then_strict_fails() {
 }
 
 #[test]
+fn golden_convert_round_trip_is_byte_identical() {
+    let dir = std::env::temp_dir().join("spire-golden-convert");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.json");
+    let binary = dir.join("data.spirecol");
+    let back = dir.join("back.json");
+    write_dataset(&data);
+
+    // JSON -> binary, with the envelope pinned (sizes are deterministic).
+    let result = run_str(&[
+        "convert",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        binary.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK, "clean convert => 0");
+    assert_golden(
+        &normalize(&result.unwrap().text, dir.to_str().unwrap()),
+        "convert.golden.json",
+    );
+
+    // binary -> JSON reproduces the source file byte for byte.
+    let result = run_str(&[
+        "convert",
+        "--data",
+        binary.to_str().unwrap(),
+        "--out",
+        back.to_str().unwrap(),
+        "--to",
+        "json",
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK);
+    assert_eq!(
+        std::fs::read(&data).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "JSON -> binary -> JSON must be byte-identical"
+    );
+
+    // The binary dataset answers estimates bit-identically to the JSON
+    // one: the whole --json envelope (throughput included, full float
+    // precision) must match byte for byte.
+    let snap = dir.join("model.snapshot.json");
+    run_str(&[
+        "train",
+        "--data",
+        data.to_str().unwrap(),
+        "--snapshot",
+        snap.to_str().unwrap(),
+    ])
+    .unwrap();
+    let estimate = |data_path: &str| {
+        let result = run_str(&[
+            "estimate",
+            "--model",
+            snap.to_str().unwrap(),
+            "--data",
+            data_path,
+            "--workload",
+            "wl",
+            "--json",
+        ]);
+        assert_eq!(exit_code(&result), EXIT_OK);
+        normalize(&result.unwrap().text, dir.to_str().unwrap())
+    };
+    assert_eq!(
+        estimate(data.to_str().unwrap()),
+        estimate(binary.to_str().unwrap()),
+        "estimates from the binary dataset drifted from the JSON path"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn json_envelope_is_uniform_across_subcommands() {
     // Every subcommand's --json output parses and carries the same
     // top-level schema fields in the same order.

@@ -279,3 +279,70 @@ fn sigkill_mid_update_stream_recovers_an_acked_prefix() {
     let _ = client.shutdown();
     let _ = daemon2.wait();
 }
+
+#[test]
+fn served_estimates_from_binary_dataset_are_bit_identical_to_json() {
+    let f = fixture();
+
+    // Re-encode the base dataset into the binary column format with the
+    // real binary, then ask a running daemon for estimates through both
+    // encodings of the same data — the full `--json` client envelopes
+    // (float text at full precision) must match byte for byte.
+    let binary = f.dir.join("base.spirecol");
+    let status = spire()
+        .args(["convert", "--data"])
+        .arg(&f.base)
+        .arg("--out")
+        .arg(&binary)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn spire convert");
+    assert!(status.success(), "convert to binary failed");
+
+    let label = Dataset::load(f.base.to_str().unwrap())
+        .unwrap()
+        .iter()
+        .next()
+        .expect("fixture dataset has workloads")
+        .0
+        .to_owned();
+
+    let wal = f.dir.join("wal_binfmt");
+    let addr = free_addr();
+    let mut daemon = start_daemon(f, &addr, &wal);
+    let estimate = |data: &Path| {
+        let out = spire()
+            .args(["client", "estimate", "--addr", &addr, "--model", "m"])
+            .arg("--data")
+            .arg(data)
+            .args(["--workload", &label, "--json"])
+            .stderr(Stdio::null())
+            .output()
+            .expect("spawn spire client estimate");
+        assert!(out.status.success(), "client estimate failed");
+        String::from_utf8(out.stdout).expect("UTF-8 envelope")
+    };
+    let from_json = estimate(&f.base);
+    let from_binary = estimate(&binary);
+    assert!(!from_json.is_empty());
+
+    // The daemon's LRU keys on a hash of the request's serialized
+    // samples, so the second request answering from cache is itself
+    // proof the binary-loaded samples are bit-identical to the
+    // JSON-loaded ones. Everything else in the envelope must match
+    // byte for byte.
+    assert!(from_json.contains("\"cached\": false"), "{from_json}");
+    assert!(
+        from_binary.contains("\"cached\": true"),
+        "binary-loaded samples missed the cache: not bit-identical"
+    );
+    assert_eq!(
+        from_json.replace("\"cached\": false", "\"cached\": true"),
+        from_binary,
+        "served estimates differ between dataset encodings"
+    );
+
+    let _ = connect(&addr).shutdown();
+    let _ = daemon.wait();
+}

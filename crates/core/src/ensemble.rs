@@ -849,16 +849,33 @@ fn merge_estimates(
     let mut min_e = f64::INFINITY;
     let mut max_e = f64::NEG_INFINITY;
     let mut total_time = 0.0;
-    for (&e, &time) in estimates.iter().zip(column.times()) {
-        let w = match merge {
-            MergeStrategy::TimeWeighted => time,
-            MergeStrategy::Unweighted => 1.0,
-        };
-        weighted_sum += w * e;
-        weight_total += w;
-        min_e = min_e.min(e);
-        max_e = max_e.max(e);
-        total_time += time;
+    // The strategy dispatch is hoisted out of the loop so each arm is a
+    // tight accumulation kernel. Bit-identity constraints (pinned by the
+    // pipeline-equivalence and golden suites): the sums stay *sequential
+    // in sample order* — float addition does not reassociate, so a
+    // chunked/pairwise reduction would change results — and the
+    // unweighted arm's `weighted_sum += e` is exactly the former
+    // `1.0 * e` (multiplication by 1.0 is exact for every f64, NaN
+    // payloads included).
+    match merge {
+        MergeStrategy::TimeWeighted => {
+            for (&e, &time) in estimates.iter().zip(column.times()) {
+                weighted_sum += time * e;
+                weight_total += time;
+                min_e = min_e.min(e);
+                max_e = max_e.max(e);
+                total_time += time;
+            }
+        }
+        MergeStrategy::Unweighted => {
+            for (&e, &time) in estimates.iter().zip(column.times()) {
+                weighted_sum += e;
+                weight_total += 1.0;
+                min_e = min_e.min(e);
+                max_e = max_e.max(e);
+                total_time += time;
+            }
+        }
     }
     // `weight_total` catches degenerate TimeWeighted merges; `total_time`
     // additionally catches all-zero (or NaN) measurement times under the

@@ -128,6 +128,23 @@ pub enum SpireError {
         /// Why the record was rejected.
         reason: String,
     },
+    /// A binary column-file ([`crate::colfile`]) data chunk failed its
+    /// integrity check: the stored FNV-1a checksum does not match the chunk
+    /// payload, or the chunk points outside the file.
+    ///
+    /// Lenient loads quarantine only the damaged chunk's rows and salvage
+    /// the rest; strict loads refuse the whole file with this error — the
+    /// same taxonomy as [`SpireError::SnapshotRecordCorrupt`].
+    ColumnChunkCorrupt {
+        /// Dataset section (workload label) the chunk belongs to.
+        label: String,
+        /// Metric whose column the chunk stores.
+        metric: String,
+        /// Index of the damaged chunk within its column.
+        chunk: usize,
+        /// Why the chunk was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpireError {
@@ -190,6 +207,16 @@ impl fmt::Display for SpireError {
             SpireError::SnapshotRecordCorrupt { metric, reason } => write!(
                 f,
                 "snapshot record for metric `{metric}` is corrupt: {reason}"
+            ),
+            SpireError::ColumnChunkCorrupt {
+                label,
+                metric,
+                chunk,
+                reason,
+            } => write!(
+                f,
+                "column chunk {chunk} of metric `{metric}` in section `{label}` is \
+                 corrupt: {reason}"
             ),
         }
     }

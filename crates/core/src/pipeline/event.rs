@@ -73,6 +73,21 @@ pub enum Event {
         /// Number of rows quarantined for this reason.
         rows: usize,
     },
+    /// A lenient binary column-file load quarantined one damaged data
+    /// chunk (checksum mismatch or out-of-bounds range), dropping its
+    /// rows.
+    ChunkQuarantined {
+        /// Dataset section (workload label) the chunk belonged to.
+        label: String,
+        /// Metric whose column lost rows.
+        metric: String,
+        /// Index of the chunk within its column.
+        chunk: usize,
+        /// Rows dropped with the chunk.
+        rows: usize,
+        /// Why the chunk was rejected.
+        reason: String,
+    },
     /// A lenient snapshot load dropped one damaged metric record.
     SnapshotRecordDropped {
         /// The dropped metric.
@@ -250,6 +265,7 @@ impl Event {
             Event::StageFailed { .. } => "stage_failed",
             Event::MetricQuarantined { .. } => "metric_quarantined",
             Event::RowsQuarantined { .. } => "rows_quarantined",
+            Event::ChunkQuarantined { .. } => "chunk_quarantined",
             Event::SnapshotRecordDropped { .. } => "snapshot_record_dropped",
             Event::SnapshotSalvaged { .. } => "snapshot_salvaged",
             Event::CaptureDegraded { .. } => "capture_degraded",
@@ -277,6 +293,7 @@ impl Event {
             Event::StageFailed { .. } => Severity::Error,
             Event::MetricQuarantined { .. }
             | Event::RowsQuarantined { .. }
+            | Event::ChunkQuarantined { .. }
             | Event::SnapshotRecordDropped { .. }
             | Event::SnapshotSalvaged { .. }
             | Event::CaptureDegraded { .. }
@@ -322,6 +339,15 @@ impl Event {
             Event::RowsQuarantined { reason, rows } => {
                 format!("quarantined {rows} rows: {reason}")
             }
+            Event::ChunkQuarantined {
+                label,
+                metric,
+                chunk,
+                rows,
+                reason,
+            } => format!(
+                "quarantined chunk {chunk} of {label}/{metric} ({rows} rows): {reason}"
+            ),
             Event::SnapshotRecordDropped { metric, reason } => {
                 format!("dropped snapshot record {metric}: {reason}")
             }
@@ -460,6 +486,19 @@ impl Serialize for Event {
             Event::RowsQuarantined { reason, rows } => {
                 entries.push(field("reason", Content::Str(reason.clone())));
                 entries.push(field("rows", Content::U64(*rows as u64)));
+            }
+            Event::ChunkQuarantined {
+                label,
+                metric,
+                chunk,
+                rows,
+                reason,
+            } => {
+                entries.push(field("label", Content::Str(label.clone())));
+                entries.push(field("metric", Content::Str(metric.clone())));
+                entries.push(field("chunk", Content::U64(*chunk as u64)));
+                entries.push(field("rows", Content::U64(*rows as u64)));
+                entries.push(field("reason", Content::Str(reason.clone())));
             }
             Event::SnapshotRecordDropped { metric, reason } => {
                 entries.push(field("metric", Content::Str(metric.clone())));

@@ -12,6 +12,7 @@
 //!   search over the Pareto front (Fig. 6), ending in a horizontal *tail*
 //!   at the height observed for `I_x = ∞` samples.
 
+mod kernel;
 mod right;
 
 pub use right::{fit_right_front, RightRegion};
@@ -582,11 +583,24 @@ impl PiecewiseRoofline {
     /// Batch SoA form of [`estimate`](PiecewiseRoofline::estimate): clears
     /// `out` and fills it with the estimate for each intensity, in order.
     ///
-    /// This is the estimation hot path: the shape match, apex lookup, and
-    /// right-region boundary loads are hoisted out of the per-sample loop,
-    /// so the loop body is pure branch-and-interpolate. Every output is
-    /// bit-identical to calling `estimate` on the same intensity.
+    /// This is the estimation hot path, implemented by the chunked
+    /// [`kernel`] module: intensities are processed in fixed-width chunks,
+    /// each chunk is classified into regions with a branchless bitmask,
+    /// and single-region chunks run tight fill or interpolation loops
+    /// (autovectorized, or explicit SSE2 behind the `simd` feature) while
+    /// mixed chunks keep the exact scalar branch chain. Every output is
+    /// bit-identical to calling `estimate` on the same intensity — see the
+    /// kernel module docs for why the fast paths preserve bits.
     pub fn estimate_soa(&self, intensities: &[f64], out: &mut Vec<f64>) {
+        self.estimate_soa_chunked(intensities, out, kernel::DEFAULT_WIDTH);
+    }
+
+    /// [`estimate_soa`](PiecewiseRoofline::estimate_soa) with an explicit
+    /// kernel chunk width. The width is a pure performance knob — outputs
+    /// are bit-identical for every width — and is exposed so the
+    /// equivalence proptests can sweep it.
+    #[doc(hidden)]
+    pub fn estimate_soa_chunked(&self, intensities: &[f64], out: &mut Vec<f64>, width: usize) {
         out.clear();
         out.reserve(intensities.len());
         match &self.shape {
@@ -596,41 +610,7 @@ impl PiecewiseRoofline {
                 out.resize(intensities.len(), *h);
             }
             Shape::Full { left, right } => {
-                let apex = *left.last().expect("hull is non-empty");
-                if right.knots.is_empty() {
-                    for &x in intensities {
-                        out.push(if x <= 0.0 {
-                            0.0
-                        } else if x < apex.x {
-                            geometry::piecewise_eval(left, x)
-                        } else if x.is_nan() {
-                            f64::NAN
-                        } else {
-                            right.tail
-                        });
-                    }
-                    return;
-                }
-                let first = right.knots[0];
-                let last = right.knots[right.knots.len() - 1];
-                for &x in intensities {
-                    // Branch order mirrors `estimate` + `RightRegion::eval`
-                    // exactly: NaN fails `x <= 0.0` and `x < apex.x`, then
-                    // `eval` checks it first.
-                    out.push(if x <= 0.0 {
-                        0.0
-                    } else if x < apex.x {
-                        geometry::piecewise_eval(left, x)
-                    } else if x.is_nan() {
-                        f64::NAN
-                    } else if x < first.x {
-                        right.plateau
-                    } else if x > last.x {
-                        right.tail
-                    } else {
-                        geometry::piecewise_eval(&right.knots, x)
-                    });
-                }
+                kernel::estimate_into(left, right, intensities, out, width);
             }
         }
     }
@@ -1156,6 +1136,29 @@ mod tests {
         constant.estimate_soa(&probes, &mut out);
         for (&x, &got) in probes.iter().zip(&out) {
             assert_eq!(got.to_bits(), constant.estimate(x).to_bits());
+        }
+
+        // The kernel chunk width is a pure performance knob: sweep widths
+        // (1 degenerates to the scalar chain; small widths put the branch
+        // probes in every chunk position; wide chunks mix all regions) on
+        // both a mixed probe vector and homogeneous single-region runs
+        // that trigger each fill/interpolation fast path.
+        let mut runs = probes.clone();
+        runs.extend(std::iter::repeat(-2.0).take(7)); // all-zero chunk
+        runs.extend((1..8).map(|i| apex.x * f64::from(i) / 9.0)); // all-left
+        runs.extend(std::iter::repeat((first.x + last.x) * 0.5).take(7)); // all-span
+        runs.extend(std::iter::repeat(last.x + 5.0).take(7)); // all-tail
+        runs.extend(std::iter::repeat(f64::NAN).take(7)); // all-NaN
+        for width in [1, 2, 3, 5, 7, 8, 64, 333] {
+            r.estimate_soa_chunked(&runs, &mut out, width);
+            for (&x, &got) in runs.iter().zip(&out) {
+                let want = r.estimate(x);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "width {width}: estimate_soa_chunked({x}) = {got}, estimate = {want}"
+                );
+            }
         }
     }
 

@@ -288,6 +288,45 @@ impl MetricColumn {
         }
     }
 
+    /// Builds a column directly from its three raw arrays, in row order.
+    ///
+    /// This is the bulk-load path for the binary column file
+    /// ([`crate::colfile`]): decoded `f64` columns move straight in with no
+    /// per-row work. Like [`SampleSet::push_unchecked`], the rows bypass
+    /// [`Sample::new`] domain validation — deserialized data already does —
+    /// so downstream code must tolerate hostile values.
+    ///
+    /// # Errors
+    ///
+    /// [`SpireError::InvalidConfig`] if the three arrays differ in length
+    /// (the columns would silently desynchronize otherwise).
+    pub fn from_raw_columns(
+        metric: MetricId,
+        time: Vec<f64>,
+        work: Vec<f64>,
+        metric_delta: Vec<f64>,
+    ) -> Result<Self> {
+        if time.len() != work.len() || time.len() != metric_delta.len() {
+            return Err(SpireError::InvalidConfig {
+                field: "columns",
+                reason: format!(
+                    "column lengths differ for metric `{}`: time {} work {} metric_delta {}",
+                    metric,
+                    time.len(),
+                    work.len(),
+                    metric_delta.len()
+                ),
+            });
+        }
+        Ok(MetricColumn {
+            metric,
+            time,
+            work,
+            metric_delta,
+            derived: OnceLock::new(),
+        })
+    }
+
     /// The metric every row of this column belongs to.
     pub fn metric(&self) -> &MetricId {
         &self.metric
@@ -450,6 +489,36 @@ impl SampleSet {
     /// Creates an empty sample set.
     pub fn new() -> Self {
         SampleSet::default()
+    }
+
+    /// Builds a set directly from complete per-metric columns.
+    ///
+    /// This is the bulk-load path for the binary column file
+    /// ([`crate::colfile`]): the columns move in without re-grouping or
+    /// per-row validation. The caller must supply them already sorted by
+    /// metric name with no duplicates — the invariant every accessor
+    /// (binary search in [`SampleSet::column`], the [`SampleSet::by_metric`]
+    /// iteration order) relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`SpireError::InvalidConfig`] if the columns are not strictly
+    /// ascending by metric name.
+    pub fn from_columns(columns: Vec<MetricColumn>) -> Result<Self> {
+        for pair in columns.windows(2) {
+            if pair[0].metric() >= pair[1].metric() {
+                return Err(SpireError::InvalidConfig {
+                    field: "columns",
+                    reason: format!(
+                        "metric columns must be strictly sorted by name; `{}` precedes `{}`",
+                        pair[0].metric(),
+                        pair[1].metric()
+                    ),
+                });
+            }
+        }
+        let len = columns.iter().map(MetricColumn::len).sum();
+        Ok(SampleSet { columns, len })
     }
 
     /// Creates an empty sample set expecting roughly `n` samples.

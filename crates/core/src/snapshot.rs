@@ -525,6 +525,18 @@ impl SnapshotDelta {
 /// Any I/O error from writing or renaming; the temporary file is cleaned
 /// up on a best-effort basis when the rename fails.
 pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Byte-level form of [`write_atomic`], for binary artifacts such as
+/// [`crate::colfile`] datasets: write to a temporary sibling, then rename
+/// over the target.
+///
+/// # Errors
+///
+/// Any I/O error from writing or renaming; the temporary file is cleaned
+/// up on a best-effort basis when the rename fails.
+pub fn write_atomic_bytes(path: &std::path::Path, contents: &[u8]) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);

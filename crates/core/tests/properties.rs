@@ -448,3 +448,101 @@ proptest! {
         prop_assert_eq!(a.per_metric(), b.per_metric());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The chunked estimate kernel is a pure performance rewrite: for
+    /// every chunk width it is bit-identical to the scalar `estimate`
+    /// chain — NaN, infinities, and region-boundary-exact probes
+    /// included, in every chunk position.
+    #[test]
+    fn estimate_soa_chunked_is_bitwise_scalar_for_all_widths(
+        rows in samples("m", 48),
+        probes in prop::collection::vec(wild_f64(), 1..200),
+        width in 1usize..100,
+    ) {
+        let r = PiecewiseRoofline::fit("m".into(), rows.iter(), &FitOptions::default()).unwrap();
+        // Mix in boundary-exact probes so `piecewise_eval`'s end-knot
+        // early returns land in arbitrary chunk positions.
+        let mut probes = probes;
+        if let Some(apex) = r.apex() {
+            probes.push(apex.x);
+        }
+        if let Some(region) = r.right_region() {
+            if let (Some(f), Some(l)) = (region.knots().first(), region.knots().last()) {
+                probes.push(f.x);
+                probes.push(l.x);
+            }
+        }
+        let mut out = Vec::new();
+        r.estimate_soa_chunked(&probes, &mut out, width);
+        prop_assert_eq!(out.len(), probes.len());
+        for (&x, &got) in probes.iter().zip(&out) {
+            prop_assert_eq!(
+                got.to_bits(),
+                r.estimate(x).to_bits(),
+                "width {}, x {}",
+                width,
+                x
+            );
+        }
+    }
+
+    /// The binary column file round-trips hostile values bit-exactly, and
+    /// a workload loaded from it estimates bit-identically to the
+    /// original at threads 1 and 0.
+    #[test]
+    fn colfile_roundtrip_preserves_estimates_across_threads(
+        train_rows in corpus(3, 24),
+        hostile in prop::collection::vec(
+            (0usize..3, wild_f64(), wild_f64(), wild_f64()),
+            0..16
+        ),
+    ) {
+        let train_set: SampleSet = train_rows.iter().cloned().collect();
+        let mut workload = train_set.clone();
+        for (m, t, w, d) in hostile {
+            workload.push_unchecked(format!("metric_{m}").into(), t, w, d);
+        }
+        let image = spire_core::colfile::write_sections([("w", &workload)], "meta");
+        let decoded =
+            spire_core::colfile::read(&image, spire_core::SnapshotMode::Strict).unwrap();
+        prop_assert!(decoded.report.is_clean());
+        prop_assert_eq!(decoded.meta.as_str(), "meta");
+        let loaded = &decoded.sections[0].1;
+        // Column-by-column bit equality (PartialEq would reject NaN rows).
+        prop_assert_eq!(loaded.columns().len(), workload.columns().len());
+        for (col, orig) in loaded.columns().iter().zip(workload.columns()) {
+            prop_assert_eq!(col.metric(), orig.metric());
+            for (field, (a, b)) in [
+                (col.times(), orig.times()),
+                (col.works(), orig.works()),
+                (col.metric_deltas(), orig.metric_deltas()),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "field {}", field);
+                }
+            }
+        }
+        // Same estimates (or same refusal) from either copy, at both
+        // thread settings.
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 0] {
+            let config = TrainConfig { threads, ..TrainConfig::default() };
+            let model = SpireModel::train(&train_set, config).unwrap();
+            for set in [&workload, loaded] {
+                outcomes.push(model.estimate(set).ok().map(|e| e.throughput().to_bits()));
+            }
+        }
+        prop_assert!(
+            outcomes.windows(2).all(|w| w[0] == w[1]),
+            "estimates diverged: {:?}",
+            outcomes
+        );
+    }
+}

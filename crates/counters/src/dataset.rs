@@ -10,7 +10,8 @@ use std::io;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
-use spire_core::{SampleSet, SnapshotProvenance};
+use spire_core::colfile::{self, ColFileReport, ColFileWriter};
+use spire_core::{SampleSet, SnapshotMode, SnapshotProvenance};
 
 use crate::ingest::IngestReport;
 
@@ -171,14 +172,101 @@ impl Dataset {
         spire_core::write_atomic(path.as_ref(), &json)
     }
 
-    /// Reads a dataset from a JSON file at `path`.
+    /// Encodes the dataset as a binary column-file image
+    /// ([`spire_core::colfile`]): each labeled entry becomes one section,
+    /// and the per-label ingest reports ride in the directory's metadata
+    /// blob — so capture provenance survives the format change.
+    pub fn to_colfile_bytes(&self) -> Vec<u8> {
+        let mut writer = ColFileWriter::new();
+        writer.set_meta(
+            serde_json::to_string(&self.reports).expect("ingest reports serialize"),
+        );
+        for (label, set) in self.iter() {
+            writer.add_section(label, set);
+        }
+        writer.finish()
+    }
+
+    /// Decodes a dataset from a binary column-file image.
     ///
     /// # Errors
     ///
-    /// Returns an [`io::Error`] on filesystem failure or malformed JSON.
+    /// Container-level damage is fatal in both modes; a damaged data
+    /// chunk is refused under [`SnapshotMode::Strict`] and quarantined
+    /// into the returned [`ColFileReport`] under
+    /// [`SnapshotMode::Lenient`] — see [`spire_core::colfile::read`].
+    pub fn from_colfile_bytes(
+        bytes: &[u8],
+        mode: SnapshotMode,
+    ) -> Result<(Self, ColFileReport), spire_core::SpireError> {
+        let contents = colfile::read(bytes, mode)?;
+        let reports = if contents.meta.is_empty() {
+            None
+        } else {
+            serde_json::from_str(&contents.meta).map_err(|e| {
+                spire_core::SpireError::SnapshotFormat {
+                    reason: format!("column-file metadata does not parse: {e}"),
+                }
+            })?
+        };
+        let dataset = Dataset {
+            entries: contents.sections.into_iter().collect(),
+            reports,
+        };
+        Ok((dataset, contents.report))
+    }
+
+    /// Writes the dataset to `path` in the binary column format,
+    /// atomically (temp file + rename, like [`Dataset::save`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] on filesystem failure.
+    pub fn save_binary(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        spire_core::write_atomic_bytes(path.as_ref(), &self.to_colfile_bytes())
+    }
+
+    /// Reads a dataset from `path`, sniffing the format: files starting
+    /// with the `SPIRECOL` magic decode as binary column files
+    /// (strictly — any integrity failure refuses the load), everything
+    /// else parses as JSON. This is the single format-dispatch point;
+    /// every loader goes through it (or [`Dataset::load_with_mode`] for
+    /// lenient salvage).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] on filesystem failure, malformed JSON, or
+    /// a binary integrity failure.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        let text = fs::read_to_string(path)?;
-        Dataset::from_json(&text).map_err(io::Error::other)
+        Dataset::load_with_mode(path, SnapshotMode::Strict).map(|(dataset, _)| dataset)
+    }
+
+    /// [`Dataset::load`] with an explicit integrity mode for binary
+    /// inputs, returning the chunk report (`None` for JSON files, which
+    /// carry no chunk integrity information).
+    ///
+    /// Under [`SnapshotMode::Lenient`], damaged chunks are quarantined
+    /// into the report and the surviving rows are returned; under
+    /// [`SnapshotMode::Strict`] any damage refuses the load. JSON parsing
+    /// is unaffected by the mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dataset::load`], except lenient binary loads tolerate chunk
+    /// damage.
+    pub fn load_with_mode(
+        path: impl AsRef<Path>,
+        mode: SnapshotMode,
+    ) -> io::Result<(Self, Option<ColFileReport>)> {
+        let bytes = fs::read(path)?;
+        if colfile::is_colfile(&bytes) {
+            let (dataset, report) =
+                Dataset::from_colfile_bytes(&bytes, mode).map_err(io::Error::other)?;
+            return Ok((dataset, Some(report)));
+        }
+        let text = String::from_utf8(bytes)
+            .map_err(|e| io::Error::other(format!("dataset is neither binary nor UTF-8: {e}")))?;
+        Ok((Dataset::from_json(&text).map_err(io::Error::other)?, None))
     }
 }
 
@@ -304,6 +392,74 @@ garbage line
         assert_eq!(prov.total_samples, d.total_samples());
         assert_eq!(prov.ingest_summaries.len(), 1);
         assert!(prov.ingest_summaries["capture"].contains("rows"));
+    }
+
+    #[test]
+    fn binary_round_trip_is_json_byte_identical() {
+        let text = "\
+1.0,1000,,inst_retired.any,1000000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000000,100.00,,
+1.0,120,,evt.a,250000,25.00,,
+garbage line
+";
+        let out = crate::ingest_perf_csv(text, &crate::IngestConfig::default());
+        let mut d = Dataset::new();
+        d.insert_with_report("capture", out.samples, out.report);
+        d.insert("plain", set(5));
+
+        let bytes = d.to_colfile_bytes();
+        assert!(spire_core::colfile::is_colfile(&bytes));
+        let (back, report) = Dataset::from_colfile_bytes(&bytes, SnapshotMode::Strict).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(d, back);
+        // JSON -> binary -> JSON is byte-identical, ingest report included.
+        assert_eq!(d.to_json().unwrap(), back.to_json().unwrap());
+        assert_eq!(back.report("capture").unwrap().rows_quarantined, 1);
+
+        // A dataset with no provenance stays `reports: None` (not an
+        // empty map) so its JSON also round-trips byte-identically.
+        let mut plain = Dataset::new();
+        plain.insert("x", set(2));
+        let (back, _) =
+            Dataset::from_colfile_bytes(&plain.to_colfile_bytes(), SnapshotMode::Strict).unwrap();
+        assert_eq!(plain.to_json().unwrap(), back.to_json().unwrap());
+    }
+
+    #[test]
+    fn load_sniffs_binary_and_json() {
+        let mut d = Dataset::new();
+        d.insert("a", set(4));
+        let dir = std::env::temp_dir().join(format!("spire-ds-sniff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("ds.json");
+        let bin_path = dir.join("ds.spirecol");
+        d.save(&json_path).unwrap();
+        d.save_binary(&bin_path).unwrap();
+        assert_eq!(Dataset::load(&json_path).unwrap(), d);
+        assert_eq!(Dataset::load(&bin_path).unwrap(), d);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_binary_refused_strict_salvaged_lenient() {
+        let mut d = Dataset::new();
+        d.insert("a", set(64));
+        let mut bytes = d.to_colfile_bytes();
+        bytes[80] ^= 0x10; // inside the first data chunk
+        assert!(Dataset::from_colfile_bytes(&bytes, SnapshotMode::Strict).is_err());
+        let (salvaged, report) =
+            Dataset::from_colfile_bytes(&bytes, SnapshotMode::Lenient).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(salvaged.total_samples() < d.total_samples());
+
+        let dir = std::env::temp_dir().join(format!("spire-ds-damage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.spirecol");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Dataset::load(&path).is_err(), "strict default must refuse");
+        let (_, report) = Dataset::load_with_mode(&path, SnapshotMode::Lenient).unwrap();
+        assert_eq!(report.unwrap().quarantined.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

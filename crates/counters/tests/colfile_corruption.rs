@@ -1,0 +1,206 @@
+//! Corruption suite for the binary column-file dataset format: drives
+//! the [`spire_core::fault`] corruptors over pristine `SPIRECOL` images
+//! and proves the integrity contract end to end through
+//! [`Dataset::from_colfile_bytes`] — damage is always refused (strict),
+//! quarantined with the surviving rows bit-identical (lenient), or
+//! provably harmless (reserved/padding bytes), and is never silently
+//! folded into the decoded data.
+
+use spire_core::colfile::{ColFileReport, ColFileWriter};
+use spire_core::fault::{flip_byte, truncate_bytes, FaultRng};
+use spire_core::{Sample, SampleSet, SnapshotMode};
+use spire_counters::Dataset;
+
+/// A small but representative dataset: two sections, several metrics,
+/// an ingest report riding in the metadata blob, and awkward values
+/// (subnormals, huge magnitudes) whose bits must survive exactly.
+fn corpus() -> Dataset {
+    let csv = "\
+1.0,1000,,inst_retired.any,1000000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000000,100.00,,
+1.0,120,,evt.a,250000,25.00,,
+garbage line
+";
+    let out = spire_counters::ingest_perf_csv(csv, &spire_counters::IngestConfig::default());
+    let mut d = Dataset::new();
+    d.insert_with_report("capture", out.samples, out.report);
+    let mut set = SampleSet::new();
+    for i in 1..12 {
+        let w = f64::MIN_POSITIVE * i as f64;
+        set.push(Sample::new("tiny", 1.0, w, 1.0).unwrap());
+        set.push(Sample::new("huge", 1e300, 1e297 * i as f64, 3.0).unwrap());
+    }
+    d.insert("synthetic", set);
+    d
+}
+
+/// Bitwise equality of two columns' raw rows. The format guarantees
+/// chunk granularity, and with default chunking every test column is a
+/// single chunk — so a surviving column must be bit-identical to the
+/// original, wholesale.
+fn column_identical(a: &spire_core::MetricColumn, b: &spire_core::MetricColumn) -> bool {
+    let eq = |x: &[f64], y: &[f64]| {
+        x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+    };
+    a.metric() == b.metric()
+        && eq(a.times(), b.times())
+        && eq(a.works(), b.works())
+        && eq(a.metric_deltas(), b.metric_deltas())
+}
+
+/// The lenient-salvage soundness invariant: every surviving column is
+/// bit-identical to its original (single-chunk columns are all or
+/// nothing), every quarantine entry names a real column, and the row
+/// accounting adds up.
+fn assert_salvage_sound(original: &Dataset, salvaged: &Dataset, report: &ColFileReport) {
+    for (label, set) in salvaged.iter() {
+        let source = original.get(label).expect("salvage invented a section");
+        for col in set.columns() {
+            let src = source
+                .column(col.metric())
+                .expect("salvage invented a column");
+            assert!(
+                column_identical(src, col),
+                "surviving column {}/{} differs from the source",
+                label,
+                col.metric()
+            );
+        }
+    }
+    let dropped: u64 = report.quarantined.iter().map(|q| q.rows).sum();
+    assert_eq!(report.rows_dropped, dropped, "row accounting is off");
+    for q in &report.quarantined {
+        let source = original.get(&q.label).expect("quarantine names a section");
+        assert!(
+            source
+                .columns()
+                .iter()
+                .any(|c| c.metric().as_str() == q.metric),
+            "quarantine names a phantom metric {}",
+            q.metric
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_refused_quarantined_or_harmless() {
+    let original = corpus();
+    let pristine = original.to_colfile_bytes();
+    let original_json = original.to_json().unwrap();
+    for pos in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[pos] ^= 1 << (pos % 8);
+
+        // Strict: any detected damage refuses the load; an accepted load
+        // must be bit-identical to the source. Undetectable flips exist
+        // only in bytes the format ignores (reserved header tail).
+        match Dataset::from_colfile_bytes(&bytes, SnapshotMode::Strict) {
+            Err(_) => {}
+            Ok((d, report)) => {
+                assert!(report.is_clean(), "strict load with dirty report");
+                assert_eq!(
+                    d.to_json().unwrap(),
+                    original_json,
+                    "silently wrong strict decode after flipping byte {pos}"
+                );
+            }
+        }
+
+        // Lenient: container damage still refuses; chunk damage must be
+        // quarantined with sound salvage, never silently absorbed.
+        match Dataset::from_colfile_bytes(&bytes, SnapshotMode::Lenient) {
+            Err(_) => {}
+            Ok((d, report)) => {
+                if report.is_clean() {
+                    assert_eq!(
+                        d.to_json().unwrap(),
+                        original_json,
+                        "silently wrong lenient decode after flipping byte {pos}"
+                    );
+                } else {
+                    assert_salvage_sound(&original, &d, &report);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_multi_flip_storms_never_decode_silently_wrong() {
+    let original = corpus();
+    let pristine = original.to_colfile_bytes();
+    let original_json = original.to_json().unwrap();
+    for seed in 0..300u64 {
+        let mut rng = FaultRng::new(0xc0_1f11e ^ seed);
+        let mut bytes = pristine.clone();
+        for _ in 0..=(seed % 4) {
+            flip_byte(&mut bytes, &mut rng);
+        }
+        if let Ok((d, report)) = Dataset::from_colfile_bytes(&bytes, SnapshotMode::Lenient) {
+            if report.is_clean() {
+                assert_eq!(d.to_json().unwrap(), original_json, "seed {seed}");
+            } else {
+                assert_salvage_sound(&original, &d, &report);
+            }
+        }
+        if let Ok((d, report)) = Dataset::from_colfile_bytes(&bytes, SnapshotMode::Strict) {
+            assert!(report.is_clean(), "strict load with dirty report");
+            assert_eq!(d.to_json().unwrap(), original_json, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn every_truncation_point_is_refused_in_both_modes() {
+    let pristine = corpus().to_colfile_bytes();
+    for cut in 0..pristine.len() {
+        let short = &pristine[..cut];
+        assert!(
+            Dataset::from_colfile_bytes(short, SnapshotMode::Strict).is_err(),
+            "strict accepted a {cut}-byte truncation of {} bytes",
+            pristine.len()
+        );
+        assert!(
+            Dataset::from_colfile_bytes(short, SnapshotMode::Lenient).is_err(),
+            "lenient accepted a {cut}-byte truncation of {} bytes",
+            pristine.len()
+        );
+    }
+    // The fault-module corruptor agrees with manual slicing.
+    let mut rng = FaultRng::new(7);
+    for _ in 0..50 {
+        let fraction = (rng.index(1000) as f64) / 1000.0;
+        let short = truncate_bytes(&pristine, fraction);
+        if short.len() < pristine.len() {
+            assert!(Dataset::from_colfile_bytes(short, SnapshotMode::Lenient).is_err());
+        }
+    }
+}
+
+#[test]
+fn chunk_quarantine_is_per_chunk_not_per_column() {
+    // Small chunks so one column spans several: damage to one chunk must
+    // drop exactly that chunk's rows and keep the neighbours bitwise.
+    let mut set = SampleSet::new();
+    for i in 1..=10 {
+        set.push(Sample::new("m", 1.0, i as f64, 2.0).unwrap());
+    }
+    let mut writer = ColFileWriter::with_chunk_rows(4);
+    writer.add_section("w", &set);
+    let pristine = writer.finish();
+
+    // Chunks are laid out from offset 64 (4 rows, 4 rows, 2 rows);
+    // corrupt a data byte inside the first chunk.
+    let mut bytes = pristine.clone();
+    bytes[70] ^= 0x20;
+
+    assert!(Dataset::from_colfile_bytes(&bytes, SnapshotMode::Strict).is_err());
+    let (d, report) = Dataset::from_colfile_bytes(&bytes, SnapshotMode::Lenient).unwrap();
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].chunk, 0);
+    assert_eq!(report.quarantined[0].rows, 4);
+    assert_eq!(report.rows_dropped, 4);
+    let survivors = d.get("w").unwrap().columns()[0].works();
+    let expected: Vec<f64> = (5..=10).map(|i| i as f64).collect();
+    assert_eq!(survivors, &expected[..], "wrong rows survived");
+}

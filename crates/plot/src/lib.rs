@@ -20,4 +20,4 @@ mod chart;
 mod roofline_plot;
 
 pub use chart::{Chart, Scale, Series, SeriesKind};
-pub use roofline_plot::roofline_chart;
+pub use roofline_plot::{roofline_chart, roofline_points_chart};

@@ -17,9 +17,27 @@ pub fn roofline_chart<'a>(
     samples: impl IntoIterator<Item = &'a Sample>,
     log_axes: bool,
 ) -> Chart {
-    let sample_points: Vec<(f64, f64)> = samples
+    roofline_points_chart(
+        roofline,
+        samples
+            .into_iter()
+            .map(|s| (s.intensity(), s.throughput())),
+        log_axes,
+    )
+}
+
+/// [`roofline_chart`] over raw `(intensity, throughput)` pairs, so
+/// callers holding columnar data (e.g. `MetricColumn::intensities` /
+/// `throughputs` slices) can stream points without materializing owned
+/// [`Sample`]s. Non-finite intensities are dropped, as in
+/// [`roofline_chart`].
+pub fn roofline_points_chart(
+    roofline: &PiecewiseRoofline,
+    points: impl IntoIterator<Item = (f64, f64)>,
+    log_axes: bool,
+) -> Chart {
+    let sample_points: Vec<(f64, f64)> = points
         .into_iter()
-        .map(|s| (s.intensity(), s.throughput()))
         .filter(|(x, _)| x.is_finite())
         .collect();
 
