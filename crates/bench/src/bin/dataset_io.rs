@@ -142,10 +142,7 @@ fn bit_identical(a: &Dataset, b: &Dataset) -> bool {
         }
         for (ca, cb) in sa.columns().iter().zip(sb.columns()) {
             let same = |x: &[f64], y: &[f64]| {
-                x.len() == y.len()
-                    && x.iter()
-                        .zip(y)
-                        .all(|(&p, &q)| p.to_bits() == q.to_bits())
+                x.len() == y.len() && x.iter().zip(y).all(|(&p, &q)| p.to_bits() == q.to_bits())
             };
             if ca.metric() != cb.metric()
                 || !same(ca.times(), cb.times())
@@ -178,7 +175,9 @@ fn main() {
     let json_path = dir.join("bench.json");
     let bin_path = dir.join("bench.spirecol");
     dataset.save(&json_path).expect("write JSON dataset");
-    dataset.save_binary(&bin_path).expect("write binary dataset");
+    dataset
+        .save_binary(&bin_path)
+        .expect("write binary dataset");
     let json_bytes = std::fs::metadata(&json_path).expect("json size").len() as usize;
     let binary_bytes = std::fs::metadata(&bin_path).expect("binary size").len() as usize;
     println!("json {json_bytes} bytes, binary {binary_bytes} bytes");

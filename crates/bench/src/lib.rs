@@ -18,7 +18,7 @@ use spire_cli::args::{ArgCursor, ArgItem};
 use spire_core::catalog::UarchArea;
 use spire_core::{BottleneckReport, SpireModel, TrainConfig};
 use spire_counters::{collect, Dataset, SessionConfig, SessionReport};
-use spire_sim::{Core, CoreConfig, Event};
+use spire_sim::{Core, CoreConfig, Event, Machine, MachineCatalog};
 use spire_tma::{analyze, TmaBreakdown};
 use spire_workloads::WorkloadProfile;
 
@@ -38,7 +38,9 @@ pub struct ExperimentConfig {
 impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {
-            core: CoreConfig::skylake_server(),
+            // The catalog's default preset, not a hand-rolled config: every
+            // experiment binary states its machine through the catalog.
+            core: MachineCatalog::builtin().default_machine().config,
             seed: 20250331,
             session: SessionConfig {
                 interval_cycles: 150_000,
@@ -68,6 +70,37 @@ impl ExperimentConfig {
             ..ExperimentConfig::default()
         }
     }
+
+    /// The same experiment parameters on a different catalog machine.
+    pub fn on_machine(mut self, machine: &Machine) -> Self {
+        self.core = machine.config;
+        self
+    }
+}
+
+/// Resolves a `--machine` selector the way the `spire` CLI does: a
+/// catalog preset name first, else a path to a custom machine JSON file.
+///
+/// # Errors
+///
+/// A human-readable message naming the catalog presets when the selector
+/// is neither, or the typed [`spire_sim::MachineLoadError`] text when a
+/// custom file fails validation.
+pub fn resolve_machine(selector: &str) -> Result<Machine, String> {
+    let catalog = MachineCatalog::builtin();
+    if let Some(machine) = catalog.get(selector) {
+        return Ok(machine.clone());
+    }
+    let path = std::path::Path::new(selector);
+    if path.exists() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read machine file {selector}: {e}"))?;
+        return Machine::from_json(&text).map_err(|e| format!("{selector}: {e}"));
+    }
+    Err(format!(
+        "unknown machine `{selector}` (catalog: {}; or pass a machine JSON path)",
+        catalog.names().join(", ")
+    ))
 }
 
 /// The outcome of running one workload: its samples, sampling report,
@@ -178,20 +211,25 @@ pub fn spire_finds_expected(report: &BottleneckReport, expected: UarchArea, k: u
 
 /// Parses the shared experiment flags used by every `src/bin/` binary:
 /// `--quick` selects [`ExperimentConfig::quick`], `--seed N` overrides the
-/// stream seed. Returns the config plus the output directory from
-/// `--outdir DIR` (default `target/experiments`).
+/// stream seed, and `--machine NAME|PATH` swaps the simulated core for a
+/// catalog preset or custom machine file (via [`resolve_machine`]; an
+/// unresolvable selector is a hard error — exit 2 — not a silent default).
+/// Returns the config plus the output directory from `--outdir DIR`
+/// (default `target/experiments`).
 ///
 /// Built on the CLI's shared [`ArgCursor`], so the bench bins classify
 /// `--key value` vs `--switch` words exactly like the `spire` command.
 pub fn config_from_args() -> (ExperimentConfig, std::path::PathBuf) {
     let mut quick = false;
     let mut seed: Option<u64> = None;
+    let mut machine: Option<String> = None;
     let mut outdir = std::path::PathBuf::from("target/experiments");
     let cursor = ArgCursor::new(std::env::args().skip(1), &["quick"]);
     for item in cursor.flatten() {
         match item {
             ArgItem::Switch(key) if key == "quick" => quick = true,
             ArgItem::Value(key, value) if key == "seed" => seed = value.parse().ok(),
+            ArgItem::Value(key, value) if key == "machine" => machine = Some(value),
             ArgItem::Value(key, value) if key == "outdir" => outdir = value.into(),
             _ => {}
         }
@@ -203,6 +241,15 @@ pub fn config_from_args() -> (ExperimentConfig, std::path::PathBuf) {
     };
     if let Some(seed) = seed {
         cfg.seed = seed;
+    }
+    if let Some(selector) = machine {
+        match resolve_machine(&selector) {
+            Ok(m) => cfg = cfg.on_machine(&m),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     std::fs::create_dir_all(&outdir).ok();
     (cfg, outdir)
@@ -236,6 +283,26 @@ mod tests {
         // Determinism: the same workload run twice yields identical samples.
         let again = run_workload(&profiles[0], &cfg);
         assert_eq!(again.session.samples, runs[0].session.samples);
+    }
+
+    #[test]
+    fn machine_selection_routes_through_the_catalog() {
+        let catalog = MachineCatalog::builtin();
+        assert_eq!(
+            ExperimentConfig::default().core,
+            catalog.default_machine().config
+        );
+        let little = resolve_machine("little").expect("catalog preset resolves");
+        assert_eq!(little.config, catalog.get("little").unwrap().config);
+        assert_eq!(
+            ExperimentConfig::quick().on_machine(&little).core,
+            little.config
+        );
+        let err = resolve_machine("no-such-machine").unwrap_err();
+        assert!(
+            err.contains("skylake-server"),
+            "err names the catalog: {err}"
+        );
     }
 
     #[test]

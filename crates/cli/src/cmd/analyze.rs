@@ -9,7 +9,7 @@ use spire_core::pipeline::{AnalyzeStage, EstimateStage, Stage};
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, load_dataset, load_model, Runner};
+use super::{align_samples, json, load_dataset, load_model, Runner};
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let model_path = args.require("model")?;
@@ -17,14 +17,22 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let label = args.require("workload")?;
     let top: usize = args.get_or("top", 10)?;
     let mut runner = Runner::from_args(args)?;
-    let (mut model, mut out) = load_model(&mut runner, model_path)?;
+    let (mut model, machine, mut out) = load_model(&mut runner, model_path)?;
     model.set_threads(args.get_or("threads", model.config().threads)?);
     let (dataset, warn) = load_dataset(&runner, data_path)?;
     out.push_str(&warn);
     let samples = dataset
         .get(label)
         .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
-    let estimate = EstimateStage { model: &model }.execute(samples.clone(), &mut runner.ctx)?;
+    let (samples, warn) = align_samples(
+        &runner,
+        "analyze",
+        machine.as_ref(),
+        dataset.machine(),
+        samples,
+    )?;
+    out.push_str(&warn);
+    let estimate = EstimateStage { model: &model }.execute(samples, &mut runner.ctx)?;
     let report = AnalyzeStage::default().execute(estimate, &mut runner.ctx)?;
     write!(
         out,
@@ -37,6 +45,10 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         ("workload", json::s(label)),
         ("throughput", json::f(report.throughput())),
         ("rows", Content::Seq(rows)),
+        (
+            "machine",
+            json::machine_pair(machine.as_ref(), dataset.machine()),
+        ),
     ]);
     runner.finish(args, "analyze", out, result)
 }

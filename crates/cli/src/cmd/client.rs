@@ -25,6 +25,9 @@ fn render(response: &Response) -> Result<String, super::CmdError> {
     if let Some(fp) = &response.fingerprint {
         writeln!(out, "fingerprint: {fp}")?;
     }
+    if let Some(machine) = &response.machine {
+        writeln!(out, "machine: {}", machine.tag())?;
+    }
     if let Some(t) = response.throughput {
         writeln!(out, "throughput: {t:.6}")?;
     }
@@ -70,10 +73,14 @@ fn render(response: &Response) -> Result<String, super::CmdError> {
         for m in &stats.models {
             writeln!(
                 out,
-                "model {} [{}]: {} metrics, {} estimates, {} analyzes, {} updates, \
+                "model {} [{}]{}: {} metrics, {} estimates, {} analyzes, {} updates, \
                  {} shed, {} cache hits, {} reloads{}",
                 m.name,
                 m.fingerprint,
+                m.machine
+                    .as_ref()
+                    .map(|s| format!(" on {}", s.name))
+                    .unwrap_or_default(),
                 m.metrics,
                 m.estimates,
                 m.analyzes,
@@ -141,7 +148,9 @@ pub(crate) fn run(args: &Args) -> CmdResult {
                 .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
             match kind {
                 "estimate" => client.estimate(model, samples),
-                "update" => client.update(model, samples, args.get("key")),
+                "update" => {
+                    client.update_tagged(model, samples, args.get("key"), dataset.machine())
+                }
                 _ => {
                     let top = match args.get("top") {
                         Some(_) => Some(args.get_or("top", 10)?),

@@ -5,18 +5,23 @@ use std::fmt::Write as _;
 
 use serde::Content;
 use spire_counters::{collect, Dataset, SessionConfig};
-use spire_sim::{Core, CoreConfig, Event};
+use spire_sim::{Core, Event};
 use spire_workloads::suite;
 
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, Runner};
+use super::{json, resolve_machine, Runner};
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let out_path = args.require("out")?;
     let which = args.get("set").unwrap_or("train");
+    let machine = resolve_machine(args)?;
+    let spec = machine.spec();
     let runner = Runner::from_args(args)?;
+    runner
+        .ctx
+        .note("collect", format!("machine {}", spec.tag()));
     let seed = runner.ctx.config.seed;
     let mut session_cfg = SessionConfig::default();
     session_cfg.max_cycles = args.get_or("cycles", 2_000_000)?;
@@ -34,7 +39,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let mut log = String::new();
     let mut rows: Vec<Content> = Vec::new();
     for p in &profiles {
-        let mut core = Core::new(CoreConfig::skylake_server());
+        let mut core = Core::new(machine.config);
         let mut stream = p.stream(seed);
         let report = collect(&mut core, &mut stream, Event::ALL, &session_cfg);
         let line = format!(
@@ -56,6 +61,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         ]));
         dataset.insert(format!("{} ({})", p.name, p.config), report.samples);
     }
+    dataset.set_machine(Some(spec.clone()));
     dataset.save(out_path)?;
     writeln!(
         log,
@@ -66,6 +72,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let result = json::obj(vec![
         ("out", json::s(out_path)),
         ("total_samples", json::u(dataset.total_samples())),
+        ("machine", json::machine(Some(&spec))),
         ("workloads", Content::Seq(rows)),
     ]);
     runner.finish(args, "collect", log, result)

@@ -29,7 +29,9 @@ pub(crate) fn run(args: &Args) -> CmdResult {
             bytes.len()
         }
         "json" => {
-            let text = dataset.to_json().map_err(|e| format!("encode failed: {e}"))?;
+            let text = dataset
+                .to_json()
+                .map_err(|e| format!("encode failed: {e}"))?;
             spire_core::write_atomic(std::path::Path::new(out_path), &text)?;
             text.len()
         }
@@ -53,6 +55,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
             "reports_carried",
             Content::Bool(dataset.reports().next().is_some()),
         ),
+        ("machine", json::machine(dataset.machine())),
     ]);
     runner.finish(args, "convert", log, result)
 }

@@ -9,21 +9,29 @@ use spire_core::pipeline::{EstimateStage, Stage};
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, load_dataset, load_model, Runner};
+use super::{align_samples, json, load_dataset, load_model, Runner};
 
 pub(crate) fn run(args: &Args) -> CmdResult {
     let model_path = args.require("model")?;
     let data_path = args.require("data")?;
     let label = args.require("workload")?;
     let mut runner = Runner::from_args(args)?;
-    let (mut model, mut out) = load_model(&mut runner, model_path)?;
+    let (mut model, machine, mut out) = load_model(&mut runner, model_path)?;
     model.set_threads(args.get_or("threads", model.config().threads)?);
     let (dataset, warn) = load_dataset(&runner, data_path)?;
     out.push_str(&warn);
     let samples = dataset
         .get(label)
         .ok_or_else(|| format!("dataset has no workload labeled `{label}`"))?;
-    let estimate = EstimateStage { model: &model }.execute(samples.clone(), &mut runner.ctx)?;
+    let (samples, warn) = align_samples(
+        &runner,
+        "estimate",
+        machine.as_ref(),
+        dataset.machine(),
+        samples,
+    )?;
+    out.push_str(&warn);
+    let estimate = EstimateStage { model: &model }.execute(samples, &mut runner.ctx)?;
     writeln!(
         out,
         "workload: {label}\nensemble throughput estimate: {:.6}",
@@ -51,6 +59,10 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         ("primary_bottleneck", primary),
         ("contributing", json::u(estimate.per_metric().len())),
         ("trained", json::u(model.metric_count())),
+        (
+            "machine",
+            json::machine_pair(machine.as_ref(), dataset.machine()),
+        ),
     ]);
     runner.finish(args, "estimate", out, result)
 }

@@ -62,6 +62,28 @@ pub(crate) fn opt_s(v: Option<&str>) -> Content {
     }
 }
 
+/// A machine tag: `{name, fingerprint, normalized}` or `null` when the
+/// artifact carries no machine provenance.
+pub(crate) fn machine(spec: Option<&spire_core::MachineSpec>) -> Content {
+    match spec {
+        Some(m) => obj(vec![
+            ("name", s(m.name.as_str())),
+            ("fingerprint", s(m.fingerprint.as_str())),
+            ("normalized", Content::Bool(m.normalized)),
+        ]),
+        None => Content::Null,
+    }
+}
+
+/// The shared `machine` column for model-vs-data commands: both sides'
+/// tags (each `null` when absent).
+pub(crate) fn machine_pair(
+    model: Option<&spire_core::MachineSpec>,
+    data: Option<&spire_core::MachineSpec>,
+) -> Content {
+    obj(vec![("model", machine(model)), ("data", machine(data))])
+}
+
 /// The shared envelope: command name, schema version, the degraded flag
 /// (exit-code-2 semantics), the full event stream, and the
 /// command-specific result.

@@ -1,0 +1,135 @@
+//! `spire machines`: inspect the microarchitecture catalog.
+//!
+//! * `spire machines` / `spire machines list` — every catalog machine
+//!   with its fingerprint and derived peaks;
+//! * `spire machines show <name|path>` — one machine in full (config
+//!   included), accepting a custom machine JSON file as well;
+//! * `spire machines export <name|path> [--out FILE]` — the machine's
+//!   JSON definition, ready to edit into a custom machine.
+
+use std::fmt::Write as _;
+
+use serde::Content;
+use spire_sim::{Machine, MachineCatalog};
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+use super::{json, resolve_machine_selector, Runner};
+
+/// `(level, lines/cycle)` bandwidth pairs in the peaks' sorted order.
+fn bandwidth_rows(machine: &Machine) -> Vec<(String, f64)> {
+    machine.peaks().bandwidth.into_iter().collect()
+}
+
+/// The bandwidth object for a machine's `--json` row.
+fn bandwidth_obj(machine: &Machine) -> Content {
+    Content::Map(
+        bandwidth_rows(machine)
+            .into_iter()
+            .map(|(level, value)| (Content::Str(level), json::f(value)))
+            .collect(),
+    )
+}
+
+/// One machine's summary row: name, description, fingerprint, peaks.
+fn machine_row(machine: &Machine) -> Vec<(&'static str, Content)> {
+    let spec = machine.spec();
+    vec![
+        ("name", json::s(machine.name.as_str())),
+        ("description", json::s(machine.description.as_str())),
+        ("fingerprint", json::s(spec.fingerprint.as_str())),
+        ("peak_throughput", json::f(spec.peaks.throughput)),
+        ("bandwidth", bandwidth_obj(machine)),
+    ]
+}
+
+fn render_machine(out: &mut String, machine: &Machine) -> Result<(), std::fmt::Error> {
+    let spec = machine.spec();
+    writeln!(out, "{} [{}]", machine.name, spec.fingerprint)?;
+    writeln!(out, "  {}", machine.description)?;
+    writeln!(
+        out,
+        "  peak throughput: {} uops/cycle",
+        spec.peaks.throughput
+    )?;
+    for (level, value) in bandwidth_rows(machine) {
+        writeln!(out, "  peak {level} bandwidth: {value:.4} lines/cycle")?;
+    }
+    Ok(())
+}
+
+fn list(args: &Args, runner: &Runner) -> CmdResult {
+    let catalog = MachineCatalog::builtin();
+    let mut out = String::new();
+    let mut rows = Vec::new();
+    for machine in catalog.machines() {
+        render_machine(&mut out, machine)?;
+        rows.push(json::obj(machine_row(machine)));
+    }
+    let result = json::obj(vec![
+        ("machines", Content::Seq(rows)),
+        ("default", json::s(spire_sim::DEFAULT_MACHINE)),
+    ]);
+    runner.finish(args, "machines", out, result)
+}
+
+fn show(args: &Args, runner: &Runner, selector: &str) -> CmdResult {
+    let machine = resolve_machine_selector(selector)?;
+    let mut out = String::new();
+    render_machine(&mut out, &machine)?;
+    let config = serde::to_content(&machine.config);
+    let mut fields = machine_row(&machine);
+    fields.push(("config", config));
+    runner.finish(args, "machines", out, json::obj(fields))
+}
+
+fn export(args: &Args, runner: &Runner, selector: &str) -> CmdResult {
+    let machine = resolve_machine_selector(selector)?;
+    let text = machine.to_json();
+    let spec = machine.spec();
+    let (out, dest) = match args.get("out") {
+        Some(path) => {
+            spire_core::write_atomic(std::path::Path::new(path), &text)?;
+            (
+                format!("exported machine `{}` to {path}\n", machine.name),
+                json::s(path),
+            )
+        }
+        None => (text, Content::Null),
+    };
+    let result = json::obj(vec![
+        ("name", json::s(machine.name.as_str())),
+        ("fingerprint", json::s(spec.fingerprint.as_str())),
+        ("out", dest),
+    ]);
+    runner.finish(args, "machines", out, result)
+}
+
+pub(crate) fn run(args: &Args) -> CmdResult {
+    let runner = Runner::from_args(args)?;
+    let sub = args
+        .positionals()
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("list");
+    match sub {
+        "list" => list(args, &runner),
+        "show" | "export" => {
+            let selector = args
+                .positionals()
+                .get(2)
+                .map(String::as_str)
+                .ok_or_else(|| format!("usage: spire machines {sub} <name|machine.json>"))?;
+            if sub == "show" {
+                show(args, &runner, selector)
+            } else {
+                export(args, &runner, selector)
+            }
+        }
+        other => Err(format!(
+            "unknown machines subcommand `{other}` (expected list, show, or export)"
+        )
+        .into()),
+    }
+}

@@ -13,6 +13,7 @@ pub(crate) mod convert;
 pub(crate) mod coverage;
 pub(crate) mod ingest;
 pub(crate) mod json;
+pub(crate) mod machines;
 pub(crate) mod plot;
 pub(crate) mod serve;
 pub(crate) mod sim;
@@ -30,7 +31,10 @@ use spire_core::pipeline::{
     CollectingSink, Event, EventSink, IngestSettings, LoadModelStage, PipelineConfig, RunContext,
     Severity, Stage,
 };
-use spire_core::{FitOptions, SnapshotMode, SpireModel, TrainConfig, TrainStrictness};
+use spire_core::{
+    normalize_set, FitOptions, MachineSpec, SampleSet, SnapshotMode, SpireError, SpireModel,
+    TrainConfig, TrainStrictness,
+};
 use spire_workloads::{suite, WorkloadProfile};
 
 use crate::args::Args;
@@ -142,9 +146,15 @@ pub(crate) fn pipeline_config(args: &Args) -> Result<PipelineConfig, CmdError> {
 pub(crate) fn load_model(
     runner: &mut Runner,
     path: &str,
-) -> Result<(SpireModel, String), CmdError> {
+) -> Result<(SpireModel, Option<MachineSpec>, String), CmdError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read model file {path}: {e}"))?;
+    // The machine tag rides in the snapshot container's provenance, which
+    // the model-load stage does not surface; legacy raw-model JSON (no
+    // container) simply has no machine.
+    let machine = spire_core::ModelSnapshot::from_json(&text)
+        .ok()
+        .and_then(|s| s.machine().cloned());
     let stage = LoadModelStage {
         source: path.to_owned(),
     };
@@ -169,7 +179,100 @@ pub(crate) fn load_model(
             }
         }
     }
-    Ok((model, log))
+    Ok((model, machine, log))
+}
+
+/// Cross-checks a model's machine against a dataset's before the model is
+/// applied to the data. Both present and different emits exactly one
+/// `machine_mismatch` event (degrading the run, exit code 2) and — under
+/// `--strict` — refuses with [`SpireError::MachineMismatch`]. Either side
+/// absent is legacy, not a mismatch: a `note` event records that the
+/// check was skipped. Peak-normalized (hardware-agnostic) models skip the
+/// identity check entirely — cross-machine use is their purpose.
+///
+/// Returns warning text for the command's stdout (empty when clean).
+pub(crate) fn check_machine(
+    runner: &Runner,
+    context: &str,
+    model_machine: Option<&MachineSpec>,
+    data_machine: Option<&MachineSpec>,
+) -> Result<String, CmdError> {
+    match (model_machine, data_machine) {
+        (Some(m), _) if m.normalized => {
+            runner.ctx.note(
+                context,
+                "model is hardware-agnostic (peak-normalized); machine-identity check skipped",
+            );
+            Ok(String::new())
+        }
+        (Some(m), Some(d)) if !m.matches(d) => {
+            runner.ctx.emit(Event::MachineMismatch {
+                context: context.to_owned(),
+                model_machine: m.name.clone(),
+                model_fingerprint: m.fingerprint.clone(),
+                data_machine: d.name.clone(),
+                data_fingerprint: d.fingerprint.clone(),
+            });
+            if runner.ctx.config.snapshot_mode == SnapshotMode::Strict {
+                return Err(Box::new(SpireError::MachineMismatch {
+                    expected: m.tag(),
+                    found: d.tag(),
+                    context: context.to_owned(),
+                }));
+            }
+            Ok(format!(
+                "warning: machine mismatch in {context}: model is from {} but the data \
+                 is from {}\n",
+                m.tag(),
+                d.tag()
+            ))
+        }
+        (Some(_), Some(_)) => Ok(String::new()),
+        (None, _) | (_, None) => {
+            runner.ctx.note(
+                context,
+                "machine provenance absent on model or data; machine check skipped",
+            );
+            Ok(String::new())
+        }
+    }
+}
+
+/// Prepares one workload's samples for a model: a hardware-agnostic
+/// (peak-normalized) model gets the data normalized by the *data*
+/// machine's peaks — that is the cross-machine transfer path — while a
+/// raw model gets a machine-identity check instead. Returns the samples
+/// to estimate with plus warning text for stdout.
+pub(crate) fn align_samples(
+    runner: &Runner,
+    context: &str,
+    model_machine: Option<&MachineSpec>,
+    data_machine: Option<&MachineSpec>,
+    samples: &SampleSet,
+) -> Result<(SampleSet, String), CmdError> {
+    if model_machine.is_some_and(|m| m.normalized) {
+        if let Some(d) = data_machine {
+            runner.ctx.note(
+                context,
+                format!(
+                    "peak-normalizing samples by {} (peak throughput {})",
+                    d.tag(),
+                    d.peaks.throughput
+                ),
+            );
+            return Ok((normalize_set(samples, &d.peaks), String::new()));
+        }
+        let warn = format!(
+            "warning: model is peak-normalized but the data carries no machine \
+             provenance; estimating {context} in raw units\n"
+        );
+        runner
+            .ctx
+            .note(context, warn.trim_start_matches("warning: ").trim_end());
+        return Ok((samples.clone(), warn));
+    }
+    let warn = check_machine(runner, context, model_machine, data_machine)?;
+    Ok((samples.clone(), warn))
 }
 
 /// Loads a dataset from `path` through [`Dataset::load_with_mode`] — the
@@ -234,4 +337,31 @@ pub(crate) fn labeled_sets(
         .iter()
         .map(|(label, set)| (label.to_owned(), set.clone()))
         .collect()
+}
+
+/// Resolves a machine selector — a catalog preset name or the path of a
+/// custom machine JSON file — into a validated [`spire_sim::Machine`].
+pub(crate) fn resolve_machine_selector(selector: &str) -> Result<spire_sim::Machine, CmdError> {
+    let catalog = spire_sim::MachineCatalog::builtin();
+    if let Some(machine) = catalog.get(selector) {
+        return Ok(machine.clone());
+    }
+    let text = std::fs::read_to_string(selector).map_err(|e| {
+        format!(
+            "`{selector}` is neither a catalog machine ({}) nor a readable machine file: {e}",
+            catalog.names().join(", ")
+        )
+    })?;
+    spire_sim::Machine::from_json(&text).map_err(|e| format!("machine file {selector}: {e}").into())
+}
+
+/// Resolves `--machine <name|path>` for sim-backed commands, defaulting
+/// to the catalog's default machine when the option is absent.
+pub(crate) fn resolve_machine(args: &Args) -> Result<spire_sim::Machine, CmdError> {
+    match args.get("machine") {
+        Some(selector) => resolve_machine_selector(selector),
+        None => Ok(spire_sim::MachineCatalog::builtin()
+            .default_machine()
+            .clone()),
+    }
 }

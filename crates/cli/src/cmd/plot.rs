@@ -15,7 +15,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let log_axes = !args.flag("linear");
 
     let mut runner = Runner::from_args(args)?;
-    let (model, mut log) = load_model(&mut runner, model_path)?;
+    let (model, _machine, mut log) = load_model(&mut runner, model_path)?;
     let (dataset, warn) = load_dataset(&runner, data_path)?;
     log.push_str(&warn);
     let metric = spire_core::MetricId::new(metric_name);
@@ -47,7 +47,10 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     });
     let chart = spire_plot::roofline_points_chart(roofline, points, log_axes);
     spire_core::write_atomic(std::path::Path::new(out_path), &chart.to_svg(720, 480))?;
-    writeln!(log, "plotted `{metric_name}` ({n_samples} samples) to {out_path}")?;
+    writeln!(
+        log,
+        "plotted `{metric_name}` ({n_samples} samples) to {out_path}"
+    )?;
     let result = json::obj(vec![
         ("metric", json::s(metric_name)),
         ("out", json::s(out_path)),

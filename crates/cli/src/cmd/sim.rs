@@ -3,14 +3,14 @@
 use std::fmt::Write as _;
 
 use serde::Content;
-use spire_sim::{Core, CoreConfig};
+use spire_sim::Core;
 use spire_tma::analyze;
 use spire_workloads::suite;
 
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{find_workload, json, Runner};
+use super::{find_workload, json, resolve_machine, Runner};
 
 pub(crate) fn list_workloads(args: &Args) -> CmdResult {
     let runner = Runner::from_args(args)?;
@@ -49,9 +49,10 @@ pub(crate) fn list_workloads(args: &Args) -> CmdResult {
 pub(crate) fn simulate(args: &Args) -> CmdResult {
     let profile = find_workload(args)?;
     let cycles: u64 = args.get_or("cycles", 400_000)?;
+    let machine = resolve_machine(args)?;
     let runner = Runner::from_args(args)?;
     let seed = runner.ctx.config.seed;
-    let cfg = CoreConfig::skylake_server();
+    let cfg = machine.config;
     let mut core = Core::new(cfg);
     let mut stream = profile.stream(seed);
     let summary = core.run(&mut stream, cycles);
@@ -74,6 +75,7 @@ pub(crate) fn simulate(args: &Args) -> CmdResult {
         ("ipc", json::f(summary.ipc())),
         ("tma", json::s(tma.summary())),
         ("main", json::s(format!("{}", tma.main_category()))),
+        ("machine", json::machine(Some(&machine.spec()))),
     ]);
     runner.finish(args, "simulate", text, result)
 }
@@ -81,9 +83,10 @@ pub(crate) fn simulate(args: &Args) -> CmdResult {
 pub(crate) fn tma(args: &Args) -> CmdResult {
     let profile = find_workload(args)?;
     let cycles: u64 = args.get_or("cycles", 400_000)?;
+    let machine = resolve_machine(args)?;
     let runner = Runner::from_args(args)?;
     let seed = runner.ctx.config.seed;
-    let cfg = CoreConfig::skylake_server();
+    let cfg = machine.config;
     let mut core = Core::new(cfg);
     let mut stream = profile.stream(seed);
     core.run(&mut stream, cycles);
@@ -100,6 +103,7 @@ pub(crate) fn tma(args: &Args) -> CmdResult {
             json::s(format!("{}", t.dominant_bottleneck())),
         ),
         ("tree", json::s(t.to_tree())),
+        ("machine", json::machine(Some(&machine.spec()))),
     ]);
     runner.finish(args, "tma", out, result)
 }

@@ -11,7 +11,9 @@ use std::path::Path;
 use serde::Content;
 use spire_core::pipeline::Pipeline;
 use spire_core::pipeline::{BuildStage, Stage, TrainStage, UpdateStage};
-use spire_core::{write_atomic, ModelSnapshot, OnlineTrainer, TrainOutcome};
+use spire_core::{
+    normalize_set, write_atomic, MachineSpec, ModelSnapshot, OnlineTrainer, TrainOutcome,
+};
 
 use crate::args::Args;
 use crate::commands::CmdResult;
@@ -41,13 +43,44 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         }
         log.push('\n');
     }
+    // `--normalize` trains a hardware-agnostic model: every sample is
+    // divided by the dataset machine's peak throughput, and the snapshot's
+    // machine tag flips to the normalized variant so estimate/analyze know
+    // to normalize incoming data the same way.
+    let normalize = args.flag("normalize");
+    let machine: Option<MachineSpec> = match (normalize, dataset.machine()) {
+        (true, Some(m)) => {
+            runner.ctx.note(
+                "train",
+                format!(
+                    "peak-normalizing samples by {} (peak throughput {})",
+                    m.tag(),
+                    m.peaks.throughput
+                ),
+            );
+            Some(m.as_normalized())
+        }
+        (true, None) => {
+            return Err("--normalize requires machine provenance on the dataset \
+                        (collect it with `spire collect --machine ...`)"
+                .into())
+        }
+        (false, m) => m.cloned(),
+    };
+    let mut sets = labeled_sets(&dataset);
+    if normalize {
+        let peaks = &dataset.machine().expect("checked above").peaks;
+        for (_, set) in &mut sets {
+            *set = normalize_set(set, peaks);
+        }
+    }
     let outcome = if args.flag("incremental") {
         let mut trainer = OnlineTrainer::new(
             runner.ctx.config.train.clone(),
             runner.ctx.config.strictness,
         )?;
         let mut last = None;
-        for (label, set) in labeled_sets(&dataset) {
+        for (label, set) in sets {
             let (next, outcome) = UpdateStage.execute((trainer, set), &mut runner.ctx)?;
             trainer = next;
             writeln!(log, "{label}: {}", outcome.update.summary())?;
@@ -67,7 +100,7 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     } else {
         Pipeline::new(BuildStage)
             .then(TrainStage)
-            .run(labeled_sets(&dataset), &mut runner.ctx)?
+            .run(sets, &mut runner.ctx)?
     };
     writeln!(log, "{}", outcome.report.to_table(10))?;
     if let Some(path) = out_path {
@@ -75,8 +108,10 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         writeln!(log, "wrote model to {path}")?;
     }
     if let Some(path) = snapshot_path {
+        let mut provenance = dataset.provenance(Some(data_path));
+        provenance.machine = machine.clone();
         let snapshot = ModelSnapshot::from_model(&outcome.model)?
-            .with_provenance(dataset.provenance(Some(data_path)))
+            .with_provenance(provenance)
             .with_train_report(outcome.report.clone());
         write_atomic(Path::new(path), &snapshot.to_json())?;
         writeln!(
@@ -98,6 +133,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         ("snapshot_out", json::opt_s(snapshot_path)),
         ("metrics", json::u(outcome.model.metric_count())),
         ("samples", json::u(dataset.total_samples())),
+        ("machine", json::machine(machine.as_ref())),
+        ("normalized", Content::Bool(normalize)),
         ("report", serde::to_content(&outcome.report)),
         (
             "fit_notices",

@@ -20,7 +20,7 @@ use spire_serve::{Client, ClientConfig};
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-use super::{json, load_dataset, CmdError, Runner};
+use super::{check_machine, json, load_dataset, CmdError, Runner};
 
 /// Streams the base dataset plus every positional batch to a daemon.
 fn run_via_server(args: &Args) -> CmdResult {
@@ -48,16 +48,20 @@ fn run_via_server(args: &Args) -> CmdResult {
     let mut last_seq = 0u64;
     let mut fingerprint = String::new();
     let mut batches = 0usize;
-    let base = load_dataset(&runner, data_path)?.0.merged();
+    let base = load_dataset(&runner, data_path)?.0;
+    let base = (data_path, base.machine().cloned(), base.merged());
     let batch_paths = &args.positionals()[1..];
     let later = batch_paths
         .iter()
-        .map(|p| Ok((p.as_str(), load_dataset(&runner, p)?.0.merged())))
+        .map(|p| {
+            let dataset = load_dataset(&runner, p)?.0;
+            Ok((p.as_str(), dataset.machine().cloned(), dataset.merged()))
+        })
         .collect::<Result<Vec<_>, CmdError>>()?;
-    for (label, samples) in std::iter::once((data_path, base)).chain(later) {
+    for (label, machine, samples) in std::iter::once(base).chain(later) {
         let key = format!("spire-update-{nonce:x}-{batches}");
         let response = client
-            .update(model, &samples, Some(&key))
+            .update_tagged(model, &samples, Some(&key), machine.as_ref())
             .map_err(|e| format!("update of {label} failed: {e}"))?;
         if !response.ok {
             return Err(response
@@ -134,6 +138,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     // Batch 0: the base dataset the snapshot was trained from.
     let (dataset, warn) = load_dataset(&runner, data_path)?;
     log.push_str(&warn);
+    let warn = check_machine(&runner, "update", base.machine(), dataset.machine())?;
+    log.push_str(&warn);
     let (next, outcome) = UpdateStage.execute((trainer, dataset.merged()), &mut runner.ctx)?;
     trainer = next;
     let mut last: UpdateOutcome = outcome;
@@ -155,6 +161,8 @@ pub(crate) fn run(args: &Args) -> CmdResult {
     let mut samples_added = 0usize;
     for path in batch_paths {
         let (batch, warn) = load_dataset(&runner, path)?;
+        log.push_str(&warn);
+        let warn = check_machine(&runner, "update", base.machine(), batch.machine())?;
         log.push_str(&warn);
         let (next, outcome) = UpdateStage.execute((trainer, batch.merged()), &mut runner.ctx)?;
         trainer = next;
@@ -199,6 +207,10 @@ pub(crate) fn run(args: &Args) -> CmdResult {
         ("changed_records", json::u(delta.changed.len())),
         ("removed_records", json::u(delta.removed.len())),
         ("update", serde::to_content(&last.update)),
+        (
+            "machine",
+            json::machine_pair(base.machine(), dataset.machine()),
+        ),
     ]);
     runner.finish(args, "update", log, result)
 }

@@ -65,10 +65,17 @@ USAGE: spire <command> [options]
 
 COMMANDS:
   list-workloads                      list the 27-workload evaluation suite
+  machines  [list|show M|export M]    inspect the microarchitecture catalog;
+            [--out FILE]              M is a catalog name or a machine JSON
+                                      file. export writes the editable JSON
+                                      definition (custom-machine template).
   simulate  --workload N --config C   run one workload, print a TMA summary
-            [--cycles X] [--seed S]
+            [--cycles X] [--seed S] [--machine M]
   collect   --out FILE [--cycles X]   sample the full suite into a dataset
             [--set train|test|all] [--seed S] [--interval X] [--slice X]
+            [--machine M]             (--machine picks the simulated core
+                                      from the catalog, or a machine JSON
+                                      file; the dataset is tagged with it)
   train     --data FILE               train a SPIRE model from a dataset;
             [--out FILE]              --out writes the raw model JSON,
             [--snapshot FILE]         --snapshot writes a versioned,
@@ -80,7 +87,11 @@ COMMANDS:
             [--strict]                (default 0.5) unless --strict, which
             [--ingest-report]         fails on the first bad metric.
             [--incremental]           --ingest-report prints the stored
-                                      ingest provenance before training.
+            [--normalize]             ingest provenance before training.
+                                      --normalize divides samples by the
+                                      dataset machine's peaks, producing a
+                                      hardware-agnostic model usable
+                                      across machines.
                                       --thin-front re-enables lossy Pareto
                                       front thinning above --max-front
                                       samples (default 2048); without it
@@ -112,7 +123,7 @@ COMMANDS:
             --workload LABEL          for a workload (same --model handling
             [--threads N] [--strict]  as analyze)
   tma       --workload N --config C   full TMA breakdown for one workload
-            [--cycles X] [--seed S]
+            [--cycles X] [--seed S] [--machine M]
   ingest    --csv FILE --out FILE     fault-tolerant import of `perf stat
             [--label L]               -I -x,` output: counts are scaled by
             [--min-frac F]            1/running_frac (multiplex correction,
@@ -186,6 +197,7 @@ pub(crate) const BOOL_FLAGS: &[&str] = &[
     "wait",
     "via-server",
     "json",
+    "normalize",
 ];
 
 /// Dispatches a command line (without the program name).
@@ -214,6 +226,7 @@ pub fn run(argv: &[String]) -> CmdResult {
         "coverage" => cmd::coverage::run(&args),
         "serve" => cmd::serve::run(&args),
         "client" => cmd::client::run(&args),
+        "machines" => cmd::machines::run(&args),
         "help" | "--help" => Ok(USAGE.to_owned().into()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
     }

@@ -1,0 +1,345 @@
+//! Machine-dimension CLI tests: golden coverage for `spire machines`
+//! (the catalog is compile-time data, so its `--json` envelope must be
+//! byte-stable), typed rejection of invalid custom machine files, and
+//! the model/data machine-mismatch path end to end — lenient degrade,
+//! strict refusal, legacy machine-less artifacts, and the normalized
+//! (hardware-agnostic) model that crosses machines on purpose.
+
+use spire_cli::commands::{run, CmdResult, EXIT_DEGRADED, EXIT_FAILURE, EXIT_OK};
+use spire_core::{MachineSpec, Sample, SampleSet};
+use spire_counters::Dataset;
+use spire_sim::MachineCatalog;
+
+fn run_str(argv: &[&str]) -> CmdResult {
+    let v: Vec<String> = argv.iter().map(|s| (*s).to_owned()).collect();
+    run(&v)
+}
+
+/// The exit code the binary would report for this result.
+fn exit_code(result: &CmdResult) -> i32 {
+    match result {
+        Ok(out) if out.degraded => EXIT_DEGRADED,
+        Ok(_) => EXIT_OK,
+        Err(_) => EXIT_FAILURE,
+    }
+}
+
+/// Compares `actual` to the committed golden, or rewrites the golden
+/// when `SPIRE_UPDATE_GOLDEN` is set.
+fn assert_golden(actual: &str, name: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("SPIRE_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; run with SPIRE_UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+/// The spec of a catalog machine, by name.
+fn catalog_spec(name: &str) -> MachineSpec {
+    MachineCatalog::builtin().get(name).unwrap().spec()
+}
+
+/// Writes the three-metric training dataset, optionally machine-tagged.
+fn write_dataset(path: &std::path::Path, machine: Option<MachineSpec>) {
+    let mut set = SampleSet::new();
+    for m in ["m_alpha", "m_beta", "m_gamma"] {
+        for i in 1..6 {
+            set.push(Sample::new(m, 10.0, (5 * i) as f64, (10 - i) as f64).unwrap());
+        }
+    }
+    let mut ds = Dataset::new();
+    ds.insert("wl", set);
+    ds.set_machine(machine);
+    ds.save(path).unwrap();
+}
+
+#[test]
+fn golden_machines_list_and_show_json() {
+    let result = run_str(&["machines", "--json"]);
+    assert_eq!(exit_code(&result), EXIT_OK);
+    assert_golden(&result.unwrap().text, "machines_list.golden.json");
+
+    let result = run_str(&["machines", "show", "little", "--json"]);
+    assert_eq!(exit_code(&result), EXIT_OK);
+    assert_golden(&result.unwrap().text, "machines_show.golden.json");
+}
+
+#[test]
+fn machines_export_round_trips_through_show() {
+    let dir = std::env::temp_dir().join("spire-machines-export");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("edge.json");
+    let result = run_str(&[
+        "machines",
+        "export",
+        "edge",
+        "--out",
+        file.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK);
+
+    // The exported file resolves as a custom machine selector and keeps
+    // the catalog identity: same config, same fingerprint.
+    let result = run_str(&["machines", "show", file.to_str().unwrap(), "--json"]);
+    assert_eq!(exit_code(&result), EXIT_OK);
+    let text = result.unwrap().text;
+    let spec = catalog_spec("edge");
+    assert!(
+        text.contains(&spec.fingerprint),
+        "fingerprint survives: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn machines_show_rejects_invalid_custom_files_with_typed_errors() {
+    let dir = std::env::temp_dir().join("spire-machines-invalid");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Malformed JSON: the parse error, not a panic.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not a machine {").unwrap();
+    let err = run_str(&["machines", "show", garbage.to_str().unwrap()]).unwrap_err();
+    assert!(
+        err.to_string().contains("machine file does not parse"),
+        "parse rejection is typed: {err}"
+    );
+
+    // Parses, but the configuration violates a structural constraint.
+    let mut machine = MachineCatalog::builtin().get("little").unwrap().clone();
+    machine.config.backend.issue_width = 0;
+    let invalid = dir.join("invalid.json");
+    std::fs::write(&invalid, machine.to_json()).unwrap();
+    let err = run_str(&["machines", "show", invalid.to_str().unwrap()]).unwrap_err();
+    assert!(
+        err.to_string().contains("machine file rejected"),
+        "validation rejection is typed: {err}"
+    );
+
+    // A blank name is rejected before the config is even validated.
+    let mut machine = MachineCatalog::builtin().get("little").unwrap().clone();
+    machine.name = "  ".to_owned();
+    let unnamed = dir.join("unnamed.json");
+    std::fs::write(&unnamed, machine.to_json()).unwrap();
+    let err = run_str(&["machines", "show", unnamed.to_str().unwrap()]).unwrap_err();
+    assert!(
+        err.to_string().contains("name must be non-empty"),
+        "unnamed rejection is typed: {err}"
+    );
+
+    // An unknown selector names the catalog in its error.
+    let err = run_str(&["machines", "show", "no-such-machine"]).unwrap_err();
+    assert!(
+        err.to_string().contains("skylake-server"),
+        "unknown selector names the catalog: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn machine_mismatch_degrades_leniently_and_refuses_strictly() {
+    let dir = std::env::temp_dir().join("spire-machines-mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let train_data = dir.join("little.json");
+    let other_data = dir.join("hpc.json");
+    let snapshot = dir.join("snap.json");
+    write_dataset(&train_data, Some(catalog_spec("little")));
+    write_dataset(&other_data, Some(catalog_spec("hpc")));
+
+    let result = run_str(&[
+        "train",
+        "--data",
+        train_data.to_str().unwrap(),
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK, "{result:?}");
+
+    // Lenient estimate against another machine's data: exactly one
+    // machine_mismatch event carrying both fingerprints, exit code 2.
+    for command in ["estimate", "analyze"] {
+        let result = run_str(&[
+            command,
+            "--model",
+            snapshot.to_str().unwrap(),
+            "--data",
+            other_data.to_str().unwrap(),
+            "--workload",
+            "wl",
+            "--json",
+        ]);
+        assert_eq!(exit_code(&result), EXIT_DEGRADED, "{command} degrades");
+        let text = result.unwrap().text;
+        assert_eq!(
+            text.matches("\"kind\": \"machine_mismatch\"").count(),
+            1,
+            "{command}: exactly one mismatch event: {text}"
+        );
+        assert!(text.contains(&catalog_spec("little").fingerprint), "{text}");
+        assert!(text.contains(&catalog_spec("hpc").fingerprint), "{text}");
+    }
+
+    // An update seeded from mismatched data degrades the same way.
+    let result = run_str(&[
+        "update",
+        "--model",
+        snapshot.to_str().unwrap(),
+        "--data",
+        other_data.to_str().unwrap(),
+        "--snapshot-out",
+        dir.join("updated.json").to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(exit_code(&result), EXIT_DEGRADED, "update degrades");
+    let text = result.unwrap().text;
+    assert_eq!(
+        text.matches("\"kind\": \"machine_mismatch\"").count(),
+        1,
+        "update: exactly one mismatch event: {text}"
+    );
+
+    // Strict mode turns the degrade into a typed refusal naming both
+    // machines.
+    let err = run_str(&[
+        "estimate",
+        "--model",
+        snapshot.to_str().unwrap(),
+        "--data",
+        other_data.to_str().unwrap(),
+        "--workload",
+        "wl",
+        "--strict",
+    ])
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("little"),
+        "refusal names the model machine: {msg}"
+    );
+    assert!(msg.contains("hpc"), "refusal names the data machine: {msg}");
+
+    // Matching machines stay clean: same data the model came from.
+    let result = run_str(&[
+        "estimate",
+        "--model",
+        snapshot.to_str().unwrap(),
+        "--data",
+        train_data.to_str().unwrap(),
+        "--workload",
+        "wl",
+        "--json",
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK, "matching machines are clean");
+    let text = result.unwrap().text;
+    assert!(!text.contains("machine_mismatch"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_untagged_artifacts_skip_the_machine_check_with_a_note() {
+    let dir = std::env::temp_dir().join("spire-machines-legacy");
+    std::fs::create_dir_all(&dir).unwrap();
+    let untagged = dir.join("untagged.json");
+    let tagged = dir.join("tagged.json");
+    let snapshot = dir.join("snap.json");
+    write_dataset(&untagged, None);
+    write_dataset(&tagged, Some(catalog_spec("edge")));
+
+    // A machine-less snapshot (legacy) applied to tagged data: no
+    // mismatch, just a note that the check was skipped.
+    let result = run_str(&[
+        "train",
+        "--data",
+        untagged.to_str().unwrap(),
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK, "{result:?}");
+    let result = run_str(&[
+        "estimate",
+        "--model",
+        snapshot.to_str().unwrap(),
+        "--data",
+        tagged.to_str().unwrap(),
+        "--workload",
+        "wl",
+        "--json",
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK, "legacy is not a mismatch");
+    let text = result.unwrap().text;
+    assert!(!text.contains("machine_mismatch"), "{text}");
+    assert!(
+        text.contains("machine provenance absent"),
+        "skip is noted on the bus: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn normalized_model_crosses_machines_without_mismatch() {
+    let dir = std::env::temp_dir().join("spire-machines-normalized");
+    std::fs::create_dir_all(&dir).unwrap();
+    let train_data = dir.join("little.json");
+    let other_data = dir.join("hpc.json");
+    let snapshot = dir.join("snap.json");
+    write_dataset(&train_data, Some(catalog_spec("little")));
+    write_dataset(&other_data, Some(catalog_spec("hpc")));
+
+    let result = run_str(&[
+        "train",
+        "--data",
+        train_data.to_str().unwrap(),
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+        "--normalize",
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK, "{result:?}");
+
+    // The hardware-agnostic model's purpose is cross-machine use: the
+    // identity check is skipped and the incoming data is peak-normalized
+    // by its own machine's peaks.
+    let result = run_str(&[
+        "estimate",
+        "--model",
+        snapshot.to_str().unwrap(),
+        "--data",
+        other_data.to_str().unwrap(),
+        "--workload",
+        "wl",
+        "--json",
+    ]);
+    assert_eq!(exit_code(&result), EXIT_OK, "normalized transfer is clean");
+    let text = result.unwrap().text;
+    assert!(!text.contains("machine_mismatch"), "{text}");
+    assert!(
+        text.contains("peak-normalizing samples by hpc"),
+        "data is normalized by its own machine: {text}"
+    );
+
+    // Normalize without provenance is a hard, typed error at train time.
+    let untagged = dir.join("untagged.json");
+    write_dataset(&untagged, None);
+    let err = run_str(&[
+        "train",
+        "--data",
+        untagged.to_str().unwrap(),
+        "--snapshot",
+        dir.join("never.json").to_str().unwrap(),
+        "--normalize",
+    ])
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("machine provenance"),
+        "typed requirement: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

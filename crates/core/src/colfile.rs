@@ -13,7 +13,7 @@
 //! | header (64 bytes, fixed)                                     |
 //! |   0..8   magic  "SPIRECOL"                                   |
 //! |   8..12  format version (u32 LE)                             |
-//!	|  12..16  endianness marker 0x01020304 (u32 LE)               |
+//! |  12..16  endianness marker 0x01020304 (u32 LE)               |
 //! |  16..24  directory offset (u64 LE)                           |
 //! |  24..32  directory length (u64 LE)                           |
 //! |  32..40  total file length (u64 LE)                          |
@@ -190,7 +190,7 @@ fn parse_header(bytes: &[u8]) -> Result<Header> {
         )));
     }
     let dir_end = header.dir_offset.checked_add(header.dir_len);
-    if header.dir_offset < HEADER_LEN || !dir_end.is_some_and(|end| end <= bytes.len()) {
+    if header.dir_offset < HEADER_LEN || dir_end.is_none_or(|end| end > bytes.len()) {
         return Err(format_err("directory range is out of bounds"));
     }
     Ok(header)
@@ -500,7 +500,10 @@ fn decode_column(
 
 /// Bounds- and checksum-checks one chunk, returning the three array byte
 /// spans on success or the refusal reason on failure.
-fn verify_chunk<'a>(bytes: &'a [u8], chunk: &ChunkEntry) -> std::result::Result<[&'a [u8]; 3], String> {
+fn verify_chunk<'a>(
+    bytes: &'a [u8],
+    chunk: &ChunkEntry,
+) -> std::result::Result<[&'a [u8]; 3], String> {
     let rows = chunk.rows as usize;
     let offset = chunk.offset as usize;
     let array_span = pad64(rows * 8);
@@ -513,8 +516,10 @@ fn verify_chunk<'a>(bytes: &'a [u8], chunk: &ChunkEntry) -> std::result::Result<
             bytes.len()
         ));
     };
-    if offset % CHUNK_ALIGN != 0 {
-        return Err(format!("chunk offset {offset} is not {CHUNK_ALIGN}-byte aligned"));
+    if !offset.is_multiple_of(CHUNK_ALIGN) {
+        return Err(format!(
+            "chunk offset {offset} is not {CHUNK_ALIGN}-byte aligned"
+        ));
     }
     let span = &bytes[offset..end];
     let actual = format!("{:016x}", fnv1a64(span));
@@ -567,14 +572,7 @@ pub mod mmap {
     use crate::error::{Result, SpireError};
 
     extern "C" {
-        fn mmap(
-            addr: *mut u8,
-            len: usize,
-            prot: i32,
-            flags: i32,
-            fd: i32,
-            offset: i64,
-        ) -> *mut u8;
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
         fn munmap(addr: *mut u8, len: usize) -> i32;
     }
 
@@ -785,7 +783,7 @@ pub mod mmap {
         unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), bytes.len() / 8) }
     }
 
-    const _: () = assert!(CHUNK_ALIGN % std::mem::align_of::<f64>() == 0);
+    const _: () = assert!(CHUNK_ALIGN.is_multiple_of(std::mem::align_of::<f64>()));
 }
 
 #[cfg(test)]
@@ -848,7 +846,10 @@ mod tests {
         // Flip one byte inside the first chunk's payload (past the header).
         image[HEADER_LEN + 3] ^= 0x40;
         let err = read(&image, SnapshotMode::Strict).unwrap_err();
-        assert!(matches!(err, SpireError::ColumnChunkCorrupt { .. }), "{err}");
+        assert!(
+            matches!(err, SpireError::ColumnChunkCorrupt { .. }),
+            "{err}"
+        );
         let contents = read(&image, SnapshotMode::Lenient).unwrap();
         assert_eq!(contents.report.quarantined.len(), 1);
         assert_eq!(contents.report.rows_dropped, 16);
@@ -868,7 +869,10 @@ mod tests {
             bad[at] ^= 0xff;
             for mode in [SnapshotMode::Strict, SnapshotMode::Lenient] {
                 let err = read(&bad, mode).unwrap_err();
-                assert!(matches!(err, SpireError::SnapshotFormat { .. }), "at {at}: {err}");
+                assert!(
+                    matches!(err, SpireError::SnapshotFormat { .. }),
+                    "at {at}: {err}"
+                );
             }
         }
         // Truncation too.
@@ -883,7 +887,10 @@ mod tests {
         let contents = read(&image, SnapshotMode::Strict).unwrap();
         assert!(contents.sections[0].1.is_empty());
         let none = write_sections(std::iter::empty::<(&str, &SampleSet)>(), "");
-        assert!(read(&none, SnapshotMode::Strict).unwrap().sections.is_empty());
+        assert!(read(&none, SnapshotMode::Strict)
+            .unwrap()
+            .sections
+            .is_empty());
         assert!(!is_colfile(b"{\"not\": \"binary\"}"));
     }
 
@@ -907,7 +914,10 @@ mod tests {
         let decoded = read(&image, SnapshotMode::Strict).unwrap();
         let col = decoded.sections[0].1.column(&"cycles".into()).unwrap();
         let chunks = mapped.column("w", "cycles").unwrap();
-        let stitched: Vec<f64> = chunks.iter().flat_map(|c| c.times.iter().copied()).collect();
+        let stitched: Vec<f64> = chunks
+            .iter()
+            .flat_map(|c| c.times.iter().copied())
+            .collect();
         assert_eq!(stitched, col.times());
         let lens: Vec<usize> = chunks.iter().map(|c| c.works.len()).collect();
         assert_eq!(lens, [64, 64, 64, 8]);

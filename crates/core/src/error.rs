@@ -128,6 +128,23 @@ pub enum SpireError {
         /// Why the record was rejected.
         reason: String,
     },
+    /// A model and a dataset carry provenance from different machines:
+    /// their [`MachineSpec`](crate::MachineSpec) fingerprints (or
+    /// normalization units) disagree.
+    ///
+    /// Raised by strict estimate/analyze/update runs and by
+    /// [`SnapshotDelta::apply`](crate::SnapshotDelta::apply) across
+    /// differing machines; lenient runs degrade with a typed
+    /// `machine_mismatch` event instead. Artifacts without machine
+    /// provenance are never refused — absence is legacy, not a mismatch.
+    MachineMismatch {
+        /// `name [fingerprint]` of the machine the model was trained on.
+        expected: String,
+        /// `name [fingerprint]` of the machine the data came from.
+        found: String,
+        /// Which operation tripped the check (e.g. `"analyze"`).
+        context: String,
+    },
     /// A binary column-file ([`crate::colfile`]) data chunk failed its
     /// integrity check: the stored FNV-1a checksum does not match the chunk
     /// payload, or the chunk points outside the file.
@@ -207,6 +224,15 @@ impl fmt::Display for SpireError {
             SpireError::SnapshotRecordCorrupt { metric, reason } => write!(
                 f,
                 "snapshot record for metric `{metric}` is corrupt: {reason}"
+            ),
+            SpireError::MachineMismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "machine mismatch in {context}: model is from {expected} but the \
+                 data is from {found}"
             ),
             SpireError::ColumnChunkCorrupt {
                 label,
@@ -296,6 +322,19 @@ mod tests {
             reason: "checksum mismatch".to_owned(),
         };
         assert!(e.to_string().contains("checksum") && e.to_string().contains("stalls"));
+    }
+
+    #[test]
+    fn machine_mismatch_renders_both_tags_and_context() {
+        let e = SpireError::MachineMismatch {
+            expected: "skylake-server [aaaa]".to_owned(),
+            found: "little [bbbb]".to_owned(),
+            context: "analyze".to_owned(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("skylake-server [aaaa]"));
+        assert!(msg.contains("little [bbbb]"));
+        assert!(msg.contains("analyze"));
     }
 
     #[test]

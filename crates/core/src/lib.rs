@@ -75,6 +75,7 @@ mod error;
 pub mod fault;
 pub mod geometry;
 pub mod graph;
+pub mod machine;
 pub mod online;
 pub mod parallel;
 pub mod pipeline;
@@ -84,18 +85,19 @@ pub mod snapshot;
 pub mod stats;
 
 pub use analysis::{BottleneckReport, RankedMetric};
+pub use colfile::{ColFileContents, ColFileReport, ColFileWriter, QuarantinedChunk};
 pub use ensemble::{
     EnsembleAggregation, Estimate, MergeStrategy, MetricEstimate, QuarantinedMetric, SpireModel,
     TrainConfig, TrainOutcome, TrainQuarantineReason, TrainReport, TrainStrictness,
 };
 pub use error::{Result, SpireError};
+pub use machine::{config_fingerprint, normalize_set, MachinePeaks, MachineSpec};
 pub use online::{OnlineTrainer, UpdateOutcome, UpdateReport};
 pub use pipeline::{
     CollectingSink, DiagnosticsBus, EventSink, Pipeline, PipelineConfig, RunContext, Stage,
 };
 pub use roofline::{FitOptions, PiecewiseRoofline, RightFitMode, RightRegion, ThinningNotice};
 pub use sample::{MetricColumn, MetricId, Sample, SampleIter, SampleSet};
-pub use colfile::{ColFileContents, ColFileReport, ColFileWriter, QuarantinedChunk};
 pub use snapshot::{
     write_atomic, write_atomic_bytes, ModelSnapshot, SnapshotDelta, SnapshotLoad, SnapshotMode,
     SnapshotProvenance, SnapshotReport, SNAPSHOT_FORMAT_VERSION,

@@ -246,6 +246,24 @@ pub enum Event {
         /// Why the daemon degraded.
         reason: String,
     },
+    /// A model and a dataset carry provenance from different machines
+    /// (differing [`MachineSpec`](crate::MachineSpec) fingerprints or
+    /// normalization units). Lenient runs emit this and continue
+    /// degraded; strict runs refuse with
+    /// [`SpireError::MachineMismatch`](crate::SpireError).
+    MachineMismatch {
+        /// Which operation tripped the check (`estimate`, `analyze`,
+        /// `update`).
+        context: String,
+        /// Name of the machine the model was trained on.
+        model_machine: String,
+        /// Config fingerprint of the model's machine.
+        model_fingerprint: String,
+        /// Name of the machine the data came from.
+        data_machine: String,
+        /// Config fingerprint of the data's machine.
+        data_fingerprint: String,
+    },
     /// Free-form progress text (the bench bins' narration).
     Note {
         /// Stage or context name.
@@ -282,6 +300,7 @@ impl Event {
             Event::WalCompacted { .. } => "wal_compacted",
             Event::WorkerRestarted { .. } => "worker_restarted",
             Event::DaemonReadOnly { .. } => "daemon_read_only",
+            Event::MachineMismatch { .. } => "machine_mismatch",
             Event::Note { .. } => "note",
         }
     }
@@ -300,7 +319,8 @@ impl Event {
             | Event::RequestShed { .. }
             | Event::RequestIsolated { .. }
             | Event::WorkerRestarted { .. }
-            | Event::DaemonReadOnly { .. } => Severity::Degraded,
+            | Event::DaemonReadOnly { .. }
+            | Event::MachineMismatch { .. } => Severity::Degraded,
             Event::FrontThinned { .. } | Event::WalTruncated { .. } => Severity::Warning,
             Event::BudgetConsumed { exceeded, .. } => {
                 if *exceeded {
@@ -345,9 +365,7 @@ impl Event {
                 chunk,
                 rows,
                 reason,
-            } => format!(
-                "quarantined chunk {chunk} of {label}/{metric} ({rows} rows): {reason}"
-            ),
+            } => format!("quarantined chunk {chunk} of {label}/{metric} ({rows} rows): {reason}"),
             Event::SnapshotRecordDropped { metric, reason } => {
                 format!("dropped snapshot record {metric}: {reason}")
             }
@@ -433,6 +451,16 @@ impl Event {
             Event::DaemonReadOnly { reason } => {
                 format!("daemon degraded to read-only: {reason}")
             }
+            Event::MachineMismatch {
+                context,
+                model_machine,
+                model_fingerprint,
+                data_machine,
+                data_fingerprint,
+            } => format!(
+                "machine mismatch in {context}: model is from {model_machine} \
+                 [{model_fingerprint}] but the data is from {data_machine} [{data_fingerprint}]"
+            ),
             Event::Note { text, .. } => text.clone(),
         }
     }
@@ -630,6 +658,25 @@ impl Serialize for Event {
             Event::DaemonReadOnly { reason } => {
                 entries.push(field("reason", Content::Str(reason.clone())));
             }
+            Event::MachineMismatch {
+                context,
+                model_machine,
+                model_fingerprint,
+                data_machine,
+                data_fingerprint,
+            } => {
+                entries.push(field("context", Content::Str(context.clone())));
+                entries.push(field("model_machine", Content::Str(model_machine.clone())));
+                entries.push(field(
+                    "model_fingerprint",
+                    Content::Str(model_fingerprint.clone()),
+                ));
+                entries.push(field("data_machine", Content::Str(data_machine.clone())));
+                entries.push(field(
+                    "data_fingerprint",
+                    Content::Str(data_fingerprint.clone()),
+                ));
+            }
             Event::Note { stage, text } => {
                 entries.push(field("stage", Content::Str(stage.clone())));
                 entries.push(field("text", Content::Str(text.clone())));
@@ -697,6 +744,33 @@ mod tests {
             Severity::Warning,
             "a torn tail drops only unacknowledged work; it must not flip exit 2"
         );
+        assert_eq!(
+            Event::MachineMismatch {
+                context: "analyze".into(),
+                model_machine: "skylake-server".into(),
+                model_fingerprint: "aaaa".into(),
+                data_machine: "little".into(),
+                data_fingerprint: "bbbb".into(),
+            }
+            .severity(),
+            Severity::Degraded,
+            "a lenient cross-machine run completes but must exit 2"
+        );
+    }
+
+    #[test]
+    fn machine_mismatch_serializes_both_fingerprints() {
+        let json = serde_json::to_string(&Event::MachineMismatch {
+            context: "estimate".into(),
+            model_machine: "hpc".into(),
+            model_fingerprint: "aaaa".into(),
+            data_machine: "edge".into(),
+            data_fingerprint: "bbbb".into(),
+        })
+        .unwrap();
+        assert!(json.contains("\"kind\":\"machine_mismatch\""), "{json}");
+        assert!(json.contains("\"model_fingerprint\":\"aaaa\""), "{json}");
+        assert!(json.contains("\"data_fingerprint\":\"bbbb\""), "{json}");
     }
 
     #[test]

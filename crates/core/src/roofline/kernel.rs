@@ -104,11 +104,7 @@ pub(super) fn estimate_into(
     }
     let first = right.knots[0];
     let last = right.knots[right.knots.len() - 1];
-    if left_strict
-        && right_strict
-        && left.len() <= SCAN_KNOTS
-        && right.knots.len() <= SCAN_KNOTS
-    {
+    if left_strict && right_strict && left.len() <= SCAN_KNOTS && right.knots.len() <= SCAN_KNOTS {
         // Production-shaped models (strict knots, modest counts) skip
         // the classification pre-pass entirely: the compaction kernel
         // is bit-correct for every chunk, and it rediscovers pure
@@ -200,8 +196,12 @@ fn eval_compacted(
         let (mut n_l, mut n_r) = (0usize, 0usize);
         for (j, &x) in sub.iter().enumerate() {
             // `&` instead of `&&`: no short-circuit branch on a
-            // data-dependent predicate.
+            // data-dependent predicate. The negated comparisons are
+            // NaN-aware on purpose (`!(x <= 0.0)` is true for NaN where
+            // `x > 0.0` is not), keeping NaN lanes out of both compacted
+            // index lists so the placeholder write propagates them.
             let in_left = (x > 0.0) & (x < apex.x);
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
             let in_right = !(x <= 0.0) & !(x < apex.x) & !(x < first.x) & !(x > last.x);
             idx_l[n_l] = j as u32;
             n_l += usize::from(in_left);
@@ -284,7 +284,11 @@ fn eval_knots_strict(knots: &[Point], x: f64) -> f64 {
     let (a, b) = (knots[lo], knots[hi]);
     let mut y = a.y + (x - a.x) * (b.y - a.y) / (b.x - a.x);
     y = if x <= knots[0].x { knots[0].y } else { y };
-    y = if x >= knots[n - 1].x { knots[n - 1].y } else { y };
+    y = if x >= knots[n - 1].x {
+        knots[n - 1].y
+    } else {
+        y
+    };
     y
 }
 
@@ -308,7 +312,7 @@ fn classify(chunk: &[f64], apex_x: f64, first_x: f64, last_x: f64) -> u8 {
     for &x in chunk {
         mn = mn.min(x);
         mx = mx.max(x);
-        nan |= x != x;
+        nan |= x.is_nan();
     }
     if nan {
         // `mn > mx` only when min/max saw no finite lane at all.

@@ -1144,11 +1144,11 @@ mod tests {
         // both a mixed probe vector and homogeneous single-region runs
         // that trigger each fill/interpolation fast path.
         let mut runs = probes.clone();
-        runs.extend(std::iter::repeat(-2.0).take(7)); // all-zero chunk
+        runs.extend(std::iter::repeat_n(-2.0, 7)); // all-zero chunk
         runs.extend((1..8).map(|i| apex.x * f64::from(i) / 9.0)); // all-left
-        runs.extend(std::iter::repeat((first.x + last.x) * 0.5).take(7)); // all-span
-        runs.extend(std::iter::repeat(last.x + 5.0).take(7)); // all-tail
-        runs.extend(std::iter::repeat(f64::NAN).take(7)); // all-NaN
+        runs.extend(std::iter::repeat_n((first.x + last.x) * 0.5, 7)); // all-span
+        runs.extend(std::iter::repeat_n(last.x + 5.0, 7)); // all-tail
+        runs.extend(std::iter::repeat_n(f64::NAN, 7)); // all-NaN
         for width in [1, 2, 3, 5, 7, 8, 64, 333] {
             r.estimate_soa_chunked(&runs, &mut out, width);
             for (&x, &got) in runs.iter().zip(&out) {

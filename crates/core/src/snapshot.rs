@@ -58,7 +58,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Populated by the CLI from the counters crate's `Dataset`; kept generic
 /// here (strings and counts) so the dependency direction stays
 /// `counters -> core`.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Deserialize)]
 pub struct SnapshotProvenance {
     /// Path or description of the source dataset.
     pub source: Option<String>,
@@ -69,6 +69,34 @@ pub struct SnapshotProvenance {
     /// Per-label ingest report summaries (label -> summary line), for
     /// datasets that came through the fault-tolerant ingest.
     pub ingest_summaries: BTreeMap<String, String>,
+    /// The machine the training data was collected on, when known.
+    /// Absent for legacy snapshots — absence is never treated as a
+    /// mismatch, only as missing provenance.
+    pub machine: Option<crate::MachineSpec>,
+}
+
+/// Hand-written so a machine-less provenance serializes without a
+/// `machine` key at all: snapshots written before machines existed stay
+/// byte-identical, and "no machine" is visibly absence rather than
+/// `null`. (The vendored derive has no `skip_serializing_if`.)
+impl Serialize for SnapshotProvenance {
+    fn serialize<S: serde::ser::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::{to_content, Content};
+        let key = |k: &str| Content::Str(k.to_owned());
+        let mut entries = vec![
+            (key("source"), to_content(&self.source)),
+            (key("labels"), to_content(&self.labels)),
+            (key("total_samples"), to_content(&self.total_samples)),
+            (key("ingest_summaries"), to_content(&self.ingest_summaries)),
+        ];
+        if let Some(machine) = &self.machine {
+            entries.push((key("machine"), to_content(machine)));
+        }
+        serializer.serialize_content(Content::Map(entries))
+    }
 }
 
 /// One metric's roofline record: the fit serialized to a JSON string plus
@@ -241,6 +269,12 @@ impl ModelSnapshot {
     pub fn with_train_report(mut self, report: TrainReport) -> Self {
         self.train_report = Some(report);
         self
+    }
+
+    /// The machine this snapshot's training data came from, when its
+    /// provenance recorded one.
+    pub fn machine(&self) -> Option<&crate::MachineSpec> {
+        self.provenance.as_ref().and_then(|p| p.machine.as_ref())
     }
 
     /// Serializes the snapshot container to JSON.
@@ -438,7 +472,20 @@ impl SnapshotDelta {
     /// result does not reproduce [`SnapshotDelta::result_fingerprint`]
     /// (either indicates the delta belongs to a different history or was
     /// damaged in a way the per-record checksums cannot see).
+    /// Returns [`SpireError::MachineMismatch`] when both the base and the
+    /// delta carry machine provenance and the machines differ — a stream
+    /// of updates must not silently hop microarchitectures. Either side
+    /// lacking a machine (legacy artifacts) passes the check.
     pub fn apply(&self, base: &ModelSnapshot) -> Result<ModelSnapshot> {
+        if let (Some(base_m), Some(delta_m)) = (base.machine(), self.machine()) {
+            if !base_m.matches(delta_m) {
+                return Err(SpireError::MachineMismatch {
+                    expected: base_m.tag(),
+                    found: delta_m.tag(),
+                    context: "snapshot delta apply".to_owned(),
+                });
+            }
+        }
         let base_fp = base.fingerprint();
         if base_fp != self.base_fingerprint {
             return Err(SpireError::SnapshotFormat {
@@ -475,6 +522,11 @@ impl SnapshotDelta {
             });
         }
         Ok(result)
+    }
+
+    /// The machine this delta's updated provenance names, when recorded.
+    pub fn machine(&self) -> Option<&crate::MachineSpec> {
+        self.provenance.as_ref().and_then(|p| p.machine.as_ref())
     }
 
     /// Serializes the delta to JSON.
@@ -746,6 +798,7 @@ mod tests {
             ingest_summaries: [("wl_a".to_owned(), "scaled 10/10 rows".to_owned())]
                 .into_iter()
                 .collect(),
+            machine: None,
         };
         let snapshot = ModelSnapshot::from_model(&model)
             .unwrap()
@@ -756,6 +809,63 @@ mod tests {
         assert!(back.train_report.is_some());
         let loaded = back.into_model(SnapshotMode::Strict).unwrap();
         assert_eq!(loaded.model, model);
+    }
+
+    fn machine_spec(name: &str, fp: &str) -> crate::MachineSpec {
+        crate::MachineSpec {
+            name: name.to_owned(),
+            fingerprint: fp.to_owned(),
+            peaks: crate::MachinePeaks {
+                throughput: 4.0,
+                bandwidth: std::collections::BTreeMap::new(),
+            },
+            normalized: false,
+        }
+    }
+
+    #[test]
+    fn machine_survives_snapshot_round_trip() {
+        let model = trained();
+        let provenance = SnapshotProvenance {
+            machine: Some(machine_spec("little", "00aa00aa00aa00aa")),
+            ..SnapshotProvenance::default()
+        };
+        let snapshot = ModelSnapshot::from_model(&model)
+            .unwrap()
+            .with_provenance(provenance);
+        let back = ModelSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back.machine().unwrap().name, "little");
+        assert_eq!(back.machine().unwrap().fingerprint, "00aa00aa00aa00aa");
+        // Machine provenance is metadata: the model fingerprint ignores it.
+        assert_eq!(
+            back.fingerprint(),
+            ModelSnapshot::from_model(&model).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn machine_less_provenance_serializes_without_machine_key() {
+        // Legacy byte-compat: snapshots that never saw a machine must not
+        // grow a `"machine": null` field.
+        let model = trained();
+        let snapshot = ModelSnapshot::from_model(&model)
+            .unwrap()
+            .with_provenance(SnapshotProvenance::default());
+        assert!(!snapshot.to_json().contains("\"machine\""));
+        assert!(snapshot.machine().is_none());
+    }
+
+    #[test]
+    fn legacy_provenance_json_without_machine_field_loads() {
+        let model = trained();
+        let snapshot = ModelSnapshot::from_model(&model)
+            .unwrap()
+            .with_provenance(SnapshotProvenance::default());
+        // Simulate a pre-machine snapshot on disk: no `machine` key at all.
+        let json = snapshot.to_json();
+        let back = ModelSnapshot::from_json(&json).unwrap();
+        assert!(back.provenance.as_ref().unwrap().machine.is_none());
+        assert!(back.into_model(SnapshotMode::Strict).is_ok());
     }
 
     /// Like [`trained`] but with one metric's data perturbed and one metric
@@ -835,6 +945,47 @@ mod tests {
         tampered.changed.pop();
         let err = tampered.apply(&base).unwrap_err();
         assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn delta_refuses_cross_machine_apply_with_typed_error() {
+        let prov_a = SnapshotProvenance {
+            machine: Some(machine_spec("skylake-server", "aaaaaaaaaaaaaaaa")),
+            ..SnapshotProvenance::default()
+        };
+        let prov_b = SnapshotProvenance {
+            machine: Some(machine_spec("little", "bbbbbbbbbbbbbbbb")),
+            ..SnapshotProvenance::default()
+        };
+        let base = ModelSnapshot::from_model(&trained())
+            .unwrap()
+            .with_provenance(prov_a.clone());
+        let updated = ModelSnapshot::from_model(&trained_updated())
+            .unwrap()
+            .with_provenance(prov_b);
+        let delta = SnapshotDelta::between(&base, &updated);
+        let err = delta.apply(&base).unwrap_err();
+        match err {
+            SpireError::MachineMismatch {
+                expected, found, ..
+            } => {
+                assert!(expected.contains("aaaaaaaaaaaaaaaa"));
+                assert!(found.contains("bbbbbbbbbbbbbbbb"));
+            }
+            other => panic!("expected machine mismatch, got {other:?}"),
+        }
+
+        // Same machine on both sides applies cleanly...
+        let same = ModelSnapshot::from_model(&trained_updated())
+            .unwrap()
+            .with_provenance(prov_a.clone());
+        let delta = SnapshotDelta::between(&base, &same);
+        assert!(delta.apply(&base).is_ok());
+
+        // ...and a machine-less side (legacy) is never a mismatch.
+        let legacy_updated = ModelSnapshot::from_model(&trained_updated()).unwrap();
+        let delta = SnapshotDelta::between(&base, &legacy_updated);
+        assert!(delta.apply(&base).is_ok());
     }
 
     #[test]

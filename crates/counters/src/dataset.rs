@@ -11,7 +11,7 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use spire_core::colfile::{self, ColFileReport, ColFileWriter};
-use spire_core::{SampleSet, SnapshotMode, SnapshotProvenance};
+use spire_core::{MachineSpec, SampleSet, SnapshotMode, SnapshotProvenance};
 
 use crate::ingest::IngestReport;
 
@@ -33,14 +33,55 @@ use crate::ingest::IngestReport;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Deserialize)]
 pub struct Dataset {
     entries: BTreeMap<String, SampleSet>,
     /// Per-label ingest provenance, for entries that came through the
     /// fault-tolerant perf ingest. `Option` so datasets persisted before
     /// this field existed still deserialize (absent → `None`).
     reports: Option<BTreeMap<String, IngestReport>>,
+    /// The machine the samples were collected on, when known. `Option`
+    /// for the same legacy reason as `reports`: datasets persisted before
+    /// machines existed deserialize with `None`, and absence is never
+    /// treated as a mismatch.
+    machine: Option<MachineSpec>,
 }
+
+/// Hand-written so machine-less datasets serialize without a `machine`
+/// key at all, keeping pre-machine dataset JSON byte-identical. (The
+/// vendored derive has no `skip_serializing_if`.)
+impl Serialize for Dataset {
+    fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::{to_content, Content};
+        let key = |k: &str| Content::Str(k.to_owned());
+        let mut fields = vec![
+            (key("entries"), to_content(&self.entries)),
+            (key("reports"), to_content(&self.reports)),
+        ];
+        if let Some(machine) = &self.machine {
+            fields.push((key("machine"), to_content(machine)));
+        }
+        serializer.serialize_content(Content::Map(fields))
+    }
+}
+
+/// The `.spirecol` directory metadata once a machine tag is present: a
+/// marker field (always serialized first) distinguishes this wrapper from
+/// the legacy meta, which was the bare ingest-report map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ColMeta {
+    /// Wrapper version marker; `1` for this layout. Doubles as the
+    /// sniffing key: legacy metas can never start with this field.
+    spirecol_meta: u32,
+    machine: Option<MachineSpec>,
+    reports: Option<BTreeMap<String, IngestReport>>,
+}
+
+/// The sniff prefix for the wrapped metadata layout. The writer emits
+/// compact JSON with `spirecol_meta` as the first field, so this prefix
+/// match is exact, and a legacy meta (an ingest-report map or `null`)
+/// can never begin with it.
+const COL_META_PREFIX: &str = "{\"spirecol_meta\"";
 
 impl Dataset {
     /// Creates an empty dataset.
@@ -76,6 +117,16 @@ impl Dataset {
     /// Looks up a sample set by label.
     pub fn get(&self, label: &str) -> Option<&SampleSet> {
         self.entries.get(label)
+    }
+
+    /// The machine the samples were collected on, when recorded.
+    pub fn machine(&self) -> Option<&MachineSpec> {
+        self.machine.as_ref()
+    }
+
+    /// Records (or clears) the machine the samples came from.
+    pub fn set_machine(&mut self, machine: Option<MachineSpec>) {
+        self.machine = machine;
     }
 
     /// Looks up the ingest provenance recorded for a label, if any.
@@ -138,6 +189,7 @@ impl Dataset {
                 .reports()
                 .map(|(label, report)| (label.to_owned(), report.summary()))
                 .collect(),
+            machine: self.machine.clone(),
         }
     }
 
@@ -178,9 +230,20 @@ impl Dataset {
     /// blob — so capture provenance survives the format change.
     pub fn to_colfile_bytes(&self) -> Vec<u8> {
         let mut writer = ColFileWriter::new();
-        writer.set_meta(
-            serde_json::to_string(&self.reports).expect("ingest reports serialize"),
-        );
+        // Machine-less datasets keep the legacy meta layout (the bare
+        // report map) so their binary images stay byte-identical; a
+        // machine tag upgrades the meta to the marked wrapper.
+        let meta = if self.machine.is_some() {
+            serde_json::to_string(&ColMeta {
+                spirecol_meta: 1,
+                machine: self.machine.clone(),
+                reports: self.reports.clone(),
+            })
+            .expect("column-file metadata serializes")
+        } else {
+            serde_json::to_string(&self.reports).expect("ingest reports serialize")
+        };
+        writer.set_meta(meta);
         for (label, set) in self.iter() {
             writer.add_section(label, set);
         }
@@ -200,18 +263,24 @@ impl Dataset {
         mode: SnapshotMode,
     ) -> Result<(Self, ColFileReport), spire_core::SpireError> {
         let contents = colfile::read(bytes, mode)?;
-        let reports = if contents.meta.is_empty() {
-            None
+        let meta_error = |e: serde_json::Error| spire_core::SpireError::SnapshotFormat {
+            reason: format!("column-file metadata does not parse: {e}"),
+        };
+        let (machine, reports) = if contents.meta.is_empty() {
+            (None, None)
+        } else if contents.meta.starts_with(COL_META_PREFIX) {
+            let meta: ColMeta = serde_json::from_str(&contents.meta).map_err(meta_error)?;
+            (meta.machine, meta.reports)
         } else {
-            serde_json::from_str(&contents.meta).map_err(|e| {
-                spire_core::SpireError::SnapshotFormat {
-                    reason: format!("column-file metadata does not parse: {e}"),
-                }
-            })?
+            (
+                None,
+                serde_json::from_str(&contents.meta).map_err(meta_error)?,
+            )
         };
         let dataset = Dataset {
             entries: contents.sections.into_iter().collect(),
             reports,
+            machine,
         };
         Ok((dataset, contents.report))
     }
@@ -275,6 +344,7 @@ impl FromIterator<(String, SampleSet)> for Dataset {
         Dataset {
             entries: iter.into_iter().collect(),
             reports: None,
+            machine: None,
         }
     }
 }
@@ -460,6 +530,81 @@ garbage line
         let (_, report) = Dataset::load_with_mode(&path, SnapshotMode::Lenient).unwrap();
         assert_eq!(report.unwrap().quarantined.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn machine_spec() -> MachineSpec {
+        MachineSpec {
+            name: "little".to_owned(),
+            fingerprint: "00aa00aa00aa00aa".to_owned(),
+            peaks: spire_core::MachinePeaks {
+                throughput: 2.0,
+                bandwidth: [("dram".to_owned(), 0.0125)].into_iter().collect(),
+            },
+            normalized: false,
+        }
+    }
+
+    #[test]
+    fn machine_survives_json_and_binary_round_trips() {
+        let mut d = Dataset::new();
+        d.insert("a", set(3));
+        d.set_machine(Some(machine_spec()));
+
+        let json_back = Dataset::from_json(&d.to_json().unwrap()).unwrap();
+        assert_eq!(json_back.machine().unwrap().name, "little");
+        assert_eq!(json_back, d);
+
+        let (bin_back, report) =
+            Dataset::from_colfile_bytes(&d.to_colfile_bytes(), SnapshotMode::Strict).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(bin_back, d);
+        assert_eq!(bin_back.machine().unwrap().fingerprint, "00aa00aa00aa00aa");
+        // JSON -> binary -> JSON stays byte-identical with a machine too.
+        assert_eq!(d.to_json().unwrap(), bin_back.to_json().unwrap());
+    }
+
+    #[test]
+    fn machine_less_dataset_keeps_legacy_bytes() {
+        let mut d = Dataset::new();
+        d.insert("a", set(2));
+        // No `machine` key in JSON...
+        assert!(!d.to_json().unwrap().contains("\"machine\""));
+        // ...and the binary meta keeps the legacy (unwrapped) layout.
+        let mut with_machine = d.clone();
+        with_machine.set_machine(Some(machine_spec()));
+        let legacy_bytes = d.to_colfile_bytes();
+        assert_ne!(legacy_bytes, with_machine.to_colfile_bytes());
+        let (back, _) = Dataset::from_colfile_bytes(&legacy_bytes, SnapshotMode::Strict).unwrap();
+        assert!(back.machine().is_none());
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn machine_rides_alongside_ingest_reports_in_colfile_meta() {
+        let text = "\
+1.0,1000,,inst_retired.any,1000000,100.00,,
+1.0,500,,cpu_clk_unhalted.thread,1000000,100.00,,
+garbage line
+";
+        let out = crate::ingest_perf_csv(text, &crate::IngestConfig::default());
+        let mut d = Dataset::new();
+        d.insert_with_report("capture", out.samples, out.report);
+        d.set_machine(Some(machine_spec()));
+        let (back, _) =
+            Dataset::from_colfile_bytes(&d.to_colfile_bytes(), SnapshotMode::Strict).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.machine().unwrap().name, "little");
+        assert_eq!(back.report("capture").unwrap().rows_quarantined, 1);
+    }
+
+    #[test]
+    fn provenance_carries_the_machine() {
+        let mut d = Dataset::new();
+        d.insert("a", set(1));
+        assert!(d.provenance(None).machine.is_none());
+        d.set_machine(Some(machine_spec()));
+        let prov = d.provenance(Some("ds.json"));
+        assert_eq!(prov.machine.as_ref().unwrap().name, "little");
     }
 
     #[test]

@@ -19,9 +19,7 @@ pub fn roofline_chart<'a>(
 ) -> Chart {
     roofline_points_chart(
         roofline,
-        samples
-            .into_iter()
-            .map(|s| (s.intensity(), s.throughput())),
+        samples.into_iter().map(|s| (s.intensity(), s.throughput())),
         log_axes,
     )
 }
@@ -36,10 +34,8 @@ pub fn roofline_points_chart(
     points: impl IntoIterator<Item = (f64, f64)>,
     log_axes: bool,
 ) -> Chart {
-    let sample_points: Vec<(f64, f64)> = points
-        .into_iter()
-        .filter(|(x, _)| x.is_finite())
-        .collect();
+    let sample_points: Vec<(f64, f64)> =
+        points.into_iter().filter(|(x, _)| x.is_finite()).collect();
 
     // Trace the model over the sample span (plus headroom on the right).
     let x_min = sample_points

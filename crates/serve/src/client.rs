@@ -14,7 +14,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use spire_core::fault::FaultRng;
-use spire_core::SampleSet;
+use spire_core::{MachineSpec, SampleSet};
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::proto::{Request, Response};
@@ -234,10 +234,26 @@ impl Client {
         samples: &SampleSet,
         key: Option<&str>,
     ) -> Result<Response, ServeError> {
+        self.update_tagged(model, samples, key, None)
+    }
+
+    /// [`update`](Client::update) with the batch's machine tag attached:
+    /// the daemon refuses the batch when the served model is tagged with
+    /// a *different* machine (the same policy as fingerprint mismatches).
+    /// An untagged batch against a tagged model passes — absence is
+    /// legacy, not a mismatch.
+    pub fn update_tagged(
+        &mut self,
+        model: &str,
+        samples: &SampleSet,
+        key: Option<&str>,
+        machine: Option<&MachineSpec>,
+    ) -> Result<Response, ServeError> {
         let mut request = Request::bare("update");
         request.model = Some(model.to_owned());
         request.samples = Some(samples.clone());
         request.key = key.map(str::to_owned);
+        request.machine = machine.cloned();
         if key.is_some() {
             self.request_with_retry(&request)
         } else {

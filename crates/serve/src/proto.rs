@@ -11,7 +11,7 @@
 //! old or the new model.
 
 use serde::{Deserialize, Serialize};
-use spire_core::{RankedMetric, SampleSet, UpdateReport};
+use spire_core::{MachineSpec, RankedMetric, SampleSet, UpdateReport};
 
 /// One client request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,6 +32,12 @@ pub struct Request {
     /// Caller-supplied idempotency key (update): a retried request
     /// carrying the same key and batch is applied at most once.
     pub key: Option<String>,
+    /// The machine the samples were collected on, when the client knows
+    /// it. Updates against a model tagged with a *different* machine are
+    /// refused (the same policy as fingerprint mismatches); estimate and
+    /// analyze responses echo both tags so the caller can attribute
+    /// cross-machine drift.
+    pub machine: Option<MachineSpec>,
 }
 
 impl Request {
@@ -44,6 +50,7 @@ impl Request {
             top: None,
             path: None,
             key: None,
+            machine: None,
         }
     }
 }
@@ -108,6 +115,9 @@ pub struct ModelStats {
     pub drift_overlap: Option<f64>,
     /// Kendall tau between the last two analyze rankings, when two exist.
     pub drift_tau: Option<f64>,
+    /// The machine the served snapshot's training data came from, when
+    /// its provenance recorded one.
+    pub machine: Option<MachineSpec>,
 }
 
 /// Server-wide counters reported by `stats`.
@@ -156,6 +166,9 @@ pub struct Response {
     pub applied: Option<bool>,
     /// What the commit recomputed (update, when applied).
     pub update: Option<UpdateReport>,
+    /// The machine tag of the snapshot that served the request, when its
+    /// provenance recorded one.
+    pub machine: Option<MachineSpec>,
 }
 
 impl Response {
@@ -177,6 +190,7 @@ impl Response {
             seq: None,
             applied: None,
             update: None,
+            machine: None,
         }
     }
 
@@ -207,6 +221,7 @@ mod tests {
             top: Some(5),
             path: None,
             key: None,
+            machine: None,
         };
         let back: Request = serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
         assert_eq!(back.kind, "analyze");

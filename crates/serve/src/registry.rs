@@ -18,7 +18,7 @@ use std::sync::{Mutex, RwLock};
 
 use spire_core::pipeline::{Event, RunContext};
 use spire_core::snapshot::{load_model, ModelSnapshot};
-use spire_core::{BottleneckReport, SpireModel};
+use spire_core::{BottleneckReport, MachineSpec, SpireModel};
 
 use crate::cache::LruCache;
 use crate::proto::ReloadInfo;
@@ -35,6 +35,10 @@ pub struct ModelEntry {
     /// it identifies what is actually answering requests even after a
     /// lenient salvage dropped records.
     pub fingerprint: String,
+    /// The machine the snapshot's training data came from, when its
+    /// provenance recorded one. Every response carries it, and updates
+    /// against a batch tagged with a different machine are refused.
+    pub machine: Option<MachineSpec>,
 }
 
 /// Per-model request counters (all relaxed: they are monotonic telemetry,
@@ -153,7 +157,18 @@ fn load_entry(name: &str, path: &Path, ctx: &RunContext) -> Result<(ModelEntry, 
     let fingerprint = ModelSnapshot::from_model(&model)
         .map_err(|e| ServeError::Protocol(format!("cannot fingerprint model {name}: {e}")))?
         .fingerprint();
-    Ok((ModelEntry { model, fingerprint }, salvaged))
+    // Raw model JSON (no snapshot container) simply has no machine tag.
+    let machine = ModelSnapshot::from_json(&text)
+        .ok()
+        .and_then(|s| s.machine().cloned());
+    Ok((
+        ModelEntry {
+            model,
+            fingerprint,
+            machine,
+        },
+        salvaged,
+    ))
 }
 
 impl ModelRegistry {
@@ -186,10 +201,15 @@ impl ModelRegistry {
                         entry.model.config(),
                         ctx.config.strictness,
                         settings,
+                        entry.machine.as_ref(),
                         ctx,
                     )?;
                     if let Some((model, fingerprint)) = recovered {
-                        entry = ModelEntry { model, fingerprint };
+                        entry = ModelEntry {
+                            model,
+                            fingerprint,
+                            machine: entry.machine,
+                        };
                     }
                     Some(state)
                 }

@@ -432,6 +432,10 @@ fn reload_response(shared: &ServerShared, request: &Request) -> Response {
             let mut r = Response::ok("reload");
             r.model = Some(name.to_owned());
             r.fingerprint = Some(info.new_fingerprint.clone());
+            r.machine = shared
+                .registry
+                .get(name)
+                .and_then(|slot| slot.current().machine.clone());
             r.reloaded = Some(info);
             r
         }
@@ -475,6 +479,7 @@ fn stats_response(shared: &ServerShared) -> Response {
                 last_seq,
                 drift_overlap: drift.map(|(overlap, _)| overlap),
                 drift_tau: drift.map(|(_, tau)| tau),
+                machine: entry.machine.clone(),
             }
         })
         .collect();

@@ -52,8 +52,9 @@ use serde::{Deserialize, Serialize};
 use spire_core::pipeline::{Event, RunContext};
 use spire_core::snapshot::fnv1a64;
 use spire_core::{
-    write_atomic, ModelSnapshot, OnlineTrainer, SampleSet, SnapshotDelta, SpireModel, TrainConfig,
-    TrainStrictness, UpdateReport, SNAPSHOT_FORMAT_VERSION,
+    write_atomic, MachineSpec, ModelSnapshot, OnlineTrainer, SampleSet, SnapshotDelta,
+    SnapshotProvenance, SpireModel, TrainConfig, TrainStrictness, UpdateReport,
+    SNAPSHOT_FORMAT_VERSION,
 };
 
 use crate::ServeError;
@@ -391,30 +392,54 @@ pub struct UpdateState {
     seq: u64,
     wal: Wal,
     dedup: VecDeque<DedupEntry>,
+    /// The served model's machine tag: stamped onto every delta-chain
+    /// head, so journal records inherit it and replay's `delta.apply`
+    /// cross-check re-verifies the machine link by link.
+    machine: Option<MachineSpec>,
     records_since_checkpoint: usize,
     /// Set when a failed append could not be rolled back; all further
     /// updates are refused until restart.
     broken: Option<String>,
 }
 
-/// The empty anchor snapshot: no metric records, pinned config. Its
-/// fingerprint (FNV-1a of zero `metric:checksum` lines) anchors the
-/// first journal record's delta.
-fn anchor_snapshot(config: TrainConfig) -> ModelSnapshot {
+/// A provenance record carrying only a machine tag (the delta chain's
+/// heads are rebuilt models, so the tag is the only provenance that
+/// survives replay).
+fn machine_provenance(machine: Option<&MachineSpec>) -> Option<SnapshotProvenance> {
+    machine.map(|m| SnapshotProvenance {
+        machine: Some(m.clone()),
+        ..SnapshotProvenance::default()
+    })
+}
+
+/// The empty anchor snapshot: no metric records, pinned config (and the
+/// served model's machine tag, when it has one). Its fingerprint (FNV-1a
+/// of zero `metric:checksum` lines) anchors the first journal record's
+/// delta; the machine tag makes every later delta in the chain carry it,
+/// so replay re-verifies the machine per link through
+/// [`SnapshotDelta::apply`]'s cross-machine refusal.
+fn anchor_snapshot(config: TrainConfig, machine: Option<&MachineSpec>) -> ModelSnapshot {
     ModelSnapshot {
         format_version: SNAPSHOT_FORMAT_VERSION,
         checksum_algorithm: "fnv1a64".to_owned(),
         config,
         skipped_metrics: Vec::new(),
-        provenance: None,
+        provenance: machine_provenance(machine),
         train_report: None,
         metrics: Vec::new(),
     }
 }
 
-fn snapshot_of(model: &SpireModel) -> Result<ModelSnapshot, ServeError> {
-    ModelSnapshot::from_model(model)
-        .map_err(|e| ServeError::Protocol(format!("cannot snapshot updated model: {e}")))
+fn snapshot_of(
+    model: &SpireModel,
+    machine: Option<&MachineSpec>,
+) -> Result<ModelSnapshot, ServeError> {
+    let snapshot = ModelSnapshot::from_model(model)
+        .map_err(|e| ServeError::Protocol(format!("cannot snapshot updated model: {e}")))?;
+    Ok(match machine_provenance(machine) {
+        Some(provenance) => snapshot.with_provenance(provenance),
+        None => snapshot,
+    })
 }
 
 impl UpdateState {
@@ -434,6 +459,7 @@ impl UpdateState {
         config: &TrainConfig,
         strictness: TrainStrictness,
         settings: &WalSettings,
+        machine: Option<&MachineSpec>,
         ctx: &RunContext,
     ) -> Result<(UpdateState, Option<(SpireModel, String)>), ServeError> {
         std::fs::create_dir_all(&settings.dir).map_err(|e| {
@@ -452,7 +478,7 @@ impl UpdateState {
                 ServeError::Protocol(format!("damaged anchor {}: {e}", base_path.display()))
             })?
         } else {
-            let anchor = anchor_snapshot(config.clone());
+            let anchor = anchor_snapshot(config.clone(), machine);
             write_atomic(&base_path, &anchor.to_json())
                 .map_err(|e| io_err(&format!("cannot write {}", base_path.display()), e))?;
             anchor
@@ -487,7 +513,7 @@ impl UpdateState {
             let model = trainer
                 .model()
                 .ok_or_else(|| ServeError::Protocol("checkpoint produced no model".to_owned()))?;
-            let rebuilt = snapshot_of(model)?;
+            let rebuilt = snapshot_of(model, machine)?;
             if rebuilt.fingerprint() != cp.fingerprint {
                 return Err(ServeError::Protocol(format!(
                     "checkpoint replay for {model_name} produced fingerprint {}, expected {}",
@@ -542,7 +568,7 @@ impl UpdateState {
             let model = trainer.model().ok_or_else(|| {
                 ServeError::Protocol(format!("replay produced no model at seq {}", record.seq))
             })?;
-            let rebuilt = snapshot_of(model)?;
+            let rebuilt = snapshot_of(model, machine)?;
             if rebuilt.fingerprint() != record.delta.result_fingerprint {
                 return Err(ServeError::Protocol(format!(
                     "journal replay for {model_name} diverged at seq {}: rebuilt {}, \
@@ -585,6 +611,7 @@ impl UpdateState {
                 seq,
                 wal,
                 dedup,
+                machine: machine.cloned(),
                 records_since_checkpoint,
                 broken: None,
             },
@@ -673,7 +700,7 @@ impl UpdateState {
         let model = candidate
             .model()
             .ok_or_else(|| ServeError::Protocol("update commit produced no model".to_owned()))?;
-        let new_head = snapshot_of(model)?;
+        let new_head = snapshot_of(model, self.machine.as_ref())?;
         let new_fingerprint = new_head.fingerprint();
         let old_fingerprint = self.head.fingerprint();
         let seq = self.seq + 1;
@@ -817,8 +844,15 @@ mod tests {
         let ctx = ctx();
         let mut fingerprints = Vec::new();
         {
-            let (mut state, recovered) =
-                UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+            let (mut state, recovered) = UpdateState::open(
+                "m",
+                &config,
+                TrainStrictness::Lenient,
+                &settings,
+                None,
+                &ctx,
+            )
+            .unwrap();
             assert!(recovered.is_none());
             for salt in 0..4 {
                 let b = batch(salt, 6);
@@ -831,8 +865,15 @@ mod tests {
         }
         // Reopen: replay must land on the last acknowledged fingerprint
         // and equal a clean batch retrain over all four batches.
-        let (state, recovered) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let (state, recovered) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            None,
+            &ctx,
+        )
+        .unwrap();
         let (model, fp) = recovered.expect("recovered model");
         assert_eq!(state.seq(), 4);
         assert_eq!(fp, *fingerprints.last().unwrap());
@@ -856,8 +897,15 @@ mod tests {
         let ctx = ctx();
         let wal_path = settings.wal_path("m");
         {
-            let (mut state, _) =
-                UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+            let (mut state, _) = UpdateState::open(
+                "m",
+                &config,
+                TrainStrictness::Lenient,
+                &settings,
+                None,
+                &ctx,
+            )
+            .unwrap();
             for salt in 0..3 {
                 let b = batch(salt, 6);
                 let json = serde_json::to_string(&b).unwrap();
@@ -867,8 +915,15 @@ mod tests {
         // Tear the last record in half.
         let bytes = std::fs::read(&wal_path).unwrap();
         std::fs::write(&wal_path, &bytes[..bytes.len() - 40]).unwrap();
-        let (state, recovered) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let (state, recovered) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            None,
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(state.seq(), 2, "the torn third record must be dropped");
         let (model, _) = recovered.unwrap();
         let mut merged = SampleSet::new();
@@ -884,8 +939,15 @@ mod tests {
         let settings = WalSettings::new(&dir);
         let config = TrainConfig::default();
         let ctx = ctx();
-        let (mut state, _) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let (mut state, _) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            None,
+            &ctx,
+        )
+        .unwrap();
         let b = batch(0, 6);
         let json = serde_json::to_string(&b).unwrap();
         let first = state.apply_update(&b, &json, Some("k1"), &ctx).unwrap();
@@ -912,8 +974,15 @@ mod tests {
         let ctx = ctx();
         let mut last_fp = String::new();
         {
-            let (mut state, _) =
-                UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+            let (mut state, _) = UpdateState::open(
+                "m",
+                &config,
+                TrainStrictness::Lenient,
+                &settings,
+                None,
+                &ctx,
+            )
+            .unwrap();
             for salt in 0..5 {
                 let b = batch(salt, 6);
                 let json = serde_json::to_string(&b).unwrap();
@@ -927,8 +996,15 @@ mod tests {
             settings.checkpoint_path("m").exists(),
             "compaction must have written a checkpoint"
         );
-        let (state, recovered) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let (state, recovered) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            None,
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(state.seq(), 5);
         let (model, fp) = recovered.unwrap();
         assert_eq!(fp, last_fp);
@@ -940,14 +1016,89 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    fn machine(name: &str, fp: &str) -> MachineSpec {
+        MachineSpec {
+            name: name.to_owned(),
+            fingerprint: fp.to_owned(),
+            peaks: spire_core::MachinePeaks {
+                throughput: 4.0,
+                bandwidth: std::collections::BTreeMap::new(),
+            },
+            normalized: false,
+        }
+    }
+
+    #[test]
+    fn machine_tag_threads_through_journal_and_refuses_cross_machine_replay() {
+        let dir = temp_dir("machine");
+        let settings = WalSettings::new(&dir);
+        let config = TrainConfig::default();
+        let ctx = ctx();
+        let m = machine("skylake-server", "aaaaaaaaaaaaaaaa");
+        {
+            let (mut state, _) = UpdateState::open(
+                "m",
+                &config,
+                TrainStrictness::Lenient,
+                &settings,
+                Some(&m),
+                &ctx,
+            )
+            .unwrap();
+            for salt in 0..3 {
+                let b = batch(salt, 6);
+                let json = serde_json::to_string(&b).unwrap();
+                state.apply_update(&b, &json, None, &ctx).unwrap();
+            }
+        }
+        // The anchor on disk carries the machine tag.
+        let anchor_text = std::fs::read_to_string(settings.base_path("m")).unwrap();
+        let anchor = ModelSnapshot::from_json(&anchor_text).unwrap();
+        assert_eq!(anchor.machine().unwrap().name, "skylake-server");
+        // Same machine replays cleanly.
+        let (state, recovered) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            Some(&m),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(state.seq(), 3);
+        assert!(recovered.is_some());
+        // A different machine is refused at the first chained link — the
+        // journal deltas carry the original tag and `delta.apply` refuses
+        // a cross-machine base during replay.
+        let other = machine("little", "bbbbbbbbbbbbbbbb");
+        let err = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            Some(&other),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("machine mismatch"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn empty_batch_and_broken_state_are_refused() {
         let dir = temp_dir("refuse");
         let settings = WalSettings::new(&dir);
         let config = TrainConfig::default();
         let ctx = ctx();
-        let (mut state, _) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let (mut state, _) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            None,
+            &ctx,
+        )
+        .unwrap();
         let empty = SampleSet::new();
         let json = serde_json::to_string(&empty).unwrap();
         assert!(state.apply_update(&empty, &json, None, &ctx).is_err());

@@ -102,6 +102,34 @@ fn process_update_batch(shared: &ServerShared, batch: Vec<Job>) {
             ));
             continue;
         }
+        // A batch tagged with a different machine is refused like a
+        // fingerprint mismatch: folding foreign-machine samples into the
+        // delta chain would silently corrupt the model. Either side
+        // lacking a tag (legacy artifacts, untagged clients) passes, and
+        // a peak-normalized model is machine-agnostic by construction.
+        let entry_machine = slot.current().machine.clone();
+        if let (Some(model_m), Some(data_m)) = (&entry_machine, &job.request.machine) {
+            if !model_m.normalized && !model_m.matches(data_m) {
+                shared.bus.emit(Event::MachineMismatch {
+                    context: "serve update".to_owned(),
+                    model_machine: model_m.name.clone(),
+                    model_fingerprint: model_m.fingerprint.clone(),
+                    data_machine: data_m.name.clone(),
+                    data_fingerprint: data_m.fingerprint.clone(),
+                });
+                let mut r = Response::error(format!(
+                    "machine mismatch: model {} is from {} but the update batch is \
+                     from {}; update refused",
+                    job.model,
+                    model_m.tag(),
+                    data_m.tag()
+                ));
+                r.model = Some(job.model.clone());
+                r.machine = entry_machine;
+                let _ = job.reply.send(r);
+                continue;
+            }
+        }
         let samples = job.request.samples.as_ref().expect("validated at enqueue");
         let ctx = shared.ctx();
         let key = job.request.key.as_deref();
@@ -115,6 +143,7 @@ fn process_update_batch(shared: &ServerShared, batch: Vec<Job>) {
                         slot.install(ModelEntry {
                             model: model.clone(),
                             fingerprint: ack.fingerprint.clone(),
+                            machine: entry_machine.clone(),
                         });
                     }
                 } else {
@@ -126,6 +155,7 @@ fn process_update_batch(shared: &ServerShared, batch: Vec<Job>) {
                 r.seq = Some(ack.seq);
                 r.applied = Some(ack.applied);
                 r.update = ack.report;
+                r.machine = entry_machine;
                 r
             }
             Ok(Err(e)) => {
@@ -250,12 +280,14 @@ fn finish_job(
             let mut r = Response::error(e.to_string());
             r.model = Some(job.model.clone());
             r.fingerprint = Some(entry.fingerprint.clone());
+            r.machine = entry.machine.clone();
             r
         }
         Ok(estimate) => {
             let mut r = Response::ok(&job.request.kind);
             r.model = Some(job.model.clone());
             r.fingerprint = Some(entry.fingerprint.clone());
+            r.machine = entry.machine.clone();
             r.cached = Some(false);
             if job.request.kind == "analyze" {
                 let report = BottleneckReport::new(&estimate, &shared.catalog);

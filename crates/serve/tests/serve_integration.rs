@@ -421,3 +421,102 @@ fn overload_sheds_with_typed_refusals_and_events() {
     assert!(degraded, "a shedding run reports degraded at exit");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn machine_tags_flow_through_responses_and_gate_updates() {
+    use spire_core::{MachinePeaks, MachineSpec, SnapshotProvenance};
+
+    fn spec(name: &str, fp: &str) -> MachineSpec {
+        MachineSpec {
+            name: name.to_owned(),
+            fingerprint: fp.to_owned(),
+            peaks: MachinePeaks {
+                throughput: 4.0,
+                bandwidth: std::collections::BTreeMap::new(),
+            },
+            normalized: false,
+        }
+    }
+
+    let dir = temp_dir("machine");
+    let model = train(1.0);
+    let path = dir.join("model.json");
+    let machine = spec("skylake-server", "aaaaaaaaaaaaaaaa");
+    let snapshot = ModelSnapshot::from_model(&model)
+        .unwrap()
+        .with_provenance(SnapshotProvenance {
+            machine: Some(machine.clone()),
+            ..SnapshotProvenance::default()
+        });
+    write_atomic(&path, &snapshot.to_json()).unwrap();
+
+    let config = ServerConfig {
+        wal: Some(spire_serve::WalSettings::new(dir.join("wal"))),
+        ..ServerConfig::default()
+    };
+    let (addr, shared, sink, handle) = start(config, vec![("m".to_owned(), path)]);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Estimate responses and stats carry the served model's machine tag.
+    let response = client.estimate("m", &workload(0)).unwrap();
+    assert!(response.ok);
+    let served = response.machine.expect("estimate response carries machine");
+    assert_eq!(served.name, "skylake-server");
+    assert_eq!(served.fingerprint, "aaaaaaaaaaaaaaaa");
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert_eq!(
+        stats.models[0].machine.as_ref().unwrap().name,
+        "skylake-server"
+    );
+
+    // An update tagged with a different machine is refused with a typed
+    // error and exactly one machine_mismatch bus event.
+    let foreign = spec("little", "bbbbbbbbbbbbbbbb");
+    let refused = client
+        .update_tagged("m", &workload(1), Some("k-mismatch"), Some(&foreign))
+        .unwrap();
+    assert!(!refused.ok, "cross-machine update must be refused");
+    let detail = refused.error.unwrap();
+    assert!(detail.contains("machine mismatch"), "{detail}");
+    assert!(
+        detail.contains("skylake-server") && detail.contains("little"),
+        "{detail}"
+    );
+    let mismatches: Vec<_> = sink
+        .events()
+        .iter()
+        .filter(|e| e.kind() == "machine_mismatch")
+        .cloned()
+        .collect();
+    assert_eq!(mismatches.len(), 1, "exactly one machine_mismatch event");
+    assert!(
+        shared.bus.degraded(),
+        "a refused cross-machine update degrades the run"
+    );
+
+    // The same batch tagged with the *matching* machine commits, and so
+    // does an untagged (legacy) batch.
+    let accepted = client
+        .update_tagged("m", &workload(1), Some("k-match"), Some(&machine))
+        .unwrap();
+    assert!(
+        accepted.ok,
+        "same-machine update must commit: {:?}",
+        accepted.error
+    );
+    assert_eq!(accepted.machine.as_ref().unwrap().name, "skylake-server");
+    let legacy = client.update("m", &workload(2), Some("k-legacy")).unwrap();
+    assert!(legacy.ok, "untagged update must commit: {:?}", legacy.error);
+
+    // The installed post-update entry keeps the machine tag.
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert_eq!(
+        stats.models[0].machine.as_ref().unwrap().name,
+        "skylake-server"
+    );
+    assert_eq!(stats.models[0].updates, 2);
+
+    client.shutdown().unwrap();
+    let _ = handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

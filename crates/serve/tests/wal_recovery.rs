@@ -141,8 +141,15 @@ fn kill_at_every_byte_offset_recovers_prefix_bit_identically() {
     let mut lens = Vec::new();
     let mut expected_fp = Vec::new();
     {
-        let (mut state, recovered) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings_a, &ctx).unwrap();
+        let (mut state, recovered) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings_a,
+            None,
+            &ctx,
+        )
+        .unwrap();
         assert!(recovered.is_none());
         lens.push(std::fs::metadata(&wal_path_a).unwrap().len());
         expected_fp.push(state.fingerprint());
@@ -176,9 +183,15 @@ fn kill_at_every_byte_offset_recovers_prefix_bit_identically() {
 
     for cut in 0..=journal.len() {
         std::fs::write(&wal_path_b, &journal[..cut]).unwrap();
-        let (state, recovered) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings_b, &ctx)
-                .unwrap_or_else(|e| panic!("recovery at offset {cut} refused: {e}"));
+        let (state, recovered) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings_b,
+            None,
+            &ctx,
+        )
+        .unwrap_or_else(|e| panic!("recovery at offset {cut} refused: {e}"));
         // The highest commit whose record is fully inside the prefix.
         let k = lens.iter().rposition(|&l| l as usize <= cut).unwrap_or(0);
         assert_eq!(state.seq(), k as u64, "wrong replay depth at offset {cut}");
@@ -218,16 +231,30 @@ fn retried_idempotent_update_is_applied_exactly_once_across_reopen() {
     let b = tiny_batch(0);
     let json = serde_json::to_string(&b).unwrap();
     let first = {
-        let (mut state, _) =
-            UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+        let (mut state, _) = UpdateState::open(
+            "m",
+            &config,
+            TrainStrictness::Lenient,
+            &settings,
+            None,
+            &ctx,
+        )
+        .unwrap();
         state
             .apply_update(&b, &json, Some("retry-key"), &ctx)
             .unwrap()
     };
     assert!(first.applied);
     // "Crash" (drop without any shutdown niceties), reopen, retry.
-    let (mut state, recovered) =
-        UpdateState::open("m", &config, TrainStrictness::Lenient, &settings, &ctx).unwrap();
+    let (mut state, recovered) = UpdateState::open(
+        "m",
+        &config,
+        TrainStrictness::Lenient,
+        &settings,
+        None,
+        &ctx,
+    )
+    .unwrap();
     assert!(recovered.is_some());
     let retry = state
         .apply_update(&b, &json, Some("retry-key"), &ctx)

@@ -37,6 +37,7 @@ mod config;
 mod core;
 mod events;
 mod instr;
+pub mod machine;
 mod pmu;
 pub mod predictor;
 
@@ -44,4 +45,5 @@ pub use crate::core::{Core, RunSummary};
 pub use config::{BackendConfig, CoreConfig, FrontendConfig, InvalidConfigError, MemoryConfig};
 pub use events::{CounterFile, Event};
 pub use instr::{DecodeSource, Instr, InstrClass, MemLevel, VecWidth};
+pub use machine::{Machine, MachineCatalog, MachineLoadError, DEFAULT_MACHINE};
 pub use pmu::{Pmu, PmuError};

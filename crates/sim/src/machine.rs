@@ -1,0 +1,409 @@
+//! The machine catalog: named, validated [`CoreConfig`] presets plus
+//! loading of custom machines from JSON.
+//!
+//! SPIRE's portability story is "retrain per machine", which needs more
+//! than one machine to retrain on. The catalog ships four presets spanning
+//! the design space the transfer study exercises:
+//!
+//! * **skylake-server** — the default Skylake-server-class core the rest
+//!   of the workspace assumes (the paper's Xeon Gold 6126 stand-in);
+//! * **little** — a narrow 2-wide core with small windows and slow DRAM,
+//!   the efficiency-core end of a big.LITTLE pair;
+//! * **edge** — a mid-width core starved of memory-level parallelism
+//!   (2 MSHRs, shallow DRAM queue, 400-cycle DRAM), like an embedded SoC
+//!   behind a low-power memory controller;
+//! * **hpc** — an 8-wide, deep-window, high-bandwidth core in the spirit
+//!   of server parts tuned for vectorized throughput.
+//!
+//! Every machine derives a [`spire_core::MachineSpec`]: its name, an
+//! FNV-1a fingerprint of the canonical config JSON, and peak descriptors
+//! ([`spire_core::MachinePeaks`]) — peak issue throughput and per-level
+//! bandwidth ceilings estimated Little's-law style (outstanding misses
+//! divided by latency). Those peaks are what the hardware-agnostic
+//! normalization divides by.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use spire_core::{config_fingerprint, MachinePeaks, MachineSpec};
+
+use crate::config::{BackendConfig, CoreConfig, FrontendConfig, InvalidConfigError, MemoryConfig};
+
+/// The catalog name of the default machine.
+pub const DEFAULT_MACHINE: &str = "skylake-server";
+
+/// Why a custom machine file was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineLoadError {
+    /// The text did not parse as a machine file
+    /// (`{"name", "description", "config"}`).
+    Parse {
+        /// The parser's explanation.
+        reason: String,
+    },
+    /// The file parsed but its core configuration fails
+    /// [`CoreConfig::validate`].
+    Invalid(InvalidConfigError),
+    /// The machine's name is empty or whitespace.
+    UnnamedMachine,
+}
+
+impl fmt::Display for MachineLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineLoadError::Parse { reason } => {
+                write!(f, "machine file does not parse: {reason}")
+            }
+            MachineLoadError::Invalid(e) => write!(f, "machine file rejected: {e}"),
+            MachineLoadError::UnnamedMachine => {
+                write!(f, "machine file rejected: name must be non-empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineLoadError {}
+
+/// A named machine: a validated [`CoreConfig`] plus the human-facing
+/// description shown by `spire machines`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Catalog name (or custom file stem), e.g. `"skylake-server"`.
+    pub name: String,
+    /// One-line description of what the machine models.
+    pub description: String,
+    /// The simulated core's full configuration.
+    pub config: CoreConfig,
+}
+
+impl Machine {
+    /// Parses a machine from its JSON form and validates the embedded
+    /// core configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineLoadError::Parse`] for malformed JSON,
+    /// [`MachineLoadError::UnnamedMachine`] for a blank name, and
+    /// [`MachineLoadError::Invalid`] when the configuration violates a
+    /// structural constraint — a typed error in every case, never a panic.
+    pub fn from_json(text: &str) -> Result<Machine, MachineLoadError> {
+        let machine: Machine = serde_json::from_str(text).map_err(|e| MachineLoadError::Parse {
+            reason: e.to_string(),
+        })?;
+        if machine.name.trim().is_empty() {
+            return Err(MachineLoadError::UnnamedMachine);
+        }
+        machine
+            .config
+            .validate()
+            .map_err(MachineLoadError::Invalid)?;
+        Ok(machine)
+    }
+
+    /// Serializes the machine to the JSON form [`Machine::from_json`]
+    /// reads — `spire machines export` writes exactly this.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("machines always serialize")
+    }
+
+    /// The canonical configuration JSON the fingerprint covers: compact
+    /// `serde_json` output of the [`CoreConfig`] (field order is fixed by
+    /// the struct, so equal configs always produce equal bytes).
+    pub fn canonical_config_json(&self) -> String {
+        serde_json::to_string(&self.config).expect("configs always serialize")
+    }
+
+    /// Derived peak descriptors.
+    ///
+    /// Peak throughput is the allocation width (µops per cycle — the IPC
+    /// ceiling). Per-level bandwidth ceilings are Little's-law estimates
+    /// of misses serviceable per cycle: outstanding-miss capacity divided
+    /// by the level's latency, with DRAM additionally capped by the DRAM
+    /// queue depth.
+    pub fn peaks(&self) -> MachinePeaks {
+        let m = &self.config.memory;
+        let mshrs = self.config.memory.mshrs as f64;
+        let bandwidth = [
+            ("l1".to_owned(), mshrs / m.l1_latency as f64),
+            ("l2".to_owned(), mshrs / m.l2_latency as f64),
+            ("l3".to_owned(), mshrs / m.l3_latency as f64),
+            (
+                "dram".to_owned(),
+                mshrs.min(m.dram_queue as f64) / m.dram_latency as f64,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        MachinePeaks {
+            throughput: self.config.backend.issue_width as f64,
+            bandwidth,
+        }
+    }
+
+    /// The machine's identity spec: name, config fingerprint, and peaks.
+    /// This is what datasets, snapshots, and serve responses carry.
+    pub fn spec(&self) -> MachineSpec {
+        MachineSpec {
+            name: self.name.clone(),
+            fingerprint: config_fingerprint(&self.canonical_config_json()),
+            peaks: self.peaks(),
+            normalized: false,
+        }
+    }
+}
+
+/// The built-in machine catalog, ordered with the default machine first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineCatalog {
+    machines: Vec<Machine>,
+}
+
+impl MachineCatalog {
+    /// The four built-in presets; see the module docs for the rationale.
+    pub fn builtin() -> Self {
+        MachineCatalog {
+            machines: vec![
+                Machine {
+                    name: DEFAULT_MACHINE.to_owned(),
+                    description: "Skylake-server-class default (Xeon Gold 6126 stand-in): \
+                                  4-wide, 224-entry ROB, DSB front-end, 10 MSHRs"
+                        .to_owned(),
+                    config: CoreConfig::skylake_server(),
+                },
+                Machine {
+                    name: "little".to_owned(),
+                    description: "narrow efficiency core: 2-wide, 64-entry ROB, \
+                                  MITE-starved front-end, slow DRAM"
+                        .to_owned(),
+                    config: little(),
+                },
+                Machine {
+                    name: "edge".to_owned(),
+                    description: "edge SoC: 3-wide but memory-starved — 2 MSHRs, shallow \
+                                  DRAM queue, 400-cycle DRAM"
+                        .to_owned(),
+                    config: edge(),
+                },
+                Machine {
+                    name: "hpc".to_owned(),
+                    description: "wide HPC core: 8-wide, 384-entry ROB, 20 MSHRs, \
+                                  fast high-bandwidth memory"
+                        .to_owned(),
+                    config: hpc(),
+                },
+            ],
+        }
+    }
+
+    /// All machines, default first.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Looks a machine up by its catalog name.
+    pub fn get(&self, name: &str) -> Option<&Machine> {
+        self.machines.iter().find(|m| m.name == name)
+    }
+
+    /// The default machine ([`DEFAULT_MACHINE`]).
+    pub fn default_machine(&self) -> &Machine {
+        &self.machines[0]
+    }
+
+    /// The catalog's machine names, in catalog order.
+    pub fn names(&self) -> Vec<&str> {
+        self.machines.iter().map(|m| m.name.as_str()).collect()
+    }
+}
+
+/// The `little` preset: the 2-wide efficiency core the transfer study's
+/// original hand-rolled variant modelled, now owned by the catalog.
+fn little() -> CoreConfig {
+    CoreConfig {
+        frontend: FrontendConfig {
+            dsb_width: 3,
+            mite_width: 1,
+            ..FrontendConfig::default()
+        },
+        backend: BackendConfig {
+            issue_width: 2,
+            retire_width: 2,
+            rob_size: 64,
+            rs_size: 32,
+            ..BackendConfig::default()
+        },
+        memory: MemoryConfig {
+            dram_latency: 320,
+            mshrs: 4,
+            ..MemoryConfig::default()
+        },
+    }
+}
+
+/// The `edge` preset: mid-width compute, starved memory system.
+fn edge() -> CoreConfig {
+    CoreConfig {
+        frontend: FrontendConfig {
+            dsb_width: 4,
+            mite_width: 2,
+            ..FrontendConfig::default()
+        },
+        backend: BackendConfig {
+            issue_width: 3,
+            retire_width: 3,
+            rob_size: 128,
+            rs_size: 64,
+            ..BackendConfig::default()
+        },
+        memory: MemoryConfig {
+            l2_latency: 18,
+            l3_latency: 60,
+            dram_latency: 400,
+            mshrs: 2,
+            dram_queue: 4,
+            store_buffer: 24,
+            ..MemoryConfig::default()
+        },
+    }
+}
+
+/// The `hpc` preset: wide issue, deep windows, high-bandwidth memory.
+fn hpc() -> CoreConfig {
+    CoreConfig {
+        frontend: FrontendConfig {
+            dsb_width: 8,
+            mite_width: 4,
+            idq_capacity: 144,
+            ..FrontendConfig::default()
+        },
+        backend: BackendConfig {
+            issue_width: 8,
+            retire_width: 8,
+            rob_size: 384,
+            rs_size: 160,
+            ports: 12,
+            ..BackendConfig::default()
+        },
+        memory: MemoryConfig {
+            l3_latency: 40,
+            dram_latency: 160,
+            mshrs: 20,
+            dram_queue: 32,
+            store_buffer: 72,
+            ..MemoryConfig::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_validates() {
+        for machine in MachineCatalog::builtin().machines() {
+            machine
+                .config
+                .validate()
+                .unwrap_or_else(|e| panic!("preset `{}` invalid: {e}", machine.name));
+        }
+    }
+
+    #[test]
+    fn catalog_has_at_least_four_machines_default_first() {
+        let catalog = MachineCatalog::builtin();
+        assert!(catalog.machines().len() >= 4);
+        assert_eq!(catalog.default_machine().name, DEFAULT_MACHINE);
+        assert_eq!(
+            catalog.default_machine().config,
+            CoreConfig::skylake_server()
+        );
+        assert!(catalog.get("little").is_some());
+        assert!(catalog.get("edge").is_some());
+        assert!(catalog.get("hpc").is_some());
+        assert!(catalog.get("no-such-machine").is_none());
+    }
+
+    #[test]
+    fn preset_serde_round_trip_is_bit_identical() {
+        for machine in MachineCatalog::builtin().machines() {
+            let json = machine.to_json();
+            let back = Machine::from_json(&json)
+                .unwrap_or_else(|e| panic!("preset `{}` reload: {e}", machine.name));
+            assert_eq!(&back, machine, "preset `{}` round trip", machine.name);
+            // And re-serializing reproduces the exact bytes.
+            assert_eq!(back.to_json(), json, "preset `{}` bytes", machine.name);
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_presets_and_are_stable() {
+        let catalog = MachineCatalog::builtin();
+        let mut fingerprints: Vec<String> = catalog
+            .machines()
+            .iter()
+            .map(|m| m.spec().fingerprint)
+            .collect();
+        assert!(fingerprints.iter().all(|f| f.len() == 16));
+        fingerprints.sort();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), catalog.machines().len());
+        // Fingerprint is a pure function of the config.
+        assert_eq!(
+            catalog.default_machine().spec().fingerprint,
+            catalog.default_machine().spec().fingerprint
+        );
+    }
+
+    #[test]
+    fn peaks_follow_the_configs() {
+        let catalog = MachineCatalog::builtin();
+        let default = catalog.default_machine().peaks();
+        assert_eq!(default.throughput, 4.0);
+        assert_eq!(default.bandwidth["l1"], 10.0 / 4.0);
+        assert_eq!(default.bandwidth["dram"], 10.0 / 200.0);
+        let hpc = catalog.get("hpc").unwrap().peaks();
+        let edge = catalog.get("edge").unwrap().peaks();
+        assert!(hpc.throughput > default.throughput);
+        assert!(edge.bandwidth["dram"] < default.bandwidth["dram"]);
+        // DRAM bandwidth is queue-capped when the queue is the narrower
+        // resource.
+        assert_eq!(edge.bandwidth["dram"], 2.0f64.min(4.0) / 400.0);
+    }
+
+    #[test]
+    fn invalid_custom_machine_is_a_typed_error_not_a_panic() {
+        // Malformed JSON.
+        let err = Machine::from_json("{not json").unwrap_err();
+        assert!(matches!(err, MachineLoadError::Parse { .. }));
+        assert!(err.to_string().contains("parse"));
+
+        // Parses but violates a config invariant (zero issue width).
+        let mut machine = MachineCatalog::builtin().default_machine().clone();
+        machine.config.backend.issue_width = 0;
+        let json = machine.to_json();
+        let err = Machine::from_json(&json).unwrap_err();
+        match &err {
+            MachineLoadError::Invalid(e) => assert_eq!(e.field, "backend.issue_width"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+
+        // Blank name.
+        let mut machine = MachineCatalog::builtin().default_machine().clone();
+        machine.name = "  ".to_owned();
+        assert_eq!(
+            Machine::from_json(&machine.to_json()).unwrap_err(),
+            MachineLoadError::UnnamedMachine
+        );
+    }
+
+    #[test]
+    fn spec_is_raw_units_and_tags_render() {
+        let spec = MachineCatalog::builtin().get("little").unwrap().spec();
+        assert!(!spec.normalized);
+        assert_eq!(spec.name, "little");
+        let tag = spec.tag();
+        assert!(tag.starts_with("little ["));
+        assert!(tag.ends_with(']'));
+    }
+}
